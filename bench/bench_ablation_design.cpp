@@ -1,0 +1,234 @@
+// Ablation bench (DESIGN.md Sec. 5): quantifies the design choices the
+// paper attributes KV-SSD behavior to, by turning each off:
+//   A1: 1 KiB slot alignment  -> space amplification for 50 B KVPs
+//   A2: index DRAM budget     -> store latency at fixed occupancy
+//   A3: compound NVMe commands-> large-key throughput cliff
+//   A4: block FTL random-write reorganization -> QD64 write latency gap
+#include <functional>
+
+#include "bench_util.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+
+namespace kvbench {
+namespace {
+
+constexpr u32 kKeyBytes = 16;
+
+double kv_space_amp(u32 slot_bytes, u32 page_slots) {
+  harness::KvssdBedConfig cfg = kvssd_cfg(device_gib(2), 40'000);
+  cfg.ftl.slot_bytes = slot_bytes;
+  cfg.ftl.page_data_slots = page_slots;
+  harness::KvssdBed bed(cfg);
+  (void)harness::fill_stack(bed, 20'000, kKeyBytes, 50, 64);
+  return (double)bed.device_bytes_used() / (double)bed.app_bytes_live();
+}
+
+double kv_store_latency_us(u64 index_dram) {
+  harness::KvssdBedConfig cfg = kvssd_cfg(device_gib(2), 600'000);
+  cfg.ftl.index.dram_bytes = index_dram;
+  harness::KvssdBed bed(cfg);
+  (void)harness::fill_stack(bed, 400'000, kKeyBytes, 512, 128);
+  wl::WorkloadSpec spec;
+  spec.num_ops = 20'000;
+  spec.key_space = 400'000;
+  spec.key_bytes = kKeyBytes;
+  spec.value_bytes = 512;
+  spec.pattern = wl::Pattern::kUniform;
+  spec.mix = wl::OpMix::update_only();
+  spec.queue_depth = 8;
+  return run_workload(bed, spec, true).update.mean() / 1000.0;
+}
+
+double large_key_kops(bool compound) {
+  harness::KvssdBedConfig cfg = kvssd_cfg(device_gib(2), 60'000);
+  cfg.nvme.compound_commands = compound;
+  harness::KvssdBed bed(cfg);
+  wl::WorkloadSpec spec;
+  spec.num_ops = 30'000;
+  spec.key_space = 30'000;
+  spec.key_bytes = 64;  // needs two commands without compounding
+  spec.value_bytes = 100;
+  spec.pattern = wl::Pattern::kUniform;
+  spec.mix = wl::OpMix::insert_only();
+  spec.queue_depth = 32;
+  return run_workload(bed, spec, true).throughput_ops_per_sec() / 1000.0;
+}
+
+// A5: hotness-hint write streams (the paper's "may help in designing
+// efficient data-placement strategies" observation). Skewed updates with
+// a hot/cold hint separate short-lived from long-lived blobs, cutting GC
+// write amplification.
+struct StreamResult {
+  double waf;
+  double mean_us;
+};
+
+StreamResult zipf_update_with_streams(u32 streams) {
+  harness::KvssdBedConfig cfg = kvssd_cfg(device_gib(2), 400'000);
+  cfg.ftl.write_streams = streams;
+  harness::KvssdBed bed(cfg);
+  const u64 keys = bed.ftl().max_kvp_capacity() * 8 / 10 / 4;  // 80% fill
+  (void)harness::fill_stack(bed, keys, kKeyBytes, 4 * KiB, 128);
+
+  // Drive updates directly so the hint can be derived from the Zipf rank
+  // (rank < 10% of the space = hot).
+  ZipfGenerator zipf(keys, 0.99);
+  Rng rng(17);
+  const u64 ops = keys;
+  u64 inflight = 0, issued = 0, completed = 0;
+  LatencyHistogram lat;
+  sim::EventQueue& eq = bed.eq();
+  std::function<void()> pump = [&] {
+    while (inflight < 64 && issued < ops) {
+      ++issued;
+      ++inflight;
+      const u64 rank = zipf.next(rng);
+      const u64 id = scatter_rank(rank, keys);
+      const u8 hint = streams > 1 && rank < keys / 10 ? 1 : 0;
+      const TimeNs t0 = eq.now();
+      bed.device().store(
+          wl::make_key(id, kKeyBytes),
+          ValueDesc{4 * KiB, issued},
+          [&, t0](Status) {
+            lat.record(eq.now() - t0);
+            --inflight;
+            ++completed;
+            pump();
+          },
+          hint);
+    }
+  };
+  pump();
+  while (completed < ops && eq.step()) {
+  }
+  return StreamResult{bed.ftl().stats().waf(), lat.mean() / 1000.0};
+}
+
+// A6: device read cache (extension). The production KV-SSD has no read
+// cache, so Zipf-hot keys serialize on their dies (the Fig. 2c read
+// anomaly); a small blob cache absorbs them.
+double zipf_read_mean_us(u64 cache_bytes) {
+  harness::KvssdBedConfig cfg = kvssd_cfg(device_gib(2), 200'000);
+  cfg.ftl.read_cache_bytes = cache_bytes;
+  harness::KvssdBed bed(cfg);
+  (void)harness::fill_stack(bed, 100'000, kKeyBytes, 4 * KiB, 128);
+  wl::WorkloadSpec spec;
+  spec.num_ops = 40'000;
+  spec.key_space = 100'000;
+  spec.key_bytes = kKeyBytes;
+  spec.value_bytes = 4 * KiB;
+  spec.pattern = wl::Pattern::kZipfian;
+  spec.mix = wl::OpMix::read_only();
+  spec.queue_depth = 64;
+  return run_workload(bed, spec, true).read.mean() / 1000.0;
+}
+
+double block_write_p50_us(TimeNs reorg_ns) {
+  harness::BlockBedConfig cfg;
+  cfg.dev = device_gib(2);
+  cfg.ftl.reorg_per_page_ns = reorg_ns;
+  harness::BlockDirectBed bed(cfg);
+  harness::BlockRunSpec spec;
+  spec.num_ops = 30'000;
+  spec.io_bytes = 4 * KiB;
+  spec.span_bytes = 30'000ull * 4 * KiB;
+  spec.queue_depth = 64;
+  return run_block(bed.eq(), bed.device(), spec, true).insert.mean() /
+         1000.0;
+}
+
+}  // namespace
+}  // namespace kvbench
+
+int main() {
+  using namespace kvbench;
+  print_header("Ablation", "design-choice sensitivity");
+
+  Table a1({"A1: slot alignment", "space amp @ 50 B values"});
+  const double sa_1k = kv_space_amp(1024, 24);
+  const double sa_256 = kv_space_amp(256, 96);
+  const double sa_64 = kv_space_amp(64, 384);
+  a1.add_row({"1 KiB slots (device default)", Table::num(sa_1k, 2)});
+  a1.add_row({"256 B slots", Table::num(sa_256, 2)});
+  a1.add_row({"64 B slots", Table::num(sa_64, 2)});
+  std::printf("%s\n", a1.render().c_str());
+
+  Table a2({"A2: index DRAM", "update mean us @ 400k KVPs"});
+  double a2_lat[3];
+  int a2i = 0;
+  for (u64 dram : {2ull * MiB, 8ull * MiB, 32ull * MiB}) {
+    a2_lat[a2i] = kv_store_latency_us(dram);
+    a2.add_row({format_bytes((double)dram), Table::num(a2_lat[a2i], 1)});
+    ++a2i;
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", a2.render().c_str());
+
+  Table a3({"A3: NVMe command set", "64 B-key store kops/s"});
+  const double a3_base = large_key_kops(false);
+  const double a3_comp = large_key_kops(true);
+  a3.add_row({"two commands per op (default)", Table::num(a3_base, 1)});
+  a3.add_row({"compound commands [10]", Table::num(a3_comp, 1)});
+  std::printf("%s\n", a3.render().c_str());
+
+  Table a4({"A4: block reorg work/page", "4K rand write mean us @ QD64"});
+  double a4_lat[4];
+  int a4i = 0;
+  for (TimeNs reorg : {0ull, 11000ull, 22000ull, 44000ull}) {
+    a4_lat[a4i] = block_write_p50_us(reorg);
+    a4.add_row({format_time_ns((double)reorg), Table::num(a4_lat[a4i], 1)});
+    ++a4i;
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", a4.render().c_str());
+
+  Table a5({"A5: write streams", "WAF @ 80% fill zipf updates",
+            "update mean us"});
+  StreamResult a5_r[3];
+  int a5i = 0;
+  for (u32 s : {1u, 2u, 4u}) {
+    a5_r[a5i] = zipf_update_with_streams(s);
+    a5.add_row({s == 1 ? "1 (no hints, device default)" : std::to_string(s),
+                Table::num(a5_r[a5i].waf, 2),
+                Table::num(a5_r[a5i].mean_us, 1)});
+    ++a5i;
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", a5.render().c_str());
+
+  Table a6({"A6: device read cache", "Zipf read mean us @ QD64"});
+  double a6_lat[3];
+  int a6i = 0;
+  for (u64 cache : {0ull, 4ull * MiB, 16ull * MiB}) {
+    a6_lat[a6i] = zipf_read_mean_us(cache);
+    a6.add_row({cache ? format_bytes((double)cache) : "none (device default)",
+                Table::num(a6_lat[a6i], 1)});
+    ++a6i;
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", a6.render().c_str());
+
+  std::printf(
+      "Reading: A1 removing 1 KiB alignment kills small-KVP space amp "
+      "(at an index-size cost the paper hypothesizes); A2 index DRAM "
+      "moves the Fig. 3 cliff; A3 compounding removes the Fig. 8 cliff; "
+      "A4 block reorganization work is what KV-SSD's packer avoids at "
+      "high concurrency (Fig. 4b); A5 hotness-hint streams cut GC write "
+      "amplification under skewed updates (the data-placement metadata "
+      "the paper notes the NVMe KV command set lacks); A6 a small device "
+      "read cache absorbs Zipf-hot reads that otherwise serialize on "
+      "single dies.\n\n");
+  check_shape(sa_64 < sa_256 && sa_256 < sa_1k && sa_1k > 10,
+              "A1: space amp scales with slot alignment");
+  check_shape(a2_lat[0] > a2_lat[1] && a2_lat[1] > a2_lat[2] * 2,
+              "A2: index DRAM moves the Fig. 3 cliff");
+  check_shape(a3_comp > a3_base * 1.3, "A3: compound commands lift kops");
+  check_shape(a4_lat[3] > a4_lat[0] * 1.3,
+              "A4: reorganization work inflates QD64 write latency");
+  check_shape(a5_r[1].waf < a5_r[0].waf,
+              "A5: hotness streams cut GC write amplification");
+  check_shape(a6_lat[1] < a6_lat[0] * 0.6,
+              "A6: a small read cache absorbs Zipf-hot reads");
+  return shape_exit();
+}

@@ -1,0 +1,101 @@
+// Fig. 5 reproduction: write bandwidth vs value size. Block-SSD (a) rises
+// smoothly; KV-SSD (b) shows zig-zag dips right past each 24 KiB data-area
+// multiple (25 KiB, 49 KiB, ...) where a blob starts spilling into one
+// more flash page and pays split/offset-pointer overheads.
+#include <algorithm>
+
+#include "bench_util.h"
+#include "common/ascii_plot.h"
+
+namespace kvbench {
+namespace {
+
+constexpr u64 kOps = 12'000;
+constexpr u32 kQd = 32;
+constexpr u32 kKeyBytes = 16;
+
+double kv_write_mibs(u32 value_bytes) {
+  harness::KvssdBed bed(kvssd_cfg(device_gib(4), kOps * 2));
+  wl::WorkloadSpec spec;
+  spec.num_ops = kOps;
+  spec.key_space = kOps;
+  spec.key_bytes = kKeyBytes;
+  spec.value_bytes = value_bytes;
+  spec.pattern = wl::Pattern::kUniform;
+  spec.queue_depth = kQd;
+  spec.mix = wl::OpMix::insert_only();
+  return run_workload(bed, spec, true).bandwidth_bytes_per_sec() /
+         (double)MiB;
+}
+
+double block_write_mibs(u32 io_bytes) {
+  harness::BlockBedConfig cfg;
+  cfg.dev = device_gib(4);
+  harness::BlockDirectBed bed(cfg);
+  harness::BlockRunSpec spec;
+  spec.num_ops = kOps;
+  spec.io_bytes = io_bytes;
+  spec.span_bytes = (u64)kOps * io_bytes;
+  spec.queue_depth = kQd;
+  spec.op = harness::BlockOp::kWrite;
+  return run_block(bed.eq(), bed.device(), spec, true)
+             .bandwidth_bytes_per_sec() /
+         (double)MiB;
+}
+
+}  // namespace
+}  // namespace kvbench
+
+int main() {
+  using namespace kvbench;
+  print_header("Fig 5", "write bandwidth vs value size (packing policy)");
+  std::printf("%llu random writes per point, QD %u\n",
+              (unsigned long long)kOps, kQd);
+
+  Table t({"value KiB", "block-SSD MiB/s", "KV-SSD MiB/s", "KV dip marker"});
+  std::vector<std::pair<double, double>> blk_pts, kv_pts;
+  double prev_kv = 0;
+  for (u32 kib = 16; kib <= 56; kib += 1) {
+    // Block I/O sizes must be 4 KiB aligned for an apples comparison of
+    // the device substrate; KV takes the exact value size.
+    const u32 v = kib * 1024;
+    const double blk = block_write_mibs((v + 4095) / 4096 * 4096);
+    const double kv = kv_write_mibs(v);
+    const bool dip = prev_kv > 0 && kv < prev_kv * 0.9;
+    t.add_row({std::to_string(kib), Table::num(blk, 1), Table::num(kv, 1),
+               dip ? "v DIP" : ""});
+    blk_pts.emplace_back(kib, blk);
+    kv_pts.emplace_back(kib, kv);
+    prev_kv = kv;
+    std::fflush(stdout);
+  }
+  std::printf("%s", t.render().c_str());
+  save_csv("fig5_bandwidth", t);
+
+  AsciiChart chart(72, 16);
+  chart.set_y_floor(0);
+  chart.set_axis_labels("value size (KiB)", "write bandwidth (MiB/s)");
+  chart.add_series("block-SSD", blk_pts, '#');
+  chart.add_series("KV-SSD", kv_pts, '*');
+  std::printf("\n%s", chart.render().c_str());
+  std::printf(
+      "\nExpected shape (paper): block-SSD smooth; KV-SSD drops sharply at "
+      "25 KiB and 49 KiB (one more page per blob), recovering between.\n\n");
+  auto kv_at = [&](u32 kib) {
+    return kv_pts[(size_t)(kib - 16)].second;
+  };
+  auto blk_minmax = [&] {
+    double mn = 1e18, mx = 0;
+    for (auto [x, y] : blk_pts) {
+      mn = std::min(mn, y);
+      mx = std::max(mx, y);
+    }
+    return std::pair{mn, mx};
+  }();
+  check_shape(kv_at(25) < kv_at(24) * 0.75, "KV-SSD dip at 25 KiB");
+  check_shape(kv_at(49) < kv_at(48) * 0.75, "KV-SSD dip at 49 KiB");
+  check_shape(kv_at(48) > kv_at(26), "KV-SSD recovers between dips");
+  check_shape(blk_minmax.second < blk_minmax.first * 1.5,
+              "block-SSD bandwidth smooth across sizes");
+  return shape_exit();
+}

@@ -1,0 +1,153 @@
+// Fig. 6 reproduction: bandwidth timeline during random updates after an
+// 80% fill (16 B keys, 4 KiB values). (a) RocksDB on block-SSD shows no
+// device-GC dip (whole-SST TRIM keeps victims empty); (b) KV-SSD under
+// uniform-random updates and (c) under sliding-window pseudo-random
+// updates collapses into foreground GC.
+#include <memory>
+
+#include "bench_util.h"
+#include "common/ascii_plot.h"
+
+namespace kvbench {
+namespace {
+
+constexpr u32 kKeyBytes = 16;
+constexpr u32 kValueBytes = 4 * KiB;
+constexpr u32 kQd = 64;
+
+struct Timeline {
+  harness::RunResult result;
+  u64 gc_runs = 0, fg_gc = 0;
+  u64 migrated = 0;
+  double waf = 0;
+};
+
+void print_timeline(const char* label, const Timeline& tl) {
+  std::printf("\n%s: %llu updates in %s, mean %s MiB/s, min-window %s "
+              "MiB/s\n  device GC: %llu runs, %llu host-write waits, "
+              "%s migrated, WAF %.2f\n",
+              label, (unsigned long long)tl.result.ops,
+              format_time_ns((double)tl.result.elapsed).c_str(),
+              mibs(tl.result.bandwidth_bytes_per_sec()).c_str(),
+              mibs(tl.result.bw.min_bytes_per_sec()).c_str(),
+              (unsigned long long)tl.gc_runs, (unsigned long long)tl.fg_gc,
+              format_bytes((double)tl.migrated).c_str(), tl.waf);
+  // Timeline chart: mean bandwidth over ~64 equal spans of the run.
+  const auto& w = tl.result.bw;
+  const size_t stride = std::max<size_t>(1, w.num_windows() / 64);
+  std::vector<std::pair<double, double>> pts;
+  for (size_t i = 0; i + 1 < w.num_windows(); i += stride) {
+    double sum = 0;
+    size_t n = 0;
+    for (size_t j = i; j < std::min(i + stride, w.num_windows()); ++j, ++n)
+      sum += w.bytes_per_sec(j);
+    pts.emplace_back((double)(i * w.window()) / (double)kSec,
+                     sum / (double)std::max<size_t>(1, n) / (double)MiB);
+  }
+  AsciiChart chart(72, 12);
+  chart.set_y_floor(0);
+  chart.set_axis_labels("time (s)", "update bandwidth (MiB/s)");
+  chart.add_series(label, pts, '*');
+  std::printf("%s", chart.render().c_str());
+}
+
+Timeline run_kvssd(wl::Pattern pattern) {
+  const ssd::SsdConfig dev = device_gib(2);
+  harness::KvssdBed bed(kvssd_cfg(dev, 2'000'000));
+  // 80% of the data-slot capacity (4 KiB values -> 4 slots each).
+  const u64 keys = bed.ftl().max_kvp_capacity() * 8 / 10 / 4;
+  std::printf("  [KV-SSD fill: %llu keys]\n", (unsigned long long)keys);
+  (void)harness::fill_stack(bed, keys, kKeyBytes, kValueBytes, 128);
+  const u64 gc0 = bed.ftl().stats().gc_runs;
+  const u64 fg0 = bed.ftl().stats().gc_foreground_runs;
+  const u64 mig0 = bed.ftl().stats().gc_migrated_bytes;
+
+  wl::WorkloadSpec spec;
+  spec.num_ops = keys;  // rewrite the same volume, as in the paper
+  spec.key_space = keys;
+  spec.key_bytes = kKeyBytes;
+  spec.value_bytes = kValueBytes;
+  spec.pattern = pattern;
+  spec.window = keys / 50;
+  spec.mix = wl::OpMix::update_only();
+  spec.queue_depth = kQd;
+  Timeline tl;
+  tl.result = run_workload(bed, spec, true);
+  tl.gc_runs = bed.ftl().stats().gc_runs - gc0;
+  tl.fg_gc = bed.ftl().stats().gc_foreground_runs - fg0;
+  tl.migrated = bed.ftl().stats().gc_migrated_bytes - mig0;
+  tl.waf = bed.ftl().stats().waf();
+  return tl;
+}
+
+Timeline run_rocksdb() {
+  const ssd::SsdConfig dev = device_gib(2);
+  harness::LsmBedConfig lcfg = lsm_cfg(dev);
+  // Level sizing proportionate to the 2 GiB device (as RocksDB's defaults
+  // are to a 3.84 TB one) so compaction depth matches the paper's setup.
+  lcfg.lsm.memtable_bytes = 32 * MiB;
+  lcfg.lsm.l1_target_bytes = 128 * MiB;
+  lcfg.lsm.sst_target_bytes = 32 * MiB;
+  harness::LsmBed bed(lcfg);
+  const u64 keys =
+      (u64)((double)dev.geometry.raw_capacity_bytes() * 0.8 * 0.8) /
+      (kKeyBytes + kValueBytes);
+  std::printf("  [RocksDB fill: %llu keys]\n", (unsigned long long)keys);
+  (void)harness::fill_stack(bed, keys, kKeyBytes, kValueBytes, 128);
+  const u64 gc0 = bed.ftl().stats().gc_runs;
+  const u64 fg0 = bed.ftl().stats().gc_foreground_runs;
+  const u64 mig0 = bed.ftl().stats().gc_migrated_bytes;
+
+  wl::WorkloadSpec spec;
+  spec.num_ops = keys;
+  spec.key_space = keys;
+  spec.key_bytes = kKeyBytes;
+  spec.value_bytes = kValueBytes;
+  spec.pattern = wl::Pattern::kUniform;
+  spec.mix = wl::OpMix::update_only();
+  spec.queue_depth = kQd;
+  Timeline tl;
+  tl.result = run_workload(bed, spec, true);
+  tl.gc_runs = bed.ftl().stats().gc_runs - gc0;
+  tl.fg_gc = bed.ftl().stats().gc_foreground_runs - fg0;
+  tl.migrated = bed.ftl().stats().gc_migrated_bytes - mig0;
+  tl.waf = bed.ftl().stats().waf();
+  return tl;
+}
+
+}  // namespace
+}  // namespace kvbench
+
+int main() {
+  using namespace kvbench;
+  print_header("Fig 6",
+               "foreground GC under random updates after 80% fill");
+
+  const Timeline rdb = run_rocksdb();
+  print_timeline("(a) RocksDB on block-SSD, uniform updates", rdb);
+
+  const Timeline kv_uni = run_kvssd(wl::Pattern::kUniform);
+  print_timeline("(b) KV-SSD, uniform updates", kv_uni);
+
+  const Timeline kv_win = run_kvssd(wl::Pattern::kSlidingWindow);
+  print_timeline("(c) KV-SSD, sliding-window updates", kv_win);
+
+  std::printf(
+      "\nExpected shape (paper): (a) steady bandwidth, device GC idle "
+      "(LSM TRIMs whole SSTs); (b)/(c) bandwidth collapses under "
+      "foreground GC (min-window << mean), WAF >> 1.\n\n");
+  check_shape(rdb.waf < kv_uni.waf * 0.75,
+              "device WAF: whole-SST TRIM keeps block GC far cheaper");
+  check_shape(rdb.waf < 1.5,
+              "RocksDB-side device GC near-free (WAF ~1)");
+  check_shape(kv_uni.fg_gc > 1000, "KV-SSD host writes wait on GC (b)");
+  check_shape(kv_win.fg_gc > 1000, "KV-SSD host writes wait on GC (c)");
+  check_shape(kv_uni.waf > 1.5, "KV-SSD GC write amplification (b)");
+  check_shape(kv_uni.result.bw.min_bytes_per_sec() <
+                  kv_uni.result.bandwidth_bytes_per_sec() * 0.3,
+              "KV-SSD bandwidth collapses intermittently (b)");
+  check_shape(kv_win.result.bw.min_bytes_per_sec() <
+                  kv_win.result.bandwidth_bytes_per_sec() * 0.3,
+              "KV-SSD bandwidth collapses intermittently (c)");
+  return shape_exit();
+}

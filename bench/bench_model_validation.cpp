@@ -1,0 +1,105 @@
+// Validation of the analytical KV-SSD model (src/model) against the
+// discrete-event simulator: per-configuration predicted vs simulated
+// throughput and latency. The model's asymptotic bounds should track the
+// simulator within ~2x across regimes (value size, queue depth, index
+// occupancy), which is what makes it usable for workload design — the
+// paper's stated goal for such a model.
+#include "bench_util.h"
+#include "model/kvssd_model.h"
+
+namespace kvbench {
+namespace {
+
+constexpr u64 kOps = 25'000;
+constexpr u32 kKeyBytes = 16;
+
+struct Obs {
+  double sim_kops, model_kops;
+  double sim_us, model_us;
+};
+
+Obs observe(u32 value_bytes, u32 qd, bool read, u64 resident_kvps,
+            u64 index_dram) {
+  harness::KvssdBedConfig cfg = kvssd_cfg(device_gib(4), resident_kvps + kOps);
+  cfg.ftl.index.dram_bytes = index_dram;
+  harness::KvssdBed bed(cfg);
+  (void)harness::fill_stack(bed, std::max<u64>(resident_kvps, kOps),
+                            kKeyBytes, value_bytes, 128);
+
+  wl::WorkloadSpec spec;
+  spec.num_ops = kOps;
+  spec.key_space = std::max<u64>(resident_kvps, kOps);
+  spec.key_bytes = kKeyBytes;
+  spec.value_bytes = value_bytes;
+  spec.pattern = wl::Pattern::kUniform;
+  spec.queue_depth = qd;
+  spec.mix = read ? wl::OpMix::read_only() : wl::OpMix::update_only();
+  const harness::RunResult r = harness::run_workload(bed, spec, true);
+
+  model::ModelInput in;
+  in.dev = cfg.dev;
+  in.ftl = cfg.ftl;
+  in.nvme = cfg.nvme;
+  in.key_bytes = kKeyBytes;
+  in.value_bytes = value_bytes;
+  in.queue_depth = qd;
+  in.is_read = read;
+  in.kvp_count = spec.key_space;
+  in.fill_fraction =
+      (double)bed.ftl().live_slots() / (double)bed.ftl().max_kvp_capacity();
+  in.update_fraction = read ? 0.0 : 1.0;
+  const model::ModelOutput m = model::predict(in);
+
+  const auto& h = read ? r.read : r.update;
+  return Obs{r.throughput_ops_per_sec() / 1000.0,
+             m.throughput_ops_per_sec / 1000.0, h.mean() / 1000.0,
+             m.mean_latency_ns / 1000.0};
+}
+
+}  // namespace
+}  // namespace kvbench
+
+int main() {
+  using namespace kvbench;
+  print_header("Model", "analytical model vs simulator");
+
+  Table t({"config", "sim kops", "model kops", "x", "sim us", "model us",
+           "x"});
+  struct Case {
+    const char* name;
+    u32 value;
+    u32 qd;
+    bool read;
+    u64 resident;
+    u64 dram;
+  };
+  const Case cases[] = {
+      {"write 4K QD1", 4096, 1, false, 0, 16 * MiB},
+      {"write 4K QD64", 4096, 64, false, 0, 16 * MiB},
+      {"write 512B QD64", 512, 64, false, 0, 16 * MiB},
+      {"write 64K QD8", 64 * 1024, 8, false, 0, 16 * MiB},
+      {"read 4K QD1", 4096, 1, true, 0, 16 * MiB},
+      {"read 4K QD64", 4096, 64, true, 0, 16 * MiB},
+      {"read 512B QD8 spilled-index", 512, 8, true, 700'000, 8 * MiB},
+      {"write 512B QD8 spilled-index", 512, 8, false, 700'000, 8 * MiB},
+  };
+  bool all_in_band = true;
+  for (const Case& c : cases) {
+    const Obs o = observe(c.value, c.qd, c.read, c.resident, c.dram);
+    const double lr = o.model_us / o.sim_us;
+    all_in_band = all_in_band && lr > 1.0 / 3.0 && lr < 3.0;
+    t.add_row({c.name, Table::num(o.sim_kops, 1), Table::num(o.model_kops, 1),
+               ratio(o.model_kops, o.sim_kops), Table::num(o.sim_us, 1),
+               Table::num(o.model_us, 1), ratio(o.model_us, o.sim_us)});
+    std::fflush(stdout);
+  }
+  std::printf("%s", t.render().c_str());
+  save_csv("model_validation", t);
+  std::printf(
+      "\nReading: 'x' columns are model/simulator ratios; the asymptotic-"
+      "bound model should stay within roughly 0.5x-2x across regimes and "
+      "correctly rank configurations.\n\n");
+  check_shape(all_in_band,
+              "model latency within 3x of the simulator on every case");
+  return shape_exit();
+}

@@ -1,0 +1,95 @@
+// Google-benchmark microbenchmarks of the simulator's own hot paths:
+// event queue throughput, flash scheduling, index model, Bloom filter,
+// Zipf sampling, hashing, histogram recording. These bound how large an
+// experiment the simulator can run per wall-clock second.
+#include <benchmark/benchmark.h>
+
+#include "common/hash.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "flash/controller.h"
+#include "kvftl/bloom.h"
+#include "kvftl/index_model.h"
+#include "sim/event_queue.h"
+
+namespace {
+
+using namespace kvsim;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue eq;
+    u64 sink = 0;
+    for (int i = 0; i < 1000; ++i)
+      eq.schedule_at((TimeNs)(1000 - i), [&sink] { ++sink; });
+    eq.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_FlashControllerReads(benchmark::State& state) {
+  flash::FlashGeometry g;
+  flash::FlashTiming t;
+  for (auto _ : state) {
+    sim::EventQueue eq;
+    flash::FlashController ctl(eq, g, t);
+    for (u32 i = 0; i < 256; ++i)
+      ctl.read_page((flash::PageId)i * 977 % g.total_pages(), 4096, [] {});
+    eq.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_FlashControllerReads);
+
+void BM_IndexModelInsert(benchmark::State& state) {
+  kvftl::IndexModelConfig cfg;
+  cfg.dram_bytes = (u64)state.range(0);
+  kvftl::IndexModel idx(cfg);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx.on_insert(rng.next()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IndexModelInsert)->Arg(64 << 10)->Arg(16 << 20);
+
+void BM_BloomInsertQuery(benchmark::State& state) {
+  kvftl::CountingBloom bloom(100000);
+  Rng rng(2);
+  for (auto _ : state) {
+    const u64 k = rng.next();
+    bloom.insert(k);
+    benchmark::DoNotOptimize(bloom.may_contain(k));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomInsertQuery);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfGenerator z(10'000'000, 0.99);
+  Rng rng(3);
+  for (auto _ : state) benchmark::DoNotOptimize(z.next(rng));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_Hash64(benchmark::State& state) {
+  const std::string key(16, 'k');
+  for (auto _ : state) benchmark::DoNotOptimize(hash64(key));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Hash64);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  LatencyHistogram h;
+  Rng rng(4);
+  for (auto _ : state) h.record(rng.below(10'000'000));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+}  // namespace
+
+BENCHMARK_MAIN();

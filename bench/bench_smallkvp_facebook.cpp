@@ -1,0 +1,85 @@
+// §IV "host-side software stack" discussion bench: Facebook-scale tiny
+// KVPs (the paper cites Cao et al. [14]: average KVP sizes of 57-154 B)
+// against the KV-SSD's fixed 64 B NVMe commands and 1 KiB slot padding.
+// Quantifies (a) command-bytes overhead per KVP with and without the
+// compound-command proposal, (b) throughput, and (c) the space-
+// amplification bill — the combination behind the paper's conclusion
+// that KV-SSD should be avoided for "extremely low data size" writes.
+#include "bench_util.h"
+
+namespace kvbench {
+namespace {
+
+constexpr u64 kOps = 60'000;
+constexpr u32 kKeyBytes = 24;  // Facebook keys commonly exceed 16 B
+
+struct Result {
+  double kops;
+  double cmd_bytes_per_app_byte;
+  double space_amp;
+};
+
+Result run_fb(bool compound) {
+  harness::KvssdBedConfig cfg = kvssd_cfg(device_gib(2), kOps * 2);
+  cfg.nvme.compound_commands = compound;
+  harness::KvssdBed bed(cfg);
+  wl::WorkloadSpec spec;
+  spec.num_ops = kOps;
+  spec.key_space = kOps;
+  spec.key_bytes = kKeyBytes;
+  spec.value_bytes = 512;  // tail cap
+  spec.value_dist = wl::ValueDist::kFacebook;
+  spec.pattern = wl::Pattern::kUniform;
+  spec.mix = wl::OpMix::insert_only();
+  spec.distinct_inserts = true;
+  spec.queue_depth = 32;
+  const harness::RunResult r = harness::run_workload(bed, spec, true);
+
+  const u64 app = bed.ftl().app_bytes_live();
+  const u32 ncmds = compound ? 1 : 2;  // 24 B keys need two commands
+  return Result{r.throughput_ops_per_sec() / 1000.0,
+                (double)(kOps * ncmds * 64) / (double)app,
+                (double)bed.device_bytes_used() / (double)app};
+}
+
+}  // namespace
+}  // namespace kvbench
+
+int main() {
+  using namespace kvbench;
+  print_header("SmallKVP",
+               "Facebook-sized KVPs (57-154 B avg) on the KV command set");
+  std::printf("%llu inserts, %u B keys, heavy-tailed ~110 B values, QD 32\n",
+              (unsigned long long)kOps, kKeyBytes);
+
+  const Result base = run_fb(false);
+  const Result comp = run_fb(true);
+
+  Table t({"command set", "kops/s", "NVMe cmd bytes / app byte",
+           "space amp"});
+  t.add_row({"64 B commands, 2 per op (device default)",
+             Table::num(base.kops, 1),
+             Table::num(base.cmd_bytes_per_app_byte, 2),
+             Table::num(base.space_amp, 2)});
+  t.add_row({"compound commands [10]", Table::num(comp.kops, 1),
+             Table::num(comp.cmd_bytes_per_app_byte, 2),
+             Table::num(comp.space_amp, 2)});
+  std::printf("%s", t.render().c_str());
+  save_csv("smallkvp_facebook", t);
+  std::printf(
+      "\nReading (paper Sec. IV): for ~100 B KVPs the command stream "
+      "itself approaches the size of the data ('a waste of critical "
+      "system resources'), compound commands halve it and lift "
+      "throughput, and the 1 KiB slot padding still costs ~%0.0fx space — "
+      "which is why the paper's conclusion steers tiny-value write-heavy "
+      "workloads away from KV-SSD.\n",
+      base.space_amp);
+  std::printf("\n");
+  check_shape(comp.kops > base.kops * 1.3,
+              "compound commands lift small-KVP throughput");
+  check_shape(base.cmd_bytes_per_app_byte > 0.4,
+              "command stream comparable to the data itself");
+  check_shape(base.space_amp > 4.0,
+              "1 KiB padding dominates space for ~100 B KVPs");
+  return shape_exit();
+}

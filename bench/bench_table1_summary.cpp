@@ -1,0 +1,177 @@
+// "Table 1" reproduction: the headline ratios quoted in the paper's
+// introduction, measured on the simulated stacks:
+//   * host CPU utilization: KV-SSD vs RocksDB (~13x lower) and Aerospike;
+//   * device bandwidth, 4 KiB random: KV-SSD as low as 0.44x (reads) and
+//     0.22x (writes) of block-SSD direct I/O;
+//   * direct I/O latency: KV-SSD up to 2.63x (writes) / 8.1x (reads) of
+//     block-SSD;
+//   * end-to-end latency: KV-SSD up to 23.08x better inserts than RocksDB
+//     and 3.64x better updates than Aerospike.
+#include <memory>
+
+#include "bench_util.h"
+
+namespace kvbench {
+namespace {
+
+constexpr u64 kOps = 50'000;
+constexpr u32 kKeyBytes = 16;
+constexpr u32 kValueBytes = 4 * KiB;
+constexpr u32 kQd = 64;
+
+struct E2e {
+  double insert_p99_us;
+  double update_p99_us;
+  double cpu_us_per_op;
+};
+
+E2e run_e2e(harness::KvStack& stack) {
+  wl::WorkloadSpec spec;
+  spec.num_ops = kOps;
+  spec.key_space = kOps;
+  spec.key_bytes = kKeyBytes;
+  spec.value_bytes = kValueBytes;
+  spec.pattern = wl::Pattern::kUniform;
+  spec.queue_depth = kQd;
+  spec.mix = wl::OpMix::insert_only();
+  const auto ins = run_workload(stack, spec, true);
+  (void)harness::fill_stack(stack, kOps, kKeyBytes, kValueBytes, 128, 9);
+  spec.mix = wl::OpMix::update_only();
+  spec.seed = 5;
+  const auto upd = run_workload(stack, spec, true);
+  return {(double)ins.insert.percentile(0.99) / 1000.0,
+          (double)upd.update.percentile(0.99) / 1000.0,
+          (double)(ins.host_cpu_ns + upd.host_cpu_ns) /
+              (double)(ins.ops + upd.ops) / 1000.0};
+}
+
+}  // namespace
+}  // namespace kvbench
+
+int main() {
+  using namespace kvbench;
+  print_header("Table 1", "headline ratios from the paper's introduction");
+
+  // --- end-to-end stacks ----------------------------------------------------
+  const ssd::SsdConfig dev = device_gib(4);
+  harness::KvssdBed kv(kvssd_cfg(dev, kOps * 2));
+  harness::LsmBed rdb(lsm_cfg(dev));
+  harness::HashKvBed as(hashkv_cfg(dev));
+  const E2e kv_r = run_e2e(kv);
+  const E2e rdb_r = run_e2e(rdb);
+  const E2e as_r = run_e2e(as);
+
+  Table e2e({"stack", "insert p99 us", "update p99 us", "host CPU us/op"});
+  e2e.add_row({"KV-SSD", Table::num(kv_r.insert_p99_us, 1),
+               Table::num(kv_r.update_p99_us, 1),
+               Table::num(kv_r.cpu_us_per_op, 2)});
+  e2e.add_row({"RocksDB", Table::num(rdb_r.insert_p99_us, 1),
+               Table::num(rdb_r.update_p99_us, 1),
+               Table::num(rdb_r.cpu_us_per_op, 2)});
+  e2e.add_row({"Aerospike", Table::num(as_r.insert_p99_us, 1),
+               Table::num(as_r.update_p99_us, 1),
+               Table::num(as_r.cpu_us_per_op, 2)});
+  std::printf("%s", e2e.render().c_str());
+  save_csv("table1_e2e", e2e);
+
+  std::printf("\nratios (paper targets in parentheses):\n");
+  std::printf("  CPU: RocksDB / KV-SSD            = %s (paper: ~13x)\n",
+              ratio(rdb_r.cpu_us_per_op, kv_r.cpu_us_per_op).c_str());
+  std::printf("  CPU: Aerospike / KV-SSD          = %s (paper: much lower "
+              "reduction than vs RocksDB)\n",
+              ratio(as_r.cpu_us_per_op, kv_r.cpu_us_per_op).c_str());
+  std::printf("  insert p99: RocksDB / KV-SSD     = %s (paper: up to 23.08x)\n",
+              ratio(rdb_r.insert_p99_us, kv_r.insert_p99_us).c_str());
+  std::printf("  update p99: Aerospike / KV-SSD   = %s (paper: up to 3.64x)\n",
+              ratio(as_r.update_p99_us, kv_r.update_p99_us).c_str());
+
+  // --- direct I/O: 4 KiB random, KV vs block, at QD 1 and QD 64 -------------
+  struct Direct {
+    harness::RunResult w, r;
+  };
+  auto kv_direct = [&](u32 qd) {
+    harness::KvssdBed kvd(kvssd_cfg(dev, kOps * 2));
+    wl::WorkloadSpec spec;
+    spec.num_ops = kOps;
+    spec.key_space = kOps;
+    spec.key_bytes = kKeyBytes;
+    spec.value_bytes = kValueBytes;
+    spec.pattern = wl::Pattern::kUniform;
+    spec.queue_depth = qd;
+    spec.mix = wl::OpMix::insert_only();
+    Direct d;
+    d.w = run_workload(kvd, spec, true);
+    (void)harness::fill_stack(kvd, kOps, kKeyBytes, kValueBytes, 128, 9);
+    spec.mix = wl::OpMix::read_only();
+    spec.seed = 1234;  // independent of the write sequence
+    d.r = run_workload(kvd, spec, true);
+    return d;
+  };
+  auto blk_direct = [&](u32 qd) {
+    harness::BlockBedConfig bcfg;
+    bcfg.dev = dev;
+    harness::BlockDirectBed blk(bcfg);
+    harness::BlockRunSpec bspec;
+    bspec.num_ops = kOps;
+    bspec.io_bytes = kValueBytes;
+    bspec.span_bytes = (u64)kOps * kValueBytes;
+    bspec.queue_depth = qd;
+    bspec.op = harness::BlockOp::kWrite;
+    Direct d;
+    d.w = run_block(blk.eq(), blk.device(), bspec, true);
+    bspec.op = harness::BlockOp::kRead;
+    bspec.seed = 1234;  // independent of the write sequence
+    d.r = run_block(blk.eq(), blk.device(), bspec, true);
+    return d;
+  };
+
+  double qd1_w_ratio = 0, qd1_r_ratio = 0, qd64_w_ratio = 0;
+  for (u32 qd : {1u, kQd}) {
+    const Direct kvd = kv_direct(qd);
+    const Direct bld = blk_direct(qd);
+    if (qd == 1) {
+      qd1_w_ratio = kvd.w.insert.mean() / bld.w.insert.mean();
+      qd1_r_ratio = kvd.r.read.mean() / bld.r.read.mean();
+    } else {
+      qd64_w_ratio = kvd.w.insert.mean() / bld.w.insert.mean();
+    }
+    Table direct({"metric", "KV-SSD", "block-SSD", "KV/block"});
+    direct.add_row({"4K rand write MiB/s",
+                    mibs(kvd.w.bandwidth_bytes_per_sec()),
+                    mibs(bld.w.bandwidth_bytes_per_sec()),
+                    ratio(kvd.w.bandwidth_bytes_per_sec(),
+                          bld.w.bandwidth_bytes_per_sec())});
+    direct.add_row({"4K rand read MiB/s",
+                    mibs(kvd.r.bandwidth_bytes_per_sec()),
+                    mibs(bld.r.bandwidth_bytes_per_sec()),
+                    ratio(kvd.r.bandwidth_bytes_per_sec(),
+                          bld.r.bandwidth_bytes_per_sec())});
+    direct.add_row({"4K rand write mean us", us(kvd.w.insert.mean()),
+                    us(bld.w.insert.mean()),
+                    ratio(kvd.w.insert.mean(), bld.w.insert.mean())});
+    direct.add_row({"4K rand read mean us", us(kvd.r.read.mean()),
+                    us(bld.r.read.mean()),
+                    ratio(kvd.r.read.mean(), bld.r.read.mean())});
+    std::printf("\ndirect I/O, 4 KiB random, QD %u (paper headline, "
+                "low-concurrency regime: bandwidth as low as 0.44x read / "
+                "0.22x write; latency up to 8.1x read / 2.63x write; at "
+                "high QD the Fig. 4 crossover favors KV-SSD):\n%s",
+                qd, direct.render().c_str());
+  }
+
+  std::printf("\n");
+  check_shape(rdb_r.cpu_us_per_op / kv_r.cpu_us_per_op > 5.0,
+              "host CPU: RocksDB many-fold above KV-SSD (paper ~13x)");
+  check_shape(as_r.cpu_us_per_op / kv_r.cpu_us_per_op <
+                  rdb_r.cpu_us_per_op / kv_r.cpu_us_per_op / 2,
+              "Aerospike CPU gap much smaller than RocksDB's");
+  check_shape(rdb_r.insert_p99_us / kv_r.insert_p99_us > 3.0,
+              "insert p99: RocksDB multiples above KV-SSD (paper to 23x)");
+  check_shape(as_r.update_p99_us / kv_r.update_p99_us > 1.2,
+              "update p99: Aerospike above KV-SSD (paper to 3.64x)");
+  check_shape(qd1_w_ratio > 1.0 && qd1_r_ratio > 1.0,
+              "direct I/O QD1: KV-SSD slower both ways");
+  check_shape(qd64_w_ratio < 1.0,
+              "direct I/O QD64: KV-SSD write crossover (Fig. 4)");
+  return shape_exit();
+}

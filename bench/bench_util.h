@@ -1,0 +1,98 @@
+// Shared configuration and reporting helpers for the per-figure experiment
+// binaries. Every bench scales the paper's 3.84 TB PM983 experiments down
+// to simulator-friendly device sizes while preserving the occupancy ratios
+// and regime boundaries that drive each figure (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/table.h"
+#include "harness/runner.h"
+#include "harness/stacks.h"
+
+namespace kvbench {
+
+using namespace kvsim;  // NOLINT: bench binaries read better unqualified
+
+// --- scaled devices ---------------------------------------------------------
+
+inline ssd::SsdConfig device_gib(u32 gib) {
+  ssd::SsdConfig d = ssd::SsdConfig::standard_device();  // 16 GiB
+  // Scale by trimming blocks per plane (keeps parallelism identical).
+  d.geometry.blocks_per_plane = 64 * gib / 16;
+  if (d.geometry.blocks_per_plane == 0) d.geometry.blocks_per_plane = 4;
+  return d;
+}
+
+// --- stack configurations (the paper's three setups) ------------------------
+
+inline harness::KvssdBedConfig kvssd_cfg(const ssd::SsdConfig& dev,
+                                         u64 expected_keys) {
+  harness::KvssdBedConfig c;
+  c.dev = dev;
+  c.ftl.expected_keys_hint = expected_keys;
+  c.ftl.track_iterator_keys = false;  // memory-light mode for large fills
+  c.ftl.index.dram_bytes = 16 * MiB;
+  return c;
+}
+
+inline harness::LsmBedConfig lsm_cfg(const ssd::SsdConfig& dev) {
+  harness::LsmBedConfig c;
+  c.dev = dev;
+  c.lsm.block_cache_bytes = 10 * MiB;  // the paper's 10 MB block cache
+  return c;
+}
+
+inline harness::HashKvBedConfig hashkv_cfg(const ssd::SsdConfig& dev) {
+  harness::HashKvBedConfig c;
+  c.dev = dev;
+  return c;
+}
+
+// --- formatting --------------------------------------------------------------
+
+inline std::string us(double ns) { return Table::num(ns / 1000.0, 1); }
+inline std::string mibs(double bytes_per_sec) {
+  return Table::num(bytes_per_sec / (double)MiB, 1);
+}
+inline std::string ratio(double a, double b) {
+  return b > 0 ? Table::num(a / b, 2) + "x" : "-";
+}
+
+inline void print_header(const char* exp_id, const char* title) {
+  std::printf("\n=== %s: %s ===\n", exp_id, title);
+}
+
+/// Shape assertions: each figure bench checks the paper's qualitative
+/// claims against its own measurements and exits nonzero on regression,
+/// so `for b in build/bench/*; do $b; done` doubles as a reproduction
+/// verifier.
+inline int g_shape_failures = 0;
+
+inline void check_shape(bool ok, const char* claim) {
+  std::printf("[shape %s] %s\n", ok ? "PASS" : "FAIL", claim);
+  if (!ok) ++g_shape_failures;
+}
+
+inline int shape_exit() {
+  if (g_shape_failures)
+    std::printf("\n%d shape check(s) FAILED\n", g_shape_failures);
+  return g_shape_failures ? 1 : 0;
+}
+
+/// Persist a result table as results/<name>.csv (the repository's
+/// equivalent of the paper's public data release).
+inline void save_csv(const std::string& name, const Table& t) {
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);
+  std::ofstream out("results/" + name + ".csv");
+  if (out) {
+    out << t.to_csv();
+    std::printf("[csv] results/%s.csv\n", name.c_str());
+  }
+}
+
+}  // namespace kvbench

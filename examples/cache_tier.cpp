@@ -1,0 +1,77 @@
+// Object-cache tier scenario: a read-heavy, highly concurrent 4 KiB
+// object store — the workload class the paper identifies as KV-SSD's
+// sweet spot ("better performance for random, read-heavy, and highly
+// concurrent workloads"). Sweeps queue depth and compares the KV-SSD
+// against Aerospike-on-block-SSD, showing where device-side KV handling
+// wins and where the host-side hash store does.
+#include <cstdio>
+#include <memory>
+
+#include "harness/runner.h"
+#include "harness/stacks.h"
+
+using namespace kvsim;
+
+namespace {
+
+constexpr u64 kObjects = 100'000;
+constexpr u32 kObjBytes = 4 * KiB;
+
+struct Point {
+  double kops;
+  double p50_us;
+  double p99_us;
+};
+
+Point read_sweep(harness::KvStack& stack, u32 qd, u64 seed) {
+  wl::WorkloadSpec spec;
+  spec.num_ops = 60'000;
+  spec.key_space = kObjects;
+  spec.key_bytes = 24;  // object digests: needs 2 NVMe commands on KV-SSD
+  spec.value_bytes = kObjBytes;
+  spec.pattern = wl::Pattern::kZipfian;  // hot objects
+  spec.mix = wl::OpMix::read_only();
+  spec.queue_depth = qd;
+  spec.seed = seed;
+  const harness::RunResult r = harness::run_workload(stack, spec);
+  return {r.throughput_ops_per_sec() / 1000.0,
+          (double)r.read.percentile(0.5) / 1000.0,
+          (double)r.read.percentile(0.99) / 1000.0};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Cache tier: %llu x 4 KiB objects, Zipfian reads, "
+              "QD sweep (KV-SSD vs Aerospike/block-SSD)\n\n",
+              (unsigned long long)kObjects);
+
+  harness::KvssdBedConfig kcfg;
+  kcfg.ftl.expected_keys_hint = kObjects * 2;
+  kcfg.ftl.track_iterator_keys = false;
+  harness::KvssdBed kvssd(kcfg);
+  harness::HashKvBedConfig acfg;
+  harness::HashKvBed aero(acfg);
+
+  std::printf("populating both tiers...\n");
+  (void)harness::fill_stack(kvssd, kObjects, 24, kObjBytes, 128);
+  (void)harness::fill_stack(aero, kObjects, 24, kObjBytes, 128);
+
+  std::printf("\n%-6s | %28s | %28s\n", "QD", "KV-SSD kops (p50/p99 us)",
+              "Aerospike kops (p50/p99 us)");
+  for (u32 qd : {1u, 4u, 16u, 64u, 128u}) {
+    const Point kv = read_sweep(kvssd, qd, qd);
+    const Point as = read_sweep(aero, qd, qd);
+    std::printf("%-6u | %8.1f (%6.1f /%7.1f) | %8.1f (%6.1f /%7.1f)\n", qd,
+                kv.kops, kv.p50_us, kv.p99_us, as.kops, as.p50_us,
+                as.p99_us);
+  }
+
+  std::printf(
+      "\nTakeaway: at low QD the host-side hash store wins (one device "
+      "read, no key-handling detour); as concurrency grows the KV-SSD "
+      "closes in by spreading key handling over its index managers — but "
+      "24 B keys cost it a second NVMe command per op (paper Fig. 8), so "
+      "16 B object digests would serve it better.\n");
+  return 0;
+}

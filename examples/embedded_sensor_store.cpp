@@ -1,0 +1,89 @@
+// Embedded / IoT scenario from the paper's introduction: a resource-
+// limited gateway logs small sensor readings and periodically serves
+// lookups. We run the same ingest+query workload on a KV-SSD and on
+// RocksDB-over-block-SSD and compare what matters on an embedded CPU:
+// host CPU time per operation, latency, and the space-amplification bill
+// KV-SSD pays for tiny records (paper Figs. 2/7, conclusions).
+#include <cstdio>
+#include <memory>
+
+#include "harness/runner.h"
+#include "harness/stacks.h"
+
+using namespace kvsim;
+
+namespace {
+
+struct Report {
+  double cpu_us_per_op;
+  double insert_p99_us;
+  double read_p99_us;
+  double space_amp;
+};
+
+Report run_gateway(harness::KvStack& stack, bool lsm) {
+  // Phase 1: ingest 200k small readings (64 B payload, 20 B keys).
+  wl::WorkloadSpec ingest;
+  ingest.num_ops = 200'000;
+  ingest.key_space = 200'000;
+  ingest.key_bytes = 20;
+  ingest.value_bytes = 64;
+  ingest.pattern = wl::Pattern::kSequential;  // time-ordered sensor keys
+  ingest.mix = wl::OpMix::insert_only();
+  ingest.queue_depth = 16;  // a small embedded submission queue
+  const harness::RunResult ing = harness::run_workload(stack, ingest, true);
+  if (lsm) stack.add_app_bytes((i64)(ingest.num_ops * (20 + 64)));
+
+  // Phase 2: dashboard queries — Zipfian reads over the readings.
+  wl::WorkloadSpec query = ingest;
+  query.num_ops = 50'000;
+  query.pattern = wl::Pattern::kZipfian;
+  query.mix = wl::OpMix::read_only();
+  const harness::RunResult q = harness::run_workload(stack, query, true);
+
+  Report r;
+  r.cpu_us_per_op = (double)(ing.host_cpu_ns + q.host_cpu_ns) /
+                    (double)(ing.ops + q.ops) / 1000.0;
+  r.insert_p99_us = (double)ing.insert.percentile(0.99) / 1000.0;
+  r.read_p99_us = (double)q.read.percentile(0.99) / 1000.0;
+  r.space_amp =
+      (double)stack.device_bytes_used() / (double)stack.app_bytes_live();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Embedded sensor store: 200k x 64 B readings + 50k Zipf "
+              "queries on a 2 GiB device\n\n");
+
+  harness::KvssdBedConfig kcfg;
+  kcfg.dev.geometry.blocks_per_plane = 8;  // 2 GiB
+  kcfg.ftl.expected_keys_hint = 400'000;
+  harness::KvssdBed kvssd(kcfg);
+
+  harness::LsmBedConfig lcfg;
+  lcfg.dev.geometry.blocks_per_plane = 8;
+  harness::LsmBed rocksdb(lcfg);
+
+  const Report kv = run_gateway(kvssd, false);
+  const Report rdb = run_gateway(rocksdb, true);
+
+  std::printf("%-28s %12s %12s\n", "", "KV-SSD", "RocksDB/blk");
+  std::printf("%-28s %12.2f %12.2f\n", "host CPU us/op", kv.cpu_us_per_op,
+              rdb.cpu_us_per_op);
+  std::printf("%-28s %12.1f %12.1f\n", "insert p99 (us)", kv.insert_p99_us,
+              rdb.insert_p99_us);
+  std::printf("%-28s %12.1f %12.1f\n", "query p99 (us)", kv.read_p99_us,
+              rdb.read_p99_us);
+  std::printf("%-28s %12.2f %12.2f\n", "space amplification", kv.space_amp,
+              rdb.space_amp);
+
+  std::printf(
+      "\nTakeaway (matches the paper's conclusion): the KV-SSD frees the "
+      "small CPU — %0.1fx less host CPU per op — and inserts fast, but "
+      "64 B readings pay ~%0.0fx space amplification from 1 KiB padding; "
+      "batch tiny readings into >=1 KiB records before storing them.\n",
+      rdb.cpu_us_per_op / kv.cpu_us_per_op, kv.space_amp);
+  return 0;
+}

@@ -1,0 +1,131 @@
+// microbench: fio/KVBench-style command-line micro-benchmark over any of
+// the simulated devices — the tool used ad hoc throughout the paper's
+// methodology ("custom scripts that use either the KV API or IOCTL for
+// direct access").
+//
+//   ./build/examples/microbench <device> <op> [key_or_io_bytes] [value_bytes]
+//                               [pattern] [qd] [ops]
+//
+//   device : kvssd | block
+//   op     : write | read | update
+//   pattern: seq | rand | zipf | window
+//
+// Examples:
+//   ./build/examples/microbench kvssd write 16 4096 rand 64 50000
+//   ./build/examples/microbench block write 4096 - rand 1 30000
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "harness/runner.h"
+#include "harness/stacks.h"
+
+using namespace kvsim;
+
+namespace {
+
+wl::Pattern parse_pattern(const char* s) {
+  if (!std::strcmp(s, "seq")) return wl::Pattern::kSequential;
+  if (!std::strcmp(s, "zipf")) return wl::Pattern::kZipfian;
+  if (!std::strcmp(s, "window")) return wl::Pattern::kSlidingWindow;
+  return wl::Pattern::kUniform;
+}
+
+void report(const char* what, const harness::RunResult& r,
+            const LatencyHistogram& h) {
+  std::printf("%-8s: %8.1f kops/s  %8.1f MiB/s  mean %9s  p50 %9s  "
+              "p99 %9s  max %9s\n",
+              what, r.throughput_ops_per_sec() / 1000.0,
+              r.bandwidth_bytes_per_sec() / (double)MiB,
+              format_time_ns(h.mean()).c_str(),
+              format_time_ns((double)h.percentile(0.5)).c_str(),
+              format_time_ns((double)h.percentile(0.99)).c_str(),
+              format_time_ns((double)h.max()).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string device = argc > 1 ? argv[1] : "kvssd";
+  const std::string op = argc > 2 ? argv[2] : "write";
+  const u32 arg3 = argc > 3 && std::strcmp(argv[3], "-")
+                       ? (u32)std::strtoul(argv[3], nullptr, 10)
+                       : 16;
+  const u32 value_bytes = argc > 4 && std::strcmp(argv[4], "-")
+                              ? (u32)std::strtoul(argv[4], nullptr, 10)
+                              : 4096;
+  const wl::Pattern pattern = parse_pattern(argc > 5 ? argv[5] : "rand");
+  const u32 qd = argc > 6 ? (u32)std::strtoul(argv[6], nullptr, 10) : 32;
+  const u64 ops = argc > 7 ? std::strtoull(argv[7], nullptr, 10) : 50'000;
+
+  if (device == "block") {
+    // Raw block device: arg3 is the I/O size.
+    harness::BlockBedConfig cfg;
+    harness::BlockDirectBed bed(cfg);
+    harness::BlockRunSpec spec;
+    spec.num_ops = ops;
+    spec.io_bytes = arg3;
+    spec.span_bytes = ops * arg3;
+    spec.sequential = pattern == wl::Pattern::kSequential;
+    spec.queue_depth = qd;
+    spec.op = op == "read" ? harness::BlockOp::kRead
+                           : harness::BlockOp::kWrite;
+    if (spec.op == harness::BlockOp::kRead) {
+      harness::BlockRunSpec fill = spec;
+      fill.op = harness::BlockOp::kWrite;
+      fill.queue_depth = 64;
+      std::printf("prefilling %s...\n",
+                  format_bytes((double)(ops * arg3)).c_str());
+      (void)run_block(bed.eq(), bed.device(), fill, true);
+    }
+    std::printf("block %s, %u B I/O, %s, QD %u, %llu ops\n", op.c_str(),
+                arg3, argc > 5 ? argv[5] : "rand", qd,
+                (unsigned long long)ops);
+    const harness::RunResult r =
+        run_block(bed.eq(), bed.device(), spec, true);
+    report(op.c_str(),
+           r, spec.op == harness::BlockOp::kWrite ? r.insert : r.read);
+    std::printf("device: WAF %.2f, GC runs %llu\n", bed.ftl().stats().waf(),
+                (unsigned long long)bed.ftl().stats().gc_runs);
+    return 0;
+  }
+
+  // KV-SSD: arg3 is the key size.
+  harness::KvssdBedConfig cfg;
+  cfg.ftl.expected_keys_hint = ops * 2;
+  cfg.ftl.track_iterator_keys = false;
+  harness::KvssdBed bed(cfg);
+  wl::WorkloadSpec spec;
+  spec.num_ops = ops;
+  spec.key_space = ops;
+  spec.key_bytes = arg3;
+  spec.value_bytes = value_bytes;
+  spec.pattern = pattern;
+  spec.queue_depth = qd;
+  if (op == "write") {
+    spec.mix = wl::OpMix::insert_only();
+    spec.distinct_inserts = true;
+  } else if (op == "update") {
+    (void)harness::fill_stack(bed, ops, arg3, value_bytes, 128);
+    spec.mix = wl::OpMix::update_only();
+  } else {
+    (void)harness::fill_stack(bed, ops, arg3, value_bytes, 128);
+    spec.mix = wl::OpMix::read_only();
+  }
+  std::printf("kvssd %s, %u B keys, %u B values, %s, QD %u, %llu ops\n",
+              op.c_str(), arg3, value_bytes, argc > 5 ? argv[5] : "rand", qd,
+              (unsigned long long)ops);
+  const harness::RunResult r = harness::run_workload(bed, spec, true);
+  report(op.c_str(), r,
+         op == "read" ? r.read : (op == "update" ? r.update : r.insert));
+  const kvftl::KvFtl& ftl = bed.ftl();
+  std::printf("device: WAF %.2f, GC runs %llu, index hit %.3f, "
+              "space amp %.2f\n",
+              ftl.stats().waf(), (unsigned long long)ftl.stats().gc_runs,
+              ftl.index().hit_rate(),
+              ftl.app_bytes_live()
+                  ? (double)ftl.device_bytes_used() /
+                        (double)ftl.app_bytes_live()
+                  : 0.0);
+  return 0;
+}

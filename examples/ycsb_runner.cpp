@@ -1,0 +1,103 @@
+// ycsb_runner: command-line YCSB driver over the simulated stacks, with
+// per-op trace export — a research tool built from the public API.
+//
+//   ./build/examples/ycsb_runner [workload A-F] [kvssd|rocksdb|aerospike]
+//                                [records] [ops] [trace.csv]
+//
+// Examples:
+//   ./build/examples/ycsb_runner A kvssd
+//   ./build/examples/ycsb_runner C rocksdb 100000 50000 /tmp/c_rdb.csv
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "harness/runner.h"
+#include "harness/stacks.h"
+#include "workload/ycsb.h"
+
+using namespace kvsim;
+
+namespace {
+
+std::unique_ptr<harness::KvStack> make_stack(const std::string& which,
+                                             u64 records) {
+  ssd::SsdConfig dev = ssd::SsdConfig::standard_device();
+  if (which == "rocksdb") {
+    harness::LsmBedConfig c;
+    c.dev = dev;
+    return std::make_unique<harness::LsmBed>(c);
+  }
+  if (which == "aerospike") {
+    harness::HashKvBedConfig c;
+    c.dev = dev;
+    return std::make_unique<harness::HashKvBed>(c);
+  }
+  harness::KvssdBedConfig c;
+  c.dev = dev;
+  c.ftl.expected_keys_hint = records * 4;
+  c.ftl.track_iterator_keys = false;
+  return std::make_unique<harness::KvssdBed>(c);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char letter = argc > 1 ? (char)std::toupper(argv[1][0]) : 'A';
+  const std::string which = argc > 2 ? argv[2] : "kvssd";
+  const u64 records = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 50'000;
+  const u64 ops = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 40'000;
+  const char* trace_path = argc > 5 ? argv[5] : nullptr;
+
+  if (letter < 'A' || letter > 'F') {
+    std::fprintf(stderr, "workload must be A-F\n");
+    return 2;
+  }
+  const auto w = (wl::YcsbWorkload)(letter - 'A');
+
+  auto stack = make_stack(which, records);
+  const wl::YcsbRecordConfig rec;
+  std::printf("loading %llu x %u B records into %s...\n",
+              (unsigned long long)records, rec.value_bytes(), stack->name());
+  const harness::RunResult load =
+      harness::fill_stack(*stack, records, rec.key_bytes, rec.value_bytes(),
+                          128);
+  std::printf("load: %.1f kops/s, device %s used\n",
+              load.throughput_ops_per_sec() / 1000.0,
+              format_bytes((double)stack->device_bytes_used()).c_str());
+
+  wl::WorkloadSpec spec = wl::ycsb_spec(w, records, ops, rec);
+  spec.queue_depth = 32;
+  harness::TraceRecorder trace(ops);
+  std::printf("running %s (%llu ops, QD %u)...\n", wl::to_string(w),
+              (unsigned long long)ops, spec.queue_depth);
+  const harness::RunResult r =
+      harness::run_workload(*stack, spec, true, &trace);
+
+  std::printf("\n%s on %s:\n", wl::to_string(w), stack->name());
+  std::printf("  throughput : %.1f kops/s\n",
+              r.throughput_ops_per_sec() / 1000.0);
+  std::printf("  latency    : mean %s | p50 %s | p99 %s (exact: %s)\n",
+              format_time_ns(r.all.mean()).c_str(),
+              format_time_ns((double)r.all.percentile(0.5)).c_str(),
+              format_time_ns((double)r.all.percentile(0.99)).c_str(),
+              format_time_ns((double)trace.exact_percentile(0.99)).c_str());
+  std::printf("  host CPU   : %.2f us/op\n",
+              (double)r.host_cpu_ns / (double)r.ops / 1000.0);
+  if (r.not_found)
+    std::printf("  not-found  : %llu\n", (unsigned long long)r.not_found);
+  if (const auto* fs = stack->ftl_stats())
+    std::printf("  device     : WAF %.2f, GC runs %llu\n", fs->waf(),
+                (unsigned long long)fs->gc_runs);
+
+  if (trace_path) {
+    if (trace.write_csv(trace_path)) {
+      std::printf("  trace      : %zu records -> %s\n", trace.size(),
+                  trace_path);
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", trace_path);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Host-side block device: the NVMe block command path over the block FTL
+// (direct I/O — no page cache, matching the paper's methodology).
+#pragma once
+
+#include <functional>
+
+#include "blockftl/block_ftl.h"
+#include "nvme/nvme_link.h"
+
+namespace kvsim::blockapi {
+
+struct BlockApiConfig {
+  /// Host CPU work per I/O syscall (io_submit / pread on a raw device).
+  TimeNs syscall_ns = 1800;
+};
+
+class BlockDevice {
+ public:
+  using Done = blockftl::BlockFtl::Done;
+  using ReadDone = blockftl::BlockFtl::ReadDone;
+
+  BlockDevice(sim::EventQueue& eq, nvme::NvmeLink& link,
+              blockftl::BlockFtl& ftl, const BlockApiConfig& cfg = {})
+      : eq_(eq), link_(link), ftl_(ftl), cfg_(cfg) {}
+
+  void write(Lba lba, u32 bytes, u64 fp_base, Done done) {
+    api_cpu_ns_ += cfg_.syscall_ns;
+    link_.submit(1, bytes, [this, lba, bytes, fp_base,
+                            done = std::move(done)]() mutable {
+      ftl_.write(lba, bytes, fp_base, [this, done = std::move(done)](
+                                          Status s) mutable {
+        link_.complete(0, [s, done = std::move(done)] { done(s); });
+      });
+    });
+  }
+
+  void read(Lba lba, u32 bytes, ReadDone done) {
+    api_cpu_ns_ += cfg_.syscall_ns;
+    link_.submit(1, 0, [this, lba, bytes, done = std::move(done)]() mutable {
+      ftl_.read(lba, bytes, [this, bytes, done = std::move(done)](
+                                Status s, u64 fp) mutable {
+        link_.complete(bytes, [s, fp, done = std::move(done)] { done(s, fp); });
+      });
+    });
+  }
+
+  void trim(Lba lba, u64 bytes, Done done) {
+    api_cpu_ns_ += cfg_.syscall_ns;
+    link_.submit(1, 0, [this, lba, bytes, done = std::move(done)]() mutable {
+      ftl_.trim(lba, bytes, [this, done = std::move(done)](Status s) mutable {
+        link_.complete(0, [s, done = std::move(done)] { done(s); });
+      });
+    });
+  }
+
+  void flush(std::function<void()> done) { ftl_.flush(std::move(done)); }
+
+  u64 capacity_bytes() const { return ftl_.exported_bytes(); }
+  u64 host_cpu_ns() const { return api_cpu_ns_ + link_.host_cpu_ns(); }
+  blockftl::BlockFtl& ftl() { return ftl_; }
+  const blockftl::BlockFtl& ftl() const { return ftl_; }
+
+ private:
+  sim::EventQueue& eq_;
+  nvme::NvmeLink& link_;
+  blockftl::BlockFtl& ftl_;
+  BlockApiConfig cfg_;
+  u64 api_cpu_ns_ = 0;
+};
+
+}  // namespace kvsim::blockapi

@@ -1,0 +1,467 @@
+#include "blockftl/block_ftl.h"
+
+#include "common/hash.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace kvsim::blockftl {
+
+namespace {
+/// Countdown latch: runs `then` after `remaining` arrivals.
+struct Join {
+  int remaining;
+  std::function<void()> then;
+  void arrive() {
+    if (--remaining == 0) then();
+  }
+};
+using JoinPtr = std::shared_ptr<Join>;
+JoinPtr make_join(int n, std::function<void()> then) {
+  return std::make_shared<Join>(Join{n, std::move(then)});
+}
+}  // namespace
+
+namespace {
+void validate_block_cfg(const ssd::SsdConfig& dev,
+                        const BlockFtlConfig& cfg) {
+  dev.validate();
+  if (cfg.logical_page_bytes < 512 ||
+      dev.geometry.page_bytes % cfg.logical_page_bytes != 0)
+    throw std::invalid_argument(
+        "BlockFtlConfig: logical page must divide the flash page");
+  if (cfg.write_points == 0)
+    throw std::invalid_argument("BlockFtlConfig: need write points");
+}
+}  // namespace
+
+BlockFtl::BlockFtl(sim::EventQueue& eq, flash::FlashController& flash,
+                   const ssd::SsdConfig& dev, const BlockFtlConfig& cfg)
+    : eq_(eq),
+      flash_(flash),
+      geom_(dev.geometry),
+      cfg_(cfg),
+      alloc_(dev.geometry),
+      buffer_(eq, dev.write_buffer_bytes),
+      gc_reserved_blocks_(dev.gc_reserved_blocks),
+      gc_low_watermark_(dev.gc_low_watermark_blocks),
+      dispatch_ns_(dev.firmware_dispatch_ns) {
+  validate_block_cfg(dev, cfg_);
+  const u64 total_slots = geom_.total_pages() * slots_per_page();
+  total_slots_exported_ =
+      (u64)((double)total_slots * (1.0 - dev.overprovision));
+  map_.assign(total_slots_exported_, kUnmapped);
+  rmap_.assign(total_slots, kUnmapped);
+  content_.assign(total_slots, 0);
+  valid_count_.assign(geom_.total_blocks(), 0);
+  block_state_.assign(geom_.total_blocks(), kFree);
+  wps_.resize(cfg_.write_points);
+}
+
+// ---------------------------------------------------------------------------
+// Write path
+// ---------------------------------------------------------------------------
+
+void BlockFtl::write(Lba lba, u32 bytes, u64 fp_base, Done done) {
+  const u64 lp = cfg_.logical_page_bytes;
+  const u64 start = lba * 512, end = start + bytes;
+  if (bytes == 0 || (end + lp - 1) / lp > map_.size()) {
+    done(Status::kInvalidArgument);
+    return;
+  }
+  const u64 first = start / lp, last = (end - 1) / lp;
+  const u32 n = (u32)(last - first + 1);
+  ++stats_.host_write_ops;
+  stats_.host_bytes_written += bytes;
+
+  // Sequential-stream detection on the byte-address stream.
+  write_streak_ = (start == last_write_end_) ? write_streak_ + n : n;
+  last_write_end_ = end;
+  const bool seq = write_streak_ >= cfg_.seq_run_threshold;
+
+  // Sub-slot writes to mapped slots require read-modify-write.
+  std::unordered_set<flash::PageId> rmw_pages;
+  auto need_rmw = [&](u64 lpn) {
+    if (map_[lpn] == kUnmapped) return;
+    const flash::PageId p = map_[lpn] / slots_per_page();
+    if (!cache_contains(p) && !buffered_pages_.count(p)) rmw_pages.insert(p);
+  };
+  if (start % lp != 0) need_rmw(first);
+  if (end % lp != 0) need_rmw(last);
+  if (!rmw_pages.empty()) ++stats_.rmw_ops;
+
+  // FTL-core work: dispatch plus per-slot map updates.
+  const TimeNs per_slot =
+      seq ? cfg_.map_update_seq_ns : cfg_.map_update_ns;
+  const TimeNs cpu_done =
+      ftl_core_.reserve(eq_.now(), dispatch_ns_ + (TimeNs)n * per_slot);
+
+  auto join = make_join(
+      2, [this, first, n, fp_base, seq, done = std::move(done)]() {
+        for (u32 i = 0; i < n; ++i)
+          write_slot(first + i, mix64(fp_base + i), seq);
+        done(Status::kOk);
+      });
+  buffer_.acquire((u64)n * lp, [join] { join->arrive(); });
+  eq_.schedule_at(cpu_done, [join] { join->arrive(); });
+  // Sub-slot merges read the old page in the background (the write acks
+  // from the buffer; the read still occupies the die before the merged
+  // slot programs).
+  for (flash::PageId p : rmw_pages)
+    flash_.read_page(p, cfg_.logical_page_bytes, [] {});
+}
+
+void BlockFtl::write_slot(u64 lpn, u64 fp, bool seq) {
+  // Sequential streams fill one page before moving to the next write
+  // point (consecutive LBAs land in the same flash page, so later reads
+  // of a contiguous range touch one die); random slots stripe round-robin
+  // for parallelism.
+  WritePoint* wpp;
+  if (seq) {
+    wpp = &wps_[seq_wp_];
+    if (wpp->pending.size() + 1 == slots_per_page())
+      seq_wp_ = (seq_wp_ + 1) % wps_.size();
+  } else {
+    wpp = &wps_[wp_rr_];
+    wp_rr_ = (wp_rr_ + 1) % wps_.size();
+  }
+  WritePoint& wp = *wpp;
+  if (append_slot(wp, lpn, fp, seq, /*is_gc=*/false)) return;
+  // The assigned write point is out of blocks; another may still have an
+  // open one (avoids stranding the pages of other open blocks when the
+  // free pool is down to the GC reserve).
+  for (auto& other : wps_)
+    if (&other != &wp && append_slot(other, lpn, fp, seq, false)) return;
+  wp.starved.push_back(Starved{lpn, fp, seq});
+  ++stats_.gc_foreground_runs;  // a host write is now waiting on GC
+  if (!gc_running_ && !gc_stuck_) run_gc();
+}
+
+bool BlockFtl::append_slot(WritePoint& wp, u64 lpn, u64 fp, bool seq,
+                           bool is_gc) {
+  if (!ensure_block(wp, is_gc)) return false;
+  invalidate(lpn, /*fresh_garbage=*/!is_gc);
+  const flash::PageId page = geom_.page_id(*wp.block, wp.next_page);
+  const u32 slot = (u32)wp.pending.size();
+  const u64 gsi = slot_index(page, slot);
+  map_[lpn] = gsi;
+  rmap_[gsi] = lpn;
+  content_[gsi] = fp;
+  ++valid_count_[*wp.block];
+  ++live_slots_;
+  if (wp.pending.empty()) buffered_pages_.insert(page);
+  wp.pending.push_back(lpn);
+  wp.all_seq = wp.all_seq && seq;
+  if (wp.pending.size() == slots_per_page()) {
+    seal_page(wp, is_gc);
+  } else if (!is_gc) {
+    arm_flush_timer(wp);
+  }
+  return true;
+}
+
+bool BlockFtl::ensure_block(WritePoint& wp, bool is_gc) {
+  if (wp.block) return true;
+  if (!is_gc && alloc_.free_blocks() <= gc_reserved_blocks_) return false;
+  auto b = alloc_.allocate();
+  if (!b) return false;
+  wp.block = *b;
+  wp.next_page = 0;
+  block_state_[*b] = kOpen;
+  if (!is_gc) maybe_start_gc();
+  return true;
+}
+
+void BlockFtl::seal_page(WritePoint& wp, bool is_gc) {
+  const flash::PageId page = geom_.page_id(*wp.block, wp.next_page);
+  const u32 real_slots = (u32)wp.pending.size();
+  const bool reorg = !wp.all_seq && !is_gc;
+  wp.pending.clear();
+  wp.all_seq = true;
+  ++wp.last_flush_arm;  // cancel any pending flush timer
+  if (++wp.next_page == geom_.pages_per_block) {
+    block_state_[*wp.block] = kSealed;
+    wp.block.reset();
+  }
+
+  stats_.flash_bytes_written += geom_.page_bytes;
+  ++outstanding_programs_;
+  auto issue = [this, page, real_slots, is_gc] {
+    flash_.program_page(page, geom_.page_bytes, [this, page, real_slots,
+                                                 is_gc] {
+      buffered_pages_.erase(page);
+      if (!is_gc)
+        buffer_.release((u64)real_slots * cfg_.logical_page_bytes);
+      if (--outstanding_programs_ == 0 && !drain_waiters_.empty()) {
+        auto waiters = std::move(drain_waiters_);
+        drain_waiters_.clear();
+        for (auto& w : waiters) w();
+      }
+    });
+  };
+  if (reorg) {
+    // Random-write coalescing: the FTL core spends time rearranging the
+    // page before it is dispatched (the paper's "block-SSD holds data in
+    // buffer much longer" behavior).
+    eq_.schedule_at(ftl_core_.reserve(eq_.now(), cfg_.reorg_per_page_ns),
+                    std::move(issue));
+  } else {
+    issue();
+  }
+}
+
+void BlockFtl::arm_flush_timer(WritePoint& wp) {
+  const u64 arm = ++wp.last_flush_arm;
+  eq_.schedule_after(cfg_.partial_flush_ns, [this, &wp, arm] {
+    if (wp.last_flush_arm == arm && !wp.pending.empty()) seal_page(wp, false);
+  });
+}
+
+void BlockFtl::invalidate(u64 lpn, bool fresh_garbage) {
+  const u64 old = map_[lpn];
+  if (old == kUnmapped) return;
+  map_[lpn] = kUnmapped;
+  rmap_[old] = kUnmapped;
+  --valid_count_[old / slots_per_page() / geom_.pages_per_block];
+  --live_slots_;
+  if (fresh_garbage) {  // GC can make progress again
+    gc_stuck_ = false;
+    gc_futile_streak_ = 0;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Read path
+// ---------------------------------------------------------------------------
+
+void BlockFtl::read(Lba lba, u32 bytes, ReadDone done) {
+  const u64 lp = cfg_.logical_page_bytes;
+  const u64 start = lba * 512, end = start + bytes;
+  if (bytes == 0 || (end + lp - 1) / lp > map_.size()) {
+    done(Status::kInvalidArgument, 0);
+    return;
+  }
+  const u64 first = start / lp, last = (end - 1) / lp;
+  ++stats_.host_read_ops;
+  stats_.host_bytes_read += bytes;
+
+  read_streak_ = (first == last_read_lpn_ + 1 || first == last_read_lpn_)
+                     ? read_streak_ + (u32)(last - first + 1)
+                     : (u32)(last - first + 1);
+  last_read_lpn_ = last;
+
+  // Gather flash pages to touch and the fingerprint answer.
+  std::unordered_map<flash::PageId, u32> miss_pages;  // page -> bytes
+  u64 fp = 0;
+  TimeNs cpu = dispatch_ns_;
+  for (u64 lpn = first; lpn <= last; ++lpn) {
+    const u64 gsi = map_[lpn];
+    if (gsi == kUnmapped) continue;  // unwritten reads as zeros
+    fp ^= content_[gsi];
+    const flash::PageId p = gsi / slots_per_page();
+    ++cache_lookups_;
+    if (cache_contains(p) || buffered_pages_.count(p)) {
+      ++cache_hits_;
+      cpu += cfg_.cache_hit_ns;
+      touch_cache(p);
+    } else {
+      miss_pages[p] += (u32)lp;
+    }
+  }
+  const TimeNs cpu_done = ftl_core_.reserve(eq_.now(), cpu);
+
+  auto join = make_join((int)miss_pages.size() + 1,
+                        [fp, done = std::move(done)] { done(Status::kOk, fp); });
+  eq_.schedule_at(cpu_done, [join] { join->arrive(); });
+  for (auto [p, b] : miss_pages)
+    flash_.read_page(p, b, [this, p, join] {
+      cache_insert(p);
+      join->arrive();
+    });
+
+  if (cfg_.readahead && read_streak_ >= cfg_.seq_run_threshold)
+    maybe_readahead(last + 1);
+}
+
+bool BlockFtl::cache_contains(flash::PageId p) const {
+  return cache_map_.count(p) != 0;
+}
+
+void BlockFtl::touch_cache(flash::PageId p) {
+  auto it = cache_map_.find(p);
+  if (it == cache_map_.end()) return;
+  cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+}
+
+void BlockFtl::cache_insert(flash::PageId p) {
+  if (cache_contains(p)) {
+    touch_cache(p);
+    return;
+  }
+  cache_lru_.push_front(p);
+  cache_map_[p] = cache_lru_.begin();
+  while (cache_lru_.size() > cfg_.read_cache_pages) {
+    cache_map_.erase(cache_lru_.back());
+    cache_lru_.pop_back();
+  }
+}
+
+void BlockFtl::maybe_readahead(u64 next_lpn) {
+  if (next_lpn >= map_.size() || map_[next_lpn] == kUnmapped) return;
+  const flash::PageId p = map_[next_lpn] / slots_per_page();
+  if (cache_contains(p) || buffered_pages_.count(p)) return;
+  cache_insert(p);  // reserve the slot up-front so we don't double-fetch
+  flash_.read_page(p, geom_.page_bytes, [] {});
+}
+
+// ---------------------------------------------------------------------------
+// TRIM / flush
+// ---------------------------------------------------------------------------
+
+void BlockFtl::trim(Lba lba, u64 bytes, Done done) {
+  const u64 lp = cfg_.logical_page_bytes;
+  const u64 start = lba * 512, end = start + bytes;
+  const u64 first = (start + lp - 1) / lp;        // first fully-covered slot
+  const u64 last_excl = std::min(end / lp, (u64)map_.size());
+  for (u64 lpn = first; lpn < last_excl; ++lpn)
+    invalidate(lpn, /*fresh_garbage=*/true);
+  const TimeNs t = ftl_core_.reserve(eq_.now(), cfg_.trim_ns);
+  eq_.schedule_at(t, [done = std::move(done)] { done(Status::kOk); });
+}
+
+void BlockFtl::flush(std::function<void()> done) {
+  for (auto& wp : wps_)
+    if (!wp.pending.empty()) seal_page(wp, false);
+  if (!gc_wp_.pending.empty()) seal_page(gc_wp_, true);
+  if (outstanding_programs_ == 0) {
+    eq_.schedule_after(0, std::move(done));
+  } else {
+    drain_waiters_.push_back(std::move(done));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Garbage collection
+// ---------------------------------------------------------------------------
+
+void BlockFtl::maybe_start_gc() {
+  if (!gc_running_ && !gc_stuck_ &&
+      alloc_.free_blocks() < gc_low_watermark_)
+    run_gc();
+}
+
+void BlockFtl::run_gc() {
+  gc_running_ = true;
+  ++stats_.gc_runs;
+  // Fast path: erase all fully-invalid (e.g. TRIMmed) victims in one
+  // parallel wave across their dies — this is how an LSM's whole-file
+  // deletes keep device GC effectively free (Fig. 6a).
+  std::vector<flash::BlockId> free_wins;
+  flash::BlockId victim = kUnmapped;
+  u32 best = ~0u;
+  for (flash::BlockId b = 0; b < geom_.total_blocks(); ++b) {
+    if (block_state_[b] != kSealed) continue;
+    if (valid_count_[b] == 0 && free_wins.size() < 32) free_wins.push_back(b);
+    if (valid_count_[b] < best) {
+      best = valid_count_[b];
+      victim = b;
+    }
+  }
+  if (free_wins.size() > 1) {
+    auto join = make_join((int)free_wins.size(), [this] {
+      on_block_freed();
+      if (alloc_.free_blocks() < gc_low_watermark_) {
+        run_gc();
+      } else {
+        gc_running_ = false;
+      }
+    });
+    for (flash::BlockId b : free_wins) {
+      block_state_[b] = kErasing;
+      flash_.erase_block(b, [this, b, join] {
+        block_state_[b] = kFree;
+        alloc_.release(b);
+        join->arrive();
+      });
+    }
+    return;
+  }
+  if (victim == kUnmapped) {
+    gc_running_ = false;
+    return;
+  }
+  // Futility: the best victim is (nearly) fully valid, so a cycle would
+  // rewrite a whole block to free a whole block.
+  const u32 block_slots = geom_.pages_per_block * slots_per_page();
+  if (best + block_slots / 16 >= block_slots) {
+    if (++gc_futile_streak_ >= 8) {
+      gc_stuck_ = true;
+      gc_running_ = false;
+      return;
+    }
+  } else {
+    gc_futile_streak_ = 0;
+  }
+  if (best == 0) {
+    finish_gc(victim);
+    return;
+  }
+  // Read every page holding valid slots, then migrate.
+  std::vector<flash::PageId> pages;
+  for (u32 pg = 0; pg < geom_.pages_per_block; ++pg) {
+    const flash::PageId p = geom_.page_id(victim, pg);
+    for (u32 s = 0; s < slots_per_page(); ++s)
+      if (rmap_[slot_index(p, s)] != kUnmapped) {
+        pages.push_back(p);
+        break;
+      }
+  }
+  auto join = make_join((int)pages.size(),
+                        [this, victim] { migrate_and_erase(victim); });
+  for (flash::PageId p : pages)
+    flash_.read_page(p, geom_.page_bytes, [join] { join->arrive(); });
+}
+
+void BlockFtl::migrate_and_erase(flash::BlockId victim) {
+  for (u32 pg = 0; pg < geom_.pages_per_block; ++pg) {
+    const flash::PageId p = geom_.page_id(victim, pg);
+    for (u32 s = 0; s < slots_per_page(); ++s) {
+      const u64 gsi = slot_index(p, s);
+      const u64 lpn = rmap_[gsi];
+      if (lpn == kUnmapped) continue;
+      const u64 fp = content_[gsi];
+      ++stats_.gc_migrated_units;
+      stats_.gc_migrated_bytes += cfg_.logical_page_bytes;
+      append_slot(gc_wp_, lpn, fp, false, /*is_gc=*/true);
+    }
+  }
+  finish_gc(victim);
+}
+
+void BlockFtl::finish_gc(flash::BlockId victim) {
+  block_state_[victim] = kErasing;
+  flash_.erase_block(victim, [this, victim] {
+    block_state_[victim] = kFree;
+    alloc_.release(victim);
+    on_block_freed();
+    if (alloc_.free_blocks() < gc_low_watermark_) {
+      run_gc();
+    } else {
+      gc_running_ = false;
+    }
+  });
+}
+
+void BlockFtl::on_block_freed() {
+  for (auto& wp : wps_) {
+    while (!wp.starved.empty()) {
+      const Starved s = wp.starved.front();
+      if (!append_slot(wp, s.lpn, s.fp, s.seq, false)) break;
+      wp.starved.pop_front();
+    }
+  }
+}
+
+}  // namespace kvsim::blockftl

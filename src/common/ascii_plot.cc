@@ -1,0 +1,98 @@
+#include "common/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace kvsim {
+
+void AsciiChart::add_series(std::string name,
+                            std::vector<std::pair<double, double>> points,
+                            char marker) {
+  series_.push_back(Series{std::move(name), std::move(points), marker});
+}
+
+std::string AsciiChart::render() const {
+  double xmin = std::numeric_limits<double>::max(), xmax = -xmin;
+  double ymin = std::numeric_limits<double>::max(), ymax = -ymin;
+  for (const Series& s : series_) {
+    for (auto [x, y] : s.points) {
+      xmin = std::min(xmin, x);
+      xmax = std::max(xmax, x);
+      ymin = std::min(ymin, y);
+      ymax = std::max(ymax, y);
+    }
+  }
+  if (series_.empty() || xmin > xmax) return "(empty chart)\n";
+  if (has_floor_) ymin = y_floor_;
+  if (ymax <= ymin) ymax = ymin + 1;
+  if (xmax <= xmin) xmax = xmin + 1;
+
+  std::vector<std::string> grid(h_, std::string(w_, ' '));
+  auto col_of = [&](double x) {
+    return std::min<u32>(w_ - 1, (u32)((x - xmin) / (xmax - xmin) *
+                                       (double)(w_ - 1) + 0.5));
+  };
+  auto row_of = [&](double y) {
+    const double t = (std::clamp(y, ymin, ymax) - ymin) / (ymax - ymin);
+    return (u32)(h_ - 1) - std::min<u32>(h_ - 1,
+                                         (u32)(t * (double)(h_ - 1) + 0.5));
+  };
+  for (const Series& s : series_) {
+    // Plot the point and a light vertical connection to the previous one
+    // so steep cliffs read as lines, not isolated dots.
+    u32 prev_row = 0;
+    bool have_prev = false;
+    for (auto [x, y] : s.points) {
+      const u32 c = col_of(x), r = row_of(y);
+      if (have_prev && c > 0) {
+        const u32 lo = std::min(prev_row, r), hi = std::max(prev_row, r);
+        for (u32 rr = lo + 1; rr < hi; ++rr)
+          if (grid[rr][c] == ' ') grid[rr][c] = ':';
+      }
+      grid[r][c] = s.marker;
+      prev_row = r;
+      have_prev = true;
+    }
+  }
+
+  std::string out;
+  char buf[64];
+  if (!y_label_.empty()) out += y_label_ + "\n";
+  for (u32 r = 0; r < h_; ++r) {
+    const double y = ymax - (ymax - ymin) * (double)r / (double)(h_ - 1);
+    std::snprintf(buf, sizeof(buf), "%9.1f |", y);
+    out += buf;
+    out += grid[r];
+    out += '\n';
+  }
+  out += std::string(10, ' ') + '+' + std::string(w_, '-') + '\n';
+  std::snprintf(buf, sizeof(buf), "%9.1f ", xmin);
+  out += buf;
+  const std::string xmax_s = [&] {
+    char b2[32];
+    std::snprintf(b2, sizeof(b2), "%.1f", xmax);
+    return std::string(b2);
+  }();
+  const std::string mid = x_label_;
+  std::string axis_line;
+  axis_line += mid;
+  const size_t pad = w_ > axis_line.size() + xmax_s.size()
+                         ? (w_ - axis_line.size()) / 2
+                         : 0;
+  out += std::string(pad, ' ') + mid;
+  out += std::string(
+      w_ > pad + mid.size() + xmax_s.size()
+          ? w_ - pad - mid.size() - xmax_s.size()
+          : 1,
+      ' ');
+  out += xmax_s + '\n';
+  for (const Series& s : series_) {
+    std::snprintf(buf, sizeof(buf), "  %c = %s\n", s.marker, s.name.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace kvsim

@@ -1,0 +1,49 @@
+// Terminal line/scatter charts for the figure benches: renders the
+// reproduced curves (Fig. 5's zig-zag, Fig. 6's GC collapse) directly in
+// the bench output so the shape comparison with the paper needs no
+// external plotting.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace kvsim {
+
+class AsciiChart {
+ public:
+  AsciiChart(u32 width = 72, u32 height = 16) : w_(width), h_(height) {}
+
+  /// Add a named series; `marker` is the glyph plotted at each point.
+  void add_series(std::string name,
+                  std::vector<std::pair<double, double>> points,
+                  char marker);
+
+  /// Pin the y-axis floor (default: min of the data). Useful to keep 0 in
+  /// frame for bandwidth plots.
+  void set_y_floor(double y) { y_floor_ = y; has_floor_ = true; }
+  void set_axis_labels(std::string x, std::string y) {
+    x_label_ = std::move(x);
+    y_label_ = std::move(y);
+  }
+
+  /// Render the chart with y-axis ticks, x-range line, and a legend.
+  std::string render() const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<std::pair<double, double>> points;
+    char marker;
+  };
+
+  u32 w_, h_;
+  std::vector<Series> series_;
+  double y_floor_ = 0;
+  bool has_floor_ = false;
+  std::string x_label_, y_label_;
+};
+
+}  // namespace kvsim

@@ -1,0 +1,14 @@
+#include "common/hash.h"
+
+namespace kvsim {
+
+u64 hash64(std::string_view bytes, u64 seed) {
+  u64 h = 0xcbf29ce484222325ull ^ seed;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return mix64(h);
+}
+
+}  // namespace kvsim

@@ -1,0 +1,25 @@
+// 64-bit hashing used for key digests, Bloom filters, and fingerprints.
+#pragma once
+
+#include <string_view>
+
+#include "common/types.h"
+
+namespace kvsim {
+
+/// Hash a byte string to 64 bits (FNV-1a with a final avalanche mix).
+/// This is the digest the KV-FTL derives from a variable-length key; the
+/// real device similarly reduces 4 B - 255 B keys to a fixed-size hash.
+u64 hash64(std::string_view bytes, u64 seed = 0);
+
+/// Mix an integer (for deriving secondary hashes from a primary digest).
+constexpr u64 mix64(u64 x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace kvsim

@@ -1,0 +1,65 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace kvsim {
+
+int LatencyHistogram::bucket_for(TimeNs v) {
+  if (v < kMinor) return (int)v;  // first major bucket is exact
+  const int major = std::bit_width(v) - kMinorBits;  // >= 1
+  const int minor = (int)(v >> (major - 1)) & (kMinor - 1);
+  const int b = major * kMinor + minor;
+  return b < kBuckets ? b : kBuckets - 1;
+}
+
+TimeNs LatencyHistogram::bucket_upper(int b) {
+  const int major = b >> kMinorBits;
+  const int minor = b & (kMinor - 1);
+  if (major == 0) return (TimeNs)minor;
+  return ((TimeNs)(kMinor + minor + 1) << (major - 1)) - 1;
+}
+
+void LatencyHistogram::record(TimeNs v) {
+  buckets_[(size_t)bucket_for(v)]++;
+  ++count_;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& o) {
+  for (int i = 0; i < kBuckets; ++i) buckets_[(size_t)i] += o.buckets_[(size_t)i];
+  count_ += o.count_;
+  sum_ += o.sum_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+void LatencyHistogram::clear() { *this = LatencyHistogram{}; }
+
+TimeNs LatencyHistogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const u64 target = (u64)(q * (double)(count_ - 1)) + 1;
+  u64 seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[(size_t)i];
+    if (seen >= target) return std::min(bucket_upper(i), max_);
+  }
+  return max_;
+}
+
+std::string LatencyHistogram::summary() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%s p50=%s p99=%s max=%s",
+                (unsigned long long)count_, format_time_ns(mean()).c_str(),
+                format_time_ns((double)percentile(0.50)).c_str(),
+                format_time_ns((double)percentile(0.99)).c_str(),
+                format_time_ns((double)max_).c_str());
+  return buf;
+}
+
+}  // namespace kvsim

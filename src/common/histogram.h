@@ -1,0 +1,48 @@
+// Log-bucketed latency histogram (HdrHistogram-style, fixed memory).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "common/types.h"
+
+namespace kvsim {
+
+/// Records latency samples in nanoseconds with ~3% relative bucket error
+/// and answers mean / percentile / min / max queries. Buckets are
+/// log2 major steps with 32 linear minor steps each, covering 1 ns .. ~18 s.
+class LatencyHistogram {
+ public:
+  void record(TimeNs latency_ns);
+  void merge(const LatencyHistogram& other);
+  void clear();
+
+  u64 count() const { return count_; }
+  double mean() const { return count_ ? (double)sum_ / (double)count_ : 0.0; }
+  TimeNs min() const { return count_ ? min_ : 0; }
+  TimeNs max() const { return max_; }
+
+  /// Value at quantile q in [0,1]; e.g. q=0.99 for p99. Returns the bucket
+  /// upper bound containing the q-th sample.
+  TimeNs percentile(double q) const;
+
+  /// One-line summary: "n=... mean=... p50=... p99=... max=..."
+  std::string summary() const;
+
+ private:
+  static constexpr int kMinorBits = 5;  // 32 minor buckets per major
+  static constexpr int kMinor = 1 << kMinorBits;
+  static constexpr int kMajors = 34;    // covers up to ~2^34 ns (~17 s)
+  static constexpr int kBuckets = kMajors * kMinor;
+
+  static int bucket_for(TimeNs v);
+  static TimeNs bucket_upper(int b);
+
+  std::array<u64, kBuckets> buckets_{};
+  u64 count_ = 0;
+  u64 sum_ = 0;
+  TimeNs min_ = ~0ull;
+  TimeNs max_ = 0;
+};
+
+}  // namespace kvsim

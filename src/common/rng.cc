@@ -1,0 +1,83 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace kvsim {
+
+namespace {
+constexpr u64 mix_round(u64 x) { return mix64(x); }
+}  // namespace
+
+double ZipfGenerator::zeta(u64 n, double theta) {
+  // Exact sum for small n; Euler-Maclaurin style approximation beyond.
+  constexpr u64 kExactLimit = 1u << 20;
+  double sum = 0;
+  const u64 exact = n < kExactLimit ? n : kExactLimit;
+  for (u64 i = 1; i <= exact; ++i) sum += 1.0 / std::pow((double)i, theta);
+  if (n > exact) {
+    // integral of x^-theta from exact to n
+    sum += (std::pow((double)n, 1.0 - theta) -
+            std::pow((double)exact, 1.0 - theta)) /
+           (1.0 - theta);
+  }
+  return sum;
+}
+
+ZipfGenerator::ZipfGenerator(u64 n, double theta) : n_(n), theta_(theta) {
+  if (n_ == 0) n_ = 1;
+  zetan_ = zeta(n_, theta_);
+  const double zeta2 = zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / (double)n_, 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+u64 ZipfGenerator::next(Rng& rng) {
+  const double u = rng.uniform();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  u64 rank = (u64)((double)n_ * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  if (rank >= n_) rank = n_ - 1;
+  return rank;
+}
+
+u64 scatter_rank(u64 rank, u64 n) {
+  if (n <= 1) return 0;
+  u64 state = rank * 0x9e3779b97f4a7c15ull + 0xd1b54a32d192ed03ull;
+  return splitmix64(state) % n;
+}
+
+Permutation::Permutation(u64 n, u64 seed) : n_(n ? n : 1) {
+  // Work on an even number of bits >= covering n (minimum 4).
+  u32 bits = 4;
+  while ((1ull << bits) < n_ || (bits & 1)) ++bits;
+  half_bits_ = bits / 2;
+  half_mask_ = (1ull << half_bits_) - 1;
+  u64 sm = seed;
+  for (auto& k : keys_) k = splitmix64(sm);
+}
+
+u64 Permutation::feistel(u64 x) const {
+  u64 left = x >> half_bits_;
+  u64 right = x & half_mask_;
+  for (const u64 key : keys_) {
+    const u64 mixed = mix_round(right ^ key) & half_mask_;
+    const u64 new_left = right;
+    right = left ^ mixed;
+    left = new_left;
+  }
+  return (left << half_bits_) | right;
+}
+
+u64 Permutation::operator()(u64 i) const {
+  // Cycle-walk: apply the bijection on the power-of-two domain until the
+  // image lands inside [0, n). Expected < 2 iterations.
+  u64 x = feistel(i);
+  while (x >= n_) x = feistel(x);
+  return x;
+}
+
+}  // namespace kvsim

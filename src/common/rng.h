@@ -1,0 +1,113 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// All randomness in the system flows through Rng so that experiments are
+// exactly reproducible from a seed. The generator is xoshiro256**, seeded
+// via splitmix64 (the construction recommended by its authors).
+#pragma once
+
+#include <cmath>
+
+#include "common/types.h"
+
+namespace kvsim {
+
+/// splitmix64 step; also usable as a cheap integer mixer.
+constexpr u64 splitmix64(u64& state) {
+  u64 z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Fast, high quality, deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x5eed'c0de'1234'5678ull) { reseed(seed); }
+
+  void reseed(u64 seed) {
+    u64 sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  /// Uniform 64-bit word.
+  u64 next() {
+    const u64 result = rotl(s_[1] * 5, 7) * 9;
+    const u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  u64 below(u64 bound) { return next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  u64 range(u64 lo, u64 hi) { return lo + below(hi - lo + 1); }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return (next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  u64 s_[4] = {};
+};
+
+/// Zipfian distribution over [0, n) with skew parameter `theta` (typical
+/// benchmark skew: 0.99). Uses the Gray et al. rejection-free inversion
+/// scheme popularized by YCSB, O(1) per sample after O(1) setup using the
+/// harmonic-number approximation (exact for small n is unnecessary here).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(u64 n, double theta = 0.99);
+
+  /// Sample a rank in [0, n); rank 0 is the most popular item.
+  u64 next(Rng& rng);
+
+  u64 n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double zeta(u64 n, double theta);
+
+  u64 n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+/// Maps a Zipf rank to an item index so that popular ranks are scattered
+/// uniformly over the key space (real hot keys are not clustered at low
+/// ids). Stateless pseudo-random permutation via integer mixing.
+u64 scatter_rank(u64 rank, u64 n);
+
+/// Pseudo-random bijection over [0, n): a 4-round Feistel network on the
+/// next power-of-two domain with cycle-walking. Used to visit every key
+/// id exactly once in shuffled order (load phases with random key order).
+class Permutation {
+ public:
+  explicit Permutation(u64 n, u64 seed = 0x9e3779b97f4a7c15ull);
+
+  /// The image of `i` (i must be < n).
+  u64 operator()(u64 i) const;
+  u64 n() const { return n_; }
+
+ private:
+  u64 feistel(u64 x) const;
+
+  u64 n_;
+  u32 half_bits_;
+  u64 half_mask_;
+  u64 keys_[4];
+};
+
+}  // namespace kvsim

@@ -1,0 +1,32 @@
+// Minimal console table renderer used by the benchmark harness to print
+// paper-style rows ("Fig 4: value size x queue depth -> latency ratio").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace kvsim {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Render with aligned columns and a separator under the header.
+  std::string render() const;
+
+  /// Render as CSV (same cells, comma-separated).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace kvsim

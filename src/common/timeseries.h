@@ -1,0 +1,43 @@
+// Windowed counters over simulated time: bandwidth / IOPS timelines.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace kvsim {
+
+/// Accumulates (time, bytes) events into fixed-width windows so experiments
+/// can plot bandwidth over time (e.g. the foreground-GC collapse of Fig. 6).
+class BandwidthTracker {
+ public:
+  explicit BandwidthTracker(TimeNs window = 100 * kMs) : window_(window) {}
+
+  void add(TimeNs when, u64 bytes);
+
+  TimeNs window() const { return window_; }
+  size_t num_windows() const { return windows_.size(); }
+
+  /// Mean bandwidth in bytes/second within window i.
+  double bytes_per_sec(size_t i) const;
+
+  /// Mean bandwidth over the whole recorded span.
+  double mean_bytes_per_sec() const;
+
+  /// Minimum windowed bandwidth (ignoring trailing partial window).
+  double min_bytes_per_sec() const;
+
+  const std::vector<u64>& raw_windows() const { return windows_; }
+
+  /// Render as "t_ms, MiB/s" CSV rows (for EXPERIMENTS.md plots).
+  std::string to_csv() const;
+
+ private:
+  TimeNs window_;
+  std::vector<u64> windows_;
+  u64 total_bytes_ = 0;
+  TimeNs last_event_ = 0;
+};
+
+}  // namespace kvsim

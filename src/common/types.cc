@@ -1,0 +1,45 @@
+#include "common/types.h"
+
+#include <cstdio>
+
+namespace kvsim {
+
+const char* to_string(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kNotFound: return "not-found";
+    case Status::kDeviceFull: return "device-full";
+    case Status::kCapacityLimit: return "capacity-limit";
+    case Status::kInvalidArgument: return "invalid-argument";
+    case Status::kIoError: return "io-error";
+  }
+  return "unknown";
+}
+
+std::string format_bytes(double bytes) {
+  static const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 4) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), bytes < 10 ? "%.2f %s" : "%.1f %s", bytes,
+                units[u]);
+  return buf;
+}
+
+std::string format_time_ns(double ns) {
+  static const char* units[] = {"ns", "us", "ms", "s"};
+  int u = 0;
+  while (ns >= 1000.0 && u < 3) {
+    ns /= 1000.0;
+    ++u;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), ns < 10 ? "%.2f %s" : "%.1f %s", ns,
+                units[u]);
+  return buf;
+}
+
+}  // namespace kvsim

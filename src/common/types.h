@@ -1,0 +1,65 @@
+// Fundamental aliases and small value types shared by every subsystem.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace kvsim {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+
+/// Simulated time in integer nanoseconds since simulation start.
+using TimeNs = u64;
+
+/// Logical block address in 512 B sectors (block-device convention).
+using Lba = u64;
+
+inline constexpr u64 KiB = 1024ull;
+inline constexpr u64 MiB = 1024ull * KiB;
+inline constexpr u64 GiB = 1024ull * MiB;
+
+inline constexpr TimeNs kUs = 1000ull;          ///< one microsecond in ns
+inline constexpr TimeNs kMs = 1000ull * kUs;    ///< one millisecond in ns
+inline constexpr TimeNs kSec = 1000ull * kMs;   ///< one second in ns
+
+/// Outcome of a storage operation. Simulated devices report errors through
+/// status codes (not exceptions) because errors such as "key not found" or
+/// "device full" are expected results of an experiment, not program bugs.
+enum class Status : u8 {
+  kOk = 0,
+  kNotFound,       ///< key or LBA content does not exist
+  kDeviceFull,     ///< no physical space left even after garbage collection
+  kCapacityLimit,  ///< KVP-count limit reached (index capacity)
+  kInvalidArgument,
+  kIoError,
+};
+
+/// Human-readable name for a Status (for logs and test failure messages).
+const char* to_string(Status s);
+
+inline bool ok(Status s) { return s == Status::kOk; }
+
+/// Values are carried through the stacks as (size, fingerprint) descriptors
+/// rather than real byte buffers: the simulator models devices holding
+/// terabytes, and what every experiment needs is sizes and end-to-end
+/// integrity checking, which the fingerprint provides. All data paths
+/// (packers, caches, SSTs, GC migration) move ValueDesc exactly where they
+/// would move bytes, and charge transfer/program time for `size` bytes.
+struct ValueDesc {
+  u32 size = 0;          ///< value length in bytes (0 B .. 2 MiB for KV-SSD)
+  u64 fingerprint = 0;   ///< content fingerprint, verified on retrieve
+
+  friend bool operator==(const ValueDesc&, const ValueDesc&) = default;
+};
+
+/// Format a byte count as a short human string ("4.0 KiB", "3.84 TB"-style).
+std::string format_bytes(double bytes);
+
+/// Format a duration in ns as a short human string ("12.3 us", "4.5 ms").
+std::string format_time_ns(double ns);
+
+}  // namespace kvsim

@@ -1,0 +1,68 @@
+#include "flash/controller.h"
+
+#include <algorithm>
+
+namespace kvsim::flash {
+
+FlashController::FlashController(sim::EventQueue& eq,
+                                 const FlashGeometry& geom,
+                                 const FlashTiming& timing)
+    : eq_(eq),
+      geom_(geom),
+      timing_(timing),
+      dies_(geom.total_dies()),
+      channels_(geom.channels),
+      retry_rng_(0xecc0ecc0ecc0ull) {}
+
+void FlashController::read_page(PageId p, u32 bytes, Done done) {
+  const u64 die = geom_.die_of_page(p);
+  const u32 ch = geom_.channel_of_page(p);
+  TimeNs array_ns = timing_.read_page_ns;
+  if (timing_.read_retry_prob > 0.0) {
+    // Each ECC soft-decode failure re-reads with shifted voltages.
+    while (retry_rng_.chance(timing_.read_retry_prob)) {
+      array_ns += timing_.read_retry_ns;
+      ++stats_.read_retries;
+    }
+  }
+  const TimeNs array_done = dies_[die].reserve(eq_.now(), array_ns);
+  const TimeNs xfer_done =
+      channels_[ch].reserve(array_done, timing_.transfer_ns(bytes));
+  ++stats_.page_reads;
+  stats_.bytes_read += bytes;
+  eq_.schedule_at(xfer_done, std::move(done));
+}
+
+void FlashController::program_page(PageId p, u32 bytes, Done done) {
+  program_multi(p, 1, bytes, std::move(done));
+}
+
+void FlashController::program_multi(PageId first, u32 count,
+                                    u32 bytes_per_page, Done done) {
+  const u64 die = geom_.die_of_page(first);
+  const u32 ch = geom_.channel_of_page(first);
+  const TimeNs xfer_done = channels_[ch].reserve(
+      eq_.now(), timing_.transfer_ns((u64)bytes_per_page * count));
+  const TimeNs prog_done =
+      dies_[die].reserve(xfer_done, timing_.program_page_ns);
+  stats_.page_programs += count;
+  stats_.bytes_programmed += (u64)bytes_per_page * count;
+  eq_.schedule_at(prog_done, std::move(done));
+}
+
+void FlashController::erase_block(BlockId b, Done done) {
+  const u64 die = geom_.die_of_block(b);
+  const TimeNs erase_done =
+      dies_[die].reserve(eq_.now(), timing_.erase_block_ns);
+  ++stats_.block_erases;
+  eq_.schedule_at(erase_done, std::move(done));
+}
+
+double FlashController::max_die_utilization() const {
+  if (eq_.now() == 0) return 0.0;
+  TimeNs busiest = 0;
+  for (const auto& d : dies_) busiest = std::max(busiest, d.busy_time());
+  return (double)busiest / (double)eq_.now();
+}
+
+}  // namespace kvsim::flash

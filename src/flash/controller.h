@@ -1,0 +1,74 @@
+// FlashController: schedules page reads, page programs, and block erases
+// onto per-die and per-channel resources of the event-driven simulator.
+//
+// Timing model (standard NAND pipeline):
+//   read:    die busy for tR, then channel busy for the data transfer
+//   program: channel busy for the transfer, then die busy for tPROG
+//   erase:   die busy for tBERS
+// Contention (queueing on a busy die or channel) emerges from the
+// next-free-time reservation; operations from independent dies overlap.
+//
+// A "multi-plane" program hook programs several pages of the same die with
+// one tPROG (used by the block FTL's sequential write optimization).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "flash/geometry.h"
+#include "sim/event_queue.h"
+
+namespace kvsim::flash {
+
+struct FlashStats {
+  u64 page_reads = 0;
+  u64 page_programs = 0;
+  u64 block_erases = 0;
+  u64 read_retries = 0;    ///< ECC soft-decode retry rounds
+  u64 bytes_read = 0;      ///< bytes transferred to the controller on reads
+  u64 bytes_programmed = 0;
+};
+
+class FlashController {
+ public:
+  using Done = std::function<void()>;
+
+  FlashController(sim::EventQueue& eq, const FlashGeometry& geom,
+                  const FlashTiming& timing);
+
+  /// Read `bytes` (<= page size) out of page `p`; `done` runs at completion.
+  void read_page(PageId p, u32 bytes, Done done);
+
+  /// Program a full page holding `bytes` of payload.
+  void program_page(PageId p, u32 bytes, Done done);
+
+  /// Program `count` pages on the same die with a single tPROG
+  /// (multi-plane). Transfers still serialize on the channel.
+  void program_multi(PageId first, u32 count, u32 bytes_per_page, Done done);
+
+  /// Erase a block.
+  void erase_block(BlockId b, Done done);
+
+  const FlashStats& stats() const { return stats_; }
+  const FlashGeometry& geometry() const { return geom_; }
+  const FlashTiming& timing() const { return timing_; }
+
+  /// Earliest time the die owning page `p` frees up (for schedulers that
+  /// prefer idle dies).
+  TimeNs die_free_at(u64 die) const { return dies_[die].free_at(); }
+
+  /// Utilization of the busiest die over [0, now].
+  double max_die_utilization() const;
+
+ private:
+  sim::EventQueue& eq_;
+  FlashGeometry geom_;
+  FlashTiming timing_;
+  std::vector<sim::Resource> dies_;
+  std::vector<sim::Resource> channels_;
+  Rng retry_rng_;  // deterministic ECC retry draws
+  FlashStats stats_;
+};
+
+}  // namespace kvsim::flash

@@ -1,0 +1,96 @@
+// NAND flash geometry: channels x dies x planes x blocks x pages.
+//
+// Addresses are flattened to dense integer ids so FTL mapping tables are
+// plain vectors. Conversions back to (channel, die, plane, ...) are cheap
+// arithmetic.
+#pragma once
+
+#include "common/types.h"
+
+namespace kvsim::flash {
+
+/// Dense id of one physical flash page across the whole device.
+using PageId = u64;
+/// Dense id of one physical erase block across the whole device.
+using BlockId = u64;
+
+struct FlashGeometry {
+  u32 channels = 8;
+  u32 dies_per_channel = 4;
+  u32 planes_per_die = 2;
+  u32 blocks_per_plane = 64;
+  u32 pages_per_block = 64;
+  u32 page_bytes = 32 * KiB;
+
+  constexpr u64 total_dies() const {
+    return (u64)channels * dies_per_channel;
+  }
+  constexpr u64 total_planes() const {
+    return total_dies() * planes_per_die;
+  }
+  constexpr u64 total_blocks() const {
+    return total_planes() * blocks_per_plane;
+  }
+  constexpr u64 total_pages() const {
+    return total_blocks() * pages_per_block;
+  }
+  constexpr u64 block_bytes() const {
+    return (u64)pages_per_block * page_bytes;
+  }
+  constexpr u64 raw_capacity_bytes() const {
+    return total_pages() * page_bytes;
+  }
+
+  // --- block id decomposition ------------------------------------------
+  constexpr u64 plane_of_block(BlockId b) const { return b / blocks_per_plane; }
+  constexpr u64 die_of_block(BlockId b) const {
+    return plane_of_block(b) / planes_per_die;
+  }
+  constexpr u32 channel_of_block(BlockId b) const {
+    return (u32)(die_of_block(b) / dies_per_channel);
+  }
+
+  // --- page id composition / decomposition ------------------------------
+  constexpr PageId page_id(BlockId block, u32 page) const {
+    return block * pages_per_block + page;
+  }
+  constexpr BlockId block_of_page(PageId p) const {
+    return p / pages_per_block;
+  }
+  constexpr u32 page_in_block(PageId p) const {
+    return (u32)(p % pages_per_block);
+  }
+  constexpr u64 die_of_page(PageId p) const {
+    return die_of_block(block_of_page(p));
+  }
+  constexpr u32 channel_of_page(PageId p) const {
+    return channel_of_block(block_of_page(p));
+  }
+
+  /// Block id from (plane-index, block-in-plane).
+  constexpr BlockId block_id(u64 plane_index, u32 block) const {
+    return plane_index * blocks_per_plane + block;
+  }
+};
+
+/// NAND and interconnect timing parameters (PM983-class TLC defaults).
+struct FlashTiming {
+  TimeNs read_page_ns = 90 * kUs;       ///< tR: array read into page register
+  TimeNs program_page_ns = 700 * kUs;   ///< tPROG
+  TimeNs erase_block_ns = 5 * kMs;      ///< tBERS
+  /// ONFI channel payload rate; 1.2 bytes/ns = 1.2 GB/s.
+  double channel_bytes_per_ns = 1.2;
+  /// Probability a page read needs an ECC soft-decode retry (read-retry
+  /// voltage shift + second array read). The paper's ECC-sector
+  /// discussion is why the KV-FTL pads blobs to 1 KiB; this knob adds
+  /// the latency-tail side of the same hardware. 0 disables.
+  double read_retry_prob = 0.0;
+  /// Extra array time per retry round.
+  TimeNs read_retry_ns = 70 * kUs;
+
+  constexpr TimeNs transfer_ns(u64 bytes) const {
+    return (TimeNs)((double)bytes / channel_bytes_per_ns);
+  }
+};
+
+}  // namespace kvsim::flash

@@ -1,0 +1,101 @@
+// Minimal extent-based filesystem over a raw block device.
+//
+// Models exactly what the paper's ext4 layer contributes to the RocksDB
+// stack: file-name -> inode -> extent -> LBA mapping, metadata-journal
+// writes, and TRIM of freed extents on delete (which is what lets the LSM
+// invalidate whole flash blocks and dodge device GC, Fig. 6a).
+//
+// Files are append-only streams of 4 KiB filesystem blocks (the access
+// pattern LSM stores generate); random reads address (offset, length).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "blockapi/block_device.h"
+
+namespace kvsim::fs {
+
+struct FsConfig {
+  u32 block_bytes = 4 * KiB;
+  /// Host CPU per metadata operation (create/delete/extent allocation).
+  TimeNs meta_cpu_ns = 1500;
+  /// Host CPU per data block mapped on the read/write path.
+  TimeNs map_cpu_ns = 250;
+  /// One 4 KiB journal write per this many metadata operations.
+  u32 journal_every_ops = 8;
+  /// Largest contiguous extent handed out per allocation.
+  u32 max_extent_blocks = 256;
+};
+
+class FileSystem {
+ public:
+  using Handle = u32;
+  using Done = std::function<void(Status)>;
+  using ReadDone = std::function<void(Status, u64)>;
+  static constexpr Handle kInvalidHandle = ~0u;
+
+  FileSystem(sim::EventQueue& eq, blockapi::BlockDevice& dev,
+             const FsConfig& cfg = {});
+
+  /// Create an empty file; returns its handle.
+  Handle create(std::string name);
+  Handle lookup(const std::string& name) const;
+
+  /// Append `bytes` (rounded up to whole fs blocks) to the file. `fp_base`
+  /// seeds device-level content fingerprints.
+  void append(Handle h, u64 bytes, u64 fp_base, Done done);
+
+  /// Read `bytes` at `offset` within the file.
+  void read(Handle h, u64 offset, u64 bytes, ReadDone done);
+
+  /// Delete the file: free extents and TRIM them on the device.
+  void remove(Handle h, Done done);
+
+  u64 file_bytes(Handle h) const;
+  u64 used_bytes() const { return used_blocks_ * cfg_.block_bytes; }
+  u64 free_bytes() const;
+  u64 host_cpu_ns() const { return cpu_ns_; }
+  u64 journal_writes() const { return journal_writes_; }
+
+ private:
+  struct Extent {
+    u64 start_block;
+    u64 block_count;
+  };
+  struct Inode {
+    std::string name;
+    u64 size_bytes = 0;
+    std::vector<Extent> extents;
+    bool alive = false;
+  };
+
+  /// Allocate up to `blocks` contiguous fs blocks; returns an extent that
+  /// may be shorter than requested (caller loops).
+  bool allocate_extent(u64 blocks, Extent& out);
+  void free_extent(const Extent& e);
+  void charge_meta(u32 ops, std::function<void()> then);
+  Lba lba_of_block(u64 fs_block) const {
+    return fs_block * (cfg_.block_bytes / 512);
+  }
+
+  sim::EventQueue& eq_;
+  blockapi::BlockDevice& dev_;
+  FsConfig cfg_;
+
+  std::vector<Inode> inodes_;
+  std::unordered_map<std::string, Handle> by_name_;
+
+  // Free space: sorted free list of extents (coalesced on free).
+  std::vector<Extent> free_list_;
+  u64 total_blocks_;
+  u64 used_blocks_ = 0;
+  u64 journal_block_;  // fs block reserved for the metadata journal
+  u32 meta_ops_since_journal_ = 0;
+  u64 journal_writes_ = 0;
+  u64 cpu_ns_ = 0;
+};
+
+}  // namespace kvsim::fs

@@ -1,0 +1,229 @@
+#include "harness/runner.h"
+
+#include <memory>
+
+namespace kvsim::harness {
+
+namespace {
+
+/// Shared issue-loop state for a KvStack run.
+struct Driver {
+  KvStack& stack;
+  wl::OpStream stream;
+  wl::WorkloadSpec spec;
+  RunResult result;
+  TraceRecorder* trace;
+  TimeNs t0;
+  u64 cpu0;
+  u64 inflight = 0;
+  u64 completed = 0;
+  bool exhausted = false;
+
+  Driver(KvStack& s, const wl::WorkloadSpec& sp, TraceRecorder* tr)
+      : stack(s), stream(sp), spec(sp), trace(tr) {
+    t0 = stack.eq().now();
+    cpu0 = stack.host_cpu_ns();
+  }
+
+  void issue_more() {
+    wl::Op op;
+    while (inflight < spec.queue_depth && !exhausted) {
+      if (!stream.next(op)) {
+        exhausted = true;
+        break;
+      }
+      dispatch(op);
+    }
+  }
+
+  void dispatch(const wl::Op& op) {
+    ++inflight;
+    const TimeNs start = stack.eq().now();
+    const std::string key = wl::make_key(op.key_id, spec.key_bytes);
+    const u64 op_bytes = key.size() + op.value_bytes;
+    const wl::OpType type = op.type;
+    const u64 key_id = op.key_id;
+    switch (op.type) {
+      case wl::OpType::kInsert:
+      case wl::OpType::kUpdate: {
+        const bool insert = op.type == wl::OpType::kInsert;
+        stack.store(
+            key, ValueDesc{op.value_bytes,
+                           wl::value_fingerprint(op.key_id, start)},
+            [this, start, insert, op_bytes, type, key_id](Status s) {
+              finish(s, start, insert ? result.insert : result.update,
+                     op_bytes, type, key_id);
+            });
+        break;
+      }
+      case wl::OpType::kRead:
+      case wl::OpType::kExist:
+        stack.retrieve(key, [this, start, type, key_id](Status s,
+                                                        ValueDesc v) {
+          finish(s, start, result.read, v.size, type, key_id);
+        });
+        break;
+      case wl::OpType::kScan:
+        scan_step(op.key_id, std::max<u32>(1, op.scan_length), start, 0);
+        break;
+      case wl::OpType::kDelete:
+        stack.remove(key, [this, start, type, key_id](Status s) {
+          finish(s, start, result.del, 0, type, key_id);
+        });
+        break;
+    }
+  }
+
+  /// A scan is `remaining` consecutive point retrieves; one latency sample
+  /// covers the whole range (YCSB-E semantics over a KV iterator).
+  void scan_step(u64 key_id, u32 remaining, TimeNs start, u64 bytes) {
+    const std::string key =
+        wl::make_key(key_id % std::max<u64>(1, spec.key_space),
+                     spec.key_bytes);
+    stack.retrieve(key, [this, key_id, remaining, start,
+                         bytes](Status s, ValueDesc v) {
+      const u64 total = bytes + v.size;
+      if (remaining <= 1 || s == Status::kIoError) {
+        finish(s == Status::kNotFound ? Status::kOk : s, start, result.scan,
+               total, wl::OpType::kScan, key_id);
+        return;
+      }
+      scan_step(key_id + 1, remaining - 1, start, total);
+    });
+  }
+
+  void finish(Status s, TimeNs start, LatencyHistogram& hist, u64 bytes,
+              wl::OpType type, u64 key_id) {
+    const TimeNs now = stack.eq().now();
+    hist.record(now - start);
+    result.all.record(now - start);
+    result.bw.add(now - t0, bytes);
+    if (trace)
+      trace->add(TraceRecord{start - t0, now - start, type, key_id,
+                             (u32)bytes, s});
+    if (s == Status::kNotFound) {
+      ++result.not_found;
+    } else if (s != Status::kOk) {
+      ++result.errors;
+    }
+    --inflight;
+    ++completed;
+    issue_more();
+  }
+
+  bool done() const { return exhausted && inflight == 0; }
+};
+
+}  // namespace
+
+RunResult run_workload(KvStack& stack, const wl::WorkloadSpec& spec,
+                       bool drain_after, TraceRecorder* trace) {
+  Driver drv(stack, spec, trace);
+  drv.issue_more();
+  sim::EventQueue& eq = stack.eq();
+  while (!drv.done() && eq.step()) {
+  }
+  drv.result.elapsed = eq.now() - drv.t0;
+  drv.result.ops = drv.completed;
+  if (drain_after) {
+    bool drained = false;
+    stack.drain([&drained] { drained = true; });
+    while (!drained && eq.step()) {
+    }
+  }
+  drv.result.host_cpu_ns = stack.host_cpu_ns() - drv.cpu0;
+  return drv.result;
+}
+
+RunResult fill_stack(KvStack& stack, u64 keys, u32 key_bytes, u32 value_bytes,
+                     u32 queue_depth, u64 seed) {
+  wl::WorkloadSpec spec;
+  spec.num_ops = keys;
+  spec.key_space = keys;
+  spec.key_bytes = key_bytes;
+  spec.value_bytes = value_bytes;
+  spec.pattern = wl::Pattern::kSequential;
+  spec.mix = wl::OpMix::insert_only();
+  spec.queue_depth = queue_depth;
+  spec.seed = seed;
+  return run_workload(stack, spec, /*drain_after=*/true);
+}
+
+RunResult run_block(sim::EventQueue& eq, blockapi::BlockDevice& dev,
+                    const BlockRunSpec& spec, bool flush_after) {
+  struct BlockDriver {
+    sim::EventQueue& eq;
+    blockapi::BlockDevice& dev;
+    BlockRunSpec spec;
+    RunResult result;
+    Rng rng;
+    TimeNs t0;
+    u64 issued = 0, completed = 0, inflight = 0;
+    u64 span_ios;
+    u64 cursor = 0;
+
+    BlockDriver(sim::EventQueue& e, blockapi::BlockDevice& d,
+                const BlockRunSpec& sp)
+        : eq(e), dev(d), spec(sp), rng(sp.seed), t0(e.now()) {
+      const u64 span = spec.span_bytes ? spec.span_bytes
+                                       : dev.capacity_bytes();
+      span_ios = std::max<u64>(1, span / spec.io_bytes);
+    }
+
+    Lba next_lba() {
+      u64 io_index;
+      if (spec.sequential) {
+        io_index = cursor++ % span_ios;
+      } else {
+        io_index = rng.below(span_ios);
+      }
+      return io_index * (spec.io_bytes / 512);
+    }
+
+    void issue_more() {
+      while (inflight < spec.queue_depth && issued < spec.num_ops) {
+        ++issued;
+        ++inflight;
+        const TimeNs start = eq.now();
+        const Lba lba = next_lba();
+        if (spec.op == BlockOp::kWrite) {
+          dev.write(lba, spec.io_bytes, issued,
+                    [this, start](Status s) { finish(s, start); });
+        } else {
+          dev.read(lba, spec.io_bytes,
+                   [this, start](Status s, u64) { finish(s, start); });
+        }
+      }
+    }
+
+    void finish(Status s, TimeNs start) {
+      const TimeNs now = eq.now();
+      result.all.record(now - start);
+      (spec.op == BlockOp::kWrite ? result.insert : result.read)
+          .record(now - start);
+      result.bw.add(now - t0, spec.io_bytes);
+      if (s != Status::kOk) ++result.errors;
+      --inflight;
+      ++completed;
+      issue_more();
+    }
+
+    bool done() const { return issued >= spec.num_ops && inflight == 0; }
+  };
+
+  BlockDriver drv(eq, dev, spec);
+  drv.issue_more();
+  while (!drv.done() && eq.step()) {
+  }
+  drv.result.elapsed = eq.now() - drv.t0;
+  drv.result.ops = drv.completed;
+  if (flush_after) {
+    bool flushed = false;
+    dev.flush([&flushed] { flushed = true; });
+    while (!flushed && eq.step()) {
+    }
+  }
+  return drv.result;
+}
+
+}  // namespace kvsim::harness

@@ -1,0 +1,70 @@
+// Workload runner: drives a KvStack (or a raw block device) at a fixed
+// queue depth inside its event simulation and collects the observables
+// the paper reports — per-op-type latency distributions, bandwidth
+// timelines, host CPU utilization, and device counters.
+#pragma once
+
+#include <string>
+
+#include "blockapi/block_device.h"
+#include "common/histogram.h"
+#include "common/timeseries.h"
+#include "harness/stack_iface.h"
+#include "harness/trace.h"
+#include "workload/workload.h"
+
+namespace kvsim::harness {
+
+struct RunResult {
+  LatencyHistogram insert, update, read, scan, del, all;
+  BandwidthTracker bw{100 * kMs};
+  TimeNs elapsed = 0;
+  u64 ops = 0;
+  u64 errors = 0;           ///< non-OK, non-NotFound completions
+  u64 not_found = 0;
+  u64 host_cpu_ns = 0;      ///< CPU burned by the stack during the run
+
+  double throughput_ops_per_sec() const {
+    return elapsed ? (double)ops * (double)kSec / (double)elapsed : 0.0;
+  }
+  double bandwidth_bytes_per_sec() const { return bw.mean_bytes_per_sec(); }
+  /// Host CPU utilization in "cores busy" (cpu time / wall time).
+  double cpu_cores_busy() const {
+    return elapsed ? (double)host_cpu_ns / (double)elapsed : 0.0;
+  }
+};
+
+/// Run `spec` against `stack`. Inserts/updates call store(), reads call
+/// retrieve(), deletes call remove(). The run finishes when every op has
+/// completed; `drain_after` additionally quiesces background work before
+/// the clock stops (recommended between phases).
+RunResult run_workload(KvStack& stack, const wl::WorkloadSpec& spec,
+                       bool drain_after = false,
+                       TraceRecorder* trace = nullptr);
+
+/// Convenience: populate `keys` distinct keys (sequential ids) with fixed
+/// value size, then drain.
+RunResult fill_stack(KvStack& stack, u64 keys, u32 key_bytes, u32 value_bytes,
+                     u32 queue_depth = 64, u64 seed = 7);
+
+// --- raw block device runner (direct I/O experiments, Figs. 3-5) ----------
+
+enum class BlockOp { kRead, kWrite };
+
+struct BlockRunSpec {
+  u64 num_ops = 100'000;
+  u32 io_bytes = 4 * KiB;
+  BlockOp op = BlockOp::kWrite;
+  bool sequential = false;
+  /// LBA span addressed (bytes); 0 = whole device.
+  u64 span_bytes = 0;
+  u32 queue_depth = 1;
+  u64 seed = 42;
+  /// Align random offsets to io_bytes (fio-style).
+  bool align_to_io = true;
+};
+
+RunResult run_block(sim::EventQueue& eq, blockapi::BlockDevice& dev,
+                    const BlockRunSpec& spec, bool flush_after = false);
+
+}  // namespace kvsim::harness

@@ -1,0 +1,43 @@
+// The uniform stack interface the workload runner drives.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/types.h"
+#include "sim/event_queue.h"
+#include "ssd/stats.h"
+
+namespace kvsim::harness {
+
+class KvStack {
+ public:
+  virtual ~KvStack() = default;
+
+  virtual void store(const std::string& key, ValueDesc v,
+                     std::function<void(Status)> done) = 0;
+  virtual void retrieve(const std::string& key,
+                        std::function<void(Status, ValueDesc)> done) = 0;
+  virtual void remove(const std::string& key,
+                      std::function<void(Status)> done) = 0;
+  /// Flush buffers and wait for background work (flushes, compactions,
+  /// defrag, GC-visible programs) to quiesce.
+  virtual void drain(std::function<void()> done) = 0;
+
+  /// The stack's private simulation clock.
+  virtual sim::EventQueue& eq() = 0;
+
+  /// Total host CPU time this stack has burned since construction.
+  virtual u64 host_cpu_ns() const = 0;
+  /// Physical device bytes currently consumed (for space amplification).
+  virtual u64 device_bytes_used() const = 0;
+  /// Application bytes (keys + values) currently live.
+  virtual u64 app_bytes_live() const = 0;
+  /// Stacks that cannot track app bytes internally accept runner hints.
+  virtual void add_app_bytes(i64 /*delta*/) {}
+  virtual const char* name() const = 0;
+  /// Device FTL statistics, when the stack sits on a simulated FTL.
+  virtual const ssd::FtlStats* ftl_stats() const { return nullptr; }
+};
+
+}  // namespace kvsim::harness

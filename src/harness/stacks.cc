@@ -1,0 +1,48 @@
+#include "harness/stacks.h"
+
+namespace kvsim::harness {
+
+KvssdBed::KvssdBed(const KvssdBedConfig& cfg) {
+  flash_ = std::make_unique<flash::FlashController>(eq_, cfg.dev.geometry,
+                                                    cfg.dev.timing);
+  ftl_ = std::make_unique<kvftl::KvFtl>(eq_, *flash_, cfg.dev, cfg.ftl);
+  link_ = std::make_unique<nvme::NvmeLink>(eq_, cfg.nvme);
+  dev_ = std::make_unique<kvapi::KvsDevice>(eq_, *link_, *ftl_, cfg.api);
+}
+
+BlockDirectBed::BlockDirectBed(const BlockBedConfig& cfg) {
+  flash_ = std::make_unique<flash::FlashController>(eq_, cfg.dev.geometry,
+                                                    cfg.dev.timing);
+  ftl_ = std::make_unique<blockftl::BlockFtl>(eq_, *flash_, cfg.dev, cfg.ftl);
+  link_ = std::make_unique<nvme::NvmeLink>(eq_, cfg.nvme);
+  dev_ =
+      std::make_unique<blockapi::BlockDevice>(eq_, *link_, *ftl_, cfg.api);
+}
+
+LsmBed::LsmBed(const LsmBedConfig& cfg) {
+  flash_ = std::make_unique<flash::FlashController>(eq_, cfg.dev.geometry,
+                                                    cfg.dev.timing);
+  ftl_ = std::make_unique<blockftl::BlockFtl>(eq_, *flash_, cfg.dev, cfg.ftl);
+  link_ = std::make_unique<nvme::NvmeLink>(eq_, cfg.nvme);
+  dev_ =
+      std::make_unique<blockapi::BlockDevice>(eq_, *link_, *ftl_, cfg.api);
+  fs_ = std::make_unique<fs::FileSystem>(eq_, *dev_, cfg.fs);
+  store_ = std::make_unique<lsm::LsmStore>(eq_, *fs_, cfg.lsm);
+}
+
+void LsmBed::drain(std::function<void()> done) {
+  auto shared = std::make_shared<std::function<void()>>(std::move(done));
+  store_->drain([this, shared] { ftl_->flush([shared] { (*shared)(); }); });
+}
+
+HashKvBed::HashKvBed(const HashKvBedConfig& cfg) {
+  flash_ = std::make_unique<flash::FlashController>(eq_, cfg.dev.geometry,
+                                                    cfg.dev.timing);
+  ftl_ = std::make_unique<blockftl::BlockFtl>(eq_, *flash_, cfg.dev, cfg.ftl);
+  link_ = std::make_unique<nvme::NvmeLink>(eq_, cfg.nvme);
+  dev_ =
+      std::make_unique<blockapi::BlockDevice>(eq_, *link_, *ftl_, cfg.api);
+  store_ = std::make_unique<hashkv::HashKvStore>(eq_, *dev_, cfg.store);
+}
+
+}  // namespace kvsim::harness

@@ -1,0 +1,202 @@
+// Experiment testbeds: the three stacks the paper compares, behind one
+// KvStack interface so the runner can drive any of them.
+//
+//   KvssdBed   — KV API -> NVMe KV commands -> KV-FTL        (KV-SSD)
+//   LsmBed     — mini-RocksDB -> ext4-like fs -> block-SSD   (RDB)
+//   HashKvBed  — mini-Aerospike -> direct I/O -> block-SSD   (AS)
+//
+// Each bed owns a private event queue, flash substrate, and device, so
+// beds are independent "machines" (the paper used two identical servers).
+// BlockDirectBed exposes the raw block device for the direct-I/O
+// experiments (Figs. 3-5).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "blockapi/block_device.h"
+#include "fs/file_system.h"
+#include "harness/stack_iface.h"
+#include "hashkv/hash_store.h"
+#include "kvapi/kvs_device.h"
+#include "lsm/lsm_store.h"
+
+namespace kvsim::harness {
+
+struct KvssdBedConfig {
+  ssd::SsdConfig dev = ssd::SsdConfig::standard_device();
+  kvftl::KvFtlConfig ftl;
+  nvme::NvmeConfig nvme;
+  kvapi::KvsApiConfig api;
+};
+
+class KvssdBed final : public KvStack {
+ public:
+  explicit KvssdBed(const KvssdBedConfig& cfg = {});
+
+  void store(const std::string& key, ValueDesc v,
+             std::function<void(Status)> done) override {
+    dev_->store(key, v, std::move(done));
+  }
+  void retrieve(const std::string& key,
+                std::function<void(Status, ValueDesc)> done) override {
+    dev_->retrieve(key, std::move(done));
+  }
+  void remove(const std::string& key,
+              std::function<void(Status)> done) override {
+    dev_->remove(key, std::move(done));
+  }
+  void drain(std::function<void()> done) override {
+    dev_->flush(std::move(done));
+  }
+  u64 host_cpu_ns() const override { return dev_->host_cpu_ns(); }
+  u64 device_bytes_used() const override {
+    return ftl_->device_bytes_used();
+  }
+  u64 app_bytes_live() const override { return ftl_->app_bytes_live(); }
+  const char* name() const override { return "KV-SSD"; }
+
+  sim::EventQueue& eq() override { return eq_; }
+  kvapi::KvsDevice& device() { return *dev_; }
+  kvftl::KvFtl& ftl() { return *ftl_; }
+  const ssd::FtlStats* ftl_stats() const override { return &ftl_->stats(); }
+  flash::FlashController& flash() { return *flash_; }
+
+ private:
+  sim::EventQueue eq_;
+  std::unique_ptr<flash::FlashController> flash_;
+  std::unique_ptr<kvftl::KvFtl> ftl_;
+  std::unique_ptr<nvme::NvmeLink> link_;
+  std::unique_ptr<kvapi::KvsDevice> dev_;
+};
+
+struct BlockBedConfig {
+  ssd::SsdConfig dev = ssd::SsdConfig::standard_device();
+  blockftl::BlockFtlConfig ftl;
+  nvme::NvmeConfig nvme;
+  blockapi::BlockApiConfig api;
+};
+
+/// Raw block device bed (direct I/O experiments).
+class BlockDirectBed {
+ public:
+  explicit BlockDirectBed(const BlockBedConfig& cfg = {});
+
+  sim::EventQueue& eq() { return eq_; }
+  blockapi::BlockDevice& device() { return *dev_; }
+  blockftl::BlockFtl& ftl() { return *ftl_; }
+  flash::FlashController& flash() { return *flash_; }
+
+ private:
+  sim::EventQueue eq_;
+  std::unique_ptr<flash::FlashController> flash_;
+  std::unique_ptr<blockftl::BlockFtl> ftl_;
+  std::unique_ptr<nvme::NvmeLink> link_;
+  std::unique_ptr<blockapi::BlockDevice> dev_;
+};
+
+struct LsmBedConfig {
+  ssd::SsdConfig dev = ssd::SsdConfig::standard_device();
+  blockftl::BlockFtlConfig ftl;
+  nvme::NvmeConfig nvme;
+  blockapi::BlockApiConfig api;
+  fs::FsConfig fs;
+  lsm::LsmConfig lsm;
+};
+
+class LsmBed final : public KvStack {
+ public:
+  explicit LsmBed(const LsmBedConfig& cfg = {});
+
+  void store(const std::string& key, ValueDesc v,
+             std::function<void(Status)> done) override {
+    store_->put(key, v, std::move(done));
+  }
+  void retrieve(const std::string& key,
+                std::function<void(Status, ValueDesc)> done) override {
+    store_->get(key, std::move(done));
+  }
+  void remove(const std::string& key,
+              std::function<void(Status)> done) override {
+    store_->del(key, std::move(done));
+  }
+  void drain(std::function<void()> done) override;
+  u64 host_cpu_ns() const override {
+    return store_->host_cpu_ns() + fs_->host_cpu_ns() + dev_->host_cpu_ns();
+  }
+  u64 device_bytes_used() const override { return fs_->used_bytes(); }
+  u64 app_bytes_live() const override { return app_bytes_; }
+  void add_app_bytes(i64 delta) override {
+    app_bytes_ = (u64)((i64)app_bytes_ + delta);
+  }
+  const char* name() const override { return "RocksDB/ext4/block-SSD"; }
+
+  sim::EventQueue& eq() override { return eq_; }
+  lsm::LsmStore& store() { return *store_; }
+  fs::FileSystem& fs() { return *fs_; }
+  blockftl::BlockFtl& ftl() { return *ftl_; }
+  const ssd::FtlStats* ftl_stats() const override { return &ftl_->stats(); }
+
+ private:
+  sim::EventQueue eq_;
+  std::unique_ptr<flash::FlashController> flash_;
+  std::unique_ptr<blockftl::BlockFtl> ftl_;
+  std::unique_ptr<nvme::NvmeLink> link_;
+  std::unique_ptr<blockapi::BlockDevice> dev_;
+  std::unique_ptr<fs::FileSystem> fs_;
+  std::unique_ptr<lsm::LsmStore> store_;
+  u64 app_bytes_ = 0;
+};
+
+struct HashKvBedConfig {
+  ssd::SsdConfig dev = ssd::SsdConfig::standard_device();
+  blockftl::BlockFtlConfig ftl;
+  nvme::NvmeConfig nvme;
+  blockapi::BlockApiConfig api;
+  hashkv::HashKvConfig store;
+};
+
+class HashKvBed final : public KvStack {
+ public:
+  explicit HashKvBed(const HashKvBedConfig& cfg = {});
+
+  void store(const std::string& key, ValueDesc v,
+             std::function<void(Status)> done) override {
+    store_->put(key, v, std::move(done));
+  }
+  void retrieve(const std::string& key,
+                std::function<void(Status, ValueDesc)> done) override {
+    store_->get(key, std::move(done));
+  }
+  void remove(const std::string& key,
+              std::function<void(Status)> done) override {
+    store_->del(key, std::move(done));
+  }
+  void drain(std::function<void()> done) override {
+    store_->drain(std::move(done));
+  }
+  u64 host_cpu_ns() const override {
+    return store_->host_cpu_ns() + dev_->host_cpu_ns();
+  }
+  u64 device_bytes_used() const override {
+    return store_->device_bytes_used();
+  }
+  u64 app_bytes_live() const override { return store_->app_bytes_live(); }
+  const char* name() const override { return "Aerospike/block-SSD"; }
+
+  sim::EventQueue& eq() override { return eq_; }
+  hashkv::HashKvStore& store() { return *store_; }
+  blockftl::BlockFtl& ftl() { return *ftl_; }
+  const ssd::FtlStats* ftl_stats() const override { return &ftl_->stats(); }
+
+ private:
+  sim::EventQueue eq_;
+  std::unique_ptr<flash::FlashController> flash_;
+  std::unique_ptr<blockftl::BlockFtl> ftl_;
+  std::unique_ptr<nvme::NvmeLink> link_;
+  std::unique_ptr<blockapi::BlockDevice> dev_;
+  std::unique_ptr<hashkv::HashKvStore> store_;
+};
+
+}  // namespace kvsim::harness

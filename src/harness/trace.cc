@@ -1,0 +1,51 @@
+#include "harness/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace kvsim::harness {
+
+const char* to_string(wl::OpType t) {
+  switch (t) {
+    case wl::OpType::kInsert: return "insert";
+    case wl::OpType::kUpdate: return "update";
+    case wl::OpType::kRead: return "read";
+    case wl::OpType::kScan: return "scan";
+    case wl::OpType::kDelete: return "delete";
+    case wl::OpType::kExist: return "exist";
+  }
+  return "?";
+}
+
+std::string TraceRecorder::to_csv() const {
+  std::string out = "issue_us,latency_us,op,key_id,bytes,status\n";
+  char row[128];
+  for (const TraceRecord& r : records_) {
+    std::snprintf(row, sizeof(row), "%.3f,%.3f,%s,%llu,%u,%s\n",
+                  (double)r.issue_ns / 1000.0, (double)r.latency_ns / 1000.0,
+                  to_string(r.type), (unsigned long long)r.key_id, r.bytes,
+                  kvsim::to_string(r.status));
+    out += row;
+  }
+  return out;
+}
+
+bool TraceRecorder::write_csv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string csv = to_csv();
+  const bool ok = std::fwrite(csv.data(), 1, csv.size(), f) == csv.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+TimeNs TraceRecorder::exact_percentile(double q) const {
+  if (records_.empty()) return 0;
+  std::vector<TimeNs> lat;
+  lat.reserve(records_.size());
+  for (const TraceRecord& r : records_) lat.push_back(r.latency_ns);
+  std::sort(lat.begin(), lat.end());
+  const double pos = std::clamp(q, 0.0, 1.0) * (double)(lat.size() - 1);
+  return lat[(size_t)pos];
+}
+
+}  // namespace kvsim::harness

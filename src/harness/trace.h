@@ -1,0 +1,53 @@
+// Per-operation trace capture and CSV export.
+//
+// The paper makes its raw performance data publicly available "for the
+// research community to understand and model the performance behavior of
+// KV-SSD"; this is the simulator's equivalent. A TraceRecorder attached
+// to a run captures one record per completed operation (issue time,
+// latency, type, key id, bytes, status), and writes analysis-ready CSV.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "workload/workload.h"
+
+namespace kvsim::harness {
+
+struct TraceRecord {
+  TimeNs issue_ns;      ///< simulated issue time (relative to run start)
+  TimeNs latency_ns;
+  wl::OpType type;
+  u64 key_id;
+  u32 bytes;            ///< payload bytes moved (key + value)
+  Status status;
+};
+
+class TraceRecorder {
+ public:
+  /// Pre-reserve for `expected_ops` records (0 = grow on demand).
+  explicit TraceRecorder(u64 expected_ops = 0) {
+    if (expected_ops) records_.reserve(expected_ops);
+  }
+
+  void add(const TraceRecord& r) { records_.push_back(r); }
+  const std::vector<TraceRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+
+  /// CSV with header: issue_us,latency_us,op,key_id,bytes,status
+  std::string to_csv() const;
+  /// Write to a file; returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+  /// Latency at quantile q computed from the raw records (exact, unlike
+  /// the log-bucketed histogram).
+  TimeNs exact_percentile(double q) const;
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+const char* to_string(wl::OpType t);
+
+}  // namespace kvsim::harness

@@ -1,0 +1,84 @@
+// SNIA-style cursor iterator: kvs_iterator_open / _next / _close.
+//
+// The KVS API iterates one bucket group at a time through a bounded
+// iterator buffer; each next() call returns up to `max_keys` keys and
+// costs one 4 KiB bucket-record page read on the device. Keys arrive in
+// hash order (the device stores bucket records unordered), and the
+// snapshot is taken at open time, matching the device's iterator
+// semantics for concurrent writers. next_pairs() is the
+// KVS_ITERATOR_OPT_KV mode: it additionally retrieves each key's value,
+// paying the full blob-read cost per key.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "kvapi/kvs_device.h"
+
+namespace kvsim::kvapi {
+
+class KvsIterator {
+ public:
+  /// kvs_iterator_open on one bucket group.
+  KvsIterator(KvsDevice& dev, u32 bucket)
+      : dev_(dev), keys_(dev.ftl().snapshot_bucket(bucket)) {}
+
+  /// kvs_iterator_next: deliver up to `max_keys` keys; an empty batch
+  /// means the iterator is exhausted.
+  void next(u32 max_keys,
+            std::function<void(std::vector<std::string>)> done) {
+    if (cursor_ >= keys_.size() || max_keys == 0) {
+      done({});
+      return;
+    }
+    const size_t take =
+        std::min<size_t>(max_keys, keys_.size() - cursor_);
+    std::vector<std::string> batch(keys_.begin() + (long)cursor_,
+                                   keys_.begin() + (long)(cursor_ + take));
+    cursor_ += take;
+    dev_.ftl().charge_iterator_read(
+        [batch = std::move(batch), done = std::move(done)]() mutable {
+          done(std::move(batch));
+        });
+  }
+
+  /// kvs_iterator_next in key+value mode: each returned pair carries the
+  /// value descriptor; deleted-since-open keys are skipped.
+  void next_pairs(
+      u32 max_keys,
+      std::function<void(std::vector<std::pair<std::string, ValueDesc>>)>
+          done) {
+    if (cursor_ >= keys_.size() || max_keys == 0) {
+      done({});
+      return;
+    }
+    const size_t take = std::min<size_t>(max_keys, keys_.size() - cursor_);
+    auto out = std::make_shared<
+        std::vector<std::pair<std::string, ValueDesc>>>();
+    auto remaining = std::make_shared<size_t>(take + 1);
+    auto finish =
+        [out, remaining, done = std::move(done)]() mutable {
+          if (--*remaining == 0) done(std::move(*out));
+        };
+    dev_.ftl().charge_iterator_read(finish);
+    for (size_t i = 0; i < take; ++i) {
+      const std::string key = keys_[cursor_ + i];
+      dev_.retrieve(key, [out, finish, key](Status s, ValueDesc v) mutable {
+        if (s == Status::kOk) out->emplace_back(key, v);
+        finish();
+      });
+    }
+    cursor_ += take;
+  }
+
+  bool exhausted() const { return cursor_ >= keys_.size(); }
+  size_t remaining() const { return keys_.size() - cursor_; }
+
+ private:
+  KvsDevice& dev_;
+  std::vector<std::string> keys_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace kvsim::kvapi

@@ -1,0 +1,35 @@
+#include "kvftl/bloom.h"
+
+#include <algorithm>
+
+namespace kvsim::kvftl {
+
+CountingBloom::CountingBloom(u64 expected_keys, u32 num_hashes)
+    : counters_(std::max<u64>(1024, expected_keys * 10), 0),
+      num_hashes_(num_hashes) {}
+
+void CountingBloom::insert(u64 khash) {
+  for (u32 i = 0; i < num_hashes_; ++i) {
+    u8& c = counters_[slot(khash, i)];
+    if (c == 255) {
+      ++saturations_;
+    } else {
+      ++c;
+    }
+  }
+}
+
+void CountingBloom::remove(u64 khash) {
+  for (u32 i = 0; i < num_hashes_; ++i) {
+    u8& c = counters_[slot(khash, i)];
+    if (c > 0 && c < 255) --c;  // saturated counters stay (stay safe)
+  }
+}
+
+bool CountingBloom::may_contain(u64 khash) const {
+  for (u32 i = 0; i < num_hashes_; ++i)
+    if (counters_[slot(khash, i)] == 0) return false;
+  return true;
+}
+
+}  // namespace kvsim::kvftl

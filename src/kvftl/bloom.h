@@ -1,0 +1,39 @@
+// Counting Bloom filter used by the KV-FTL index managers to answer
+// negative exist/retrieve queries without touching the index (Sec. II:
+// "Index manager-resident Bloom filters can be leveraged to quickly
+// resolve read or exist queries for non-existent keys").
+//
+// Counting (4-bit saturating counters stored in bytes) so deletes are
+// supported. False positives are possible; false negatives are not
+// (unless a counter saturates, which the stats expose).
+#pragma once
+
+#include <vector>
+
+#include "common/hash.h"
+#include "common/types.h"
+
+namespace kvsim::kvftl {
+
+class CountingBloom {
+ public:
+  /// `expected_keys` sizes the filter at ~10 counters per key (<1% FP).
+  explicit CountingBloom(u64 expected_keys, u32 num_hashes = 4);
+
+  void insert(u64 khash);
+  void remove(u64 khash);
+  bool may_contain(u64 khash) const;
+
+  u64 saturations() const { return saturations_; }
+
+ private:
+  u64 slot(u64 khash, u32 i) const {
+    return mix64(khash + 0x9e3779b97f4a7c15ull * (i + 1)) % counters_.size();
+  }
+
+  std::vector<u8> counters_;
+  u32 num_hashes_;
+  u64 saturations_ = 0;
+};
+
+}  // namespace kvsim::kvftl

@@ -1,0 +1,120 @@
+#include "kvftl/index_model.h"
+
+namespace kvsim::kvftl {
+
+IndexModel::IndexModel(const IndexModelConfig& cfg)
+    : cfg_(cfg),
+      cache_capacity_(cfg.dram_bytes / cfg.segment_bytes),
+      segments_(cfg.initial_segments),
+      level_base_(cfg.initial_segments) {
+  if (cache_capacity_ == 0) cache_capacity_ = 1;
+}
+
+u64 IndexModel::segment_of(u64 khash) const {
+  const u64 h = mix64(khash);
+  u64 seg = h % level_base_;
+  if (seg < split_ptr_) seg = h % (level_base_ * 2);
+  return seg;
+}
+
+IndexCost IndexModel::touch(u64 seg, bool dirty) {
+  IndexCost cost;
+  ++touches_;
+  auto it = cache_.find(seg);
+  if (it != cache_.end()) {
+    ++hits_;
+    cost.dram_hit = true;
+    it->second->dirty |= dirty;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return cost;
+  }
+  // Fault the segment in from flash. Past the first spill factor the
+  // directory level above the segments no longer fits either, so the walk
+  // deepens (serial reads).
+  cost.segment_reads = 1;
+  const u64 f = cfg_.level_spill_factor;
+  if (f && segments_ > cache_capacity_ * f) ++cost.segment_reads;
+  if (f && segments_ > cache_capacity_ * f * f * 8) ++cost.segment_reads;
+  lru_.push_front(CacheEntry{seg, dirty});
+  cache_[seg] = lru_.begin();
+  while (lru_.size() > cache_capacity_) {
+    const CacheEntry& victim = lru_.back();
+    if (victim.dirty) ++cost.segment_writes;
+    cache_.erase(victim.seg);
+    lru_.pop_back();
+  }
+  return cost;
+}
+
+void IndexModel::install(u64 seg, IndexCost& cost) {
+  auto it = cache_.find(seg);
+  if (it != cache_.end()) {
+    it->second->dirty = true;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(CacheEntry{seg, true});
+  cache_[seg] = lru_.begin();
+  while (lru_.size() > cache_capacity_) {
+    const CacheEntry& victim = lru_.back();
+    if (victim.dirty) ++cost.segment_writes;
+    cache_.erase(victim.seg);
+    lru_.pop_back();
+  }
+}
+
+void IndexModel::maybe_split(IndexCost& cost) {
+  if (entries_ <= segments_ * cfg_.segment_split_threshold) return;
+  // Linear hashing: split the segment at split_ptr_ into itself and a new
+  // segment. Costs one read of the split segment (if uncached) plus two
+  // write-backs (both halves), all off the critical path of the insert
+  // that triggered it, but still flash traffic. Both halves end up
+  // cached (they were just materialized in DRAM).
+  const u64 seg = split_ptr_;
+  const IndexCost fault = touch(seg, /*dirty=*/true);
+  cost.segment_reads += fault.segment_reads;
+  cost.segment_writes += fault.segment_writes + 2;
+  const u64 new_seg = segments_;
+  ++segments_;
+  ++split_ptr_;
+  ++splits_;
+  if (split_ptr_ == level_base_) {
+    level_base_ *= 2;
+    split_ptr_ = 0;
+  }
+  install(new_seg, cost);
+}
+
+IndexCost IndexModel::on_insert(u64 khash) {
+  IndexCost cost = touch(segment_of(khash), /*dirty=*/true);
+  ++entries_;
+  maybe_split(cost);
+  return cost;
+}
+
+IndexCost IndexModel::on_update(u64 khash) {
+  return touch(segment_of(khash), /*dirty=*/true);
+}
+
+IndexCost IndexModel::on_relocate(u64 khash) {
+  IndexCost cost;
+  auto it = cache_.find(segment_of(khash));
+  if (it != cache_.end()) {
+    it->second->dirty = true;  // resident: fold into its write-back
+  } else {
+    cost.segment_writes = 1;  // uncached: append a relocation delta
+  }
+  return cost;
+}
+
+IndexCost IndexModel::on_lookup(u64 khash) {
+  return touch(segment_of(khash), /*dirty=*/false);
+}
+
+IndexCost IndexModel::on_remove(u64 khash) {
+  IndexCost cost = touch(segment_of(khash), /*dirty=*/true);
+  if (entries_ > 0) --entries_;
+  return cost;
+}
+
+}  // namespace kvsim::kvftl

@@ -1,0 +1,67 @@
+#include "kvftl/iterator_buckets.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace kvsim::kvftl {
+
+u32 IteratorBuckets::bucket_of(std::string_view key, u8 nsid) {
+  const std::string_view head = key.substr(0, 4);
+  // 64 Ki groups per namespace; the namespace rides in bits 16..23.
+  return ((u32)hash64(head, nsid) & 0xffff) | ((u32)nsid << 16);
+}
+
+void IteratorBuckets::add(std::string_view key, u8 nsid) {
+  const u32 b = bucket_of(key, nsid);
+  ++total_keys_;
+  record_bytes_ += key.size() + 4;
+  ++counts_[b];
+  if (track_keys_) keys_[b].emplace_back(key);
+}
+
+void IteratorBuckets::remove(std::string_view key, u8 nsid) {
+  const u32 b = bucket_of(key, nsid);
+  auto cit = counts_.find(b);
+  if (cit == counts_.end() || cit->second == 0) return;
+  --cit->second;
+  if (total_keys_ > 0) --total_keys_;
+  record_bytes_ -= std::min<u64>(record_bytes_, key.size() + 4);
+  if (track_keys_) {
+    auto& vec = keys_[b];
+    auto it = std::find(vec.begin(), vec.end(), key);
+    if (it != vec.end()) {
+      *it = std::move(vec.back());
+      vec.pop_back();
+    }
+  }
+}
+
+std::vector<std::string> IteratorBuckets::bucket_keys(u32 bucket) const {
+  auto it = keys_.find(bucket);
+  return it == keys_.end() ? std::vector<std::string>{} : it->second;
+}
+
+std::vector<u32> IteratorBuckets::bucket_ids() const {
+  std::vector<u32> ids;
+  ids.reserve(counts_.size());
+  for (const auto& [b, n] : counts_)
+    if (n > 0) ids.push_back(b);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<u32> IteratorBuckets::bucket_ids_of(u8 nsid) const {
+  std::vector<u32> ids;
+  for (const auto& [b, n] : counts_)
+    if (n > 0 && (b >> 16) == nsid) ids.push_back(b);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+u64 IteratorBuckets::bucket_size(u32 bucket) const {
+  auto it = counts_.find(bucket);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+}  // namespace kvsim::kvftl

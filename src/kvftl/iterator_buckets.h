@@ -1,0 +1,55 @@
+// Iterator bucket management (Sec. II: "the key is also stored in an
+// iterator bucket for iterator management, based on the first 4 bytes of
+// the key").
+//
+// Keys are grouped by a 32-bit prefix digest; iteration walks one bucket
+// group at a time in unspecified (hash) order, exactly like the SNIA KVS
+// iterator. Bucket contents persist in 4 KiB flash pages; the FTL charges
+// one page read per 4 KiB of key material iterated and one amortized page
+// write per 4 KiB of appended key material.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace kvsim::kvftl {
+
+class IteratorBuckets {
+ public:
+  /// `track_keys` = false disables key storage (memory-light mode for huge
+  /// benchmark fills; iteration then reports counts only).
+  explicit IteratorBuckets(bool track_keys) : track_keys_(track_keys) {}
+
+  /// Bucket id from the namespace and the first (up to) 4 bytes of a
+  /// key; the top byte carries the namespace so groups never collide
+  /// across key spaces.
+  static u32 bucket_of(std::string_view key, u8 nsid = 0);
+
+  void add(std::string_view key, u8 nsid = 0);
+  void remove(std::string_view key, u8 nsid = 0);
+
+  /// Non-empty bucket ids belonging to one namespace.
+  std::vector<u32> bucket_ids_of(u8 nsid) const;
+
+  u64 total_keys() const { return total_keys_; }
+  /// Flash bytes consumed by bucket records (key bytes + 4 B length each).
+  u64 flash_bytes() const { return record_bytes_; }
+
+  /// Snapshot the keys of one bucket (empty when tracking is off).
+  std::vector<std::string> bucket_keys(u32 bucket) const;
+  /// All bucket ids currently non-empty (tracking mode only).
+  std::vector<u32> bucket_ids() const;
+  u64 bucket_size(u32 bucket) const;
+
+ private:
+  bool track_keys_;
+  u64 total_keys_ = 0;
+  u64 record_bytes_ = 0;
+  std::unordered_map<u32, std::vector<std::string>> keys_;
+  std::unordered_map<u32, u64> counts_;
+};
+
+}  // namespace kvsim::kvftl

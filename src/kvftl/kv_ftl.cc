@@ -1,0 +1,741 @@
+#include "kvftl/kv_ftl.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+namespace kvsim::kvftl {
+
+namespace {
+constexpr u32 kPendingBlock = 0xffffffffu;  // chunk awaiting placement
+
+struct Join {
+  int remaining;
+  std::function<void()> then;
+  void arrive() {
+    if (--remaining == 0) then();
+  }
+};
+using JoinPtr = std::shared_ptr<Join>;
+JoinPtr make_join(int n, std::function<void()> then) {
+  return std::make_shared<Join>(Join{n, std::move(then)});
+}
+}  // namespace
+
+namespace {
+void validate_kv_cfg(const ssd::SsdConfig& dev, const KvFtlConfig& cfg) {
+  dev.validate();
+  if (cfg.slot_bytes == 0 || cfg.page_data_slots == 0)
+    throw std::invalid_argument("KvFtlConfig: zero slot/page_data_slots");
+  if ((u64)cfg.slot_bytes * cfg.page_data_slots > dev.geometry.page_bytes)
+    throw std::invalid_argument(
+        "KvFtlConfig: data area exceeds the flash page");
+  if (cfg.min_key_bytes == 0 || cfg.min_key_bytes > cfg.max_key_bytes)
+    throw std::invalid_argument("KvFtlConfig: bad key size bounds");
+  if (cfg.index_managers == 0)
+    throw std::invalid_argument("KvFtlConfig: need at least one manager");
+  if (cfg.write_streams == 0)
+    throw std::invalid_argument("KvFtlConfig: need at least one stream");
+}
+}  // namespace
+
+KvFtl::KvFtl(sim::EventQueue& eq, flash::FlashController& flash,
+             const ssd::SsdConfig& dev, const KvFtlConfig& cfg)
+    : eq_(eq),
+      flash_(flash),
+      geom_(dev.geometry),
+      cfg_(cfg),
+      alloc_(dev.geometry),
+      buffer_(eq, dev.write_buffer_bytes),
+      managers_(std::max<u32>(1, cfg.index_managers)),
+      gc_reserved_blocks_(dev.gc_reserved_blocks),
+      gc_low_watermark_(dev.gc_low_watermark_blocks),
+      index_(cfg.index),
+      bloom_(cfg.expected_keys_hint),
+      iters_(cfg.track_iterator_keys),
+      blocks_(dev.geometry.total_blocks()),
+      block_state_(dev.geometry.total_blocks(), kFree) {
+  validate_kv_cfg(dev, cfg_);
+  const u32 nlanes = cfg_.lanes ? cfg_.lanes : (u32)geom_.total_dies();
+  lanes_.resize(std::max(nlanes, cfg_.write_streams));
+  stream_rr_.assign(std::max<u32>(1, cfg_.write_streams), 0);
+  gc_lanes_.resize(std::max<u32>(1, cfg_.gc_lanes));
+}
+
+u64 KvFtl::data_slot_capacity() const {
+  const u64 reserved = gc_reserved_blocks_ + index_blocks_.size();
+  const u64 blocks = geom_.total_blocks() > reserved
+                         ? geom_.total_blocks() - reserved
+                         : 0;
+  return blocks * geom_.pages_per_block * cfg_.page_data_slots;
+}
+
+u64 KvFtl::max_kvp_capacity() const { return data_slot_capacity(); }
+
+u64 KvFtl::device_bytes_used() const {
+  return live_slots_ * cfg_.slot_bytes + index_.flash_bytes() +
+         iters_.flash_bytes();
+}
+
+// ---------------------------------------------------------------------------
+// Store
+// ---------------------------------------------------------------------------
+
+void KvFtl::store(std::string_view key, ValueDesc value, StoreDone done,
+                  u8 stream, u8 nsid) {
+  if (stream >= cfg_.write_streams) stream = (u8)(cfg_.write_streams - 1);
+  if (key.size() < cfg_.min_key_bytes || key.size() > cfg_.max_key_bytes ||
+      value.size > cfg_.max_value_bytes) {
+    done(Status::kInvalidArgument);
+    return;
+  }
+  const u64 khash = hash64(key, nsid);
+  const u32 slots = slots_for_value(value.size, cfg_.slot_bytes);
+  const u32 nchunks = chunks_for_blob(slots, cfg_.page_data_slots);
+
+  auto existing = blob_table_.find(khash);
+  const bool is_new = existing == blob_table_.end();
+  const u64 freed =
+      is_new ? 0
+             : (u64)slots_for_value(existing->second.value_bytes,
+                                    cfg_.slot_bytes);
+  if (live_slots_ + slots - std::min<u64>(freed, live_slots_) >
+      (u64)((double)data_slot_capacity() * cfg_.capacity_guard)) {
+    done(is_new ? Status::kCapacityLimit : Status::kDeviceFull);
+    return;
+  }
+  // Physical exhaustion: garbage collection proved futile (everything
+  // valid or structural waste regenerates) and the free pool is gone.
+  if (gc_stuck_ && alloc_.free_blocks() <= gc_reserved_blocks_ + 1) {
+    done(Status::kDeviceFull);
+    return;
+  }
+
+  ++stats_.host_write_ops;
+  stats_.host_bytes_written += key.size() + value.size;
+
+  // Firmware critical path: dispatch -> index manager -> (split handling).
+  const TimeNs t_disp = kv_core_.reserve(eq_.now(), cfg_.dispatch_ns);
+  const TimeNs t_mgr = managers_[khash % managers_.size()].reserve(
+      t_disp, cfg_.key_handling_ns);
+  TimeNs t_cpu = t_mgr;
+  if (nchunks > 1)
+    t_cpu = packer_.reserve(t_mgr, (TimeNs)(nchunks - 1) * cfg_.split_chunk_ns);
+
+  const IndexCost ic = is_new ? index_.on_insert(khash)
+                              : index_.on_update(khash);
+
+  const std::string key_copy(key);
+  auto join = make_join(
+      2 + (int)ic.segment_reads,
+      [this, khash, key_copy, value, slots, nchunks, stream, nsid,
+       done = std::move(done)] {
+        BlobRec& blob = blob_table_[khash];
+        // Re-decide new-vs-overwrite here: a concurrent store of the same
+        // fresh key may have landed while this one was in flight.
+        const bool was_new = blob.gen == 0;
+        if (!was_new) {
+          invalidate_blob(blob);
+          read_cache_evict(khash);
+        } else {
+          bloom_.insert(khash);
+          iters_.add(key_copy, nsid);
+          ++ns_kvp_counts_[nsid];
+        }
+        app_bytes_live_ += key_copy.size() + value.size;
+        blob.value_bytes = value.size;
+        blob.key_bytes = (u16)key_copy.size();
+        blob.vfp = value.fingerprint;
+        ++blob.gen;
+        blob.chunks.assign(nchunks, ChunkRef{kPendingBlock, 0});
+        place_blob(khash, blob.gen, slots, stream);
+        done(Status::kOk);
+      });
+  buffer_.acquire((u64)slots * cfg_.slot_bytes, [join] { join->arrive(); });
+  eq_.schedule_at(t_cpu, [join] { join->arrive(); });
+  charge_index_cost(ic, [join] { join->arrive(); });
+}
+
+void KvFtl::place_blob(u64 khash, u32 gen, u32 total_slots, u8 stream) {
+  const u32 nchunks = chunks_for_blob(total_slots, cfg_.page_data_slots);
+  for (u32 c = 0; c < nchunks; ++c) {
+    const u32 cs = chunk_slots(total_slots, cfg_.page_data_slots, c);
+    if (cs == 0) continue;
+    if (!place_chunk(khash, (u8)c, (u16)cs, /*is_gc=*/false, stream)) {
+      pending_chunks_.push_back(
+          PendingChunk{khash, gen, (u8)c, stream, (u16)cs});
+      ++stats_.gc_foreground_runs;  // a host write is now waiting on GC
+      if (!gc_running_ && !gc_stuck_) run_gc();
+    }
+  }
+}
+
+bool KvFtl::place_chunk(u64 khash, u8 chunk_idx, u16 slot_count, bool is_gc,
+                        u8 stream) {
+  // Streams own disjoint lane groups: lane index = stream + k * streams.
+  auto& lanes = is_gc ? gc_lanes_ : lanes_;
+  Lane* lane_ptr;
+  if (is_gc) {
+    lane_ptr = &lanes[gc_lane_rr_];
+    gc_lane_rr_ = (gc_lane_rr_ + 1) % lanes.size();
+  } else {
+    const u32 streams = std::max<u32>(1, cfg_.write_streams);
+    const u32 group = (u32)(lanes_.size() / streams);
+    u32& rr = stream_rr_[stream % streams];
+    lane_ptr = &lanes_[(stream % streams) + (rr % group) * streams];
+    rr = (rr + 1) % group;
+    if (!lane_ptr->block && alloc_.free_blocks() <= gc_reserved_blocks_) {
+      // Out of fresh blocks: fall back to any lane of this stream that
+      // still has an open one.
+      for (u32 k = 0; k < group; ++k) {
+        Lane& cand = lanes_[(stream % streams) + k * streams];
+        if (cand.block) {
+          lane_ptr = &cand;
+          break;
+        }
+      }
+    }
+  }
+  Lane& lane = *lane_ptr;
+
+  if (!ensure_block(lane, is_gc)) return false;
+  // If the chunk does not fit in the open page's data area, seal it
+  // (wasting the remaining slots) and start a fresh page.
+  if (lane.used_slots + slot_count > cfg_.page_data_slots) {
+    waste_slots_ += cfg_.page_data_slots - lane.used_slots;
+    if (is_gc) gc_waste_slots_ += cfg_.page_data_slots - lane.used_slots;
+    seal_page(lane, is_gc);
+    if (!ensure_block(lane, is_gc)) return false;
+  }
+
+  const flash::BlockId b = *lane.block;
+  const flash::PageId page = geom_.page_id(b, lane.next_page);
+  BlockInfo& info = blocks_[b];
+  const u32 rec_idx = (u32)info.recs.size();
+  info.recs.push_back(ChunkRec{khash, (u16)lane.next_page,
+                               (u16)lane.used_slots, slot_count, chunk_idx,
+                               true});
+  info.valid_slots += slot_count;
+  live_slots_ += slot_count;
+  if (lane.used_slots == 0) buffered_pages_.insert(page);
+  lane.used_slots += slot_count;
+  lane.buffered_bytes += (u64)slot_count * cfg_.slot_bytes;
+
+  auto blob = blob_table_.find(khash);
+  if (blob != blob_table_.end() && chunk_idx < blob->second.chunks.size())
+    blob->second.chunks[chunk_idx] = ChunkRef{(u32)b, rec_idx};
+
+  if (lane.used_slots == cfg_.page_data_slots) {
+    seal_page(lane, is_gc);
+  } else if (!is_gc) {
+    arm_flush_timer(lane);
+  }
+  return true;
+}
+
+bool KvFtl::ensure_block(Lane& lane, bool is_gc) {
+  if (lane.block) return true;
+  if (!is_gc && alloc_.free_blocks() <= gc_reserved_blocks_) return false;
+  auto b = alloc_.allocate();
+  if (!b) return false;
+  lane.block = *b;
+  lane.next_page = 0;
+  lane.used_slots = 0;
+  lane.buffered_bytes = 0;
+  block_state_[*b] = kOpen;
+  blocks_[*b].recs.clear();
+  blocks_[*b].valid_slots = 0;
+  if (!is_gc) maybe_start_gc();
+  return true;
+}
+
+void KvFtl::seal_page(Lane& lane, bool is_gc) {
+  const flash::PageId page = geom_.page_id(*lane.block, lane.next_page);
+  const u64 host_bytes = lane.buffered_bytes;
+  lane.used_slots = 0;
+  lane.buffered_bytes = 0;
+  ++lane.flush_arm;
+  if (++lane.next_page == geom_.pages_per_block) {
+    block_state_[*lane.block] = kSealed;
+    lane.block.reset();
+  }
+
+  stats_.flash_bytes_written += geom_.page_bytes;
+  ++outstanding_programs_;
+  // The packer engine assembles the page (log append, offsets, metadata
+  // area) before the program is dispatched.
+  const TimeNs t_pack = packer_.reserve(eq_.now(), cfg_.pack_page_ns);
+  eq_.schedule_at(t_pack, [this, page, host_bytes, is_gc] {
+    flash_.program_page(page, geom_.page_bytes, [this, page, host_bytes,
+                                                 is_gc] {
+      buffered_pages_.erase(page);
+      if (!is_gc) buffer_.release(host_bytes);
+      if (--outstanding_programs_ == 0 && !drain_waiters_.empty()) {
+        auto waiters = std::move(drain_waiters_);
+        drain_waiters_.clear();
+        for (auto& w : waiters) w();
+      }
+    });
+  });
+}
+
+void KvFtl::arm_flush_timer(Lane& lane) {
+  if (cfg_.partial_flush_ns == 0) return;  // hold until full or flush()
+  const u64 arm = ++lane.flush_arm;
+  eq_.schedule_after(cfg_.partial_flush_ns, [this, &lane, arm] {
+    if (lane.flush_arm == arm && lane.block && lane.used_slots > 0) {
+      waste_slots_ += cfg_.page_data_slots - lane.used_slots;
+      seal_page(lane, false);
+    }
+  });
+}
+
+void KvFtl::invalidate_blob(BlobRec& blob) {
+  // Fresh garbage means GC can make progress again.
+  gc_stuck_ = false;
+  gc_futile_streak_ = 0;
+  for (const ChunkRef& ref : blob.chunks) {
+    if (ref.block == kPendingBlock) continue;  // never placed (superseded)
+    ChunkRec& rec = blocks_[ref.block].recs[ref.rec];
+    if (!rec.valid) continue;
+    rec.valid = false;
+    blocks_[ref.block].valid_slots -= rec.slot_count;
+    live_slots_ -= std::min<u64>(live_slots_, rec.slot_count);
+  }
+  app_bytes_live_ -=
+      std::min<u64>(app_bytes_live_, (u64)blob.value_bytes + blob.key_bytes);
+  blob.chunks.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Optional blob read cache
+// ---------------------------------------------------------------------------
+
+bool KvFtl::read_cache_lookup(u64 khash, u32) {
+  if (cfg_.read_cache_bytes == 0) return false;
+  auto it = rcache_map_.find(khash);
+  if (it == rcache_map_.end()) return false;
+  rcache_lru_.splice(rcache_lru_.begin(), rcache_lru_, it->second);
+  ++read_cache_hits_;
+  return true;
+}
+
+void KvFtl::read_cache_insert(u64 khash, u32 value_bytes) {
+  if (cfg_.read_cache_bytes == 0 || rcache_map_.count(khash)) return;
+  rcache_lru_.emplace_front(khash, value_bytes);
+  rcache_map_[khash] = rcache_lru_.begin();
+  rcache_bytes_ += value_bytes;
+  while (rcache_bytes_ > cfg_.read_cache_bytes && !rcache_lru_.empty()) {
+    rcache_bytes_ -= rcache_lru_.back().second;
+    rcache_map_.erase(rcache_lru_.back().first);
+    rcache_lru_.pop_back();
+  }
+}
+
+void KvFtl::read_cache_evict(u64 khash) {
+  auto it = rcache_map_.find(khash);
+  if (it == rcache_map_.end()) return;
+  rcache_bytes_ -= it->second->second;
+  rcache_lru_.erase(it->second);
+  rcache_map_.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// Retrieve / remove / exist
+// ---------------------------------------------------------------------------
+
+void KvFtl::retrieve(std::string_view key, RetrieveDone done, u8 nsid) {
+  const u64 khash = hash64(key, nsid);
+  ++stats_.host_read_ops;
+  const TimeNs t_disp = kv_core_.reserve(eq_.now(), cfg_.dispatch_ns);
+  const TimeNs t_mgr = managers_[khash % managers_.size()].reserve(
+      t_disp, cfg_.key_handling_ns);
+
+  if (!bloom_.may_contain(khash)) {
+    ++bloom_fast_negatives_;
+    eq_.schedule_at(t_mgr, [done = std::move(done)] {
+      done(Status::kNotFound, ValueDesc{});
+    });
+    return;
+  }
+
+  const IndexCost ic = index_.on_lookup(khash);
+  auto it = blob_table_.find(khash);
+  if (it == blob_table_.end()) {  // Bloom false positive
+    auto join = make_join(1 + (int)ic.segment_reads,
+                          [done = std::move(done)] {
+                            done(Status::kNotFound, ValueDesc{});
+                          });
+    eq_.schedule_at(t_mgr, [join] { join->arrive(); });
+    charge_index_cost(ic, [join] { join->arrive(); });
+    return;
+  }
+
+  const BlobRec& blob = it->second;
+  const ValueDesc out{blob.value_bytes, blob.vfp};
+  stats_.host_bytes_read += blob.value_bytes;
+
+  if (read_cache_lookup(khash, blob.value_bytes)) {
+    eq_.schedule_at(t_mgr + cfg_.cache_hit_ns,
+                    [out, done = std::move(done)] {
+                      done(Status::kOk, out);
+                    });
+    return;
+  }
+
+  int flash_chunks = 0, buffered_chunks = 0;
+  std::vector<std::pair<flash::PageId, u32>> reads;
+  for (const ChunkRef& ref : blob.chunks) {
+    if (ref.block == kPendingBlock) {
+      ++buffered_chunks;
+      continue;
+    }
+    const ChunkRec& rec = blocks_[ref.block].recs[ref.rec];
+    const flash::PageId page = geom_.page_id(ref.block, rec.page);
+    if (buffered_pages_.count(page)) {
+      ++buffered_chunks;
+    } else {
+      ++flash_chunks;
+      reads.emplace_back(page, (u32)rec.slot_count * cfg_.slot_bytes);
+    }
+  }
+
+  auto join = make_join(
+      1 + (int)ic.segment_reads + flash_chunks + buffered_chunks,
+      [this, khash, out, done = std::move(done)] {
+        read_cache_insert(khash, out.size);
+        done(Status::kOk, out);
+      });
+  eq_.schedule_at(t_mgr, [join] { join->arrive(); });
+  charge_index_cost(ic, [join] { join->arrive(); });
+  for (auto [page, bytes] : reads)
+    flash_.read_page(page, bytes, [join] { join->arrive(); });
+  for (int i = 0; i < buffered_chunks; ++i)
+    eq_.schedule_after(cfg_.cache_hit_ns, [join] { join->arrive(); });
+}
+
+void KvFtl::remove(std::string_view key, StoreDone done, u8 nsid) {
+  const u64 khash = hash64(key, nsid);
+  const TimeNs t_disp = kv_core_.reserve(eq_.now(), cfg_.dispatch_ns);
+  const TimeNs t_mgr = managers_[khash % managers_.size()].reserve(
+      t_disp, cfg_.key_handling_ns);
+
+  if (!bloom_.may_contain(khash)) {
+    ++bloom_fast_negatives_;
+    eq_.schedule_at(t_mgr,
+                    [done = std::move(done)] { done(Status::kNotFound); });
+    return;
+  }
+  auto it = blob_table_.find(khash);
+  if (it == blob_table_.end()) {
+    eq_.schedule_at(t_mgr,
+                    [done = std::move(done)] { done(Status::kNotFound); });
+    return;
+  }
+
+  const IndexCost ic = index_.on_remove(khash);
+  invalidate_blob(it->second);
+  read_cache_evict(khash);
+  blob_table_.erase(it);
+  bloom_.remove(khash);
+  iters_.remove(key, nsid);
+  if (ns_kvp_counts_[nsid] > 0) --ns_kvp_counts_[nsid];
+
+  auto join = make_join(1 + (int)ic.segment_reads,
+                        [done = std::move(done)] { done(Status::kOk); });
+  eq_.schedule_at(t_mgr, [join] { join->arrive(); });
+  charge_index_cost(ic, [join] { join->arrive(); });
+}
+
+void KvFtl::exist(std::string_view key, ExistDone done, u8 nsid) {
+  const u64 khash = hash64(key, nsid);
+  const TimeNs t_disp = kv_core_.reserve(eq_.now(), cfg_.dispatch_ns);
+  const TimeNs t_mgr = managers_[khash % managers_.size()].reserve(
+      t_disp, cfg_.key_handling_ns);
+  if (!bloom_.may_contain(khash)) {
+    ++bloom_fast_negatives_;
+    eq_.schedule_at(t_mgr, [done = std::move(done)] {
+      done(Status::kOk, false);
+    });
+    return;
+  }
+  const IndexCost ic = index_.on_lookup(khash);
+  const bool found = blob_table_.count(khash) != 0;
+  auto join = make_join(1 + (int)ic.segment_reads,
+                        [found, done = std::move(done)] {
+                          done(Status::kOk, found);
+                        });
+  eq_.schedule_at(t_mgr, [join] { join->arrive(); });
+  charge_index_cost(ic, [join] { join->arrive(); });
+}
+
+// ---------------------------------------------------------------------------
+// Iterator
+// ---------------------------------------------------------------------------
+
+std::vector<u32> KvFtl::iterator_bucket_ids() const {
+  return iters_.bucket_ids();
+}
+
+void KvFtl::iterate_bucket(
+    u32 bucket, std::function<void(std::vector<std::string>)> done) {
+  std::vector<std::string> keys = iters_.bucket_keys(bucket);
+  u64 bytes = 0;
+  for (const auto& k : keys) bytes += k.size() + 4;
+  const u32 nreads = (u32)((bytes + 4 * KiB - 1) / (4 * KiB));
+  const TimeNs t_disp = kv_core_.reserve(eq_.now(), cfg_.dispatch_ns);
+  auto join = make_join(
+      1 + (int)nreads,
+      [keys = std::move(keys), done = std::move(done)]() mutable {
+        done(std::move(keys));
+      });
+  eq_.schedule_at(t_disp, [join] { join->arrive(); });
+  for (u32 i = 0; i < nreads; ++i)
+    flash_.read_page(next_index_page(), 4 * KiB, [join] { join->arrive(); });
+}
+
+void KvFtl::charge_iterator_read(std::function<void()> done) {
+  const TimeNs t_disp = kv_core_.reserve(eq_.now(), cfg_.dispatch_ns);
+  (void)t_disp;
+  flash_.read_page(next_index_page(), 4 * KiB, std::move(done));
+}
+
+// ---------------------------------------------------------------------------
+// Index flash traffic
+// ---------------------------------------------------------------------------
+
+flash::PageId KvFtl::next_index_page() {
+  const u64 needed_blocks =
+      index_.flash_bytes() / geom_.block_bytes() + 1;
+  while (index_blocks_.size() < needed_blocks) {
+    // Spread index blocks over distinct dies so index traffic enjoys the
+    // same parallelism as data.
+    const u64 plane = (index_blocks_.size() * (geom_.planes_per_die + 1)) %
+                      geom_.total_planes();
+    auto b = alloc_.allocate_on_plane(plane);
+    if (!b) b = alloc_.allocate();
+    if (!b) break;  // device full: reuse existing index blocks
+    block_state_[*b] = kIndexBlock;
+    index_blocks_.push_back(*b);
+  }
+  if (index_blocks_.empty()) {
+    auto b = alloc_.allocate();
+    if (b) {
+      block_state_[*b] = kIndexBlock;
+      index_blocks_.push_back(*b);
+    } else {
+      return 0;  // pathological: charge ops to page 0
+    }
+  }
+  // Round-robin blocks first (die diversity), then pages within a block.
+  const u64 i = index_page_rr_++;
+  const u64 nblocks = index_blocks_.size();
+  return geom_.page_id(index_blocks_[i % nblocks],
+                       (u32)((i / nblocks) % geom_.pages_per_block));
+}
+
+void KvFtl::charge_index_cost(const IndexCost& cost,
+                              const std::function<void()>& arrive_read) {
+  // A multi-level walk is serial: each level's read must finish before
+  // the next level's location is known. The caller's join still receives
+  // one arrival per read.
+  if (cost.segment_reads > 0) {
+    auto chain = std::make_shared<std::function<void(u32)>>();
+    *chain = [this, chain, arrive_read,
+              total = cost.segment_reads](u32 done_so_far) {
+      flash_.read_page(next_index_page(), cfg_.index.segment_bytes,
+                       [this, chain, arrive_read, total, done_so_far] {
+                         arrive_read();
+                         if (done_so_far + 1 < total) (*chain)(done_so_far + 1);
+                       });
+    };
+    (*chain)(0);
+  }
+  // Write-backs append entry deltas into full-page index-log programs
+  // (async, batched by the local-index merge machinery).
+  index_write_accum_ += cost.segment_writes * cfg_.index.dirty_delta_bytes;
+  while (index_write_accum_ >= geom_.page_bytes) {
+    index_write_accum_ -= geom_.page_bytes;
+    stats_.flash_bytes_written += geom_.page_bytes;
+    ++outstanding_programs_;
+    flash_.program_page(next_index_page(), geom_.page_bytes, [this] {
+      if (--outstanding_programs_ == 0 && !drain_waiters_.empty()) {
+        auto waiters = std::move(drain_waiters_);
+        drain_waiters_.clear();
+        for (auto& w : waiters) w();
+      }
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Flush / drain
+// ---------------------------------------------------------------------------
+
+void KvFtl::flush(std::function<void()> done) {
+  for (auto& lane : lanes_)
+    if (lane.block && lane.used_slots > 0) {
+      waste_slots_ += cfg_.page_data_slots - lane.used_slots;
+      seal_page(lane, false);
+    }
+  for (auto& lane : gc_lanes_)
+    if (lane.block && lane.used_slots > 0) {
+      waste_slots_ += cfg_.page_data_slots - lane.used_slots;
+      seal_page(lane, true);
+    }
+  if (outstanding_programs_ == 0) {
+    eq_.schedule_after(0, std::move(done));
+  } else {
+    drain_waiters_.push_back(std::move(done));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Garbage collection
+// ---------------------------------------------------------------------------
+
+void KvFtl::maybe_start_gc() {
+  if (!gc_running_ && !gc_stuck_ &&
+      alloc_.free_blocks() < gc_low_watermark_)
+    run_gc();
+}
+
+void KvFtl::run_gc() {
+  gc_running_ = true;
+  gc_cycle_migrated0_ = stats_.gc_migrated_bytes;
+  gc_cycle_waste0_ = gc_waste_slots_;
+  ++stats_.gc_runs;
+  // Fast path: fully-invalid victims erase in one parallel wave.
+  std::vector<flash::BlockId> free_wins;
+  flash::BlockId victim = ~0ull;
+  u32 best = ~0u;
+  for (flash::BlockId b = 0; b < geom_.total_blocks(); ++b) {
+    if (block_state_[b] != kSealed) continue;
+    if (blocks_[b].valid_slots == 0 && free_wins.size() < 32)
+      free_wins.push_back(b);
+    if (blocks_[b].valid_slots < best) {
+      best = blocks_[b].valid_slots;
+      victim = b;
+    }
+  }
+  if (free_wins.size() > 1) {
+    auto join = make_join((int)free_wins.size(), [this] {
+      gc_futile_streak_ = 0;  // reclaimed without consuming anything
+      on_block_freed();
+      if (alloc_.free_blocks() < gc_low_watermark_) {
+        run_gc();
+      } else {
+        gc_running_ = false;
+      }
+    });
+    for (flash::BlockId b : free_wins) {
+      block_state_[b] = kErasing;
+      flash_.erase_block(b, [this, b, join] {
+        blocks_[b].recs.clear();
+        block_state_[b] = kFree;
+        alloc_.release(b);
+        join->arrive();
+      });
+    }
+    return;
+  }
+  if (victim == ~0ull) {
+    gc_running_ = false;
+    return;
+  }
+  if (best == 0) {
+    finish_gc(victim);
+    return;
+  }
+  // Read every page that still holds valid chunks.
+  std::vector<flash::PageId> pages;
+  u16 last_page = 0xffff;
+  // recs are appended in page order, so valid pages appear in order.
+  for (const ChunkRec& rec : blocks_[victim].recs) {
+    if (!rec.valid || rec.page == last_page) continue;
+    last_page = rec.page;
+    pages.push_back(geom_.page_id(victim, rec.page));
+  }
+  auto join = make_join((int)pages.size(),
+                        [this, victim] { migrate_and_erase(victim); });
+  for (flash::PageId p : pages)
+    flash_.read_page(p, geom_.page_bytes, [join] { join->arrive(); });
+}
+
+void KvFtl::migrate_and_erase(flash::BlockId victim) {
+  // Copy the record list: place_chunk appends to other blocks' recs and
+  // may reallocate vectors, but never touches `victim`'s (it is not open).
+  const std::vector<ChunkRec> recs = blocks_[victim].recs;
+  for (const ChunkRec& rec : recs) {
+    if (!rec.valid) continue;
+    auto it = blob_table_.find(rec.khash);
+    if (it == blob_table_.end()) continue;
+    // Invalidate the old location, then re-place the chunk via a GC lane.
+    BlockInfo& info = blocks_[victim];
+    info.recs[&rec - recs.data()].valid = false;
+    info.valid_slots -= rec.slot_count;
+    live_slots_ -= std::min<u64>(live_slots_, rec.slot_count);
+    ++stats_.gc_migrated_units;
+    stats_.gc_migrated_bytes += (u64)rec.slot_count * cfg_.slot_bytes;
+    place_chunk(rec.khash, rec.chunk_idx, rec.slot_count, /*is_gc=*/true, 0);
+    // Each relocated KVP chunk forces an index update (the paper's reason
+    // KV-SSD GC is expensive). The FTL appends relocation deltas to the
+    // index log — write-only, batched — rather than reading segments.
+    charge_index_cost(index_.on_relocate(rec.khash), [] {});
+  }
+  finish_gc(victim);
+}
+
+void KvFtl::finish_gc(flash::BlockId victim) {
+  block_state_[victim] = kErasing;
+  flash_.erase_block(victim, [this, victim] {
+    blocks_[victim].recs.clear();
+    blocks_[victim].valid_slots = 0;
+    block_state_[victim] = kFree;
+    alloc_.release(victim);
+    on_block_freed();
+    // Futility check: slots consumed (migrated data + regenerated page
+    // waste) nearly equal to the slots the erased block returned mean GC
+    // cannot create net free space.
+    const u64 freed =
+        (u64)geom_.pages_per_block * cfg_.page_data_slots;
+    const u64 consumed =
+        (stats_.gc_migrated_bytes - gc_cycle_migrated0_) / cfg_.slot_bytes +
+        (gc_waste_slots_ - gc_cycle_waste0_);
+    if (consumed + freed / 16 >= freed) {
+      ++gc_futile_streak_;
+    } else {
+      gc_futile_streak_ = 0;
+    }
+    if (gc_futile_streak_ >= 16) {
+      gc_stuck_ = true;
+      gc_running_ = false;
+      return;
+    }
+    if (alloc_.free_blocks() < gc_low_watermark_) {
+      run_gc();
+    } else {
+      gc_running_ = false;
+    }
+  });
+}
+
+void KvFtl::on_block_freed() {
+  while (!pending_chunks_.empty()) {
+    const PendingChunk pc = pending_chunks_.front();
+    auto it = blob_table_.find(pc.khash);
+    if (it == blob_table_.end() || it->second.gen != pc.gen) {
+      // The blob was deleted or overwritten while its chunk waited; drop
+      // it and release the buffer space it held.
+      buffer_.release((u64)pc.slot_count * cfg_.slot_bytes);
+      pending_chunks_.pop_front();
+      continue;
+    }
+    if (!place_chunk(pc.khash, pc.chunk_idx, pc.slot_count, false,
+                     pc.stream))
+      break;
+    pending_chunks_.pop_front();
+  }
+}
+
+}  // namespace kvsim::kvftl

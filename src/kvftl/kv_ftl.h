@@ -1,0 +1,283 @@
+// KV-SSD firmware (the PM983 "ETA51KCA" personality).
+//
+// Runs on the same flash substrate as the block FTL but replaces the
+// logical-block map with the paper's KV stack:
+//
+//  * variable-length keys digest to 64-bit key hashes; key handling
+//    (hashing, membership check, local/global merge) serializes on a small
+//    pool of index managers — hash order erases any benefit of sequential
+//    key order (Fig. 2);
+//  * a linear-hashing global index (IndexModel) with a DRAM segment cache;
+//    once the index outgrows DRAM, index operations read (and write back)
+//    flash-resident segments in the critical path (Fig. 3);
+//  * values pack into 24 KiB page data areas as 1 KiB-aligned slots in log
+//    order; blobs larger than a data area split into page chunks with
+//    offset-pointer overhead (Fig. 4/5); small KVPs suffer slot padding
+//    space amplification (Fig. 7);
+//  * iterator buckets group keys by their first 4 bytes (Sec. II);
+//  * Bloom filters short-circuit negative exist/retrieve queries;
+//  * greedy GC migrates valid chunks and must update the index for each,
+//    making the device prone to foreground GC under random updates
+//    (Fig. 6); stalls surface through write-buffer backpressure.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <list>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "flash/controller.h"
+#include "kvftl/bloom.h"
+#include "kvftl/index_model.h"
+#include "kvftl/iterator_buckets.h"
+#include "kvftl/packing.h"
+#include "sim/event_queue.h"
+#include "ssd/allocator.h"
+#include "ssd/config.h"
+#include "ssd/stats.h"
+#include "ssd/write_buffer.h"
+
+namespace kvsim::kvftl {
+
+struct KvFtlConfig {
+  u32 min_key_bytes = 4;
+  u32 max_key_bytes = 255;
+  u32 max_value_bytes = 2 * MiB;
+
+  u32 slot_bytes = 1 * KiB;   ///< ECC-sector alignment of packed blobs
+  u32 page_data_slots = 24;   ///< 24 KiB data area per 32 KiB page
+  u32 blob_meta_bytes = 16;   ///< per-blob metadata in the page meta area
+
+  IndexModelConfig index;
+  u32 index_managers = 4;     ///< parallel key-handling units
+  u64 expected_keys_hint = 1'000'000;  ///< Bloom filter sizing
+
+  TimeNs dispatch_ns = 2 * kUs;      ///< firmware command dispatch
+  TimeNs key_handling_ns = 8 * kUs;  ///< hash + membership + merge work
+  TimeNs pack_page_ns = 10 * kUs;    ///< packer work per sealed page
+  TimeNs split_chunk_ns = 60 * kUs;  ///< offset-pointer mgmt per extra chunk
+  TimeNs cache_hit_ns = 2 * kUs;     ///< read served from an open page
+
+  /// Optional device-DRAM read cache over whole blobs (extension /
+  /// ablation: the production firmware has none, which is why Zipf reads
+  /// hammer single dies in Fig. 2c). 0 disables.
+  u64 read_cache_bytes = 0;
+
+  u32 lanes = 0;                ///< open log pages (0 = one per die)
+  /// Write streams (extension; paper Sec. IV observes the KV command set
+  /// carries no hotness metadata). Stores tagged with different streams
+  /// pack into disjoint lane groups, so hot and cold data never share an
+  /// erase block — cutting GC write amplification under skewed updates.
+  u32 write_streams = 1;
+  u32 gc_lanes = 8;
+  bool track_iterator_keys = true;
+  double capacity_guard = 0.98;  ///< reject stores past this slot fraction
+  TimeNs partial_flush_ns = 0;  // 0 = hold partial pages until full/flush
+};
+
+class KvFtl {
+ public:
+  using StoreDone = std::function<void(Status)>;
+  using RetrieveDone = std::function<void(Status, ValueDesc)>;
+  using ExistDone = std::function<void(Status, bool)>;
+
+  KvFtl(sim::EventQueue& eq, flash::FlashController& flash,
+        const ssd::SsdConfig& dev, const KvFtlConfig& cfg);
+
+  /// Store (insert or overwrite) a key-value pair. `stream` is an
+  /// optional placement hint (clamped to config.write_streams - 1);
+  /// `nsid` selects the key space (namespaces are fully isolated).
+  void store(std::string_view key, ValueDesc value, StoreDone done,
+             u8 stream = 0, u8 nsid = 0);
+  /// Point lookup.
+  void retrieve(std::string_view key, RetrieveDone done, u8 nsid = 0);
+  /// Delete a key.
+  void remove(std::string_view key, StoreDone done, u8 nsid = 0);
+  /// Membership query.
+  void exist(std::string_view key, ExistDone done, u8 nsid = 0);
+
+  /// Program all partial pages and run `done` when the device is quiet.
+  void flush(std::function<void()> done);
+
+  /// Iterator support: non-empty bucket groups, and the keys of one group
+  /// (hash order). `done` receives the keys; timing charges one flash read
+  /// per 4 KiB of key records.
+  std::vector<u32> iterator_bucket_ids() const;
+  void iterate_bucket(u32 bucket,
+                      std::function<void(std::vector<std::string>)> done);
+  /// Charge one iterator-record page read (cursor-based iteration reads
+  /// one 4 KiB bucket page per batch); `done` runs at completion.
+  void charge_iterator_read(std::function<void()> done);
+  /// Snapshot one bucket's keys without timing charges (iterator open).
+  std::vector<std::string> snapshot_bucket(u32 bucket) const {
+    return iters_.bucket_keys(bucket);
+  }
+
+  // --- telemetry -----------------------------------------------------------
+  const ssd::FtlStats& stats() const { return stats_; }
+  u64 kvp_count() const { return blob_table_.size(); }
+  u64 kvp_count_in(u8 nsid) const { return ns_kvp_counts_[nsid]; }
+  /// Non-empty iterator bucket groups belonging to one namespace.
+  std::vector<u32> iterator_bucket_ids_of(u8 nsid) const {
+    return iters_.bucket_ids_of(nsid);
+  }
+  /// Bytes of application data (keys + values) currently live.
+  u64 app_bytes_live() const { return app_bytes_live_; }
+  /// Physical bytes consumed: live padded slots + index + iterator records.
+  u64 device_bytes_used() const;
+  /// Upper bound on storable KVPs (every KVP needs at least one slot).
+  u64 max_kvp_capacity() const;
+  u64 live_slots() const { return live_slots_; }
+  u64 free_blocks() const { return alloc_.free_blocks(); }
+  u64 padding_waste_slots() const { return waste_slots_; }
+  const IndexModel& index() const { return index_; }
+  u64 buffer_stalls() const { return buffer_.total_stall_events(); }
+  /// Wear telemetry (erase counts live in the allocator).
+  const ssd::BlockAllocator& allocator() const { return alloc_; }
+  u64 bloom_negative_hits() const { return bloom_fast_negatives_; }
+  u64 read_cache_hits() const { return read_cache_hits_; }
+
+ private:
+  enum BlockState : u8 { kFree = 0, kOpen, kSealed, kErasing, kIndexBlock };
+
+  struct ChunkRec {
+    u64 khash;
+    u16 page;        // page index inside the block
+    u16 slot_start;  // first slot in the page data area
+    u16 slot_count;
+    u8 chunk_idx;    // which chunk of its blob this is
+    bool valid;
+  };
+
+  struct ChunkRef {
+    u32 block;
+    u32 rec;
+  };
+
+  struct BlobRec {
+    u32 value_bytes;
+    u16 key_bytes;
+    u32 gen = 0;  // bumped on every overwrite; stale pending chunks drop
+    u64 vfp;      // value fingerprint
+    std::vector<ChunkRef> chunks;
+  };
+
+  struct BlockInfo {
+    std::vector<ChunkRec> recs;
+    u32 valid_slots = 0;
+  };
+
+  struct Lane {
+    std::optional<flash::BlockId> block;
+    u32 next_page = 0;
+    u32 used_slots = 0;       // slots appended to the open page
+    u64 buffered_bytes = 0;   // host bytes awaiting this page's program
+    u64 flush_arm = 0;
+  };
+
+  struct PendingChunk {  // waiting for free blocks (foreground GC)
+    u64 khash;
+    u32 gen;
+    u8 chunk_idx;
+    u8 stream;
+    u16 slot_count;
+  };
+
+  // --- write path ---
+  void place_blob(u64 khash, u32 gen, u32 total_slots, u8 stream);
+  bool place_chunk(u64 khash, u8 chunk_idx, u16 slot_count, bool is_gc,
+                   u8 stream);
+  bool ensure_block(Lane& lane, bool is_gc);
+  void seal_page(Lane& lane, bool is_gc);
+  void arm_flush_timer(Lane& lane);
+  void invalidate_blob(BlobRec& blob);
+
+  // --- index flash traffic ---
+  flash::PageId next_index_page();
+  /// Issue the flash operations implied by an IndexCost. Reads join the
+  /// caller's latch (critical path); write-backs batch into async index-
+  /// log programs.
+  void charge_index_cost(const IndexCost& cost,
+                         const std::function<void()>& arrive_read);
+
+  // --- garbage collection ---
+  void maybe_start_gc();
+  void run_gc();
+  void migrate_and_erase(flash::BlockId victim);
+  void finish_gc(flash::BlockId victim);
+  void on_block_freed();
+
+  u64 data_slot_capacity() const;
+
+  sim::EventQueue& eq_;
+  flash::FlashController& flash_;
+  flash::FlashGeometry geom_;
+  KvFtlConfig cfg_;
+  ssd::BlockAllocator alloc_;
+  ssd::WriteBuffer buffer_;
+  sim::Resource kv_core_;                 // command dispatch
+  std::vector<sim::Resource> managers_;   // key-handling units
+  sim::Resource packer_;                  // data-packing engine
+  u32 gc_reserved_blocks_;
+  u32 gc_low_watermark_;
+
+  IndexModel index_;
+  CountingBloom bloom_;
+  IteratorBuckets iters_;
+
+  std::unordered_map<u64, BlobRec> blob_table_;
+  std::vector<BlockInfo> blocks_;
+  std::vector<u8> block_state_;
+
+  std::vector<Lane> lanes_;
+  std::vector<u32> stream_rr_;  // per-stream round-robin lane cursor
+  std::vector<Lane> gc_lanes_;
+  u32 gc_lane_rr_ = 0;
+  std::unordered_set<flash::PageId> buffered_pages_;
+  std::deque<PendingChunk> pending_chunks_;
+
+  // index flash region
+  std::vector<flash::BlockId> index_blocks_;
+  u64 index_page_rr_ = 0;
+  u32 index_write_accum_ = 0;  // segments awaiting a batched program
+
+  // GC state. A cycle is "futile" when the slots it consumed (migrated
+  // chunks plus regenerated page waste) nearly equal the slots it freed;
+  // after enough consecutive futile cycles the FTL stops spinning and
+  // fails new stores with kDeviceFull until an invalidation creates
+  // reclaimable space again.
+  bool gc_running_ = false;
+  bool gc_stuck_ = false;
+  u32 gc_futile_streak_ = 0;
+  u64 gc_waste_slots_ = 0;        // waste created on GC lanes (lifetime)
+  u64 gc_cycle_migrated0_ = 0;    // gc_migrated_bytes at cycle start
+  u64 gc_cycle_waste0_ = 0;       // gc_waste_slots_ at cycle start
+
+  u64 live_slots_ = 0;
+  u64 app_bytes_live_ = 0;
+  u64 waste_slots_ = 0;
+  u64 bloom_fast_negatives_ = 0;
+  std::array<u64, 256> ns_kvp_counts_{};
+
+  // optional blob read cache (LRU over khash, bytes-bounded)
+  bool read_cache_lookup(u64 khash, u32 value_bytes);
+  void read_cache_insert(u64 khash, u32 value_bytes);
+  void read_cache_evict(u64 khash);
+  std::list<std::pair<u64, u32>> rcache_lru_;
+  std::unordered_map<u64, std::list<std::pair<u64, u32>>::iterator>
+      rcache_map_;
+  u64 rcache_bytes_ = 0;
+  u64 read_cache_hits_ = 0;
+
+  u64 outstanding_programs_ = 0;
+  std::vector<std::function<void()>> drain_waiters_;
+
+  ssd::FtlStats stats_;
+};
+
+}  // namespace kvsim::kvftl

@@ -1,0 +1,47 @@
+// Pure size arithmetic for the KV-SSD's log-like blob packing policy.
+//
+// The model (derived from the paper's Fig. 5/7 analysis):
+//  * Each 32 KiB flash page has a 24 KiB data area of 24 x 1 KiB slots;
+//    the remaining 8 KiB holds per-blob metadata (16 B), keys (up to
+//    255 B), ECC, and recovery information (the paper's "space reserved
+//    for data recovery operations such as erasure coding").
+//  * A value occupies ceil(len / 1 KiB) slots — byte-aligned *within* the
+//    log but padded to the 1 KiB ECC-sector granularity, which is where
+//    small-KVP space amplification (up to ~20x) comes from.
+//  * A blob whose slots do not fit in one page's data area is split into
+//    page-sized chunks plus a remainder chunk, each with an offset
+//    pointer; the extra programs and pointer management are the bandwidth
+//    dips at 25 KiB, 49 KiB, ... in Fig. 5b.
+#pragma once
+
+#include "common/types.h"
+
+namespace kvsim::kvftl {
+
+/// Slots needed to store a value of `value_bytes` (minimum one slot; a
+/// zero-length value still stores its metadata/key in a slot).
+constexpr u32 slots_for_value(u32 value_bytes, u32 slot_bytes) {
+  const u32 v = value_bytes == 0 ? 1u : value_bytes;
+  return (v + slot_bytes - 1) / slot_bytes;
+}
+
+/// Number of chunks (separately-placed slot runs) a blob splits into when
+/// a page's data area holds `page_slots` slots.
+constexpr u32 chunks_for_blob(u32 total_slots, u32 page_slots) {
+  return (total_slots + page_slots - 1) / page_slots;
+}
+
+/// Slots in chunk `i` (0-based) of a blob of `total_slots`.
+constexpr u32 chunk_slots(u32 total_slots, u32 page_slots, u32 i) {
+  const u32 full = total_slots / page_slots;
+  if (i < full) return page_slots;
+  return total_slots - full * page_slots;  // remainder (may be 0)
+}
+
+/// Device bytes consumed by a KVP (slot padding only; index and iterator
+/// bucket overheads are accounted separately by the FTL).
+constexpr u64 padded_bytes(u32 value_bytes, u32 slot_bytes) {
+  return (u64)slots_for_value(value_bytes, slot_bytes) * slot_bytes;
+}
+
+}  // namespace kvsim::kvftl

@@ -1,0 +1,625 @@
+#include "lsm/lsm_store.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace kvsim::lsm {
+
+namespace {
+struct Join {
+  int remaining;
+  std::function<void()> then;
+  void arrive() {
+    if (--remaining == 0) then();
+  }
+};
+std::shared_ptr<Join> make_join(int n, std::function<void()> then) {
+  return std::make_shared<Join>(Join{n, std::move(then)});
+}
+
+u64 mem_entry_bytes(std::string_view key, const ValueDesc& v) {
+  return key.size() + v.size + 48;
+}
+}  // namespace
+
+LsmStore::LsmStore(sim::EventQueue& eq, fs::FileSystem& fs,
+                   const LsmConfig& cfg)
+    : eq_(eq),
+      fs_(fs),
+      cfg_(cfg),
+      levels_(cfg.num_levels),
+      compact_rr_(cfg.num_levels, 0),
+      cache_capacity_blocks_(cfg.block_cache_bytes / cfg.data_block_bytes) {
+  wal_file_ = fs_.create("wal-0");
+}
+
+// ---------------------------------------------------------------------------
+// Write path
+// ---------------------------------------------------------------------------
+
+void LsmStore::put(std::string_view key, ValueDesc value, PutDone done) {
+  do_write(key, value, false, std::move(done));
+}
+
+void LsmStore::del(std::string_view key, PutDone done) {
+  do_write(key, ValueDesc{}, true, std::move(done));
+}
+
+bool LsmStore::stalled() const {
+  return (immutable_ && mt_bytes_ >= cfg_.memtable_bytes) ||
+         levels_[0].size() >= cfg_.l0_stall_limit;
+}
+
+void LsmStore::do_write(std::string_view key, ValueDesc value, bool tombstone,
+                        PutDone done) {
+  if (stalled()) {
+    ++stall_events_;
+    stalled_writes_.push_back(
+        PendingWrite{std::string(key), value, tombstone, std::move(done)});
+    return;
+  }
+  TimeNs cost = cfg_.api_ns + cfg_.memtable_insert_ns;
+  if (cfg_.wal_enabled) cost += cfg_.wal_append_ns;
+  cpu_ns_ += cost;
+  const TimeNs t_cpu = fg_cpu_.reserve(eq_.now(), cost);
+
+  auto it = memtable_.find(key);
+  if (it != memtable_.end()) {
+    mt_bytes_ -= std::min(mt_bytes_,
+                          mem_entry_bytes(it->first, it->second.value));
+    it->second = MemEntry{value, ++seq_, tombstone};
+  } else {
+    memtable_.emplace(std::string(key), MemEntry{value, ++seq_, tombstone});
+  }
+  mt_bytes_ += mem_entry_bytes(key, value);
+
+  bool wal_io = false;
+  u64 wal_chunk = 0;
+  if (cfg_.wal_enabled) {
+    wal_buffer_bytes_ += key.size() + value.size + 12;
+    if (wal_buffer_bytes_ >= 4 * KiB) {
+      wal_chunk = wal_buffer_bytes_;
+      wal_buffer_bytes_ = 0;
+      wal_total_bytes_ += wal_chunk;
+      wal_seg_bytes_ += wal_chunk;
+      wal_io = true;
+    }
+  }
+
+  if (wal_io) {
+    auto join = make_join(2, [done = std::move(done)] { done(Status::kOk); });
+    eq_.schedule_at(t_cpu, [join] { join->arrive(); });
+    fs_.append(wal_file_, wal_chunk, seq_, [join](Status) { join->arrive(); });
+  } else {
+    eq_.schedule_at(t_cpu, [done = std::move(done)] { done(Status::kOk); });
+  }
+
+  if (mt_bytes_ >= cfg_.memtable_bytes && !immutable_) rotate_memtable();
+}
+
+void LsmStore::unstall() {
+  while (!stalled_writes_.empty() && !stalled()) {
+    PendingWrite w = std::move(stalled_writes_.front());
+    stalled_writes_.pop_front();
+    do_write(w.key, w.value, w.tombstone, std::move(w.done));
+  }
+}
+
+void LsmStore::rotate_memtable() {
+  immutable_ = std::make_shared<Memtable>(std::move(memtable_));
+  memtable_.clear();
+  mt_bytes_ = 0;
+  // Start a fresh WAL segment; the old one dies when the flush lands.
+  if (cfg_.wal_enabled) {
+    rotated_wal_ = wal_file_;
+    char name[32];
+    std::snprintf(name, sizeof(name), "wal-%llu",
+                  (unsigned long long)++wal_gen_);
+    wal_file_ = fs_.create(name);
+    wal_buffer_bytes_ = 0;
+  }
+  schedule_flush();
+}
+
+void LsmStore::schedule_flush() {
+  if (flush_running_ || !immutable_) return;
+  flush_running_ = true;
+  ++flushes_;
+
+  std::vector<SstEntry> entries;
+  entries.reserve(immutable_->size());
+  for (const auto& [k, e] : *immutable_)
+    entries.push_back(SstEntry{k, e.value, e.seq, e.tombstone});
+  auto sst = build_sst(next_sst_id_++, std::move(entries));
+  char name[32];
+  std::snprintf(name, sizeof(name), "sst-%llu", (unsigned long long)sst->id);
+  sst->file = fs_.create(name);
+
+  const u64 kvps = sst->entries.size();
+  cpu_ns_ += kvps * cfg_.compaction_cpu_per_kvp_ns / 2;  // flush is cheaper
+  const TimeNs t_cpu =
+      bg_cpu_.reserve(eq_.now(), kvps * cfg_.compaction_cpu_per_kvp_ns / 2);
+  eq_.schedule_at(t_cpu, [this, sst] {
+    write_ssts_then({sst}, [this, sst] { finish_flush(sst); });
+  });
+}
+
+void LsmStore::write_ssts_then(std::vector<std::shared_ptr<Sst>> ssts,
+                               std::function<void()> done) {
+  // Sequentially append each SST file in io_chunk_bytes pieces.
+  struct State {
+    std::vector<std::shared_ptr<Sst>> ssts;
+    size_t idx = 0;
+    u64 written = 0;
+    std::function<void()> done;
+  };
+  auto st = std::make_shared<State>();
+  st->ssts = std::move(ssts);
+  st->done = std::move(done);
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [this, st, step] {
+    if (st->idx == st->ssts.size()) {
+      st->done();
+      return;
+    }
+    Sst& sst = *st->ssts[st->idx];
+    if (st->written >= sst.file_bytes) {
+      ++st->idx;
+      st->written = 0;
+      (*step)();
+      return;
+    }
+    const u64 chunk =
+        std::min<u64>(sst.file_bytes - st->written, cfg_.io_chunk_bytes);
+    fs_.append(sst.file, chunk,
+               sst.id * 1000 + st->written / cfg_.io_chunk_bytes,
+               [st, step, chunk](Status) {
+                 st->written += chunk;
+                 (*step)();
+               });
+  };
+  (*step)();
+}
+
+void LsmStore::finish_flush(std::shared_ptr<Sst> sst) {
+  levels_[0].push_back(std::move(sst));
+  immutable_.reset();
+  flush_running_ = false;
+  if (cfg_.wal_enabled && rotated_wal_ != fs::FileSystem::kInvalidHandle) {
+    const auto dead = rotated_wal_;
+    rotated_wal_ = fs::FileSystem::kInvalidHandle;
+    wal_seg_bytes_ -= std::min(wal_seg_bytes_, fs_.file_bytes(dead));
+    fs_.remove(dead, [](Status) {});
+  }
+  if (draining_ && !memtable_.empty() && !immutable_) rotate_memtable();
+  unstall();
+  maybe_schedule_compaction();
+  maybe_quiesce();
+}
+
+// ---------------------------------------------------------------------------
+// Compaction
+// ---------------------------------------------------------------------------
+
+u64 LsmStore::level_bytes(u32 level) const {
+  u64 sum = 0;
+  for (const auto& s : levels_[level]) sum += s->file_bytes;
+  return sum;
+}
+
+u64 LsmStore::level_target(u32 level) const {
+  u64 target = cfg_.l1_target_bytes;
+  for (u32 i = 1; i < level; ++i) target *= cfg_.level_size_ratio;
+  return target;
+}
+
+u32 LsmStore::level_file_count(u32 level) const {
+  return level < levels_.size() ? (u32)levels_[level].size() : 0;
+}
+
+void LsmStore::maybe_schedule_compaction() {
+  while (compactions_inflight_ < cfg_.max_background_compactions &&
+         try_start_compaction()) {
+  }
+}
+
+bool LsmStore::try_start_compaction() {
+  auto any_compacting = [](const std::vector<std::shared_ptr<Sst>>& v) {
+    for (const auto& s : v)
+      if (s->compacting) return true;
+    return false;
+  };
+  if (levels_[0].size() >= cfg_.l0_compaction_trigger &&
+      !any_compacting(levels_[0])) {
+    // L0 files overlap each other, so an L0 job must take them all; it
+    // also claims the overlapping L1 range inside run_compaction.
+    run_compaction(0);
+    return true;
+  }
+  for (u32 i = 1; i + 1 < (u32)levels_.size(); ++i) {
+    if (!levels_[i].empty() && level_bytes(i) > level_target(i)) {
+      // A victim (and its L+1 overlap) must be unclaimed.
+      for (u32 probe = 0; probe < (u32)levels_[i].size(); ++probe) {
+        const u32 idx =
+            (compact_rr_[i] + probe) % (u32)levels_[i].size();
+        const auto& victim = levels_[i][idx];
+        if (victim->compacting) continue;
+        bool clash = false;
+        for (const auto& s : levels_[i + 1])
+          if (s->overlaps(victim->smallest, victim->largest) &&
+              s->compacting)
+            clash = true;
+        if (clash) continue;
+        compact_rr_[i] = idx + 1;
+        run_compaction_victim(i, victim);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void LsmStore::run_compaction(u32 level) {
+  run_compaction_victim(level, nullptr);
+}
+
+void LsmStore::run_compaction_victim(u32 level,
+                                     std::shared_ptr<Sst> victim) {
+  ++compactions_inflight_;
+  peak_compactions_ = std::max(peak_compactions_, compactions_inflight_);
+  ++compactions_;
+
+  std::vector<std::shared_ptr<Sst>> inputs_lo;
+  if (level == 0) {
+    inputs_lo = levels_[0];
+  } else {
+    inputs_lo.push_back(victim ? victim : levels_[level][0]);
+  }
+
+  std::string lo = inputs_lo.front()->smallest, hi = inputs_lo.front()->largest;
+  for (const auto& s : inputs_lo) {
+    lo = std::min(lo, s->smallest);
+    hi = std::max(hi, s->largest);
+  }
+  std::vector<std::shared_ptr<Sst>> inputs_hi;
+  for (const auto& s : levels_[level + 1])
+    if (s->overlaps(lo, hi)) inputs_hi.push_back(s);
+  for (const auto& s : inputs_lo) s->compacting = true;
+  for (const auto& s : inputs_hi) s->compacting = true;
+
+  // Trivial move: nothing to merge with downstairs, and (for L0) the
+  // inputs do not overlap each other — just move metadata. This is what
+  // makes sequential fills cheap on the LSM/block stack.
+  bool movable = inputs_hi.empty();
+  if (movable && level == 0 && inputs_lo.size() > 1) {
+    std::vector<std::shared_ptr<Sst>> sorted = inputs_lo;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) {
+                return a->smallest < b->smallest;
+              });
+    for (size_t i = 0; i + 1 < sorted.size() && movable; ++i)
+      movable = !(sorted[i]->largest >= sorted[i + 1]->smallest);
+  }
+  if (movable) {
+    ++trivial_moves_;
+    install_compaction(level, std::move(inputs_lo), {}, {});
+    return;
+  }
+
+  // Real merge: read all inputs, merge (CPU), write outputs, install.
+  std::vector<std::shared_ptr<Sst>> all_inputs = inputs_lo;
+  all_inputs.insert(all_inputs.end(), inputs_hi.begin(), inputs_hi.end());
+
+  struct ReadState {
+    size_t idx = 0;
+    u64 offset = 0;
+  };
+  auto rs = std::make_shared<ReadState>();
+  auto inputs = std::make_shared<std::vector<std::shared_ptr<Sst>>>(all_inputs);
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [this, rs, inputs, step, level, inputs_lo, inputs_hi] {
+    if (rs->idx == inputs->size()) {
+      // All inputs read; merge on the background CPU.
+      std::vector<SstEntry> merged;
+      u64 kvps = 0;
+      for (const auto& s : *inputs) kvps += s->entries.size();
+      merged.reserve(kvps);
+      for (const auto& s : *inputs)
+        merged.insert(merged.end(), s->entries.begin(), s->entries.end());
+      std::sort(merged.begin(), merged.end(),
+                [](const SstEntry& a, const SstEntry& b) {
+                  return a.key != b.key ? a.key < b.key : a.seq > b.seq;
+                });
+      // Keep newest version per key; drop tombstones at the bottom.
+      bool bottom = true;
+      for (u32 j = level + 2; j < (u32)levels_.size(); ++j)
+        if (!levels_[j].empty()) bottom = false;
+      std::vector<SstEntry> kept;
+      kept.reserve(merged.size());
+      std::string last_key;
+      bool have_last = false;
+      for (auto& e : merged) {
+        if (have_last && last_key == e.key) continue;
+        last_key = e.key;
+        have_last = true;
+        if (e.tombstone && bottom) continue;  // tombstones die at the bottom
+        kept.push_back(std::move(e));
+      }
+      cpu_ns_ += kvps * cfg_.compaction_cpu_per_kvp_ns;
+      const TimeNs t_cpu =
+          bg_cpu_.reserve(eq_.now(), kvps * cfg_.compaction_cpu_per_kvp_ns);
+
+      // Split into output SSTs.
+      std::vector<std::shared_ptr<Sst>> outputs;
+      std::vector<SstEntry> cur;
+      u64 cur_bytes = 0;
+      for (auto& e : kept) {
+        cur_bytes += entry_file_bytes(e);
+        cur.push_back(std::move(e));
+        if (cur_bytes >= cfg_.sst_target_bytes) {
+          outputs.push_back(build_sst(next_sst_id_++, std::move(cur)));
+          cur.clear();
+          cur_bytes = 0;
+        }
+      }
+      if (!cur.empty())
+        outputs.push_back(build_sst(next_sst_id_++, std::move(cur)));
+      for (const auto& o : outputs) {
+        char name[32];
+        std::snprintf(name, sizeof(name), "sst-%llu",
+                      (unsigned long long)o->id);
+        o->file = fs_.create(name);
+      }
+      eq_.schedule_at(t_cpu, [this, outputs, level, inputs_lo, inputs_hi] {
+        write_ssts_then(outputs, [this, level, inputs_lo, inputs_hi,
+                                  outputs] {
+          install_compaction(level, inputs_lo, inputs_hi, outputs);
+        });
+      });
+      return;
+    }
+    Sst& sst = *(*inputs)[rs->idx];
+    if (rs->offset >= sst.file_bytes) {
+      ++rs->idx;
+      rs->offset = 0;
+      (*step)();
+      return;
+    }
+    const u64 chunk =
+        std::min<u64>(sst.file_bytes - rs->offset, cfg_.io_chunk_bytes);
+    fs_.read(sst.file, rs->offset, chunk, [rs, step, chunk](Status, u64) {
+      rs->offset += chunk;
+      (*step)();
+    });
+  };
+  (*step)();
+}
+
+void LsmStore::install_compaction(
+    u32 level, std::vector<std::shared_ptr<Sst>> inputs_lo,
+    std::vector<std::shared_ptr<Sst>> inputs_hi,
+    std::vector<std::shared_ptr<Sst>> outputs) {
+  auto remove_from = [](std::vector<std::shared_ptr<Sst>>& vec,
+                        const std::vector<std::shared_ptr<Sst>>& gone) {
+    vec.erase(std::remove_if(vec.begin(), vec.end(),
+                             [&](const std::shared_ptr<Sst>& s) {
+                               for (const auto& g : gone)
+                                 if (g == s) return true;
+                               return false;
+                             }),
+              vec.end());
+  };
+  remove_from(levels_[level], inputs_lo);
+  remove_from(levels_[level + 1], inputs_hi);
+
+  if (outputs.empty() && !inputs_lo.empty() && inputs_hi.empty()) {
+    // Trivial move: the inputs become the outputs.
+    outputs = inputs_lo;
+    inputs_lo.clear();
+  }
+  for (auto& o : outputs) levels_[level + 1].push_back(o);
+  std::sort(levels_[level + 1].begin(), levels_[level + 1].end(),
+            [](const auto& a, const auto& b) {
+              return a->smallest < b->smallest;
+            });
+
+  // Delete replaced files (trivial moves keep theirs).
+  for (const auto& s : inputs_lo)
+    if (s->file != fs::FileSystem::kInvalidHandle)
+      fs_.remove(s->file, [](Status) {});
+  for (const auto& s : inputs_hi)
+    if (s->file != fs::FileSystem::kInvalidHandle)
+      fs_.remove(s->file, [](Status) {});
+
+  for (auto& o : outputs) o->compacting = false;
+  --compactions_inflight_;
+  unstall();
+  maybe_schedule_compaction();
+  maybe_quiesce();
+}
+
+// ---------------------------------------------------------------------------
+// Read path
+// ---------------------------------------------------------------------------
+
+void LsmStore::get(std::string_view key, GetDone done) {
+  const TimeNs cost = cfg_.api_ns + cfg_.memtable_get_ns;
+  cpu_ns_ += cost;
+  const TimeNs t_cpu = fg_cpu_.reserve(eq_.now(), cost);
+
+  auto answer = [&](const MemEntry& e) {
+    const Status s = e.tombstone ? Status::kNotFound : Status::kOk;
+    const ValueDesc v = e.tombstone ? ValueDesc{} : e.value;
+    eq_.schedule_at(t_cpu, [s, v, done = std::move(done)] { done(s, v); });
+  };
+  if (auto it = memtable_.find(key); it != memtable_.end()) {
+    answer(it->second);
+    return;
+  }
+  if (immutable_) {
+    if (auto it = immutable_->find(key); it != immutable_->end()) {
+      answer(it->second);
+      return;
+    }
+  }
+
+  std::vector<std::shared_ptr<Sst>> candidates;
+  for (auto it = levels_[0].rbegin(); it != levels_[0].rend(); ++it)
+    if ((*it)->overlaps(key, key)) candidates.push_back(*it);
+  for (u32 l = 1; l < (u32)levels_.size(); ++l)
+    for (const auto& s : levels_[l])
+      if (s->overlaps(key, key)) {
+        candidates.push_back(s);
+        break;  // levels >0 are non-overlapping: at most one file
+      }
+
+  const u64 khash = hash64(key);
+  eq_.schedule_at(t_cpu, [this, k = std::string(key), khash,
+                          candidates = std::move(candidates),
+                          done = std::move(done)]() mutable {
+    get_from_ssts(std::move(k), khash, std::move(candidates), 0,
+                  std::move(done));
+  });
+}
+
+void LsmStore::get_from_ssts(std::string key, u64 khash,
+                             std::vector<std::shared_ptr<Sst>> candidates,
+                             size_t idx, GetDone done) {
+  if (idx >= candidates.size()) {
+    done(Status::kNotFound, ValueDesc{});
+    return;
+  }
+  const std::shared_ptr<Sst>& sst = candidates[idx];
+  cpu_ns_ += cfg_.bloom_check_ns;
+  if (!sst->bloom->may_contain(khash)) {
+    eq_.schedule_after(cfg_.bloom_check_ns,
+                       [this, key = std::move(key), khash,
+                        candidates = std::move(candidates), idx,
+                        done = std::move(done)]() mutable {
+                         get_from_ssts(std::move(key), khash,
+                                       std::move(candidates), idx + 1,
+                                       std::move(done));
+                       });
+    return;
+  }
+  const i64 i = sst->find(key);
+  if (i < 0) {  // Bloom false positive: paid an index-block lookup
+    eq_.schedule_after(cfg_.block_parse_ns,
+                       [this, key = std::move(key), khash,
+                        candidates = std::move(candidates), idx,
+                        done = std::move(done)]() mutable {
+                         get_from_ssts(std::move(key), khash,
+                                       std::move(candidates), idx + 1,
+                                       std::move(done));
+                       });
+    return;
+  }
+  const SstEntry& e = sst->entries[(size_t)i];
+  const Status s = e.tombstone ? Status::kNotFound : Status::kOk;
+  const ValueDesc v = e.tombstone ? ValueDesc{} : e.value;
+
+  const u64 block_no = sst->offsets[(size_t)i] / cfg_.data_block_bytes;
+  const u64 block_key = (sst->id << 24) | (block_no & 0xffffff);
+  cpu_ns_ += cfg_.block_parse_ns;
+  if (cache_lookup(block_key)) {
+    eq_.schedule_after(cfg_.block_parse_ns,
+                       [s, v, done = std::move(done)] { done(s, v); });
+    return;
+  }
+  const u64 nblocks =
+      (e.value.size + cfg_.data_block_bytes - 1) / cfg_.data_block_bytes;
+  const u64 read_bytes = std::max<u64>(1, nblocks) * cfg_.data_block_bytes;
+  fs_.read(sst->file, block_no * cfg_.data_block_bytes, read_bytes,
+           [this, block_key, s, v, done = std::move(done)](Status,
+                                                           u64) mutable {
+             cache_insert(block_key);
+             done(s, v);
+           });
+}
+
+bool LsmStore::cache_lookup(u64 block_key) {
+  ++cache_lookups_;
+  auto it = cache_map_.find(block_key);
+  if (it == cache_map_.end()) return false;
+  ++cache_hits_;
+  cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+  return true;
+}
+
+void LsmStore::cache_insert(u64 block_key) {
+  if (cache_map_.count(block_key)) return;
+  cache_lru_.push_front(block_key);
+  cache_map_[block_key] = cache_lru_.begin();
+  while (cache_lru_.size() > cache_capacity_blocks_) {
+    cache_map_.erase(cache_lru_.back());
+    cache_lru_.pop_back();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Drain / telemetry
+// ---------------------------------------------------------------------------
+
+void LsmStore::drain(std::function<void()> done) {
+  draining_ = true;
+  quiesce_waiters_.push_back(std::move(done));
+  if (!memtable_.empty() && !immutable_) rotate_memtable();
+  maybe_quiesce();
+}
+
+void LsmStore::maybe_quiesce() {
+  if (quiesce_waiters_.empty()) return;
+  maybe_schedule_compaction();
+  if (flush_running_ || compactions_inflight_ > 0 || immutable_) return;
+  if (draining_ && !memtable_.empty()) {
+    rotate_memtable();
+    return;
+  }
+  if (levels_[0].size() >= cfg_.l0_compaction_trigger) return;
+  draining_ = false;
+  auto waiters = std::move(quiesce_waiters_);
+  quiesce_waiters_.clear();
+  for (auto& w : waiters) w();
+}
+
+std::vector<std::string> LsmStore::debug_locate(std::string_view key) const {
+  std::vector<std::string> hits;
+  char buf[96];
+  auto add = [&](const char* where, u64 seq, u64 fp, bool tomb) {
+    std::snprintf(buf, sizeof(buf), "%s seq=%llu fp=%llu%s", where,
+                  (unsigned long long)seq, (unsigned long long)fp,
+                  tomb ? " tombstone" : "");
+    hits.emplace_back(buf);
+  };
+  if (auto it = memtable_.find(key); it != memtable_.end())
+    add("memtable", it->second.seq, it->second.value.fingerprint,
+        it->second.tombstone);
+  if (immutable_) {
+    if (auto it = immutable_->find(key); it != immutable_->end())
+      add("immutable", it->second.seq, it->second.value.fingerprint,
+          it->second.tombstone);
+  }
+  for (u32 l = 0; l < (u32)levels_.size(); ++l) {
+    for (const auto& s : levels_[l]) {
+      const i64 i = s->find(key);
+      if (i < 0) continue;
+      char where[64];
+      std::snprintf(where, sizeof(where), "L%u:sst-%llu ovl=%d bloom=%d", l,
+                    (unsigned long long)s->id, (int)s->overlaps(key, key),
+                    (int)s->bloom->may_contain(hash64(key)));
+      add(where, s->entries[(size_t)i].seq,
+          s->entries[(size_t)i].value.fingerprint,
+          s->entries[(size_t)i].tombstone);
+    }
+  }
+  return hits;
+}
+
+u64 LsmStore::sst_bytes_live() const {
+  u64 sum = wal_seg_bytes_;
+  for (const auto& level : levels_)
+    for (const auto& s : level) sum += s->file_bytes;
+  return sum;
+}
+
+}  // namespace kvsim::lsm

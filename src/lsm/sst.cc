@@ -1,0 +1,57 @@
+#include "lsm/sst.h"
+
+#include <algorithm>
+
+namespace kvsim::lsm {
+
+SstBloom::SstBloom(const std::vector<u64>& khashes)
+    : nbits_(std::max<u64>(64, khashes.size() * 10)) {
+  bits_.assign((nbits_ + 63) / 64, 0);
+  for (u64 kh : khashes) {
+    for (u32 i = 0; i < 4; ++i) {
+      const u64 bit = mix64(kh + 0x9e3779b97f4a7c15ull * (i + 1)) % nbits_;
+      bits_[bit >> 6] |= 1ull << (bit & 63);
+    }
+  }
+}
+
+bool SstBloom::may_contain(u64 khash) const {
+  for (u32 i = 0; i < 4; ++i) {
+    const u64 bit = mix64(khash + 0x9e3779b97f4a7c15ull * (i + 1)) % nbits_;
+    if (!(bits_[bit >> 6] & (1ull << (bit & 63)))) return false;
+  }
+  return true;
+}
+
+i64 Sst::find(std::string_view key) const {
+  auto it = std::lower_bound(
+      entries.begin(), entries.end(), key,
+      [](const SstEntry& e, std::string_view k) { return e.key < k; });
+  if (it == entries.end() || it->key != key) return -1;
+  return it - entries.begin();
+}
+
+std::shared_ptr<Sst> build_sst(u64 id, std::vector<SstEntry> entries) {
+  auto sst = std::make_shared<Sst>();
+  sst->id = id;
+  sst->entries = std::move(entries);
+  sst->offsets.reserve(sst->entries.size());
+  std::vector<u64> khashes;
+  khashes.reserve(sst->entries.size());
+  u64 off = 0;
+  for (const SstEntry& e : sst->entries) {
+    sst->offsets.push_back(off);
+    off += entry_file_bytes(e);
+    khashes.push_back(hash64(e.key));
+  }
+  // ~2% metadata (index block + filter) on top of the data.
+  sst->file_bytes = off + off / 50 + 4 * KiB;
+  sst->bloom = std::make_unique<SstBloom>(khashes);
+  if (!sst->entries.empty()) {
+    sst->smallest = sst->entries.front().key;
+    sst->largest = sst->entries.back().key;
+  }
+  return sst;
+}
+
+}  // namespace kvsim::lsm

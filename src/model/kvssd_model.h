@@ -1,0 +1,79 @@
+// Analytical performance model of the KV-SSD (the paper's stated future
+// work: "an analytical model of KV-SSD performance that can help
+// researchers generate more representative workloads").
+//
+// The model applies operational analysis / asymptotic bounds to the same
+// resources the simulator schedules:
+//
+//   command processor   : ncmds(key) * fetch
+//   index managers      : key_handling / managers
+//   packer engine       : pack / ops_per_page + splits
+//   flash program lanes : pages_per_op * (xfer + tPROG) / lanes * WAF
+//   flash read dies     : pages_read_per_op * (tR + xfer) / dies
+//   index region        : p_miss * levels * (tR + xfer) / index_dies
+//   PCIe link           : payload / bus rate
+//
+// With queue depth N and per-op service demands S_i at stations i:
+//   X(N) <= min( 1 / max_i S_i ,  N / sum_i S_i )        (throughput)
+//   R(N) >= max( sum_i S_i ,      N * max_i S_i )        (latency)
+// These bounds are tight at low and high N and within ~2x in between —
+// exactly the fidelity a workload designer needs to predict which regime
+// (Figs. 2-8) a configuration lands in.
+#pragma once
+
+#include "kvftl/kv_ftl.h"
+#include "nvme/nvme_link.h"
+#include "ssd/config.h"
+
+namespace kvsim::model {
+
+struct ModelInput {
+  ssd::SsdConfig dev;
+  kvftl::KvFtlConfig ftl;
+  nvme::NvmeConfig nvme;
+
+  u32 key_bytes = 16;
+  u32 value_bytes = 4 * KiB;
+  u32 queue_depth = 64;
+  bool is_read = false;
+
+  /// KVPs resident on the device (drives index occupancy, Fig. 3).
+  u64 kvp_count = 0;
+  /// Fraction of data-slot capacity holding live data (drives GC, Fig. 6).
+  double fill_fraction = 0.0;
+  /// Fraction of writes that overwrite existing keys (GC pressure).
+  double update_fraction = 0.0;
+};
+
+struct StationDemand {
+  const char* name;
+  double service_ns;    ///< per-op *demand* (amortized over the station's
+                        ///< parallel servers) — bounds throughput
+  double residence_ns;  ///< time one op actually spends at the station
+                        ///< (un-amortized) — bounds latency
+};
+
+struct ModelOutput {
+  double throughput_ops_per_sec = 0;
+  double mean_latency_ns = 0;
+  double sum_residence_ns = 0;      ///< zero-contention latency floor
+  double bottleneck_service_ns = 0; ///< largest per-op station demand
+  const char* bottleneck = "";
+  double index_miss_prob = 0;
+  u32 index_levels = 1;
+  double waf = 1.0;
+  std::vector<StationDemand> stations;
+};
+
+/// Predict steady-state throughput and mean latency for the workload.
+ModelOutput predict(const ModelInput& in);
+
+/// Convenience: expected index miss probability at `kvp_count` residents.
+double index_miss_probability(const ModelInput& in);
+
+/// Expected GC write amplification under uniform random overwrites at
+/// `fill_fraction` occupancy (greedy victim selection approximation:
+/// WAF = 1 / (1 - u) with u the steady-state victim valid ratio).
+double gc_write_amplification(double fill_fraction, double update_fraction);
+
+}  // namespace kvsim::model

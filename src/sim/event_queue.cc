@@ -1,0 +1,34 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace kvsim::sim {
+
+void EventQueue::schedule_at(TimeNs t, Callback cb) {
+  if (t < now_) t = now_;
+  heap_.push(Event{t, seq_++, std::move(cb)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast, which is safe
+  // because the element is popped immediately after.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  now_ = ev.time;
+  ++processed_;
+  ev.cb();
+  return true;
+}
+
+void EventQueue::run() {
+  while (step()) {
+  }
+}
+
+void EventQueue::run_until(TimeNs t) {
+  while (!heap_.empty() && heap_.top().time <= t) step();
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace kvsim::sim

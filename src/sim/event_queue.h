@@ -1,0 +1,85 @@
+// Discrete-event simulation core.
+//
+// Every component in the system (flash dies, FTLs, host drivers, workload
+// runners) advances by scheduling callbacks on one shared EventQueue. Time
+// is integer nanoseconds; ties are broken by insertion order so runs are
+// fully deterministic.
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace kvsim::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time.
+  TimeNs now() const { return now_; }
+
+  /// Schedule `cb` at absolute time `t` (clamped to now if in the past).
+  void schedule_at(TimeNs t, Callback cb);
+
+  /// Schedule `cb` `delay` ns from now.
+  void schedule_after(TimeNs delay, Callback cb) {
+    schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Pop and run the earliest event. Returns false if the queue is empty.
+  bool step();
+
+  /// Run until the queue drains.
+  void run();
+
+  /// Run until simulated time reaches `t` or the queue drains.
+  void run_until(TimeNs t);
+
+  bool empty() const { return heap_.empty(); }
+  u64 events_processed() const { return processed_; }
+
+ private:
+  struct Event {
+    TimeNs time;
+    u64 seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  TimeNs now_ = 0;
+  u64 seq_ = 0;
+  u64 processed_ = 0;
+};
+
+/// A serially-reusable resource (a flash die, a channel, a CPU) modeled by
+/// its next-free time. Callers reserve an interval and learn when their
+/// use completes; contention appears as queueing delay.
+class Resource {
+ public:
+  /// Reserve the resource for `duration`, starting no earlier than
+  /// `earliest`. Returns the completion time. Also accumulates busy time
+  /// for utilization accounting.
+  TimeNs reserve(TimeNs earliest, TimeNs duration) {
+    const TimeNs start = earliest > free_at_ ? earliest : free_at_;
+    free_at_ = start + duration;
+    busy_ += duration;
+    return free_at_;
+  }
+
+  TimeNs free_at() const { return free_at_; }
+  TimeNs busy_time() const { return busy_; }
+
+ private:
+  TimeNs free_at_ = 0;
+  TimeNs busy_ = 0;
+};
+
+}  // namespace kvsim::sim

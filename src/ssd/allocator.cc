@@ -1,0 +1,64 @@
+#include "ssd/allocator.h"
+
+#include <algorithm>
+
+namespace kvsim::ssd {
+
+BlockAllocator::BlockAllocator(const flash::FlashGeometry& geom)
+    : geom_(geom),
+      per_plane_free_(geom.total_planes()),
+      erase_counts_(geom.total_blocks(), 0) {
+  // Populate pools in reverse so pop_back() hands out low block ids first.
+  for (u64 plane = 0; plane < geom_.total_planes(); ++plane) {
+    auto& pool = per_plane_free_[plane];
+    pool.reserve(geom_.blocks_per_plane);
+    for (u32 b = geom_.blocks_per_plane; b-- > 0;)
+      pool.push_back(geom_.block_id(plane, b));
+  }
+  free_count_ = geom_.total_blocks();
+}
+
+std::optional<flash::BlockId> BlockAllocator::allocate() {
+  const u64 planes = per_plane_free_.size();
+  for (u64 i = 0; i < planes; ++i) {
+    const u64 plane = (rr_plane_ + i) % planes;
+    if (!per_plane_free_[plane].empty()) {
+      rr_plane_ = (plane + 1) % planes;
+      return allocate_on_plane(plane);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<flash::BlockId> BlockAllocator::allocate_on_plane(u64 plane) {
+  auto& pool = per_plane_free_[plane];
+  if (pool.empty()) return std::nullopt;
+  // Static wear leveling: hand out the least-worn free block.
+  size_t pick = pool.size() - 1;
+  for (size_t i = 0; i < pool.size(); ++i)
+    if (erase_counts_[pool[i]] < erase_counts_[pool[pick]]) pick = i;
+  const flash::BlockId b = pool[pick];
+  pool[pick] = pool.back();
+  pool.pop_back();
+  --free_count_;
+  return b;
+}
+
+void BlockAllocator::release(flash::BlockId b) {
+  ++erase_counts_[b];
+  ++total_erases_;
+  per_plane_free_[geom_.plane_of_block(b)].push_back(b);
+  ++free_count_;
+}
+
+u32 BlockAllocator::max_erase_count() const {
+  u32 mx = 0;
+  for (u32 c : erase_counts_) mx = std::max(mx, c);
+  return mx;
+}
+
+double BlockAllocator::mean_erase_count() const {
+  return (double)total_erases_ / (double)erase_counts_.size();
+}
+
+}  // namespace kvsim::ssd

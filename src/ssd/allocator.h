@@ -1,0 +1,48 @@
+// Free-block management for log-structured FTLs.
+//
+// Blocks are handed out round-robin across planes so consecutive log pages
+// stripe over all dies (the source of internal parallelism both firmwares
+// share). Freed blocks return to their plane's pool after erase; the
+// allocator counts erases and serves the least-worn free block of a plane
+// first (static wear leveling), so GC churn spreads across the blocks.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "flash/geometry.h"
+
+namespace kvsim::ssd {
+
+class BlockAllocator {
+ public:
+  explicit BlockAllocator(const flash::FlashGeometry& geom);
+
+  /// Take a free block, preferring the next plane in round-robin order
+  /// (falls back to any plane with free blocks). nullopt when exhausted.
+  std::optional<flash::BlockId> allocate();
+
+  /// Take a free block on a specific plane if available.
+  std::optional<flash::BlockId> allocate_on_plane(u64 plane);
+
+  /// Return an erased block to the pool.
+  void release(flash::BlockId b);
+
+  u64 free_blocks() const { return free_count_; }
+  u64 total_blocks() const { return geom_.total_blocks(); }
+
+  // --- wear telemetry (erase counts) ------------------------------------
+  u32 erase_count(flash::BlockId b) const { return erase_counts_[b]; }
+  u32 max_erase_count() const;
+  double mean_erase_count() const;
+
+ private:
+  flash::FlashGeometry geom_;
+  std::vector<std::vector<flash::BlockId>> per_plane_free_;
+  std::vector<u32> erase_counts_;
+  u64 total_erases_ = 0;
+  u64 rr_plane_ = 0;
+  u64 free_count_ = 0;
+};
+
+}  // namespace kvsim::ssd

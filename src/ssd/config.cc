@@ -1,0 +1,55 @@
+#include "ssd/config.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace kvsim::ssd {
+
+namespace {
+[[noreturn]] void bad(const std::string& what) {
+  throw std::invalid_argument("SsdConfig: " + what);
+}
+}  // namespace
+
+void SsdConfig::validate() const {
+  const auto& g = geometry;
+  if (!g.channels || !g.dies_per_channel || !g.planes_per_die ||
+      !g.blocks_per_plane || !g.pages_per_block)
+    bad("every geometry dimension must be nonzero");
+  if (g.page_bytes < 4 * KiB || g.page_bytes % 512 != 0)
+    bad("page_bytes must be >= 4 KiB and sector-aligned");
+  if (timing.channel_bytes_per_ns <= 0)
+    bad("channel rate must be positive");
+  if (overprovision < 0.0 || overprovision >= 0.5)
+    bad("overprovision must be in [0, 0.5)");
+  if (write_buffer_bytes < g.page_bytes)
+    bad("write buffer must hold at least one page");
+  if (gc_low_watermark_blocks <= gc_reserved_blocks)
+    bad("GC watermark must exceed the GC reserve");
+  if (g.total_blocks() < 2ull * gc_low_watermark_blocks)
+    bad("device too small for the GC watermarks");
+}
+
+SsdConfig SsdConfig::small_device() {
+  SsdConfig cfg;
+  cfg.geometry.channels = 8;
+  cfg.geometry.dies_per_channel = 2;
+  cfg.geometry.planes_per_die = 2;
+  cfg.geometry.blocks_per_plane = 64;
+  cfg.geometry.pages_per_block = 64;   // 2 MiB blocks
+  cfg.geometry.page_bytes = 32 * KiB;  // 4 GiB raw
+  return cfg;
+}
+
+SsdConfig SsdConfig::standard_device() {
+  SsdConfig cfg;
+  cfg.geometry.channels = 8;
+  cfg.geometry.dies_per_channel = 4;
+  cfg.geometry.planes_per_die = 2;
+  cfg.geometry.blocks_per_plane = 64;
+  cfg.geometry.pages_per_block = 128;  // 4 MiB blocks
+  cfg.geometry.page_bytes = 32 * KiB;  // 16 GiB raw
+  return cfg;
+}
+
+}  // namespace kvsim::ssd

@@ -1,0 +1,44 @@
+// Device-level configuration shared by both firmware personalities.
+//
+// The same SsdConfig is handed to the block FTL and the KV FTL, mirroring
+// the paper's methodology of flashing one PM983 with either block or KV
+// firmware: identical NAND, identical controller, different software.
+#pragma once
+
+#include "flash/geometry.h"
+
+namespace kvsim::ssd {
+
+struct SsdConfig {
+  flash::FlashGeometry geometry;
+  flash::FlashTiming timing;
+
+  /// Device DRAM dedicated to the host write buffer. Host writes are
+  /// acknowledged once buffered (power-loss capacitors assumed), so write
+  /// latency at low load is buffer-copy time; sustained load is bounded by
+  /// program bandwidth via buffer backpressure.
+  u64 write_buffer_bytes = 16 * MiB;
+
+  /// Fraction of raw capacity hidden from the host as over-provisioning.
+  double overprovision = 0.07;
+
+  /// Per-command firmware dispatch cost on the controller CPU.
+  TimeNs firmware_dispatch_ns = 2 * kUs;
+
+  /// Blocks kept in reserve so garbage collection always has somewhere to
+  /// migrate valid data.
+  u32 gc_reserved_blocks = 4;
+  /// Background GC starts when the free pool drops below this many blocks.
+  u32 gc_low_watermark_blocks = 20;
+
+  /// Throws std::invalid_argument when the geometry or budgets are
+  /// inconsistent (zero dimensions, page not sector-aligned, ...).
+  void validate() const;
+
+  /// Preset: a ~4 GiB device for unit tests (fast to fill).
+  static SsdConfig small_device();
+  /// Preset: a ~16 GiB device for experiments (scaled-down PM983).
+  static SsdConfig standard_device();
+};
+
+}  // namespace kvsim::ssd

@@ -1,0 +1,32 @@
+// Device-level counters every FTL maintains (the simulator's equivalent of
+// S.M.A.R.T. / NVMe-CLI telemetry the paper collects).
+#pragma once
+
+#include "common/types.h"
+
+namespace kvsim::ssd {
+
+struct FtlStats {
+  u64 host_read_ops = 0;
+  u64 host_write_ops = 0;
+  u64 host_bytes_read = 0;
+  u64 host_bytes_written = 0;
+
+  u64 gc_runs = 0;
+  u64 gc_foreground_runs = 0;     ///< GC invoked while a host write waited
+  u64 gc_migrated_bytes = 0;      ///< valid data rewritten by GC
+  u64 gc_migrated_units = 0;      ///< blobs / logical pages moved
+
+  u64 rmw_ops = 0;                ///< sub-page read-modify-writes (block FTL)
+
+  u64 flash_bytes_written = 0;    ///< host + GC + index program traffic
+
+  /// Write amplification factor: flash program bytes / host write bytes.
+  double waf() const {
+    return host_bytes_written
+               ? (double)flash_bytes_written / (double)host_bytes_written
+               : 0.0;
+  }
+};
+
+}  // namespace kvsim::ssd

@@ -1,0 +1,38 @@
+#include "ssd/write_buffer.h"
+
+#include <utility>
+
+namespace kvsim::ssd {
+
+void WriteBuffer::acquire(u64 bytes, std::function<void()> granted) {
+  const u64 need = bytes > capacity_ ? capacity_ : bytes;
+  if (waiters_.empty() && occupied_ + need <= capacity_) {
+    occupied_ += bytes > capacity_ ? capacity_ : bytes;
+    granted();
+    return;
+  }
+  ++stall_events_;
+  waiters_.push_back(Waiter{bytes, std::move(granted)});
+}
+
+void WriteBuffer::release(u64 bytes) {
+  occupied_ = bytes > occupied_ ? 0 : occupied_ - bytes;
+  admit_waiters();
+}
+
+void WriteBuffer::admit_waiters() {
+  while (!waiters_.empty()) {
+    const u64 need = waiters_.front().bytes > capacity_
+                         ? capacity_
+                         : waiters_.front().bytes;
+    if (occupied_ + need > capacity_) break;
+    occupied_ += need;
+    auto granted = std::move(waiters_.front().granted);
+    waiters_.pop_front();
+    // Run via the event queue so admission happens in its own event (the
+    // releasing program-completion callback finishes first).
+    eq_.schedule_after(0, std::move(granted));
+  }
+}
+
+}  // namespace kvsim::ssd

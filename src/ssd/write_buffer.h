@@ -1,0 +1,51 @@
+// Device-DRAM write buffer with backpressure.
+//
+// Host writes complete once their payload is accepted into this buffer;
+// space is released when the corresponding flash programs finish. When the
+// buffer is full, admissions queue FIFO — this is how sustained write load
+// (and stalled garbage collection) turns into host-visible latency.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+
+#include "common/types.h"
+#include "sim/event_queue.h"
+
+namespace kvsim::ssd {
+
+class WriteBuffer {
+ public:
+  WriteBuffer(sim::EventQueue& eq, u64 capacity_bytes)
+      : eq_(eq), capacity_(capacity_bytes) {}
+
+  /// Request `bytes` of buffer space; `granted` runs (possibly immediately)
+  /// once the space is reserved. Requests larger than the whole buffer are
+  /// admitted alone (they would otherwise never fit).
+  void acquire(u64 bytes, std::function<void()> granted);
+
+  /// Return `bytes` of space (programs completed); admits queued writers.
+  void release(u64 bytes);
+
+  u64 occupied() const { return occupied_; }
+  u64 capacity() const { return capacity_; }
+  size_t waiters() const { return waiters_.size(); }
+  u64 total_stall_events() const { return stall_events_; }
+
+ private:
+  void admit_waiters();
+
+  struct Waiter {
+    u64 bytes;
+    std::function<void()> granted;
+  };
+
+  sim::EventQueue& eq_;
+  u64 capacity_;
+  u64 occupied_ = 0;
+  std::deque<Waiter> waiters_;
+  u64 stall_events_ = 0;
+};
+
+}  // namespace kvsim::ssd

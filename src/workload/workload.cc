@@ -1,0 +1,138 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/hash.h"
+
+namespace kvsim::wl {
+
+const char* to_string(Pattern p) {
+  switch (p) {
+    case Pattern::kSequential: return "Seq";
+    case Pattern::kUniform: return "Rand";
+    case Pattern::kZipfian: return "Zipf";
+    case Pattern::kSlidingWindow: return "Window";
+    case Pattern::kLatest: return "Latest";
+  }
+  return "?";
+}
+
+std::string make_key(u64 id, u32 key_bytes) {
+  if (key_bytes < 4) key_bytes = 4;
+  std::string key(key_bytes, '0');
+  key[0] = 'k';
+  // Fill digits right-to-left.
+  for (u32 pos = key_bytes; pos-- > 1 && id > 0; id /= 10)
+    key[pos] = (char)('0' + id % 10);
+  return key;
+}
+
+u64 value_fingerprint(u64 id, u64 version) {
+  return mix64(id * 0x9e3779b97f4a7c15ull + version);
+}
+
+KeyChooser::KeyChooser(Pattern p, u64 key_space, u64 seed, double zipf_theta,
+                       u64 window)
+    : pattern_(p),
+      space_(key_space ? key_space : 1),
+      rng_(seed),
+      total_hint_(space_),
+      zipf_theta_(zipf_theta),
+      window_(window ? window : std::max<u64>(1, key_space / 100)) {
+  if (pattern_ == Pattern::kZipfian || pattern_ == Pattern::kLatest)
+    zipf_ = std::make_unique<ZipfGenerator>(space_, zipf_theta_);
+}
+
+u64 KeyChooser::next() {
+  switch (pattern_) {
+    case Pattern::kSequential:
+      return cursor_++ % space_;
+    case Pattern::kUniform:
+      return rng_.below(space_);
+    case Pattern::kZipfian:
+      return scatter_rank(zipf_->next(rng_), space_);
+    case Pattern::kLatest: {
+      // Zipf over recency: rank 0 is the newest key id (space_ - 1).
+      const u64 rank = zipf_->next(rng_) % space_;
+      return space_ - 1 - rank;
+    }  // space_ tracks the insert frontier via set_space()
+    case Pattern::kSlidingWindow: {
+      // The window sweeps [0, space) once over total_hint_ draws.
+      const u64 span = space_ > window_ ? space_ - window_ : 1;
+      const u64 start = (u64)((double)(cursor_ % total_hint_) /
+                              (double)total_hint_ * (double)span);
+      ++cursor_;
+      return start + rng_.below(window_ < space_ ? window_ : space_);
+    }
+  }
+  return 0;
+}
+
+OpStream::OpStream(const WorkloadSpec& spec)
+    : spec_(spec),
+      chooser_(spec.pattern, spec.key_space, spec.seed, spec.zipf_theta,
+               spec.window),
+      type_rng_(spec.seed ^ 0xabcdef0123456789ull),
+      size_rng_(spec.seed ^ 0x5151515151515151ull),
+      insert_perm_(spec.key_space ? spec.key_space : 1, spec.seed),
+      frontier_(spec.key_space) {
+  chooser_.set_total_ops(spec.num_ops);
+}
+
+u64 OpStream::choose_id(OpType type) {
+  if (spec_.inserts_extend_space && type == OpType::kInsert) {
+    const u64 id = frontier_++;
+    chooser_.set_space(frontier_);  // recency distributions follow along
+    return id;
+  }
+  if (spec_.distinct_inserts && type == OpType::kInsert) {
+    const u64 i = insert_cursor_++ % insert_perm_.n();
+    return spec_.pattern == wl::Pattern::kSequential ? i : insert_perm_(i);
+  }
+  return chooser_.next();
+}
+
+u32 OpStream::choose_value_bytes() {
+  switch (spec_.value_dist) {
+    case ValueDist::kFixed:
+      return spec_.value_bytes;
+    case ValueDist::kUniform: {
+      const u32 lo = std::min(spec_.value_min_bytes, spec_.value_bytes);
+      return (u32)size_rng_.range(lo, spec_.value_bytes);
+    }
+    case ValueDist::kFacebook: {
+      // Bounded Pareto (alpha ~ 1.2) anchored at 57 B: mean lands near
+      // ~110 B with a tail capped at value_bytes.
+      const double u = std::max(1e-9, size_rng_.uniform());
+      const double v = 57.0 / std::pow(u, 1.0 / 1.2);
+      return (u32)std::min<double>(v, spec_.value_bytes);
+    }
+  }
+  return spec_.value_bytes;
+}
+
+bool OpStream::next(Op& out) {
+  if (generated_ >= spec_.num_ops) return false;
+  ++generated_;
+  const double r = type_rng_.uniform();
+  const OpMix& m = spec_.mix;
+  OpType t;
+  if (r < m.insert) {
+    t = OpType::kInsert;
+  } else if (r < m.insert + m.update) {
+    t = OpType::kUpdate;
+  } else if (r < m.insert + m.update + m.read) {
+    t = OpType::kRead;
+  } else if (r < m.insert + m.update + m.read + m.scan) {
+    t = OpType::kScan;
+  } else {
+    t = OpType::kDelete;
+  }
+  out = Op{t, choose_id(t), choose_value_bytes(),
+           t == OpType::kScan ? spec_.scan_length : 0};
+  return true;
+}
+
+}  // namespace kvsim::wl

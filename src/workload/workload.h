@@ -1,0 +1,142 @@
+// KVBench-equivalent workload generation (Sec. III).
+//
+// Generates streams of KV operations with configurable key/value sizes,
+// op mixes, and the paper's four access patterns: sequential, uniform
+// random, Zipfian, and the footnote-2 "sliding window" pseudo-random
+// pattern used in Fig. 6c (a small window moves across the key space;
+// keys are drawn uniformly from inside it).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace kvsim::wl {
+
+enum class Pattern {
+  kSequential,
+  kUniform,
+  kZipfian,
+  kSlidingWindow,
+  /// YCSB "latest": zipfian over recency, hottest at the insert frontier.
+  kLatest,
+};
+
+const char* to_string(Pattern p);
+
+enum class OpType { kInsert, kUpdate, kRead, kScan, kDelete, kExist };
+
+/// Render key id `id` as a fixed-width printable key of exactly
+/// `key_bytes` bytes (>= 4). Layout: "k" + zero-padded decimal id; ids
+/// that overflow the digit budget wrap (documented: key spaces in the
+/// experiments stay well below the budget).
+std::string make_key(u64 id, u32 key_bytes);
+
+/// Deterministic value fingerprint for (key id, version).
+u64 value_fingerprint(u64 id, u64 version);
+
+/// Chooses key ids in [0, key_space) according to a Pattern.
+class KeyChooser {
+ public:
+  KeyChooser(Pattern p, u64 key_space, u64 seed, double zipf_theta = 0.99,
+             u64 window = 0);
+
+  u64 next();
+  Pattern pattern() const { return pattern_; }
+  u64 key_space() const { return space_; }
+  /// Grow/shrink the addressed space (YCSB-D's moving insert frontier).
+  void set_space(u64 space) { space_ = space ? space : 1; }
+
+ private:
+  Pattern pattern_;
+  u64 space_;
+  Rng rng_;
+  u64 cursor_ = 0;  // sequential position / op counter
+  u64 total_hint_;  // ops expected (for window sweep pacing)
+  double zipf_theta_;
+  u64 window_;
+  std::unique_ptr<ZipfGenerator> zipf_;
+
+ public:
+  /// Sliding-window pacing needs to know how many draws will be made so
+  /// the window sweeps the whole space exactly once.
+  void set_total_ops(u64 n) { total_hint_ = n ? n : 1; }
+};
+
+struct OpMix {
+  double insert = 0.0;
+  double update = 0.0;
+  double read = 0.0;
+  double scan = 0.0;
+  // deletes take the remainder
+
+  static OpMix insert_only() { return {1, 0, 0, 0}; }
+  static OpMix update_only() { return {0, 1, 0, 0}; }
+  static OpMix read_only() { return {0, 0, 1, 0}; }
+};
+
+/// Value-size distributions (KVBench generates variable-length values;
+/// the Facebook preset follows the 57-154 B KVP sizes the paper cites
+/// from Cao et al. [14]).
+enum class ValueDist {
+  kFixed,     ///< always value_bytes
+  kUniform,   ///< uniform in [value_min_bytes, value_bytes]
+  kFacebook,  ///< heavy-tailed around ~100 B (Pareto-like, capped)
+};
+
+struct WorkloadSpec {
+  u64 num_ops = 100'000;
+  u64 key_space = 100'000;  ///< distinct key ids addressed
+  u32 key_bytes = 16;
+  u32 value_bytes = 4 * KiB;
+  ValueDist value_dist = ValueDist::kFixed;
+  u32 value_min_bytes = 1;  ///< lower bound for kUniform
+  Pattern pattern = Pattern::kUniform;
+  double zipf_theta = 0.99;
+  u64 window = 0;  ///< sliding-window size (0 = key_space / 100)
+  OpMix mix = OpMix::insert_only();
+  u32 queue_depth = 64;
+  u64 seed = 42;
+  /// YCSB-D style: inserts append fresh ids past key_space, and
+  /// non-insert ops draw from the grown frontier.
+  bool inserts_extend_space = false;
+  /// Scan ops read this many consecutive keys (YCSB-E).
+  u32 scan_length = 16;
+  /// Load-phase semantics: inserts visit each key id exactly once, in an
+  /// order given by `pattern` (sequential, or a shuffled permutation for
+  /// random/zipf orders) — KVBench-style population.
+  bool distinct_inserts = false;
+};
+
+/// One generated operation.
+struct Op {
+  OpType type;
+  u64 key_id;
+  u32 value_bytes;
+  u32 scan_length = 0;  ///< set for kScan
+};
+
+/// Streams `spec.num_ops` operations.
+class OpStream {
+ public:
+  explicit OpStream(const WorkloadSpec& spec);
+  bool next(Op& out);
+  u64 generated() const { return generated_; }
+
+ private:
+  u64 choose_id(OpType type);
+  u32 choose_value_bytes();
+
+  WorkloadSpec spec_;
+  KeyChooser chooser_;
+  Rng type_rng_;
+  Rng size_rng_;
+  Permutation insert_perm_;
+  u64 insert_cursor_ = 0;
+  u64 generated_ = 0;
+  u64 frontier_;  ///< next fresh key id (inserts_extend_space mode)
+};
+
+}  // namespace kvsim::wl

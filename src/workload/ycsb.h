@@ -1,0 +1,60 @@
+// YCSB-style workload presets (the paper's stated future work: "we plan
+// to explore KV-SSD performance behavior under real-world workloads and
+// benchmarks, such as YCSB").
+//
+// Implements the six core YCSB workloads as WorkloadSpec presets over
+// this repository's op-mix/pattern machinery, including YCSB's "latest"
+// request distribution (skewed toward recently-inserted keys), which the
+// base generator does not need for the paper's own figures.
+#pragma once
+
+#include "workload/workload.h"
+
+namespace kvsim::wl {
+
+enum class YcsbWorkload {
+  kA,  ///< update heavy: 50% reads, 50% updates, zipfian
+  kB,  ///< read mostly: 95% reads, 5% updates, zipfian
+  kC,  ///< read only: 100% reads, zipfian
+  kD,  ///< read latest: 95% reads, 5% inserts, latest distribution
+  kE,  ///< short ranges: 95% scans, 5% inserts (scan -> iterator reads)
+  kF,  ///< read-modify-write: 50% reads, 50% RMW, zipfian
+};
+
+const char* to_string(YcsbWorkload w);
+
+/// Field layout of a YCSB record: 10 fields x 100 B by default.
+struct YcsbRecordConfig {
+  u32 fields = 10;
+  u32 field_bytes = 100;
+  u32 key_bytes = 23;  // "user" + 19-digit hash, YCSB's default shape
+  u32 value_bytes() const { return fields * field_bytes; }
+};
+
+/// Build the WorkloadSpec for a core workload over `record_count` records.
+/// Workload D uses Pattern::kLatest (see below); workload E's scans are
+/// approximated as `scan_length` consecutive point reads, which is how a
+/// KV-SSD iterator would serve them.
+WorkloadSpec ycsb_spec(YcsbWorkload w, u64 record_count, u64 num_ops,
+                       const YcsbRecordConfig& rec = {}, u64 seed = 42);
+
+/// YCSB's "latest" distribution: zipfian over recency — key ids near the
+/// insertion frontier are hottest. The frontier advances as inserts
+/// happen (the caller reports them).
+class LatestChooser {
+ public:
+  LatestChooser(u64 initial_records, double theta = 0.99);
+
+  /// Sample a key id in [0, frontier).
+  u64 next(Rng& rng);
+  /// Record that a new key was inserted (frontier grows).
+  void on_insert() { ++frontier_; }
+  u64 frontier() const { return frontier_; }
+
+ private:
+  u64 frontier_;
+  double theta_;
+  ZipfGenerator zipf_;
+};
+
+}  // namespace kvsim::wl

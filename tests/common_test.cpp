@@ -1,0 +1,196 @@
+// Unit tests for common utilities: RNG, Zipf, hashing, histogram,
+// bandwidth tracker, table rendering.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/ascii_plot.h"
+#include "common/hash.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/timeseries.h"
+#include "common/types.h"
+
+namespace kvsim {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, UniformIsRoughlyUniform) {
+  Rng r(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Zipf, MostPopularRankDominates) {
+  Rng r(3);
+  ZipfGenerator z(1000, 0.99);
+  u64 rank0 = 0, total = 100000;
+  for (u64 i = 0; i < total; ++i) rank0 += z.next(r) == 0;
+  // With theta=0.99 over 1000 items, rank 0 gets ~12-15% of draws.
+  EXPECT_GT(rank0, total / 20);
+  EXPECT_LT(rank0, total / 3);
+}
+
+TEST(Zipf, RanksWithinBounds) {
+  Rng r(5);
+  ZipfGenerator z(50, 0.8);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(z.next(r), 50u);
+}
+
+TEST(Zipf, ScatterRankIsAPermutationish) {
+  // scatter_rank maps ranks to distinct-ish slots (collisions allowed but
+  // rare for small counts).
+  std::set<u64> seen;
+  for (u64 i = 0; i < 100; ++i) seen.insert(scatter_rank(i, 1u << 30));
+  EXPECT_GE(seen.size(), 99u);
+}
+
+TEST(Hash, StableAndSpread) {
+  EXPECT_EQ(hash64("hello"), hash64("hello"));
+  EXPECT_NE(hash64("hello"), hash64("hellp"));
+  EXPECT_NE(hash64("a"), hash64("b"));
+  EXPECT_NE(hash64("key1", 1), hash64("key1", 2));
+}
+
+TEST(Histogram, MeanAndCount) {
+  LatencyHistogram h;
+  for (u64 v = 1; v <= 100; ++v) h.record(v * 1000);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.mean(), 50500.0, 1.0);
+  EXPECT_EQ(h.min(), 1000u);
+  EXPECT_EQ(h.max(), 100000u);
+}
+
+TEST(Histogram, PercentilesOrdered) {
+  LatencyHistogram h;
+  Rng r(9);
+  for (int i = 0; i < 50000; ++i) h.record(r.below(1000000) + 1);
+  const TimeNs p50 = h.percentile(0.50);
+  const TimeNs p90 = h.percentile(0.90);
+  const TimeNs p99 = h.percentile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, h.max());
+  // ~3% bucket error allowed.
+  EXPECT_NEAR((double)p50, 500000.0, 500000.0 * 0.05);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  LatencyHistogram a, b;
+  a.record(10);
+  b.record(1000000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000000u);
+}
+
+TEST(Histogram, LargeValuesClampToLastBucket) {
+  LatencyHistogram h;
+  h.record(~0ull);  // absurd latency must not crash or misindex
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GT(h.percentile(1.0), 0u);
+}
+
+TEST(Bandwidth, WindowsAccumulate) {
+  BandwidthTracker bw(100 * kMs);
+  bw.add(10 * kMs, 1000);
+  bw.add(50 * kMs, 1000);
+  bw.add(150 * kMs, 5000);
+  EXPECT_EQ(bw.num_windows(), 2u);
+  EXPECT_DOUBLE_EQ(bw.bytes_per_sec(0), 20000.0);  // 2000 B / 0.1 s
+  EXPECT_DOUBLE_EQ(bw.bytes_per_sec(1), 50000.0);
+}
+
+TEST(Bandwidth, MinIgnoresTrailingPartialWindow) {
+  BandwidthTracker bw(100 * kMs);
+  bw.add(10 * kMs, 10000);
+  bw.add(110 * kMs, 2000);
+  bw.add(210 * kMs, 1);  // trailing partial
+  EXPECT_DOUBLE_EQ(bw.min_bytes_per_sec(), 20000.0);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer-name", "2.5"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(AsciiChart, RendersSeriesAndLegend) {
+  AsciiChart c(40, 8);
+  c.add_series("up", {{0, 0}, {1, 1}, {2, 2}}, '*');
+  c.add_series("down", {{0, 2}, {1, 1}, {2, 0}}, '#');
+  const std::string out = c.render();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find("* = up"), std::string::npos);
+  EXPECT_NE(out.find("# = down"), std::string::npos);
+  // 8 grid rows + axis + x labels + 2 legend lines
+  EXPECT_GE((int)std::count(out.begin(), out.end(), '\n'), 11);
+}
+
+TEST(AsciiChart, EmptyChartSafe) {
+  AsciiChart c;
+  EXPECT_EQ(c.render(), "(empty chart)\n");
+}
+
+TEST(AsciiChart, FloorPinsZero) {
+  AsciiChart c(30, 6);
+  c.set_y_floor(0);
+  c.add_series("s", {{0, 100}, {1, 200}}, '*');
+  const std::string out = c.render();
+  EXPECT_NE(out.find("0.0 |"), std::string::npos);
+}
+
+TEST(AsciiChart, SinglePointDoesNotDivideByZero) {
+  AsciiChart c(30, 6);
+  c.add_series("s", {{5, 5}}, '*');
+  EXPECT_NE(c.render().find('*'), std::string::npos);
+}
+
+TEST(Types, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512.0 B");
+  EXPECT_EQ(format_bytes(4096), "4.00 KiB");
+  EXPECT_EQ(format_bytes(3.5 * (double)GiB), "3.50 GiB");
+}
+
+TEST(Types, StatusStrings) {
+  EXPECT_STREQ(to_string(Status::kOk), "ok");
+  EXPECT_STREQ(to_string(Status::kDeviceFull), "device-full");
+  EXPECT_TRUE(ok(Status::kOk));
+  EXPECT_FALSE(ok(Status::kNotFound));
+}
+
+}  // namespace
+}  // namespace kvsim

@@ -1,0 +1,207 @@
+// Final coverage wave: cross-cutting scenarios that earlier module tests
+// don't reach — filesystem fragmentation, compound commands end-to-end,
+// event-queue stress determinism, model parameter sweeps, histogram
+// accuracy against exact traces, and namespace bucket sweeps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "harness/runner.h"
+#include "harness/stacks.h"
+#include "kvftl/iterator_buckets.h"
+#include "model/kvssd_model.h"
+
+namespace kvsim {
+namespace {
+
+ssd::SsdConfig tiny_dev() {
+  ssd::SsdConfig d;
+  d.geometry.channels = 2;
+  d.geometry.dies_per_channel = 2;
+  d.geometry.planes_per_die = 2;
+  d.geometry.blocks_per_plane = 16;
+  d.geometry.pages_per_block = 16;
+  return d;
+}
+
+// --- filesystem fragmentation ------------------------------------------------
+
+TEST(Coverage, FsInterleavedAppendsFragmentButReadBack) {
+  harness::BlockBedConfig c;
+  c.dev = tiny_dev();
+  harness::BlockDirectBed bed(c);
+  fs::FileSystem fs(bed.eq(), bed.device());
+  const auto a = fs.create("a");
+  const auto b = fs.create("b");
+  // Interleave small appends so extents of a and b alternate on disk.
+  for (int i = 0; i < 40; ++i) {
+    Status sa = Status::kIoError, sb = Status::kIoError;
+    fs.append(a, 8 * KiB, (u64)i, [&](Status s) { sa = s; });
+    fs.append(b, 8 * KiB, (u64)i, [&](Status s) { sb = s; });
+    bed.eq().run();
+    ASSERT_EQ(sa, Status::kOk);
+    ASSERT_EQ(sb, Status::kOk);
+  }
+  EXPECT_EQ(fs.file_bytes(a), 40u * 8 * KiB);
+  // A spanning read crosses many extents and still succeeds.
+  Status st = Status::kIoError;
+  fs.read(a, 0, 40 * 8 * KiB, [&](Status s, u64) { st = s; });
+  bed.eq().run();
+  EXPECT_EQ(st, Status::kOk);
+  // Delete one file; its space is reusable by a large extent request.
+  fs.remove(b, [&](Status s) { st = s; });
+  bed.eq().run();
+  ASSERT_EQ(st, Status::kOk);
+  const auto big = fs.create("big");
+  fs.append(big, 30 * 8 * KiB, 7, [&](Status s) { st = s; });
+  bed.eq().run();
+  EXPECT_EQ(st, Status::kOk);
+}
+
+// --- compound commands end-to-end -------------------------------------------
+
+TEST(Coverage, CompoundCommandsLiftLargeKeyThroughputEndToEnd) {
+  auto kops = [&](bool compound) {
+    harness::KvssdBedConfig c;
+    c.dev = tiny_dev();
+    c.nvme.compound_commands = compound;
+    c.ftl.expected_keys_hint = 20'000;
+    harness::KvssdBed bed(c);
+    wl::WorkloadSpec spec;
+    spec.num_ops = 8000;
+    spec.key_space = 8000;
+    spec.key_bytes = 100;  // two commands without compounding
+    spec.value_bytes = 128;
+    spec.mix = wl::OpMix::insert_only();
+    spec.distinct_inserts = true;
+    spec.queue_depth = 32;
+    return harness::run_workload(bed, spec, true).throughput_ops_per_sec();
+  };
+  EXPECT_GT(kops(true), kops(false) * 1.3);
+}
+
+// --- event queue stress determinism ------------------------------------------
+
+TEST(Coverage, EventQueueStressDeterministicOrder) {
+  auto run_once = [] {
+    sim::EventQueue eq;
+    Rng rng(42);
+    std::vector<u32> order;
+    std::function<void(u32, u32)> spawn = [&](u32 id, u32 depth) {
+      order.push_back(id);
+      if (depth == 0) return;
+      const u32 kids = (u32)rng.range(0, 2);
+      for (u32 k = 0; k < kids; ++k)
+        eq.schedule_after(rng.below(1000) + 1,
+                          [&, id, k, depth] { spawn(id * 10 + k, depth - 1); });
+    };
+    for (u32 i = 0; i < 50; ++i)
+      eq.schedule_at(rng.below(500), [&, i] { spawn(i, 3); });
+    eq.run();
+    return order;
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.size(), 50u);
+}
+
+// --- model sweeps -------------------------------------------------------------
+
+class ModelOccupancySweep : public ::testing::TestWithParam<u64> {};
+
+TEST_P(ModelOccupancySweep, LatencyMonotoneInOccupancy) {
+  model::ModelInput in;
+  in.dev = ssd::SsdConfig::standard_device();
+  in.ftl.index.dram_bytes = 8 * MiB;
+  in.is_read = true;
+  in.queue_depth = 8;
+  in.kvp_count = GetParam();
+  const double here = model::predict(in).mean_latency_ns;
+  in.kvp_count = GetParam() * 4;
+  const double deeper = model::predict(in).mean_latency_ns;
+  EXPECT_GE(deeper, here * 0.999);
+}
+
+INSTANTIATE_TEST_SUITE_P(Occupancies, ModelOccupancySweep,
+                         ::testing::Values(10'000u, 100'000u, 1'000'000u));
+
+TEST(Coverage, ModelBottleneckShiftsWithValueSize) {
+  model::ModelInput in;
+  in.dev = ssd::SsdConfig::standard_device();
+  in.queue_depth = 256;
+  in.key_bytes = 64;  // two commands
+  in.value_bytes = 64;
+  const std::string small_bn = model::predict(in).bottleneck;
+  in.value_bytes = 2 * MiB;
+  const std::string large_bn = model::predict(in).bottleneck;
+  EXPECT_NE(small_bn, large_bn);  // cmd-proc vs data-path bound
+}
+
+// --- histogram accuracy vs exact trace ---------------------------------------
+
+TEST(Coverage, HistogramTracksExactPercentilesWithinBucketError) {
+  harness::KvssdBedConfig c;
+  c.dev = tiny_dev();
+  harness::KvssdBed bed(c);
+  (void)harness::fill_stack(bed, 3000, 16, 2048, 32);
+  harness::TraceRecorder trace;
+  wl::WorkloadSpec spec;
+  spec.num_ops = 5000;
+  spec.key_space = 3000;
+  spec.key_bytes = 16;
+  spec.value_bytes = 2048;
+  spec.mix = wl::OpMix::read_only();
+  spec.queue_depth = 16;
+  const harness::RunResult r =
+      harness::run_workload(bed, spec, false, &trace);
+  for (double q : {0.5, 0.9, 0.99}) {
+    const double approx = (double)r.read.percentile(q);
+    const double exact = (double)trace.exact_percentile(q);
+    EXPECT_NEAR(approx, exact, exact * 0.05 + 1000.0) << "q=" << q;
+  }
+}
+
+// --- namespace bucket sweeps ---------------------------------------------------
+
+class NsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(NsSweep, BucketIdsCarryTheNamespace) {
+  const u8 ns = (u8)GetParam();
+  const u32 b = kvftl::IteratorBuckets::bucket_of("some-key", ns);
+  EXPECT_EQ(b >> 16, (u32)ns);
+  // Same prefix, different namespace: different bucket hash too (the
+  // namespace seeds the digest).
+  if (ns > 0)
+    EXPECT_NE(b & 0xffff,
+              kvftl::IteratorBuckets::bucket_of("some-key", 0) & 0xffff);
+}
+
+INSTANTIATE_TEST_SUITE_P(Namespaces, NsSweep, ::testing::Values(0, 1, 7, 255));
+
+// --- mixed namespaces under load ----------------------------------------------
+
+TEST(Coverage, NamespacesSurviveChurn) {
+  harness::KvssdBedConfig c;
+  c.dev = tiny_dev();
+  c.ftl.expected_keys_hint = 20'000;
+  harness::KvssdBed bed(c);
+  Rng rng(3);
+  // Writes spread over 4 namespaces with overlapping key strings.
+  for (u64 op = 0; op < 4000; ++op) {
+    const u8 ns = (u8)rng.below(4);
+    const u64 id = rng.below(500);
+    bed.device().store(wl::make_key(id, 12), ValueDesc{512, op},
+                       [](Status) {}, 0, ns);
+    if (op % 64 == 0) bed.eq().run();
+  }
+  bed.eq().run();
+  u64 total = 0;
+  for (u8 ns = 0; ns < 4; ++ns) total += bed.device().kvp_count_in(ns);
+  EXPECT_EQ(total, bed.ftl().kvp_count());
+  EXPECT_GT(bed.device().kvp_count_in(0), 100u);
+}
+
+}  // namespace
+}  // namespace kvsim

@@ -1,0 +1,142 @@
+// Tests for the extent-based filesystem over the block device.
+#include <gtest/gtest.h>
+
+#include "fs/file_system.h"
+#include "harness/stacks.h"
+
+namespace kvsim::fs {
+namespace {
+
+struct Bed {
+  harness::BlockBedConfig cfg;
+  harness::BlockDirectBed dev_bed;
+  FileSystem fs;
+
+  Bed()
+      : cfg(make_cfg()),
+        dev_bed(cfg),
+        fs(dev_bed.eq(), dev_bed.device()) {}
+
+  static harness::BlockBedConfig make_cfg() {
+    harness::BlockBedConfig c;
+    c.dev.geometry.channels = 2;
+    c.dev.geometry.dies_per_channel = 2;
+    c.dev.geometry.planes_per_die = 2;
+    c.dev.geometry.blocks_per_plane = 8;
+    c.dev.geometry.pages_per_block = 16;  // 32 MiB raw
+    return c;
+  }
+
+  Status append(FileSystem::Handle h, u64 bytes, u64 fp = 1) {
+    Status out = Status::kIoError;
+    fs.append(h, bytes, fp, [&](Status s) { out = s; });
+    dev_bed.eq().run();
+    return out;
+  }
+  Status read(FileSystem::Handle h, u64 off, u64 bytes) {
+    Status out = Status::kIoError;
+    fs.read(h, off, bytes, [&](Status s, u64) { out = s; });
+    dev_bed.eq().run();
+    return out;
+  }
+  Status remove(FileSystem::Handle h) {
+    Status out = Status::kIoError;
+    fs.remove(h, [&](Status s) { out = s; });
+    dev_bed.eq().run();
+    return out;
+  }
+};
+
+TEST(FileSystem, CreateLookup) {
+  Bed bed;
+  auto h = bed.fs.create("wal");
+  EXPECT_EQ(bed.fs.lookup("wal"), h);
+  EXPECT_EQ(bed.fs.lookup("missing"), FileSystem::kInvalidHandle);
+}
+
+TEST(FileSystem, AppendGrowsFile) {
+  Bed bed;
+  auto h = bed.fs.create("data");
+  EXPECT_EQ(bed.append(h, 10 * KiB), Status::kOk);
+  EXPECT_EQ(bed.fs.file_bytes(h), 10 * KiB);
+  EXPECT_EQ(bed.append(h, 4 * KiB), Status::kOk);
+  EXPECT_EQ(bed.fs.file_bytes(h), 14 * KiB);
+}
+
+TEST(FileSystem, ReadWithinFile) {
+  Bed bed;
+  auto h = bed.fs.create("data");
+  ASSERT_EQ(bed.append(h, 1 * MiB), Status::kOk);
+  EXPECT_EQ(bed.read(h, 0, 4 * KiB), Status::kOk);
+  EXPECT_EQ(bed.read(h, 512 * KiB, 64 * KiB), Status::kOk);
+  EXPECT_EQ(bed.read(h, 0, 1 * MiB), Status::kOk);
+}
+
+TEST(FileSystem, ReadPastEndFails) {
+  Bed bed;
+  auto h = bed.fs.create("data");
+  ASSERT_EQ(bed.append(h, 8 * KiB), Status::kOk);
+  EXPECT_EQ(bed.read(h, 64 * KiB, 8 * KiB), Status::kInvalidArgument);
+}
+
+TEST(FileSystem, RemoveFreesSpaceAndTrims) {
+  Bed bed;
+  const u64 before = bed.fs.used_bytes();
+  auto h = bed.fs.create("data");
+  ASSERT_EQ(bed.append(h, 4 * MiB), Status::kOk);
+  EXPECT_GT(bed.fs.used_bytes(), before);
+  const u64 live_before = bed.dev_bed.ftl().live_bytes();
+  EXPECT_GT(live_before, 0u);
+  ASSERT_EQ(bed.remove(h), Status::kOk);
+  EXPECT_EQ(bed.fs.used_bytes(), before);
+  EXPECT_LT(bed.dev_bed.ftl().live_bytes(), live_before);
+  EXPECT_EQ(bed.read(h, 0, 4 * KiB), Status::kInvalidArgument);
+}
+
+TEST(FileSystem, SpaceExhaustionReportsDeviceFull) {
+  Bed bed;
+  auto h = bed.fs.create("hog");
+  Status s = Status::kOk;
+  for (int i = 0; i < 64 && s == Status::kOk; ++i)
+    s = bed.append(h, 1 * MiB);
+  EXPECT_EQ(s, Status::kDeviceFull);
+  // The failed append must not leak partial extents: free space stable.
+  const u64 free1 = bed.fs.free_bytes();
+  EXPECT_EQ(bed.append(h, 1 * MiB), Status::kDeviceFull);
+  EXPECT_EQ(bed.fs.free_bytes(), free1);
+}
+
+TEST(FileSystem, FreeListCoalesces) {
+  Bed bed;
+  auto a = bed.fs.create("a");
+  auto b = bed.fs.create("b");
+  auto c = bed.fs.create("c");
+  ASSERT_EQ(bed.append(a, 1 * MiB), Status::kOk);
+  ASSERT_EQ(bed.append(b, 1 * MiB), Status::kOk);
+  ASSERT_EQ(bed.append(c, 1 * MiB), Status::kOk);
+  ASSERT_EQ(bed.remove(a), Status::kOk);
+  ASSERT_EQ(bed.remove(b), Status::kOk);
+  ASSERT_EQ(bed.remove(c), Status::kOk);
+  // After coalescing, a file larger than any single original extent fits.
+  auto big = bed.fs.create("big");
+  EXPECT_EQ(bed.append(big, 3 * MiB), Status::kOk);
+}
+
+TEST(FileSystem, JournalWritesHappen) {
+  Bed bed;
+  for (int i = 0; i < 20; ++i) {
+    auto h = bed.fs.create("f" + std::to_string(i));
+    ASSERT_EQ(bed.append(h, 4 * KiB), Status::kOk);
+  }
+  EXPECT_GT(bed.fs.journal_writes(), 0u);
+}
+
+TEST(FileSystem, CpuAccounted) {
+  Bed bed;
+  auto h = bed.fs.create("data");
+  ASSERT_EQ(bed.append(h, 64 * KiB), Status::kOk);
+  EXPECT_GT(bed.fs.host_cpu_ns(), 0u);
+}
+
+}  // namespace
+}  // namespace kvsim::fs

@@ -1,0 +1,164 @@
+// Cross-FTL property sweeps: classic SSD identities the simulator must
+// reproduce — WAF falls with over-provisioning, throughput rises with
+// queue depth, KV round-trips hold across arbitrary value sizes, and
+// runs are bit-identical across repetitions.
+#include <gtest/gtest.h>
+
+#include "blockftl/block_ftl.h"
+#include "common/rng.h"
+#include "harness/runner.h"
+#include "harness/stacks.h"
+#include "workload/workload.h"
+
+namespace kvsim {
+namespace {
+
+// --- WAF vs over-provisioning (block FTL, uniform overwrites) --------------
+
+double steady_state_waf(double overprovision) {
+  ssd::SsdConfig dev;
+  dev.geometry.channels = 2;
+  dev.geometry.dies_per_channel = 2;
+  dev.geometry.planes_per_die = 2;
+  dev.geometry.blocks_per_plane = 16;
+  dev.geometry.pages_per_block = 16;  // 64 MiB raw
+  dev.overprovision = overprovision;
+  sim::EventQueue eq;
+  flash::FlashController flash(eq, dev.geometry, dev.timing);
+  blockftl::BlockFtlConfig cfg;
+  blockftl::BlockFtl ftl(eq, flash, dev, cfg);
+
+  const u64 slots = ftl.exported_bytes() / (4 * KiB) * 9 / 10;
+  Rng rng(7);
+  // Fill, then overwrite 3x the volume uniformly.
+  for (u64 i = 0; i < slots; ++i)
+    ftl.write(i * 8, 4 * KiB, i, [](Status) {});
+  eq.run();
+  for (u64 op = 0; op < slots * 3; ++op) {
+    ftl.write(rng.below(slots) * 8, 4 * KiB, op, [](Status) {});
+    if (op % 256 == 0) eq.run();
+  }
+  eq.run();
+  bool done = false;
+  ftl.flush([&] { done = true; });
+  eq.run();
+  EXPECT_TRUE(done);
+  return ftl.stats().waf();
+}
+
+TEST(FtlProperties, WafFallsWithOverprovisioning) {
+  const double waf_7 = steady_state_waf(0.07);
+  const double waf_20 = steady_state_waf(0.20);
+  const double waf_40 = steady_state_waf(0.40);
+  EXPECT_GT(waf_7, waf_20);
+  EXPECT_GT(waf_20, waf_40);
+  EXPECT_GT(waf_7, 1.2);   // real GC happened
+  EXPECT_LT(waf_40, 2.5);  // generous OP keeps WAF low
+}
+
+// --- KV round-trip across a value-size sweep --------------------------------
+
+class KvValueSizeSweep : public ::testing::TestWithParam<u32> {};
+
+TEST_P(KvValueSizeSweep, StoreRetrieveRemoveRoundTrip) {
+  const u32 vsize = GetParam();
+  harness::KvssdBedConfig cfg;
+  cfg.dev = ssd::SsdConfig::small_device();
+  cfg.ftl.expected_keys_hint = 64;
+  harness::KvssdBed bed(cfg);
+  for (u64 i = 0; i < 16; ++i) {
+    Status st = Status::kIoError;
+    bed.store(wl::make_key(i, 16), ValueDesc{vsize, i * 31 + vsize},
+              [&](Status s) { st = s; });
+    bed.eq().run();
+    ASSERT_EQ(st, Status::kOk) << vsize;
+  }
+  for (u64 i = 0; i < 16; ++i) {
+    std::pair<Status, ValueDesc> out{Status::kIoError, {}};
+    bed.retrieve(wl::make_key(i, 16),
+                 [&](Status s, ValueDesc v) { out = {s, v}; });
+    bed.eq().run();
+    ASSERT_EQ(out.first, Status::kOk) << vsize;
+    ASSERT_EQ(out.second.size, vsize);
+    ASSERT_EQ(out.second.fingerprint, i * 31 + vsize);
+  }
+  // Slot accounting matches the packing arithmetic exactly.
+  EXPECT_EQ(bed.ftl().live_slots(),
+            16u * kvftl::slots_for_value(vsize, 1024));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KvValueSizeSweep,
+                         ::testing::Values(0u, 1u, 511u, 1023u, 1024u, 1025u,
+                                           4096u, 24u * 1024, 24u * 1024 + 1,
+                                           48u * 1024 + 512, 200u * 1024,
+                                           2u << 20));
+
+// --- queue-depth monotonicity across stacks ---------------------------------
+
+class QdSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(QdSweep, ThroughputNonDecreasingInQd) {
+  const std::string which = GetParam();
+  double last = 0;
+  for (u32 qd : {1u, 8u, 64u}) {
+    ssd::SsdConfig dev;
+    dev.geometry.blocks_per_plane = 8;  // 2 GiB
+    std::unique_ptr<harness::KvStack> stack;
+    if (which == "kvssd") {
+      harness::KvssdBedConfig c;
+      c.dev = dev;
+      c.ftl.track_iterator_keys = false;
+      c.ftl.expected_keys_hint = 30'000;
+      stack = std::make_unique<harness::KvssdBed>(c);
+    } else if (which == "lsm") {
+      harness::LsmBedConfig c;
+      c.dev = dev;
+      stack = std::make_unique<harness::LsmBed>(c);
+    } else {
+      harness::HashKvBedConfig c;
+      c.dev = dev;
+      stack = std::make_unique<harness::HashKvBed>(c);
+    }
+    (void)harness::fill_stack(*stack, 10'000, 16, 2048, 64);
+    wl::WorkloadSpec spec;
+    spec.num_ops = 8000;
+    spec.key_space = 10'000;
+    spec.key_bytes = 16;
+    spec.value_bytes = 2048;
+    spec.mix = wl::OpMix::read_only();
+    spec.queue_depth = qd;
+    const double x =
+        harness::run_workload(*stack, spec).throughput_ops_per_sec();
+    EXPECT_GE(x, last * 0.95) << which << " qd=" << qd;  // 5% jitter slack
+    last = x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Stacks, QdSweep,
+                         ::testing::Values("kvssd", "lsm", "hashkv"));
+
+// --- determinism across repetitions -----------------------------------------
+
+TEST(FtlProperties, MixedWorkloadBitIdenticalAcrossRuns) {
+  auto run = [] {
+    harness::KvssdBedConfig c;
+    c.dev = ssd::SsdConfig::small_device();
+    c.ftl.expected_keys_hint = 20'000;
+    harness::KvssdBed bed(c);
+    (void)harness::fill_stack(bed, 5000, 16, 1024, 32);
+    wl::WorkloadSpec spec;
+    spec.num_ops = 8000;
+    spec.key_space = 5000;
+    spec.key_bytes = 16;
+    spec.value_bytes = 1024;
+    spec.mix = {0.1, 0.3, 0.5, 0};
+    spec.queue_depth = 24;
+    const harness::RunResult r = harness::run_workload(bed, spec, true);
+    return std::tuple{r.elapsed, r.all.max(), r.host_cpu_ns,
+                      bed.ftl().stats().flash_bytes_written};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace kvsim

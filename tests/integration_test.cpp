@@ -1,0 +1,204 @@
+// Cross-stack integration tests: model-based random operations against a
+// reference map, run identically on all three stacks; plus runner-level
+// checks (queue-depth semantics, stats plumbing).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "common/rng.h"
+#include "harness/runner.h"
+#include "harness/stacks.h"
+#include "workload/workload.h"
+
+namespace kvsim::harness {
+namespace {
+
+ssd::SsdConfig tiny_dev() {
+  ssd::SsdConfig d;
+  d.geometry.channels = 2;
+  d.geometry.dies_per_channel = 2;
+  d.geometry.planes_per_die = 2;
+  d.geometry.blocks_per_plane = 16;
+  d.geometry.pages_per_block = 16;  // 64 MiB raw
+  return d;
+}
+
+std::unique_ptr<KvStack> make_stack(const std::string& which) {
+  if (which == "kvssd") {
+    KvssdBedConfig c;
+    c.dev = tiny_dev();
+    c.ftl.index.dram_bytes = 4 * MiB;
+    return std::make_unique<KvssdBed>(c);
+  }
+  if (which == "lsm") {
+    LsmBedConfig c;
+    c.dev = tiny_dev();
+    c.lsm.memtable_bytes = 512 * KiB;
+    c.lsm.l1_target_bytes = 2 * MiB;
+    c.lsm.sst_target_bytes = 1 * MiB;
+    return std::make_unique<LsmBed>(c);
+  }
+  HashKvBedConfig c;
+  c.dev = tiny_dev();
+  return std::make_unique<HashKvBed>(c);
+}
+
+class StackModelTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(StackModelTest, RandomOpsMatchReferenceModel) {
+  auto stack = make_stack(GetParam());
+  std::map<std::string, u64> model;
+  Rng rng(99);
+  const u64 ops = 4000;
+  for (u64 op = 0; op < ops; ++op) {
+    const std::string k = wl::make_key(rng.below(400), 12);
+    const double r = rng.uniform();
+    if (r < 0.45) {
+      const u32 vsize = (u32)rng.range(1, 16000);
+      Status st = Status::kIoError;
+      stack->store(k, ValueDesc{vsize, op}, [&](Status s) { st = s; });
+      stack->eq().run();
+      ASSERT_EQ(st, Status::kOk) << GetParam() << " op " << op;
+      model[k] = op;
+    } else if (r < 0.85) {
+      Status st = Status::kIoError;
+      ValueDesc got{};
+      stack->retrieve(k, [&](Status s, ValueDesc v) {
+        st = s;
+        got = v;
+      });
+      stack->eq().run();
+      auto it = model.find(k);
+      if (it == model.end()) {
+        ASSERT_EQ(st, Status::kNotFound) << GetParam() << " op " << op;
+      } else {
+        ASSERT_EQ(st, Status::kOk) << GetParam() << " op " << op;
+        ASSERT_EQ(got.fingerprint, it->second)
+            << GetParam() << " op " << op << " key " << k;
+      }
+    } else {
+      Status st = Status::kIoError;
+      stack->remove(k, [&](Status s) { st = s; });
+      stack->eq().run();
+      if (GetParam() == "lsm") {
+        // RocksDB semantics: Delete() writes a tombstone and succeeds
+        // whether or not the key exists.
+        ASSERT_EQ(st, Status::kOk) << GetParam() << " op " << op;
+      } else {
+        ASSERT_EQ(st, model.count(k) ? Status::kOk : Status::kNotFound)
+            << GetParam() << " op " << op;
+      }
+      model.erase(k);
+    }
+  }
+  // Drain and verify every surviving key once more.
+  bool drained = false;
+  stack->drain([&] { drained = true; });
+  stack->eq().run();
+  ASSERT_TRUE(drained);
+  for (const auto& [k, fp] : model) {
+    Status st = Status::kIoError;
+    ValueDesc got{};
+    stack->retrieve(k, [&](Status s, ValueDesc v) {
+      st = s;
+      got = v;
+    });
+    stack->eq().run();
+    ASSERT_EQ(st, Status::kOk) << GetParam() << " key " << k;
+    ASSERT_EQ(got.fingerprint, fp) << GetParam() << " key " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStacks, StackModelTest,
+                         ::testing::Values("kvssd", "lsm", "hashkv"));
+
+TEST(Runner, FillThenReadEverythingBack) {
+  KvssdBedConfig c;
+  c.dev = tiny_dev();
+  KvssdBed bed(c);
+  const u64 keys = 2000;
+  RunResult fill = fill_stack(bed, keys, 16, 4096, 32);
+  EXPECT_EQ(fill.ops, keys);
+  EXPECT_EQ(fill.errors, 0u);
+  EXPECT_GT(fill.elapsed, 0u);
+  EXPECT_GT(fill.throughput_ops_per_sec(), 0.0);
+
+  wl::WorkloadSpec reads;
+  reads.num_ops = keys;
+  reads.key_space = keys;
+  reads.key_bytes = 16;
+  reads.value_bytes = 4096;
+  reads.pattern = wl::Pattern::kUniform;
+  reads.mix = wl::OpMix::read_only();
+  reads.queue_depth = 16;
+  RunResult rr = run_workload(bed, reads);
+  EXPECT_EQ(rr.ops, keys);
+  EXPECT_EQ(rr.errors, 0u);
+  EXPECT_EQ(rr.not_found, 0u);
+  EXPECT_EQ(rr.read.count(), keys);
+  EXPECT_GT(rr.read.mean(), 0.0);
+}
+
+TEST(Runner, QueueDepthIncreasesThroughput) {
+  auto tp = [&](u32 qd) {
+    KvssdBedConfig c;
+    c.dev = tiny_dev();
+    KvssdBed bed(c);
+    (void)fill_stack(bed, 1000, 16, 4096, 32);
+    wl::WorkloadSpec reads;
+    reads.num_ops = 2000;
+    reads.key_space = 1000;
+    reads.key_bytes = 16;
+    reads.value_bytes = 4096;
+    reads.mix = wl::OpMix::read_only();
+    reads.queue_depth = qd;
+    return run_workload(bed, reads).throughput_ops_per_sec();
+  };
+  EXPECT_GT(tp(32), tp(1) * 3.0);
+}
+
+TEST(Runner, CpuAccountingFlowsThrough) {
+  LsmBedConfig c;
+  c.dev = tiny_dev();
+  LsmBed bed(c);
+  RunResult r = fill_stack(bed, 2000, 16, 1024, 16);
+  EXPECT_GT(r.host_cpu_ns, 0u);
+  EXPECT_GT(r.cpu_cores_busy(), 0.0);
+}
+
+TEST(Runner, BlockDirectRunner) {
+  BlockBedConfig c;
+  c.dev = tiny_dev();
+  BlockDirectBed bed(c);
+  BlockRunSpec spec;
+  spec.num_ops = 2000;
+  spec.io_bytes = 4 * KiB;
+  spec.op = BlockOp::kWrite;
+  spec.queue_depth = 16;
+  RunResult w = run_block(bed.eq(), bed.device(), spec, true);
+  EXPECT_EQ(w.ops, 2000u);
+  EXPECT_EQ(w.errors, 0u);
+
+  spec.op = BlockOp::kRead;
+  spec.span_bytes = 2000ull * 4 * KiB;
+  RunResult r = run_block(bed.eq(), bed.device(), spec);
+  EXPECT_EQ(r.ops, 2000u);
+  EXPECT_EQ(r.errors, 0u);
+  EXPECT_GT(r.read.mean(), 0.0);
+}
+
+TEST(Runner, SpaceAccountingAcrossStacks) {
+  for (const char* which : {"kvssd", "lsm", "hashkv"}) {
+    auto stack = make_stack(which);
+    RunResult r = fill_stack(*stack, 500, 16, 2048, 16);
+    EXPECT_EQ(r.errors, 0u) << which;
+    if (std::string(which) == "lsm")
+      stack->add_app_bytes((i64)(500 * (16 + 2048)));
+    EXPECT_GT(stack->device_bytes_used(), 0u) << which;
+    EXPECT_GT(stack->app_bytes_live(), 0u) << which;
+  }
+}
+
+}  // namespace
+}  // namespace kvsim::harness

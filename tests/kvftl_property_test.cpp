@@ -1,0 +1,240 @@
+// Property-based / parameterized tests for the KV-FTL building blocks:
+// packing arithmetic invariants, index model behavior across cache sizes,
+// Bloom filter guarantees, iterator bucket bookkeeping.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "kvftl/bloom.h"
+#include "kvftl/index_model.h"
+#include "kvftl/iterator_buckets.h"
+#include "kvftl/packing.h"
+#include "workload/workload.h"
+
+namespace kvsim::kvftl {
+namespace {
+
+// --- packing invariants over a sweep of value sizes ------------------------
+
+class PackingSweep : public ::testing::TestWithParam<u32> {};
+
+TEST_P(PackingSweep, SlotsCoverValueExactly) {
+  const u32 v = GetParam();
+  const u32 slots = slots_for_value(v, 1024);
+  EXPECT_GE((u64)slots * 1024, (u64)std::max(v, 1u));
+  EXPECT_LT((u64)(slots - 1) * 1024, (u64)std::max(v, 1u));
+}
+
+TEST_P(PackingSweep, ChunksPartitionSlots) {
+  const u32 v = GetParam();
+  const u32 slots = slots_for_value(v, 1024);
+  const u32 nchunks = chunks_for_blob(slots, 24);
+  u64 sum = 0;
+  for (u32 c = 0; c < nchunks; ++c) {
+    const u32 cs = chunk_slots(slots, 24, c);
+    EXPECT_LE(cs, 24u);
+    if (c + 1 < nchunks) EXPECT_EQ(cs, 24u);  // only the tail is partial
+    sum += cs;
+  }
+  EXPECT_EQ(sum, slots);
+}
+
+TEST_P(PackingSweep, PaddingNeverExceedsOneSlot) {
+  const u32 v = GetParam();
+  const u64 padded = padded_bytes(v, 1024);
+  EXPECT_LT(padded - std::max(v, 1u), 1024u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ValueSizes, PackingSweep,
+                         ::testing::Values(0u, 1u, 50u, 512u, 1023u, 1024u,
+                                           1025u, 2048u, 4096u, 8192u,
+                                           24u * 1024, 24u * 1024 + 1,
+                                           25u * 1024, 48u * 1024,
+                                           49u * 1024, 100u * 1024,
+                                           1u << 20, 2u << 20));
+
+TEST(Packing, PaperCliffsAt24KiBMultiples) {
+  // 24 KiB fits one page data area; 25 KiB splits (Fig. 5b dips at 25 KiB,
+  // 49 KiB, ...).
+  EXPECT_EQ(chunks_for_blob(slots_for_value(24 * 1024, 1024), 24), 1u);
+  EXPECT_EQ(chunks_for_blob(slots_for_value(25 * 1024, 1024), 24), 2u);
+  EXPECT_EQ(chunks_for_blob(slots_for_value(48 * 1024, 1024), 24), 2u);
+  EXPECT_EQ(chunks_for_blob(slots_for_value(49 * 1024, 1024), 24), 3u);
+}
+
+// --- index model over a sweep of DRAM budgets -------------------------------
+
+class IndexSweep : public ::testing::TestWithParam<u64> {};
+
+TEST_P(IndexSweep, EntriesTrackInsertsAndRemovals) {
+  IndexModelConfig cfg;
+  cfg.dram_bytes = GetParam();
+  IndexModel idx(cfg);
+  Rng rng(1);
+  std::vector<u64> keys;
+  for (int i = 0; i < 5000; ++i) {
+    keys.push_back(rng.next());
+    idx.on_insert(keys.back());
+  }
+  EXPECT_EQ(idx.entries(), 5000u);
+  for (int i = 0; i < 1000; ++i) idx.on_remove(keys[(size_t)i]);
+  EXPECT_EQ(idx.entries(), 4000u);
+}
+
+TEST_P(IndexSweep, SegmentsGrowWithLoad) {
+  IndexModelConfig cfg;
+  cfg.dram_bytes = GetParam();
+  IndexModel idx(cfg);
+  const u64 before = idx.segments();
+  Rng rng(2);
+  for (int i = 0; i < 20000; ++i) idx.on_insert(rng.next());
+  EXPECT_GT(idx.segments(), before);
+  // Load factor bounded by the split threshold.
+  EXPECT_LE(idx.entries(),
+            idx.segments() * cfg.segment_split_threshold + 1);
+  EXPECT_EQ(idx.flash_bytes(), idx.segments() * cfg.segment_bytes);
+}
+
+TEST_P(IndexSweep, CacheNeverExceedsBudget) {
+  IndexModelConfig cfg;
+  cfg.dram_bytes = GetParam();
+  IndexModel idx(cfg);
+  Rng rng(3);
+  for (int i = 0; i < 30000; ++i) idx.on_insert(rng.next());
+  EXPECT_LE(idx.cached_segments(), idx.cache_capacity_segments());
+}
+
+INSTANTIATE_TEST_SUITE_P(DramBudgets, IndexSweep,
+                         ::testing::Values(8u * KiB, 64u * KiB, 1u * MiB,
+                                           64u * MiB));
+
+TEST(IndexModel, AllHitsWhileResident) {
+  IndexModelConfig cfg;
+  cfg.dram_bytes = 64 * MiB;  // cache far larger than the index
+  IndexModel idx(cfg);
+  Rng rng(4);
+  std::vector<u64> keys;
+  for (int i = 0; i < 10000; ++i) {
+    keys.push_back(rng.next());
+    idx.on_insert(keys.back());
+  }
+  u32 reads = 0;
+  for (u64 k : keys) reads += idx.on_lookup(k).segment_reads;
+  EXPECT_EQ(reads, 0u);
+  EXPECT_GT(idx.hit_rate(), 0.99);
+}
+
+TEST(IndexModel, MissesOnceSpilled) {
+  IndexModelConfig cfg;
+  cfg.dram_bytes = 16 * KiB;  // 4 segments
+  IndexModel idx(cfg);
+  Rng rng(5);
+  std::vector<u64> keys;
+  for (int i = 0; i < 50000; ++i) {
+    keys.push_back(rng.next());
+    idx.on_insert(keys.back());
+  }
+  u32 reads = 0;
+  for (int i = 0; i < 1000; ++i)
+    reads += idx.on_lookup(keys[(size_t)(rng.next() % keys.size())])
+                 .segment_reads;
+  // With ~520 segments and 4 cached, nearly every lookup misses.
+  EXPECT_GT(reads, 900u);
+}
+
+TEST(IndexModel, DirtyEvictionsProduceWrites) {
+  IndexModelConfig cfg;
+  cfg.dram_bytes = 16 * KiB;
+  IndexModel idx(cfg);
+  Rng rng(6);
+  u64 writes = 0;
+  for (int i = 0; i < 20000; ++i) writes += idx.on_insert(rng.next()).segment_writes;
+  EXPECT_GT(writes, 1000u);
+}
+
+TEST(IndexModel, SegmentOfIsStableAcrossLookups) {
+  IndexModelConfig cfg;
+  IndexModel idx(cfg);
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) idx.on_insert(rng.next());
+  const u64 k = 0x1234567890ull;
+  const u64 seg = idx.segment_of(k);
+  EXPECT_EQ(idx.segment_of(k), seg);
+  EXPECT_LT(seg, idx.segments());
+}
+
+// --- Bloom filter guarantees ------------------------------------------------
+
+class BloomSweep : public ::testing::TestWithParam<u64> {};
+
+TEST_P(BloomSweep, NoFalseNegatives) {
+  const u64 n = GetParam();
+  CountingBloom bloom(n);
+  Rng rng(8);
+  std::vector<u64> keys;
+  for (u64 i = 0; i < n; ++i) {
+    keys.push_back(rng.next());
+    bloom.insert(keys.back());
+  }
+  for (u64 k : keys) EXPECT_TRUE(bloom.may_contain(k));
+}
+
+TEST_P(BloomSweep, LowFalsePositiveRate) {
+  const u64 n = GetParam();
+  CountingBloom bloom(n);
+  Rng rng(9);
+  for (u64 i = 0; i < n; ++i) bloom.insert(rng.next());
+  u64 fp = 0;
+  const u64 probes = 10000;
+  for (u64 i = 0; i < probes; ++i) fp += bloom.may_contain(rng.next());
+  EXPECT_LT((double)fp / (double)probes, 0.05);
+}
+
+TEST_P(BloomSweep, RemoveRestoresNegatives) {
+  const u64 n = GetParam();
+  CountingBloom bloom(n);
+  Rng rng(10);
+  std::vector<u64> keys;
+  for (u64 i = 0; i < n; ++i) {
+    keys.push_back(rng.next());
+    bloom.insert(keys.back());
+  }
+  for (u64 k : keys) bloom.remove(k);
+  u64 positives = 0;
+  for (u64 k : keys) positives += bloom.may_contain(k);
+  EXPECT_LT((double)positives / (double)keys.size(), 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Populations, BloomSweep,
+                         ::testing::Values(100u, 5000u, 50000u));
+
+// --- iterator buckets -------------------------------------------------------
+
+TEST(IteratorBuckets, GroupsByFirstFourBytes) {
+  EXPECT_EQ(IteratorBuckets::bucket_of("abcdXYZ"),
+            IteratorBuckets::bucket_of("abcdQQQ"));
+  EXPECT_NE(IteratorBuckets::bucket_of("abcd111"),
+            IteratorBuckets::bucket_of("abce111"));
+}
+
+TEST(IteratorBuckets, CountsAndBytes) {
+  IteratorBuckets it(true);
+  it.add("aaaa-key1");
+  it.add("aaaa-key2");
+  it.add("bbbb-key1");
+  EXPECT_EQ(it.total_keys(), 3u);
+  EXPECT_EQ(it.flash_bytes(), 3u * (9 + 4));
+  EXPECT_EQ(it.bucket_ids().size(), 2u);
+  it.remove("aaaa-key1");
+  EXPECT_EQ(it.total_keys(), 2u);
+  EXPECT_EQ(it.bucket_size(IteratorBuckets::bucket_of("aaaa")), 1u);
+}
+
+TEST(IteratorBuckets, TrackingDisabledStillCounts) {
+  IteratorBuckets it(false);
+  it.add("aaaa-key1");
+  EXPECT_EQ(it.total_keys(), 1u);
+  EXPECT_TRUE(it.bucket_keys(IteratorBuckets::bucket_of("aaaa")).empty());
+}
+
+}  // namespace
+}  // namespace kvsim::kvftl

@@ -1,0 +1,169 @@
+// Tests for the analytical KV-SSD performance model: structural
+// properties (monotonicity, regime boundaries) and agreement with the
+// discrete-event simulator on representative configurations.
+#include <gtest/gtest.h>
+
+#include "harness/runner.h"
+#include "harness/stacks.h"
+#include "model/kvssd_model.h"
+
+namespace kvsim::model {
+namespace {
+
+ModelInput base_input() {
+  ModelInput in;
+  in.dev = ssd::SsdConfig::standard_device();
+  in.key_bytes = 16;
+  in.value_bytes = 4 * KiB;
+  in.queue_depth = 32;
+  in.kvp_count = 100'000;
+  return in;
+}
+
+TEST(Model, LatencyFloorsAtSumOfResidences) {
+  ModelInput in = base_input();
+  in.queue_depth = 1;
+  const ModelOutput out = predict(in);
+  EXPECT_NEAR(out.mean_latency_ns, out.sum_residence_ns,
+              out.sum_residence_ns * 1e-9);
+}
+
+TEST(Model, ThroughputCapsAtBottleneck) {
+  ModelInput in = base_input();
+  in.queue_depth = 4096;  // far past saturation
+  const ModelOutput out = predict(in);
+  EXPECT_NEAR(out.throughput_ops_per_sec,
+              1e9 / out.bottleneck_service_ns, 1.0);
+}
+
+TEST(Model, ThroughputMonotoneInQueueDepth) {
+  ModelInput in = base_input();
+  double last = 0;
+  for (u32 qd : {1u, 2u, 4u, 16u, 64u, 256u}) {
+    in.queue_depth = qd;
+    const double x = predict(in).throughput_ops_per_sec;
+    EXPECT_GE(x, last);
+    last = x;
+  }
+}
+
+TEST(Model, LargerValuesLowerWriteThroughput) {
+  ModelInput in = base_input();
+  in.queue_depth = 64;
+  double last = 1e18;
+  for (u32 v : {1u * KiB, 4u * KiB, 16u * KiB, 64u * KiB, 256u * KiB}) {
+    in.value_bytes = v;
+    const double x = predict(in).throughput_ops_per_sec;
+    EXPECT_LT(x, last);
+    last = x;
+  }
+}
+
+TEST(Model, LargeKeysCostAnExtraCommand) {
+  ModelInput in = base_input();
+  in.value_bytes = 100;
+  in.queue_depth = 32;
+  in.key_bytes = 16;
+  const double small = predict(in).throughput_ops_per_sec;
+  in.key_bytes = 17;
+  const double large = predict(in).throughput_ops_per_sec;
+  EXPECT_LT(large, small);
+  // The Fig. 8 regime: command processing is the bottleneck, so the drop
+  // approaches 2x.
+  EXPECT_LT(large / small, 0.75);
+}
+
+TEST(Model, IndexMissProbabilityRegimes) {
+  ModelInput in = base_input();
+  in.ftl.index.dram_bytes = 8 * MiB;  // 2048 segments ~ 196k entries
+  in.kvp_count = 50'000;
+  EXPECT_DOUBLE_EQ(index_miss_probability(in), 0.0);
+  in.kvp_count = 2'000'000;
+  const double miss = index_miss_probability(in);
+  EXPECT_GT(miss, 0.85);
+  EXPECT_LT(miss, 1.0);
+}
+
+TEST(Model, SpilledIndexSlowsEverything) {
+  ModelInput in = base_input();
+  in.ftl.index.dram_bytes = 8 * MiB;
+  in.is_read = true;
+  in.kvp_count = 50'000;
+  const ModelOutput resident = predict(in);
+  in.kvp_count = 2'000'000;
+  const ModelOutput spilled = predict(in);
+  EXPECT_GT(spilled.mean_latency_ns, resident.mean_latency_ns * 1.5);
+  EXPECT_GT(spilled.index_levels, 1u);
+}
+
+TEST(Model, WafGrowsWithFill) {
+  EXPECT_DOUBLE_EQ(gc_write_amplification(0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(gc_write_amplification(0.5, 0.0), 1.0);
+  const double at50 = gc_write_amplification(0.5, 1.0);
+  const double at80 = gc_write_amplification(0.8, 1.0);
+  const double at95 = gc_write_amplification(0.95, 1.0);
+  EXPECT_GT(at50, 1.5);
+  EXPECT_GT(at80, at50);
+  EXPECT_GT(at95, at80);
+  EXPECT_LT(at95, 20.0);  // capped
+}
+
+TEST(Model, SplitBlobsPayThePacker) {
+  ModelInput in = base_input();
+  in.queue_depth = 1;
+  in.value_bytes = 24 * KiB;
+  const double fits = predict(in).mean_latency_ns;
+  in.value_bytes = 25 * KiB;
+  const double splits = predict(in).mean_latency_ns;
+  EXPECT_GT(splits, fits + 50'000);  // one split_chunk_ns at least
+}
+
+TEST(Model, TracksSimulatorWithinBounds) {
+  // One write-heavy and one read-heavy configuration; the asymptotic
+  // bounds must land within a factor of ~3 of the simulator.
+  struct Case {
+    u32 value;
+    u32 qd;
+    bool read;
+  };
+  for (const Case& c :
+       {Case{4096, 1, false}, Case{4096, 16, true}, Case{512, 16, false}}) {
+    harness::KvssdBedConfig cfg;
+    cfg.dev = ssd::SsdConfig::small_device();
+    cfg.ftl.track_iterator_keys = false;
+    cfg.ftl.expected_keys_hint = 40'000;
+    harness::KvssdBed bed(cfg);
+    (void)harness::fill_stack(bed, 20'000, 16, c.value, 64);
+    wl::WorkloadSpec spec;
+    spec.num_ops = 10'000;
+    spec.key_space = 20'000;
+    spec.key_bytes = 16;
+    spec.value_bytes = c.value;
+    spec.queue_depth = c.qd;
+    spec.mix = c.read ? wl::OpMix::read_only() : wl::OpMix::update_only();
+    const harness::RunResult r = harness::run_workload(bed, spec, true);
+    const auto& h = c.read ? r.read : r.update;
+
+    ModelInput in;
+    in.dev = cfg.dev;
+    in.ftl = cfg.ftl;
+    in.key_bytes = 16;
+    in.value_bytes = c.value;
+    in.queue_depth = c.qd;
+    in.is_read = c.read;
+    in.kvp_count = 20'000;
+    in.fill_fraction = (double)bed.ftl().live_slots() /
+                       (double)bed.ftl().max_kvp_capacity();
+    in.update_fraction = c.read ? 0.0 : 1.0;
+    const ModelOutput m = predict(in);
+
+    const double lat_ratio = m.mean_latency_ns / h.mean();
+    EXPECT_GT(lat_ratio, 1.0 / 3.0)
+        << "value=" << c.value << " qd=" << c.qd << " read=" << c.read;
+    EXPECT_LT(lat_ratio, 3.0)
+        << "value=" << c.value << " qd=" << c.qd << " read=" << c.read;
+  }
+}
+
+}  // namespace
+}  // namespace kvsim::model

@@ -1,0 +1,90 @@
+// Tests for the NVMe KV command-set model (the Fig. 8 mechanism).
+#include <gtest/gtest.h>
+
+#include "nvme/nvme_link.h"
+
+namespace kvsim::nvme {
+namespace {
+
+TEST(NvmeCommands, InlineKeyNeedsOneCommand) {
+  NvmeConfig cfg;
+  EXPECT_EQ(kv_commands_for_key(cfg, 4), 1u);
+  EXPECT_EQ(kv_commands_for_key(cfg, 16), 1u);
+}
+
+TEST(NvmeCommands, LargeKeyNeedsTwoCommands) {
+  NvmeConfig cfg;
+  EXPECT_EQ(kv_commands_for_key(cfg, 17), 2u);
+  EXPECT_EQ(kv_commands_for_key(cfg, 255), 2u);
+}
+
+TEST(NvmeCommands, CompoundCommandsCollapseToOne) {
+  NvmeConfig cfg;
+  cfg.compound_commands = true;
+  EXPECT_EQ(kv_commands_for_key(cfg, 255), 1u);
+}
+
+TEST(NvmeLink, SubmissionCostScalesWithCommands) {
+  sim::EventQueue eq;
+  NvmeConfig cfg;
+  NvmeLink link(eq, cfg);
+  TimeNs one_cmd = 0, two_cmd = 0;
+  link.submit(1, 0, [&] { one_cmd = eq.now(); });
+  eq.run();
+  const TimeNs base = eq.now();
+  link.submit(2, 0, [&] { two_cmd = eq.now() - base; });
+  eq.run();
+  EXPECT_GT(two_cmd, one_cmd);
+  EXPECT_EQ(link.commands_issued(), 3u);
+}
+
+TEST(NvmeLink, PayloadTransfersOnSharedBus) {
+  sim::EventQueue eq;
+  NvmeConfig cfg;
+  NvmeLink link(eq, cfg);
+  TimeNs small = 0;
+  link.submit(1, 4 * KiB, [&] { small = eq.now(); });
+  eq.run();
+  sim::EventQueue eq2;
+  NvmeLink link2(eq2, cfg);
+  TimeNs large = 0;
+  link2.submit(1, 1 * MiB, [&] { large = eq2.now(); });
+  eq2.run();
+  EXPECT_GT(large, small + 100 * kUs);  // 1 MiB at 3.2 GB/s ~ 328 us
+}
+
+TEST(NvmeLink, ConcurrentSubmissionsSerializeOnCommandProcessor) {
+  sim::EventQueue eq;
+  NvmeConfig cfg;
+  NvmeLink link(eq, cfg);
+  std::vector<TimeNs> arrivals;
+  for (int i = 0; i < 8; ++i)
+    link.submit(1, 0, [&] { arrivals.push_back(eq.now()); });
+  eq.run();
+  for (size_t i = 1; i < arrivals.size(); ++i)
+    EXPECT_GT(arrivals[i], arrivals[i - 1]);
+}
+
+TEST(NvmeLink, HostCpuAccounted) {
+  sim::EventQueue eq;
+  NvmeConfig cfg;
+  NvmeLink link(eq, cfg);
+  link.submit(2, 0, [] {});
+  link.complete(0, [] {});
+  eq.run();
+  EXPECT_EQ(link.host_cpu_ns(),
+            2 * cfg.host_submit_ns + cfg.completion_ns);
+}
+
+TEST(NvmeLink, CompletionCarriesReadPayload) {
+  sim::EventQueue eq;
+  NvmeConfig cfg;
+  NvmeLink link(eq, cfg);
+  TimeNs t = 0;
+  link.complete(1 * MiB, [&] { t = eq.now(); });
+  eq.run();
+  EXPECT_GT(t, 300 * kUs);
+}
+
+}  // namespace
+}  // namespace kvsim::nvme

@@ -1,0 +1,86 @@
+// Unit tests for the discrete-event engine and resource reservation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace kvsim::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue eq;
+  std::vector<int> order;
+  eq.schedule_at(30, [&] { order.push_back(3); });
+  eq.schedule_at(10, [&] { order.push_back(1); });
+  eq.schedule_at(20, [&] { order.push_back(2); });
+  eq.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue eq;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) eq.schedule_at(5, [&, i] { order.push_back(i); });
+  eq.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[(size_t)i], i);
+}
+
+TEST(EventQueue, PastEventsClampToNow) {
+  EventQueue eq;
+  eq.schedule_at(100, [] {});
+  eq.run();
+  TimeNs fired = 0;
+  eq.schedule_at(5, [&] { fired = eq.now(); });  // in the past
+  eq.run();
+  EXPECT_EQ(fired, 100u);
+}
+
+TEST(EventQueue, NestedScheduling) {
+  EventQueue eq;
+  TimeNs inner_time = 0;
+  eq.schedule_at(10, [&] {
+    eq.schedule_after(15, [&] { inner_time = eq.now(); });
+  });
+  eq.run();
+  EXPECT_EQ(inner_time, 25u);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue eq;
+  int fired = 0;
+  eq.schedule_at(10, [&] { ++fired; });
+  eq.schedule_at(20, [&] { ++fired; });
+  eq.run_until(15);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eq.now(), 15u);
+  eq.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty) {
+  EventQueue eq;
+  EXPECT_FALSE(eq.step());
+  eq.schedule_at(1, [] {});
+  EXPECT_TRUE(eq.step());
+  EXPECT_FALSE(eq.step());
+  EXPECT_EQ(eq.events_processed(), 1u);
+}
+
+TEST(Resource, SerializesOverlappingReservations) {
+  Resource r;
+  EXPECT_EQ(r.reserve(0, 100), 100u);
+  EXPECT_EQ(r.reserve(0, 50), 150u);   // queued behind the first
+  EXPECT_EQ(r.reserve(500, 10), 510u);  // idle gap honored
+  EXPECT_EQ(r.busy_time(), 160u);
+}
+
+TEST(Resource, EarliestRespected) {
+  Resource r;
+  EXPECT_EQ(r.reserve(1000, 5), 1005u);
+  EXPECT_EQ(r.free_at(), 1005u);
+}
+
+}  // namespace
+}  // namespace kvsim::sim

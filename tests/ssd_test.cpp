@@ -1,0 +1,188 @@
+// Unit tests for the shared SSD substrate: allocator and write buffer.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ssd/allocator.h"
+#include "ssd/config.h"
+#include "ssd/write_buffer.h"
+
+namespace kvsim::ssd {
+namespace {
+
+flash::FlashGeometry tiny_geom() {
+  flash::FlashGeometry g;
+  g.channels = 2;
+  g.dies_per_channel = 1;
+  g.planes_per_die = 2;
+  g.blocks_per_plane = 3;
+  g.pages_per_block = 4;
+  return g;
+}
+
+TEST(Allocator, HandsOutEveryBlockOnce) {
+  flash::FlashGeometry g = tiny_geom();
+  BlockAllocator a(g);
+  std::set<flash::BlockId> seen;
+  EXPECT_EQ(a.free_blocks(), g.total_blocks());
+  for (u64 i = 0; i < g.total_blocks(); ++i) {
+    auto b = a.allocate();
+    ASSERT_TRUE(b.has_value());
+    EXPECT_TRUE(seen.insert(*b).second) << "block handed out twice";
+  }
+  EXPECT_FALSE(a.allocate().has_value());
+  EXPECT_EQ(a.free_blocks(), 0u);
+}
+
+TEST(Allocator, RoundRobinsAcrossPlanes) {
+  flash::FlashGeometry g = tiny_geom();
+  BlockAllocator a(g);
+  auto b1 = a.allocate();
+  auto b2 = a.allocate();
+  ASSERT_TRUE(b1 && b2);
+  EXPECT_NE(g.plane_of_block(*b1), g.plane_of_block(*b2));
+}
+
+TEST(Allocator, ReleaseRecycles) {
+  flash::FlashGeometry g = tiny_geom();
+  BlockAllocator a(g);
+  std::vector<flash::BlockId> all;
+  while (auto b = a.allocate()) all.push_back(*b);
+  a.release(all[3]);
+  EXPECT_EQ(a.free_blocks(), 1u);
+  auto again = a.allocate();
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*again, all[3]);
+}
+
+TEST(Allocator, AllocateOnPlane) {
+  flash::FlashGeometry g = tiny_geom();
+  BlockAllocator a(g);
+  for (u32 i = 0; i < g.blocks_per_plane; ++i) {
+    auto b = a.allocate_on_plane(2);
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(g.plane_of_block(*b), 2u);
+  }
+  EXPECT_FALSE(a.allocate_on_plane(2).has_value());
+}
+
+TEST(Allocator, WearCountsTrackReleases) {
+  flash::FlashGeometry g = tiny_geom();
+  BlockAllocator a(g);
+  auto b = a.allocate();
+  ASSERT_TRUE(b);
+  EXPECT_EQ(a.erase_count(*b), 0u);
+  a.release(*b);
+  EXPECT_EQ(a.erase_count(*b), 1u);
+  a.release(*b);  // (tests double-release accounting only)
+  EXPECT_EQ(a.erase_count(*b), 2u);
+  EXPECT_EQ(a.max_erase_count(), 2u);
+}
+
+TEST(Allocator, WearLevelingPrefersLeastWornBlock) {
+  flash::FlashGeometry g = tiny_geom();
+  BlockAllocator a(g);
+  // Empty plane 0's pool, wear one block heavily, return all.
+  std::vector<flash::BlockId> blocks;
+  while (auto b = a.allocate_on_plane(0)) blocks.push_back(*b);
+  ASSERT_EQ(blocks.size(), g.blocks_per_plane);
+  for (int i = 0; i < 5; ++i) {
+    a.release(blocks[0]);
+    auto again = a.allocate_on_plane(0);
+    ASSERT_TRUE(again);
+    ASSERT_EQ(*again, blocks[0]);
+  }
+  for (flash::BlockId b : blocks) a.release(b);
+  // The heavily-worn block must be handed out last on this plane.
+  for (u32 i = 0; i + 1 < g.blocks_per_plane; ++i) {
+    auto b = a.allocate_on_plane(0);
+    ASSERT_TRUE(b);
+    EXPECT_NE(*b, blocks[0]) << i;
+  }
+  auto last = a.allocate_on_plane(0);
+  ASSERT_TRUE(last);
+  EXPECT_EQ(*last, blocks[0]);
+}
+
+TEST(WriteBuffer, GrantsImmediatelyWhenSpace) {
+  sim::EventQueue eq;
+  WriteBuffer wb(eq, 1000);
+  bool granted = false;
+  wb.acquire(400, [&] { granted = true; });
+  EXPECT_TRUE(granted);  // synchronous grant
+  EXPECT_EQ(wb.occupied(), 400u);
+}
+
+TEST(WriteBuffer, QueuesWhenFullAndAdmitsFifo) {
+  sim::EventQueue eq;
+  WriteBuffer wb(eq, 1000);
+  wb.acquire(900, [] {});
+  std::vector<int> order;
+  wb.acquire(300, [&] { order.push_back(1); });
+  wb.acquire(100, [&] { order.push_back(2); });
+  EXPECT_EQ(wb.waiters(), 2u);
+  EXPECT_EQ(wb.total_stall_events(), 2u);
+  wb.release(500);  // 400 occupied: admits 300 then 100
+  eq.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(wb.occupied(), 800u);
+}
+
+TEST(WriteBuffer, FifoHeadBlocksSmallerFollowers) {
+  sim::EventQueue eq;
+  WriteBuffer wb(eq, 1000);
+  wb.acquire(1000, [] {});
+  bool big = false, small = false;
+  wb.acquire(800, [&] { big = true; });
+  wb.acquire(10, [&] { small = true; });
+  wb.release(100);  // not enough for the 800 head; 10 must wait its turn
+  eq.run();
+  EXPECT_FALSE(big);
+  EXPECT_FALSE(small);
+  wb.release(800);
+  eq.run();
+  EXPECT_TRUE(big);
+  EXPECT_TRUE(small);
+}
+
+TEST(WriteBuffer, OversizedRequestClampsToCapacity) {
+  sim::EventQueue eq;
+  WriteBuffer wb(eq, 100);
+  bool granted = false;
+  wb.acquire(5000, [&] { granted = true; });
+  EXPECT_TRUE(granted);
+  EXPECT_LE(wb.occupied(), 100u);
+}
+
+TEST(SsdConfig, ValidatesGoodConfigs) {
+  EXPECT_NO_THROW(SsdConfig::small_device().validate());
+  EXPECT_NO_THROW(SsdConfig::standard_device().validate());
+}
+
+TEST(SsdConfig, RejectsBadConfigs) {
+  SsdConfig c = SsdConfig::small_device();
+  c.geometry.channels = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = SsdConfig::small_device();
+  c.geometry.page_bytes = 1000;  // not sector aligned
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = SsdConfig::small_device();
+  c.overprovision = 0.9;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = SsdConfig::small_device();
+  c.write_buffer_bytes = 1024;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = SsdConfig::small_device();
+  c.gc_low_watermark_blocks = c.gc_reserved_blocks;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(SsdConfig, Presets) {
+  const SsdConfig small = SsdConfig::small_device();
+  const SsdConfig std_dev = SsdConfig::standard_device();
+  EXPECT_EQ(small.geometry.raw_capacity_bytes(), 4 * GiB);
+  EXPECT_EQ(std_dev.geometry.raw_capacity_bytes(), 16 * GiB);
+}
+
+}  // namespace
+}  // namespace kvsim::ssd

@@ -1,0 +1,119 @@
+// Tests for per-op trace capture and CSV export.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "harness/runner.h"
+#include "harness/stacks.h"
+
+namespace kvsim::harness {
+namespace {
+
+ssd::SsdConfig tiny_dev() {
+  ssd::SsdConfig d;
+  d.geometry.channels = 2;
+  d.geometry.dies_per_channel = 2;
+  d.geometry.planes_per_die = 2;
+  d.geometry.blocks_per_plane = 16;
+  d.geometry.pages_per_block = 16;
+  return d;
+}
+
+TEST(Trace, OneRecordPerOp) {
+  KvssdBedConfig c;
+  c.dev = tiny_dev();
+  KvssdBed bed(c);
+  TraceRecorder trace;
+  wl::WorkloadSpec spec;
+  spec.num_ops = 1500;
+  spec.key_space = 1500;
+  spec.key_bytes = 16;
+  spec.value_bytes = 1024;
+  spec.mix = wl::OpMix::insert_only();
+  spec.queue_depth = 16;
+  const RunResult r = run_workload(bed, spec, true, &trace);
+  EXPECT_EQ(trace.size(), 1500u);
+  EXPECT_EQ(r.ops, 1500u);
+  for (const TraceRecord& rec : trace.records()) {
+    EXPECT_EQ((int)rec.type, (int)wl::OpType::kInsert);
+    EXPECT_GT(rec.latency_ns, 0u);
+    EXPECT_EQ(rec.status, Status::kOk);
+    EXPECT_EQ(rec.bytes, 16u + 1024u);
+  }
+}
+
+TEST(Trace, IssueTimesNonDecreasingWithinQueueDepthOne) {
+  KvssdBedConfig c;
+  c.dev = tiny_dev();
+  KvssdBed bed(c);
+  TraceRecorder trace;
+  wl::WorkloadSpec spec;
+  spec.num_ops = 200;
+  spec.key_space = 200;
+  spec.key_bytes = 16;
+  spec.value_bytes = 512;
+  spec.mix = wl::OpMix::insert_only();
+  spec.queue_depth = 1;
+  (void)run_workload(bed, spec, true, &trace);
+  for (size_t i = 1; i < trace.size(); ++i)
+    EXPECT_GE(trace.records()[i].issue_ns, trace.records()[i - 1].issue_ns);
+}
+
+TEST(Trace, ExactPercentileMatchesSortOrder) {
+  TraceRecorder t;
+  for (u64 i = 1; i <= 100; ++i)
+    t.add(TraceRecord{0, i * 1000, wl::OpType::kRead, i, 0, Status::kOk});
+  EXPECT_EQ(t.exact_percentile(0.0), 1000u);
+  EXPECT_EQ(t.exact_percentile(1.0), 100000u);
+  EXPECT_NEAR((double)t.exact_percentile(0.5), 50000.0, 1000.0);
+}
+
+TEST(Trace, CsvShapeAndFileRoundTrip) {
+  TraceRecorder t;
+  t.add(TraceRecord{1000, 2000, wl::OpType::kUpdate, 42, 128, Status::kOk});
+  t.add(TraceRecord{3000, 4000, wl::OpType::kRead, 7, 64,
+                    Status::kNotFound});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("issue_us,latency_us,op,key_id,bytes,status"),
+            std::string::npos);
+  EXPECT_NE(csv.find("update,42,128,ok"), std::string::npos);
+  EXPECT_NE(csv.find("read,7,64,not-found"), std::string::npos);
+
+  const std::string path = "/tmp/kvsim_trace_test.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), csv);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, MixedOpsRecordTheirTypes) {
+  KvssdBedConfig c;
+  c.dev = tiny_dev();
+  KvssdBed bed(c);
+  (void)fill_stack(bed, 1000, 16, 512, 16);
+  TraceRecorder trace;
+  wl::WorkloadSpec spec;
+  spec.num_ops = 2000;
+  spec.key_space = 1000;
+  spec.key_bytes = 16;
+  spec.value_bytes = 512;
+  spec.mix = {0.0, 0.3, 0.5, 0};  // 20% deletes
+  spec.queue_depth = 8;
+  (void)run_workload(bed, spec, true, &trace);
+  u64 upd = 0, rd = 0, del = 0;
+  for (const TraceRecord& r : trace.records()) {
+    upd += r.type == wl::OpType::kUpdate;
+    rd += r.type == wl::OpType::kRead;
+    del += r.type == wl::OpType::kDelete;
+  }
+  EXPECT_EQ(upd + rd + del, 2000u);
+  EXPECT_NEAR((double)upd / 2000.0, 0.3, 0.04);
+  EXPECT_NEAR((double)del / 2000.0, 0.2, 0.04);
+}
+
+}  // namespace
+}  // namespace kvsim::harness
