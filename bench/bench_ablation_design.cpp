@@ -37,7 +37,10 @@ double kv_store_latency_us(u64 index_dram) {
   spec.pattern = wl::Pattern::kUniform;
   spec.mix = wl::OpMix::update_only();
   spec.queue_depth = 8;
-  return run_workload(bed, spec, true).update.mean() / 1000.0;
+  const auto r = run_workload(bed, spec, true);
+  report().add_run("index_dram_" + std::to_string(index_dram / MiB) + "MiB",
+                   r);
+  return r.update.mean() / 1000.0;
 }
 
 double large_key_kops(bool compound) {
@@ -52,7 +55,10 @@ double large_key_kops(bool compound) {
   spec.pattern = wl::Pattern::kUniform;
   spec.mix = wl::OpMix::insert_only();
   spec.queue_depth = 32;
-  return run_workload(bed, spec, true).throughput_ops_per_sec() / 1000.0;
+  const auto r = run_workload(bed, spec, true);
+  report().add_run(compound ? "large_key/compound" : "large_key/two_command",
+                   r);
+  return r.throughput_ops_per_sec() / 1000.0;
 }
 
 // A5: hotness-hint write streams (the paper's "may help in designing
@@ -144,6 +150,7 @@ double block_write_p50_us(TimeNs reorg_ns) {
 int main() {
   using namespace kvbench;
   print_header("Ablation", "design-choice sensitivity");
+  report_init("ablation_design");
 
   Table a1({"A1: slot alignment", "space amp @ 50 B values"});
   const double sa_1k = kv_space_amp(1024, 24);
@@ -230,5 +237,6 @@ int main() {
               "A5: hotness streams cut GC write amplification");
   check_shape(a6_lat[1] < a6_lat[0] * 0.6,
               "A6: a small read cache absorbs Zipf-hot reads");
+  save_report();
   return shape_exit();
 }

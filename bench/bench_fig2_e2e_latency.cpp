@@ -48,6 +48,7 @@ harness::RunResult run_phase(harness::KvStack& stack, wl::Pattern pattern,
 int main() {
   using namespace kvbench;
   print_header("Fig 2", "end-to-end latency: insert/update/read x pattern");
+  report_init("fig2_e2e_latency");
   std::printf("16 B keys, 4 KiB values, QD %u, %llu ops per phase\n", kQd,
               (unsigned long long)kOps);
 
@@ -80,6 +81,12 @@ int main() {
                                 kQd, 99);
       auto update = run_phase(*stack, p, wl::OpMix::update_only(), 2);
       auto read = run_phase(*stack, p, wl::OpMix::read_only(), 3);
+      const std::string tag =
+          std::string(which) + "/" + wl::to_string(p);
+      report().add_run(tag + "/insert", insert);
+      report().add_run(tag + "/update", update);
+      report().add_run(tag + "/read", read);
+      report().add_device(*stack);
       mean[si][pi][0] = insert.insert.mean();
       mean[si][pi][1] = update.update.mean();
       mean[si][pi][2] = read.read.mean();
@@ -130,5 +137,6 @@ int main() {
               "KV-SSD loses sequential reads to RocksDB");
   check_shape(mean[KV][ZIPF][RD] > mean[RDB][ZIPF][RD],
               "KV-SSD loses Zipf reads to RocksDB");
+  save_report();
   return shape_exit();
 }

@@ -37,7 +37,9 @@ Point measure_kvssd(u64 fill_kvps) {
   spec.pattern = wl::Pattern::kUniform;
   spec.queue_depth = kQd;
   spec.mix = wl::OpMix::read_only();
-  const double read_us = run_workload(bed, spec, true).read.mean() / 1000.0;
+  const auto rd = run_workload(bed, spec, true);
+  report().add_run("kvssd/" + std::to_string(fill_kvps) + "kvps/read", rd);
+  const double read_us = rd.read.mean() / 1000.0;
   spec.mix = wl::OpMix::update_only();
   if (fill_kvps > 5 * kLowKvps) {
     // Wear-in (unmeasured): at near-full occupancy the paper's device is
@@ -49,8 +51,10 @@ Point measure_kvssd(u64 fill_kvps) {
     (void)run_workload(bed, wear, true);
   }
   spec.seed = 77;
-  const double write_us =
-      run_workload(bed, spec, true).update.mean() / 1000.0;
+  const auto wr = run_workload(bed, spec, true);
+  report().add_run("kvssd/" + std::to_string(fill_kvps) + "kvps/update", wr);
+  report().add_device(bed);
+  const double write_us = wr.update.mean() / 1000.0;
   std::printf("  [KV-SSD %llu KVPs] index: %llu segments, hit rate %.3f\n",
               (unsigned long long)fill_kvps,
               (unsigned long long)bed.ftl().index().segments(),
@@ -96,6 +100,7 @@ int main() {
   using namespace kvbench;
   print_header("Fig 3",
                "latency vs index occupancy (16 B keys, 512 B values)");
+  report_init("fig3_index_occupancy");
   std::printf("low = %llu KVPs (index fits DRAM), high = %llu KVPs "
               "(index spills), %llu measured ops, QD %u\n",
               (unsigned long long)kLowKvps, (unsigned long long)kHighKvps,
@@ -137,5 +142,6 @@ int main() {
   check_shape(blk_high.write_us / blk_low.write_us < 1.3 &&
                   blk_high.read_us / blk_low.read_us < 1.3,
               "block-SSD near-constant across occupancy");
+  save_report();
   return shape_exit();
 }

@@ -25,13 +25,18 @@ Pair measure_kv(u32 value_bytes, u32 qd) {
   spec.pattern = wl::Pattern::kUniform;
   spec.queue_depth = qd;
   spec.mix = wl::OpMix::insert_only();
-  const double w = run_workload(bed, spec, true).insert.mean() / 1000.0;
+  const std::string tag =
+      "kvssd/" + std::to_string(value_bytes) + "B/qd" + std::to_string(qd);
+  const auto wr = run_workload(bed, spec, true);
+  report().add_run(tag + "/write", wr);
   // Ensure full coverage for the read phase (unmeasured top-up).
   (void)harness::fill_stack(bed, kOps, kKeyBytes, value_bytes, 128, 5);
   spec.mix = wl::OpMix::read_only();
   spec.seed = 17;
-  const double r = run_workload(bed, spec, true).read.mean() / 1000.0;
-  return {w, r};
+  const auto rr = run_workload(bed, spec, true);
+  report().add_run(tag + "/read", rr);
+  report().add_device(bed);
+  return {wr.insert.mean() / 1000.0, rr.read.mean() / 1000.0};
 }
 
 Pair measure_block(u32 io_bytes, u32 qd) {
@@ -44,13 +49,16 @@ Pair measure_block(u32 io_bytes, u32 qd) {
   spec.span_bytes = (u64)kOps * io_bytes;
   spec.queue_depth = qd;
   spec.op = harness::BlockOp::kWrite;
-  const double w =
-      run_block(bed.eq(), bed.device(), spec, true).insert.mean() / 1000.0;
+  const std::string tag =
+      "block/" + std::to_string(io_bytes) + "B/qd" + std::to_string(qd);
+  const auto wr = run_block(bed.eq(), bed.device(), spec, true);
+  report().add_run(tag + "/write", wr);
   spec.op = harness::BlockOp::kRead;
   spec.seed = 17;
-  const double r =
-      run_block(bed.eq(), bed.device(), spec, true).read.mean() / 1000.0;
-  return {w, r};
+  const auto rr = run_block(bed.eq(), bed.device(), spec, true);
+  report().add_run(tag + "/read", rr);
+  report().add_device("block-SSD", &bed.ftl().stats(), &bed.flash());
+  return {wr.insert.mean() / 1000.0, rr.read.mean() / 1000.0};
 }
 
 }  // namespace
@@ -59,6 +67,7 @@ Pair measure_block(u32 io_bytes, u32 qd) {
 int main() {
   using namespace kvbench;
   print_header("Fig 4", "KV-SSD / block-SSD latency ratio vs value size x QD");
+  report_init("fig4_valuesize_qd");
   std::printf("%llu random ops per point, 16 B keys (<1 favors KV-SSD)\n",
               (unsigned long long)kOps);
 
@@ -106,5 +115,6 @@ int main() {
   check_shape(wratio[5][0] > 1.5 && wratio[6][0] > 1.5,
               ">=32 KiB writes: split penalty at QD1");
   check_shape(rratio[5][0] > 1.0, "32 KiB reads: KV loses at QD1");
+  save_report();
   return shape_exit();
 }

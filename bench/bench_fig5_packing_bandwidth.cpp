@@ -24,8 +24,10 @@ double kv_write_mibs(u32 value_bytes) {
   spec.pattern = wl::Pattern::kUniform;
   spec.queue_depth = kQd;
   spec.mix = wl::OpMix::insert_only();
-  return run_workload(bed, spec, true).bandwidth_bytes_per_sec() /
-         (double)MiB;
+  const auto r = run_workload(bed, spec, true);
+  report().add_run("kvssd/" + std::to_string(value_bytes) + "B", r);
+  report().add_device(bed);
+  return r.bandwidth_bytes_per_sec() / (double)MiB;
 }
 
 double block_write_mibs(u32 io_bytes) {
@@ -38,9 +40,10 @@ double block_write_mibs(u32 io_bytes) {
   spec.span_bytes = (u64)kOps * io_bytes;
   spec.queue_depth = kQd;
   spec.op = harness::BlockOp::kWrite;
-  return run_block(bed.eq(), bed.device(), spec, true)
-             .bandwidth_bytes_per_sec() /
-         (double)MiB;
+  const auto r = run_block(bed.eq(), bed.device(), spec, true);
+  report().add_run("block/" + std::to_string(io_bytes) + "B", r);
+  report().add_device("block-SSD", &bed.ftl().stats(), &bed.flash());
+  return r.bandwidth_bytes_per_sec() / (double)MiB;
 }
 
 }  // namespace
@@ -49,6 +52,7 @@ double block_write_mibs(u32 io_bytes) {
 int main() {
   using namespace kvbench;
   print_header("Fig 5", "write bandwidth vs value size (packing policy)");
+  report_init("fig5_packing_bandwidth");
   std::printf("%llu random writes per point, QD %u\n",
               (unsigned long long)kOps, kQd);
 
@@ -97,5 +101,6 @@ int main() {
   check_shape(kv_at(48) > kv_at(26), "KV-SSD recovers between dips");
   check_shape(blk_minmax.second < blk_minmax.first * 1.5,
               "block-SSD bandwidth smooth across sizes");
+  save_report();
   return shape_exit();
 }

@@ -77,6 +77,10 @@ Timeline run_kvssd(wl::Pattern pattern) {
   tl.fg_gc = bed.ftl().stats().gc_foreground_runs - fg0;
   tl.migrated = bed.ftl().stats().gc_migrated_bytes - mig0;
   tl.waf = bed.ftl().stats().waf();
+  report().add_run(pattern == wl::Pattern::kUniform ? "kvssd_uniform"
+                                                    : "kvssd_sliding_window",
+                   tl.result);
+  report().add_device(bed);
   return tl;
 }
 
@@ -112,6 +116,8 @@ Timeline run_rocksdb() {
   tl.fg_gc = bed.ftl().stats().gc_foreground_runs - fg0;
   tl.migrated = bed.ftl().stats().gc_migrated_bytes - mig0;
   tl.waf = bed.ftl().stats().waf();
+  report().add_run("rocksdb_uniform", tl.result);
+  report().add_device(bed);
   return tl;
 }
 
@@ -122,6 +128,7 @@ int main() {
   using namespace kvbench;
   print_header("Fig 6",
                "foreground GC under random updates after 80% fill");
+  report_init("fig6_foreground_gc");
 
   const Timeline rdb = run_rocksdb();
   print_timeline("(a) RocksDB on block-SSD, uniform updates", rdb);
@@ -149,5 +156,6 @@ int main() {
   check_shape(kv_win.result.bw.min_bytes_per_sec() <
                   kv_win.result.bandwidth_bytes_per_sec() * 0.3,
               "KV-SSD bandwidth collapses intermittently (c)");
+  save_report();
   return shape_exit();
 }

@@ -17,6 +17,10 @@ double measure_sa(harness::KvStack& stack, u32 value_bytes, bool is_lsm) {
       harness::fill_stack(stack, kKvps, kKeyBytes, value_bytes, 64);
   if (r.errors) std::printf("  (errors: %llu)\n", (unsigned long long)r.errors);
   if (is_lsm) stack.add_app_bytes((i64)(kKvps * (kKeyBytes + value_bytes)));
+  report().add_run(std::string(stack.name()) + "/fill_" +
+                       std::to_string(value_bytes) + "B",
+                   r);
+  report().add_device(stack);
   return (double)stack.device_bytes_used() / (double)stack.app_bytes_live();
 }
 
@@ -26,6 +30,7 @@ double measure_sa(harness::KvStack& stack, u32 value_bytes, bool is_lsm) {
 int main() {
   using namespace kvbench;
   print_header("Fig 7", "space amplification vs KVP size");
+  report_init("fig7_space_amp");
 
   const u32 value_sizes[] = {50,   100,  200,  512, 1024,
                              2048, 3072, 4096, 8192};
@@ -83,5 +88,6 @@ int main() {
   check_shape(sa_as_50 < 2.5, "Aerospike space amp < ~2 at 50 B");
   check_shape(sa_rdb_50 < 1.6, "RocksDB space amp ~1.1-1.3");
   check_shape(sa_kv_2k < 1.2, "KV-SSD space amp ~1 at 2 KiB");
+  save_report();
   return shape_exit();
 }

@@ -23,6 +23,10 @@ double store_kops(u32 key_bytes, u32 qd, bool compound) {
   spec.mix = wl::OpMix::insert_only();
   spec.queue_depth = qd;
   const harness::RunResult r = harness::run_workload(bed, spec, true);
+  report().add_run("key" + std::to_string(key_bytes) + "B/qd" +
+                       std::to_string(qd) + (compound ? "/compound" : ""),
+                   r);
+  report().add_device(bed);
   return r.throughput_ops_per_sec() / 1000.0;
 }
 
@@ -32,6 +36,7 @@ double store_kops(u32 key_bytes, u32 qd, bool compound) {
 int main() {
   using namespace kvbench;
   print_header("Fig 8", "store throughput vs key size (NVMe command cost)");
+  report_init("fig8_keysize_nvme");
   std::printf("%llu stores, %u B values\n", (unsigned long long)kOps,
               kValueBytes);
 
@@ -70,5 +75,6 @@ int main() {
   check_shape(sync20 < sync16, "sync throughput also drops past 16 B");
   check_shape(comp255 > comp16 * 0.9,
               "compound commands flatten the cliff");
+  save_report();
   return shape_exit();
 }

@@ -35,6 +35,10 @@ Obs observe(u32 value_bytes, u32 qd, bool read, u64 resident_kvps,
   spec.queue_depth = qd;
   spec.mix = read ? wl::OpMix::read_only() : wl::OpMix::update_only();
   const harness::RunResult r = harness::run_workload(bed, spec, true);
+  report().add_run(std::string(read ? "read" : "update") + "/" +
+                       std::to_string(value_bytes) + "B/qd" +
+                       std::to_string(qd),
+                   r);
 
   model::ModelInput in;
   in.dev = cfg.dev;
@@ -62,6 +66,7 @@ Obs observe(u32 value_bytes, u32 qd, bool read, u64 resident_kvps,
 int main() {
   using namespace kvbench;
   print_header("Model", "analytical model vs simulator");
+  report_init("model_validation");
 
   Table t({"config", "sim kops", "model kops", "x", "sim us", "model us",
            "x"});
@@ -101,5 +106,6 @@ int main() {
       "correctly rank configurations.\n\n");
   check_shape(all_in_band,
               "model latency within 3x of the simulator on every case");
+  save_report();
   return shape_exit();
 }

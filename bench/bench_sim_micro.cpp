@@ -8,6 +8,8 @@
 #include "common/histogram.h"
 #include "common/rng.h"
 #include "flash/controller.h"
+#include "harness/runner.h"
+#include "harness/stacks.h"
 #include "kvftl/bloom.h"
 #include "kvftl/index_model.h"
 #include "sim/event_queue.h"
@@ -89,6 +91,30 @@ void BM_HistogramRecord(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_HistogramRecord);
+
+// Full run_workload with the time-sliced telemetry collector on (arg 1)
+// vs off (arg 0): comparing the two bounds the observability overhead.
+void BM_RunWorkloadTelemetry(benchmark::State& state) {
+  for (auto _ : state) {
+    harness::KvssdBedConfig cfg;
+    cfg.dev = ssd::SsdConfig::small_device();
+    harness::KvssdBed bed(cfg);
+    wl::WorkloadSpec spec;
+    spec.num_ops = 4000;
+    spec.key_space = 2000;
+    spec.key_bytes = 16;
+    spec.value_bytes = 1024;
+    spec.mix = {0.5, 0.0, 0.5, 0};
+    spec.queue_depth = 16;
+    harness::RunOptions opts;
+    opts.telemetry = state.range(0) != 0;
+    opts.telemetry_interval = kMs;
+    const auto r = harness::run_workload(bed, spec, true, nullptr, opts);
+    benchmark::DoNotOptimize(r.ops);
+  }
+  state.SetItemsProcessed(state.iterations() * 4000);
+}
+BENCHMARK(BM_RunWorkloadTelemetry)->Arg(0)->Arg(1);
 
 }  // namespace
 

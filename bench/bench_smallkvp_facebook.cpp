@@ -34,6 +34,9 @@ Result run_fb(bool compound) {
   spec.distinct_inserts = true;
   spec.queue_depth = 32;
   const harness::RunResult r = harness::run_workload(bed, spec, true);
+  report().add_run(compound ? "facebook/compound" : "facebook/two_command",
+                   r);
+  report().add_device(bed);
 
   const u64 app = bed.ftl().app_bytes_live();
   const u32 ncmds = compound ? 1 : 2;  // 24 B keys need two commands
@@ -49,6 +52,7 @@ int main() {
   using namespace kvbench;
   print_header("SmallKVP",
                "Facebook-sized KVPs (57-154 B avg) on the KV command set");
+  report_init("smallkvp_facebook");
   std::printf("%llu inserts, %u B keys, heavy-tailed ~110 B values, QD 32\n",
               (unsigned long long)kOps, kKeyBytes);
 
@@ -81,5 +85,6 @@ int main() {
               "command stream comparable to the data itself");
   check_shape(base.space_amp > 4.0,
               "1 KiB padding dominates space for ~100 B KVPs");
+  save_report();
   return shape_exit();
 }

@@ -39,6 +39,9 @@ E2e run_e2e(harness::KvStack& stack) {
   spec.mix = wl::OpMix::update_only();
   spec.seed = 5;
   const auto upd = run_workload(stack, spec, true);
+  report().add_run(std::string(stack.name()) + "/insert", ins);
+  report().add_run(std::string(stack.name()) + "/update", upd);
+  report().add_device(stack);
   return {(double)ins.insert.percentile(0.99) / 1000.0,
           (double)upd.update.percentile(0.99) / 1000.0,
           (double)(ins.host_cpu_ns + upd.host_cpu_ns) /
@@ -51,6 +54,7 @@ E2e run_e2e(harness::KvStack& stack) {
 int main() {
   using namespace kvbench;
   print_header("Table 1", "headline ratios from the paper's introduction");
+  report_init("table1_summary");
 
   // --- end-to-end stacks ----------------------------------------------------
   const ssd::SsdConfig dev = device_gib(4);
@@ -173,5 +177,6 @@ int main() {
               "direct I/O QD1: KV-SSD slower both ways");
   check_shape(qd64_w_ratio < 1.0,
               "direct I/O QD64: KV-SSD write crossover (Fig. 4)");
+  save_report();
   return shape_exit();
 }

@@ -7,9 +7,11 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "common/table.h"
+#include "harness/report.h"
 #include "harness/runner.h"
 #include "harness/stacks.h"
 
@@ -81,6 +83,31 @@ inline int shape_exit() {
   if (g_shape_failures)
     std::printf("\n%d shape check(s) FAILED\n", g_shape_failures);
   return g_shape_failures ? 1 : 0;
+}
+
+// --- JSON telemetry report ---------------------------------------------------
+
+/// Per-binary JSON report: call report_init("fig6_foreground_gc") first in
+/// main, record runs/devices next to the console output, and save_report()
+/// before shape_exit(). The document carries everything the console tables
+/// show plus the raw telemetry (latency histograms, stage breakdowns,
+/// time-sliced counters), so figures are reproducible from results/*.json
+/// alone.
+inline std::unique_ptr<harness::BenchReport> g_report;
+
+inline void report_init(const std::string& name) {
+  g_report = std::make_unique<harness::BenchReport>(name);
+}
+
+inline harness::BenchReport& report() {
+  if (!g_report) report_init("bench");
+  return *g_report;
+}
+
+inline void save_report() {
+  if (!g_report) return;
+  const std::string path = g_report->save();
+  if (!path.empty()) std::printf("[json] %s\n", path.c_str());
 }
 
 /// Persist a result table as results/<name>.csv (the repository's

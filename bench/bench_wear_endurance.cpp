@@ -30,7 +30,9 @@ WearResult wear_kvssd(double fill, u64 rewrites) {
   spec.pattern = wl::Pattern::kUniform;
   spec.mix = wl::OpMix::update_only();
   spec.queue_depth = 64;
-  (void)run_workload(bed, spec, true);
+  report().add_run("kvssd/fill" + std::to_string((int)(fill * 100)) + "pct",
+                   run_workload(bed, spec, true));
+  report().add_device(bed);
   const auto& alloc = bed.ftl().allocator();
   return WearResult{bed.ftl().stats().waf(), alloc.max_erase_count(),
                     alloc.mean_erase_count(),
@@ -66,6 +68,7 @@ WearResult wear_block(double fill, u64 rewrites) {
 int main() {
   using namespace kvbench;
   print_header("Wear", "endurance: WAF and erase-count spread per firmware");
+  report_init("wear_endurance");
   std::printf("1 GiB devices, 70%% fill, 3 rewrites of the working set, "
               "random 4 KiB\n");
 
@@ -99,5 +102,6 @@ int main() {
               "KV-SSD wear spread bounded");
   check_shape(blk.max_erase < blk.mean_erase * 5 + 5,
               "block-SSD wear spread bounded");
+  save_report();
   return shape_exit();
 }

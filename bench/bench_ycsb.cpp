@@ -30,6 +30,7 @@ std::unique_ptr<harness::KvStack> make_stack(const std::string& which) {
 int main() {
   using namespace kvbench;
   print_header("YCSB", "core workloads A-F, three stacks");
+  report_init("ycsb");
   const wl::YcsbRecordConfig rec;
   std::printf("%llu records x %u B (10 x 100 B fields), %llu ops, QD %u\n",
               (unsigned long long)kRecords, rec.value_bytes(),
@@ -49,6 +50,7 @@ int main() {
       wl::WorkloadSpec spec = wl::ycsb_spec(w, kRecords, kOps, rec);
       spec.queue_depth = kQd;
       const harness::RunResult r = harness::run_workload(*stack, spec, true);
+      report().add_run(std::string(wl::to_string(w)) + "/" + which, r);
       kops[wi][si] = r.throughput_ops_per_sec() / 1000.0;
       t.add_row({wl::to_string(w), which,
                  Table::num(r.throughput_ops_per_sec() / 1000.0, 1),
@@ -71,5 +73,6 @@ int main() {
               "YCSB-C (read only): RocksDB beats KV-SSD");
   check_shape(kops[2][2] > kops[2][0],
               "YCSB-C (read only): Aerospike beats KV-SSD");
+  save_report();
   return shape_exit();
 }

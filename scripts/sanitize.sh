@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Build and run the tier-1 test suite under AddressSanitizer +
+# UndefinedBehaviorSanitizer (the KVSIM_SANITIZE CMake option).
+#
+# Usage: scripts/sanitize.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-sanitize}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DKVSIM_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# halt_on_error: any sanitizer report fails the suite.
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+echo "sanitized test suite passed"

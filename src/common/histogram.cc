@@ -42,11 +42,18 @@ void LatencyHistogram::clear() { *this = LatencyHistogram{}; }
 TimeNs LatencyHistogram::percentile(double q) const {
   if (count_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
-  const u64 target = (u64)(q * (double)(count_ - 1)) + 1;
+  // Rank of the q-th sample, clamped into [1, count] so that double
+  // rounding near q=1 can never push the target past the sample count.
+  const u64 target = std::min((u64)(q * (double)(count_ - 1)) + 1, count_);
+  // The rank-1 sample IS the minimum and the rank-count sample IS the
+  // maximum; answer those exactly instead of with a bucket bound.
+  if (target <= 1) return min_;
+  if (target >= count_) return max_;
   u64 seen = 0;
   for (int i = 0; i < kBuckets; ++i) {
     seen += buckets_[(size_t)i];
-    if (seen >= target) return std::min(bucket_upper(i), max_);
+    if (seen >= target)
+      return std::clamp(bucket_upper(i), count_ ? min_ : 0, max_);
   }
   return max_;
 }
@@ -60,6 +67,14 @@ std::string LatencyHistogram::summary() const {
                 format_time_ns((double)percentile(0.99)).c_str(),
                 format_time_ns((double)max_).c_str());
   return buf;
+}
+
+std::vector<std::pair<TimeNs, u64>> LatencyHistogram::nonzero_buckets() const {
+  std::vector<std::pair<TimeNs, u64>> out;
+  for (int i = 0; i < kBuckets; ++i)
+    if (buckets_[(size_t)i])
+      out.emplace_back(bucket_upper(i), buckets_[(size_t)i]);
+  return out;
 }
 
 }  // namespace kvsim

@@ -1,0 +1,340 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace kvsim {
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------------------
+
+void JsonWriter::comma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // value follows its key; no comma
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_ += ',';
+    needs_comma_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += '}';
+  if (!needs_comma_.empty()) needs_comma_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += ']';
+  if (!needs_comma_.empty()) needs_comma_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  comma();
+  escape(k);
+  out_ += ':';
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  comma();
+  escape(s);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  comma();
+  out_ += b ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double d) {
+  comma();
+  if (!std::isfinite(d)) {  // NaN/inf are not valid JSON
+    out_ += "null";
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", d);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(u64 v) {
+  comma();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", (unsigned long long)v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(i64 v) {
+  comma();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", (long long)v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma();
+  out_ += "null";
+  return *this;
+}
+
+void JsonWriter::escape(std::string_view s) {
+  out_ += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if ((unsigned char)c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+// ---------------------------------------------------------------------------
+// Parser (recursive descent)
+// ---------------------------------------------------------------------------
+
+const JsonValue* JsonValue::get(const std::string& k) const {
+  if (type != Type::kObject) return nullptr;
+  auto it = object.find(k);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  size_t pos = 0;
+  int depth = 0;
+  static constexpr int kMaxDepth = 64;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace((unsigned char)text[pos]))
+      ++pos;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view lit) {
+    if (text.substr(pos, lit.size()) == lit) {
+      pos += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!eat('"')) return false;
+    out.clear();
+    while (pos < text.size()) {
+      char c = text[pos++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos >= text.size()) return false;
+        char e = text[pos++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) return false;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= (unsigned)(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= (unsigned)(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= (unsigned)(h - 'A' + 10);
+              else return false;
+            }
+            // Telemetry strings are ASCII; fold other code points to '?'.
+            out += code < 0x80 ? (char)code : '?';
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_value(JsonValue& v) {
+    if (++depth > kMaxDepth) return false;
+    skip_ws();
+    if (pos >= text.size()) return false;
+    bool ok = false;
+    switch (text[pos]) {
+      case '{': ok = parse_object(v); break;
+      case '[': ok = parse_array(v); break;
+      case '"':
+        v.type = JsonValue::Type::kString;
+        ok = parse_string(v.string);
+        break;
+      case 't':
+        v.type = JsonValue::Type::kBool;
+        v.boolean = true;
+        ok = literal("true");
+        break;
+      case 'f':
+        v.type = JsonValue::Type::kBool;
+        v.boolean = false;
+        ok = literal("false");
+        break;
+      case 'n':
+        v.type = JsonValue::Type::kNull;
+        ok = literal("null");
+        break;
+      default: ok = parse_number(v); break;
+    }
+    --depth;
+    return ok;
+  }
+
+  bool parse_number(JsonValue& v) {
+    const size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    while (pos < text.size() &&
+           (std::isdigit((unsigned char)text[pos]) || text[pos] == '.' ||
+            text[pos] == 'e' || text[pos] == 'E' || text[pos] == '+' ||
+            text[pos] == '-'))
+      ++pos;
+    if (pos == start) return false;
+    const std::string num(text.substr(start, pos - start));
+    char* end = nullptr;
+    const double d = std::strtod(num.c_str(), &end);
+    if (end != num.c_str() + num.size()) return false;
+    v.type = JsonValue::Type::kNumber;
+    v.number = d;
+    return true;
+  }
+
+  bool parse_object(JsonValue& v) {
+    if (!eat('{')) return false;
+    v.type = JsonValue::Type::kObject;
+    skip_ws();
+    if (eat('}')) return true;
+    while (true) {
+      std::string k;
+      skip_ws();
+      if (!parse_string(k)) return false;
+      if (!eat(':')) return false;
+      JsonValue member;
+      if (!parse_value(member)) return false;
+      v.object.emplace(std::move(k), std::move(member));
+      if (eat(',')) continue;
+      return eat('}');
+    }
+  }
+
+  bool parse_array(JsonValue& v) {
+    if (!eat('[')) return false;
+    v.type = JsonValue::Type::kArray;
+    skip_ws();
+    if (eat(']')) return true;
+    while (true) {
+      JsonValue elem;
+      if (!parse_value(elem)) return false;
+      v.array.push_back(std::move(elem));
+      if (eat(',')) continue;
+      return eat(']');
+    }
+  }
+};
+
+void serialize_into(const JsonValue& v, JsonWriter& w) {
+  switch (v.type) {
+    case JsonValue::Type::kNull: w.null(); break;
+    case JsonValue::Type::kBool: w.value(v.boolean); break;
+    case JsonValue::Type::kNumber: {
+      // Integers re-serialize without an exponent/decimal point so
+      // round-trips of counter values are textually stable.
+      if (v.number >= 0 && v.number <= 9.007199254740992e15 &&
+          v.number == std::floor(v.number)) {
+        w.value((u64)v.number);
+      } else {
+        w.value(v.number);
+      }
+      break;
+    }
+    case JsonValue::Type::kString: w.value(std::string_view(v.string)); break;
+    case JsonValue::Type::kArray:
+      w.begin_array();
+      for (const auto& e : v.array) serialize_into(e, w);
+      w.end_array();
+      break;
+    case JsonValue::Type::kObject:
+      w.begin_object();
+      for (const auto& [k, e] : v.object) {
+        w.key(k);
+        serialize_into(e, w);
+      }
+      w.end_object();
+      break;
+  }
+}
+
+}  // namespace
+
+std::optional<JsonValue> json_parse(std::string_view text) {
+  Parser p{text};
+  JsonValue v;
+  if (!p.parse_value(v)) return std::nullopt;
+  p.skip_ws();
+  if (p.pos != text.size()) return std::nullopt;  // trailing garbage
+  return v;
+}
+
+std::string json_serialize(const JsonValue& v) {
+  JsonWriter w;
+  serialize_into(v, w);
+  return w.str();
+}
+
+}  // namespace kvsim

@@ -1,0 +1,96 @@
+// Minimal JSON emitter and parser for telemetry export.
+//
+// The simulator's observability layer (stage-breakdown histograms,
+// time-sliced counters, benchmark results) is exported as JSON so runs
+// are machine-readable; the parser exists so tests can round-trip the
+// exported documents and tools can read them back without a third-party
+// dependency.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace kvsim {
+
+/// Streaming JSON writer with automatic comma/nesting management.
+/// Usage:
+///   JsonWriter w;
+///   w.begin_object().key("ops").value(42u).key("lat").begin_array()
+///    .value(1.5).end_array().end_object();
+///   std::string doc = w.str();
+/// Keys must be emitted before each value inside objects; the writer
+/// asserts balanced begin/end in debug builds and simply emits what it is
+/// told otherwise (it is a formatting aid, not a validator).
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(bool b);
+  JsonWriter& value(double d);
+  JsonWriter& value(u64 v);
+  JsonWriter& value(u32 v) { return value((u64)v); }
+  JsonWriter& value(i64 v);
+  JsonWriter& null();
+
+  /// Convenience: key + value in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T v) {
+    return key(k).value(v);
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void comma();
+  void escape(std::string_view s);
+
+  std::string out_;
+  std::vector<bool> needs_comma_;  // per open scope
+  bool after_key_ = false;
+};
+
+/// Parsed JSON value (numbers are stored as double; integers beyond 2^53
+/// lose precision, which the telemetry consumers accept).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* get(const std::string& k) const;
+  double num_or(double fallback) const {
+    return is_number() ? number : fallback;
+  }
+};
+
+/// Parse a complete JSON document. Returns nullopt on any syntax error or
+/// trailing garbage.
+std::optional<JsonValue> json_parse(std::string_view text);
+
+/// Re-serialize a parsed value (canonical form: object keys sorted, which
+/// std::map already guarantees). Useful for round-trip testing.
+std::string json_serialize(const JsonValue& v);
+
+}  // namespace kvsim

@@ -1,6 +1,7 @@
 #include "flash/controller.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace kvsim::flash {
 
@@ -19,18 +20,29 @@ void FlashController::read_page(PageId p, u32 bytes, Done done) {
   const u32 ch = geom_.channel_of_page(p);
   TimeNs array_ns = timing_.read_page_ns;
   if (timing_.read_retry_prob > 0.0) {
-    // Each ECC soft-decode failure re-reads with shifted voltages.
-    while (retry_rng_.chance(timing_.read_retry_prob)) {
+    // Each ECC soft-decode failure re-reads with shifted voltages. Rounds
+    // are capped: real controllers exhaust their retry voltage table and
+    // hand the sector to hard-decode/RAID recovery, and an uncapped loop
+    // livelocks when the configured probability reaches 1.
+    for (u32 round = 0; round < kMaxReadRetryRounds &&
+                        retry_rng_.chance(timing_.read_retry_prob);
+         ++round) {
       array_ns += timing_.read_retry_ns;
       ++stats_.read_retries;
     }
   }
-  const TimeNs array_done = dies_[die].reserve(eq_.now(), array_ns);
-  const TimeNs xfer_done =
-      channels_[ch].reserve(array_done, timing_.transfer_ns(bytes));
+  const sim::Resource::Grant array =
+      dies_[die].reserve(eq_.now(), array_ns);
+  const sim::Resource::Grant xfer =
+      channels_[ch].reserve(array.done, timing_.transfer_ns(bytes));
+  read_stages_.die_wait.record(array.wait);
+  read_stages_.die_service.record(array.service);
+  read_stages_.channel_wait.record(xfer.wait);
+  read_stages_.transfer.record(xfer.service);
+  read_stages_.total.record(xfer.done - eq_.now());
   ++stats_.page_reads;
   stats_.bytes_read += bytes;
-  eq_.schedule_at(xfer_done, std::move(done));
+  eq_.schedule_at(xfer.done, std::move(done));
 }
 
 void FlashController::program_page(PageId p, u32 bytes, Done done) {
@@ -41,21 +53,54 @@ void FlashController::program_multi(PageId first, u32 count,
                                     u32 bytes_per_page, Done done) {
   const u64 die = geom_.die_of_page(first);
   const u32 ch = geom_.channel_of_page(first);
-  const TimeNs xfer_done = channels_[ch].reserve(
+  // A multi-plane program is one die-level command: every page must live
+  // on `first`'s die, or the single tPROG/die reservation below would
+  // silently mis-time pages belonging to other dies. (Audit note: the
+  // block FTL's sequential write path programs one sealed page at a time
+  // via program_page, so it can never violate this; the invariant guards
+  // future multi-plane callers.)
+  if (count == 0)
+    throw std::invalid_argument("program_multi: count must be >= 1");
+  if (geom_.die_of_page(first + count - 1) != die)
+    throw std::invalid_argument(
+        "program_multi: page run crosses a die boundary");
+  const sim::Resource::Grant xfer = channels_[ch].reserve(
       eq_.now(), timing_.transfer_ns((u64)bytes_per_page * count));
-  const TimeNs prog_done =
-      dies_[die].reserve(xfer_done, timing_.program_page_ns);
+  const sim::Resource::Grant prog =
+      dies_[die].reserve(xfer.done, timing_.program_page_ns);
+  program_stages_.channel_wait.record(xfer.wait);
+  program_stages_.transfer.record(xfer.service);
+  program_stages_.die_wait.record(prog.wait);
+  program_stages_.die_service.record(prog.service);
+  program_stages_.total.record(prog.done - eq_.now());
   stats_.page_programs += count;
   stats_.bytes_programmed += (u64)bytes_per_page * count;
-  eq_.schedule_at(prog_done, std::move(done));
+  eq_.schedule_at(prog.done, std::move(done));
 }
 
 void FlashController::erase_block(BlockId b, Done done) {
   const u64 die = geom_.die_of_block(b);
-  const TimeNs erase_done =
+  const sim::Resource::Grant erase =
       dies_[die].reserve(eq_.now(), timing_.erase_block_ns);
+  erase_stages_.die_wait.record(erase.wait);
+  erase_stages_.die_service.record(erase.service);
+  erase_stages_.channel_wait.record(0);
+  erase_stages_.transfer.record(0);
+  erase_stages_.total.record(erase.done - eq_.now());
   ++stats_.block_erases;
-  eq_.schedule_at(erase_done, std::move(done));
+  eq_.schedule_at(erase.done, std::move(done));
+}
+
+TimeNs FlashController::total_die_busy_ns() const {
+  TimeNs sum = 0;
+  for (const auto& d : dies_) sum += d.busy_time();
+  return sum;
+}
+
+TimeNs FlashController::total_channel_busy_ns() const {
+  TimeNs sum = 0;
+  for (const auto& c : channels_) sum += c.busy_time();
+  return sum;
 }
 
 double FlashController::max_die_utilization() const {
@@ -63,6 +108,12 @@ double FlashController::max_die_utilization() const {
   TimeNs busiest = 0;
   for (const auto& d : dies_) busiest = std::max(busiest, d.busy_time());
   return (double)busiest / (double)eq_.now();
+}
+
+double FlashController::mean_die_utilization() const {
+  if (eq_.now() == 0 || dies_.empty()) return 0.0;
+  return (double)total_die_busy_ns() /
+         ((double)eq_.now() * (double)dies_.size());
 }
 
 }  // namespace kvsim::flash

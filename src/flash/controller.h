@@ -9,12 +9,21 @@
 // next-free-time reservation; operations from independent dies overlap.
 //
 // A "multi-plane" program hook programs several pages of the same die with
-// one tPROG (used by the block FTL's sequential write optimization).
+// one tPROG (used by multi-plane-aware FTL write paths). All pages of one
+// multi-plane program MUST share a die (and hence a channel); the
+// controller rejects calls that cross a die boundary.
+//
+// Every operation records a stage-breakdown into per-op-type latency
+// histograms (die wait vs. die service vs. channel wait vs. transfer), the
+// simulator's equivalent of decomposing device latency into queueing and
+// service time per pipeline stage. Per-die and per-channel busy time is
+// exposed for utilization telemetry.
 #pragma once
 
 #include <functional>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/rng.h"
 #include "flash/geometry.h"
 #include "sim/event_queue.h"
@@ -30,9 +39,35 @@ struct FlashStats {
   u64 bytes_programmed = 0;
 };
 
+/// Latency decomposition of one op class into pipeline stages. For every
+/// completed operation the four stage histograms each record one sample,
+/// and the samples sum exactly to the `total` (end-to-end) sample:
+///   read:    die_wait + die_service (tR + retries) + channel_wait + transfer
+///   program: channel_wait + transfer + die_wait + die_service (tPROG)
+///   erase:   die_wait + die_service (tBERS); channel stages record 0
+struct StageBreakdown {
+  LatencyHistogram die_wait;      ///< queueing for the die
+  LatencyHistogram die_service;   ///< array time (tR/tPROG/tBERS + retries)
+  LatencyHistogram channel_wait;  ///< queueing for the channel bus
+  LatencyHistogram transfer;      ///< payload transfer on the channel
+  LatencyHistogram total;         ///< end-to-end operation latency
+
+  void merge(const StageBreakdown& o) {
+    die_wait.merge(o.die_wait);
+    die_service.merge(o.die_service);
+    channel_wait.merge(o.channel_wait);
+    transfer.merge(o.transfer);
+    total.merge(o.total);
+  }
+};
+
 class FlashController {
  public:
   using Done = std::function<void()>;
+
+  /// Retry rounds per read are bounded so a misconfigured retry
+  /// probability (>= 1) degrades latency instead of livelocking.
+  static constexpr u32 kMaxReadRetryRounds = 8;
 
   FlashController(sim::EventQueue& eq, const FlashGeometry& geom,
                   const FlashTiming& timing);
@@ -44,7 +79,9 @@ class FlashController {
   void program_page(PageId p, u32 bytes, Done done);
 
   /// Program `count` pages on the same die with a single tPROG
-  /// (multi-plane). Transfers still serialize on the channel.
+  /// (multi-plane). Transfers still serialize on the channel. Throws
+  /// std::invalid_argument when count is zero or the page run crosses a
+  /// die boundary (which would silently mis-time the program).
   void program_multi(PageId first, u32 count, u32 bytes_per_page, Done done);
 
   /// Erase a block.
@@ -54,12 +91,27 @@ class FlashController {
   const FlashGeometry& geometry() const { return geom_; }
   const FlashTiming& timing() const { return timing_; }
 
+  // --- stage-breakdown telemetry -----------------------------------------
+  const StageBreakdown& read_stages() const { return read_stages_; }
+  const StageBreakdown& program_stages() const { return program_stages_; }
+  const StageBreakdown& erase_stages() const { return erase_stages_; }
+
   /// Earliest time the die owning page `p` frees up (for schedulers that
   /// prefer idle dies).
   TimeNs die_free_at(u64 die) const { return dies_[die].free_at(); }
 
+  // --- utilization telemetry ---------------------------------------------
+  u64 num_dies() const { return dies_.size(); }
+  u32 num_channels() const { return (u32)channels_.size(); }
+  TimeNs die_busy_ns(u64 die) const { return dies_[die].busy_time(); }
+  TimeNs channel_busy_ns(u32 ch) const { return channels_[ch].busy_time(); }
+  TimeNs total_die_busy_ns() const;
+  TimeNs total_channel_busy_ns() const;
+
   /// Utilization of the busiest die over [0, now].
   double max_die_utilization() const;
+  /// Mean die utilization over [0, now].
+  double mean_die_utilization() const;
 
  private:
   sim::EventQueue& eq_;
@@ -69,6 +121,9 @@ class FlashController {
   std::vector<sim::Resource> channels_;
   Rng retry_rng_;  // deterministic ECC retry draws
   FlashStats stats_;
+  StageBreakdown read_stages_;
+  StageBreakdown program_stages_;
+  StageBreakdown erase_stages_;
 };
 
 }  // namespace kvsim::flash

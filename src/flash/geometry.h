@@ -83,7 +83,9 @@ struct FlashTiming {
   /// Probability a page read needs an ECC soft-decode retry (read-retry
   /// voltage shift + second array read). The paper's ECC-sector
   /// discussion is why the KV-FTL pads blobs to 1 KiB; this knob adds
-  /// the latency-tail side of the same hardware. 0 disables.
+  /// the latency-tail side of the same hardware. 0 disables. Must be in
+  /// [0, 1) — SsdConfig::validate rejects other values, and the
+  /// controller caps retry rounds per read as a second line of defense.
   double read_retry_prob = 0.0;
   /// Extra array time per retry round.
   TimeNs read_retry_ns = 70 * kUs;

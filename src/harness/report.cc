@@ -1,0 +1,272 @@
+#include "harness/report.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "flash/controller.h"
+
+namespace kvsim::harness {
+
+void histogram_json(JsonWriter& w, const LatencyHistogram& h) {
+  w.begin_object();
+  w.kv("count", h.count());
+  w.kv("sum_ns", h.sum());
+  w.kv("min_ns", (u64)h.min());
+  w.kv("max_ns", (u64)h.max());
+  w.kv("mean_ns", h.mean());
+  w.kv("p50_ns", (u64)h.percentile(0.50));
+  w.kv("p90_ns", (u64)h.percentile(0.90));
+  w.kv("p99_ns", (u64)h.percentile(0.99));
+  w.kv("p999_ns", (u64)h.percentile(0.999));
+  w.key("buckets").begin_array();
+  for (const auto& [upper, count] : h.nonzero_buckets())
+    w.begin_array().value((u64)upper).value(count).end_array();
+  w.end_array();
+  w.end_object();
+}
+
+void stage_breakdown_json(JsonWriter& w, const flash::StageBreakdown& s) {
+  w.begin_object();
+  w.key("die_wait");
+  histogram_json(w, s.die_wait);
+  w.key("die_service");
+  histogram_json(w, s.die_service);
+  w.key("channel_wait");
+  histogram_json(w, s.channel_wait);
+  w.key("transfer");
+  histogram_json(w, s.transfer);
+  w.key("total");
+  histogram_json(w, s.total);
+  w.end_object();
+}
+
+void timeslices_json(JsonWriter& w, const ssd::TelemetryCollector& c) {
+  w.begin_object();
+  w.kv("interval_ns", (u64)c.interval());
+  w.kv("num_dies", c.num_dies());
+  w.key("slices").begin_array();
+  for (const auto& s : c.slices()) {
+    w.begin_object();
+    w.kv("t0_ns", (u64)s.t0);
+    w.kv("t1_ns", (u64)s.t1);
+    w.kv("host_read_ops", s.host_read_ops);
+    w.kv("host_write_ops", s.host_write_ops);
+    w.kv("host_bytes_read", s.host_bytes_read);
+    w.kv("host_bytes_written", s.host_bytes_written);
+    w.kv("flash_bytes_written", s.flash_bytes_written);
+    w.kv("gc_runs", s.gc_runs);
+    w.kv("gc_foreground_runs", s.gc_foreground_runs);
+    w.kv("gc_migrated_bytes", s.gc_migrated_bytes);
+    w.kv("page_reads", s.page_reads);
+    w.kv("page_programs", s.page_programs);
+    w.kv("block_erases", s.block_erases);
+    w.kv("read_retries", s.read_retries);
+    w.kv("die_busy_ns", s.die_busy_ns);
+    w.kv("channel_busy_ns", s.channel_busy_ns);
+    w.kv("buffer_stalls", s.buffer_stalls);
+    w.kv("write_bw_bytes_per_sec", s.write_bw_bytes_per_sec());
+    w.kv("waf", s.waf());
+    w.kv("die_utilization", s.die_utilization(c.num_dies()));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void run_result_json(JsonWriter& w, const RunResult& r) {
+  w.begin_object();
+  w.kv("ops", r.ops);
+  w.kv("elapsed_ns", (u64)r.elapsed);
+  w.kv("errors", r.errors);
+  w.kv("not_found", r.not_found);
+  w.kv("host_cpu_ns", r.host_cpu_ns);
+  w.kv("throughput_ops_per_sec", r.throughput_ops_per_sec());
+  w.kv("bandwidth_bytes_per_sec", r.bandwidth_bytes_per_sec());
+  w.kv("cpu_cores_busy", r.cpu_cores_busy());
+
+  w.key("latency").begin_object();
+  const std::pair<const char*, const LatencyHistogram*> hists[] = {
+      {"all", &r.all},   {"insert", &r.insert}, {"update", &r.update},
+      {"read", &r.read}, {"scan", &r.scan},     {"delete", &r.del},
+  };
+  for (const auto& [hname, h] : hists) {
+    if (h->count() == 0 && h != &r.all) continue;  // omit idle op types
+    w.key(hname);
+    histogram_json(w, *h);
+  }
+  w.end_object();
+
+  // Bandwidth timeline: fixed windows of `window_ns`; bytes[i] transferred
+  // in window i. A Fig. 6-style curve is bytes[i] / window seconds.
+  w.key("bandwidth").begin_object();
+  w.kv("window_ns", (u64)r.bw.window());
+  w.key("bytes").begin_array();
+  for (u64 b : r.bw.raw_windows()) w.value(b);
+  w.end_array();
+  w.end_object();
+
+  w.key("timeslices");
+  timeslices_json(w, r.telemetry);
+  w.end_object();
+}
+
+void device_json(JsonWriter& w, const char* name, const ssd::FtlStats* ftl,
+                 const flash::FlashController* flash) {
+  w.begin_object();
+  w.kv("name", name ? name : "");
+  if (ftl) {
+    w.key("ftl").begin_object();
+    w.kv("host_read_ops", ftl->host_read_ops);
+    w.kv("host_write_ops", ftl->host_write_ops);
+    w.kv("host_bytes_read", ftl->host_bytes_read);
+    w.kv("host_bytes_written", ftl->host_bytes_written);
+    w.kv("gc_runs", ftl->gc_runs);
+    w.kv("gc_foreground_runs", ftl->gc_foreground_runs);
+    w.kv("gc_migrated_bytes", ftl->gc_migrated_bytes);
+    w.kv("gc_migrated_units", ftl->gc_migrated_units);
+    w.kv("rmw_ops", ftl->rmw_ops);
+    w.kv("flash_bytes_written", ftl->flash_bytes_written);
+    w.kv("waf", ftl->waf());
+    w.end_object();
+  }
+  if (flash) {
+    w.key("flash").begin_object();
+    const auto& fs = flash->stats();
+    w.key("counters").begin_object();
+    w.kv("page_reads", fs.page_reads);
+    w.kv("page_programs", fs.page_programs);
+    w.kv("block_erases", fs.block_erases);
+    w.kv("read_retries", fs.read_retries);
+    w.kv("bytes_read", fs.bytes_read);
+    w.kv("bytes_programmed", fs.bytes_programmed);
+    w.end_object();
+    w.key("stages").begin_object();
+    w.key("read");
+    stage_breakdown_json(w, flash->read_stages());
+    w.key("program");
+    stage_breakdown_json(w, flash->program_stages());
+    w.key("erase");
+    stage_breakdown_json(w, flash->erase_stages());
+    w.end_object();
+    w.key("die_busy_ns").begin_array();
+    for (u64 d = 0; d < flash->num_dies(); ++d)
+      w.value((u64)flash->die_busy_ns(d));
+    w.end_array();
+    w.key("channel_busy_ns").begin_array();
+    for (u32 c = 0; c < flash->num_channels(); ++c)
+      w.value((u64)flash->channel_busy_ns(c));
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+}
+
+void BenchReport::add_run(const std::string& label, const RunResult& r) {
+  runs_.emplace_back(label, r);
+}
+
+void BenchReport::add_device(const KvStack& stack) {
+  add_device(stack.name(), stack.ftl_stats(), stack.flash_ctrl());
+}
+
+void BenchReport::add_device(const char* name, const ssd::FtlStats* ftl,
+                             const flash::FlashController* flash) {
+  DeviceSnap snap;
+  snap.name = name ? name : "";
+  if (ftl) {
+    snap.has_ftl = true;
+    snap.ftl = *ftl;
+  }
+  if (flash) {
+    snap.has_flash = true;
+    snap.flash_stats = flash->stats();
+    snap.read_stages = flash->read_stages();
+    snap.program_stages = flash->program_stages();
+    snap.erase_stages = flash->erase_stages();
+    for (u64 d = 0; d < flash->num_dies(); ++d)
+      snap.die_busy_ns.push_back(flash->die_busy_ns(d));
+    for (u32 c = 0; c < flash->num_channels(); ++c)
+      snap.channel_busy_ns.push_back(flash->channel_busy_ns(c));
+  }
+  devices_.push_back(std::move(snap));
+}
+
+std::string BenchReport::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("name", std::string_view(name_));
+  w.key("runs").begin_array();
+  for (const auto& [label, result] : runs_) {
+    w.begin_object();
+    w.kv("label", std::string_view(label));
+    w.key("result");
+    run_result_json(w, result);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("devices").begin_array();
+  for (const auto& d : devices_) {
+    // Re-serialize from the stored snapshot via the shared helpers by
+    // building a temporary view. Stage histograms and busy vectors were
+    // copied at snapshot time, so the bed may already be destroyed.
+    w.begin_object();
+    w.kv("name", std::string_view(d.name));
+    if (d.has_ftl) {
+      w.key("ftl").begin_object();
+      w.kv("host_read_ops", d.ftl.host_read_ops);
+      w.kv("host_write_ops", d.ftl.host_write_ops);
+      w.kv("host_bytes_read", d.ftl.host_bytes_read);
+      w.kv("host_bytes_written", d.ftl.host_bytes_written);
+      w.kv("gc_runs", d.ftl.gc_runs);
+      w.kv("gc_foreground_runs", d.ftl.gc_foreground_runs);
+      w.kv("gc_migrated_bytes", d.ftl.gc_migrated_bytes);
+      w.kv("gc_migrated_units", d.ftl.gc_migrated_units);
+      w.kv("rmw_ops", d.ftl.rmw_ops);
+      w.kv("flash_bytes_written", d.ftl.flash_bytes_written);
+      w.kv("waf", d.ftl.waf());
+      w.end_object();
+    }
+    if (d.has_flash) {
+      w.key("flash").begin_object();
+      w.key("counters").begin_object();
+      w.kv("page_reads", d.flash_stats.page_reads);
+      w.kv("page_programs", d.flash_stats.page_programs);
+      w.kv("block_erases", d.flash_stats.block_erases);
+      w.kv("read_retries", d.flash_stats.read_retries);
+      w.kv("bytes_read", d.flash_stats.bytes_read);
+      w.kv("bytes_programmed", d.flash_stats.bytes_programmed);
+      w.end_object();
+      w.key("stages").begin_object();
+      w.key("read");
+      stage_breakdown_json(w, d.read_stages);
+      w.key("program");
+      stage_breakdown_json(w, d.program_stages);
+      w.key("erase");
+      stage_breakdown_json(w, d.erase_stages);
+      w.end_object();
+      w.key("die_busy_ns").begin_array();
+      for (u64 b : d.die_busy_ns) w.value(b);
+      w.end_array();
+      w.key("channel_busy_ns").begin_array();
+      for (u64 b : d.channel_busy_ns) w.value(b);
+      w.end_array();
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string BenchReport::save(const std::string& dir) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string path = dir + "/" + name_ + ".json";
+  std::ofstream out(path);
+  if (!out) return "";
+  out << to_json() << "\n";
+  return out ? path : "";
+}
+
+}  // namespace kvsim::harness

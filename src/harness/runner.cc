@@ -98,6 +98,7 @@ struct Driver {
     hist.record(now - start);
     result.all.record(now - start);
     result.bw.add(now - t0, bytes);
+    result.telemetry.poll(now);
     if (trace)
       trace->add(TraceRecord{start - t0, now - start, type, key_id,
                              (u32)bytes, s});
@@ -117,8 +118,15 @@ struct Driver {
 }  // namespace
 
 RunResult run_workload(KvStack& stack, const wl::WorkloadSpec& spec,
-                       bool drain_after, TraceRecorder* trace) {
+                       bool drain_after, TraceRecorder* trace,
+                       const RunOptions& opts) {
   Driver drv(stack, spec, trace);
+  if (opts.telemetry) {
+    drv.result.telemetry = ssd::TelemetryCollector(opts.telemetry_interval);
+    drv.result.telemetry.attach(
+        stack.eq().now(), stack.ftl_stats(), stack.flash_ctrl(),
+        [&stack] { return stack.buffer_stall_events(); });
+  }
   drv.issue_more();
   sim::EventQueue& eq = stack.eq();
   while (!drv.done() && eq.step()) {
@@ -131,6 +139,9 @@ RunResult run_workload(KvStack& stack, const wl::WorkloadSpec& spec,
     while (!drained && eq.step()) {
     }
   }
+  // Close the trailing partial window (after the drain, so background GC
+  // and flush traffic lands in the timeline too).
+  drv.result.telemetry.finalize(eq.now());
   drv.result.host_cpu_ns = stack.host_cpu_ns() - drv.cpu0;
   return drv.result;
 }

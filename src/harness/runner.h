@@ -11,13 +11,27 @@
 #include "common/timeseries.h"
 #include "harness/stack_iface.h"
 #include "harness/trace.h"
+#include "ssd/telemetry.h"
 #include "workload/workload.h"
 
 namespace kvsim::harness {
 
+/// Knobs for the run loop's observability layer.
+struct RunOptions {
+  /// Collect time-sliced device telemetry (FtlStats/FlashStats deltas)
+  /// while the run executes. Costs one integer compare per completion
+  /// plus one counter sweep per elapsed interval.
+  bool telemetry = true;
+  /// Sampling window of the time-sliced collector.
+  TimeNs telemetry_interval = 100 * kMs;
+};
+
 struct RunResult {
   LatencyHistogram insert, update, read, scan, del, all;
   BandwidthTracker bw{100 * kMs};
+  /// Time-sliced device counters sampled during the run (empty when the
+  /// stack exposes no FTL/flash telemetry or RunOptions disabled it).
+  ssd::TelemetryCollector telemetry;
   TimeNs elapsed = 0;
   u64 ops = 0;
   u64 errors = 0;           ///< non-OK, non-NotFound completions
@@ -40,7 +54,8 @@ struct RunResult {
 /// the clock stops (recommended between phases).
 RunResult run_workload(KvStack& stack, const wl::WorkloadSpec& spec,
                        bool drain_after = false,
-                       TraceRecorder* trace = nullptr);
+                       TraceRecorder* trace = nullptr,
+                       const RunOptions& opts = {});
 
 /// Convenience: populate `keys` distinct keys (sequential ids) with fixed
 /// value size, then drain.

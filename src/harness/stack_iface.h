@@ -8,6 +8,10 @@
 #include "sim/event_queue.h"
 #include "ssd/stats.h"
 
+namespace kvsim::flash {
+class FlashController;
+}
+
 namespace kvsim::harness {
 
 class KvStack {
@@ -38,6 +42,14 @@ class KvStack {
   virtual const char* name() const = 0;
   /// Device FTL statistics, when the stack sits on a simulated FTL.
   virtual const ssd::FtlStats* ftl_stats() const { return nullptr; }
+  /// The flash substrate under the stack's device (stage-breakdown and
+  /// utilization telemetry), when simulated.
+  virtual const flash::FlashController* flash_ctrl() const {
+    return nullptr;
+  }
+  /// Cumulative device write-buffer backpressure events (0 when the stack
+  /// has no simulated write buffer).
+  virtual u64 buffer_stall_events() const { return 0; }
 };
 
 }  // namespace kvsim::harness

@@ -62,6 +62,10 @@ class KvssdBed final : public KvStack {
   kvftl::KvFtl& ftl() { return *ftl_; }
   const ssd::FtlStats* ftl_stats() const override { return &ftl_->stats(); }
   flash::FlashController& flash() { return *flash_; }
+  const flash::FlashController* flash_ctrl() const override {
+    return flash_.get();
+  }
+  u64 buffer_stall_events() const override { return ftl_->buffer_stalls(); }
 
  private:
   sim::EventQueue eq_;
@@ -137,6 +141,10 @@ class LsmBed final : public KvStack {
   fs::FileSystem& fs() { return *fs_; }
   blockftl::BlockFtl& ftl() { return *ftl_; }
   const ssd::FtlStats* ftl_stats() const override { return &ftl_->stats(); }
+  const flash::FlashController* flash_ctrl() const override {
+    return flash_.get();
+  }
+  u64 buffer_stall_events() const override { return ftl_->buffer_stalls(); }
 
  private:
   sim::EventQueue eq_;
@@ -189,6 +197,10 @@ class HashKvBed final : public KvStack {
   hashkv::HashKvStore& store() { return *store_; }
   blockftl::BlockFtl& ftl() { return *ftl_; }
   const ssd::FtlStats* ftl_stats() const override { return &ftl_->stats(); }
+  const flash::FlashController* flash_ctrl() const override {
+    return flash_.get();
+  }
+  u64 buffer_stall_events() const override { return ftl_->buffer_stalls(); }
 
  private:
   sim::EventQueue eq_;

@@ -83,7 +83,10 @@ void KvsDevice::delete_namespace(u8 nsid,
   auto removed = std::make_shared<u64>(0);
   auto idx = std::make_shared<size_t>(0);
   auto step = std::make_shared<std::function<void()>>();
-  *step = [this, nsid, keys, removed, idx, step,
+  // Self-capture must be weak or the closure keeps itself alive forever;
+  // each pending remove callback holds the strong reference instead.
+  *step = [this, nsid, keys, removed, idx,
+           wstep = std::weak_ptr<std::function<void()>>(step),
            done = std::move(done)]() mutable {
     if (*idx >= keys->size()) {
       done(*removed);
@@ -91,7 +94,7 @@ void KvsDevice::delete_namespace(u8 nsid,
     }
     const std::string key = (*keys)[(*idx)++];
     remove(key,
-           [removed, step](Status s) {
+           [removed, step = wstep.lock()](Status s) {
              if (s == Status::kOk) ++*removed;
              (*step)();
            },

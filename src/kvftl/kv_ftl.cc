@@ -541,10 +541,13 @@ void KvFtl::charge_index_cost(const IndexCost& cost,
   // one arrival per read.
   if (cost.segment_reads > 0) {
     auto chain = std::make_shared<std::function<void(u32)>>();
-    *chain = [this, chain, arrive_read,
-              total = cost.segment_reads](u32 done_so_far) {
+    // Self-capture must be weak or the closure keeps itself alive forever;
+    // each pending read callback holds the strong reference instead.
+    *chain = [this, wchain = std::weak_ptr<std::function<void(u32)>>(chain),
+              arrive_read, total = cost.segment_reads](u32 done_so_far) {
+      auto chain = wchain.lock();
       flash_.read_page(next_index_page(), cfg_.index.segment_bytes,
-                       [this, chain, arrive_read, total, done_so_far] {
+                       [chain, arrive_read, total, done_so_far] {
                          arrive_read();
                          if (done_so_far + 1 < total) (*chain)(done_so_far + 1);
                        });

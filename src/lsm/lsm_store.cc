@@ -157,7 +157,10 @@ void LsmStore::write_ssts_then(std::vector<std::shared_ptr<Sst>> ssts,
   st->ssts = std::move(ssts);
   st->done = std::move(done);
   auto step = std::make_shared<std::function<void()>>();
-  *step = [this, st, step] {
+  // Self-capture must be weak or the closure keeps itself alive forever;
+  // the caller / pending append callback holds the strong reference.
+  *step = [this, st, wstep = std::weak_ptr<std::function<void()>>(step)] {
+    auto step = wstep.lock();
     if (st->idx == st->ssts.size()) {
       st->done();
       return;
@@ -317,7 +320,11 @@ void LsmStore::run_compaction_victim(u32 level,
   auto rs = std::make_shared<ReadState>();
   auto inputs = std::make_shared<std::vector<std::shared_ptr<Sst>>>(all_inputs);
   auto step = std::make_shared<std::function<void()>>();
-  *step = [this, rs, inputs, step, level, inputs_lo, inputs_hi] {
+  // Self-capture must be weak or the closure keeps itself alive forever;
+  // the caller / pending read callback holds the strong reference.
+  *step = [this, rs, inputs, wstep = std::weak_ptr<std::function<void()>>(step),
+           level, inputs_lo, inputs_hi] {
+    auto step = wstep.lock();
     if (rs->idx == inputs->size()) {
       // All inputs read; merge on the background CPU.
       std::vector<SstEntry> merged;

@@ -64,22 +64,38 @@ class EventQueue {
 /// use completes; contention appears as queueing delay.
 class Resource {
  public:
+  /// The outcome of one reservation, split into the queueing delay spent
+  /// waiting for the resource and the service time actually holding it.
+  /// Converts implicitly to the completion time, so callers that only
+  /// care about "when is my use done" treat reserve() as returning TimeNs.
+  struct Grant {
+    TimeNs start = 0;    ///< when the resource became ours
+    TimeNs done = 0;     ///< completion time (start + service)
+    TimeNs wait = 0;     ///< queueing delay (start - earliest)
+    TimeNs service = 0;  ///< duration the resource was held
+    operator TimeNs() const { return done; }
+  };
+
   /// Reserve the resource for `duration`, starting no earlier than
-  /// `earliest`. Returns the completion time. Also accumulates busy time
+  /// `earliest`. Returns the wait/service breakdown (implicitly the
+  /// completion time). Also accumulates busy time and reservation counts
   /// for utilization accounting.
-  TimeNs reserve(TimeNs earliest, TimeNs duration) {
+  Grant reserve(TimeNs earliest, TimeNs duration) {
     const TimeNs start = earliest > free_at_ ? earliest : free_at_;
     free_at_ = start + duration;
     busy_ += duration;
-    return free_at_;
+    ++reservations_;
+    return Grant{start, free_at_, start - earliest, duration};
   }
 
   TimeNs free_at() const { return free_at_; }
   TimeNs busy_time() const { return busy_; }
+  u64 reservations() const { return reservations_; }
 
  private:
   TimeNs free_at_ = 0;
   TimeNs busy_ = 0;
+  u64 reservations_ = 0;
 };
 
 }  // namespace kvsim::sim

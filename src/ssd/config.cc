@@ -20,6 +20,8 @@ void SsdConfig::validate() const {
     bad("page_bytes must be >= 4 KiB and sector-aligned");
   if (timing.channel_bytes_per_ns <= 0)
     bad("channel rate must be positive");
+  if (timing.read_retry_prob < 0.0 || timing.read_retry_prob >= 1.0)
+    bad("read_retry_prob must be in [0, 1)");
   if (overprovision < 0.0 || overprovision >= 0.5)
     bad("overprovision must be in [0, 0.5)");
   if (write_buffer_bytes < g.page_bytes)

@@ -1,0 +1,89 @@
+#include "ssd/telemetry.h"
+
+namespace kvsim::ssd {
+
+void TelemetryCollector::attach(TimeNs now, const FtlStats* ftl,
+                                const flash::FlashController* flash,
+                                std::function<u64()> stall_events) {
+  origin_ = now;
+  window_start_ = 0;
+  ftl_ = ftl;
+  flash_ = flash;
+  stall_events_ = std::move(stall_events);
+  num_dies_ = flash_ ? flash_->num_dies() : 0;
+  last_ = take();
+  slices_.clear();
+  attached_ = true;
+}
+
+TelemetryCollector::Snapshot TelemetryCollector::take() const {
+  Snapshot s;
+  if (ftl_) {
+    s.host_read_ops = ftl_->host_read_ops;
+    s.host_write_ops = ftl_->host_write_ops;
+    s.host_bytes_read = ftl_->host_bytes_read;
+    s.host_bytes_written = ftl_->host_bytes_written;
+    s.flash_bytes_written = ftl_->flash_bytes_written;
+    s.gc_runs = ftl_->gc_runs;
+    s.gc_foreground_runs = ftl_->gc_foreground_runs;
+    s.gc_migrated_bytes = ftl_->gc_migrated_bytes;
+  }
+  if (flash_) {
+    const auto& fs = flash_->stats();
+    s.page_reads = fs.page_reads;
+    s.page_programs = fs.page_programs;
+    s.block_erases = fs.block_erases;
+    s.read_retries = fs.read_retries;
+    s.die_busy_ns = flash_->total_die_busy_ns();
+    s.channel_busy_ns = flash_->total_channel_busy_ns();
+  }
+  if (stall_events_) s.buffer_stalls = stall_events_();
+  return s;
+}
+
+void TelemetryCollector::catch_up(TimeNs now) {
+  const TimeNs rel = now - origin_;
+  // The first crossed window absorbs the whole delta since the last
+  // sample (counters cannot be read retroactively at the exact boundary);
+  // any further windows crossed in the same poll close empty. Attribution
+  // error is bounded by the caller's polling cadence.
+  while (rel >= window_start_ + interval_)
+    close_window(window_start_ + interval_);
+}
+
+void TelemetryCollector::close_window(TimeNs rel_end) {
+  const Snapshot cur = take();
+  TelemetrySlice sl;
+  sl.t0 = window_start_;
+  sl.t1 = rel_end;
+  sl.host_read_ops = cur.host_read_ops - last_.host_read_ops;
+  sl.host_write_ops = cur.host_write_ops - last_.host_write_ops;
+  sl.host_bytes_read = cur.host_bytes_read - last_.host_bytes_read;
+  sl.host_bytes_written =
+      cur.host_bytes_written - last_.host_bytes_written;
+  sl.flash_bytes_written =
+      cur.flash_bytes_written - last_.flash_bytes_written;
+  sl.gc_runs = cur.gc_runs - last_.gc_runs;
+  sl.gc_foreground_runs =
+      cur.gc_foreground_runs - last_.gc_foreground_runs;
+  sl.gc_migrated_bytes = cur.gc_migrated_bytes - last_.gc_migrated_bytes;
+  sl.page_reads = cur.page_reads - last_.page_reads;
+  sl.page_programs = cur.page_programs - last_.page_programs;
+  sl.block_erases = cur.block_erases - last_.block_erases;
+  sl.read_retries = cur.read_retries - last_.read_retries;
+  sl.die_busy_ns = cur.die_busy_ns - last_.die_busy_ns;
+  sl.channel_busy_ns = cur.channel_busy_ns - last_.channel_busy_ns;
+  sl.buffer_stalls = cur.buffer_stalls - last_.buffer_stalls;
+  slices_.push_back(sl);
+  last_ = cur;
+  window_start_ = rel_end;
+}
+
+void TelemetryCollector::finalize(TimeNs now) {
+  if (!attached_) return;
+  catch_up(now);
+  const TimeNs rel = now - origin_;
+  if (rel > window_start_) close_window(rel);
+}
+
+}  // namespace kvsim::ssd

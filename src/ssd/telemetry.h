@@ -1,0 +1,141 @@
+// Time-sliced device telemetry: periodic sampling of FtlStats/FlashStats
+// deltas into fixed-width windows, the simulator's equivalent of polling
+// S.M.A.R.T. / nvme-cli counters on an interval while a workload runs.
+//
+// The collector is *poll-driven*: callers (the harness runner, an FTL's
+// own hooks) call poll(now) from hot-path completion handlers — a single
+// integer compare when no window boundary has passed — and the collector
+// closes every window the clock has crossed. This deliberately avoids
+// self-rescheduling events on the EventQueue, which would keep the queue
+// nonempty forever and break `eq.run()`-style draining.
+//
+// Conservation invariant (tested): the per-field sums over all closed
+// slices equal the cumulative counter deltas between attach() and
+// finalize(), so a timeline can always be cross-checked against the
+// end-of-run totals.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "flash/controller.h"
+#include "ssd/stats.h"
+
+namespace kvsim::ssd {
+
+/// One closed sampling window: counter deltas over [t0, t1) of run time.
+struct TelemetrySlice {
+  TimeNs t0 = 0;  ///< window start, relative to collector attach
+  TimeNs t1 = 0;  ///< window end (t1 - t0 == interval except the last slice)
+
+  // FtlStats deltas
+  u64 host_read_ops = 0;
+  u64 host_write_ops = 0;
+  u64 host_bytes_read = 0;
+  u64 host_bytes_written = 0;
+  u64 flash_bytes_written = 0;
+  u64 gc_runs = 0;
+  u64 gc_foreground_runs = 0;
+  u64 gc_migrated_bytes = 0;
+
+  // FlashStats deltas
+  u64 page_reads = 0;
+  u64 page_programs = 0;
+  u64 block_erases = 0;
+  u64 read_retries = 0;
+
+  // Resource-accounting deltas
+  u64 die_busy_ns = 0;      ///< summed across dies
+  u64 channel_busy_ns = 0;  ///< summed across channels
+  u64 buffer_stalls = 0;    ///< write-buffer backpressure events
+
+  double span_sec() const {
+    return t1 > t0 ? (double)(t1 - t0) / (double)kSec : 0.0;
+  }
+  double write_bw_bytes_per_sec() const {
+    const double s = span_sec();
+    return s > 0 ? (double)host_bytes_written / s : 0.0;
+  }
+  double read_bw_bytes_per_sec() const {
+    const double s = span_sec();
+    return s > 0 ? (double)host_bytes_read / s : 0.0;
+  }
+  /// Slice-local write amplification (flash programs / host writes).
+  double waf() const {
+    return host_bytes_written
+               ? (double)flash_bytes_written / (double)host_bytes_written
+               : 0.0;
+  }
+  /// Mean die utilization inside the slice (busy time / (span * dies)).
+  double die_utilization(u64 num_dies) const {
+    const TimeNs span = t1 - t0;
+    return span && num_dies
+               ? (double)die_busy_ns / ((double)span * (double)num_dies)
+               : 0.0;
+  }
+};
+
+/// Samples attached counter sources into TelemetrySlices on a fixed
+/// interval of simulated time. Copyable (slices are plain data); the
+/// attached sources must outlive any further poll()/finalize() calls.
+class TelemetryCollector {
+ public:
+  explicit TelemetryCollector(TimeNs interval = 100 * kMs)
+      : interval_(interval ? interval : 100 * kMs) {}
+
+  /// Start collecting at `now` (simulated time becomes slice origin).
+  /// Any of the sources may be null; missing sources contribute zeros.
+  /// `stall_events` samples a cumulative stall counter (e.g. the device
+  /// write buffer's total_stall_events).
+  void attach(TimeNs now, const FtlStats* ftl,
+              const flash::FlashController* flash,
+              std::function<u64()> stall_events = {});
+
+  bool attached() const { return attached_; }
+
+  /// Close every window the clock has crossed. O(1) when no boundary has
+  /// passed — safe to call from per-op completion handlers.
+  void poll(TimeNs now) {
+    if (!attached_ || now < origin_ + window_start_ + interval_) return;
+    catch_up(now);
+  }
+
+  /// Close the trailing partial window (idempotent). Call once the run
+  /// ends; afterwards poll() keeps working if the run continues.
+  void finalize(TimeNs now);
+
+  const std::vector<TelemetrySlice>& slices() const { return slices_; }
+  TimeNs interval() const { return interval_; }
+  TimeNs origin() const { return origin_; }
+  u64 num_dies() const { return num_dies_; }
+
+ private:
+  struct Snapshot {
+    u64 host_read_ops = 0, host_write_ops = 0;
+    u64 host_bytes_read = 0, host_bytes_written = 0;
+    u64 flash_bytes_written = 0;
+    u64 gc_runs = 0, gc_foreground_runs = 0, gc_migrated_bytes = 0;
+    u64 page_reads = 0, page_programs = 0, block_erases = 0;
+    u64 read_retries = 0;
+    u64 die_busy_ns = 0, channel_busy_ns = 0;
+    u64 buffer_stalls = 0;
+  };
+
+  Snapshot take() const;
+  void catch_up(TimeNs now);
+  void close_window(TimeNs rel_end);
+
+  TimeNs interval_;
+  TimeNs origin_ = 0;        ///< absolute time of attach
+  TimeNs window_start_ = 0;  ///< relative start of the open window
+  bool attached_ = false;
+  const FtlStats* ftl_ = nullptr;
+  const flash::FlashController* flash_ = nullptr;
+  std::function<u64()> stall_events_;
+  u64 num_dies_ = 0;
+  Snapshot last_;
+  std::vector<TelemetrySlice> slices_;
+};
+
+}  // namespace kvsim::ssd

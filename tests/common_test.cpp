@@ -113,6 +113,71 @@ TEST(Histogram, LargeValuesClampToLastBucket) {
   EXPECT_GT(h.percentile(1.0), 0u);
 }
 
+TEST(Histogram, BucketRoundTripAtBoundaries) {
+  // bucket_for(bucket_upper(b)) == b for every bucket, and
+  // bucket_upper(bucket_for(v)) >= v at the awkward edges: the linear/log
+  // crossover (31, 32, 33), exact powers of two, and power-of-two +/- 1.
+  for (int b = 0; b < LatencyHistogram::num_buckets(); ++b)
+    EXPECT_EQ(LatencyHistogram::bucket_for(LatencyHistogram::bucket_upper(b)),
+              b)
+        << "bucket " << b;
+  std::vector<TimeNs> edges = {0, 1, 31, 32, 33, 63, 64, 65};
+  for (int shift = 7; shift < 34; ++shift) {
+    const TimeNs p = 1ull << shift;
+    edges.push_back(p - 1);
+    edges.push_back(p);
+    edges.push_back(p + 1);
+  }
+  for (TimeNs v : edges) {
+    const int b = LatencyHistogram::bucket_for(v);
+    ASSERT_GE(b, 0);
+    ASSERT_LT(b, LatencyHistogram::num_buckets());
+    EXPECT_GE(LatencyHistogram::bucket_upper(b), v) << "v=" << v;
+    if (b > 0)
+      EXPECT_LT(LatencyHistogram::bucket_upper(b - 1), v) << "v=" << v;
+  }
+}
+
+TEST(Histogram, PercentileEdgeQuantiles) {
+  LatencyHistogram h;
+  h.record(100);
+  // A single sample answers every quantile with that sample.
+  EXPECT_EQ(h.percentile(0.0), 100u);
+  EXPECT_EQ(h.percentile(0.5), 100u);
+  EXPECT_EQ(h.percentile(1.0), 100u);
+  h.record(1000000);
+  // q=0 is the exact minimum and q=1 the exact maximum, not bucket bounds.
+  EXPECT_EQ(h.percentile(0.0), 100u);
+  EXPECT_EQ(h.percentile(1.0), 1000000u);
+  // Empty histogram is all zeros.
+  LatencyHistogram empty;
+  EXPECT_EQ(empty.percentile(0.0), 0u);
+  EXPECT_EQ(empty.percentile(0.5), 0u);
+  EXPECT_EQ(empty.percentile(1.0), 0u);
+}
+
+TEST(Histogram, SumAndNonzeroBuckets) {
+  LatencyHistogram h;
+  u64 expect_sum = 0;
+  for (u64 v = 1; v <= 200; ++v) {
+    h.record(v * 37);
+    expect_sum += v * 37;
+  }
+  EXPECT_EQ(h.sum(), expect_sum);
+  const auto buckets = h.nonzero_buckets();
+  ASSERT_FALSE(buckets.empty());
+  u64 total = 0;
+  TimeNs prev_upper = 0;
+  for (const auto& [upper, count] : buckets) {
+    EXPECT_GT(count, 0u);
+    EXPECT_GT(upper, prev_upper);  // ascending, distinct
+    prev_upper = upper;
+    total += count;
+  }
+  EXPECT_EQ(total, h.count());
+  EXPECT_TRUE(LatencyHistogram().nonzero_buckets().empty());
+}
+
 TEST(Bandwidth, WindowsAccumulate) {
   BandwidthTracker bw(100 * kMs);
   bw.add(10 * kMs, 1000);

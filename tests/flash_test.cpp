@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "flash/controller.h"
 
@@ -172,6 +173,49 @@ TEST(Controller, EccRetriesStretchTheTail) {
       (double)ctl.stats().read_retries / (double)ctl.stats().page_reads;
   EXPECT_NEAR(rate, 0.25, 0.06);  // geometric mean retries p/(1-p)
   EXPECT_GE(max_lat, t.read_page_ns + 2 * t.read_retry_ns);
+}
+
+TEST(Controller, EccRetryRoundsAreCapped) {
+  // A retry probability of 1 would livelock an unbounded retry loop; the
+  // controller must terminate after kMaxReadRetryRounds instead.
+  sim::EventQueue eq;
+  FlashTiming t;
+  t.read_retry_prob = 1.0;
+  FlashController ctl(eq, small_geom(), t);
+  TimeNs done_at = 0;
+  ctl.read_page(0, 1 * KiB, [&] { done_at = eq.now(); });
+  eq.run();
+  EXPECT_EQ(ctl.stats().read_retries, FlashController::kMaxReadRetryRounds);
+  EXPECT_EQ(done_at,
+            t.read_page_ns +
+                FlashController::kMaxReadRetryRounds * t.read_retry_ns +
+                t.transfer_ns(1 * KiB));
+  // And per-read, never more than the cap even across many reads.
+  const u64 reads = 50;
+  for (u64 i = 0; i < reads; ++i) ctl.read_page((PageId)i % 64, 1024, [] {});
+  eq.run();
+  EXPECT_EQ(ctl.stats().read_retries,
+            (reads + 1) * FlashController::kMaxReadRetryRounds);
+}
+
+TEST(Controller, MultiPlaneProgramRejectsDieCrossing) {
+  sim::EventQueue eq;
+  FlashGeometry g = small_geom();
+  FlashController ctl(eq, g, FlashTiming{});
+  const u64 pages_per_die =
+      (u64)g.planes_per_die * g.blocks_per_plane * g.pages_per_block;
+  // Last page of die 0 plus first page of die 1 -> invalid.
+  EXPECT_THROW(ctl.program_multi(pages_per_die - 1, 2, 4 * KiB, [] {}),
+               std::invalid_argument);
+  EXPECT_THROW(ctl.program_multi(0, 0, 4 * KiB, [] {}),
+               std::invalid_argument);
+  // Nothing was scheduled or counted by the rejected calls.
+  eq.run();
+  EXPECT_EQ(ctl.stats().page_programs, 0u);
+  // A same-die run at the same boundary is fine.
+  ctl.program_multi(pages_per_die - 2, 2, 4 * KiB, [] {});
+  eq.run();
+  EXPECT_EQ(ctl.stats().page_programs, 2u);
 }
 
 TEST(Controller, EraseBusiesDie) {
