@@ -1,0 +1,34 @@
+// Fixture: the lsm_store.cc compaction input-read chain pre-fix. The
+// strong self-capture here is aliased through an explicit shared_ptr
+// copy in the capture list — the checker must see through the rename.
+//
+// Checker fixture only; never compiled into a target.
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace fixture {
+
+struct BlockDev {
+  void read(unsigned lba, unsigned bytes, std::function<void()> done);
+};
+
+struct Compactor {
+  BlockDev dev_;
+
+  void read_inputs(std::vector<unsigned> lbas, std::function<void()> done) {
+    auto next = std::make_shared<std::function<void(unsigned)>>();
+    *next = [this, keep = std::shared_ptr<std::function<void(unsigned)>>(next),
+             lbas = std::move(lbas),
+             done = std::move(done)](unsigned i) {
+      if (i == lbas.size()) {
+        done();
+        return;
+      }
+      dev_.read(lbas[i], 4096, [keep, i] { (*keep)(i + 1); });
+    };
+    (*next)(0);
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,34 @@
+// Fixture: the kv_ftl.cc serial index-walk chain as it looked before the
+// leak fix — the lambda stored in *chain strongly captures `chain`, so
+// the closure owns itself and its refcount never reaches zero. The
+// checker must flag the `*chain = [...]` assignment.
+//
+// Checker fixture only; never compiled into a target.
+#include <functional>
+#include <memory>
+
+namespace fixture {
+
+struct Flash {
+  void read_page(unsigned page, unsigned bytes,
+                 std::function<void()> done);
+};
+
+struct Walker {
+  Flash flash_;
+  unsigned next_index_page();
+
+  void walk(unsigned total, const std::function<void()>& arrive_read) {
+    auto chain = std::make_shared<std::function<void(unsigned)>>();
+    *chain = [this, chain, arrive_read, total](unsigned done_so_far) {
+      flash_.read_page(next_index_page(), 4096,
+                       [chain, arrive_read, total, done_so_far] {
+                         arrive_read();
+                         if (done_so_far + 1 < total) (*chain)(done_so_far + 1);
+                       });
+    };
+    (*chain)(0);
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// Fixture: the kvs_device.cc namespace-delete drain loop pre-fix. The
+// chain head is assigned after other captures and the strong self-
+// capture sits mid-list — position must not matter to the checker.
+//
+// Checker fixture only; never compiled into a target.
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace fixture {
+
+struct Ftl {
+  void remove(const std::string& key, std::function<void()> done);
+};
+
+struct Device {
+  Ftl ftl_;
+
+  void delete_all(std::deque<std::string> keys, std::function<void()> done) {
+    auto drain = std::make_shared<std::function<void()>>();
+    *drain = [this, keys = std::move(keys), drain,
+              done = std::move(done)]() mutable {
+      if (keys.empty()) {
+        done();
+        return;
+      }
+      const std::string key = keys.front();
+      keys.pop_front();
+      ftl_.remove(key, [drain] { (*drain)(); });
+    };
+    (*drain)();
+  }
+};
+
+}  // namespace fixture

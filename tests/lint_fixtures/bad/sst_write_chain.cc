@@ -1,0 +1,35 @@
+// Fixture: the lsm_store.cc SST-write chain pre-fix — `step` is strongly
+// self-captured, so the per-file write chain leaks one closure (plus the
+// captured completion callback) per flushed SST.
+//
+// Checker fixture only; never compiled into a target.
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace fixture {
+
+struct BlockDev {
+  void write(uint64_t lba, uint32_t bytes, std::function<void()> done);
+};
+
+struct SstWriter {
+  BlockDev dev_;
+
+  void write_file(uint64_t base_lba, uint32_t total_pages,
+                  std::function<void()> done) {
+    auto step = std::make_shared<std::function<void(uint32_t)>>();
+    *step = [this, step, base_lba, total_pages,
+             done = std::move(done)](uint32_t page) {
+      if (page == total_pages) {
+        done();
+        return;
+      }
+      dev_.write(base_lba + page * 8, 4096,
+                 [step, page] { (*step)(page + 1); });
+    };
+    (*step)(0);
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// Fixture: the fixed kv_ftl.cc index-walk chain — the closure captures
+// itself through a weak_ptr and each pending read callback holds the
+// only strong reference. The checker must NOT flag this.
+//
+// Checker fixture only; never compiled into a target.
+#include <functional>
+#include <memory>
+
+namespace fixture {
+
+struct Flash {
+  void read_page(unsigned page, unsigned bytes,
+                 std::function<void()> done);
+};
+
+struct Walker {
+  Flash flash_;
+  unsigned next_index_page();
+
+  void walk(unsigned total, const std::function<void()>& arrive_read) {
+    auto chain = std::make_shared<std::function<void(unsigned)>>();
+    *chain = [this, wchain = std::weak_ptr<std::function<void(unsigned)>>(
+                        chain),
+              arrive_read, total](unsigned done_so_far) {
+      auto chain = wchain.lock();
+      flash_.read_page(next_index_page(), 4096,
+                       [chain, arrive_read, total, done_so_far] {
+                         arrive_read();
+                         if (done_so_far + 1 < total) (*chain)(done_so_far + 1);
+                       });
+    };
+    (*chain)(0);
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+// Fixture: the fixed kvs_device.cc namespace-delete drain loop (weak
+// self-capture mid-list). Must stay clean under the checker.
+//
+// Checker fixture only; never compiled into a target.
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace fixture {
+
+struct Ftl {
+  void remove(const std::string& key, std::function<void()> done);
+};
+
+struct Device {
+  Ftl ftl_;
+
+  void delete_all(std::deque<std::string> keys, std::function<void()> done) {
+    auto drain = std::make_shared<std::function<void()>>();
+    *drain = [this, keys = std::move(keys),
+              wdrain = std::weak_ptr<std::function<void()>>(drain),
+              done = std::move(done)]() mutable {
+      if (keys.empty()) {
+        done();
+        return;
+      }
+      const std::string key = keys.front();
+      keys.pop_front();
+      auto drain = wdrain.lock();
+      ftl_.remove(key, [drain] { (*drain)(); });
+    };
+    (*drain)();
+  }
+};
+
+}  // namespace fixture

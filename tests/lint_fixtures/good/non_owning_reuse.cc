@@ -1,0 +1,40 @@
+// Fixture: benign patterns that share tokens with the leak shape but do
+// not self-own. The checker must not flag any of these:
+//   * a shared_ptr<function> chain head captured by a *different*
+//     lambda (the classic join/fan-out pattern);
+//   * by-reference capture of the chain head (synchronous use);
+//   * a same-named plain pointer in another scope.
+//
+// Checker fixture only; never compiled into a target.
+#include <functional>
+#include <memory>
+
+namespace fixture {
+
+struct Queue {
+  void schedule(std::function<void()> cb);
+};
+
+struct FanOut {
+  Queue q_;
+
+  void run(int n, std::function<void()> then) {
+    auto remaining = std::make_shared<int>(n);
+    auto body = std::make_shared<std::function<void()>>();
+    // A different closure capturing `body` strongly is fine: it does not
+    // store itself into *body.
+    q_.schedule([body] { (*body)(); });
+    // By-reference self-capture is synchronous-only usage, not the
+    // self-owning chain (a separate dangling-risk class).
+    *body = [&body, remaining, then] {
+      if (--*remaining == 0) then();
+    };
+  }
+
+  void other_scope() {
+    int* body = nullptr;  // same name, unrelated type
+    (void)body;
+  }
+};
+
+}  // namespace fixture
