@@ -55,10 +55,12 @@ class BlockDevice {
 
   void flush(std::function<void()> done) { ftl_.flush(std::move(done)); }
 
-  u64 capacity_bytes() const { return ftl_.exported_bytes(); }
-  u64 host_cpu_ns() const { return api_cpu_ns_ + link_.host_cpu_ns(); }
+  [[nodiscard]] u64 capacity_bytes() const { return ftl_.exported_bytes(); }
+  [[nodiscard]] u64 host_cpu_ns() const {
+    return api_cpu_ns_ + link_.host_cpu_ns();
+  }
   blockftl::BlockFtl& ftl() { return ftl_; }
-  const blockftl::BlockFtl& ftl() const { return ftl_; }
+  [[nodiscard]] const blockftl::BlockFtl& ftl() const { return ftl_; }
 
  private:
   sim::EventQueue& eq_;

@@ -57,7 +57,25 @@ BlockFtl::BlockFtl(sim::EventQueue& eq, flash::FlashController& flash,
   content_.assign(total_slots, 0);
   valid_count_.assign(geom_.total_blocks(), 0);
   block_state_.assign(geom_.total_blocks(), kFree);
+  buffered_count_.assign(geom_.total_blocks(), 0);
   wps_.resize(cfg_.write_points);
+#if KVSIM_AUDIT
+  flash_audit_ = std::make_unique<ssd::FlashAudit>(geom_);
+  flash_.set_audit(flash_audit_.get());
+  map_audit_ = std::make_unique<ssd::SlotMapAudit>(
+      geom_.total_blocks(), geom_.pages_per_block * slots_per_page());
+#endif
+}
+
+BlockFtl::~BlockFtl() {
+  if (flash_audit_ && flash_.audit() == flash_audit_.get())
+    flash_.set_audit(nullptr);
+}
+
+void BlockFtl::audit_verify() const {
+  if (!map_audit_) return;
+  ssd::audit_check_clamps(eq_.clamped_schedules());
+  map_audit_->verify(map_, kUnmapped, valid_count_, live_slots_);
 }
 
 // ---------------------------------------------------------------------------
@@ -149,9 +167,13 @@ bool BlockFtl::append_slot(WritePoint& wp, u64 lpn, u64 fp, bool seq,
   map_[lpn] = gsi;
   rmap_[gsi] = lpn;
   content_[gsi] = fp;
+  if (map_audit_) map_audit_->on_map(lpn, gsi);
   ++valid_count_[*wp.block];
   ++live_slots_;
-  if (wp.pending.empty()) buffered_pages_.insert(page);
+  if (wp.pending.empty()) {
+    buffered_pages_.insert(page);
+    ++buffered_count_[*wp.block];
+  }
   wp.pending.push_back(lpn);
   wp.all_seq = wp.all_seq && seq;
   if (wp.pending.size() == slots_per_page()) {
@@ -169,6 +191,7 @@ bool BlockFtl::ensure_block(WritePoint& wp, bool is_gc) {
   if (!b) return false;
   wp.block = *b;
   wp.next_page = 0;
+  wp.last_issue_at = 0;
   block_state_[*b] = kOpen;
   if (!is_gc) maybe_start_gc();
   return true;
@@ -192,6 +215,7 @@ void BlockFtl::seal_page(WritePoint& wp, bool is_gc) {
     flash_.program_page(page, geom_.page_bytes, [this, page, real_slots,
                                                  is_gc] {
       buffered_pages_.erase(page);
+      --buffered_count_[page / geom_.pages_per_block];
       if (!is_gc)
         buffer_.release((u64)real_slots * cfg_.logical_page_bytes);
       if (--outstanding_programs_ == 0 && !drain_waiters_.empty()) {
@@ -201,12 +225,17 @@ void BlockFtl::seal_page(WritePoint& wp, bool is_gc) {
       }
     });
   };
-  if (reorg) {
-    // Random-write coalescing: the FTL core spends time rearranging the
-    // page before it is dispatched (the paper's "block-SSD holds data in
-    // buffer much longer" behavior).
-    eq_.schedule_at(ftl_core_.reserve(eq_.now(), cfg_.reorg_per_page_ns),
-                    std::move(issue));
+  // Random-write coalescing: the FTL core spends time rearranging the
+  // page before it is dispatched (the paper's "block-SSD holds data in
+  // buffer much longer" behavior). A later page of the same block must
+  // never overtake a delayed reorg'd one — NAND programs within a block
+  // are in page order — so issues are serialized behind last_issue_at.
+  const TimeNs ready =
+      reorg ? ftl_core_.reserve(eq_.now(), cfg_.reorg_per_page_ns) : eq_.now();
+  const TimeNs issue_at = std::max(ready, wp.last_issue_at);
+  wp.last_issue_at = issue_at;
+  if (issue_at > eq_.now()) {
+    eq_.schedule_at(issue_at, std::move(issue));
   } else {
     issue();
   }
@@ -222,6 +251,7 @@ void BlockFtl::arm_flush_timer(WritePoint& wp) {
 void BlockFtl::invalidate(u64 lpn, bool fresh_garbage) {
   const u64 old = map_[lpn];
   if (old == kUnmapped) return;
+  if (map_audit_) map_audit_->on_unmap(lpn, old);
   map_[lpn] = kUnmapped;
   rmap_[old] = kUnmapped;
   --valid_count_[old / slots_per_page() / geom_.pages_per_block];
@@ -332,6 +362,7 @@ void BlockFtl::trim(Lba lba, u64 bytes, Done done) {
 }
 
 void BlockFtl::flush(std::function<void()> done) {
+  audit_verify();
   for (auto& wp : wps_)
     if (!wp.pending.empty()) seal_page(wp, false);
   if (!gc_wp_.pending.empty()) seal_page(gc_wp_, true);
@@ -362,7 +393,7 @@ void BlockFtl::run_gc() {
   flash::BlockId victim = kUnmapped;
   u32 best = ~0u;
   for (flash::BlockId b = 0; b < geom_.total_blocks(); ++b) {
-    if (block_state_[b] != kSealed) continue;
+    if (block_state_[b] != kSealed || buffered_count_[b] != 0) continue;
     if (valid_count_[b] == 0 && free_wins.size() < 32) free_wins.push_back(b);
     if (valid_count_[b] < best) {
       best = valid_count_[b];
@@ -376,6 +407,7 @@ void BlockFtl::run_gc() {
         run_gc();
       } else {
         gc_running_ = false;
+        audit_verify();
       }
     });
     for (flash::BlockId b : free_wins) {
@@ -390,6 +422,7 @@ void BlockFtl::run_gc() {
   }
   if (victim == kUnmapped) {
     gc_running_ = false;
+    audit_verify();
     return;
   }
   // Futility: the best victim is (nearly) fully valid, so a cycle would
@@ -399,6 +432,7 @@ void BlockFtl::run_gc() {
     if (++gc_futile_streak_ >= 8) {
       gc_stuck_ = true;
       gc_running_ = false;
+      audit_verify();
       return;
     }
   } else {
@@ -450,6 +484,7 @@ void BlockFtl::finish_gc(flash::BlockId victim) {
       run_gc();
     } else {
       gc_running_ = false;
+      audit_verify();
     }
   });
 }

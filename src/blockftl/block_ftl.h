@@ -22,6 +22,7 @@
 #include <deque>
 #include <functional>
 #include <list>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -30,6 +31,7 @@
 #include "flash/controller.h"
 #include "sim/event_queue.h"
 #include "ssd/allocator.h"
+#include "ssd/audit.h"
 #include "ssd/config.h"
 #include "ssd/stats.h"
 #include "ssd/write_buffer.h"
@@ -66,6 +68,7 @@ class BlockFtl {
 
   BlockFtl(sim::EventQueue& eq, flash::FlashController& flash,
            const ssd::SsdConfig& dev, const BlockFtlConfig& cfg);
+  ~BlockFtl();
 
   /// Write `bytes` at sector address `lba`. `fp_base` seeds the stored
   /// per-slot fingerprints (slot i of the request stores mix64(fp_base + i)).
@@ -82,23 +85,31 @@ class BlockFtl {
   void flush(std::function<void()> done);
 
   /// Host-visible capacity in bytes (raw minus over-provisioning).
-  u64 exported_bytes() const {
+  [[nodiscard]] u64 exported_bytes() const {
     return total_slots_exported_ * cfg_.logical_page_bytes;
   }
-  u64 slot_bytes() const { return cfg_.logical_page_bytes; }
+  [[nodiscard]] u64 slot_bytes() const { return cfg_.logical_page_bytes; }
 
   /// Bytes of live (mapped) data currently on the device.
-  u64 live_bytes() const {
+  [[nodiscard]] u64 live_bytes() const {
     return live_slots_ * (u64)cfg_.logical_page_bytes;
   }
 
-  const ssd::FtlStats& stats() const { return stats_; }
-  u64 free_blocks() const { return alloc_.free_blocks(); }
-  u64 cache_hits() const { return cache_hits_; }
-  u64 cache_lookups() const { return cache_lookups_; }
-  u64 buffer_stalls() const { return buffer_.total_stall_events(); }
+  [[nodiscard]] const ssd::FtlStats& stats() const { return stats_; }
+  [[nodiscard]] u64 free_blocks() const { return alloc_.free_blocks(); }
+  [[nodiscard]] u64 cache_hits() const { return cache_hits_; }
+  [[nodiscard]] u64 cache_lookups() const { return cache_lookups_; }
+  [[nodiscard]] u64 buffer_stalls() const {
+    return buffer_.total_stall_events();
+  }
   /// Wear telemetry (erase counts live in the allocator).
-  const ssd::BlockAllocator& allocator() const { return alloc_; }
+  [[nodiscard]] const ssd::BlockAllocator& allocator() const { return alloc_; }
+
+  /// KVSIM_AUDIT: cross-check the slot map, valid counters, and event
+  /// clamps against the shadow ground truth. No-op when auditing is
+  /// compiled out; throws ssd::AuditFailure on divergence. Runs
+  /// automatically on flush() and when garbage collection stops.
+  void audit_verify() const;
 
  private:
   static constexpr u64 kUnmapped = ~0ull;
@@ -116,13 +127,14 @@ class BlockFtl {
     std::vector<u64> pending;   // lpns buffered for the open page
     bool all_seq = true;        // every buffered slot arrived in a seq run
     u64 last_flush_arm = 0;     // generation counter for the flush timer
+    TimeNs last_issue_at = 0;   // latest program issue time of this block
     std::deque<Starved> starved;  // slots waiting for a free block
   };
 
-  u32 slots_per_page() const {
+  [[nodiscard]] u32 slots_per_page() const {
     return geom_.page_bytes / cfg_.logical_page_bytes;
   }
-  u64 slot_index(flash::PageId p, u32 slot) const {
+  [[nodiscard]] u64 slot_index(flash::PageId p, u32 slot) const {
     return p * slots_per_page() + slot;
   }
 
@@ -137,7 +149,7 @@ class BlockFtl {
   void invalidate(u64 lpn, bool fresh_garbage);
 
   // --- read path ---
-  bool cache_contains(flash::PageId p) const;
+  [[nodiscard]] bool cache_contains(flash::PageId p) const;
   void touch_cache(flash::PageId p);
   void cache_insert(flash::PageId p);
   void maybe_readahead(u64 next_lpn);
@@ -173,6 +185,10 @@ class BlockFtl {
   u32 wp_rr_ = 0;
   u32 seq_wp_ = 0;  // current write point for sequential streams
   std::unordered_set<flash::PageId> buffered_pages_;
+  // Per block: pages buffered or with an in-flight program. GC must not
+  // pick a victim before its last program lands (the reorg timer can
+  // delay a program past the block's kSealed transition).
+  std::vector<u32> buffered_count_;
 
   // sequential stream detection
   u64 last_write_end_ = ~0ull;
@@ -199,6 +215,10 @@ class BlockFtl {
   // flush/drain bookkeeping
   u64 outstanding_programs_ = 0;
   std::vector<std::function<void()>> drain_waiters_;
+
+  // KVSIM_AUDIT shadow models (null when auditing is compiled out)
+  std::unique_ptr<ssd::FlashAudit> flash_audit_;
+  std::unique_ptr<ssd::SlotMapAudit> map_audit_;
 
   ssd::FtlStats stats_;
 };

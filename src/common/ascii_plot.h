@@ -30,7 +30,7 @@ class AsciiChart {
   }
 
   /// Render the chart with y-axis ticks, x-range line, and a legend.
-  std::string render() const;
+  [[nodiscard]] std::string render() const;
 
  private:
   struct Series {

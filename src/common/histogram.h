@@ -19,23 +19,25 @@ class LatencyHistogram {
   void merge(const LatencyHistogram& other);
   void clear();
 
-  u64 count() const { return count_; }
-  u64 sum() const { return sum_; }
-  double mean() const { return count_ ? (double)sum_ / (double)count_ : 0.0; }
-  TimeNs min() const { return count_ ? min_ : 0; }
-  TimeNs max() const { return max_; }
+  [[nodiscard]] u64 count() const { return count_; }
+  [[nodiscard]] u64 sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return count_ ? (double)sum_ / (double)count_ : 0.0;
+  }
+  [[nodiscard]] TimeNs min() const { return count_ ? min_ : 0; }
+  [[nodiscard]] TimeNs max() const { return max_; }
 
   /// Value at quantile q in [0,1]; e.g. q=0.99 for p99. Returns the bucket
   /// upper bound containing the q-th sample (clamped into [min, max], so
   /// q=0 yields the exact minimum and q=1 the exact maximum).
-  TimeNs percentile(double q) const;
+  [[nodiscard]] TimeNs percentile(double q) const;
 
   /// One-line summary: "n=... mean=... p50=... p99=... max=..."
-  std::string summary() const;
+  [[nodiscard]] std::string summary() const;
 
   /// Occupied buckets as (upper_bound_ns, count) pairs in ascending order
   /// (telemetry export; the full distribution minus empty buckets).
-  std::vector<std::pair<TimeNs, u64>> nonzero_buckets() const;
+  [[nodiscard]] std::vector<std::pair<TimeNs, u64>> nonzero_buckets() const;
 
   // Bucket math, public for tests and exporters. bucket_for maps a value
   // to its bucket index; bucket_upper is the largest value that bucket

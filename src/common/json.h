@@ -50,7 +50,7 @@ class JsonWriter {
     return key(k).value(v);
   }
 
-  const std::string& str() const { return out_; }
+  [[nodiscard]] const std::string& str() const { return out_; }
 
  private:
   void comma();
@@ -73,14 +73,14 @@ struct JsonValue {
   std::vector<JsonValue> array;
   std::map<std::string, JsonValue> object;
 
-  bool is_object() const { return type == Type::kObject; }
-  bool is_array() const { return type == Type::kArray; }
-  bool is_number() const { return type == Type::kNumber; }
-  bool is_string() const { return type == Type::kString; }
+  [[nodiscard]] bool is_object() const { return type == Type::kObject; }
+  [[nodiscard]] bool is_array() const { return type == Type::kArray; }
+  [[nodiscard]] bool is_number() const { return type == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type == Type::kString; }
 
   /// Object member lookup; nullptr when absent or not an object.
-  const JsonValue* get(const std::string& k) const;
-  double num_or(double fallback) const {
+  [[nodiscard]] const JsonValue* get(const std::string& k) const;
+  [[nodiscard]] double num_or(double fallback) const {
     return is_number() ? number : fallback;
   }
 };

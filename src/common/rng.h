@@ -72,8 +72,8 @@ class ZipfGenerator {
   /// Sample a rank in [0, n); rank 0 is the most popular item.
   u64 next(Rng& rng);
 
-  u64 n() const { return n_; }
-  double theta() const { return theta_; }
+  [[nodiscard]] u64 n() const { return n_; }
+  [[nodiscard]] double theta() const { return theta_; }
 
  private:
   static double zeta(u64 n, double theta);
@@ -99,10 +99,10 @@ class Permutation {
 
   /// The image of `i` (i must be < n).
   u64 operator()(u64 i) const;
-  u64 n() const { return n_; }
+  [[nodiscard]] u64 n() const { return n_; }
 
  private:
-  u64 feistel(u64 x) const;
+  [[nodiscard]] u64 feistel(u64 x) const;
 
   u64 n_;
   u32 half_bits_;

@@ -19,10 +19,10 @@ class Table {
   static std::string num(double v, int precision = 2);
 
   /// Render with aligned columns and a separator under the header.
-  std::string render() const;
+  [[nodiscard]] std::string render() const;
 
   /// Render as CSV (same cells, comma-separated).
-  std::string to_csv() const;
+  [[nodiscard]] std::string to_csv() const;
 
  private:
   std::vector<std::string> header_;

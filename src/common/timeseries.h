@@ -16,22 +16,22 @@ class BandwidthTracker {
 
   void add(TimeNs when, u64 bytes);
 
-  TimeNs window() const { return window_; }
-  size_t num_windows() const { return windows_.size(); }
+  [[nodiscard]] TimeNs window() const { return window_; }
+  [[nodiscard]] size_t num_windows() const { return windows_.size(); }
 
   /// Mean bandwidth in bytes/second within window i.
-  double bytes_per_sec(size_t i) const;
+  [[nodiscard]] double bytes_per_sec(size_t i) const;
 
   /// Mean bandwidth over the whole recorded span.
-  double mean_bytes_per_sec() const;
+  [[nodiscard]] double mean_bytes_per_sec() const;
 
   /// Minimum windowed bandwidth (ignoring trailing partial window).
-  double min_bytes_per_sec() const;
+  [[nodiscard]] double min_bytes_per_sec() const;
 
-  const std::vector<u64>& raw_windows() const { return windows_; }
+  [[nodiscard]] const std::vector<u64>& raw_windows() const { return windows_; }
 
   /// Render as "t_ms, MiB/s" CSV rows (for EXPERIMENTS.md plots).
-  std::string to_csv() const;
+  [[nodiscard]] std::string to_csv() const;
 
  private:
   TimeNs window_;

@@ -16,6 +16,7 @@ FlashController::FlashController(sim::EventQueue& eq,
       retry_rng_(0xecc0ecc0ecc0ull) {}
 
 void FlashController::read_page(PageId p, u32 bytes, Done done) {
+  if (audit_) audit_->on_read(p, bytes);
   const u64 die = geom_.die_of_page(p);
   const u32 ch = geom_.channel_of_page(p);
   TimeNs array_ns = timing_.read_page_ns;
@@ -64,6 +65,7 @@ void FlashController::program_multi(PageId first, u32 count,
   if (geom_.die_of_page(first + count - 1) != die)
     throw std::invalid_argument(
         "program_multi: page run crosses a die boundary");
+  if (audit_) audit_->on_program(first, count);
   const sim::Resource::Grant xfer = channels_[ch].reserve(
       eq_.now(), timing_.transfer_ns((u64)bytes_per_page * count));
   const sim::Resource::Grant prog =
@@ -79,6 +81,7 @@ void FlashController::program_multi(PageId first, u32 count,
 }
 
 void FlashController::erase_block(BlockId b, Done done) {
+  if (audit_) audit_->on_erase(b);
   const u64 die = geom_.die_of_block(b);
   const sim::Resource::Grant erase =
       dies_[die].reserve(eq_.now(), timing_.erase_block_ns);

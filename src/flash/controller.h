@@ -61,6 +61,19 @@ struct StageBreakdown {
   }
 };
 
+/// Legality observer for flash commands (implemented by ssd::FlashAudit).
+/// The controller notifies the sink at command *issue* time, before any
+/// timing is charged, so an illegal command fails before it can perturb
+/// the simulation. Attaching a sink is the KVSIM_AUDIT build's job; the
+/// null-check per command is the only cost when auditing is off.
+class FlashAuditSink {
+ public:
+  virtual ~FlashAuditSink() = default;
+  virtual void on_read(PageId p, u32 bytes) = 0;
+  virtual void on_program(PageId first, u32 count) = 0;
+  virtual void on_erase(BlockId b) = 0;
+};
+
 class FlashController {
  public:
   using Done = std::function<void()>;
@@ -87,31 +100,49 @@ class FlashController {
   /// Erase a block.
   void erase_block(BlockId b, Done done);
 
-  const FlashStats& stats() const { return stats_; }
-  const FlashGeometry& geometry() const { return geom_; }
-  const FlashTiming& timing() const { return timing_; }
+  [[nodiscard]] const FlashStats& stats() const { return stats_; }
+  [[nodiscard]] const FlashGeometry& geometry() const { return geom_; }
+  [[nodiscard]] const FlashTiming& timing() const { return timing_; }
 
   // --- stage-breakdown telemetry -----------------------------------------
-  const StageBreakdown& read_stages() const { return read_stages_; }
-  const StageBreakdown& program_stages() const { return program_stages_; }
-  const StageBreakdown& erase_stages() const { return erase_stages_; }
+  [[nodiscard]] const StageBreakdown& read_stages() const {
+    return read_stages_;
+  }
+  [[nodiscard]] const StageBreakdown& program_stages() const {
+    return program_stages_;
+  }
+  [[nodiscard]] const StageBreakdown& erase_stages() const {
+    return erase_stages_;
+  }
 
   /// Earliest time the die owning page `p` frees up (for schedulers that
   /// prefer idle dies).
-  TimeNs die_free_at(u64 die) const { return dies_[die].free_at(); }
+  [[nodiscard]] TimeNs die_free_at(u64 die) const {
+    return dies_[die].free_at();
+  }
 
   // --- utilization telemetry ---------------------------------------------
-  u64 num_dies() const { return dies_.size(); }
-  u32 num_channels() const { return (u32)channels_.size(); }
-  TimeNs die_busy_ns(u64 die) const { return dies_[die].busy_time(); }
-  TimeNs channel_busy_ns(u32 ch) const { return channels_[ch].busy_time(); }
-  TimeNs total_die_busy_ns() const;
-  TimeNs total_channel_busy_ns() const;
+  [[nodiscard]] u64 num_dies() const { return dies_.size(); }
+  [[nodiscard]] u32 num_channels() const { return (u32)channels_.size(); }
+  [[nodiscard]] TimeNs die_busy_ns(u64 die) const {
+    return dies_[die].busy_time();
+  }
+  [[nodiscard]] TimeNs channel_busy_ns(u32 ch) const {
+    return channels_[ch].busy_time();
+  }
+  [[nodiscard]] TimeNs total_die_busy_ns() const;
+  [[nodiscard]] TimeNs total_channel_busy_ns() const;
 
   /// Utilization of the busiest die over [0, now].
-  double max_die_utilization() const;
+  [[nodiscard]] double max_die_utilization() const;
   /// Mean die utilization over [0, now].
-  double mean_die_utilization() const;
+  [[nodiscard]] double mean_die_utilization() const;
+
+  // --- invariant auditing --------------------------------------------------
+  /// Attach (or detach, with nullptr) a legality observer. The sink must
+  /// outlive the controller or be detached first.
+  void set_audit(FlashAuditSink* sink) { audit_ = sink; }
+  [[nodiscard]] FlashAuditSink* audit() const { return audit_; }
 
  private:
   sim::EventQueue& eq_;
@@ -124,6 +155,7 @@ class FlashController {
   StageBreakdown read_stages_;
   StageBreakdown program_stages_;
   StageBreakdown erase_stages_;
+  FlashAuditSink* audit_ = nullptr;
 };
 
 }  // namespace kvsim::flash

@@ -22,53 +22,55 @@ struct FlashGeometry {
   u32 pages_per_block = 64;
   u32 page_bytes = 32 * KiB;
 
-  constexpr u64 total_dies() const {
+  [[nodiscard]] constexpr u64 total_dies() const {
     return (u64)channels * dies_per_channel;
   }
-  constexpr u64 total_planes() const {
+  [[nodiscard]] constexpr u64 total_planes() const {
     return total_dies() * planes_per_die;
   }
-  constexpr u64 total_blocks() const {
+  [[nodiscard]] constexpr u64 total_blocks() const {
     return total_planes() * blocks_per_plane;
   }
-  constexpr u64 total_pages() const {
+  [[nodiscard]] constexpr u64 total_pages() const {
     return total_blocks() * pages_per_block;
   }
-  constexpr u64 block_bytes() const {
+  [[nodiscard]] constexpr u64 block_bytes() const {
     return (u64)pages_per_block * page_bytes;
   }
-  constexpr u64 raw_capacity_bytes() const {
+  [[nodiscard]] constexpr u64 raw_capacity_bytes() const {
     return total_pages() * page_bytes;
   }
 
   // --- block id decomposition ------------------------------------------
-  constexpr u64 plane_of_block(BlockId b) const { return b / blocks_per_plane; }
-  constexpr u64 die_of_block(BlockId b) const {
+  [[nodiscard]] constexpr u64 plane_of_block(BlockId b) const {
+    return b / blocks_per_plane;
+  }
+  [[nodiscard]] constexpr u64 die_of_block(BlockId b) const {
     return plane_of_block(b) / planes_per_die;
   }
-  constexpr u32 channel_of_block(BlockId b) const {
+  [[nodiscard]] constexpr u32 channel_of_block(BlockId b) const {
     return (u32)(die_of_block(b) / dies_per_channel);
   }
 
   // --- page id composition / decomposition ------------------------------
-  constexpr PageId page_id(BlockId block, u32 page) const {
+  [[nodiscard]] constexpr PageId page_id(BlockId block, u32 page) const {
     return block * pages_per_block + page;
   }
-  constexpr BlockId block_of_page(PageId p) const {
+  [[nodiscard]] constexpr BlockId block_of_page(PageId p) const {
     return p / pages_per_block;
   }
-  constexpr u32 page_in_block(PageId p) const {
+  [[nodiscard]] constexpr u32 page_in_block(PageId p) const {
     return (u32)(p % pages_per_block);
   }
-  constexpr u64 die_of_page(PageId p) const {
+  [[nodiscard]] constexpr u64 die_of_page(PageId p) const {
     return die_of_block(block_of_page(p));
   }
-  constexpr u32 channel_of_page(PageId p) const {
+  [[nodiscard]] constexpr u32 channel_of_page(PageId p) const {
     return channel_of_block(block_of_page(p));
   }
 
   /// Block id from (plane-index, block-in-plane).
-  constexpr BlockId block_id(u64 plane_index, u32 block) const {
+  [[nodiscard]] constexpr BlockId block_id(u64 plane_index, u32 block) const {
     return plane_index * blocks_per_plane + block;
   }
 };
@@ -90,7 +92,7 @@ struct FlashTiming {
   /// Extra array time per retry round.
   TimeNs read_retry_ns = 70 * kUs;
 
-  constexpr TimeNs transfer_ns(u64 bytes) const {
+  [[nodiscard]] constexpr TimeNs transfer_ns(u64 bytes) const {
     return (TimeNs)((double)bytes / channel_bytes_per_ns);
   }
 };

@@ -42,7 +42,7 @@ class FileSystem {
 
   /// Create an empty file; returns its handle.
   Handle create(std::string name);
-  Handle lookup(const std::string& name) const;
+  [[nodiscard]] Handle lookup(const std::string& name) const;
 
   /// Append `bytes` (rounded up to whole fs blocks) to the file. `fp_base`
   /// seeds device-level content fingerprints.
@@ -54,11 +54,13 @@ class FileSystem {
   /// Delete the file: free extents and TRIM them on the device.
   void remove(Handle h, Done done);
 
-  u64 file_bytes(Handle h) const;
-  u64 used_bytes() const { return used_blocks_ * cfg_.block_bytes; }
-  u64 free_bytes() const;
-  u64 host_cpu_ns() const { return cpu_ns_; }
-  u64 journal_writes() const { return journal_writes_; }
+  [[nodiscard]] u64 file_bytes(Handle h) const;
+  [[nodiscard]] u64 used_bytes() const {
+    return used_blocks_ * cfg_.block_bytes;
+  }
+  [[nodiscard]] u64 free_bytes() const;
+  [[nodiscard]] u64 host_cpu_ns() const { return cpu_ns_; }
+  [[nodiscard]] u64 journal_writes() const { return journal_writes_; }
 
  private:
   struct Extent {
@@ -77,7 +79,7 @@ class FileSystem {
   bool allocate_extent(u64 blocks, Extent& out);
   void free_extent(const Extent& e);
   void charge_meta(u32 ops, std::function<void()> then);
-  Lba lba_of_block(u64 fs_block) const {
+  [[nodiscard]] Lba lba_of_block(u64 fs_block) const {
     return fs_block * (cfg_.block_bytes / 512);
   }
 

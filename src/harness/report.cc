@@ -64,6 +64,7 @@ void timeslices_json(JsonWriter& w, const ssd::TelemetryCollector& c) {
     w.kv("die_busy_ns", s.die_busy_ns);
     w.kv("channel_busy_ns", s.channel_busy_ns);
     w.kv("buffer_stalls", s.buffer_stalls);
+    w.kv("clamped_schedules", s.clamped_schedules);
     w.kv("write_bw_bytes_per_sec", s.write_bw_bytes_per_sec());
     w.kv("waf", s.waf());
     w.kv("die_utilization", s.die_utilization(c.num_dies()));

@@ -52,11 +52,11 @@ class BenchReport {
                   const flash::FlashController* flash);
 
   /// The complete document.
-  std::string to_json() const;
+  [[nodiscard]] std::string to_json() const;
 
   /// Write to `dir`/<name>.json (directories created); returns the path,
   /// or an empty string on I/O failure.
-  std::string save(const std::string& dir = "results") const;
+  [[nodiscard]] std::string save(const std::string& dir = "results") const;
 
  private:
   struct DeviceSnap {

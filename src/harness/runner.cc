@@ -125,7 +125,7 @@ RunResult run_workload(KvStack& stack, const wl::WorkloadSpec& spec,
     drv.result.telemetry = ssd::TelemetryCollector(opts.telemetry_interval);
     drv.result.telemetry.attach(
         stack.eq().now(), stack.ftl_stats(), stack.flash_ctrl(),
-        [&stack] { return stack.buffer_stall_events(); });
+        [&stack] { return stack.buffer_stall_events(); }, &stack.eq());
   }
   drv.issue_more();
   sim::EventQueue& eq = stack.eq();

@@ -38,12 +38,14 @@ struct RunResult {
   u64 not_found = 0;
   u64 host_cpu_ns = 0;      ///< CPU burned by the stack during the run
 
-  double throughput_ops_per_sec() const {
+  [[nodiscard]] double throughput_ops_per_sec() const {
     return elapsed ? (double)ops * (double)kSec / (double)elapsed : 0.0;
   }
-  double bandwidth_bytes_per_sec() const { return bw.mean_bytes_per_sec(); }
+  [[nodiscard]] double bandwidth_bytes_per_sec() const {
+    return bw.mean_bytes_per_sec();
+  }
   /// Host CPU utilization in "cores busy" (cpu time / wall time).
-  double cpu_cores_busy() const {
+  [[nodiscard]] double cpu_cores_busy() const {
     return elapsed ? (double)host_cpu_ns / (double)elapsed : 0.0;
   }
 };

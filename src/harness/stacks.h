@@ -50,22 +50,28 @@ class KvssdBed final : public KvStack {
   void drain(std::function<void()> done) override {
     dev_->flush(std::move(done));
   }
-  u64 host_cpu_ns() const override { return dev_->host_cpu_ns(); }
-  u64 device_bytes_used() const override {
+  [[nodiscard]] u64 host_cpu_ns() const override { return dev_->host_cpu_ns(); }
+  [[nodiscard]] u64 device_bytes_used() const override {
     return ftl_->device_bytes_used();
   }
-  u64 app_bytes_live() const override { return ftl_->app_bytes_live(); }
-  const char* name() const override { return "KV-SSD"; }
+  [[nodiscard]] u64 app_bytes_live() const override {
+    return ftl_->app_bytes_live();
+  }
+  [[nodiscard]] const char* name() const override { return "KV-SSD"; }
 
   sim::EventQueue& eq() override { return eq_; }
   kvapi::KvsDevice& device() { return *dev_; }
   kvftl::KvFtl& ftl() { return *ftl_; }
-  const ssd::FtlStats* ftl_stats() const override { return &ftl_->stats(); }
+  [[nodiscard]] const ssd::FtlStats* ftl_stats() const override {
+    return &ftl_->stats();
+  }
   flash::FlashController& flash() { return *flash_; }
-  const flash::FlashController* flash_ctrl() const override {
+  [[nodiscard]] const flash::FlashController* flash_ctrl() const override {
     return flash_.get();
   }
-  u64 buffer_stall_events() const override { return ftl_->buffer_stalls(); }
+  [[nodiscard]] u64 buffer_stall_events() const override {
+    return ftl_->buffer_stalls();
+  }
 
  private:
   sim::EventQueue eq_;
@@ -126,25 +132,33 @@ class LsmBed final : public KvStack {
     store_->del(key, std::move(done));
   }
   void drain(std::function<void()> done) override;
-  u64 host_cpu_ns() const override {
+  [[nodiscard]] u64 host_cpu_ns() const override {
     return store_->host_cpu_ns() + fs_->host_cpu_ns() + dev_->host_cpu_ns();
   }
-  u64 device_bytes_used() const override { return fs_->used_bytes(); }
-  u64 app_bytes_live() const override { return app_bytes_; }
+  [[nodiscard]] u64 device_bytes_used() const override {
+    return fs_->used_bytes();
+  }
+  [[nodiscard]] u64 app_bytes_live() const override { return app_bytes_; }
   void add_app_bytes(i64 delta) override {
     app_bytes_ = (u64)((i64)app_bytes_ + delta);
   }
-  const char* name() const override { return "RocksDB/ext4/block-SSD"; }
+  [[nodiscard]] const char* name() const override {
+    return "RocksDB/ext4/block-SSD";
+  }
 
   sim::EventQueue& eq() override { return eq_; }
   lsm::LsmStore& store() { return *store_; }
   fs::FileSystem& fs() { return *fs_; }
   blockftl::BlockFtl& ftl() { return *ftl_; }
-  const ssd::FtlStats* ftl_stats() const override { return &ftl_->stats(); }
-  const flash::FlashController* flash_ctrl() const override {
+  [[nodiscard]] const ssd::FtlStats* ftl_stats() const override {
+    return &ftl_->stats();
+  }
+  [[nodiscard]] const flash::FlashController* flash_ctrl() const override {
     return flash_.get();
   }
-  u64 buffer_stall_events() const override { return ftl_->buffer_stalls(); }
+  [[nodiscard]] u64 buffer_stall_events() const override {
+    return ftl_->buffer_stalls();
+  }
 
  private:
   sim::EventQueue eq_;
@@ -184,23 +198,31 @@ class HashKvBed final : public KvStack {
   void drain(std::function<void()> done) override {
     store_->drain(std::move(done));
   }
-  u64 host_cpu_ns() const override {
+  [[nodiscard]] u64 host_cpu_ns() const override {
     return store_->host_cpu_ns() + dev_->host_cpu_ns();
   }
-  u64 device_bytes_used() const override {
+  [[nodiscard]] u64 device_bytes_used() const override {
     return store_->device_bytes_used();
   }
-  u64 app_bytes_live() const override { return store_->app_bytes_live(); }
-  const char* name() const override { return "Aerospike/block-SSD"; }
+  [[nodiscard]] u64 app_bytes_live() const override {
+    return store_->app_bytes_live();
+  }
+  [[nodiscard]] const char* name() const override {
+    return "Aerospike/block-SSD";
+  }
 
   sim::EventQueue& eq() override { return eq_; }
   hashkv::HashKvStore& store() { return *store_; }
   blockftl::BlockFtl& ftl() { return *ftl_; }
-  const ssd::FtlStats* ftl_stats() const override { return &ftl_->stats(); }
-  const flash::FlashController* flash_ctrl() const override {
+  [[nodiscard]] const ssd::FtlStats* ftl_stats() const override {
+    return &ftl_->stats();
+  }
+  [[nodiscard]] const flash::FlashController* flash_ctrl() const override {
     return flash_.get();
   }
-  u64 buffer_stall_events() const override { return ftl_->buffer_stalls(); }
+  [[nodiscard]] u64 buffer_stall_events() const override {
+    return ftl_->buffer_stalls();
+  }
 
  private:
   sim::EventQueue eq_;

@@ -32,17 +32,19 @@ class TraceRecorder {
   }
 
   void add(const TraceRecord& r) { records_.push_back(r); }
-  const std::vector<TraceRecord>& records() const { return records_; }
-  size_t size() const { return records_.size(); }
+  [[nodiscard]] const std::vector<TraceRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] size_t size() const { return records_.size(); }
 
   /// CSV with header: issue_us,latency_us,op,key_id,bytes,status
-  std::string to_csv() const;
+  [[nodiscard]] std::string to_csv() const;
   /// Write to a file; returns false on I/O failure.
-  bool write_csv(const std::string& path) const;
+  [[nodiscard]] bool write_csv(const std::string& path) const;
 
   /// Latency at quantile q computed from the raw records (exact, unlike
   /// the log-bucketed histogram).
-  TimeNs exact_percentile(double q) const;
+  [[nodiscard]] TimeNs exact_percentile(double q) const;
 
  private:
   std::vector<TraceRecord> records_;

@@ -78,9 +78,12 @@ void HashKvStore::put(std::string_view key, ValueDesc value, PutDone done) {
         (old.offset + old.size - first + sector - 1) / sector * sector;
     dev_.read(wb_lba(old.wb, first), span,
               [t_cpu, this, done = std::move(done)](Status, u64) mutable {
-                eq_.schedule_at(t_cpu, [done = std::move(done)]() mutable {
-                  done(Status::kOk);
-                });
+                // Ack once both the CPU slot and the read are complete; the
+                // read may finish after t_cpu, so never target the past.
+                eq_.schedule_at(std::max(t_cpu, eq_.now()),
+                                [done = std::move(done)]() mutable {
+                                  done(Status::kOk);
+                                });
               });
     return;
   }

@@ -63,14 +63,14 @@ class HashKvStore {
   void drain(std::function<void()> done);
 
   // --- telemetry -----------------------------------------------------------
-  u64 host_cpu_ns() const { return cpu_ns_; }
-  u64 device_bytes_used() const;
-  u64 record_count() const { return index_.size(); }
-  u64 defrags_run() const { return defrags_; }
-  u64 app_bytes_live() const { return app_bytes_live_; }
+  [[nodiscard]] u64 host_cpu_ns() const { return cpu_ns_; }
+  [[nodiscard]] u64 device_bytes_used() const;
+  [[nodiscard]] u64 record_count() const { return index_.size(); }
+  [[nodiscard]] u64 defrags_run() const { return defrags_; }
+  [[nodiscard]] u64 app_bytes_live() const { return app_bytes_live_; }
 
   /// Device bytes one record occupies (for tests / space-amp math).
-  u64 record_device_bytes(u32 key_bytes, u32 value_bytes) const;
+  [[nodiscard]] u64 record_device_bytes(u32 key_bytes, u32 value_bytes) const;
 
  private:
   static constexpr u32 kBufferBlock = ~0u;
@@ -99,7 +99,7 @@ class HashKvStore {
   void maybe_queue_defrag(u32 wb);
   void run_defrag();
   void maybe_drain_done();
-  Lba wb_lba(u32 wb, u32 offset) const {
+  [[nodiscard]] Lba wb_lba(u32 wb, u32 offset) const {
     return (Lba)wb * (cfg_.write_block_bytes / 512) + offset / 512;
   }
 

@@ -43,12 +43,14 @@ class KvsDevice {
   /// kvs_exist_tuples (single key).
   void exist(std::string_view key, ExistDone done, u8 nsid = 0);
   /// KVPs stored in one key space.
-  u64 kvp_count_in(u8 nsid) const { return ftl_.kvp_count_in(nsid); }
+  [[nodiscard]] u64 kvp_count_in(u8 nsid) const {
+    return ftl_.kvp_count_in(nsid);
+  }
   /// kvs_delete_key_space: remove every key of a namespace (requires the
   /// device's iterator key tracking; completes after the last delete).
   void delete_namespace(u8 nsid, std::function<void(u64 removed)> done);
   /// Iterator: bucket group ids and per-group key listing.
-  std::vector<u32> iterator_bucket_ids() const {
+  [[nodiscard]] std::vector<u32> iterator_bucket_ids() const {
     return ftl_.iterator_bucket_ids();
   }
   void iterate_bucket(u32 bucket,
@@ -59,12 +61,14 @@ class KvsDevice {
   void flush(std::function<void()> done) { ftl_.flush(std::move(done)); }
 
   /// Host CPU consumed by the API + driver (submission + completions).
-  u64 host_cpu_ns() const { return api_cpu_ns_ + link_.host_cpu_ns(); }
+  [[nodiscard]] u64 host_cpu_ns() const {
+    return api_cpu_ns_ + link_.host_cpu_ns();
+  }
   kvftl::KvFtl& ftl() { return ftl_; }
-  const kvftl::KvFtl& ftl() const { return ftl_; }
+  [[nodiscard]] const kvftl::KvFtl& ftl() const { return ftl_; }
 
  private:
-  u32 key_cmds(std::string_view key) const {
+  [[nodiscard]] u32 key_cmds(std::string_view key) const {
     return nvme::kv_commands_for_key(link_.config(), (u32)key.size());
   }
 

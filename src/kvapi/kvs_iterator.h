@@ -72,8 +72,8 @@ class KvsIterator {
     cursor_ += take;
   }
 
-  bool exhausted() const { return cursor_ >= keys_.size(); }
-  size_t remaining() const { return keys_.size() - cursor_; }
+  [[nodiscard]] bool exhausted() const { return cursor_ >= keys_.size(); }
+  [[nodiscard]] size_t remaining() const { return keys_.size() - cursor_; }
 
  private:
   KvsDevice& dev_;

@@ -22,12 +22,12 @@ class CountingBloom {
 
   void insert(u64 khash);
   void remove(u64 khash);
-  bool may_contain(u64 khash) const;
+  [[nodiscard]] bool may_contain(u64 khash) const;
 
-  u64 saturations() const { return saturations_; }
+  [[nodiscard]] u64 saturations() const { return saturations_; }
 
  private:
-  u64 slot(u64 khash, u32 i) const {
+  [[nodiscard]] u64 slot(u64 khash, u32 i) const {
     return mix64(khash + 0x9e3779b97f4a7c15ull * (i + 1)) % counters_.size();
   }
 

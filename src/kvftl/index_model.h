@@ -66,20 +66,22 @@ class IndexModel {
   /// Record an entry removal.
   IndexCost on_remove(u64 khash);
 
-  u64 entries() const { return entries_; }
-  u64 segments() const { return segments_; }
-  u64 cached_segments() const { return lru_.size(); }
-  u64 cache_capacity_segments() const { return cache_capacity_; }
+  [[nodiscard]] u64 entries() const { return entries_; }
+  [[nodiscard]] u64 segments() const { return segments_; }
+  [[nodiscard]] u64 cached_segments() const { return lru_.size(); }
+  [[nodiscard]] u64 cache_capacity_segments() const { return cache_capacity_; }
   /// Total index footprint on flash, for space-amplification accounting.
-  u64 flash_bytes() const { return segments_ * cfg_.segment_bytes; }
+  [[nodiscard]] u64 flash_bytes() const {
+    return segments_ * cfg_.segment_bytes;
+  }
   /// Fraction of recent primary-segment touches served from DRAM.
-  double hit_rate() const {
+  [[nodiscard]] double hit_rate() const {
     return touches_ ? (double)hits_ / (double)touches_ : 1.0;
   }
-  u64 splits() const { return splits_; }
+  [[nodiscard]] u64 splits() const { return splits_; }
 
   /// Segment id holding `khash` (linear hashing address function).
-  u64 segment_of(u64 khash) const;
+  [[nodiscard]] u64 segment_of(u64 khash) const;
 
  private:
   /// Touch a segment; returns cost of faulting it in (and any eviction).

@@ -32,17 +32,17 @@ class IteratorBuckets {
   void remove(std::string_view key, u8 nsid = 0);
 
   /// Non-empty bucket ids belonging to one namespace.
-  std::vector<u32> bucket_ids_of(u8 nsid) const;
+  [[nodiscard]] std::vector<u32> bucket_ids_of(u8 nsid) const;
 
-  u64 total_keys() const { return total_keys_; }
+  [[nodiscard]] u64 total_keys() const { return total_keys_; }
   /// Flash bytes consumed by bucket records (key bytes + 4 B length each).
-  u64 flash_bytes() const { return record_bytes_; }
+  [[nodiscard]] u64 flash_bytes() const { return record_bytes_; }
 
   /// Snapshot the keys of one bucket (empty when tracking is off).
-  std::vector<std::string> bucket_keys(u32 bucket) const;
+  [[nodiscard]] std::vector<std::string> bucket_keys(u32 bucket) const;
   /// All bucket ids currently non-empty (tracking mode only).
-  std::vector<u32> bucket_ids() const;
-  u64 bucket_size(u32 bucket) const;
+  [[nodiscard]] std::vector<u32> bucket_ids() const;
+  [[nodiscard]] u64 bucket_size(u32 bucket) const;
 
  private:
   bool track_keys_;

@@ -60,6 +60,92 @@ KvFtl::KvFtl(sim::EventQueue& eq, flash::FlashController& flash,
   lanes_.resize(std::max(nlanes, cfg_.write_streams));
   stream_rr_.assign(std::max<u32>(1, cfg_.write_streams), 0);
   gc_lanes_.resize(std::max<u32>(1, cfg_.gc_lanes));
+  buffered_count_.assign(geom_.total_blocks(), 0);
+#if KVSIM_AUDIT
+  flash_audit_ = std::make_unique<ssd::FlashAudit>(geom_);
+  flash_.set_audit(flash_audit_.get());
+  log_audit_ = std::make_unique<ssd::KvLogAudit>(geom_.total_blocks());
+#endif
+}
+
+KvFtl::~KvFtl() {
+  if (flash_audit_ && flash_.audit() == flash_audit_.get())
+    flash_.set_audit(nullptr);
+}
+
+void KvFtl::audit_verify() const {
+  if (!log_audit_) return;
+  ssd::audit_check_clamps(eq_.clamped_schedules());
+  if (live_slots_ != log_audit_->live_slots())
+    ssd::audit_fail("kvftl",
+                    "live_slots counter " + std::to_string(live_slots_) +
+                        " != shadow " +
+                        std::to_string(log_audit_->live_slots()));
+  // Every index entry (blob chunk ref) must resolve to exactly one live
+  // log record, and that record must agree with the shadow placement.
+  u64 refs = 0;
+  for (const auto& [khash, blob] : blob_table_) {
+    for (u32 ci = 0; ci < blob.chunks.size(); ++ci) {
+      const ChunkRef& ref = blob.chunks[ci];
+      if (ref.block == kPendingBlock) continue;
+      ++refs;
+      const auto& recs = blocks_[ref.block].recs;
+      if (ref.rec >= recs.size())
+        ssd::audit_fail("kvftl", "khash " + std::to_string(khash) +
+                                     " chunk " + std::to_string(ci) +
+                                     " points past block " +
+                                     std::to_string(ref.block) +
+                                     " record list");
+      const ChunkRec& rec = recs[ref.rec];
+      if (!rec.valid || rec.khash != khash || rec.chunk_idx != ci)
+        ssd::audit_fail("kvftl",
+                        "khash " + std::to_string(khash) + " chunk " +
+                            std::to_string(ci) + " resolves to " +
+                            (rec.valid ? "a different chunk's" : "a dead") +
+                            " record (block " + std::to_string(ref.block) +
+                            " rec " + std::to_string(ref.rec) + ")");
+      if (!log_audit_->is_placed_at(khash, (u8)ci, ref.block, ref.rec))
+        ssd::audit_fail("kvftl", "khash " + std::to_string(khash) +
+                                     " chunk " + std::to_string(ci) +
+                                     " not placed at block " +
+                                     std::to_string(ref.block) + " rec " +
+                                     std::to_string(ref.rec) +
+                                     " in the shadow log");
+    }
+  }
+  if (refs != log_audit_->placed_chunks())
+    ssd::audit_fail("kvftl",
+                    std::to_string(refs) + " reachable chunk refs != " +
+                        std::to_string(log_audit_->placed_chunks()) +
+                        " placed chunks (reclaimed blob still reachable, "
+                        "or live chunk unreachable)");
+  // Per-block: valid records must sum to the block's valid-slot counter
+  // and match the shadow; globally every valid record is reachable.
+  u64 valid_recs = 0;
+  for (u32 b = 0; b < (u32)blocks_.size(); ++b) {
+    u64 sum = 0;
+    for (const ChunkRec& rec : blocks_[b].recs)
+      if (rec.valid) {
+        sum += rec.slot_count;
+        ++valid_recs;
+      }
+    if (sum != blocks_[b].valid_slots)
+      ssd::audit_fail("kvftl", "block " + std::to_string(b) +
+                                   " valid_slots counter " +
+                                   std::to_string(blocks_[b].valid_slots) +
+                                   " != record sum " + std::to_string(sum));
+    if (sum != log_audit_->block_valid_slots(b))
+      ssd::audit_fail("kvftl", "block " + std::to_string(b) +
+                                   " record sum " + std::to_string(sum) +
+                                   " != shadow " +
+                                   std::to_string(
+                                       log_audit_->block_valid_slots(b)));
+  }
+  if (valid_recs != log_audit_->placed_chunks())
+    ssd::audit_fail("kvftl",
+                    std::to_string(valid_recs) + " valid records != " +
+                        std::to_string(log_audit_->placed_chunks()) +
+                        " placed chunks (orphaned live record)");
 }
 
 u64 KvFtl::data_slot_capacity() const {
@@ -217,7 +303,12 @@ bool KvFtl::place_chunk(u64 khash, u8 chunk_idx, u16 slot_count, bool is_gc,
                                true});
   info.valid_slots += slot_count;
   live_slots_ += slot_count;
-  if (lane.used_slots == 0) buffered_pages_.insert(page);
+  if (log_audit_) log_audit_->on_place(khash, chunk_idx, (u32)b, rec_idx,
+                                       slot_count);
+  if (lane.used_slots == 0) {
+    buffered_pages_.insert(page);
+    ++buffered_count_[b];
+  }
   lane.used_slots += slot_count;
   lane.buffered_bytes += (u64)slot_count * cfg_.slot_bytes;
 
@@ -269,6 +360,7 @@ void KvFtl::seal_page(Lane& lane, bool is_gc) {
     flash_.program_page(page, geom_.page_bytes, [this, page, host_bytes,
                                                  is_gc] {
       buffered_pages_.erase(page);
+      --buffered_count_[page / geom_.pages_per_block];
       if (!is_gc) buffer_.release(host_bytes);
       if (--outstanding_programs_ == 0 && !drain_waiters_.empty()) {
         auto waiters = std::move(drain_waiters_);
@@ -301,6 +393,8 @@ void KvFtl::invalidate_blob(BlobRec& blob) {
     rec.valid = false;
     blocks_[ref.block].valid_slots -= rec.slot_count;
     live_slots_ -= std::min<u64>(live_slots_, rec.slot_count);
+    if (log_audit_)
+      log_audit_->on_invalidate(rec.khash, rec.chunk_idx, ref.block, ref.rec);
   }
   app_bytes_live_ -=
       std::min<u64>(app_bytes_live_, (u64)blob.value_bytes + blob.key_bytes);
@@ -516,12 +610,16 @@ flash::PageId KvFtl::next_index_page() {
     if (!b) b = alloc_.allocate();
     if (!b) break;  // device full: reuse existing index blocks
     block_state_[*b] = kIndexBlock;
+    // The index log is an abstract time-charge model: it reuses pages
+    // round-robin without erasing, so flash legality does not apply.
+    if (flash_audit_) flash_audit_->set_exempt(*b);
     index_blocks_.push_back(*b);
   }
   if (index_blocks_.empty()) {
     auto b = alloc_.allocate();
     if (b) {
       block_state_[*b] = kIndexBlock;
+      if (flash_audit_) flash_audit_->set_exempt(*b);
       index_blocks_.push_back(*b);
     } else {
       return 0;  // pathological: charge ops to page 0
@@ -576,6 +674,7 @@ void KvFtl::charge_index_cost(const IndexCost& cost,
 // ---------------------------------------------------------------------------
 
 void KvFtl::flush(std::function<void()> done) {
+  audit_verify();
   for (auto& lane : lanes_)
     if (lane.block && lane.used_slots > 0) {
       waste_slots_ += cfg_.page_data_slots - lane.used_slots;
@@ -613,7 +712,7 @@ void KvFtl::run_gc() {
   flash::BlockId victim = ~0ull;
   u32 best = ~0u;
   for (flash::BlockId b = 0; b < geom_.total_blocks(); ++b) {
-    if (block_state_[b] != kSealed) continue;
+    if (block_state_[b] != kSealed || buffered_count_[b] != 0) continue;
     if (blocks_[b].valid_slots == 0 && free_wins.size() < 32)
       free_wins.push_back(b);
     if (blocks_[b].valid_slots < best) {
@@ -629,6 +728,7 @@ void KvFtl::run_gc() {
         run_gc();
       } else {
         gc_running_ = false;
+        audit_verify();
       }
     });
     for (flash::BlockId b : free_wins) {
@@ -644,6 +744,7 @@ void KvFtl::run_gc() {
   }
   if (victim == ~0ull) {
     gc_running_ = false;
+    audit_verify();
     return;
   }
   if (best == 0) {
@@ -678,6 +779,9 @@ void KvFtl::migrate_and_erase(flash::BlockId victim) {
     info.recs[&rec - recs.data()].valid = false;
     info.valid_slots -= rec.slot_count;
     live_slots_ -= std::min<u64>(live_slots_, rec.slot_count);
+    if (log_audit_)
+      log_audit_->on_invalidate(rec.khash, rec.chunk_idx, victim,
+                                (u32)(&rec - recs.data()));
     ++stats_.gc_migrated_units;
     stats_.gc_migrated_bytes += (u64)rec.slot_count * cfg_.slot_bytes;
     place_chunk(rec.khash, rec.chunk_idx, rec.slot_count, /*is_gc=*/true, 0);
@@ -713,12 +817,14 @@ void KvFtl::finish_gc(flash::BlockId victim) {
     if (gc_futile_streak_ >= 16) {
       gc_stuck_ = true;
       gc_running_ = false;
+      audit_verify();
       return;
     }
     if (alloc_.free_blocks() < gc_low_watermark_) {
       run_gc();
     } else {
       gc_running_ = false;
+      audit_verify();
     }
   });
 }

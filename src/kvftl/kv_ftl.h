@@ -25,6 +25,7 @@
 #include <deque>
 #include <functional>
 #include <list>
+#include <memory>
 #include <optional>
 #include <string_view>
 #include <unordered_map>
@@ -38,6 +39,7 @@
 #include "kvftl/packing.h"
 #include "sim/event_queue.h"
 #include "ssd/allocator.h"
+#include "ssd/audit.h"
 #include "ssd/config.h"
 #include "ssd/stats.h"
 #include "ssd/write_buffer.h"
@@ -88,6 +90,7 @@ class KvFtl {
 
   KvFtl(sim::EventQueue& eq, flash::FlashController& flash,
         const ssd::SsdConfig& dev, const KvFtlConfig& cfg);
+  ~KvFtl();
 
   /// Store (insert or overwrite) a key-value pair. `stream` is an
   /// optional placement hint (clamped to config.write_streams - 1);
@@ -107,40 +110,52 @@ class KvFtl {
   /// Iterator support: non-empty bucket groups, and the keys of one group
   /// (hash order). `done` receives the keys; timing charges one flash read
   /// per 4 KiB of key records.
-  std::vector<u32> iterator_bucket_ids() const;
+  [[nodiscard]] std::vector<u32> iterator_bucket_ids() const;
   void iterate_bucket(u32 bucket,
                       std::function<void(std::vector<std::string>)> done);
   /// Charge one iterator-record page read (cursor-based iteration reads
   /// one 4 KiB bucket page per batch); `done` runs at completion.
   void charge_iterator_read(std::function<void()> done);
   /// Snapshot one bucket's keys without timing charges (iterator open).
-  std::vector<std::string> snapshot_bucket(u32 bucket) const {
+  [[nodiscard]] std::vector<std::string> snapshot_bucket(u32 bucket) const {
     return iters_.bucket_keys(bucket);
   }
 
   // --- telemetry -----------------------------------------------------------
-  const ssd::FtlStats& stats() const { return stats_; }
-  u64 kvp_count() const { return blob_table_.size(); }
-  u64 kvp_count_in(u8 nsid) const { return ns_kvp_counts_[nsid]; }
+  [[nodiscard]] const ssd::FtlStats& stats() const { return stats_; }
+  [[nodiscard]] u64 kvp_count() const { return blob_table_.size(); }
+  [[nodiscard]] u64 kvp_count_in(u8 nsid) const { return ns_kvp_counts_[nsid]; }
   /// Non-empty iterator bucket groups belonging to one namespace.
-  std::vector<u32> iterator_bucket_ids_of(u8 nsid) const {
+  [[nodiscard]] std::vector<u32> iterator_bucket_ids_of(u8 nsid) const {
     return iters_.bucket_ids_of(nsid);
   }
   /// Bytes of application data (keys + values) currently live.
-  u64 app_bytes_live() const { return app_bytes_live_; }
+  [[nodiscard]] u64 app_bytes_live() const { return app_bytes_live_; }
   /// Physical bytes consumed: live padded slots + index + iterator records.
-  u64 device_bytes_used() const;
+  [[nodiscard]] u64 device_bytes_used() const;
   /// Upper bound on storable KVPs (every KVP needs at least one slot).
-  u64 max_kvp_capacity() const;
-  u64 live_slots() const { return live_slots_; }
-  u64 free_blocks() const { return alloc_.free_blocks(); }
-  u64 padding_waste_slots() const { return waste_slots_; }
-  const IndexModel& index() const { return index_; }
-  u64 buffer_stalls() const { return buffer_.total_stall_events(); }
+  [[nodiscard]] u64 max_kvp_capacity() const;
+  [[nodiscard]] u64 live_slots() const { return live_slots_; }
+  [[nodiscard]] u64 free_blocks() const { return alloc_.free_blocks(); }
+  [[nodiscard]] u64 padding_waste_slots() const { return waste_slots_; }
+  [[nodiscard]] const IndexModel& index() const { return index_; }
+  [[nodiscard]] u64 buffer_stalls() const {
+    return buffer_.total_stall_events();
+  }
   /// Wear telemetry (erase counts live in the allocator).
-  const ssd::BlockAllocator& allocator() const { return alloc_; }
-  u64 bloom_negative_hits() const { return bloom_fast_negatives_; }
-  u64 read_cache_hits() const { return read_cache_hits_; }
+  [[nodiscard]] const ssd::BlockAllocator& allocator() const { return alloc_; }
+  [[nodiscard]] u64 bloom_negative_hits() const {
+    return bloom_fast_negatives_;
+  }
+  [[nodiscard]] u64 read_cache_hits() const { return read_cache_hits_; }
+
+  /// KVSIM_AUDIT: cross-check the blob table, per-block chunk records,
+  /// and live-slot counters against the shadow log model (index entries
+  /// and log blobs must correspond one-to-one; reclaimed blobs must be
+  /// unreachable). No-op when auditing is compiled out; throws
+  /// ssd::AuditFailure on divergence. Runs automatically on flush() and
+  /// when garbage collection stops.
+  void audit_verify() const;
 
  private:
   enum BlockState : u8 { kFree = 0, kOpen, kSealed, kErasing, kIndexBlock };
@@ -212,7 +227,7 @@ class KvFtl {
   void finish_gc(flash::BlockId victim);
   void on_block_freed();
 
-  u64 data_slot_capacity() const;
+  [[nodiscard]] u64 data_slot_capacity() const;
 
   sim::EventQueue& eq_;
   flash::FlashController& flash_;
@@ -239,6 +254,10 @@ class KvFtl {
   std::vector<Lane> gc_lanes_;
   u32 gc_lane_rr_ = 0;
   std::unordered_set<flash::PageId> buffered_pages_;
+  // Per block: pages buffered or with an in-flight program. GC must not
+  // pick a victim before its last program lands (the packer can delay a
+  // program past the block's kSealed transition).
+  std::vector<u32> buffered_count_;
   std::deque<PendingChunk> pending_chunks_;
 
   // index flash region
@@ -276,6 +295,10 @@ class KvFtl {
 
   u64 outstanding_programs_ = 0;
   std::vector<std::function<void()>> drain_waiters_;
+
+  // KVSIM_AUDIT shadow models (null when auditing is compiled out)
+  std::unique_ptr<ssd::FlashAudit> flash_audit_;
+  std::unique_ptr<ssd::KvLogAudit> log_audit_;
 
   ssd::FtlStats stats_;
 };

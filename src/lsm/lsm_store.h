@@ -69,20 +69,23 @@ class LsmStore {
   // --- telemetry -----------------------------------------------------------
   /// Host CPU burned by this store (foreground + compaction), excluding
   /// the filesystem and driver beneath it.
-  u64 host_cpu_ns() const { return cpu_ns_; }
-  u64 sst_bytes_live() const;
-  u64 block_cache_hits() const { return cache_hits_; }
-  u64 block_cache_lookups() const { return cache_lookups_; }
-  u64 compactions_run() const { return compactions_; }
-  u32 peak_parallel_compactions() const { return peak_compactions_; }
-  u64 trivial_moves() const { return trivial_moves_; }
-  u64 write_stall_events() const { return stall_events_; }
-  u64 flushes_run() const { return flushes_; }
-  u32 level_file_count(u32 level) const;
+  [[nodiscard]] u64 host_cpu_ns() const { return cpu_ns_; }
+  [[nodiscard]] u64 sst_bytes_live() const;
+  [[nodiscard]] u64 block_cache_hits() const { return cache_hits_; }
+  [[nodiscard]] u64 block_cache_lookups() const { return cache_lookups_; }
+  [[nodiscard]] u64 compactions_run() const { return compactions_; }
+  [[nodiscard]] u32 peak_parallel_compactions() const {
+    return peak_compactions_;
+  }
+  [[nodiscard]] u64 trivial_moves() const { return trivial_moves_; }
+  [[nodiscard]] u64 write_stall_events() const { return stall_events_; }
+  [[nodiscard]] u64 flushes_run() const { return flushes_; }
+  [[nodiscard]] u32 level_file_count(u32 level) const;
 
   /// Test support: exhaustively locate every stored version of `key`
   /// ("memtable" / "immutable" / "L<n>:sst-<id>" with seq and
   /// fingerprint), bypassing Bloom filters and range pruning.
+  [[nodiscard]]
   std::vector<std::string> debug_locate(std::string_view key) const;
 
  private:
@@ -102,7 +105,7 @@ class LsmStore {
 
   void do_write(std::string_view key, ValueDesc value, bool tombstone,
                 PutDone done);
-  bool stalled() const;
+  [[nodiscard]] bool stalled() const;
   void unstall();
   void rotate_memtable();
   void schedule_flush();
@@ -126,9 +129,11 @@ class LsmStore {
   bool cache_lookup(u64 block_key);
   void cache_insert(u64 block_key);
 
-  u64 memtable_bytes(const Memtable& mt) const { return mt_bytes_; }
-  u64 level_bytes(u32 level) const;
-  u64 level_target(u32 level) const;
+  [[nodiscard]] u64 memtable_bytes(const Memtable& /*mt*/) const {
+    return mt_bytes_;
+  }
+  [[nodiscard]] u64 level_bytes(u32 level) const;
+  [[nodiscard]] u64 level_target(u32 level) const;
 
   sim::EventQueue& eq_;
   fs::FileSystem& fs_;

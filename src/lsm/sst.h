@@ -21,7 +21,7 @@ namespace kvsim::lsm {
 class SstBloom {
  public:
   explicit SstBloom(const std::vector<u64>& khashes);
-  bool may_contain(u64 khash) const;
+  [[nodiscard]] bool may_contain(u64 khash) const;
 
  private:
   u64 nbits_;  // probe modulus (must match between build and query)
@@ -51,8 +51,8 @@ struct Sst {
   std::string smallest, largest;
 
   /// Index of `key` in entries, or -1. O(log n).
-  i64 find(std::string_view key) const;
-  bool overlaps(std::string_view lo, std::string_view hi) const {
+  [[nodiscard]] i64 find(std::string_view key) const;
+  [[nodiscard]] bool overlaps(std::string_view lo, std::string_view hi) const {
     return !(largest < lo || hi < smallest);
   }
 };

@@ -74,9 +74,9 @@ class NvmeLink {
     eq_.schedule_at(t, std::move(at_host));
   }
 
-  const NvmeConfig& config() const { return cfg_; }
-  u64 host_cpu_ns() const { return host_cpu_ns_; }
-  u64 commands_issued() const { return commands_issued_; }
+  [[nodiscard]] const NvmeConfig& config() const { return cfg_; }
+  [[nodiscard]] u64 host_cpu_ns() const { return host_cpu_ns_; }
+  [[nodiscard]] u64 commands_issued() const { return commands_issued_; }
 
  private:
   sim::EventQueue& eq_;

@@ -5,7 +5,10 @@
 namespace kvsim::sim {
 
 void EventQueue::schedule_at(TimeNs t, Callback cb) {
-  if (t < now_) t = now_;
+  if (t < now_) {
+    t = now_;
+    ++clamped_;
+  }
   heap_.push(Event{t, seq_++, std::move(cb)});
 }
 

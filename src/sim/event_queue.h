@@ -19,9 +19,13 @@ class EventQueue {
   using Callback = std::function<void()>;
 
   /// Current simulated time.
-  TimeNs now() const { return now_; }
+  [[nodiscard]] TimeNs now() const { return now_; }
 
-  /// Schedule `cb` at absolute time `t` (clamped to now if in the past).
+  /// Schedule `cb` at absolute time `t`. A `t` in the past is clamped to
+  /// now *and counted*: a past-time schedule means some component computed
+  /// a completion time before the current time, which silently reorders
+  /// causality. The KVSIM_AUDIT build treats a nonzero clamp count as an
+  /// invariant violation (see ssd/audit.h).
   void schedule_at(TimeNs t, Callback cb);
 
   /// Schedule `cb` `delay` ns from now.
@@ -38,8 +42,10 @@ class EventQueue {
   /// Run until simulated time reaches `t` or the queue drains.
   void run_until(TimeNs t);
 
-  bool empty() const { return heap_.empty(); }
-  u64 events_processed() const { return processed_; }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] u64 events_processed() const { return processed_; }
+  /// Schedules whose target time was in the past (clamped to now).
+  [[nodiscard]] u64 clamped_schedules() const { return clamped_; }
 
  private:
   struct Event {
@@ -57,6 +63,7 @@ class EventQueue {
   TimeNs now_ = 0;
   u64 seq_ = 0;
   u64 processed_ = 0;
+  u64 clamped_ = 0;
 };
 
 /// A serially-reusable resource (a flash die, a channel, a CPU) modeled by
@@ -88,9 +95,9 @@ class Resource {
     return Grant{start, free_at_, start - earliest, duration};
   }
 
-  TimeNs free_at() const { return free_at_; }
-  TimeNs busy_time() const { return busy_; }
-  u64 reservations() const { return reservations_; }
+  [[nodiscard]] TimeNs free_at() const { return free_at_; }
+  [[nodiscard]] TimeNs busy_time() const { return busy_; }
+  [[nodiscard]] u64 reservations() const { return reservations_; }
 
  private:
   TimeNs free_at_ = 0;

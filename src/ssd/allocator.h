@@ -28,13 +28,15 @@ class BlockAllocator {
   /// Return an erased block to the pool.
   void release(flash::BlockId b);
 
-  u64 free_blocks() const { return free_count_; }
-  u64 total_blocks() const { return geom_.total_blocks(); }
+  [[nodiscard]] u64 free_blocks() const { return free_count_; }
+  [[nodiscard]] u64 total_blocks() const { return geom_.total_blocks(); }
 
   // --- wear telemetry (erase counts) ------------------------------------
-  u32 erase_count(flash::BlockId b) const { return erase_counts_[b]; }
-  u32 max_erase_count() const;
-  double mean_erase_count() const;
+  [[nodiscard]] u32 erase_count(flash::BlockId b) const {
+    return erase_counts_[b];
+  }
+  [[nodiscard]] u32 max_erase_count() const;
+  [[nodiscard]] double mean_erase_count() const;
 
  private:
   flash::FlashGeometry geom_;

@@ -22,7 +22,7 @@ struct FtlStats {
   u64 flash_bytes_written = 0;    ///< host + GC + index program traffic
 
   /// Write amplification factor: flash program bytes / host write bytes.
-  double waf() const {
+  [[nodiscard]] double waf() const {
     return host_bytes_written
                ? (double)flash_bytes_written / (double)host_bytes_written
                : 0.0;

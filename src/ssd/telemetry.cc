@@ -4,11 +4,13 @@ namespace kvsim::ssd {
 
 void TelemetryCollector::attach(TimeNs now, const FtlStats* ftl,
                                 const flash::FlashController* flash,
-                                std::function<u64()> stall_events) {
+                                std::function<u64()> stall_events,
+                                const sim::EventQueue* eq) {
   origin_ = now;
   window_start_ = 0;
   ftl_ = ftl;
   flash_ = flash;
+  eq_ = eq;
   stall_events_ = std::move(stall_events);
   num_dies_ = flash_ ? flash_->num_dies() : 0;
   last_ = take();
@@ -38,6 +40,7 @@ TelemetryCollector::Snapshot TelemetryCollector::take() const {
     s.channel_busy_ns = flash_->total_channel_busy_ns();
   }
   if (stall_events_) s.buffer_stalls = stall_events_();
+  if (eq_) s.clamped_schedules = eq_->clamped_schedules();
   return s;
 }
 
@@ -74,6 +77,7 @@ void TelemetryCollector::close_window(TimeNs rel_end) {
   sl.die_busy_ns = cur.die_busy_ns - last_.die_busy_ns;
   sl.channel_busy_ns = cur.channel_busy_ns - last_.channel_busy_ns;
   sl.buffer_stalls = cur.buffer_stalls - last_.buffer_stalls;
+  sl.clamped_schedules = cur.clamped_schedules - last_.clamped_schedules;
   slices_.push_back(sl);
   last_ = cur;
   window_start_ = rel_end;

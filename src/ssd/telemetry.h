@@ -20,6 +20,7 @@
 
 #include "common/types.h"
 #include "flash/controller.h"
+#include "sim/event_queue.h"
 #include "ssd/stats.h"
 
 namespace kvsim::ssd {
@@ -50,25 +51,30 @@ struct TelemetrySlice {
   u64 channel_busy_ns = 0;  ///< summed across channels
   u64 buffer_stalls = 0;    ///< write-buffer backpressure events
 
-  double span_sec() const {
+  // EventQueue health: schedule_at() calls whose target time lay in the
+  // past and were clamped to `now`. Nonzero means some component computed
+  // a stale timestamp; KVSIM_AUDIT fails on it.
+  u64 clamped_schedules = 0;
+
+  [[nodiscard]] double span_sec() const {
     return t1 > t0 ? (double)(t1 - t0) / (double)kSec : 0.0;
   }
-  double write_bw_bytes_per_sec() const {
+  [[nodiscard]] double write_bw_bytes_per_sec() const {
     const double s = span_sec();
     return s > 0 ? (double)host_bytes_written / s : 0.0;
   }
-  double read_bw_bytes_per_sec() const {
+  [[nodiscard]] double read_bw_bytes_per_sec() const {
     const double s = span_sec();
     return s > 0 ? (double)host_bytes_read / s : 0.0;
   }
   /// Slice-local write amplification (flash programs / host writes).
-  double waf() const {
+  [[nodiscard]] double waf() const {
     return host_bytes_written
                ? (double)flash_bytes_written / (double)host_bytes_written
                : 0.0;
   }
   /// Mean die utilization inside the slice (busy time / (span * dies)).
-  double die_utilization(u64 num_dies) const {
+  [[nodiscard]] double die_utilization(u64 num_dies) const {
     const TimeNs span = t1 - t0;
     return span && num_dies
                ? (double)die_busy_ns / ((double)span * (double)num_dies)
@@ -87,12 +93,14 @@ class TelemetryCollector {
   /// Start collecting at `now` (simulated time becomes slice origin).
   /// Any of the sources may be null; missing sources contribute zeros.
   /// `stall_events` samples a cumulative stall counter (e.g. the device
-  /// write buffer's total_stall_events).
+  /// write buffer's total_stall_events); `eq` samples the event queue's
+  /// clamped-schedule counter.
   void attach(TimeNs now, const FtlStats* ftl,
               const flash::FlashController* flash,
-              std::function<u64()> stall_events = {});
+              std::function<u64()> stall_events = {},
+              const sim::EventQueue* eq = nullptr);
 
-  bool attached() const { return attached_; }
+  [[nodiscard]] bool attached() const { return attached_; }
 
   /// Close every window the clock has crossed. O(1) when no boundary has
   /// passed — safe to call from per-op completion handlers.
@@ -105,10 +113,12 @@ class TelemetryCollector {
   /// ends; afterwards poll() keeps working if the run continues.
   void finalize(TimeNs now);
 
-  const std::vector<TelemetrySlice>& slices() const { return slices_; }
-  TimeNs interval() const { return interval_; }
-  TimeNs origin() const { return origin_; }
-  u64 num_dies() const { return num_dies_; }
+  [[nodiscard]] const std::vector<TelemetrySlice>& slices() const {
+    return slices_;
+  }
+  [[nodiscard]] TimeNs interval() const { return interval_; }
+  [[nodiscard]] TimeNs origin() const { return origin_; }
+  [[nodiscard]] u64 num_dies() const { return num_dies_; }
 
  private:
   struct Snapshot {
@@ -120,9 +130,10 @@ class TelemetryCollector {
     u64 read_retries = 0;
     u64 die_busy_ns = 0, channel_busy_ns = 0;
     u64 buffer_stalls = 0;
+    u64 clamped_schedules = 0;
   };
 
-  Snapshot take() const;
+  [[nodiscard]] Snapshot take() const;
   void catch_up(TimeNs now);
   void close_window(TimeNs rel_end);
 
@@ -132,6 +143,7 @@ class TelemetryCollector {
   bool attached_ = false;
   const FtlStats* ftl_ = nullptr;
   const flash::FlashController* flash_ = nullptr;
+  const sim::EventQueue* eq_ = nullptr;
   std::function<u64()> stall_events_;
   u64 num_dies_ = 0;
   Snapshot last_;

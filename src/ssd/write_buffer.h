@@ -28,10 +28,10 @@ class WriteBuffer {
   /// Return `bytes` of space (programs completed); admits queued writers.
   void release(u64 bytes);
 
-  u64 occupied() const { return occupied_; }
-  u64 capacity() const { return capacity_; }
-  size_t waiters() const { return waiters_.size(); }
-  u64 total_stall_events() const { return stall_events_; }
+  [[nodiscard]] u64 occupied() const { return occupied_; }
+  [[nodiscard]] u64 capacity() const { return capacity_; }
+  [[nodiscard]] size_t waiters() const { return waiters_.size(); }
+  [[nodiscard]] u64 total_stall_events() const { return stall_events_; }
 
  private:
   void admit_waiters();

@@ -44,8 +44,8 @@ class KeyChooser {
              u64 window = 0);
 
   u64 next();
-  Pattern pattern() const { return pattern_; }
-  u64 key_space() const { return space_; }
+  [[nodiscard]] Pattern pattern() const { return pattern_; }
+  [[nodiscard]] u64 key_space() const { return space_; }
   /// Grow/shrink the addressed space (YCSB-D's moving insert frontier).
   void set_space(u64 space) { space_ = space ? space : 1; }
 
@@ -123,7 +123,7 @@ class OpStream {
  public:
   explicit OpStream(const WorkloadSpec& spec);
   bool next(Op& out);
-  u64 generated() const { return generated_; }
+  [[nodiscard]] u64 generated() const { return generated_; }
 
  private:
   u64 choose_id(OpType type);

@@ -28,7 +28,7 @@ struct YcsbRecordConfig {
   u32 fields = 10;
   u32 field_bytes = 100;
   u32 key_bytes = 23;  // "user" + 19-digit hash, YCSB's default shape
-  u32 value_bytes() const { return fields * field_bytes; }
+  [[nodiscard]] u32 value_bytes() const { return fields * field_bytes; }
 };
 
 /// Build the WorkloadSpec for a core workload over `record_count` records.
@@ -49,7 +49,7 @@ class LatestChooser {
   u64 next(Rng& rng);
   /// Record that a new key was inserted (frontier grows).
   void on_insert() { ++frontier_; }
-  u64 frontier() const { return frontier_; }
+  [[nodiscard]] u64 frontier() const { return frontier_; }
 
  private:
   u64 frontier_;

@@ -133,8 +133,9 @@ TEST(Histogram, BucketRoundTripAtBoundaries) {
     ASSERT_GE(b, 0);
     ASSERT_LT(b, LatencyHistogram::num_buckets());
     EXPECT_GE(LatencyHistogram::bucket_upper(b), v) << "v=" << v;
-    if (b > 0)
+    if (b > 0) {
       EXPECT_LT(LatencyHistogram::bucket_upper(b - 1), v) << "v=" << v;
+    }
   }
 }
 

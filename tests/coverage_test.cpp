@@ -173,9 +173,10 @@ TEST_P(NsSweep, BucketIdsCarryTheNamespace) {
   EXPECT_EQ(b >> 16, (u32)ns);
   // Same prefix, different namespace: different bucket hash too (the
   // namespace seeds the digest).
-  if (ns > 0)
+  if (ns > 0) {
     EXPECT_NE(b & 0xffff,
               kvftl::IteratorBuckets::bucket_of("some-key", 0) & 0xffff);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Namespaces, NsSweep, ::testing::Values(0, 1, 7, 255));

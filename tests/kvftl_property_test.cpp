@@ -32,7 +32,9 @@ TEST_P(PackingSweep, ChunksPartitionSlots) {
   for (u32 c = 0; c < nchunks; ++c) {
     const u32 cs = chunk_slots(slots, 24, c);
     EXPECT_LE(cs, 24u);
-    if (c + 1 < nchunks) EXPECT_EQ(cs, 24u);  // only the tail is partial
+    if (c + 1 < nchunks) {
+      EXPECT_EQ(cs, 24u);  // only the tail is partial
+    }
     sum += cs;
   }
   EXPECT_EQ(sum, slots);
