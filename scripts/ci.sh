@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# The full pre-merge gate, in the order a failure is cheapest to find:
+#
+#   1. configure + build (default flags) and run the tier-1 test suite;
+#   2. static analysis: scripts/lint.sh (clang-tidy when installed, the
+#      async-capture checker always) plus the format check;
+#   3. the same test suite compiled with -DKVSIM_AUDIT=ON, so every
+#      workload the tests run is cross-checked against the shadow
+#      invariant auditors (see docs/API.md "Developing");
+#   4. the suite under ASan/UBSan via scripts/sanitize.sh.
+#
+# Usage: scripts/ci.sh [--fast]
+#   --fast  skip the sanitizer pass (slowest stage) for quick local runs.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FAST=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    -h|--help) sed -n '2,14p' "$0"; exit 0 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+stage() { printf '\n=== ci: %s ===\n' "$*"; }
+
+stage "build + tier-1 tests"
+cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+cmake --build build -j "$(nproc)"
+ctest --test-dir build -j "$(nproc)" --output-on-failure
+
+stage "lint"
+scripts/lint.sh --format build
+
+stage "KVSIM_AUDIT=ON tests"
+cmake -B build-audit -S . -DKVSIM_AUDIT=ON
+cmake --build build-audit -j "$(nproc)"
+ctest --test-dir build-audit -j "$(nproc)" --output-on-failure
+
+if [ "$FAST" = 0 ]; then
+  stage "sanitizers"
+  scripts/sanitize.sh
+else
+  stage "sanitizers skipped (--fast)"
+fi
+
+stage "all gates passed"
