@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Wall-clock perf gate for the simulation core (see docs/API.md
+# "Simulation core").
+#
+# Usage:
+#   scripts/bench.sh               full google-benchmark microbenchmark run
+#   scripts/bench.sh --smoke       timed smoke run of the event-queue cycle;
+#                                  fails when events/sec regresses >20%
+#                                  against the committed BENCH_sim.json, or
+#                                  when the steady state allocates
+#   scripts/bench.sh --update      re-measure and rewrite BENCH_sim.json
+#
+# An optional trailing argument overrides the build directory (default:
+# build). The smoke gate is wired into scripts/ci.sh.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+MODE=full
+BUILD_DIR=build
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) MODE=smoke ;;
+    --update) MODE=update ;;
+    -h|--help) sed -n '2,14p' "$0"; exit 0 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+
+BASELINE=BENCH_sim.json
+CURRENT="$BUILD_DIR/BENCH_sim.json"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" --target bench_sim_micro -j "$(nproc)"
+
+if [ "$MODE" = full ]; then
+  exec "$BUILD_DIR/bench/bench_sim_micro"
+fi
+
+"$BUILD_DIR/bench/bench_sim_micro" --kvsim_json="$CURRENT"
+
+if [ "$MODE" = update ]; then
+  cp "$CURRENT" "$BASELINE"
+  echo "bench: baseline $BASELINE updated"
+  exit 0
+fi
+
+# --smoke: compare against the committed baseline.
+if [ ! -f "$BASELINE" ]; then
+  echo "bench: no committed $BASELINE; run scripts/bench.sh --update" >&2
+  exit 1
+fi
+
+python3 - "$BASELINE" "$CURRENT" <<'EOF'
+import json, sys
+
+base = json.load(open(sys.argv[1]))
+cur = json.load(open(sys.argv[2]))
+floor = 0.8 * base["events_per_sec"]  # 20% regression budget
+print(f"bench smoke: {cur['events_per_sec'] / 1e6:.2f}M events/s "
+      f"(baseline {base['events_per_sec'] / 1e6:.2f}M, "
+      f"floor {floor / 1e6:.2f}M), "
+      f"{cur['allocs_per_event']:.4f} allocs/event")
+if cur["events_per_sec"] < floor:
+    sys.exit("bench smoke FAILED: events/sec regressed more than 20% -- "
+             "if intentional, rerun scripts/bench.sh --update")
+if cur["allocs_per_event"] >= 0.01:
+    sys.exit("bench smoke FAILED: steady-state event cycle allocates "
+             f"({cur['allocs_per_event']:.4f} allocs/event; expected ~0)")
+print("bench smoke passed")
+EOF

@@ -153,9 +153,12 @@ def strong_capture_of(capture_list: str, var: str) -> str | None:
 # Regex/tokenizer engine
 # ---------------------------------------------------------------------------
 
+# Chain heads: shared std::function (the original idiom) or shared
+# sim::Task (the event queue's native callback type schedules sink).
 DECL_RE = re.compile(
     r"\bauto\s+(\w+)\s*=\s*(?:::)?std\s*::\s*make_shared\s*<\s*"
-    r"(?:::)?std\s*::\s*function\b")
+    r"(?:(?:::)?std\s*::\s*function\b"
+    r"|(?:(?:::)?kvsim\s*::\s*)?(?:sim\s*::\s*)?Task\s*>)")
 
 ASSIGN_RE_TMPL = r"\*\s*{var}\s*=\s*\["
 
@@ -223,7 +226,8 @@ def verify_with_libclang(path: str, findings: list[Finding]) -> list[Finding]:
         for cur in tu.cursor.walk_preorder():
             if cur.kind == ci.CursorKind.VAR_DECL and \
                     "shared_ptr" in cur.type.spelling and \
-                    "function" in cur.type.spelling:
+                    ("function" in cur.type.spelling or
+                     "Task" in cur.type.spelling):
                 shared_ptr_vars.add(cur.spelling)
         return [f for f in findings if f.var in shared_ptr_vars]
     except Exception:

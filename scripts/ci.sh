@@ -7,7 +7,9 @@
 #   3. the same test suite compiled with -DKVSIM_AUDIT=ON, so every
 #      workload the tests run is cross-checked against the shadow
 #      invariant auditors (see docs/API.md "Developing");
-#   4. the suite under ASan/UBSan via scripts/sanitize.sh.
+#   4. the simulation-core perf smoke (scripts/bench.sh --smoke), failing
+#      on >20% events/sec regression vs the committed BENCH_sim.json;
+#   5. the suite under ASan/UBSan via scripts/sanitize.sh.
 #
 # Usage: scripts/ci.sh [--fast]
 #   --fast  skip the sanitizer pass (slowest stage) for quick local runs.
@@ -19,7 +21,7 @@ FAST=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
-    -h|--help) sed -n '2,14p' "$0"; exit 0 ;;
+    -h|--help) sed -n '2,15p' "$0"; exit 0 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -38,6 +40,9 @@ stage "KVSIM_AUDIT=ON tests"
 cmake -B build-audit -S . -DKVSIM_AUDIT=ON
 cmake --build build-audit -j "$(nproc)"
 ctest --test-dir build-audit -j "$(nproc)" --output-on-failure
+
+stage "bench smoke"
+scripts/bench.sh --smoke
 
 if [ "$FAST" = 0 ]; then
   stage "sanitizers"

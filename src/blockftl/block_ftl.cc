@@ -13,13 +13,13 @@ namespace {
 /// Countdown latch: runs `then` after `remaining` arrivals.
 struct Join {
   int remaining;
-  std::function<void()> then;
+  sim::Task then;
   void arrive() {
     if (--remaining == 0) then();
   }
 };
 using JoinPtr = std::shared_ptr<Join>;
-JoinPtr make_join(int n, std::function<void()> then) {
+JoinPtr make_join(int n, sim::Task then) {
   return std::make_shared<Join>(Join{n, std::move(then)});
 }
 }  // namespace
@@ -302,14 +302,25 @@ void BlockFtl::read(Lba lba, u32 bytes, ReadDone done) {
   }
   const TimeNs cpu_done = ftl_core_.reserve(eq_.now(), cpu);
 
-  auto join = make_join((int)miss_pages.size() + 1,
+  // Miss pages batch into one die-op: one completion event feeds the DRAM
+  // cache (in issue order) and releases the host command.
+  std::vector<flash::PageRead> reads;
+  reads.reserve(miss_pages.size());
+  for (auto [p, b] : miss_pages) reads.push_back(flash::PageRead{p, b});
+
+  auto join = make_join((reads.empty() ? 0 : 1) + 1,
                         [fp, done = std::move(done)] { done(Status::kOk, fp); });
   eq_.schedule_at(cpu_done, [join] { join->arrive(); });
-  for (auto [p, b] : miss_pages)
-    flash_.read_page(p, b, [this, p, join] {
-      cache_insert(p);
-      join->arrive();
-    });
+  if (!reads.empty()) {
+    std::vector<flash::PageId> fetched;
+    fetched.reserve(reads.size());
+    for (const auto& r : reads) fetched.push_back(r.page);
+    flash_.read_multi(reads.data(), (u32)reads.size(),
+                      [this, join, fetched = std::move(fetched)] {
+                        for (flash::PageId p : fetched) cache_insert(p);
+                        join->arrive();
+                      });
+  }
 
   if (cfg_.readahead && read_streak_ >= cfg_.seq_run_threshold)
     maybe_readahead(last + 1);
@@ -361,7 +372,7 @@ void BlockFtl::trim(Lba lba, u64 bytes, Done done) {
   eq_.schedule_at(t, [done = std::move(done)] { done(Status::kOk); });
 }
 
-void BlockFtl::flush(std::function<void()> done) {
+void BlockFtl::flush(sim::Task done) {
   audit_verify();
   for (auto& wp : wps_)
     if (!wp.pending.empty()) seal_page(wp, false);
@@ -442,20 +453,19 @@ void BlockFtl::run_gc() {
     finish_gc(victim);
     return;
   }
-  // Read every page holding valid slots, then migrate.
-  std::vector<flash::PageId> pages;
+  // Read every page holding valid slots as one batched die-op, then
+  // migrate when the last page lands.
+  std::vector<flash::PageRead> reads;
   for (u32 pg = 0; pg < geom_.pages_per_block; ++pg) {
     const flash::PageId p = geom_.page_id(victim, pg);
     for (u32 s = 0; s < slots_per_page(); ++s)
       if (rmap_[slot_index(p, s)] != kUnmapped) {
-        pages.push_back(p);
+        reads.push_back(flash::PageRead{p, geom_.page_bytes});
         break;
       }
   }
-  auto join = make_join((int)pages.size(),
-                        [this, victim] { migrate_and_erase(victim); });
-  for (flash::PageId p : pages)
-    flash_.read_page(p, geom_.page_bytes, [join] { join->arrive(); });
+  flash_.read_multi(reads.data(), (u32)reads.size(),
+                    [this, victim] { migrate_and_erase(victim); });
 }
 
 void BlockFtl::migrate_and_erase(flash::BlockId victim) {

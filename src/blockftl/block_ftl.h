@@ -82,7 +82,7 @@ class BlockFtl {
 
   /// Force all partially-filled write-point pages to program, then run
   /// `done` once every outstanding program has completed.
-  void flush(std::function<void()> done);
+  void flush(sim::Task done);
 
   /// Host-visible capacity in bytes (raw minus over-provisioning).
   [[nodiscard]] u64 exported_bytes() const {
@@ -214,7 +214,7 @@ class BlockFtl {
 
   // flush/drain bookkeeping
   u64 outstanding_programs_ = 0;
-  std::vector<std::function<void()>> drain_waiters_;
+  std::vector<sim::Task> drain_waiters_;
 
   // KVSIM_AUDIT shadow models (null when auditing is compiled out)
   std::unique_ptr<ssd::FlashAudit> flash_audit_;

@@ -15,7 +15,7 @@ FlashController::FlashController(sim::EventQueue& eq,
       channels_(geom.channels),
       retry_rng_(0xecc0ecc0ecc0ull) {}
 
-void FlashController::read_page(PageId p, u32 bytes, Done done) {
+TimeNs FlashController::charge_read(PageId p, u32 bytes) {
   if (audit_) audit_->on_read(p, bytes);
   const u64 die = geom_.die_of_page(p);
   const u32 ch = geom_.channel_of_page(p);
@@ -43,7 +43,26 @@ void FlashController::read_page(PageId p, u32 bytes, Done done) {
   read_stages_.total.record(xfer.done - eq_.now());
   ++stats_.page_reads;
   stats_.bytes_read += bytes;
-  eq_.schedule_at(xfer.done, std::move(done));
+  return xfer.done;
+}
+
+void FlashController::read_page(PageId p, u32 bytes, Done done) {
+  eq_.schedule_at(charge_read(p, bytes), std::move(done));
+}
+
+void FlashController::read_multi(const PageRead* pages, u32 count,
+                                 Done done) {
+  if (count == 0) {
+    eq_.schedule_after(0, std::move(done));
+    return;
+  }
+  // Charge pages in array order so retry draws, reservation order, and
+  // stage samples match count separate read_page calls exactly; the only
+  // difference is the single completion event at the slowest page's time.
+  TimeNs latest = 0;
+  for (u32 i = 0; i < count; ++i)
+    latest = std::max(latest, charge_read(pages[i].page, pages[i].bytes));
+  eq_.schedule_at(latest, std::move(done));
 }
 
 void FlashController::program_page(PageId p, u32 bytes, Done done) {

@@ -13,6 +13,13 @@
 // multi-plane program MUST share a die (and hence a channel); the
 // controller rejects calls that cross a die boundary.
 //
+// Completion batching: multi-page operations (program_multi, read_multi)
+// schedule ONE completion event per call — at the completion time of the
+// slowest page — instead of one event per page. Per-page timing is still
+// charged page by page in issue order (reservation order, retry draws,
+// stats, and stage-breakdown samples are identical to issuing the pages
+// individually); only the number of event-queue entries shrinks.
+//
 // Every operation records a stage-breakdown into per-op-type latency
 // histograms (die wait vs. die service vs. channel wait vs. transfer), the
 // simulator's equivalent of decomposing device latency into queueing and
@@ -20,15 +27,21 @@
 // exposed for utilization telemetry.
 #pragma once
 
-#include <functional>
 #include <vector>
 
 #include "common/histogram.h"
 #include "common/rng.h"
 #include "flash/geometry.h"
 #include "sim/event_queue.h"
+#include "sim/task.h"
 
 namespace kvsim::flash {
+
+/// One page of a batched multi-page read (see FlashController::read_multi).
+struct PageRead {
+  PageId page = 0;
+  u32 bytes = 0;  ///< payload bytes to transfer (<= page size)
+};
 
 struct FlashStats {
   u64 page_reads = 0;
@@ -76,7 +89,7 @@ class FlashAuditSink {
 
 class FlashController {
  public:
-  using Done = std::function<void()>;
+  using Done = sim::Task;
 
   /// Retry rounds per read are bounded so a misconfigured retry
   /// probability (>= 1) degrades latency instead of livelocking.
@@ -87,6 +100,13 @@ class FlashController {
 
   /// Read `bytes` (<= page size) out of page `p`; `done` runs at completion.
   void read_page(PageId p, u32 bytes, Done done);
+
+  /// Read `count` pages as one host-visible operation with a single
+  /// completion event: each page charges the exact per-page read pipeline
+  /// in array order (telemetry still records one sample per page), and
+  /// `done` runs once, when the slowest page completes. Pages may span
+  /// dies and channels. `count == 0` completes on the current tick.
+  void read_multi(const PageRead* pages, u32 count, Done done);
 
   /// Program a full page holding `bytes` of payload.
   void program_page(PageId p, u32 bytes, Done done);
@@ -145,6 +165,10 @@ class FlashController {
   [[nodiscard]] FlashAuditSink* audit() const { return audit_; }
 
  private:
+  /// Charge one page read (audit, retry draws, reservations, stats,
+  /// stage samples) and return its completion time without scheduling.
+  TimeNs charge_read(PageId p, u32 bytes);
+
   sim::EventQueue& eq_;
   FlashGeometry geom_;
   FlashTiming timing_;

@@ -11,13 +11,13 @@ constexpr u32 kPendingBlock = 0xffffffffu;  // chunk awaiting placement
 
 struct Join {
   int remaining;
-  std::function<void()> then;
+  sim::Task then;
   void arrive() {
     if (--remaining == 0) then();
   }
 };
 using JoinPtr = std::shared_ptr<Join>;
-JoinPtr make_join(int n, std::function<void()> then) {
+JoinPtr make_join(int n, sim::Task then) {
   return std::make_shared<Join>(Join{n, std::move(then)});
 }
 }  // namespace
@@ -477,8 +477,8 @@ void KvFtl::retrieve(std::string_view key, RetrieveDone done, u8 nsid) {
     return;
   }
 
-  int flash_chunks = 0, buffered_chunks = 0;
-  std::vector<std::pair<flash::PageId, u32>> reads;
+  int buffered_chunks = 0;
+  std::vector<flash::PageRead> reads;
   for (const ChunkRef& ref : blob.chunks) {
     if (ref.block == kPendingBlock) {
       ++buffered_chunks;
@@ -489,21 +489,24 @@ void KvFtl::retrieve(std::string_view key, RetrieveDone done, u8 nsid) {
     if (buffered_pages_.count(page)) {
       ++buffered_chunks;
     } else {
-      ++flash_chunks;
-      reads.emplace_back(page, (u32)rec.slot_count * cfg_.slot_bytes);
+      reads.push_back(
+          flash::PageRead{page, (u32)rec.slot_count * cfg_.slot_bytes});
     }
   }
 
+  // All flash chunks of the blob batch into one die-op completion: the
+  // host sees the value when its slowest chunk arrives either way.
   auto join = make_join(
-      1 + (int)ic.segment_reads + flash_chunks + buffered_chunks,
+      1 + (int)ic.segment_reads + (reads.empty() ? 0 : 1) + buffered_chunks,
       [this, khash, out, done = std::move(done)] {
         read_cache_insert(khash, out.size);
         done(Status::kOk, out);
       });
   eq_.schedule_at(t_mgr, [join] { join->arrive(); });
   charge_index_cost(ic, [join] { join->arrive(); });
-  for (auto [page, bytes] : reads)
-    flash_.read_page(page, bytes, [join] { join->arrive(); });
+  if (!reads.empty())
+    flash_.read_multi(reads.data(), (u32)reads.size(),
+                      [join] { join->arrive(); });
   for (int i = 0; i < buffered_chunks; ++i)
     eq_.schedule_after(cfg_.cache_hit_ns, [join] { join->arrive(); });
 }
@@ -588,7 +591,7 @@ void KvFtl::iterate_bucket(
     flash_.read_page(next_index_page(), 4 * KiB, [join] { join->arrive(); });
 }
 
-void KvFtl::charge_iterator_read(std::function<void()> done) {
+void KvFtl::charge_iterator_read(sim::Task done) {
   const TimeNs t_disp = kv_core_.reserve(eq_.now(), cfg_.dispatch_ns);
   (void)t_disp;
   flash_.read_page(next_index_page(), 4 * KiB, std::move(done));
@@ -673,7 +676,7 @@ void KvFtl::charge_index_cost(const IndexCost& cost,
 // Flush / drain
 // ---------------------------------------------------------------------------
 
-void KvFtl::flush(std::function<void()> done) {
+void KvFtl::flush(sim::Task done) {
   audit_verify();
   for (auto& lane : lanes_)
     if (lane.block && lane.used_slots > 0) {
@@ -751,19 +754,19 @@ void KvFtl::run_gc() {
     finish_gc(victim);
     return;
   }
-  // Read every page that still holds valid chunks.
-  std::vector<flash::PageId> pages;
+  // Read every page that still holds valid chunks — one batched die-op
+  // with a single completion (migration starts when the last page lands).
+  std::vector<flash::PageRead> reads;
   u16 last_page = 0xffff;
   // recs are appended in page order, so valid pages appear in order.
   for (const ChunkRec& rec : blocks_[victim].recs) {
     if (!rec.valid || rec.page == last_page) continue;
     last_page = rec.page;
-    pages.push_back(geom_.page_id(victim, rec.page));
+    reads.push_back(
+        flash::PageRead{geom_.page_id(victim, rec.page), geom_.page_bytes});
   }
-  auto join = make_join((int)pages.size(),
-                        [this, victim] { migrate_and_erase(victim); });
-  for (flash::PageId p : pages)
-    flash_.read_page(p, geom_.page_bytes, [join] { join->arrive(); });
+  flash_.read_multi(reads.data(), (u32)reads.size(),
+                    [this, victim] { migrate_and_erase(victim); });
 }
 
 void KvFtl::migrate_and_erase(flash::BlockId victim) {

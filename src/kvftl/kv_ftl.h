@@ -105,7 +105,7 @@ class KvFtl {
   void exist(std::string_view key, ExistDone done, u8 nsid = 0);
 
   /// Program all partial pages and run `done` when the device is quiet.
-  void flush(std::function<void()> done);
+  void flush(sim::Task done);
 
   /// Iterator support: non-empty bucket groups, and the keys of one group
   /// (hash order). `done` receives the keys; timing charges one flash read
@@ -115,7 +115,7 @@ class KvFtl {
                       std::function<void(std::vector<std::string>)> done);
   /// Charge one iterator-record page read (cursor-based iteration reads
   /// one 4 KiB bucket page per batch); `done` runs at completion.
-  void charge_iterator_read(std::function<void()> done);
+  void charge_iterator_read(sim::Task done);
   /// Snapshot one bucket's keys without timing charges (iterator open).
   [[nodiscard]] std::vector<std::string> snapshot_bucket(u32 bucket) const {
     return iters_.bucket_keys(bucket);
@@ -294,7 +294,7 @@ class KvFtl {
   u64 read_cache_hits_ = 0;
 
   u64 outstanding_programs_ = 0;
-  std::vector<std::function<void()>> drain_waiters_;
+  std::vector<sim::Task> drain_waiters_;
 
   // KVSIM_AUDIT shadow models (null when auditing is compiled out)
   std::unique_ptr<ssd::FlashAudit> flash_audit_;

@@ -11,10 +11,9 @@
 // multi-command operations back to one.
 #pragma once
 
-#include <functional>
-
 #include "common/types.h"
 #include "sim/event_queue.h"
+#include "sim/task.h"
 
 namespace kvsim::nvme {
 
@@ -50,7 +49,7 @@ class NvmeLink {
   /// `payload_bytes` over the bus; `at_device` runs when the device may
   /// begin executing it. Host submission work is accounted to
   /// host_cpu_ns().
-  void submit(u32 ncmds, u64 payload_bytes, std::function<void()> at_device) {
+  void submit(u32 ncmds, u64 payload_bytes, sim::Task at_device) {
     host_cpu_ns_ += (u64)ncmds * cfg_.host_submit_ns;
     commands_issued_ += ncmds;
     TimeNs t = eq_.now();
@@ -65,7 +64,7 @@ class NvmeLink {
   }
 
   /// Deliver a completion (optionally with read payload) back to the host.
-  void complete(u64 payload_bytes, std::function<void()> at_host) {
+  void complete(u64 payload_bytes, sim::Task at_host) {
     host_cpu_ns_ += cfg_.completion_ns;
     TimeNs t = eq_.now();
     if (payload_bytes > 0)

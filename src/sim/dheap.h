@@ -1,0 +1,74 @@
+// D-ary array heap.
+//
+// The event queue's ordering structure: a flat std::vector laid out as an
+// implicit Arity-way tree. Wider nodes trade a few extra comparisons per
+// level for half the levels (and half the cache misses) of a binary heap,
+// which is the right trade for the simulator's small POD heap entries.
+// Element order for equal keys is whatever the comparator says — the
+// event queue feeds (time, seq) pairs so ties are total-ordered and the
+// pop sequence is identical for every arity (event_queue_test pins this).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace kvsim::sim {
+
+template <typename T, unsigned Arity, typename Earlier>
+class DHeap {
+  static_assert(Arity >= 2, "a heap needs at least two children per node");
+
+ public:
+  [[nodiscard]] bool empty() const { return v_.empty(); }
+  [[nodiscard]] std::size_t size() const { return v_.size(); }
+  [[nodiscard]] const T& top() const { return v_.front(); }
+  void reserve(std::size_t n) { v_.reserve(n); }
+
+  void push(T x) {
+    std::size_t i = v_.size();
+    v_.push_back(x);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / Arity;
+      if (!earlier_(v_[i], v_[parent])) break;
+      T tmp = v_[i];
+      v_[i] = v_[parent];
+      v_[parent] = tmp;
+      i = parent;
+    }
+  }
+
+  /// Remove and return the earliest element.
+  T pop_top() {
+    T out = v_.front();
+    const T last = v_.back();
+    v_.pop_back();
+    if (!v_.empty()) sift_down(last);
+    return out;
+  }
+
+ private:
+  /// Place `x` (the old tail) starting at the root, walking the hole down
+  /// to where `x` belongs.
+  void sift_down(T x) {
+    const std::size_t n = v_.size();
+    std::size_t i = 0;
+    while (true) {
+      const std::size_t first = i * Arity + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t end =
+          first + Arity < n ? first + Arity : n;
+      for (std::size_t c = first + 1; c < end; ++c)
+        if (earlier_(v_[c], v_[best])) best = c;
+      if (!earlier_(v_[best], x)) break;
+      v_[i] = v_[best];
+      i = best;
+    }
+    v_[i] = x;
+  }
+
+  Earlier earlier_;
+  std::vector<T> v_;
+};
+
+}  // namespace kvsim::sim

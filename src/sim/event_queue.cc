@@ -1,27 +1,25 @@
 #include "sim/event_queue.h"
 
-#include <utility>
-
 namespace kvsim::sim {
 
-void EventQueue::schedule_at(TimeNs t, Callback cb) {
-  if (t < now_) {
-    t = now_;
-    ++clamped_;
+EventQueue::~EventQueue() {
+  // Destroy the callbacks of events still pending (the heap owns their
+  // pool slots; the pool slabs are raw storage and destroy nothing).
+  while (!heap_.empty()) {
+    const Entry e = heap_.pop_top();
+    slot_ptr(e.slot)->~Task();
   }
-  heap_.push(Event{t, seq_++, std::move(cb)});
 }
 
-bool EventQueue::step() {
-  if (heap_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast, which is safe
-  // because the element is popped immediately after.
-  Event ev = std::move(const_cast<Event&>(heap_.top()));
-  heap_.pop();
-  now_ = ev.time;
-  ++processed_;
-  ev.cb();
-  return true;
+void EventQueue::grow_pool() {
+  const u32 base = (u32)slabs_.size() * kSlabTasks;
+  slabs_.push_back(
+      std::make_unique<std::byte[]>(sizeof(Task) * kSlabTasks));
+  free_slots_.reserve(free_slots_.size() + kSlabTasks);
+  // Push in reverse so slots hand out in ascending order (cosmetic, but
+  // keeps early events in the first cache lines of the slab).
+  for (u32 i = kSlabTasks; i > 0; --i)
+    free_slots_.push_back(base + i - 1);
 }
 
 void EventQueue::run() {

@@ -4,19 +4,33 @@
 // runners) advances by scheduling callbacks on one shared EventQueue. Time
 // is integer nanoseconds; ties are broken by insertion order so runs are
 // fully deterministic.
+//
+// Hot-path design (see docs/API.md "Simulation core"):
+//  * callbacks are sim::Task — a move-only wrapper whose 48 B inline
+//    buffer holds the common capture without heap allocation;
+//  * the pending set is a 4-ary heap of 24 B POD entries (time, seq,
+//    slot); sifting moves only PODs, never callbacks;
+//  * callbacks live in a slab-backed pool of recycled Task slots, so a
+//    steady-state schedule→run cycle allocates nothing.
 #pragma once
 
-#include <functional>
-#include <queue>
+#include <memory>
 #include <vector>
 
 #include "common/types.h"
+#include "sim/dheap.h"
+#include "sim/task.h"
 
 namespace kvsim::sim {
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = Task;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+  ~EventQueue();
 
   /// Current simulated time.
   [[nodiscard]] TimeNs now() const { return now_; }
@@ -26,20 +40,38 @@ class EventQueue {
   /// a completion time before the current time, which silently reorders
   /// causality. The KVSIM_AUDIT build treats a nonzero clamp count as an
   /// invariant violation (see ssd/audit.h).
-  void schedule_at(TimeNs t, Callback cb);
+  void schedule_at(TimeNs t, Task cb) {
+    if (t < now_) {
+      t = now_;
+      ++clamped_;
+    }
+    heap_.push(Entry{t, seq_++, pool_put(std::move(cb))});
+  }
 
   /// Schedule `cb` `delay` ns from now.
-  void schedule_after(TimeNs delay, Callback cb) {
+  void schedule_after(TimeNs delay, Task cb) {
     schedule_at(now_ + delay, std::move(cb));
   }
 
   /// Pop and run the earliest event. Returns false if the queue is empty.
-  bool step();
+  bool step() {
+    if (heap_.empty()) return false;
+    const Entry e = heap_.pop_top();
+    now_ = e.time;
+    ++processed_;
+    // Move the callback out and free its slot *before* invoking, so a
+    // re-entrant schedule_at from inside the callback may recycle it.
+    Task cb = pool_take(e.slot);
+    cb();
+    return true;
+  }
 
   /// Run until the queue drains.
   void run();
 
-  /// Run until simulated time reaches `t` or the queue drains.
+  /// Run until simulated time reaches `t` or the queue drains. An event
+  /// scheduled exactly at `t` still runs; now() ends at `t` even when the
+  /// queue drained earlier.
   void run_until(TimeNs t);
 
   [[nodiscard]] bool empty() const { return heap_.empty(); }
@@ -48,18 +80,45 @@ class EventQueue {
   [[nodiscard]] u64 clamped_schedules() const { return clamped_; }
 
  private:
-  struct Event {
+  /// Heap entry: ordering key plus the pool slot owning the callback.
+  struct Entry {
     TimeNs time;
     u64 seq;
-    Callback cb;
+    u32 slot;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+  struct Earlier {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.time != b.time ? a.time < b.time : a.seq < b.seq;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  /// Tasks per pool slab. One slab is ~28 KiB — large enough that slab
+  /// grabs are rare, small enough that an idle queue stays cheap.
+  static constexpr u32 kSlabTasks = 512;
+
+  [[nodiscard]] Task* slot_ptr(u32 slot) {
+    return reinterpret_cast<Task*>(slabs_[slot / kSlabTasks].get()) +
+           slot % kSlabTasks;
+  }
+  u32 pool_put(Task&& cb) {
+    if (free_slots_.empty()) grow_pool();
+    const u32 slot = free_slots_.back();
+    free_slots_.pop_back();
+    ::new (static_cast<void*>(slot_ptr(slot))) Task(std::move(cb));
+    return slot;
+  }
+  Task pool_take(u32 slot) {
+    Task* p = slot_ptr(slot);
+    Task out = std::move(*p);
+    p->~Task();
+    free_slots_.push_back(slot);
+    return out;
+  }
+  void grow_pool();
+
+  DHeap<Entry, 4, Earlier> heap_;
+  std::vector<std::unique_ptr<std::byte[]>> slabs_;
+  std::vector<u32> free_slots_;
   TimeNs now_ = 0;
   u64 seq_ = 0;
   u64 processed_ = 0;

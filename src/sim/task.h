@@ -1,0 +1,126 @@
+// sim::Task — the simulator's one-shot completion callback.
+//
+// A move-only replacement for std::function<void()> on the event hot
+// path. The common simulator capture (a couple of pointers, a shared_ptr
+// join latch, a timestamp) fits the 48-byte inline buffer, so scheduling
+// an event never touches the heap; larger or over-aligned callables fall
+// back to a single heap allocation, preserving exact semantics (no
+// slicing, destructor runs exactly once). Unlike std::function, Task
+// accepts move-only callables (e.g. lambdas owning a unique_ptr).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace kvsim::sim {
+
+class Task {
+ public:
+  /// Inline small-buffer capacity in bytes. Callables at most this big
+  /// (with fundamental alignment and a noexcept move) are stored inline.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  Task() noexcept = default;
+  Task(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  /// Wrap any void() callable. Intentionally implicit so every existing
+  /// call site passing a lambda or std::function keeps compiling.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, Task> &&
+                !std::is_same_v<std::remove_cvref_t<F>, std::nullptr_t> &&
+                std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
+  Task(F&& f) {  // NOLINT(google-explicit-constructor)
+    using D = std::remove_cvref_t<F>;
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) (D*)(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  Task(Task&& o) noexcept { move_from(o); }
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+  /// Invoke the callable. Must hold one (not be empty / moved-from).
+  void operator()() { ops_->invoke(buf_); }
+
+  /// True when the callable lives in the inline buffer (test hook for the
+  /// allocation-regression suite).
+  [[nodiscard]] bool is_inline() const noexcept {
+    return ops_ != nullptr && ops_->inline_stored;
+  }
+
+  /// Whether a callable of type D would be stored inline.
+  template <typename D>
+  [[nodiscard]] static constexpr bool fits_inline() {
+    return sizeof(D) <= kInlineBytes &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-construct into dst from src, then destroy src ("relocate").
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+    bool inline_stored;
+  };
+
+  template <typename D>
+  static constexpr Ops kInlineOps{
+      [](void* p) { (*static_cast<D*>(p))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) D(std::move(*static_cast<D*>(src)));
+        static_cast<D*>(src)->~D();
+      },
+      [](void* p) noexcept { static_cast<D*>(p)->~D(); },
+      true};
+
+  template <typename D>
+  static constexpr Ops kHeapOps{
+      [](void* p) { (**static_cast<D**>(p))(); },
+      [](void* dst, void* src) noexcept {
+        *static_cast<D**>(dst) = *static_cast<D**>(src);
+      },
+      [](void* p) noexcept { delete *static_cast<D**>(p); },
+      false};
+
+  void move_from(Task& o) noexcept {
+    if (o.ops_ != nullptr) {
+      ops_ = o.ops_;
+      ops_->relocate(buf_, o.buf_);
+      o.ops_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace kvsim::sim

@@ -4,7 +4,7 @@
 
 namespace kvsim::ssd {
 
-void WriteBuffer::acquire(u64 bytes, std::function<void()> granted) {
+void WriteBuffer::acquire(u64 bytes, sim::Task granted) {
   const u64 need = bytes > capacity_ ? capacity_ : bytes;
   if (waiters_.empty() && occupied_ + need <= capacity_) {
     occupied_ += bytes > capacity_ ? capacity_ : bytes;

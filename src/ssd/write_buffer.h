@@ -8,10 +8,10 @@
 
 #include <cstddef>
 #include <deque>
-#include <functional>
 
 #include "common/types.h"
 #include "sim/event_queue.h"
+#include "sim/task.h"
 
 namespace kvsim::ssd {
 
@@ -23,7 +23,7 @@ class WriteBuffer {
   /// Request `bytes` of buffer space; `granted` runs (possibly immediately)
   /// once the space is reserved. Requests larger than the whole buffer are
   /// admitted alone (they would otherwise never fit).
-  void acquire(u64 bytes, std::function<void()> granted);
+  void acquire(u64 bytes, sim::Task granted);
 
   /// Return `bytes` of space (programs completed); admits queued writers.
   void release(u64 bytes);
@@ -38,7 +38,7 @@ class WriteBuffer {
 
   struct Waiter {
     u64 bytes;
-    std::function<void()> granted;
+    sim::Task granted;
   };
 
   sim::EventQueue& eq_;

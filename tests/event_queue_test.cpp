@@ -1,0 +1,160 @@
+// Tests of the event queue's ordering structure and semantics that the
+// fast-path rewrite (sim::Task + 4-ary slab-pooled heap) must preserve:
+// (time, seq) tie-break stability for every heap arity, run_until
+// boundary behavior, clamp counting, and re-entrant scheduling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/dheap.h"
+#include "sim/event_queue.h"
+#include "sim/task.h"
+
+namespace kvsim::sim {
+namespace {
+
+struct Key {
+  TimeNs time;
+  u64 seq;
+};
+struct KeyEarlier {
+  bool operator()(const Key& a, const Key& b) const {
+    return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+  }
+};
+
+/// Push a scrambled (time, seq) stream and pop it dry; the pop sequence
+/// must equal the stable sort regardless of arity.
+template <unsigned Arity>
+std::vector<Key> pop_sequence(const std::vector<Key>& input) {
+  DHeap<Key, Arity, KeyEarlier> heap;
+  for (const Key& k : input) heap.push(k);
+  std::vector<Key> out;
+  while (!heap.empty()) out.push_back(heap.pop_top());
+  return out;
+}
+
+TEST(DHeap, PopOrderIsIdenticalForEveryArity) {
+  Rng rng(7);
+  std::vector<Key> input;
+  // Many duplicate times so tie-breaking actually gets exercised.
+  for (u64 seq = 0; seq < 2000; ++seq)
+    input.push_back(Key{(TimeNs)rng.below(50), seq});
+
+  std::vector<Key> expect = input;
+  std::stable_sort(expect.begin(), expect.end(), KeyEarlier{});
+
+  const auto b2 = pop_sequence<2>(input);
+  const auto b4 = pop_sequence<4>(input);
+  const auto b8 = pop_sequence<8>(input);
+  ASSERT_EQ(b2.size(), expect.size());
+  for (size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(b2[i].seq, expect[i].seq) << "arity 2 diverged at " << i;
+    EXPECT_EQ(b4[i].seq, expect[i].seq) << "arity 4 diverged at " << i;
+    EXPECT_EQ(b8[i].seq, expect[i].seq) << "arity 8 diverged at " << i;
+  }
+}
+
+TEST(EventQueueOrder, RandomScheduleMatchesStableSort) {
+  EventQueue eq;
+  Rng rng(11);
+  std::vector<Key> keys;
+  std::vector<u64> fired;
+  for (u64 seq = 0; seq < 3000; ++seq) {
+    const TimeNs t = (TimeNs)rng.below(100);
+    keys.push_back(Key{t, seq});
+    eq.schedule_at(t, [seq, &fired] { fired.push_back(seq); });
+  }
+  eq.run();
+  std::stable_sort(keys.begin(), keys.end(), KeyEarlier{});
+  ASSERT_EQ(fired.size(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) EXPECT_EQ(fired[i], keys[i].seq);
+  EXPECT_EQ(eq.events_processed(), keys.size());
+}
+
+TEST(EventQueueSemantics, RunUntilRunsEventExactlyAtBoundary) {
+  EventQueue eq;
+  int fired = 0;
+  eq.schedule_at(10, [&] { ++fired; });
+  eq.schedule_at(15, [&] { ++fired; });  // exactly at the boundary
+  eq.schedule_at(16, [&] { ++fired; });
+  eq.run_until(15);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(eq.now(), 15u);
+  // Draining past the last event still advances now() to the target.
+  eq.run_until(100);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST(EventQueueSemantics, ClampCountingUnchanged) {
+  EventQueue eq;
+  eq.schedule_at(50, [] {});
+  eq.run();
+  EXPECT_EQ(eq.clamped_schedules(), 0u);
+  TimeNs fired_at = 0;
+  eq.schedule_at(10, [&] { fired_at = eq.now(); });  // in the past
+  eq.schedule_at(20, [] {});                         // also in the past
+  eq.run();
+  EXPECT_EQ(fired_at, 50u);
+  EXPECT_EQ(eq.clamped_schedules(), 2u);
+}
+
+TEST(EventQueueSemantics, ReentrantScheduleFromInsideCallback) {
+  // A callback scheduling more work may recycle its own just-freed pool
+  // slot; the chain must still run to completion in order.
+  EventQueue eq;
+  std::vector<int> order;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    order.push_back(depth);
+    if (++depth < 100) eq.schedule_after(1, recurse);
+  };
+  eq.schedule_at(0, recurse);
+  eq.run();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[(size_t)i], i);
+  EXPECT_EQ(eq.now(), 99u);
+}
+
+TEST(EventQueueSemantics, ReentrantScheduleAtSameTimeRunsAfterPeers) {
+  // An event scheduled from inside a callback at the current time gets a
+  // later seq than everything already pending, so it runs after peers
+  // already queued at that time.
+  EventQueue eq;
+  std::vector<int> order;
+  eq.schedule_at(5, [&] {
+    order.push_back(0);
+    eq.schedule_at(5, [&] { order.push_back(2); });
+  });
+  eq.schedule_at(5, [&] { order.push_back(1); });
+  eq.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueueSemantics, MoveOnlyCallablesAreAccepted) {
+  EventQueue eq;
+  auto owned = std::make_unique<int>(42);
+  int got = 0;
+  eq.schedule_at(1, [owned = std::move(owned), &got] { got = *owned; });
+  eq.run();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(EventQueueSemantics, PendingCallbacksDestroyedOnQueueDestruction) {
+  auto marker = std::make_shared<int>(0);
+  {
+    EventQueue eq;
+    eq.schedule_at(10, [marker] { ++*marker; });
+    eq.schedule_at(20, [marker] { ++*marker; });
+    // Never run: destructor must release both callbacks' captures.
+  }
+  EXPECT_EQ(marker.use_count(), 1);
+  EXPECT_EQ(*marker, 0);
+}
+
+}  // namespace
+}  // namespace kvsim::sim

@@ -1,10 +1,17 @@
 // Cross-FTL property sweeps: classic SSD identities the simulator must
 // reproduce — WAF falls with over-provisioning, throughput rises with
 // queue depth, KV round-trips hold across arbitrary value sizes, and
-// runs are bit-identical across repetitions.
+// runs are bit-identical across repetitions. The seeded differential
+// fuzzers at the bottom drive each FTL against an in-memory reference
+// model under GC pressure; scripts/ci.sh runs this binary in both the
+// normal and the KVSIM_AUDIT=ON build, so the same op streams are also
+// cross-checked against the shadow invariant auditors.
 #include <gtest/gtest.h>
 
+#include <unordered_map>
+
 #include "blockftl/block_ftl.h"
+#include "common/hash.h"
 #include "common/rng.h"
 #include "harness/runner.h"
 #include "harness/stacks.h"
@@ -159,6 +166,210 @@ TEST(FtlProperties, MixedWorkloadBitIdenticalAcrossRuns) {
   };
   EXPECT_EQ(run(), run());
 }
+
+// --- seeded differential fuzz: KvFtl vs an in-memory reference map ----------
+//
+// Random put/get/update/delete at qd=1 on a device sized so churn forces
+// garbage collection; every retrieve is checked against a plain
+// unordered_map (status, value size, and value fingerprint).
+
+class KvFtlDifferentialFuzz : public ::testing::TestWithParam<u64> {};
+
+TEST_P(KvFtlDifferentialFuzz, MatchesReferenceMapUnderGcPressure) {
+  harness::KvssdBedConfig cfg;
+  cfg.dev.geometry.channels = 2;
+  cfg.dev.geometry.dies_per_channel = 2;
+  cfg.dev.geometry.planes_per_die = 2;
+  cfg.dev.geometry.blocks_per_plane = 8;
+  cfg.dev.geometry.pages_per_block = 16;  // 32 MiB raw
+  cfg.ftl.expected_keys_hint = 2'000;
+  cfg.ftl.track_iterator_keys = false;
+  harness::KvssdBed bed(cfg);
+
+  struct RefVal {
+    u32 size;
+    u64 fp;
+  };
+  std::unordered_map<u64, RefVal> ref;  // key id -> expected value
+  Rng rng(GetParam());
+  // A key space small enough that updates rewrite live blobs: the churn
+  // programs several times the device's data-slot capacity, so garbage
+  // collection must run (and must migrate multi-chunk blobs correctly).
+  const u64 key_space = 1'000;
+  const u32 sizes[] = {16, 700, 1024, 2048, 5000, 30'000};
+
+  for (int op = 0; op < 8000; ++op) {
+    const u64 k = rng.below(key_space);
+    const std::string key = wl::make_key(k, 16);
+    const u64 dice = rng.below(100);
+    if (dice < 55) {  // put / update
+      const u32 size = sizes[rng.below(6)];
+      const u64 fp = rng.next();
+      Status st = Status::kIoError;
+      bed.store(key, ValueDesc{size, fp}, [&](Status s) { st = s; });
+      bed.eq().run();
+      if (st == Status::kOk) {
+        ref[k] = RefVal{size, fp};
+      } else {
+        // Rejected stores (capacity guard / full device) must not have
+        // mutated state; the old value must still read back below.
+        ASSERT_TRUE(st == Status::kCapacityLimit || st == Status::kDeviceFull)
+            << (int)st;
+      }
+    } else if (dice < 85) {  // get
+      std::pair<Status, ValueDesc> out{Status::kIoError, {}};
+      bed.retrieve(key, [&](Status s, ValueDesc v) { out = {s, v}; });
+      bed.eq().run();
+      const auto it = ref.find(k);
+      if (it == ref.end()) {
+        ASSERT_EQ(out.first, Status::kNotFound) << "op " << op;
+      } else {
+        ASSERT_EQ(out.first, Status::kOk) << "op " << op;
+        ASSERT_EQ(out.second.size, it->second.size) << "op " << op;
+        ASSERT_EQ(out.second.fingerprint, it->second.fp) << "op " << op;
+      }
+    } else {  // delete
+      Status st = Status::kIoError;
+      bed.remove(key, [&](Status s) { st = s; });
+      bed.eq().run();
+      ASSERT_EQ(st, ref.erase(k) ? Status::kOk : Status::kNotFound)
+          << "op " << op;
+    }
+  }
+  ASSERT_GT(bed.ftl().stats().gc_runs, 0u) << "fuzz never triggered GC";
+
+  // Full sweep: every surviving key reads back; flush audits the log.
+  for (const auto& [k, v] : ref) {
+    std::pair<Status, ValueDesc> out{Status::kIoError, {}};
+    bed.retrieve(wl::make_key(k, 16),
+                 [&](Status s, ValueDesc d) { out = {s, d}; });
+    bed.eq().run();
+    ASSERT_EQ(out.first, Status::kOk) << "key " << k;
+    ASSERT_EQ(out.second.fingerprint, v.fp) << "key " << k;
+  }
+  EXPECT_EQ(bed.ftl().kvp_count(), ref.size());
+  bool flushed = false;
+  bed.ftl().flush([&] { flushed = true; });
+  bed.eq().run();
+  EXPECT_TRUE(flushed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KvFtlDifferentialFuzz,
+                         ::testing::Values(101u, 202u, 303u));
+
+// --- seeded differential fuzz: BlockFtl vs a slot-fingerprint model ---------
+//
+// Random aligned, multi-slot, and sub-slot writes plus trims and reads
+// under GC churn. The FTL's ReadDone reports the XOR of per-slot content
+// fingerprints; the reference recomputes it from the documented contract
+// (slot i of a write stores mix64(fp_base + i), trimmed/unwritten slots
+// read as 0).
+
+class BlockFtlDifferentialFuzz : public ::testing::TestWithParam<u64> {};
+
+TEST_P(BlockFtlDifferentialFuzz, MatchesSlotFingerprintModel) {
+  ssd::SsdConfig dev;
+  dev.geometry.channels = 2;
+  dev.geometry.dies_per_channel = 2;
+  dev.geometry.planes_per_die = 2;
+  dev.geometry.blocks_per_plane = 16;
+  dev.geometry.pages_per_block = 16;  // 64 MiB raw
+  sim::EventQueue eq;
+  flash::FlashController flash(eq, dev.geometry, dev.timing);
+  blockftl::BlockFtlConfig cfg;
+  blockftl::BlockFtl ftl(eq, flash, dev, cfg);
+
+  const u64 lp = cfg.logical_page_bytes;
+  const u64 sectors_per_slot = lp / 512;
+  const u64 total_lpns = ftl.exported_bytes() / lp;
+  std::vector<u64> ref_fp(total_lpns, 0);
+  std::vector<char> mapped(total_lpns, 0);
+  Rng rng(GetParam());
+
+  auto apply_write = [&](u64 first_lpn, u64 start_b, u64 len_b, u64 fp_base) {
+    const u64 last_lpn = (start_b + len_b - 1) / lp;
+    for (u64 lpn = first_lpn; lpn <= last_lpn; ++lpn) {
+      ref_fp[lpn] = mix64(fp_base + (lpn - first_lpn));
+      mapped[lpn] = 1;
+    }
+  };
+
+  // Fill ~85% so churn below keeps garbage collection active.
+  const u64 fill = total_lpns * 85 / 100;
+  for (u64 i = 0; i < fill; ++i) {
+    ftl.write(i * sectors_per_slot, (u32)lp, i, [](Status) {});
+    apply_write(i, i * lp, lp, i);
+    if (i % 256 == 0) eq.run();
+  }
+  eq.run();
+
+  for (int op = 0; op < 4000; ++op) {
+    const u64 fp_base = 1'000'000u + (u64)op * 7919;
+    const u64 dice = rng.below(100);
+    if (dice < 45) {  // aligned write, 1-4 slots
+      const u64 n = 1 + rng.below(4);
+      const u64 lpn = rng.below(total_lpns - n);
+      Status st = Status::kIoError;
+      ftl.write(lpn * sectors_per_slot, (u32)(n * lp), fp_base,
+                [&](Status s) { st = s; });
+      eq.run();
+      ASSERT_EQ(st, Status::kOk) << "op " << op;
+      apply_write(lpn, lpn * lp, n * lp, fp_base);
+    } else if (dice < 55) {  // sub-slot write (read-modify-write path)
+      const u64 lpn = rng.below(total_lpns);
+      const u64 off_sec = rng.below(sectors_per_slot - 1);
+      const u64 len_sec = 1 + rng.below(sectors_per_slot - off_sec);
+      Status st = Status::kIoError;
+      ftl.write(lpn * sectors_per_slot + off_sec, (u32)(len_sec * 512),
+                fp_base, [&](Status s) { st = s; });
+      eq.run();
+      ASSERT_EQ(st, Status::kOk) << "op " << op;
+      apply_write(lpn, lpn * lp + off_sec * 512, len_sec * 512, fp_base);
+    } else if (dice < 65) {  // trim a slot-aligned range
+      const u64 n = 1 + rng.below(8);
+      const u64 lpn = rng.below(total_lpns - n);
+      Status st = Status::kIoError;
+      ftl.trim(lpn * sectors_per_slot, n * lp, [&](Status s) { st = s; });
+      eq.run();
+      ASSERT_EQ(st, Status::kOk) << "op " << op;
+      for (u64 i = lpn; i < lpn + n; ++i) {
+        ref_fp[i] = 0;
+        mapped[i] = 0;
+      }
+    } else {  // read a random range, 1-8 slots
+      const u64 n = 1 + rng.below(8);
+      const u64 lpn = rng.below(total_lpns - n);
+      std::pair<Status, u64> out{Status::kIoError, 0};
+      ftl.read(lpn * sectors_per_slot, (u32)(n * lp),
+               [&](Status s, u64 fp) { out = {s, fp}; });
+      eq.run();
+      u64 expect = 0;
+      for (u64 i = lpn; i < lpn + n; ++i)
+        if (mapped[i]) expect ^= ref_fp[i];
+      ASSERT_EQ(out.first, Status::kOk) << "op " << op;
+      ASSERT_EQ(out.second, expect) << "op " << op;
+    }
+  }
+  ASSERT_GT(ftl.stats().gc_runs, 0u) << "fuzz never triggered GC";
+
+  // Full sweep slot by slot, then flush (which audits the slot map).
+  for (u64 lpn = 0; lpn < total_lpns; ++lpn) {
+    std::pair<Status, u64> out{Status::kIoError, 0};
+    ftl.read(lpn * sectors_per_slot, (u32)lp,
+             [&](Status s, u64 fp) { out = {s, fp}; });
+    if (lpn % 512 == 0) eq.run();
+    eq.run();
+    ASSERT_EQ(out.first, Status::kOk) << "lpn " << lpn;
+    ASSERT_EQ(out.second, mapped[lpn] ? ref_fp[lpn] : 0u) << "lpn " << lpn;
+  }
+  bool flushed = false;
+  ftl.flush([&] { flushed = true; });
+  eq.run();
+  EXPECT_TRUE(flushed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlockFtlDifferentialFuzz,
+                         ::testing::Values(17u, 29u, 41u));
 
 }  // namespace
 }  // namespace kvsim

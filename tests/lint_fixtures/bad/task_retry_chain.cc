@@ -1,0 +1,28 @@
+// Fixture: a retry chain whose head is a shared sim::Task instead of a
+// shared std::function. The lambda stored in *retry strongly captures
+// `retry`, so the closure owns itself and leaks exactly like the
+// std::function variant — the checker must recognize sim::Task as a
+// chain-head type and flag the assignment.
+//
+// Checker fixture only; never compiled into a target.
+#include <memory>
+
+#include "sim/event_queue.h"
+#include "sim/task.h"
+
+namespace fixture {
+
+struct Device {
+  kvsim::sim::EventQueue eq;
+  int attempts = 0;
+
+  void retry_until_ready() {
+    auto retry = std::make_shared<kvsim::sim::Task>();
+    *retry = [this, retry] {  // BAD: strong self-capture
+      if (++attempts < 8) eq.schedule_after(1000, [retry] { (*retry)(); });
+    };
+    (*retry)();
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Fixture: the sim::Task retry chain written correctly — the closure
+// captures its own handle weakly and each pending event holds the only
+// strong reference, so the chain dies when the last event drains. The
+// checker must stay quiet here.
+//
+// Checker fixture only; never compiled into a target.
+#include <memory>
+
+#include "sim/event_queue.h"
+#include "sim/task.h"
+
+namespace fixture {
+
+struct Device {
+  kvsim::sim::EventQueue eq;
+  int attempts = 0;
+
+  void retry_until_ready() {
+    auto retry = std::make_shared<kvsim::sim::Task>();
+    *retry = [this, wretry = std::weak_ptr<kvsim::sim::Task>(retry)] {
+      if (++attempts >= 8) return;
+      auto retry = wretry.lock();
+      eq.schedule_after(1000, [retry] { (*retry)(); });
+    };
+    (*retry)();
+  }
+};
+
+}  // namespace fixture
