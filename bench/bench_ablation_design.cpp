@@ -37,7 +37,7 @@ double kv_store_latency_us(u64 index_dram) {
   spec.pattern = wl::Pattern::kUniform;
   spec.mix = wl::OpMix::update_only();
   spec.queue_depth = 8;
-  const auto r = run_workload(bed, spec, true);
+  const auto r = run_workload(bed, spec, {.drain_after = true});
   report().add_run("index_dram_" + std::to_string(index_dram / MiB) + "MiB",
                    r);
   return r.update.mean() / 1000.0;
@@ -55,7 +55,7 @@ double large_key_kops(bool compound) {
   spec.pattern = wl::Pattern::kUniform;
   spec.mix = wl::OpMix::insert_only();
   spec.queue_depth = 32;
-  const auto r = run_workload(bed, spec, true);
+  const auto r = run_workload(bed, spec, {.drain_after = true});
   report().add_run(compound ? "large_key/compound" : "large_key/two_command",
                    r);
   return r.throughput_ops_per_sec() / 1000.0;
@@ -127,7 +127,7 @@ double zipf_read_mean_us(u64 cache_bytes) {
   spec.pattern = wl::Pattern::kZipfian;
   spec.mix = wl::OpMix::read_only();
   spec.queue_depth = 64;
-  return run_workload(bed, spec, true).read.mean() / 1000.0;
+  return run_workload(bed, spec, {.drain_after = true}).read.mean() / 1000.0;
 }
 
 double block_write_p50_us(TimeNs reorg_ns) {

@@ -39,7 +39,7 @@ harness::RunResult run_phase(harness::KvStack& stack, wl::Pattern pattern,
   spec.seed = seed;
   // KVBench-style load phase: each key once, ordered by the pattern.
   spec.distinct_inserts = mix.insert >= 1.0;
-  return harness::run_workload(stack, spec, /*drain_after=*/true);
+  return harness::run_workload(stack, spec, {.drain_after = true});
 }
 
 }  // namespace

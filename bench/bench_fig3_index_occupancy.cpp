@@ -26,8 +26,9 @@ Point measure_kvssd(u64 fill_kvps) {
   harness::KvssdBed bed(cfg);
   harness::RunResult fill =
       harness::fill_stack(bed, fill_kvps, kKeyBytes, kValueBytes, 128);
-  if (fill.errors)
-    std::printf("  fill errors: %llu\n", (unsigned long long)fill.errors);
+  if (fill.errors.total())
+    std::printf("  fill errors: %llu\n",
+                (unsigned long long)fill.errors.total());
 
   wl::WorkloadSpec spec;
   spec.key_space = fill_kvps;
@@ -37,7 +38,7 @@ Point measure_kvssd(u64 fill_kvps) {
   spec.pattern = wl::Pattern::kUniform;
   spec.queue_depth = kQd;
   spec.mix = wl::OpMix::read_only();
-  const auto rd = run_workload(bed, spec, true);
+  const auto rd = run_workload(bed, spec, {.drain_after = true});
   report().add_run("kvssd/" + std::to_string(fill_kvps) + "kvps/read", rd);
   const double read_us = rd.read.mean() / 1000.0;
   spec.mix = wl::OpMix::update_only();
@@ -48,10 +49,10 @@ Point measure_kvssd(u64 fill_kvps) {
     wear.num_ops = 200'000;
     wear.seed = 31;
     wear.queue_depth = 64;
-    (void)run_workload(bed, wear, true);
+    (void)run_workload(bed, wear, {.drain_after = true});
   }
   spec.seed = 77;
-  const auto wr = run_workload(bed, spec, true);
+  const auto wr = run_workload(bed, spec, {.drain_after = true});
   report().add_run("kvssd/" + std::to_string(fill_kvps) + "kvps/update", wr);
   report().add_device(bed);
   const double write_us = wr.update.mean() / 1000.0;

@@ -27,13 +27,13 @@ Pair measure_kv(u32 value_bytes, u32 qd) {
   spec.mix = wl::OpMix::insert_only();
   const std::string tag =
       "kvssd/" + std::to_string(value_bytes) + "B/qd" + std::to_string(qd);
-  const auto wr = run_workload(bed, spec, true);
+  const auto wr = run_workload(bed, spec, {.drain_after = true});
   report().add_run(tag + "/write", wr);
   // Ensure full coverage for the read phase (unmeasured top-up).
   (void)harness::fill_stack(bed, kOps, kKeyBytes, value_bytes, 128, 5);
   spec.mix = wl::OpMix::read_only();
   spec.seed = 17;
-  const auto rr = run_workload(bed, spec, true);
+  const auto rr = run_workload(bed, spec, {.drain_after = true});
   report().add_run(tag + "/read", rr);
   report().add_device(bed);
   return {wr.insert.mean() / 1000.0, rr.read.mean() / 1000.0};

@@ -24,7 +24,7 @@ double kv_write_mibs(u32 value_bytes) {
   spec.pattern = wl::Pattern::kUniform;
   spec.queue_depth = kQd;
   spec.mix = wl::OpMix::insert_only();
-  const auto r = run_workload(bed, spec, true);
+  const auto r = run_workload(bed, spec, {.drain_after = true});
   report().add_run("kvssd/" + std::to_string(value_bytes) + "B", r);
   report().add_device(bed);
   return r.bandwidth_bytes_per_sec() / (double)MiB;

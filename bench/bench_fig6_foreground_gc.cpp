@@ -72,7 +72,7 @@ Timeline run_kvssd(wl::Pattern pattern) {
   spec.mix = wl::OpMix::update_only();
   spec.queue_depth = kQd;
   Timeline tl;
-  tl.result = run_workload(bed, spec, true);
+  tl.result = run_workload(bed, spec, {.drain_after = true});
   tl.gc_runs = bed.ftl().stats().gc_runs - gc0;
   tl.fg_gc = bed.ftl().stats().gc_foreground_runs - fg0;
   tl.migrated = bed.ftl().stats().gc_migrated_bytes - mig0;
@@ -111,7 +111,7 @@ Timeline run_rocksdb() {
   spec.mix = wl::OpMix::update_only();
   spec.queue_depth = kQd;
   Timeline tl;
-  tl.result = run_workload(bed, spec, true);
+  tl.result = run_workload(bed, spec, {.drain_after = true});
   tl.gc_runs = bed.ftl().stats().gc_runs - gc0;
   tl.fg_gc = bed.ftl().stats().gc_foreground_runs - fg0;
   tl.migrated = bed.ftl().stats().gc_migrated_bytes - mig0;

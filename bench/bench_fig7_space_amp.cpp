@@ -15,7 +15,9 @@ constexpr u32 kKeyBytes = 16;
 double measure_sa(harness::KvStack& stack, u32 value_bytes, bool is_lsm) {
   harness::RunResult r =
       harness::fill_stack(stack, kKvps, kKeyBytes, value_bytes, 64);
-  if (r.errors) std::printf("  (errors: %llu)\n", (unsigned long long)r.errors);
+  if (r.errors.total())
+    std::printf("  (errors: %llu)\n",
+                (unsigned long long)r.errors.total());
   if (is_lsm) stack.add_app_bytes((i64)(kKvps * (kKeyBytes + value_bytes)));
   report().add_run(std::string(stack.name()) + "/fill_" +
                        std::to_string(value_bytes) + "B",

@@ -22,7 +22,7 @@ double store_kops(u32 key_bytes, u32 qd, bool compound) {
   spec.pattern = wl::Pattern::kUniform;
   spec.mix = wl::OpMix::insert_only();
   spec.queue_depth = qd;
-  const harness::RunResult r = harness::run_workload(bed, spec, true);
+  const harness::RunResult r = harness::run_workload(bed, spec, {.drain_after = true});
   report().add_run("key" + std::to_string(key_bytes) + "B/qd" +
                        std::to_string(qd) + (compound ? "/compound" : ""),
                    r);

@@ -34,7 +34,7 @@ Obs observe(u32 value_bytes, u32 qd, bool read, u64 resident_kvps,
   spec.pattern = wl::Pattern::kUniform;
   spec.queue_depth = qd;
   spec.mix = read ? wl::OpMix::read_only() : wl::OpMix::update_only();
-  const harness::RunResult r = harness::run_workload(bed, spec, true);
+  const harness::RunResult r = harness::run_workload(bed, spec, {.drain_after = true});
   report().add_run(std::string(read ? "read" : "update") + "/" +
                        std::to_string(value_bytes) + "B/qd" +
                        std::to_string(qd),

@@ -167,9 +167,10 @@ void BM_RunWorkloadTelemetry(benchmark::State& state) {
     spec.mix = {0.5, 0.0, 0.5, 0};
     spec.queue_depth = 16;
     harness::RunOptions opts;
+    opts.drain_after = true;
     opts.telemetry = state.range(0) != 0;
     opts.telemetry_interval = kMs;
-    const auto r = harness::run_workload(bed, spec, true, nullptr, opts);
+    const auto r = harness::run_workload(bed, spec, opts);
     benchmark::DoNotOptimize(r.ops);
   }
   state.SetItemsProcessed(state.iterations() * 4000);

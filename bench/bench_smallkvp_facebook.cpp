@@ -33,7 +33,7 @@ Result run_fb(bool compound) {
   spec.mix = wl::OpMix::insert_only();
   spec.distinct_inserts = true;
   spec.queue_depth = 32;
-  const harness::RunResult r = harness::run_workload(bed, spec, true);
+  const harness::RunResult r = harness::run_workload(bed, spec, {.drain_after = true});
   report().add_run(compound ? "facebook/compound" : "facebook/two_command",
                    r);
   report().add_device(bed);

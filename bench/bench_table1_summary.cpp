@@ -34,11 +34,11 @@ E2e run_e2e(harness::KvStack& stack) {
   spec.pattern = wl::Pattern::kUniform;
   spec.queue_depth = kQd;
   spec.mix = wl::OpMix::insert_only();
-  const auto ins = run_workload(stack, spec, true);
+  const auto ins = run_workload(stack, spec, {.drain_after = true});
   (void)harness::fill_stack(stack, kOps, kKeyBytes, kValueBytes, 128, 9);
   spec.mix = wl::OpMix::update_only();
   spec.seed = 5;
-  const auto upd = run_workload(stack, spec, true);
+  const auto upd = run_workload(stack, spec, {.drain_after = true});
   report().add_run(std::string(stack.name()) + "/insert", ins);
   report().add_run(std::string(stack.name()) + "/update", upd);
   report().add_device(stack);
@@ -104,11 +104,11 @@ int main() {
     spec.queue_depth = qd;
     spec.mix = wl::OpMix::insert_only();
     Direct d;
-    d.w = run_workload(kvd, spec, true);
+    d.w = run_workload(kvd, spec, {.drain_after = true});
     (void)harness::fill_stack(kvd, kOps, kKeyBytes, kValueBytes, 128, 9);
     spec.mix = wl::OpMix::read_only();
     spec.seed = 1234;  // independent of the write sequence
-    d.r = run_workload(kvd, spec, true);
+    d.r = run_workload(kvd, spec, {.drain_after = true});
     return d;
   };
   auto blk_direct = [&](u32 qd) {

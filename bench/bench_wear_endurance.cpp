@@ -31,7 +31,7 @@ WearResult wear_kvssd(double fill, u64 rewrites) {
   spec.mix = wl::OpMix::update_only();
   spec.queue_depth = 64;
   report().add_run("kvssd/fill" + std::to_string((int)(fill * 100)) + "pct",
-                   run_workload(bed, spec, true));
+                   run_workload(bed, spec, {.drain_after = true}));
   report().add_device(bed);
   const auto& alloc = bed.ftl().allocator();
   return WearResult{bed.ftl().stats().waf(), alloc.max_erase_count(),

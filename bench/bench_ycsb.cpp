@@ -49,7 +49,7 @@ int main() {
                                 rec.value_bytes(), 128);
       wl::WorkloadSpec spec = wl::ycsb_spec(w, kRecords, kOps, rec);
       spec.queue_depth = kQd;
-      const harness::RunResult r = harness::run_workload(*stack, spec, true);
+      const harness::RunResult r = harness::run_workload(*stack, spec, {.drain_after = true});
       report().add_run(std::string(wl::to_string(w)) + "/" + which, r);
       kops[wi][si] = r.throughput_ops_per_sec() / 1000.0;
       t.add_row({wl::to_string(w), which,

@@ -78,7 +78,7 @@ int main() {
   upd.pattern = wl::Pattern::kUniform;
   upd.mix = wl::OpMix::update_only();
   upd.queue_depth = 64;
-  const harness::RunResult r = harness::run_workload(bed, upd, true);
+  const harness::RunResult r = harness::run_workload(bed, upd, {.drain_after = true});
   std::printf("  update mean %s, p99 %s, bandwidth %.1f MiB/s\n",
               format_time_ns(r.update.mean()).c_str(),
               format_time_ns((double)r.update.percentile(0.99)).c_str(),

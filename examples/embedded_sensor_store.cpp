@@ -31,7 +31,7 @@ Report run_gateway(harness::KvStack& stack, bool lsm) {
   ingest.pattern = wl::Pattern::kSequential;  // time-ordered sensor keys
   ingest.mix = wl::OpMix::insert_only();
   ingest.queue_depth = 16;  // a small embedded submission queue
-  const harness::RunResult ing = harness::run_workload(stack, ingest, true);
+  const harness::RunResult ing = harness::run_workload(stack, ingest, {.drain_after = true});
   if (lsm) stack.add_app_bytes((i64)(ingest.num_ops * (20 + 64)));
 
   // Phase 2: dashboard queries — Zipfian reads over the readings.
@@ -39,7 +39,7 @@ Report run_gateway(harness::KvStack& stack, bool lsm) {
   query.num_ops = 50'000;
   query.pattern = wl::Pattern::kZipfian;
   query.mix = wl::OpMix::read_only();
-  const harness::RunResult q = harness::run_workload(stack, query, true);
+  const harness::RunResult q = harness::run_workload(stack, query, {.drain_after = true});
 
   Report r;
   r.cpu_us_per_op = (double)(ing.host_cpu_ns + q.host_cpu_ns) /

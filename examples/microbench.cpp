@@ -115,7 +115,7 @@ int main(int argc, char** argv) {
   std::printf("kvssd %s, %u B keys, %u B values, %s, QD %u, %llu ops\n",
               op.c_str(), arg3, value_bytes, argc > 5 ? argv[5] : "rand", qd,
               (unsigned long long)ops);
-  const harness::RunResult r = harness::run_workload(bed, spec, true);
+  const harness::RunResult r = harness::run_workload(bed, spec, {.drain_after = true});
   report(op.c_str(), r,
          op == "read" ? r.read : (op == "update" ? r.update : r.insert));
   const kvftl::KvFtl& ftl = bed.ftl();

@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
   std::printf("running %s (%llu ops, QD %u)...\n", wl::to_string(w),
               (unsigned long long)ops, spec.queue_depth);
   const harness::RunResult r =
-      harness::run_workload(*stack, spec, true, &trace);
+      harness::run_workload(*stack, spec, {.drain_after = true, .trace = &trace});
 
   std::printf("\n%s on %s:\n", wl::to_string(w), stack->name());
   std::printf("  throughput : %.1f kops/s\n",

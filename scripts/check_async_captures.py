@@ -153,12 +153,14 @@ def strong_capture_of(capture_list: str, var: str) -> str | None:
 # Regex/tokenizer engine
 # ---------------------------------------------------------------------------
 
-# Chain heads: shared std::function (the original idiom) or shared
-# sim::Task (the event queue's native callback type schedules sink).
+# Chain heads: shared std::function (the original idiom), shared
+# sim::Task (the event queue's native callback type schedules sink), or
+# shared sim::Fn<Sig> (the move-only callback the stack API uses).
 DECL_RE = re.compile(
     r"\bauto\s+(\w+)\s*=\s*(?:::)?std\s*::\s*make_shared\s*<\s*"
     r"(?:(?:::)?std\s*::\s*function\b"
-    r"|(?:(?:::)?kvsim\s*::\s*)?(?:sim\s*::\s*)?Task\s*>)")
+    r"|(?:(?:::)?kvsim\s*::\s*)?(?:sim\s*::\s*)?Task\s*>"
+    r"|(?:(?:::)?kvsim\s*::\s*)?(?:sim\s*::\s*)?Fn\s*<)")
 
 ASSIGN_RE_TMPL = r"\*\s*{var}\s*=\s*\["
 

@@ -7,9 +7,12 @@
 #   3. the same test suite compiled with -DKVSIM_AUDIT=ON, so every
 #      workload the tests run is cross-checked against the shadow
 #      invariant auditors (see docs/API.md "Developing");
-#   4. the simulation-core perf smoke (scripts/bench.sh --smoke), failing
+#   4. the seeded fault smoke: the fault-injection test slice re-run on
+#      the audit build (deterministic plans, non-zero recovery counters,
+#      zero invariant violations);
+#   5. the simulation-core perf smoke (scripts/bench.sh --smoke), failing
 #      on >20% events/sec regression vs the committed BENCH_sim.json;
-#   5. the suite under ASan/UBSan via scripts/sanitize.sh.
+#   6. the suite under ASan/UBSan via scripts/sanitize.sh.
 #
 # Usage: scripts/ci.sh [--fast]
 #   --fast  skip the sanitizer pass (slowest stage) for quick local runs.
@@ -40,6 +43,15 @@ stage "KVSIM_AUDIT=ON tests"
 cmake -B build-audit -S . -DKVSIM_AUDIT=ON
 cmake --build build-audit -j "$(nproc)"
 ctest --test-dir build-audit -j "$(nproc)" --output-on-failure
+
+stage "seeded fault smoke (audit build)"
+# End-to-end fault drill under the shadow auditors: a fixed seeded plan
+# must produce deterministic reports, non-zero recovery counters (grown
+# bad blocks, remaps, re-programs, host retries), and zero invariant
+# violations. The same binary runs in stage 3; re-running the fault
+# slice here keeps the gate visible when the suite grows.
+./build-audit/tests/fault_test \
+  --gtest_filter='FaultDeterminism.*:FaultRecovery.*:FaultFree.*'
 
 stage "bench smoke"
 scripts/bench.sh --smoke

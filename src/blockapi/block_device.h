@@ -29,7 +29,8 @@ class BlockDevice {
                             done = std::move(done)]() mutable {
       ftl_.write(lba, bytes, fp_base, [this, done = std::move(done)](
                                           Status s) mutable {
-        link_.complete(0, [s, done = std::move(done)] { done(s); });
+        link_.complete(0,
+                       [s, done = std::move(done)]() mutable { done(s); });
       });
     });
   }
@@ -39,7 +40,9 @@ class BlockDevice {
     link_.submit(1, 0, [this, lba, bytes, done = std::move(done)]() mutable {
       ftl_.read(lba, bytes, [this, bytes, done = std::move(done)](
                                 Status s, u64 fp) mutable {
-        link_.complete(bytes, [s, fp, done = std::move(done)] { done(s, fp); });
+        link_.complete(bytes, [s, fp, done = std::move(done)]() mutable {
+          done(s, fp);
+        });
       });
     });
   }
@@ -48,7 +51,8 @@ class BlockDevice {
     api_cpu_ns_ += cfg_.syscall_ns;
     link_.submit(1, 0, [this, lba, bytes, done = std::move(done)]() mutable {
       ftl_.trim(lba, bytes, [this, done = std::move(done)](Status s) mutable {
-        link_.complete(0, [s, done = std::move(done)] { done(s); });
+        link_.complete(0,
+                       [s, done = std::move(done)]() mutable { done(s); });
       });
     });
   }

@@ -22,6 +22,24 @@ using JoinPtr = std::shared_ptr<Join>;
 JoinPtr make_join(int n, sim::Task then) {
   return std::make_shared<Join>(Join{n, std::move(then)});
 }
+
+/// Countdown latch that also accumulates the worst Status seen by its
+/// arrivals (first failure wins; later ones would overwrite recovery
+/// detail with no extra information).
+struct ReadJoin {
+  int remaining;
+  Status st = Status::kOk;
+  sim::Fn<void(Status)> then;
+  void fail(Status s) {
+    if (st == Status::kOk) st = s;
+  }
+  void arrive() {
+    if (--remaining == 0) then(st);
+  }
+};
+std::shared_ptr<ReadJoin> make_read_join(int n, sim::Fn<void(Status)> then) {
+  return std::make_shared<ReadJoin>(ReadJoin{n, Status::kOk, std::move(then)});
+}
 }  // namespace
 
 namespace {
@@ -70,6 +88,16 @@ BlockFtl::BlockFtl(sim::EventQueue& eq, flash::FlashController& flash,
 BlockFtl::~BlockFtl() {
   if (flash_audit_ && flash_.audit() == flash_audit_.get())
     flash_.set_audit(nullptr);
+  if (faults_ && flash_.faults() == faults_.get()) flash_.set_faults(nullptr);
+}
+
+void BlockFtl::set_fault_plan(const ssd::FaultPlan& plan) {
+  plan.validate();
+  if (faults_ && flash_.faults() == faults_.get()) flash_.set_faults(nullptr);
+  faults_.reset();
+  if (!plan.enabled) return;
+  faults_ = std::make_unique<ssd::FaultInjector>(plan, geom_, eq_);
+  flash_.set_faults(faults_.get());
 }
 
 void BlockFtl::audit_verify() const {
@@ -83,6 +111,7 @@ void BlockFtl::audit_verify() const {
 // ---------------------------------------------------------------------------
 
 void BlockFtl::write(Lba lba, u32 bytes, u64 fp_base, Done done) {
+  if (busy_rejected(done)) return;
   const u64 lp = cfg_.logical_page_bytes;
   const u64 start = lba * 512, end = start + bytes;
   if (bytes == 0 || (end + lp - 1) / lp > map_.size()) {
@@ -117,7 +146,7 @@ void BlockFtl::write(Lba lba, u32 bytes, u64 fp_base, Done done) {
       ftl_core_.reserve(eq_.now(), dispatch_ns_ + (TimeNs)n * per_slot);
 
   auto join = make_join(
-      2, [this, first, n, fp_base, seq, done = std::move(done)]() {
+      2, [this, first, n, fp_base, seq, done = std::move(done)]() mutable {
         for (u32 i = 0; i < n; ++i)
           write_slot(first + i, mix64(fp_base + i), seq);
         done(Status::kOk);
@@ -213,11 +242,14 @@ void BlockFtl::seal_page(WritePoint& wp, bool is_gc) {
   ++outstanding_programs_;
   auto issue = [this, page, real_slots, is_gc] {
     flash_.program_page(page, geom_.page_bytes, [this, page, real_slots,
-                                                 is_gc] {
+                                                 is_gc](flash::OpStatus st) {
       buffered_pages_.erase(page);
       --buffered_count_[page / geom_.pages_per_block];
       if (!is_gc)
         buffer_.release((u64)real_slots * cfg_.logical_page_bytes);
+      // Recovery before the drain check: re-driven slots may issue new
+      // programs that a flush() waiter must still wait for.
+      if (st == flash::OpStatus::kProgramFail) on_program_fail(page);
       if (--outstanding_programs_ == 0 && !drain_waiters_.empty()) {
         auto waiters = std::move(drain_waiters_);
         drain_waiters_.clear();
@@ -267,6 +299,7 @@ void BlockFtl::invalidate(u64 lpn, bool fresh_garbage) {
 // ---------------------------------------------------------------------------
 
 void BlockFtl::read(Lba lba, u32 bytes, ReadDone done) {
+  if (busy_rejected_read(done)) return;
   const u64 lp = cfg_.logical_page_bytes;
   const u64 start = lba * 512, end = start + bytes;
   if (bytes == 0 || (end + lp - 1) / lp > map_.size()) {
@@ -308,18 +341,28 @@ void BlockFtl::read(Lba lba, u32 bytes, ReadDone done) {
   reads.reserve(miss_pages.size());
   for (auto [p, b] : miss_pages) reads.push_back(flash::PageRead{p, b});
 
-  auto join = make_join((reads.empty() ? 0 : 1) + 1,
-                        [fp, done = std::move(done)] { done(Status::kOk, fp); });
+  auto join = make_read_join(
+      (reads.empty() ? 0 : 1) + 1,
+      [fp, done = std::move(done)](Status st) mutable { done(st, fp); });
   eq_.schedule_at(cpu_done, [join] { join->arrive(); });
   if (!reads.empty()) {
     std::vector<flash::PageId> fetched;
     fetched.reserve(reads.size());
     for (const auto& r : reads) fetched.push_back(r.page);
-    flash_.read_multi(reads.data(), (u32)reads.size(),
-                      [this, join, fetched = std::move(fetched)] {
-                        for (flash::PageId p : fetched) cache_insert(p);
-                        join->arrive();
-                      });
+    flash_.read_multi(
+        reads.data(), (u32)reads.size(),
+        [this, join, fetched = std::move(fetched)](flash::OpStatus st,
+                                                   flash::PageId bad) {
+          for (flash::PageId p : fetched) cache_insert(p);
+          if (st == flash::OpStatus::kUncorrectable) {
+            join->fail(Status::kMediaError);
+            on_read_media_error(bad);
+          } else if (st == flash::OpStatus::kTimeout) {
+            join->fail(Status::kTimeout);
+            ++stats_.op_timeouts;
+          }
+          join->arrive();
+        });
   }
 
   if (cfg_.readahead && read_streak_ >= cfg_.seq_run_threshold)
@@ -362,6 +405,7 @@ void BlockFtl::maybe_readahead(u64 next_lpn) {
 // ---------------------------------------------------------------------------
 
 void BlockFtl::trim(Lba lba, u64 bytes, Done done) {
+  if (busy_rejected(done)) return;
   const u64 lp = cfg_.logical_page_bytes;
   const u64 start = lba * 512, end = start + bytes;
   const u64 first = (start + lp - 1) / lp;        // first fully-covered slot
@@ -369,7 +413,8 @@ void BlockFtl::trim(Lba lba, u64 bytes, Done done) {
   for (u64 lpn = first; lpn < last_excl; ++lpn)
     invalidate(lpn, /*fresh_garbage=*/true);
   const TimeNs t = ftl_core_.reserve(eq_.now(), cfg_.trim_ns);
-  eq_.schedule_at(t, [done = std::move(done)] { done(Status::kOk); });
+  eq_.schedule_at(t,
+                  [done = std::move(done)]() mutable { done(Status::kOk); });
 }
 
 void BlockFtl::flush(sim::Task done) {
@@ -423,9 +468,13 @@ void BlockFtl::run_gc() {
     });
     for (flash::BlockId b : free_wins) {
       block_state_[b] = kErasing;
-      flash_.erase_block(b, [this, b, join] {
-        block_state_[b] = kFree;
-        alloc_.release(b);
+      flash_.erase_block(b, [this, b, join](flash::OpStatus st) {
+        if (st == flash::OpStatus::kEraseFail) {
+          retire_erase_failed(b);
+        } else {
+          block_state_[b] = kFree;
+          alloc_.release(b);
+        }
         join->arrive();
       });
     }
@@ -486,10 +535,16 @@ void BlockFtl::migrate_and_erase(flash::BlockId victim) {
 
 void BlockFtl::finish_gc(flash::BlockId victim) {
   block_state_[victim] = kErasing;
-  flash_.erase_block(victim, [this, victim] {
-    block_state_[victim] = kFree;
-    alloc_.release(victim);
-    on_block_freed();
+  flash_.erase_block(victim, [this, victim](flash::OpStatus st) {
+    if (st == flash::OpStatus::kEraseFail) {
+      // The victim is already fully migrated; it retires empty and GC
+      // keeps hunting for a healthy victim.
+      retire_erase_failed(victim);
+    } else {
+      block_state_[victim] = kFree;
+      alloc_.release(victim);
+      on_block_freed();
+    }
     if (alloc_.free_blocks() < gc_low_watermark_) {
       run_gc();
     } else {
@@ -500,6 +555,17 @@ void BlockFtl::finish_gc(flash::BlockId victim) {
 }
 
 void BlockFtl::on_block_freed() {
+  while (!recovery_starved_.empty()) {
+    const Starved s = recovery_starved_.front();
+    if (map_[s.lpn] != kUnmapped) {
+      // A newer host write (or recovery pass) superseded the queued
+      // copy while it waited; restoring it would resurrect stale data.
+      recovery_starved_.pop_front();
+      continue;
+    }
+    if (!append_slot(gc_wp_, s.lpn, s.fp, false, /*is_gc=*/true)) break;
+    recovery_starved_.pop_front();
+  }
   for (auto& wp : wps_) {
     while (!wp.starved.empty()) {
       const Starved s = wp.starved.front();
@@ -507,6 +573,113 @@ void BlockFtl::on_block_freed() {
       wp.starved.pop_front();
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Fault recovery
+// ---------------------------------------------------------------------------
+
+bool BlockFtl::busy_rejected(Done& done) {
+  if (!faults_ || !faults_->host_busy()) return false;
+  ++stats_.busy_rejections;
+  eq_.schedule_after(dispatch_ns_, [done = std::move(done)]() mutable {
+    done(Status::kDeviceBusy);
+  });
+  return true;
+}
+
+bool BlockFtl::busy_rejected_read(ReadDone& done) {
+  if (!faults_ || !faults_->host_busy()) return false;
+  ++stats_.busy_rejections;
+  eq_.schedule_after(dispatch_ns_, [done = std::move(done)]() mutable {
+    done(Status::kDeviceBusy, 0);
+  });
+  return true;
+}
+
+void BlockFtl::relocate_page_slots(flash::PageId p) {
+  for (u32 s = 0; s < slots_per_page(); ++s) {
+    const u64 gsi = slot_index(p, s);
+    const u64 lpn = rmap_[gsi];
+    if (lpn == kUnmapped) continue;
+    const u64 fp = content_[gsi];
+    ++stats_.remapped_units;
+    if (!append_slot(gc_wp_, lpn, fp, false, /*is_gc=*/true)) {
+      // No block anywhere (even the reserve is gone): hold the rebuilt
+      // slot in the recovery queue. Unmapping now keeps the map honest —
+      // a queued slot is firmware state, not flash state.
+      invalidate(lpn, /*fresh_garbage=*/false);
+      recovery_starved_.push_back(Starved{lpn, fp, false});
+    }
+  }
+}
+
+void BlockFtl::on_read_media_error(flash::PageId p) {
+  ++stats_.read_media_errors;
+  // The failing command already spent its retry budget and surfaces
+  // kMediaError; device-side scrub (RAID/parity rebuild) immediately
+  // remaps every live slot of the page, so a host *retry* finds the
+  // rebuilt copy on a healthy block (it sits in the write buffer until
+  // its new page programs).
+  relocate_page_slots(p);
+}
+
+void BlockFtl::on_program_fail(flash::PageId page) {
+  ++stats_.program_failures;
+  ++stats_.reprogrammed_pages;
+  // Retire first so the re-drive below can never target the bad block
+  // (the GC write point might be the one that owns it).
+  retire_block(geom_.block_of_page(page));
+  relocate_page_slots(page);
+}
+
+void BlockFtl::retire_block(flash::BlockId b) {
+  if (block_state_[b] == kBad) return;
+  for (auto& wp : wps_) close_write_point(wp, b);
+  close_write_point(gc_wp_, b);
+  block_state_[b] = kBad;
+  ++stats_.grown_bad_blocks;
+  // Not released to the allocator: the block is dead capacity. Remaining
+  // sealed pages stay readable until their slots are invalidated.
+}
+
+void BlockFtl::close_write_point(WritePoint& wp, flash::BlockId b) {
+  if (!wp.block || *wp.block != b) return;
+  const bool is_gc_wp = (&wp == &gc_wp_);
+  const flash::PageId open_page = geom_.page_id(b, wp.next_page);
+  const u32 npend = (u32)wp.pending.size();
+  std::vector<Starved> pend;
+  pend.reserve(npend);
+  for (u32 s = 0; s < npend; ++s) {
+    const u64 gsi = slot_index(open_page, s);
+    const u64 lpn = rmap_[gsi];
+    if (lpn == kUnmapped) continue;  // overwritten while buffered
+    pend.push_back(Starved{lpn, content_[gsi], false});
+    // The open page will never program; its mapping must not outlive the
+    // close, or a later read would touch unwritten flash.
+    invalidate(lpn, /*fresh_garbage=*/false);
+  }
+  if (npend > 0) {
+    buffered_pages_.erase(open_page);
+    --buffered_count_[b];
+    // Host slots of the aborted page free their buffer space here; the
+    // re-driven copies ride the recovery path, which never re-acquires.
+    if (!is_gc_wp)
+      buffer_.release((u64)npend * cfg_.logical_page_bytes);
+  }
+  wp.pending.clear();
+  wp.all_seq = true;
+  ++wp.last_flush_arm;  // cancel any pending flush timer
+  wp.block.reset();
+  for (const Starved& s : pend)
+    if (!append_slot(gc_wp_, s.lpn, s.fp, false, /*is_gc=*/true))
+      recovery_starved_.push_back(s);
+}
+
+void BlockFtl::retire_erase_failed(flash::BlockId b) {
+  ++stats_.erase_failures;
+  ++stats_.grown_bad_blocks;
+  block_state_[b] = kBad;  // never released: dead capacity
 }
 
 }  // namespace kvsim::blockftl

@@ -20,7 +20,6 @@
 #pragma once
 
 #include <deque>
-#include <functional>
 #include <list>
 #include <memory>
 #include <optional>
@@ -30,9 +29,11 @@
 
 #include "flash/controller.h"
 #include "sim/event_queue.h"
+#include "sim/task.h"
 #include "ssd/allocator.h"
 #include "ssd/audit.h"
 #include "ssd/config.h"
+#include "ssd/fault.h"
 #include "ssd/stats.h"
 #include "ssd/write_buffer.h"
 
@@ -61,10 +62,10 @@ struct BlockFtlConfig {
 
 class BlockFtl {
  public:
-  using Done = std::function<void(Status)>;
+  using Done = sim::Fn<void(Status)>;
   /// Read completion: status + XOR of the per-slot content fingerprints
   /// covered by the request (integrity checking for tests).
-  using ReadDone = std::function<void(Status, u64)>;
+  using ReadDone = sim::Fn<void(Status, u64)>;
 
   BlockFtl(sim::EventQueue& eq, flash::FlashController& flash,
            const ssd::SsdConfig& dev, const BlockFtlConfig& cfg);
@@ -111,9 +112,22 @@ class BlockFtl {
   /// automatically on flush() and when garbage collection stops.
   void audit_verify() const;
 
+  /// Arm (plan.enabled) or disarm fault injection. Disarmed, no injector
+  /// exists and the flash hot path is exactly the pre-fault one. Arming
+  /// mid-run is allowed; the injector's wear clock starts at zero.
+  void set_fault_plan(const ssd::FaultPlan& plan);
+  /// The active injector, or nullptr when faults are disarmed.
+  [[nodiscard]] const ssd::FaultInjector* fault_injector() const {
+    return faults_.get();
+  }
+
  private:
   static constexpr u64 kUnmapped = ~0ull;
-  enum BlockState : u8 { kFree = 0, kOpen, kSealed, kErasing };
+  /// kBad: a grown bad block — retired after a program/erase failure.
+  /// Never erased, never re-allocated, skipped by GC; any still-valid
+  /// slots on it stay readable (dead capacity until they are invalidated
+  /// or relocated by media recovery).
+  enum BlockState : u8 { kFree = 0, kOpen, kSealed, kErasing, kBad };
 
   struct Starved {
     u64 lpn;
@@ -160,6 +174,23 @@ class BlockFtl {
   void migrate_and_erase(flash::BlockId victim);
   void finish_gc(flash::BlockId victim);
   void on_block_freed();
+
+  // --- fault recovery ---
+  /// True (and the command was answered kDeviceBusy) when the front end
+  /// is inside a stall-induced busy window.
+  bool busy_rejected(Done& done);
+  bool busy_rejected_read(ReadDone& done);
+  /// Remap every live slot of page `p` onto a fresh block (media scrub /
+  /// failed-program re-drive). Slots that find no block wait in
+  /// recovery_starved_.
+  void relocate_page_slots(flash::PageId p);
+  void on_read_media_error(flash::PageId p);
+  void on_program_fail(flash::PageId page);
+  /// Mark `b` as a grown bad block, closing any write point still
+  /// filling it (its buffered slots re-route through the write path).
+  void retire_block(flash::BlockId b);
+  void close_write_point(WritePoint& wp, flash::BlockId b);
+  void retire_erase_failed(flash::BlockId b);
 
   sim::EventQueue& eq_;
   flash::FlashController& flash_;
@@ -215,6 +246,11 @@ class BlockFtl {
   // flush/drain bookkeeping
   u64 outstanding_programs_ = 0;
   std::vector<sim::Task> drain_waiters_;
+
+  // Fault injection (null unless a plan is armed) and slots whose
+  // recovery re-placement is waiting for a free block.
+  std::unique_ptr<ssd::FaultInjector> faults_;
+  std::deque<Starved> recovery_starved_;
 
   // KVSIM_AUDIT shadow models (null when auditing is compiled out)
   std::unique_ptr<ssd::FlashAudit> flash_audit_;

@@ -12,6 +12,9 @@ const char* to_string(Status s) {
     case Status::kCapacityLimit: return "capacity-limit";
     case Status::kInvalidArgument: return "invalid-argument";
     case Status::kIoError: return "io-error";
+    case Status::kMediaError: return "media-error";
+    case Status::kDeviceBusy: return "device-busy";
+    case Status::kTimeout: return "timeout";
   }
   return "unknown";
 }

@@ -36,6 +36,9 @@ enum class Status : u8 {
   kCapacityLimit,  ///< KVP-count limit reached (index capacity)
   kInvalidArgument,
   kIoError,
+  kMediaError,   ///< uncorrectable flash error after device-side recovery
+  kDeviceBusy,   ///< device rejected the command during a transient stall
+  kTimeout,      ///< command completed past the configured deadline
 };
 
 /// Human-readable name for a Status (for logs and test failure messages).

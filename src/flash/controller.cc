@@ -5,6 +5,17 @@
 
 namespace kvsim::flash {
 
+const char* to_string(OpStatus s) {
+  switch (s) {
+    case OpStatus::kOk: return "ok";
+    case OpStatus::kTimeout: return "timeout";
+    case OpStatus::kProgramFail: return "program-fail";
+    case OpStatus::kEraseFail: return "erase-fail";
+    case OpStatus::kUncorrectable: return "uncorrectable";
+  }
+  return "unknown";
+}
+
 FlashController::FlashController(sim::EventQueue& eq,
                                  const FlashGeometry& geom,
                                  const FlashTiming& timing)
@@ -15,7 +26,7 @@ FlashController::FlashController(sim::EventQueue& eq,
       channels_(geom.channels),
       retry_rng_(0xecc0ecc0ecc0ull) {}
 
-TimeNs FlashController::charge_read(PageId p, u32 bytes) {
+FlashController::OpCharge FlashController::charge_read(PageId p, u32 bytes) {
   if (audit_) audit_->on_read(p, bytes);
   const u64 die = geom_.die_of_page(p);
   const u32 ch = geom_.channel_of_page(p);
@@ -32,6 +43,18 @@ TimeNs FlashController::charge_read(PageId p, u32 bytes) {
       ++stats_.read_retries;
     }
   }
+  OpStatus st = OpStatus::kOk;
+  if (faults_ != nullptr) {
+    const ReadFault f = faults_->on_read(p);
+    if (f.extra_retry_rounds > 0) {
+      // Injected ECC retries walk the retry voltage table; the rounds are
+      // real array time and count into the same retry telemetry.
+      array_ns += (TimeNs)f.extra_retry_rounds * timing_.read_retry_ns;
+      stats_.read_retries += f.extra_retry_rounds;
+    }
+    array_ns += f.stall_ns;
+    if (f.uncorrectable) st = OpStatus::kUncorrectable;
+  }
   const sim::Resource::Grant array =
       dies_[die].reserve(eq_.now(), array_ns);
   const sim::Resource::Grant xfer =
@@ -43,34 +66,12 @@ TimeNs FlashController::charge_read(PageId p, u32 bytes) {
   read_stages_.total.record(xfer.done - eq_.now());
   ++stats_.page_reads;
   stats_.bytes_read += bytes;
-  return xfer.done;
+  return {xfer.done, apply_deadline(st, xfer.done)};
 }
 
-void FlashController::read_page(PageId p, u32 bytes, Done done) {
-  eq_.schedule_at(charge_read(p, bytes), std::move(done));
-}
-
-void FlashController::read_multi(const PageRead* pages, u32 count,
-                                 Done done) {
-  if (count == 0) {
-    eq_.schedule_after(0, std::move(done));
-    return;
-  }
-  // Charge pages in array order so retry draws, reservation order, and
-  // stage samples match count separate read_page calls exactly; the only
-  // difference is the single completion event at the slowest page's time.
-  TimeNs latest = 0;
-  for (u32 i = 0; i < count; ++i)
-    latest = std::max(latest, charge_read(pages[i].page, pages[i].bytes));
-  eq_.schedule_at(latest, std::move(done));
-}
-
-void FlashController::program_page(PageId p, u32 bytes, Done done) {
-  program_multi(p, 1, bytes, std::move(done));
-}
-
-void FlashController::program_multi(PageId first, u32 count,
-                                    u32 bytes_per_page, Done done) {
+FlashController::OpCharge FlashController::charge_program(PageId first,
+                                                          u32 count,
+                                                          u32 bytes_per_page) {
   const u64 die = geom_.die_of_page(first);
   const u32 ch = geom_.channel_of_page(first);
   // A multi-plane program is one die-level command: every page must live
@@ -85,10 +86,17 @@ void FlashController::program_multi(PageId first, u32 count,
     throw std::invalid_argument(
         "program_multi: page run crosses a die boundary");
   if (audit_) audit_->on_program(first, count);
+  OpStatus st = OpStatus::kOk;
+  TimeNs stall_ns = 0;
+  if (faults_ != nullptr) {
+    const ProgramFault f = faults_->on_program(first, count);
+    if (f.fail) st = OpStatus::kProgramFail;
+    stall_ns = f.stall_ns;
+  }
   const sim::Resource::Grant xfer = channels_[ch].reserve(
       eq_.now(), timing_.transfer_ns((u64)bytes_per_page * count));
   const sim::Resource::Grant prog =
-      dies_[die].reserve(xfer.done, timing_.program_page_ns);
+      dies_[die].reserve(xfer.done, timing_.program_page_ns + stall_ns);
   program_stages_.channel_wait.record(xfer.wait);
   program_stages_.transfer.record(xfer.service);
   program_stages_.die_wait.record(prog.wait);
@@ -96,21 +104,28 @@ void FlashController::program_multi(PageId first, u32 count,
   program_stages_.total.record(prog.done - eq_.now());
   stats_.page_programs += count;
   stats_.bytes_programmed += (u64)bytes_per_page * count;
-  eq_.schedule_at(prog.done, std::move(done));
+  return {prog.done, apply_deadline(st, prog.done)};
 }
 
-void FlashController::erase_block(BlockId b, Done done) {
+FlashController::OpCharge FlashController::charge_erase(BlockId b) {
   if (audit_) audit_->on_erase(b);
   const u64 die = geom_.die_of_block(b);
+  OpStatus st = OpStatus::kOk;
+  TimeNs stall_ns = 0;
+  if (faults_ != nullptr) {
+    const EraseFault f = faults_->on_erase(b);
+    if (f.fail) st = OpStatus::kEraseFail;
+    stall_ns = f.stall_ns;
+  }
   const sim::Resource::Grant erase =
-      dies_[die].reserve(eq_.now(), timing_.erase_block_ns);
+      dies_[die].reserve(eq_.now(), timing_.erase_block_ns + stall_ns);
   erase_stages_.die_wait.record(erase.wait);
   erase_stages_.die_service.record(erase.service);
   erase_stages_.channel_wait.record(0);
   erase_stages_.transfer.record(0);
   erase_stages_.total.record(erase.done - eq_.now());
   ++stats_.block_erases;
-  eq_.schedule_at(erase.done, std::move(done));
+  return {erase.done, apply_deadline(st, erase.done)};
 }
 
 TimeNs FlashController::total_die_busy_ns() const {

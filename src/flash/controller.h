@@ -27,10 +27,13 @@
 // exposed for utilization telemetry.
 #pragma once
 
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/histogram.h"
 #include "common/rng.h"
+#include "flash/fault.h"
 #include "flash/geometry.h"
 #include "sim/event_queue.h"
 #include "sim/task.h"
@@ -98,27 +101,72 @@ class FlashController {
   FlashController(sim::EventQueue& eq, const FlashGeometry& geom,
                   const FlashTiming& timing);
 
+  // Every operation takes its completion as a template parameter so the
+  // callable is stored inline in the scheduled event whenever it fits.
+  // Two callback shapes are accepted:
+  //   * status-blind (invocable with no arguments) — the pre-fault
+  //     signature; compiles to exactly the old completion path.
+  //   * status-aware (invocable with OpStatus, or with (OpStatus, PageId)
+  //     for read_multi) — receives the op's fault outcome. On the
+  //     fault-free path the status is OpStatus::kOk by construction.
+
   /// Read `bytes` (<= page size) out of page `p`; `done` runs at completion.
-  void read_page(PageId p, u32 bytes, Done done);
+  template <typename F>
+  void read_page(PageId p, u32 bytes, F&& done) {
+    complete_one(charge_read(p, bytes), std::forward<F>(done));
+  }
 
   /// Read `count` pages as one host-visible operation with a single
   /// completion event: each page charges the exact per-page read pipeline
   /// in array order (telemetry still records one sample per page), and
   /// `done` runs once, when the slowest page completes. Pages may span
   /// dies and channels. `count == 0` completes on the current tick.
-  void read_multi(const PageRead* pages, u32 count, Done done);
+  /// A status-aware `done` receives the worst per-page status and the
+  /// first page that produced it (meaningful only on error).
+  template <typename F>
+  void read_multi(const PageRead* pages, u32 count, F&& done) {
+    if (count == 0) {
+      complete_multi(eq_.now(), OpStatus::kOk, 0, std::forward<F>(done));
+      return;
+    }
+    // Charge pages in array order so retry draws, reservation order, and
+    // stage samples match count separate read_page calls exactly; the only
+    // difference is the single completion event at the slowest page's time.
+    TimeNs latest = 0;
+    OpStatus worst = OpStatus::kOk;
+    PageId bad = pages[0].page;
+    for (u32 i = 0; i < count; ++i) {
+      const OpCharge c = charge_read(pages[i].page, pages[i].bytes);
+      latest = std::max(latest, c.done_at);
+      if (static_cast<u8>(c.status) > static_cast<u8>(worst)) {
+        worst = c.status;
+        bad = pages[i].page;
+      }
+    }
+    complete_multi(latest, worst, bad, std::forward<F>(done));
+  }
 
   /// Program a full page holding `bytes` of payload.
-  void program_page(PageId p, u32 bytes, Done done);
+  template <typename F>
+  void program_page(PageId p, u32 bytes, F&& done) {
+    program_multi(p, 1, bytes, std::forward<F>(done));
+  }
 
   /// Program `count` pages on the same die with a single tPROG
   /// (multi-plane). Transfers still serialize on the channel. Throws
   /// std::invalid_argument when count is zero or the page run crosses a
   /// die boundary (which would silently mis-time the program).
-  void program_multi(PageId first, u32 count, u32 bytes_per_page, Done done);
+  template <typename F>
+  void program_multi(PageId first, u32 count, u32 bytes_per_page, F&& done) {
+    complete_one(charge_program(first, count, bytes_per_page),
+                 std::forward<F>(done));
+  }
 
   /// Erase a block.
-  void erase_block(BlockId b, Done done);
+  template <typename F>
+  void erase_block(BlockId b, F&& done) {
+    complete_one(charge_erase(b), std::forward<F>(done));
+  }
 
   [[nodiscard]] const FlashStats& stats() const { return stats_; }
   [[nodiscard]] const FlashGeometry& geometry() const { return geom_; }
@@ -164,10 +212,79 @@ class FlashController {
   void set_audit(FlashAuditSink* sink) { audit_ = sink; }
   [[nodiscard]] FlashAuditSink* audit() const { return audit_; }
 
+  // --- fault injection -----------------------------------------------------
+  /// Attach (or detach, with nullptr) a fault model. The model must
+  /// outlive the controller or be detached first. With no model attached
+  /// every op completes OpStatus::kOk and charges pre-fault timing
+  /// exactly.
+  void set_faults(FaultModel* model) { faults_ = model; }
+  [[nodiscard]] FaultModel* faults() const { return faults_; }
+
  private:
-  /// Charge one page read (audit, retry draws, reservations, stats,
-  /// stage samples) and return its completion time without scheduling.
-  TimeNs charge_read(PageId p, u32 bytes);
+  /// One charged (reserved, counted, sampled) but not yet scheduled op.
+  struct OpCharge {
+    TimeNs done_at;
+    OpStatus status;
+  };
+
+  /// Charge one op (audit/fault hooks, retry draws, reservations, stats,
+  /// stage samples) and return its completion time and fault outcome
+  /// without scheduling.
+  OpCharge charge_read(PageId p, u32 bytes);
+  OpCharge charge_program(PageId first, u32 count, u32 bytes_per_page);
+  OpCharge charge_erase(BlockId b);
+
+  /// Stamp the op's deadline verdict onto an otherwise-ok charge.
+  [[nodiscard]] OpStatus apply_deadline(OpStatus st, TimeNs done_at) const {
+    if (st == OpStatus::kOk && faults_ != nullptr) {
+      const TimeNs deadline = faults_->op_deadline_ns();
+      if (deadline > 0 && done_at - eq_.now() > deadline)
+        return OpStatus::kTimeout;
+    }
+    return st;
+  }
+
+  /// Schedule the single completion of a charged op. Status-blind
+  /// callables are scheduled as-is (byte-for-byte the pre-fault path);
+  /// status-aware ones are wrapped, binding the status constant kOk on
+  /// the fault-free branch so the wrapper stays as small as the callable.
+  template <typename F>
+  void complete_one(const OpCharge& c, F&& done) {
+    using D = std::remove_cvref_t<F>;
+    if constexpr (std::is_invocable_v<D&, OpStatus>) {
+      if (c.status == OpStatus::kOk) {
+        eq_.schedule_at(c.done_at, [f = std::forward<F>(done)]() mutable {
+          f(OpStatus::kOk);
+        });
+      } else {
+        eq_.schedule_at(c.done_at,
+                        [f = std::forward<F>(done), st = c.status]() mutable {
+                          f(st);
+                        });
+      }
+    } else {
+      eq_.schedule_at(c.done_at, std::forward<F>(done));
+    }
+  }
+
+  template <typename F>
+  void complete_multi(TimeNs at, OpStatus worst, PageId bad, F&& done) {
+    using D = std::remove_cvref_t<F>;
+    if constexpr (std::is_invocable_v<D&, OpStatus, PageId>) {
+      if (worst == OpStatus::kOk) {
+        eq_.schedule_at(at, [f = std::forward<F>(done)]() mutable {
+          f(OpStatus::kOk, PageId{0});
+        });
+      } else {
+        eq_.schedule_at(at,
+                        [f = std::forward<F>(done), worst, bad]() mutable {
+                          f(worst, bad);
+                        });
+      }
+    } else {
+      eq_.schedule_at(at, std::forward<F>(done));
+    }
+  }
 
   sim::EventQueue& eq_;
   FlashGeometry geom_;
@@ -180,6 +297,7 @@ class FlashController {
   StageBreakdown program_stages_;
   StageBreakdown erase_stages_;
   FlashAuditSink* audit_ = nullptr;
+  FaultModel* faults_ = nullptr;
 };
 
 }  // namespace kvsim::flash

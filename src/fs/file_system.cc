@@ -6,15 +6,22 @@
 namespace kvsim::fs {
 
 namespace {
+// Status-accumulating join: completes with the first non-Ok status seen
+// (device faults propagate; later arrivals can't clear an earlier error).
 struct Join {
   int remaining;
-  std::function<void()> then;
-  void arrive() {
-    if (--remaining == 0) then();
+  Status st = Status::kOk;
+  sim::Fn<void(Status)> then;
+  void arrive(Status s = Status::kOk) {
+    if (s != Status::kOk && st == Status::kOk) st = s;
+    if (--remaining == 0) then(st);
   }
 };
-std::shared_ptr<Join> make_join(int n, std::function<void()> then) {
-  return std::make_shared<Join>(Join{n, std::move(then)});
+std::shared_ptr<Join> make_join(int n, sim::Fn<void(Status)> then) {
+  auto j = std::make_shared<Join>();
+  j->remaining = n;
+  j->then = std::move(then);
+  return j;
 }
 }  // namespace
 
@@ -140,14 +147,14 @@ void FileSystem::append(Handle h, u64 bytes, u64 fp_base, Done done) {
     }
   }
 
-  auto join = make_join((int)fresh.size() + 1, [done = std::move(done)] {
-    done(Status::kOk);
-  });
+  auto join = make_join(
+      (int)fresh.size() + 1,
+      [done = std::move(done)](Status s) mutable { done(s); });
   u64 fp = fp_base;
   for (const Extent& e : fresh) {
     dev_.write(lba_of_block(e.start_block),
                (u32)(e.block_count * cfg_.block_bytes), fp,
-               [join](Status) { join->arrive(); });
+               [join](Status s) { join->arrive(s); });
     fp += e.block_count;
   }
   charge_meta(1, [join] { join->arrive(); });
@@ -188,13 +195,13 @@ void FileSystem::read(Handle h, u64 offset, u64 bytes, ReadDone done) {
   }
   auto fps = std::make_shared<u64>(0);
   auto join = make_join((int)pieces.size(),
-                        [fps, done = std::move(done)] {
-                          done(Status::kOk, *fps);
+                        [fps, done = std::move(done)](Status s) mutable {
+                          done(s, *fps);
                         });
   for (const Piece& p : pieces)
-    dev_.read(p.lba, p.bytes, [fps, join](Status, u64 fp) {
+    dev_.read(p.lba, p.bytes, [fps, join](Status s, u64 fp) {
       *fps ^= fp;
-      join->arrive();
+      join->arrive(s);
     });
 }
 
@@ -210,12 +217,13 @@ void FileSystem::remove(Handle h, Done done) {
   ino.extents.clear();
   ino.size_bytes = 0;
 
-  auto join = make_join((int)extents.size() + 1,
-                        [done = std::move(done)] { done(Status::kOk); });
+  auto join = make_join(
+      (int)extents.size() + 1,
+      [done = std::move(done)](Status s) mutable { done(s); });
   for (const Extent& e : extents) {
     free_extent(e);
     dev_.trim(lba_of_block(e.start_block), e.block_count * cfg_.block_bytes,
-              [join](Status) { join->arrive(); });
+              [join](Status s) { join->arrive(s); });
   }
   charge_meta(1, [join] { join->arrive(); });
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "blockapi/block_device.h"
+#include "sim/task.h"
 
 namespace kvsim::fs {
 
@@ -33,8 +34,8 @@ struct FsConfig {
 class FileSystem {
  public:
   using Handle = u32;
-  using Done = std::function<void(Status)>;
-  using ReadDone = std::function<void(Status, u64)>;
+  using Done = sim::Fn<void(Status)>;
+  using ReadDone = sim::Fn<void(Status, u64)>;
   static constexpr Handle kInvalidHandle = ~0u;
 
   FileSystem(sim::EventQueue& eq, blockapi::BlockDevice& dev,

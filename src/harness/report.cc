@@ -65,6 +65,17 @@ void timeslices_json(JsonWriter& w, const ssd::TelemetryCollector& c) {
     w.kv("channel_busy_ns", s.channel_busy_ns);
     w.kv("buffer_stalls", s.buffer_stalls);
     w.kv("clamped_schedules", s.clamped_schedules);
+    if ((s.read_media_errors | s.program_failures | s.erase_failures |
+         s.grown_bad_blocks | s.remapped_units | s.busy_rejections |
+         s.op_timeouts) != 0) {
+      w.kv("read_media_errors", s.read_media_errors);
+      w.kv("program_failures", s.program_failures);
+      w.kv("erase_failures", s.erase_failures);
+      w.kv("grown_bad_blocks", s.grown_bad_blocks);
+      w.kv("remapped_units", s.remapped_units);
+      w.kv("busy_rejections", s.busy_rejections);
+      w.kv("op_timeouts", s.op_timeouts);
+    }
     w.kv("write_bw_bytes_per_sec", s.write_bw_bytes_per_sec());
     w.kv("waf", s.waf());
     w.kv("die_utilization", s.die_utilization(c.num_dies()));
@@ -78,8 +89,22 @@ void run_result_json(JsonWriter& w, const RunResult& r) {
   w.begin_object();
   w.kv("ops", r.ops);
   w.kv("elapsed_ns", (u64)r.elapsed);
-  w.kv("errors", r.errors);
+  w.kv("errors", r.errors.total());
   w.kv("not_found", r.not_found);
+  // Fault-run extras: emitted only when the run actually saw categorized
+  // errors or host retries, so healthy-run JSON is byte-identical to
+  // pre-fault-model output.
+  if (r.errors.total() != 0) {
+    w.key("error_breakdown").begin_object();
+    w.kv("io", r.errors.io);
+    w.kv("media", r.errors.media);
+    w.kv("busy", r.errors.busy);
+    w.kv("timeout", r.errors.timeout);
+    w.kv("capacity", r.errors.capacity);
+    w.kv("other", r.errors.other);
+    w.end_object();
+  }
+  if (r.host_retries != 0) w.kv("host_retries", r.host_retries);
   w.kv("host_cpu_ns", r.host_cpu_ns);
   w.kv("throughput_ops_per_sec", r.throughput_ops_per_sec());
   w.kv("bandwidth_bytes_per_sec", r.bandwidth_bytes_per_sec());
@@ -112,7 +137,8 @@ void run_result_json(JsonWriter& w, const RunResult& r) {
 }
 
 void device_json(JsonWriter& w, const char* name, const ssd::FtlStats* ftl,
-                 const flash::FlashController* flash) {
+                 const flash::FlashController* flash,
+                 const ssd::FaultInjector* faults) {
   w.begin_object();
   w.kv("name", name ? name : "");
   if (ftl) {
@@ -128,6 +154,16 @@ void device_json(JsonWriter& w, const char* name, const ssd::FtlStats* ftl,
     w.kv("rmw_ops", ftl->rmw_ops);
     w.kv("flash_bytes_written", ftl->flash_bytes_written);
     w.kv("waf", ftl->waf());
+    if ((*ftl).any_fault_activity()) {
+      w.kv("read_media_errors", (*ftl).read_media_errors);
+      w.kv("program_failures", (*ftl).program_failures);
+      w.kv("erase_failures", (*ftl).erase_failures);
+      w.kv("grown_bad_blocks", (*ftl).grown_bad_blocks);
+      w.kv("remapped_units", (*ftl).remapped_units);
+      w.kv("reprogrammed_pages", (*ftl).reprogrammed_pages);
+      w.kv("busy_rejections", (*ftl).busy_rejections);
+      w.kv("op_timeouts", (*ftl).op_timeouts);
+    }
     w.end_object();
   }
   if (flash) {
@@ -159,6 +195,16 @@ void device_json(JsonWriter& w, const char* name, const ssd::FtlStats* ftl,
     w.end_array();
     w.end_object();
   }
+  if (faults && faults->stats().total_faults() != 0) {
+    const ssd::FaultStats& fst = faults->stats();
+    w.key("faults").begin_object();
+    w.kv("read_uncorrectable", fst.read_uncorrectable);
+    w.kv("program_fails", fst.program_fails);
+    w.kv("erase_fails", fst.erase_fails);
+    w.kv("stalls", fst.stalls);
+    w.kv("injected_retry_rounds", fst.injected_retry_rounds);
+    w.end_object();
+  }
   w.end_object();
 }
 
@@ -167,11 +213,13 @@ void BenchReport::add_run(const std::string& label, const RunResult& r) {
 }
 
 void BenchReport::add_device(const KvStack& stack) {
-  add_device(stack.name(), stack.ftl_stats(), stack.flash_ctrl());
+  add_device(stack.name(), stack.ftl_stats(), stack.flash_ctrl(),
+             stack.fault_injector());
 }
 
 void BenchReport::add_device(const char* name, const ssd::FtlStats* ftl,
-                             const flash::FlashController* flash) {
+                             const flash::FlashController* flash,
+                             const ssd::FaultInjector* faults) {
   DeviceSnap snap;
   snap.name = name ? name : "";
   if (ftl) {
@@ -188,6 +236,10 @@ void BenchReport::add_device(const char* name, const ssd::FtlStats* ftl,
       snap.die_busy_ns.push_back(flash->die_busy_ns(d));
     for (u32 c = 0; c < flash->num_channels(); ++c)
       snap.channel_busy_ns.push_back(flash->channel_busy_ns(c));
+  }
+  if (faults && faults->stats().total_faults() != 0) {
+    snap.has_faults = true;
+    snap.faults = faults->stats();
   }
   devices_.push_back(std::move(snap));
 }
@@ -225,6 +277,16 @@ std::string BenchReport::to_json() const {
       w.kv("rmw_ops", d.ftl.rmw_ops);
       w.kv("flash_bytes_written", d.ftl.flash_bytes_written);
       w.kv("waf", d.ftl.waf());
+      if (d.ftl.any_fault_activity()) {
+        w.kv("read_media_errors", d.ftl.read_media_errors);
+        w.kv("program_failures", d.ftl.program_failures);
+        w.kv("erase_failures", d.ftl.erase_failures);
+        w.kv("grown_bad_blocks", d.ftl.grown_bad_blocks);
+        w.kv("remapped_units", d.ftl.remapped_units);
+        w.kv("reprogrammed_pages", d.ftl.reprogrammed_pages);
+        w.kv("busy_rejections", d.ftl.busy_rejections);
+        w.kv("op_timeouts", d.ftl.op_timeouts);
+      }
       w.end_object();
     }
     if (d.has_flash) {
@@ -251,6 +313,15 @@ std::string BenchReport::to_json() const {
       w.key("channel_busy_ns").begin_array();
       for (u64 b : d.channel_busy_ns) w.value(b);
       w.end_array();
+      w.end_object();
+    }
+    if (d.has_faults) {
+      w.key("faults").begin_object();
+      w.kv("read_uncorrectable", d.faults.read_uncorrectable);
+      w.kv("program_fails", d.faults.program_fails);
+      w.kv("erase_fails", d.faults.erase_fails);
+      w.kv("stalls", d.faults.stalls);
+      w.kv("injected_retry_rounds", d.faults.injected_retry_rounds);
       w.end_object();
     }
     w.end_object();

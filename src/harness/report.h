@@ -34,8 +34,10 @@ void run_result_json(JsonWriter& w, const RunResult& r);
 
 /// Serialize a device snapshot: cumulative FtlStats, FlashStats, stage
 /// breakdowns, and per-die/per-channel busy time. Any pointer may be null.
+/// `faults` adds the injector's own draw counters (fault runs only).
 void device_json(JsonWriter& w, const char* name, const ssd::FtlStats* ftl,
-                 const flash::FlashController* flash);
+                 const flash::FlashController* flash,
+                 const ssd::FaultInjector* faults = nullptr);
 
 /// Accumulates labeled runs plus device snapshots and writes one JSON
 /// document per benchmark binary.
@@ -49,7 +51,8 @@ class BenchReport {
   /// Snapshot a stack's device telemetry (cumulative at call time).
   void add_device(const KvStack& stack);
   void add_device(const char* name, const ssd::FtlStats* ftl,
-                  const flash::FlashController* flash);
+                  const flash::FlashController* flash,
+                  const ssd::FaultInjector* faults = nullptr);
 
   /// The complete document.
   [[nodiscard]] std::string to_json() const;
@@ -67,6 +70,8 @@ class BenchReport {
     flash::FlashStats flash_stats;
     flash::StageBreakdown read_stages, program_stages, erase_stages;
     std::vector<u64> die_busy_ns, channel_busy_ns;
+    bool has_faults = false;
+    ssd::FaultStats faults;
     TimeNs at = 0;
   };
 

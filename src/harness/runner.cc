@@ -83,7 +83,7 @@ struct Driver {
     stack.retrieve(key, [this, key_id, remaining, start,
                          bytes](Status s, ValueDesc v) {
       const u64 total = bytes + v.size;
-      if (remaining <= 1 || s == Status::kIoError) {
+      if (remaining <= 1 || (s != Status::kOk && s != Status::kNotFound)) {
         finish(s == Status::kNotFound ? Status::kOk : s, start, result.scan,
                total, wl::OpType::kScan, key_id);
         return;
@@ -105,7 +105,7 @@ struct Driver {
     if (s == Status::kNotFound) {
       ++result.not_found;
     } else if (s != Status::kOk) {
-      ++result.errors;
+      result.errors.count(s);
     }
     --inflight;
     ++completed;
@@ -118,9 +118,10 @@ struct Driver {
 }  // namespace
 
 RunResult run_workload(KvStack& stack, const wl::WorkloadSpec& spec,
-                       bool drain_after, TraceRecorder* trace,
                        const RunOptions& opts) {
-  Driver drv(stack, spec, trace);
+  if (opts.faults.enabled) stack.apply_fault_plan(opts.faults);
+  const u64 retries0 = stack.host_retries();
+  Driver drv(stack, spec, opts.trace);
   if (opts.telemetry) {
     drv.result.telemetry = ssd::TelemetryCollector(opts.telemetry_interval);
     drv.result.telemetry.attach(
@@ -133,7 +134,7 @@ RunResult run_workload(KvStack& stack, const wl::WorkloadSpec& spec,
   }
   drv.result.elapsed = eq.now() - drv.t0;
   drv.result.ops = drv.completed;
-  if (drain_after) {
+  if (opts.drain_after) {
     bool drained = false;
     stack.drain([&drained] { drained = true; });
     while (!drained && eq.step()) {
@@ -143,6 +144,7 @@ RunResult run_workload(KvStack& stack, const wl::WorkloadSpec& spec,
   // and flush traffic lands in the timeline too).
   drv.result.telemetry.finalize(eq.now());
   drv.result.host_cpu_ns = stack.host_cpu_ns() - drv.cpu0;
+  drv.result.host_retries = stack.host_retries() - retries0;
   return drv.result;
 }
 
@@ -157,7 +159,7 @@ RunResult fill_stack(KvStack& stack, u64 keys, u32 key_bytes, u32 value_bytes,
   spec.mix = wl::OpMix::insert_only();
   spec.queue_depth = queue_depth;
   spec.seed = seed;
-  return run_workload(stack, spec, /*drain_after=*/true);
+  return run_workload(stack, spec, RunOptions{.drain_after = true});
 }
 
 RunResult run_block(sim::EventQueue& eq, blockapi::BlockDevice& dev,
@@ -213,7 +215,7 @@ RunResult run_block(sim::EventQueue& eq, blockapi::BlockDevice& dev,
       (spec.op == BlockOp::kWrite ? result.insert : result.read)
           .record(now - start);
       result.bw.add(now - t0, spec.io_bytes);
-      if (s != Status::kOk) ++result.errors;
+      if (s != Status::kOk) result.errors.count(s);
       --inflight;
       ++completed;
       issue_more();

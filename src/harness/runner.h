@@ -16,14 +16,52 @@
 
 namespace kvsim::harness {
 
-/// Knobs for the run loop's observability layer.
+/// Everything configurable about one run_workload() invocation.
 struct RunOptions {
+  /// Quiesce background work (flushes, compactions, defrag, GC-visible
+  /// programs) after the last op completes and before the clock stops
+  /// (recommended between phases).
+  bool drain_after = false;
+  /// Record one TraceRecord per completed op into this recorder.
+  TraceRecorder* trace = nullptr;
   /// Collect time-sliced device telemetry (FtlStats/FlashStats deltas)
   /// while the run executes. Costs one integer compare per completion
   /// plus one counter sweep per elapsed interval.
   bool telemetry = true;
   /// Sampling window of the time-sliced collector.
   TimeNs telemetry_interval = 100 * kMs;
+  /// Device fault plan. When `faults.enabled`, it is installed into the
+  /// stack (KvStack::apply_fault_plan) before the first op is issued;
+  /// a default-constructed (disabled) plan leaves the stack untouched,
+  /// so fault-free runs execute the exact pre-fault path.
+  ssd::FaultPlan faults;
+};
+
+/// Non-OK, non-NotFound completions, broken out by failure category.
+struct ErrorCounts {
+  u64 io = 0;        ///< kIoError
+  u64 media = 0;     ///< kMediaError: device-side read recovery exhausted
+  u64 busy = 0;      ///< kDeviceBusy: rejected during a transient stall
+  u64 timeout = 0;   ///< kTimeout: completed past the configured deadline
+  u64 capacity = 0;  ///< kDeviceFull / kCapacityLimit
+  u64 other = 0;     ///< any other non-OK status
+
+  void count(Status s) {
+    switch (s) {
+      case Status::kIoError: ++io; break;
+      case Status::kMediaError: ++media; break;
+      case Status::kDeviceBusy: ++busy; break;
+      case Status::kTimeout: ++timeout; break;
+      case Status::kDeviceFull:
+      case Status::kCapacityLimit: ++capacity; break;
+      default: ++other; break;
+    }
+  }
+  [[nodiscard]] u64 total() const {
+    return io + media + busy + timeout + capacity + other;
+  }
+  /// True when any counter is from the fault taxonomy (media/busy/timeout).
+  [[nodiscard]] bool any_fault() const { return media + busy + timeout > 0; }
 };
 
 struct RunResult {
@@ -34,9 +72,10 @@ struct RunResult {
   ssd::TelemetryCollector telemetry;
   TimeNs elapsed = 0;
   u64 ops = 0;
-  u64 errors = 0;           ///< non-OK, non-NotFound completions
+  ErrorCounts errors;       ///< non-OK, non-NotFound completions
   u64 not_found = 0;
   u64 host_cpu_ns = 0;      ///< CPU burned by the stack during the run
+  u64 host_retries = 0;     ///< command re-drives by the stack's RetryPolicy
 
   [[nodiscard]] double throughput_ops_per_sec() const {
     return elapsed ? (double)ops * (double)kSec / (double)elapsed : 0.0;
@@ -52,11 +91,9 @@ struct RunResult {
 
 /// Run `spec` against `stack`. Inserts/updates call store(), reads call
 /// retrieve(), deletes call remove(). The run finishes when every op has
-/// completed; `drain_after` additionally quiesces background work before
-/// the clock stops (recommended between phases).
+/// completed; see RunOptions for draining, tracing, telemetry, and fault
+/// injection.
 RunResult run_workload(KvStack& stack, const wl::WorkloadSpec& spec,
-                       bool drain_after = false,
-                       TraceRecorder* trace = nullptr,
                        const RunOptions& opts = {});
 
 /// Convenience: populate `keys` distinct keys (sequential ids) with fixed

@@ -1,11 +1,18 @@
 // The uniform stack interface the workload runner drives.
+//
+// Callbacks are move-only sim::Fn (completion continuations are
+// single-shot by construction) and keys are passed as std::string_view:
+// the stack copies the key iff it must outlive the call.
 #pragma once
 
 #include <functional>
-#include <string>
+#include <memory>
+#include <string_view>
 
 #include "common/types.h"
 #include "sim/event_queue.h"
+#include "sim/task.h"
+#include "ssd/fault.h"
 #include "ssd/stats.h"
 
 namespace kvsim::flash {
@@ -14,19 +21,57 @@ class FlashController;
 
 namespace kvsim::harness {
 
+/// Host-side retry/backoff policy for transient device errors
+/// (kMediaError while the device relocates data, kDeviceBusy during a
+/// fault-induced stall window, kTimeout on an op that exceeded its
+/// deadline). Beds consult it before re-driving a failed command.
+struct RetryPolicy {
+  /// Re-drives after the initial attempt; 0 disables host retry.
+  u32 max_retries = 3;
+  /// Delay before the first re-drive.
+  TimeNs backoff_ns = 500 * kUs;
+  /// Multiplier applied per subsequent re-drive (exponential backoff).
+  double backoff_mult = 2.0;
+  bool retry_media_error = true;
+  bool retry_busy = true;
+  bool retry_timeout = true;
+
+  [[nodiscard]] bool should_retry(Status s, u32 attempt) const {
+    if (attempt >= max_retries) return false;
+    switch (s) {
+      case Status::kMediaError:
+        return retry_media_error;
+      case Status::kDeviceBusy:
+        return retry_busy;
+      case Status::kTimeout:
+        return retry_timeout;
+      default:
+        return false;
+    }
+  }
+
+  /// Backoff delay before re-drive number `attempt` (1-based).
+  [[nodiscard]] TimeNs backoff_for(u32 attempt) const {
+    double d = (double)backoff_ns;
+    for (u32 i = 1; i < attempt; ++i) d *= backoff_mult;
+    return (TimeNs)d;
+  }
+};
+
 class KvStack {
  public:
+  using StoreDone = sim::Fn<void(Status)>;
+  using RetrieveDone = sim::Fn<void(Status, ValueDesc)>;
+  using RemoveDone = sim::Fn<void(Status)>;
+
   virtual ~KvStack() = default;
 
-  virtual void store(const std::string& key, ValueDesc v,
-                     std::function<void(Status)> done) = 0;
-  virtual void retrieve(const std::string& key,
-                        std::function<void(Status, ValueDesc)> done) = 0;
-  virtual void remove(const std::string& key,
-                      std::function<void(Status)> done) = 0;
+  virtual void store(std::string_view key, ValueDesc v, StoreDone done) = 0;
+  virtual void retrieve(std::string_view key, RetrieveDone done) = 0;
+  virtual void remove(std::string_view key, RemoveDone done) = 0;
   /// Flush buffers and wait for background work (flushes, compactions,
   /// defrag, GC-visible programs) to quiesce.
-  virtual void drain(std::function<void()> done) = 0;
+  virtual void drain(sim::Task done) = 0;
 
   /// The stack's private simulation clock.
   virtual sim::EventQueue& eq() = 0;
@@ -50,6 +95,49 @@ class KvStack {
   /// Cumulative device write-buffer backpressure events (0 when the stack
   /// has no simulated write buffer).
   virtual u64 buffer_stall_events() const { return 0; }
+
+  // --- Fault model ------------------------------------------------------
+  /// Install (or clear, when plan.enabled is false) a device fault plan.
+  /// Default: stack has no simulated device to inject into.
+  virtual void apply_fault_plan(const ssd::FaultPlan& /*plan*/) {}
+  /// The installed injector, or nullptr when faults are off.
+  virtual const ssd::FaultInjector* fault_injector() const {
+    return nullptr;
+  }
+  /// Commands this stack re-drove after a retryable device error.
+  virtual u64 host_retries() const { return 0; }
 };
+
+namespace detail {
+
+/// Issues `issue(attempt, done)` and re-drives it per `policy` when the
+/// completion status is retryable. `retries` is bumped once per re-drive.
+/// The attempt closure self-references through a weak_ptr: the pending
+/// device callback holds the strong reference, so an abandoned chain
+/// frees itself.
+template <typename Issue, typename Done>
+void run_with_retry(sim::EventQueue& eq, const RetryPolicy& policy,
+                    u64& retries, Issue issue, Done done) {
+  auto attempt = std::make_shared<std::function<void(u32)>>();
+  std::weak_ptr<std::function<void(u32)>> weak = attempt;
+  auto state = std::make_shared<Done>(std::move(done));
+  *attempt = [&eq, &policy, &retries, weak, state,
+              issue = std::move(issue)](u32 n) {
+    auto self = weak.lock();
+    issue(n, [&eq, &policy, &retries, self, state, n](Status s,
+                                                      auto... rest) {
+      if (policy.should_retry(s, n)) {
+        ++retries;
+        eq.schedule_after(policy.backoff_for(n + 1),
+                          [self, n] { (*self)(n + 1); });
+        return;
+      }
+      (*state)(s, rest...);
+    });
+  };
+  (*attempt)(0);
+}
+
+}  // namespace detail
 
 }  // namespace kvsim::harness

@@ -2,7 +2,7 @@
 
 namespace kvsim::harness {
 
-KvssdBed::KvssdBed(const KvssdBedConfig& cfg) {
+KvssdBed::KvssdBed(const KvssdBedConfig& cfg) : retry_(cfg.retry) {
   flash_ = std::make_unique<flash::FlashController>(eq_, cfg.dev.geometry,
                                                     cfg.dev.timing);
   ftl_ = std::make_unique<kvftl::KvFtl>(eq_, *flash_, cfg.dev, cfg.ftl);
@@ -19,7 +19,7 @@ BlockDirectBed::BlockDirectBed(const BlockBedConfig& cfg) {
       std::make_unique<blockapi::BlockDevice>(eq_, *link_, *ftl_, cfg.api);
 }
 
-LsmBed::LsmBed(const LsmBedConfig& cfg) {
+LsmBed::LsmBed(const LsmBedConfig& cfg) : retry_(cfg.retry) {
   flash_ = std::make_unique<flash::FlashController>(eq_, cfg.dev.geometry,
                                                     cfg.dev.timing);
   ftl_ = std::make_unique<blockftl::BlockFtl>(eq_, *flash_, cfg.dev, cfg.ftl);
@@ -30,12 +30,12 @@ LsmBed::LsmBed(const LsmBedConfig& cfg) {
   store_ = std::make_unique<lsm::LsmStore>(eq_, *fs_, cfg.lsm);
 }
 
-void LsmBed::drain(std::function<void()> done) {
-  auto shared = std::make_shared<std::function<void()>>(std::move(done));
+void LsmBed::drain(sim::Task done) {
+  auto shared = std::make_shared<sim::Task>(std::move(done));
   store_->drain([this, shared] { ftl_->flush([shared] { (*shared)(); }); });
 }
 
-HashKvBed::HashKvBed(const HashKvBedConfig& cfg) {
+HashKvBed::HashKvBed(const HashKvBedConfig& cfg) : retry_(cfg.retry) {
   flash_ = std::make_unique<flash::FlashController>(eq_, cfg.dev.geometry,
                                                     cfg.dev.timing);
   ftl_ = std::make_unique<blockftl::BlockFtl>(eq_, *flash_, cfg.dev, cfg.ftl);

@@ -9,11 +9,17 @@
 // beds are independent "machines" (the paper used two identical servers).
 // BlockDirectBed exposes the raw block device for the direct-I/O
 // experiments (Figs. 3-5).
+//
+// When a fault plan is active, beds wrap each command in the config's
+// RetryPolicy: retryable device errors (media/busy/timeout) are re-driven
+// after backoff, and the re-drive count is reported via host_retries().
+// With faults off the wrapper is bypassed entirely, so fault-free runs
+// execute the exact pre-fault command path.
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "blockapi/block_device.h"
 #include "fs/file_system.h"
@@ -29,27 +35,52 @@ struct KvssdBedConfig {
   kvftl::KvFtlConfig ftl;
   nvme::NvmeConfig nvme;
   kvapi::KvsApiConfig api;
+  RetryPolicy retry;
 };
 
 class KvssdBed final : public KvStack {
  public:
   explicit KvssdBed(const KvssdBedConfig& cfg = {});
 
-  void store(const std::string& key, ValueDesc v,
-             std::function<void(Status)> done) override {
-    dev_->store(key, v, std::move(done));
+  void store(std::string_view key, ValueDesc v, StoreDone done) override {
+    if (!faults_on_) {
+      dev_->store(key, v, std::move(done));
+      return;
+    }
+    detail::run_with_retry(
+        eq_, retry_, host_retries_,
+        [this, key = std::string(key), v](u32 attempt, auto cb) {
+          // Re-drives carry the attempt number as the stream hint so the
+          // FTL may steer the retry to a different write point.
+          dev_->store(key, v, std::move(cb), /*stream=*/(u8)attempt);
+        },
+        std::move(done));
   }
-  void retrieve(const std::string& key,
-                std::function<void(Status, ValueDesc)> done) override {
-    dev_->retrieve(key, std::move(done));
+  void retrieve(std::string_view key, RetrieveDone done) override {
+    if (!faults_on_) {
+      dev_->retrieve(key, std::move(done));
+      return;
+    }
+    detail::run_with_retry(
+        eq_, retry_, host_retries_,
+        [this, key = std::string(key)](u32, auto cb) {
+          dev_->retrieve(key, std::move(cb));
+        },
+        std::move(done));
   }
-  void remove(const std::string& key,
-              std::function<void(Status)> done) override {
-    dev_->remove(key, std::move(done));
+  void remove(std::string_view key, RemoveDone done) override {
+    if (!faults_on_) {
+      dev_->remove(key, std::move(done));
+      return;
+    }
+    detail::run_with_retry(
+        eq_, retry_, host_retries_,
+        [this, key = std::string(key)](u32, auto cb) {
+          dev_->remove(key, std::move(cb));
+        },
+        std::move(done));
   }
-  void drain(std::function<void()> done) override {
-    dev_->flush(std::move(done));
-  }
+  void drain(sim::Task done) override { dev_->flush(std::move(done)); }
   [[nodiscard]] u64 host_cpu_ns() const override { return dev_->host_cpu_ns(); }
   [[nodiscard]] u64 device_bytes_used() const override {
     return ftl_->device_bytes_used();
@@ -72,6 +103,14 @@ class KvssdBed final : public KvStack {
   [[nodiscard]] u64 buffer_stall_events() const override {
     return ftl_->buffer_stalls();
   }
+  void apply_fault_plan(const ssd::FaultPlan& plan) override {
+    ftl_->set_fault_plan(plan);
+    faults_on_ = plan.enabled;
+  }
+  [[nodiscard]] const ssd::FaultInjector* fault_injector() const override {
+    return ftl_->fault_injector();
+  }
+  [[nodiscard]] u64 host_retries() const override { return host_retries_; }
 
  private:
   sim::EventQueue eq_;
@@ -79,6 +118,9 @@ class KvssdBed final : public KvStack {
   std::unique_ptr<kvftl::KvFtl> ftl_;
   std::unique_ptr<nvme::NvmeLink> link_;
   std::unique_ptr<kvapi::KvsDevice> dev_;
+  RetryPolicy retry_;
+  bool faults_on_ = false;
+  u64 host_retries_ = 0;
 };
 
 struct BlockBedConfig {
@@ -113,25 +155,50 @@ struct LsmBedConfig {
   blockapi::BlockApiConfig api;
   fs::FsConfig fs;
   lsm::LsmConfig lsm;
+  RetryPolicy retry;
 };
 
 class LsmBed final : public KvStack {
  public:
   explicit LsmBed(const LsmBedConfig& cfg = {});
 
-  void store(const std::string& key, ValueDesc v,
-             std::function<void(Status)> done) override {
-    store_->put(key, v, std::move(done));
+  void store(std::string_view key, ValueDesc v, StoreDone done) override {
+    if (!faults_on_) {
+      store_->put(key, v, std::move(done));
+      return;
+    }
+    detail::run_with_retry(
+        eq_, retry_, host_retries_,
+        [this, key = std::string(key), v](u32, auto cb) {
+          store_->put(key, v, std::move(cb));
+        },
+        std::move(done));
   }
-  void retrieve(const std::string& key,
-                std::function<void(Status, ValueDesc)> done) override {
-    store_->get(key, std::move(done));
+  void retrieve(std::string_view key, RetrieveDone done) override {
+    if (!faults_on_) {
+      store_->get(key, std::move(done));
+      return;
+    }
+    detail::run_with_retry(
+        eq_, retry_, host_retries_,
+        [this, key = std::string(key)](u32, auto cb) {
+          store_->get(key, std::move(cb));
+        },
+        std::move(done));
   }
-  void remove(const std::string& key,
-              std::function<void(Status)> done) override {
-    store_->del(key, std::move(done));
+  void remove(std::string_view key, RemoveDone done) override {
+    if (!faults_on_) {
+      store_->del(key, std::move(done));
+      return;
+    }
+    detail::run_with_retry(
+        eq_, retry_, host_retries_,
+        [this, key = std::string(key)](u32, auto cb) {
+          store_->del(key, std::move(cb));
+        },
+        std::move(done));
   }
-  void drain(std::function<void()> done) override;
+  void drain(sim::Task done) override;
   [[nodiscard]] u64 host_cpu_ns() const override {
     return store_->host_cpu_ns() + fs_->host_cpu_ns() + dev_->host_cpu_ns();
   }
@@ -159,6 +226,14 @@ class LsmBed final : public KvStack {
   [[nodiscard]] u64 buffer_stall_events() const override {
     return ftl_->buffer_stalls();
   }
+  void apply_fault_plan(const ssd::FaultPlan& plan) override {
+    ftl_->set_fault_plan(plan);
+    faults_on_ = plan.enabled;
+  }
+  [[nodiscard]] const ssd::FaultInjector* fault_injector() const override {
+    return ftl_->fault_injector();
+  }
+  [[nodiscard]] u64 host_retries() const override { return host_retries_; }
 
  private:
   sim::EventQueue eq_;
@@ -169,6 +244,9 @@ class LsmBed final : public KvStack {
   std::unique_ptr<fs::FileSystem> fs_;
   std::unique_ptr<lsm::LsmStore> store_;
   u64 app_bytes_ = 0;
+  RetryPolicy retry_;
+  bool faults_on_ = false;
+  u64 host_retries_ = 0;
 };
 
 struct HashKvBedConfig {
@@ -177,27 +255,50 @@ struct HashKvBedConfig {
   nvme::NvmeConfig nvme;
   blockapi::BlockApiConfig api;
   hashkv::HashKvConfig store;
+  RetryPolicy retry;
 };
 
 class HashKvBed final : public KvStack {
  public:
   explicit HashKvBed(const HashKvBedConfig& cfg = {});
 
-  void store(const std::string& key, ValueDesc v,
-             std::function<void(Status)> done) override {
-    store_->put(key, v, std::move(done));
+  void store(std::string_view key, ValueDesc v, StoreDone done) override {
+    if (!faults_on_) {
+      store_->put(key, v, std::move(done));
+      return;
+    }
+    detail::run_with_retry(
+        eq_, retry_, host_retries_,
+        [this, key = std::string(key), v](u32, auto cb) {
+          store_->put(key, v, std::move(cb));
+        },
+        std::move(done));
   }
-  void retrieve(const std::string& key,
-                std::function<void(Status, ValueDesc)> done) override {
-    store_->get(key, std::move(done));
+  void retrieve(std::string_view key, RetrieveDone done) override {
+    if (!faults_on_) {
+      store_->get(key, std::move(done));
+      return;
+    }
+    detail::run_with_retry(
+        eq_, retry_, host_retries_,
+        [this, key = std::string(key)](u32, auto cb) {
+          store_->get(key, std::move(cb));
+        },
+        std::move(done));
   }
-  void remove(const std::string& key,
-              std::function<void(Status)> done) override {
-    store_->del(key, std::move(done));
+  void remove(std::string_view key, RemoveDone done) override {
+    if (!faults_on_) {
+      store_->del(key, std::move(done));
+      return;
+    }
+    detail::run_with_retry(
+        eq_, retry_, host_retries_,
+        [this, key = std::string(key)](u32, auto cb) {
+          store_->del(key, std::move(cb));
+        },
+        std::move(done));
   }
-  void drain(std::function<void()> done) override {
-    store_->drain(std::move(done));
-  }
+  void drain(sim::Task done) override { store_->drain(std::move(done)); }
   [[nodiscard]] u64 host_cpu_ns() const override {
     return store_->host_cpu_ns() + dev_->host_cpu_ns();
   }
@@ -223,6 +324,14 @@ class HashKvBed final : public KvStack {
   [[nodiscard]] u64 buffer_stall_events() const override {
     return ftl_->buffer_stalls();
   }
+  void apply_fault_plan(const ssd::FaultPlan& plan) override {
+    ftl_->set_fault_plan(plan);
+    faults_on_ = plan.enabled;
+  }
+  [[nodiscard]] const ssd::FaultInjector* fault_injector() const override {
+    return ftl_->fault_injector();
+  }
+  [[nodiscard]] u64 host_retries() const override { return host_retries_; }
 
  private:
   sim::EventQueue eq_;
@@ -231,6 +340,9 @@ class HashKvBed final : public KvStack {
   std::unique_ptr<nvme::NvmeLink> link_;
   std::unique_ptr<blockapi::BlockDevice> dev_;
   std::unique_ptr<hashkv::HashKvStore> store_;
+  RetryPolicy retry_;
+  bool faults_on_ = false;
+  u64 host_retries_ = 0;
 };
 
 }  // namespace kvsim::harness

@@ -87,7 +87,8 @@ void HashKvStore::put(std::string_view key, ValueDesc value, PutDone done) {
               });
     return;
   }
-  eq_.schedule_at(t_cpu, [done = std::move(done)] { done(Status::kOk); });
+  eq_.schedule_at(t_cpu,
+                  [done = std::move(done)]() mutable { done(Status::kOk); });
 }
 
 void HashKvStore::append_record(const std::string& key, ValueDesc value,
@@ -223,7 +224,7 @@ void HashKvStore::get(std::string_view key, GetDone done) {
 
   auto it = index_.find(std::string(key));
   if (it == index_.end()) {
-    eq_.schedule_at(t_cpu, [done = std::move(done)] {
+    eq_.schedule_at(t_cpu, [done = std::move(done)]() mutable {
       done(Status::kNotFound, ValueDesc{});
     });
     return;
@@ -232,7 +233,7 @@ void HashKvStore::get(std::string_view key, GetDone done) {
   const ValueDesc out{rec.vsize, rec.vfp};
   if (rec.wb == kBufferBlock) {  // record still staged in host RAM
     eq_.schedule_at(t_cpu + cfg_.buffer_copy_ns,
-                    [out, done = std::move(done)] {
+                    [out, done = std::move(done)]() mutable {
                       done(Status::kOk, out);
                     });
     return;
@@ -243,7 +244,7 @@ void HashKvStore::get(std::string_view key, GetDone done) {
   const u32 span =
       (rec.offset + rec.size - first + sector - 1) / sector * sector;
   dev_.read(wb_lba(rec.wb, first), span,
-            [out, done = std::move(done)](Status s, u64) {
+            [out, done = std::move(done)](Status s, u64) mutable {
               done(s == Status::kOk ? Status::kOk : s, out);
             });
 }
@@ -254,22 +255,24 @@ void HashKvStore::del(std::string_view key, PutDone done) {
   const TimeNs t_cpu = fg_cpu_.reserve(eq_.now(), cost);
   auto it = index_.find(std::string(key));
   if (it == index_.end()) {
-    eq_.schedule_at(t_cpu,
-                    [done = std::move(done)] { done(Status::kNotFound); });
+    eq_.schedule_at(t_cpu, [done = std::move(done)]() mutable {
+      done(Status::kNotFound);
+    });
     return;
   }
   invalidate(it->first, it->second);
   app_bytes_live_ -=
       std::min<u64>(app_bytes_live_, it->first.size() + it->second.vsize);
   index_.erase(it);
-  eq_.schedule_at(t_cpu, [done = std::move(done)] { done(Status::kOk); });
+  eq_.schedule_at(t_cpu,
+                  [done = std::move(done)]() mutable { done(Status::kOk); });
 }
 
 // ---------------------------------------------------------------------------
 // Drain
 // ---------------------------------------------------------------------------
 
-void HashKvStore::drain(std::function<void()> done) {
+void HashKvStore::drain(sim::Task done) {
   drain_waiters_.push_back(std::move(done));
   if (buf_used_ > 0) flush_buffer([](Status) {});
   maybe_drain_done();

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "blockapi/block_device.h"
+#include "sim/task.h"
 
 namespace kvsim::hashkv {
 
@@ -49,8 +50,8 @@ struct HashKvConfig {
 
 class HashKvStore {
  public:
-  using PutDone = std::function<void(Status)>;
-  using GetDone = std::function<void(Status, ValueDesc)>;
+  using PutDone = sim::Fn<void(Status)>;
+  using GetDone = sim::Fn<void(Status, ValueDesc)>;
 
   HashKvStore(sim::EventQueue& eq, blockapi::BlockDevice& dev,
               const HashKvConfig& cfg = {});
@@ -60,7 +61,7 @@ class HashKvStore {
   void del(std::string_view key, PutDone done);
 
   /// Flush the active write buffer and wait for defrag to go idle.
-  void drain(std::function<void()> done);
+  void drain(sim::Task done);
 
   // --- telemetry -----------------------------------------------------------
   [[nodiscard]] u64 host_cpu_ns() const { return cpu_ns_; }
@@ -127,7 +128,7 @@ class HashKvStore {
   u64 cpu_ns_ = 0;
   u64 defrags_ = 0;
   u64 app_bytes_live_ = 0;
-  std::vector<std::function<void()>> drain_waiters_;
+  std::vector<sim::Task> drain_waiters_;
 };
 
 }  // namespace kvsim::hashkv

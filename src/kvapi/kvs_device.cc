@@ -16,7 +16,7 @@ void KvsDevice::store(std::string_view key, ValueDesc value, StoreDone done,
                      k, value,
                      [this, done = std::move(done)](Status s) mutable {
                        link_.complete(0,
-                                      [s, done = std::move(done)] { done(s); });
+                                      [s, done = std::move(done)]() mutable { done(s); });
                      },
                      stream, nsid);
                });
@@ -32,7 +32,7 @@ void KvsDevice::retrieve(std::string_view key, RetrieveDone done, u8 nsid) {
                      [this, done = std::move(done)](Status s,
                                                     ValueDesc v) mutable {
                        link_.complete(v.size,
-                                      [s, v, done = std::move(done)] {
+                                      [s, v, done = std::move(done)]() mutable {
                                         done(s, v);
                                       });
                      },
@@ -49,7 +49,7 @@ void KvsDevice::remove(std::string_view key, StoreDone done, u8 nsid) {
                      k,
                      [this, done = std::move(done)](Status s) mutable {
                        link_.complete(0,
-                                      [s, done = std::move(done)] { done(s); });
+                                      [s, done = std::move(done)]() mutable { done(s); });
                      },
                      nsid);
                });
@@ -65,7 +65,7 @@ void KvsDevice::exist(std::string_view key, ExistDone done, u8 nsid) {
                      [this, done = std::move(done)](Status s,
                                                     bool found) mutable {
                        link_.complete(0,
-                                      [s, found, done = std::move(done)] {
+                                      [s, found, done = std::move(done)]() mutable {
                                         done(s, found);
                                       });
                      },

@@ -58,7 +58,7 @@ class KvsDevice {
     ftl_.iterate_bucket(bucket, std::move(done));
   }
 
-  void flush(std::function<void()> done) { ftl_.flush(std::move(done)); }
+  void flush(sim::Task done) { ftl_.flush(std::move(done)); }
 
   /// Host CPU consumed by the API + driver (submission + completions).
   [[nodiscard]] u64 host_cpu_ns() const {

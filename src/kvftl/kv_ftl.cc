@@ -20,6 +20,26 @@ using JoinPtr = std::shared_ptr<Join>;
 JoinPtr make_join(int n, sim::Task then) {
   return std::make_shared<Join>(Join{n, std::move(then)});
 }
+
+// Join that also accumulates a completion status: the first failure any
+// arm reports wins (later failures of an already-failed request drop).
+struct ReadJoin {
+  int remaining;
+  Status st = Status::kOk;
+  sim::Fn<void(Status)> then;
+  void fail(Status s) {
+    if (st == Status::kOk) st = s;
+  }
+  void arrive() {
+    if (--remaining == 0) then(st);
+  }
+};
+std::shared_ptr<ReadJoin> make_read_join(int n, sim::Fn<void(Status)> then) {
+  auto j = std::make_shared<ReadJoin>();
+  j->remaining = n;
+  j->then = std::move(then);
+  return j;
+}
 }  // namespace
 
 namespace {
@@ -71,6 +91,16 @@ KvFtl::KvFtl(sim::EventQueue& eq, flash::FlashController& flash,
 KvFtl::~KvFtl() {
   if (flash_audit_ && flash_.audit() == flash_audit_.get())
     flash_.set_audit(nullptr);
+  if (faults_ && flash_.faults() == faults_.get()) flash_.set_faults(nullptr);
+}
+
+void KvFtl::set_fault_plan(const ssd::FaultPlan& plan) {
+  plan.validate();
+  if (faults_ && flash_.faults() == faults_.get()) flash_.set_faults(nullptr);
+  faults_.reset();
+  if (!plan.enabled) return;
+  faults_ = std::make_unique<ssd::FaultInjector>(plan, geom_, eq_);
+  flash_.set_faults(faults_.get());
 }
 
 void KvFtl::audit_verify() const {
@@ -169,6 +199,7 @@ u64 KvFtl::device_bytes_used() const {
 
 void KvFtl::store(std::string_view key, ValueDesc value, StoreDone done,
                   u8 stream, u8 nsid) {
+  if (busy_rejected(done)) return;
   if (stream >= cfg_.write_streams) stream = (u8)(cfg_.write_streams - 1);
   if (key.size() < cfg_.min_key_bytes || key.size() > cfg_.max_key_bytes ||
       value.size > cfg_.max_value_bytes) {
@@ -215,7 +246,7 @@ void KvFtl::store(std::string_view key, ValueDesc value, StoreDone done,
   auto join = make_join(
       2 + (int)ic.segment_reads,
       [this, khash, key_copy, value, slots, nchunks, stream, nsid,
-       done = std::move(done)] {
+       done = std::move(done)]() mutable {
         BlobRec& blob = blob_table_[khash];
         // Re-decide new-vs-overwrite here: a concurrent store of the same
         // fresh key may have landed while this one was in flight.
@@ -358,10 +389,13 @@ void KvFtl::seal_page(Lane& lane, bool is_gc) {
   const TimeNs t_pack = packer_.reserve(eq_.now(), cfg_.pack_page_ns);
   eq_.schedule_at(t_pack, [this, page, host_bytes, is_gc] {
     flash_.program_page(page, geom_.page_bytes, [this, page, host_bytes,
-                                                 is_gc] {
+                                                 is_gc](flash::OpStatus st) {
       buffered_pages_.erase(page);
       --buffered_count_[page / geom_.pages_per_block];
       if (!is_gc) buffer_.release(host_bytes);
+      // Recovery may issue fresh programs a flush() waiter must wait
+      // for, so it runs before the outstanding-program drain check.
+      if (st == flash::OpStatus::kProgramFail) on_program_fail(page);
       if (--outstanding_programs_ == 0 && !drain_waiters_.empty()) {
         auto waiters = std::move(drain_waiters_);
         drain_waiters_.clear();
@@ -439,6 +473,7 @@ void KvFtl::read_cache_evict(u64 khash) {
 // ---------------------------------------------------------------------------
 
 void KvFtl::retrieve(std::string_view key, RetrieveDone done, u8 nsid) {
+  if (busy_rejected(done, ValueDesc{})) return;
   const u64 khash = hash64(key, nsid);
   ++stats_.host_read_ops;
   const TimeNs t_disp = kv_core_.reserve(eq_.now(), cfg_.dispatch_ns);
@@ -447,7 +482,7 @@ void KvFtl::retrieve(std::string_view key, RetrieveDone done, u8 nsid) {
 
   if (!bloom_.may_contain(khash)) {
     ++bloom_fast_negatives_;
-    eq_.schedule_at(t_mgr, [done = std::move(done)] {
+    eq_.schedule_at(t_mgr, [done = std::move(done)]() mutable {
       done(Status::kNotFound, ValueDesc{});
     });
     return;
@@ -457,7 +492,7 @@ void KvFtl::retrieve(std::string_view key, RetrieveDone done, u8 nsid) {
   auto it = blob_table_.find(khash);
   if (it == blob_table_.end()) {  // Bloom false positive
     auto join = make_join(1 + (int)ic.segment_reads,
-                          [done = std::move(done)] {
+                          [done = std::move(done)]() mutable {
                             done(Status::kNotFound, ValueDesc{});
                           });
     eq_.schedule_at(t_mgr, [join] { join->arrive(); });
@@ -471,7 +506,7 @@ void KvFtl::retrieve(std::string_view key, RetrieveDone done, u8 nsid) {
 
   if (read_cache_lookup(khash, blob.value_bytes)) {
     eq_.schedule_at(t_mgr + cfg_.cache_hit_ns,
-                    [out, done = std::move(done)] {
+                    [out, done = std::move(done)]() mutable {
                       done(Status::kOk, out);
                     });
     return;
@@ -496,22 +531,33 @@ void KvFtl::retrieve(std::string_view key, RetrieveDone done, u8 nsid) {
 
   // All flash chunks of the blob batch into one die-op completion: the
   // host sees the value when its slowest chunk arrives either way.
-  auto join = make_join(
+  auto join = make_read_join(
       1 + (int)ic.segment_reads + (reads.empty() ? 0 : 1) + buffered_chunks,
-      [this, khash, out, done = std::move(done)] {
-        read_cache_insert(khash, out.size);
-        done(Status::kOk, out);
+      [this, khash, out, done = std::move(done)](Status st) mutable {
+        if (st == Status::kOk) read_cache_insert(khash, out.size);
+        done(st, out);
       });
   eq_.schedule_at(t_mgr, [join] { join->arrive(); });
   charge_index_cost(ic, [join] { join->arrive(); });
   if (!reads.empty())
-    flash_.read_multi(reads.data(), (u32)reads.size(),
-                      [join] { join->arrive(); });
+    flash_.read_multi(
+        reads.data(), (u32)reads.size(),
+        [this, join](flash::OpStatus st, flash::PageId bad) {
+          if (st == flash::OpStatus::kUncorrectable) {
+            join->fail(Status::kMediaError);
+            on_read_media_error(bad);
+          } else if (st == flash::OpStatus::kTimeout) {
+            join->fail(Status::kTimeout);
+            ++stats_.op_timeouts;
+          }
+          join->arrive();
+        });
   for (int i = 0; i < buffered_chunks; ++i)
     eq_.schedule_after(cfg_.cache_hit_ns, [join] { join->arrive(); });
 }
 
 void KvFtl::remove(std::string_view key, StoreDone done, u8 nsid) {
+  if (busy_rejected(done)) return;
   const u64 khash = hash64(key, nsid);
   const TimeNs t_disp = kv_core_.reserve(eq_.now(), cfg_.dispatch_ns);
   const TimeNs t_mgr = managers_[khash % managers_.size()].reserve(
@@ -519,14 +565,16 @@ void KvFtl::remove(std::string_view key, StoreDone done, u8 nsid) {
 
   if (!bloom_.may_contain(khash)) {
     ++bloom_fast_negatives_;
-    eq_.schedule_at(t_mgr,
-                    [done = std::move(done)] { done(Status::kNotFound); });
+    eq_.schedule_at(t_mgr, [done = std::move(done)]() mutable {
+      done(Status::kNotFound);
+    });
     return;
   }
   auto it = blob_table_.find(khash);
   if (it == blob_table_.end()) {
-    eq_.schedule_at(t_mgr,
-                    [done = std::move(done)] { done(Status::kNotFound); });
+    eq_.schedule_at(t_mgr, [done = std::move(done)]() mutable {
+      done(Status::kNotFound);
+    });
     return;
   }
 
@@ -539,19 +587,22 @@ void KvFtl::remove(std::string_view key, StoreDone done, u8 nsid) {
   if (ns_kvp_counts_[nsid] > 0) --ns_kvp_counts_[nsid];
 
   auto join = make_join(1 + (int)ic.segment_reads,
-                        [done = std::move(done)] { done(Status::kOk); });
+                        [done = std::move(done)]() mutable {
+                          done(Status::kOk);
+                        });
   eq_.schedule_at(t_mgr, [join] { join->arrive(); });
   charge_index_cost(ic, [join] { join->arrive(); });
 }
 
 void KvFtl::exist(std::string_view key, ExistDone done, u8 nsid) {
+  if (busy_rejected(done, false)) return;
   const u64 khash = hash64(key, nsid);
   const TimeNs t_disp = kv_core_.reserve(eq_.now(), cfg_.dispatch_ns);
   const TimeNs t_mgr = managers_[khash % managers_.size()].reserve(
       t_disp, cfg_.key_handling_ns);
   if (!bloom_.may_contain(khash)) {
     ++bloom_fast_negatives_;
-    eq_.schedule_at(t_mgr, [done = std::move(done)] {
+    eq_.schedule_at(t_mgr, [done = std::move(done)]() mutable {
       done(Status::kOk, false);
     });
     return;
@@ -559,7 +610,7 @@ void KvFtl::exist(std::string_view key, ExistDone done, u8 nsid) {
   const IndexCost ic = index_.on_lookup(khash);
   const bool found = blob_table_.count(khash) != 0;
   auto join = make_join(1 + (int)ic.segment_reads,
-                        [found, done = std::move(done)] {
+                        [found, done = std::move(done)]() mutable {
                           done(Status::kOk, found);
                         });
   eq_.schedule_at(t_mgr, [join] { join->arrive(); });
@@ -736,10 +787,14 @@ void KvFtl::run_gc() {
     });
     for (flash::BlockId b : free_wins) {
       block_state_[b] = kErasing;
-      flash_.erase_block(b, [this, b, join] {
-        blocks_[b].recs.clear();
-        block_state_[b] = kFree;
-        alloc_.release(b);
+      flash_.erase_block(b, [this, b, join](flash::OpStatus st) {
+        if (st == flash::OpStatus::kEraseFail) {
+          retire_erase_failed(b);
+        } else {
+          blocks_[b].recs.clear();
+          block_state_[b] = kFree;
+          alloc_.release(b);
+        }
         join->arrive();
       });
     }
@@ -798,12 +853,18 @@ void KvFtl::migrate_and_erase(flash::BlockId victim) {
 
 void KvFtl::finish_gc(flash::BlockId victim) {
   block_state_[victim] = kErasing;
-  flash_.erase_block(victim, [this, victim] {
-    blocks_[victim].recs.clear();
-    blocks_[victim].valid_slots = 0;
-    block_state_[victim] = kFree;
-    alloc_.release(victim);
-    on_block_freed();
+  flash_.erase_block(victim, [this, victim](flash::OpStatus st) {
+    if (st == flash::OpStatus::kEraseFail) {
+      // The victim leaves the candidate set as a grown bad block; the
+      // futility math below sees nothing freed and moves on.
+      retire_erase_failed(victim);
+    } else {
+      blocks_[victim].recs.clear();
+      blocks_[victim].valid_slots = 0;
+      block_state_[victim] = kFree;
+      alloc_.release(victim);
+      on_block_freed();
+    }
     // Futility check: slots consumed (migrated data + regenerated page
     // waste) nearly equal to the slots the erased block returned mean GC
     // cannot create net free space.
@@ -833,6 +894,24 @@ void KvFtl::finish_gc(flash::BlockId victim) {
 }
 
 void KvFtl::on_block_freed() {
+  // Recovery re-placements drain first: they restore chunks the host
+  // already considers durable, so they outrank new host writes.
+  while (!recovery_pending_.empty()) {
+    const PendingChunk pc = recovery_pending_.front();
+    auto it = blob_table_.find(pc.khash);
+    if (it == blob_table_.end() || it->second.gen != pc.gen ||
+        pc.chunk_idx >= it->second.chunks.size() ||
+        it->second.chunks[pc.chunk_idx].block != kPendingBlock) {
+      // Deleted or overwritten while queued; recovery chunks hold no
+      // buffer bytes, so dropping them releases nothing.
+      recovery_pending_.pop_front();
+      continue;
+    }
+    if (!place_chunk(pc.khash, pc.chunk_idx, pc.slot_count, /*is_gc=*/true,
+                     pc.stream))
+      break;
+    recovery_pending_.pop_front();
+  }
   while (!pending_chunks_.empty()) {
     const PendingChunk pc = pending_chunks_.front();
     auto it = blob_table_.find(pc.khash);
@@ -848,6 +927,93 @@ void KvFtl::on_block_freed() {
       break;
     pending_chunks_.pop_front();
   }
+}
+
+// ---------------------------------------------------------------------------
+// Fault recovery
+// ---------------------------------------------------------------------------
+
+void KvFtl::relocate_page_chunks(flash::PageId p) {
+  const flash::BlockId b = geom_.block_of_page(p);
+  const u32 page = geom_.page_in_block(p);
+  // Index-based loop: place_chunk may append to this very record list if
+  // a GC lane re-opens on block `b` (media-error scrub of a live block).
+  for (u32 ri = 0; ri < (u32)blocks_[b].recs.size(); ++ri) {
+    ChunkRec& rec = blocks_[b].recs[ri];
+    if (!rec.valid || rec.page != page) continue;
+    const u64 khash = rec.khash;
+    const u8 chunk_idx = rec.chunk_idx;
+    const u16 slot_count = rec.slot_count;
+    rec.valid = false;
+    blocks_[b].valid_slots -= slot_count;
+    live_slots_ -= std::min<u64>(live_slots_, slot_count);
+    if (log_audit_)
+      log_audit_->on_invalidate(khash, chunk_idx, (u32)b, ri);
+    auto it = blob_table_.find(khash);
+    if (it == blob_table_.end()) continue;  // blob already reclaimed
+    ++stats_.remapped_units;
+    // Each recovered chunk re-enters the log and pays the same index
+    // relocation delta a GC migration would.
+    charge_index_cost(index_.on_relocate(khash), [] {});
+    if (!place_chunk(khash, chunk_idx, slot_count, /*is_gc=*/true, 0)) {
+      it->second.chunks[chunk_idx] = ChunkRef{kPendingBlock, 0};
+      recovery_pending_.push_back(
+          PendingChunk{khash, it->second.gen, chunk_idx, 0, slot_count});
+    }
+  }
+}
+
+void KvFtl::on_read_media_error(flash::PageId p) {
+  ++stats_.read_media_errors;
+  // The command that hit the error still fails with kMediaError; the
+  // firmware scrubs the page so a host retry finds relocated copies.
+  relocate_page_chunks(p);
+}
+
+void KvFtl::on_program_fail(flash::PageId page) {
+  ++stats_.program_failures;
+  ++stats_.reprogrammed_pages;
+  // Retire first so the re-drive below can never land on the bad block.
+  retire_block(geom_.block_of_page(page));
+  relocate_page_chunks(page);
+}
+
+void KvFtl::retire_block(flash::BlockId b) {
+  if (block_state_[b] == kBad) return;
+  for (auto& lane : lanes_) close_lane(lane, b, /*is_gc=*/false);
+  for (auto& lane : gc_lanes_) close_lane(lane, b, /*is_gc=*/true);
+  block_state_[b] = kBad;
+  ++stats_.grown_bad_blocks;
+  // Not released to the allocator: the block is dead capacity. Chunks on
+  // its already-programmed pages stay readable until invalidated.
+}
+
+void KvFtl::close_lane(Lane& lane, flash::BlockId b, bool is_gc) {
+  if (!lane.block || *lane.block != b) return;
+  const u32 open_page = lane.next_page;
+  if (lane.used_slots > 0) {
+    buffered_pages_.erase(geom_.page_id(b, open_page));
+    --buffered_count_[b];
+    // Host chunks of the aborted page free their buffer space here; the
+    // re-driven copies ride the recovery path, which never re-acquires.
+    if (!is_gc) buffer_.release(lane.buffered_bytes);
+  }
+  lane.used_slots = 0;
+  lane.buffered_bytes = 0;
+  ++lane.flush_arm;  // cancel any pending partial-flush timer
+  lane.block.reset();
+  // The open page will never program; re-drive its chunks after the lane
+  // has let go of the block so placement cannot target it again.
+  relocate_page_chunks(geom_.page_id(b, open_page));
+}
+
+void KvFtl::retire_erase_failed(flash::BlockId b) {
+  ++stats_.erase_failures;
+  ++stats_.grown_bad_blocks;
+  blocks_[b].recs.clear();  // every record was invalid before the erase
+  blocks_[b].valid_slots = 0;
+  block_state_[b] = kBad;
+  // Never released: dead capacity.
 }
 
 }  // namespace kvsim::kvftl

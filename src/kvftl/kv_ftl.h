@@ -38,9 +38,11 @@
 #include "kvftl/iterator_buckets.h"
 #include "kvftl/packing.h"
 #include "sim/event_queue.h"
+#include "sim/task.h"
 #include "ssd/allocator.h"
 #include "ssd/audit.h"
 #include "ssd/config.h"
+#include "ssd/fault.h"
 #include "ssd/stats.h"
 #include "ssd/write_buffer.h"
 
@@ -84,9 +86,9 @@ struct KvFtlConfig {
 
 class KvFtl {
  public:
-  using StoreDone = std::function<void(Status)>;
-  using RetrieveDone = std::function<void(Status, ValueDesc)>;
-  using ExistDone = std::function<void(Status, bool)>;
+  using StoreDone = sim::Fn<void(Status)>;
+  using RetrieveDone = sim::Fn<void(Status, ValueDesc)>;
+  using ExistDone = sim::Fn<void(Status, bool)>;
 
   KvFtl(sim::EventQueue& eq, flash::FlashController& flash,
         const ssd::SsdConfig& dev, const KvFtlConfig& cfg);
@@ -157,8 +159,22 @@ class KvFtl {
   /// when garbage collection stops.
   void audit_verify() const;
 
+  /// Arm (plan.enabled) or disarm fault injection. Disarmed, no injector
+  /// exists and the flash hot path is exactly the pre-fault one. Arming
+  /// mid-run is allowed; the injector's wear clock starts at zero.
+  void set_fault_plan(const ssd::FaultPlan& plan);
+  /// The active injector, or nullptr when faults are disarmed.
+  [[nodiscard]] const ssd::FaultInjector* fault_injector() const {
+    return faults_.get();
+  }
+
  private:
-  enum BlockState : u8 { kFree = 0, kOpen, kSealed, kErasing, kIndexBlock };
+  /// kBad: a grown bad block — retired after a program/erase failure.
+  /// Never erased, never re-allocated, skipped by GC; chunks on its
+  /// already-programmed pages stay readable (dead capacity).
+  enum BlockState : u8 {
+    kFree = 0, kOpen, kSealed, kErasing, kIndexBlock, kBad
+  };
 
   struct ChunkRec {
     u64 khash;
@@ -226,6 +242,33 @@ class KvFtl {
   void migrate_and_erase(flash::BlockId victim);
   void finish_gc(flash::BlockId victim);
   void on_block_freed();
+
+  // --- fault recovery ---
+  /// True (and the command was answered kDeviceBusy with `extra...` as
+  /// the remaining completion arguments) when the front end is inside a
+  /// stall-induced busy window.
+  template <typename D, typename... Extra>
+  [[nodiscard]] bool busy_rejected(D& done, Extra... extra) {
+    if (!faults_ || !faults_->host_busy()) return false;
+    ++stats_.busy_rejections;
+    eq_.schedule_after(cfg_.dispatch_ns,
+                       [done = std::move(done), extra...]() mutable {
+                         done(Status::kDeviceBusy, extra...);
+                       });
+    return true;
+  }
+  /// Re-place every valid chunk recorded on page `p` through a GC lane
+  /// (media scrub / failed-program re-drive), charging the same index
+  /// relocation delta a GC migration pays. Chunks that find no block
+  /// wait in recovery_pending_.
+  void relocate_page_chunks(flash::PageId p);
+  void on_read_media_error(flash::PageId p);
+  void on_program_fail(flash::PageId page);
+  /// Mark `b` as a grown bad block, closing any lane still filling it
+  /// (its buffered chunks re-route through the recovery path).
+  void retire_block(flash::BlockId b);
+  void close_lane(Lane& lane, flash::BlockId b, bool is_gc);
+  void retire_erase_failed(flash::BlockId b);
 
   [[nodiscard]] u64 data_slot_capacity() const;
 
@@ -295,6 +338,13 @@ class KvFtl {
 
   u64 outstanding_programs_ = 0;
   std::vector<sim::Task> drain_waiters_;
+
+  // Fault injection (null unless a plan is armed) and chunks whose
+  // recovery re-placement is waiting for a free block. Recovery chunks
+  // hold no write-buffer bytes (their share was released when the
+  // original page failed or its lane closed).
+  std::unique_ptr<ssd::FaultInjector> faults_;
+  std::deque<PendingChunk> recovery_pending_;
 
   // KVSIM_AUDIT shadow models (null when auditing is compiled out)
   std::unique_ptr<ssd::FlashAudit> flash_audit_;

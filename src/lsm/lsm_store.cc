@@ -6,15 +6,22 @@
 namespace kvsim::lsm {
 
 namespace {
+// Status-accumulating join: completes with the first non-Ok status seen,
+// so device faults surfacing through the filesystem reach the caller.
 struct Join {
   int remaining;
-  std::function<void()> then;
-  void arrive() {
-    if (--remaining == 0) then();
+  Status st = Status::kOk;
+  sim::Fn<void(Status)> then;
+  void arrive(Status s = Status::kOk) {
+    if (s != Status::kOk && st == Status::kOk) st = s;
+    if (--remaining == 0) then(st);
   }
 };
-std::shared_ptr<Join> make_join(int n, std::function<void()> then) {
-  return std::make_shared<Join>(Join{n, std::move(then)});
+std::shared_ptr<Join> make_join(int n, sim::Fn<void(Status)> then) {
+  auto j = std::make_shared<Join>();
+  j->remaining = n;
+  j->then = std::move(then);
+  return j;
 }
 
 u64 mem_entry_bytes(std::string_view key, const ValueDesc& v) {
@@ -87,11 +94,14 @@ void LsmStore::do_write(std::string_view key, ValueDesc value, bool tombstone,
   }
 
   if (wal_io) {
-    auto join = make_join(2, [done = std::move(done)] { done(Status::kOk); });
+    auto join = make_join(
+        2, [done = std::move(done)](Status s) mutable { done(s); });
     eq_.schedule_at(t_cpu, [join] { join->arrive(); });
-    fs_.append(wal_file_, wal_chunk, seq_, [join](Status) { join->arrive(); });
+    fs_.append(wal_file_, wal_chunk, seq_,
+               [join](Status s) { join->arrive(s); });
   } else {
-    eq_.schedule_at(t_cpu, [done = std::move(done)] { done(Status::kOk); });
+    eq_.schedule_at(t_cpu,
+                    [done = std::move(done)]() mutable { done(Status::kOk); });
   }
 
   if (mt_bytes_ >= cfg_.memtable_bytes && !immutable_) rotate_memtable();
@@ -457,7 +467,8 @@ void LsmStore::get(std::string_view key, GetDone done) {
   auto answer = [&](const MemEntry& e) {
     const Status s = e.tombstone ? Status::kNotFound : Status::kOk;
     const ValueDesc v = e.tombstone ? ValueDesc{} : e.value;
-    eq_.schedule_at(t_cpu, [s, v, done = std::move(done)] { done(s, v); });
+    eq_.schedule_at(
+        t_cpu, [s, v, done = std::move(done)]() mutable { done(s, v); });
   };
   if (auto it = memtable_.find(key); it != memtable_.end()) {
     answer(it->second);
@@ -530,17 +541,21 @@ void LsmStore::get_from_ssts(std::string key, u64 khash,
   cpu_ns_ += cfg_.block_parse_ns;
   if (cache_lookup(block_key)) {
     eq_.schedule_after(cfg_.block_parse_ns,
-                       [s, v, done = std::move(done)] { done(s, v); });
+                       [s, v, done = std::move(done)]() mutable { done(s, v); });
     return;
   }
   const u64 nblocks =
       (e.value.size + cfg_.data_block_bytes - 1) / cfg_.data_block_bytes;
   const u64 read_bytes = std::max<u64>(1, nblocks) * cfg_.data_block_bytes;
   fs_.read(sst->file, block_no * cfg_.data_block_bytes, read_bytes,
-           [this, block_key, s, v, done = std::move(done)](Status,
+           [this, block_key, s, v, done = std::move(done)](Status rs,
                                                            u64) mutable {
              cache_insert(block_key);
-             done(s, v);
+             if (rs != Status::kOk) {
+               done(rs, ValueDesc{});  // media/timeout error trumps hit
+             } else {
+               done(s, v);
+             }
            });
 }
 
@@ -567,7 +582,7 @@ void LsmStore::cache_insert(u64 block_key) {
 // Drain / telemetry
 // ---------------------------------------------------------------------------
 
-void LsmStore::drain(std::function<void()> done) {
+void LsmStore::drain(sim::Task done) {
   draining_ = true;
   quiesce_waiters_.push_back(std::move(done));
   if (!memtable_.empty() && !immutable_) rotate_memtable();

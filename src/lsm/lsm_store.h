@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "lsm/sst.h"
+#include "sim/task.h"
 
 namespace kvsim::lsm {
 
@@ -54,8 +55,8 @@ struct LsmConfig {
 
 class LsmStore {
  public:
-  using PutDone = std::function<void(Status)>;
-  using GetDone = std::function<void(Status, ValueDesc)>;
+  using PutDone = sim::Fn<void(Status)>;
+  using GetDone = sim::Fn<void(Status, ValueDesc)>;
 
   LsmStore(sim::EventQueue& eq, fs::FileSystem& fs, const LsmConfig& cfg);
 
@@ -64,7 +65,7 @@ class LsmStore {
   void get(std::string_view key, GetDone done);
 
   /// Flush the memtable and wait for all background work to quiesce.
-  void drain(std::function<void()> done);
+  void drain(sim::Task done);
 
   // --- telemetry -----------------------------------------------------------
   /// Host CPU burned by this store (foreground + compaction), excluding
@@ -177,7 +178,7 @@ class LsmStore {
   u32 peak_compactions_ = 0;
   u64 trivial_moves_ = 0;
   u64 flushes_ = 0;
-  std::vector<std::function<void()>> quiesce_waiters_;
+  std::vector<sim::Task> quiesce_waiters_;
 };
 
 }  // namespace kvsim::lsm

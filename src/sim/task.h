@@ -1,12 +1,16 @@
-// sim::Task — the simulator's one-shot completion callback.
+// sim::Fn — the simulator's one-shot, move-only callback template.
 //
-// A move-only replacement for std::function<void()> on the event hot
-// path. The common simulator capture (a couple of pointers, a shared_ptr
+// A move-only replacement for std::function on the event hot path.
+// The common simulator capture (a couple of pointers, a shared_ptr
 // join latch, a timestamp) fits the 48-byte inline buffer, so scheduling
 // an event never touches the heap; larger or over-aligned callables fall
 // back to a single heap allocation, preserving exact semantics (no
-// slicing, destructor runs exactly once). Unlike std::function, Task
+// slicing, destructor runs exactly once). Unlike std::function, Fn
 // accepts move-only callables (e.g. lambdas owning a unique_ptr).
+//
+// sim::Task (= Fn<void()>) is the event queue's native event payload;
+// status-carrying completions (device command callbacks) use the wider
+// signatures, e.g. Fn<void(Status)>.
 #pragma once
 
 #include <cstddef>
@@ -16,23 +20,27 @@
 
 namespace kvsim::sim {
 
-class Task {
+template <typename Sig>
+class Fn;  // only the function-signature specialization below exists
+
+template <typename R, typename... Args>
+class Fn<R(Args...)> {
  public:
   /// Inline small-buffer capacity in bytes. Callables at most this big
   /// (with fundamental alignment and a noexcept move) are stored inline.
   static constexpr std::size_t kInlineBytes = 48;
 
-  Task() noexcept = default;
-  Task(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+  Fn() noexcept = default;
+  Fn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
 
-  /// Wrap any void() callable. Intentionally implicit so every existing
-  /// call site passing a lambda or std::function keeps compiling.
+  /// Wrap any compatible callable. Intentionally implicit so every
+  /// existing call site passing a lambda or std::function keeps compiling.
   template <typename F,
             typename = std::enable_if_t<
-                !std::is_same_v<std::remove_cvref_t<F>, Task> &&
+                !std::is_same_v<std::remove_cvref_t<F>, Fn> &&
                 !std::is_same_v<std::remove_cvref_t<F>, std::nullptr_t> &&
-                std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
-  Task(F&& f) {  // NOLINT(google-explicit-constructor)
+                std::is_invocable_r_v<R, std::remove_cvref_t<F>&, Args...>>>
+  Fn(F&& f) {  // NOLINT(google-explicit-constructor)
     using D = std::remove_cvref_t<F>;
     if constexpr (fits_inline<D>()) {
       ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
@@ -43,24 +51,26 @@ class Task {
     }
   }
 
-  Task(Task&& o) noexcept { move_from(o); }
-  Task& operator=(Task&& o) noexcept {
+  Fn(Fn&& o) noexcept { move_from(o); }
+  Fn& operator=(Fn&& o) noexcept {
     if (this != &o) {
       reset();
       move_from(o);
     }
     return *this;
   }
-  Task(const Task&) = delete;
-  Task& operator=(const Task&) = delete;
-  ~Task() { reset(); }
+  Fn(const Fn&) = delete;
+  Fn& operator=(const Fn&) = delete;
+  ~Fn() { reset(); }
 
   [[nodiscard]] explicit operator bool() const noexcept {
     return ops_ != nullptr;
   }
 
   /// Invoke the callable. Must hold one (not be empty / moved-from).
-  void operator()() { ops_->invoke(buf_); }
+  R operator()(Args... args) {
+    return ops_->invoke(buf_, std::forward<Args>(args)...);
+  }
 
   /// True when the callable lives in the inline buffer (test hook for the
   /// allocation-regression suite).
@@ -78,7 +88,7 @@ class Task {
 
  private:
   struct Ops {
-    void (*invoke)(void*);
+    R (*invoke)(void*, Args&&...);
     /// Move-construct into dst from src, then destroy src ("relocate").
     void (*relocate)(void* dst, void* src) noexcept;
     void (*destroy)(void*) noexcept;
@@ -87,7 +97,9 @@ class Task {
 
   template <typename D>
   static constexpr Ops kInlineOps{
-      [](void* p) { (*static_cast<D*>(p))(); },
+      [](void* p, Args&&... args) -> R {
+        return (*static_cast<D*>(p))(std::forward<Args>(args)...);
+      },
       [](void* dst, void* src) noexcept {
         ::new (dst) D(std::move(*static_cast<D*>(src)));
         static_cast<D*>(src)->~D();
@@ -97,14 +109,16 @@ class Task {
 
   template <typename D>
   static constexpr Ops kHeapOps{
-      [](void* p) { (**static_cast<D**>(p))(); },
+      [](void* p, Args&&... args) -> R {
+        return (**static_cast<D**>(p))(std::forward<Args>(args)...);
+      },
       [](void* dst, void* src) noexcept {
         *static_cast<D**>(dst) = *static_cast<D**>(src);
       },
       [](void* p) noexcept { delete *static_cast<D**>(p); },
       false};
 
-  void move_from(Task& o) noexcept {
+  void move_from(Fn& o) noexcept {
     if (o.ops_ != nullptr) {
       ops_ = o.ops_;
       ops_->relocate(buf_, o.buf_);
@@ -122,5 +136,8 @@ class Task {
   alignas(std::max_align_t) std::byte buf_[kInlineBytes];
   const Ops* ops_ = nullptr;
 };
+
+/// The event queue's native one-shot completion callback.
+using Task = Fn<void()>;
 
 }  // namespace kvsim::sim

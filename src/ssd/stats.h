@@ -21,11 +21,29 @@ struct FtlStats {
 
   u64 flash_bytes_written = 0;    ///< host + GC + index program traffic
 
+  // --- fault & recovery accounting (all zero on a healthy device) --------
+  u64 read_media_errors = 0;   ///< reads surfaced as kMediaError to the host
+  u64 program_failures = 0;    ///< page programs that failed on the die
+  u64 erase_failures = 0;      ///< block erases that failed on the die
+  u64 grown_bad_blocks = 0;    ///< blocks retired after a program/erase fail
+  u64 remapped_units = 0;      ///< slots/chunks relocated by media recovery
+  u64 reprogrammed_pages = 0;  ///< failed page programs re-driven elsewhere
+  u64 busy_rejections = 0;     ///< host commands bounced with kDeviceBusy
+  u64 op_timeouts = 0;         ///< host commands completed past the deadline
+
   /// Write amplification factor: flash program bytes / host write bytes.
   [[nodiscard]] double waf() const {
     return host_bytes_written
                ? (double)flash_bytes_written / (double)host_bytes_written
                : 0.0;
+  }
+
+  /// True when any fault/recovery counter moved (drives conditional
+  /// report emission so healthy-device JSON stays byte-identical).
+  [[nodiscard]] bool any_fault_activity() const {
+    return (read_media_errors | program_failures | erase_failures |
+            grown_bad_blocks | remapped_units | reprogrammed_pages |
+            busy_rejections | op_timeouts) != 0;
   }
 };
 

@@ -29,6 +29,13 @@ TelemetryCollector::Snapshot TelemetryCollector::take() const {
     s.gc_runs = ftl_->gc_runs;
     s.gc_foreground_runs = ftl_->gc_foreground_runs;
     s.gc_migrated_bytes = ftl_->gc_migrated_bytes;
+    s.read_media_errors = ftl_->read_media_errors;
+    s.program_failures = ftl_->program_failures;
+    s.erase_failures = ftl_->erase_failures;
+    s.grown_bad_blocks = ftl_->grown_bad_blocks;
+    s.remapped_units = ftl_->remapped_units;
+    s.busy_rejections = ftl_->busy_rejections;
+    s.op_timeouts = ftl_->op_timeouts;
   }
   if (flash_) {
     const auto& fs = flash_->stats();
@@ -78,6 +85,13 @@ void TelemetryCollector::close_window(TimeNs rel_end) {
   sl.channel_busy_ns = cur.channel_busy_ns - last_.channel_busy_ns;
   sl.buffer_stalls = cur.buffer_stalls - last_.buffer_stalls;
   sl.clamped_schedules = cur.clamped_schedules - last_.clamped_schedules;
+  sl.read_media_errors = cur.read_media_errors - last_.read_media_errors;
+  sl.program_failures = cur.program_failures - last_.program_failures;
+  sl.erase_failures = cur.erase_failures - last_.erase_failures;
+  sl.grown_bad_blocks = cur.grown_bad_blocks - last_.grown_bad_blocks;
+  sl.remapped_units = cur.remapped_units - last_.remapped_units;
+  sl.busy_rejections = cur.busy_rejections - last_.busy_rejections;
+  sl.op_timeouts = cur.op_timeouts - last_.op_timeouts;
   slices_.push_back(sl);
   last_ = cur;
   window_start_ = rel_end;

@@ -51,6 +51,16 @@ struct TelemetrySlice {
   u64 channel_busy_ns = 0;  ///< summed across channels
   u64 buffer_stalls = 0;    ///< write-buffer backpressure events
 
+  // Fault & recovery deltas (all zero on a healthy device; report
+  // emission is conditional on fault activity)
+  u64 read_media_errors = 0;
+  u64 program_failures = 0;
+  u64 erase_failures = 0;
+  u64 grown_bad_blocks = 0;
+  u64 remapped_units = 0;
+  u64 busy_rejections = 0;
+  u64 op_timeouts = 0;
+
   // EventQueue health: schedule_at() calls whose target time lay in the
   // past and were clamped to `now`. Nonzero means some component computed
   // a stale timestamp; KVSIM_AUDIT fails on it.
@@ -131,6 +141,9 @@ class TelemetryCollector {
     u64 die_busy_ns = 0, channel_busy_ns = 0;
     u64 buffer_stalls = 0;
     u64 clamped_schedules = 0;
+    u64 read_media_errors = 0, program_failures = 0, erase_failures = 0;
+    u64 grown_bad_blocks = 0, remapped_units = 0;
+    u64 busy_rejections = 0, op_timeouts = 0;
   };
 
   [[nodiscard]] Snapshot take() const;

@@ -76,7 +76,7 @@ TEST(Coverage, CompoundCommandsLiftLargeKeyThroughputEndToEnd) {
     spec.mix = wl::OpMix::insert_only();
     spec.distinct_inserts = true;
     spec.queue_depth = 32;
-    return harness::run_workload(bed, spec, true).throughput_ops_per_sec();
+    return harness::run_workload(bed, spec, {.drain_after = true}).throughput_ops_per_sec();
   };
   EXPECT_GT(kops(true), kops(false) * 1.3);
 }
@@ -155,7 +155,7 @@ TEST(Coverage, HistogramTracksExactPercentilesWithinBucketError) {
   spec.mix = wl::OpMix::read_only();
   spec.queue_depth = 16;
   const harness::RunResult r =
-      harness::run_workload(bed, spec, false, &trace);
+      harness::run_workload(bed, spec, {.trace = &trace});
   for (double q : {0.5, 0.9, 0.99}) {
     const double approx = (double)r.read.percentile(q);
     const double exact = (double)trace.exact_percentile(q);

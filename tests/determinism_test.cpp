@@ -46,10 +46,11 @@ std::string report_json(const std::string& label) {
   KvssdBed bed(c);
   (void)fill_stack(bed, 1500, 16, 2048, 32);
   RunOptions opts;
+  opts.drain_after = true;
   opts.telemetry = true;
   opts.telemetry_interval = 10 * kMs;
   const RunResult r =
-      run_workload(bed, churn_spec(), /*drain_after=*/true, nullptr, opts);
+      run_workload(bed, churn_spec(), opts);
   BenchReport rep("determinism_check");
   rep.add_run(label, r);
   rep.add_device(bed);
@@ -82,9 +83,10 @@ TEST(Determinism, DifferentSeedsProduceDifferentReports) {
   auto spec = churn_spec();
   spec.seed = 43;
   RunOptions opts;
+  opts.drain_after = true;
   opts.telemetry = true;
   opts.telemetry_interval = 10 * kMs;
-  const RunResult r = run_workload(bed, spec, true, nullptr, opts);
+  const RunResult r = run_workload(bed, spec, opts);
   BenchReport rep("determinism_check");
   rep.add_run("run", r);
   rep.add_device(bed);

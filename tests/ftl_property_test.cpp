@@ -160,7 +160,7 @@ TEST(FtlProperties, MixedWorkloadBitIdenticalAcrossRuns) {
     spec.value_bytes = 1024;
     spec.mix = {0.1, 0.3, 0.5, 0};
     spec.queue_depth = 24;
-    const harness::RunResult r = harness::run_workload(bed, spec, true);
+    const harness::RunResult r = harness::run_workload(bed, spec, {.drain_after = true});
     return std::tuple{r.elapsed, r.all.max(), r.host_cpu_ns,
                       bed.ftl().stats().flash_bytes_written};
   };

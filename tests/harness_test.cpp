@@ -32,7 +32,7 @@ TEST(Runner, DeterministicAcrossRuns) {
     spec.value_bytes = 2048;
     spec.mix = {0.2, 0.3, 0.5, 0};
     spec.queue_depth = 16;
-    return run_workload(bed, spec, true);
+    return run_workload(bed, spec, {.drain_after = true});
   };
   const RunResult a = run_once();
   const RunResult b = run_once();
@@ -55,7 +55,7 @@ TEST(Runner, OpCountsSplitByType) {
   spec.value_bytes = 1024;
   spec.mix = {0.0, 0.25, 0.5, 0};  // rest are deletes
   spec.queue_depth = 8;
-  const RunResult r = run_workload(bed, spec, true);
+  const RunResult r = run_workload(bed, spec, {.drain_after = true});
   EXPECT_EQ(r.update.count() + r.read.count() + r.del.count(), 4000u);
   EXPECT_EQ(r.all.count(), 4000u);
   EXPECT_NEAR((double)r.update.count() / 4000.0, 0.25, 0.03);
@@ -128,7 +128,7 @@ TEST(BlockRunner, SequentialAndRandomSpansRespected) {
   spec.queue_depth = 4;
   const RunResult w = run_block(bed.eq(), bed.device(), spec, true);
   EXPECT_EQ(w.ops, 500u);
-  EXPECT_EQ(w.errors, 0u);
+  EXPECT_EQ(w.errors.total(), 0u);
   // Only 100 distinct slots were written.
   EXPECT_LE(bed.ftl().live_bytes(), 100u * 4 * KiB);
 }
@@ -146,7 +146,7 @@ TEST(BlockRunner, WritesThenReadsRoundTrip) {
   (void)run_block(bed.eq(), bed.device(), spec, true);
   spec.op = BlockOp::kRead;
   const RunResult r = run_block(bed.eq(), bed.device(), spec);
-  EXPECT_EQ(r.errors, 0u);
+  EXPECT_EQ(r.errors.total(), 0u);
   EXPECT_GT(r.read.mean(), 0.0);
 }
 

@@ -120,7 +120,7 @@ TEST(Runner, FillThenReadEverythingBack) {
   const u64 keys = 2000;
   RunResult fill = fill_stack(bed, keys, 16, 4096, 32);
   EXPECT_EQ(fill.ops, keys);
-  EXPECT_EQ(fill.errors, 0u);
+  EXPECT_EQ(fill.errors.total(), 0u);
   EXPECT_GT(fill.elapsed, 0u);
   EXPECT_GT(fill.throughput_ops_per_sec(), 0.0);
 
@@ -134,7 +134,7 @@ TEST(Runner, FillThenReadEverythingBack) {
   reads.queue_depth = 16;
   RunResult rr = run_workload(bed, reads);
   EXPECT_EQ(rr.ops, keys);
-  EXPECT_EQ(rr.errors, 0u);
+  EXPECT_EQ(rr.errors.total(), 0u);
   EXPECT_EQ(rr.not_found, 0u);
   EXPECT_EQ(rr.read.count(), keys);
   EXPECT_GT(rr.read.mean(), 0.0);
@@ -178,13 +178,13 @@ TEST(Runner, BlockDirectRunner) {
   spec.queue_depth = 16;
   RunResult w = run_block(bed.eq(), bed.device(), spec, true);
   EXPECT_EQ(w.ops, 2000u);
-  EXPECT_EQ(w.errors, 0u);
+  EXPECT_EQ(w.errors.total(), 0u);
 
   spec.op = BlockOp::kRead;
   spec.span_bytes = 2000ull * 4 * KiB;
   RunResult r = run_block(bed.eq(), bed.device(), spec);
   EXPECT_EQ(r.ops, 2000u);
-  EXPECT_EQ(r.errors, 0u);
+  EXPECT_EQ(r.errors.total(), 0u);
   EXPECT_GT(r.read.mean(), 0.0);
 }
 
@@ -192,7 +192,7 @@ TEST(Runner, SpaceAccountingAcrossStacks) {
   for (const char* which : {"kvssd", "lsm", "hashkv"}) {
     auto stack = make_stack(which);
     RunResult r = fill_stack(*stack, 500, 16, 2048, 16);
-    EXPECT_EQ(r.errors, 0u) << which;
+    EXPECT_EQ(r.errors.total(), 0u) << which;
     if (std::string(which) == "lsm")
       stack->add_app_bytes((i64)(500 * (16 + 2048)));
     EXPECT_GT(stack->device_bytes_used(), 0u) << which;

@@ -1,0 +1,32 @@
+// Fixture: a retry chain whose head is a shared sim::Fn (the move-only
+// callback type the KvStack API uses). The lambda stored in *attempt
+// strongly captures `attempt`, so the closure owns itself and every
+// abandoned retry chain leaks. The checker must recognize the sim::Fn
+// chain-head spelling, not just std::function and sim::Task.
+//
+// Checker fixture only; never compiled into a target.
+#include <memory>
+
+#include "sim/task.h"
+
+namespace fixture {
+
+struct EventQueue {
+  template <typename F>
+  void schedule_after(long long dt, F&& f);
+};
+
+struct RetryingStack {
+  EventQueue eq_;
+
+  void store_with_retry(unsigned max_retries) {
+    auto attempt = std::make_shared<kvsim::sim::Fn<void(unsigned)>>();
+    *attempt = [this, attempt, max_retries](unsigned n) {
+      if (n >= max_retries) return;
+      eq_.schedule_after(500, [attempt, n] { (*attempt)(n + 1); });
+    };
+    (*attempt)(0);
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// Fixture: the fixed sim::Fn retry chain — the stored lambda holds only
+// a weak_ptr to itself; the pending backoff event owns the one strong
+// reference, so an abandoned chain frees itself. The checker must stay
+// quiet here.
+//
+// Checker fixture only; never compiled into a target.
+#include <memory>
+
+#include "sim/task.h"
+
+namespace fixture {
+
+struct EventQueue {
+  template <typename F>
+  void schedule_after(long long dt, F&& f);
+};
+
+struct RetryingStack {
+  EventQueue eq_;
+
+  void store_with_retry(unsigned max_retries) {
+    auto attempt = std::make_shared<kvsim::sim::Fn<void(unsigned)>>();
+    std::weak_ptr<kvsim::sim::Fn<void(unsigned)>> weak = attempt;
+    *attempt = [this, weak, max_retries](unsigned n) {
+      if (n >= max_retries) return;
+      auto self = weak.lock();
+      eq_.schedule_after(500, [self, n] { (*self)(n + 1); });
+    };
+    (*attempt)(0);
+  }
+};
+
+}  // namespace fixture

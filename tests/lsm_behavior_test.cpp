@@ -103,9 +103,9 @@ TEST(LsmBehavior, MixedReadWriteUnderStallPressure) {
   spec.value_bytes = 512;
   spec.mix = {0.0, 0.6, 0.4, 0};
   spec.queue_depth = 32;
-  const harness::RunResult r = harness::run_workload(b.bed, spec, true);
+  const harness::RunResult r = harness::run_workload(b.bed, spec, {.drain_after = true});
   EXPECT_EQ(r.ops, 6000u);
-  EXPECT_EQ(r.errors, 0u);
+  EXPECT_EQ(r.errors.total(), 0u);
   EXPECT_EQ(r.not_found, 0u);
 }
 

@@ -141,7 +141,7 @@ TEST(Model, TracksSimulatorWithinBounds) {
     spec.value_bytes = c.value;
     spec.queue_depth = c.qd;
     spec.mix = c.read ? wl::OpMix::read_only() : wl::OpMix::update_only();
-    const harness::RunResult r = harness::run_workload(bed, spec, true);
+    const harness::RunResult r = harness::run_workload(bed, spec, {.drain_after = true});
     const auto& h = c.read ? r.read : r.update;
 
     ModelInput in;

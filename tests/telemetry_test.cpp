@@ -156,9 +156,10 @@ TEST(TelemetryCollector, RunSliceDeltasSumToCumulativeCounters) {
   spec.mix = wl::OpMix::insert_only();
   spec.queue_depth = 16;
   harness::RunOptions opts;
+  opts.drain_after = true;
   opts.telemetry_interval = kMs;  // small window -> many slices
   const harness::RunResult r =
-      harness::run_workload(bed, spec, true, nullptr, opts);
+      harness::run_workload(bed, spec, opts);
 
   ASSERT_GT(r.telemetry.slices().size(), 1u);
   u64 w_ops = 0, w_bytes = 0, f_bytes = 0, programs = 0, reads = 0,
@@ -203,9 +204,10 @@ TEST(TelemetryCollector, RunOptionsCanDisableCollection) {
   spec.mix = wl::OpMix::insert_only();
   spec.queue_depth = 8;
   harness::RunOptions opts;
+  opts.drain_after = true;
   opts.telemetry = false;
   const harness::RunResult r =
-      harness::run_workload(bed, spec, true, nullptr, opts);
+      harness::run_workload(bed, spec, opts);
   EXPECT_EQ(r.ops, 200u);
   EXPECT_TRUE(r.telemetry.slices().empty());
 }
@@ -238,9 +240,10 @@ TEST(Report, GoldenMiniRunJsonParsesAndRoundTrips) {
   spec.mix = {0.0, 0.5, 0.5, 0};
   spec.queue_depth = 8;
   harness::RunOptions opts;
+  opts.drain_after = true;
   opts.telemetry_interval = 5 * kMs;
   const harness::RunResult r =
-      harness::run_workload(bed, spec, true, nullptr, opts);
+      harness::run_workload(bed, spec, opts);
 
   harness::BenchReport report("golden_mini_run");
   report.add_run("mixed_qd8", r);

@@ -33,7 +33,7 @@ TEST(Trace, OneRecordPerOp) {
   spec.value_bytes = 1024;
   spec.mix = wl::OpMix::insert_only();
   spec.queue_depth = 16;
-  const RunResult r = run_workload(bed, spec, true, &trace);
+  const RunResult r = run_workload(bed, spec, {.drain_after = true, .trace = &trace});
   EXPECT_EQ(trace.size(), 1500u);
   EXPECT_EQ(r.ops, 1500u);
   for (const TraceRecord& rec : trace.records()) {
@@ -56,7 +56,7 @@ TEST(Trace, IssueTimesNonDecreasingWithinQueueDepthOne) {
   spec.value_bytes = 512;
   spec.mix = wl::OpMix::insert_only();
   spec.queue_depth = 1;
-  (void)run_workload(bed, spec, true, &trace);
+  (void)run_workload(bed, spec, {.drain_after = true, .trace = &trace});
   for (size_t i = 1; i < trace.size(); ++i)
     EXPECT_GE(trace.records()[i].issue_ns, trace.records()[i - 1].issue_ns);
 }
@@ -103,7 +103,7 @@ TEST(Trace, MixedOpsRecordTheirTypes) {
   spec.value_bytes = 512;
   spec.mix = {0.0, 0.3, 0.5, 0};  // 20% deletes
   spec.queue_depth = 8;
-  (void)run_workload(bed, spec, true, &trace);
+  (void)run_workload(bed, spec, {.drain_after = true, .trace = &trace});
   u64 upd = 0, rd = 0, del = 0;
   for (const TraceRecord& r : trace.records()) {
     upd += r.type == wl::OpType::kUpdate;

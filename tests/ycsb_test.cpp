@@ -112,9 +112,9 @@ TEST(YcsbEndToEnd, WorkloadARunsCleanOnKvssd) {
   (void)harness::fill_stack(bed, 5000, rec.key_bytes, rec.value_bytes(), 32);
   WorkloadSpec spec = ycsb_spec(YcsbWorkload::kA, 5000, 4000, rec);
   spec.queue_depth = 16;
-  const harness::RunResult r = harness::run_workload(bed, spec, true);
+  const harness::RunResult r = harness::run_workload(bed, spec, {.drain_after = true});
   EXPECT_EQ(r.ops, 4000u);
-  EXPECT_EQ(r.errors, 0u);
+  EXPECT_EQ(r.errors.total(), 0u);
   EXPECT_EQ(r.not_found, 0u);  // space fully loaded
   EXPECT_GT(r.read.count(), 0u);
   EXPECT_GT(r.update.count(), 0u);
@@ -130,9 +130,9 @@ TEST(YcsbEndToEnd, WorkloadEScansRunClean) {
   (void)harness::fill_stack(bed, 5000, rec.key_bytes, rec.value_bytes(), 32);
   WorkloadSpec spec = ycsb_spec(YcsbWorkload::kE, 5000, 1000, rec);
   spec.queue_depth = 8;
-  const harness::RunResult r = harness::run_workload(bed, spec, true);
+  const harness::RunResult r = harness::run_workload(bed, spec, {.drain_after = true});
   EXPECT_EQ(r.ops, 1000u);
-  EXPECT_EQ(r.errors, 0u);
+  EXPECT_EQ(r.errors.total(), 0u);
   EXPECT_GT(r.scan.count(), 800u);
   // A 16-key scan costs well more than one point read but far less than
   // 16 serial device reads (later keys can hit buffered/parallel paths).
