@@ -10,9 +10,11 @@
 #   4. the seeded fault smoke: the fault-injection test slice re-run on
 #      the audit build (deterministic plans, non-zero recovery counters,
 #      zero invariant violations);
-#   5. the simulation-core perf smoke (scripts/bench.sh --smoke), failing
+#   5. the crash-sweep smoke: power-loss cuts + mount-time recovery on
+#      all three beds, differential-checked on the audit build;
+#   6. the simulation-core perf smoke (scripts/bench.sh --smoke), failing
 #      on >20% events/sec regression vs the committed BENCH_sim.json;
-#   6. the suite under ASan/UBSan via scripts/sanitize.sh.
+#   7. the suite under ASan/UBSan via scripts/sanitize.sh.
 #
 # Usage: scripts/ci.sh [--fast]
 #   --fast  skip the sanitizer pass (slowest stage) for quick local runs.
@@ -52,6 +54,13 @@ stage "seeded fault smoke (audit build)"
 # slice here keeps the gate visible when the suite grows.
 ./build-audit/tests/fault_test \
   --gtest_filter='FaultDeterminism.*:FaultRecovery.*:FaultFree.*'
+
+stage "crash-sweep smoke (audit build)"
+# Power-loss drill under the shadow auditors: cut the queue at several
+# depths on all three beds, mount, and differential-check the recovered
+# state against the per-key write oracle (no corruption, drained data
+# survives exactly, deterministic recovery counters).
+./build-audit/tests/crash_recovery_test --gtest_filter='CrashSweep*:*/CrashSweep.*:CrashRecovery.*'
 
 stage "bench smoke"
 scripts/bench.sh --smoke

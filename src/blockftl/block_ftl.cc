@@ -77,6 +77,7 @@ BlockFtl::BlockFtl(sim::EventQueue& eq, flash::FlashController& flash,
   block_state_.assign(geom_.total_blocks(), kFree);
   buffered_count_.assign(geom_.total_blocks(), 0);
   wps_.resize(cfg_.write_points);
+  if (cfg_.crash_tracking) flash_.set_crash_tracking(true);
 #if KVSIM_AUDIT
   flash_audit_ = std::make_unique<ssd::FlashAudit>(geom_);
   flash_.set_audit(flash_audit_.get());
@@ -197,6 +198,8 @@ bool BlockFtl::append_slot(WritePoint& wp, u64 lpn, u64 fp, bool seq,
   rmap_[gsi] = lpn;
   content_[gsi] = fp;
   if (map_audit_) map_audit_->on_map(lpn, gsi);
+  if (cfg_.crash_tracking)
+    wp.staged.push_back(flash::OobEntry{lpn, fp, slot, ++write_seq_});
   ++valid_count_[*wp.block];
   ++live_slots_;
   if (wp.pending.empty()) {
@@ -230,6 +233,10 @@ void BlockFtl::seal_page(WritePoint& wp, bool is_gc) {
   const flash::PageId page = geom_.page_id(*wp.block, wp.next_page);
   const u32 real_slots = (u32)wp.pending.size();
   const bool reorg = !wp.all_seq && !is_gc;
+  if (cfg_.crash_tracking) {
+    flash_.stage_oob(page, std::move(wp.staged));
+    wp.staged.clear();
+  }
   wp.pending.clear();
   wp.all_seq = true;
   ++wp.last_flush_arm;  // cancel any pending flush timer
@@ -576,6 +583,164 @@ void BlockFtl::on_block_freed() {
 }
 
 // ---------------------------------------------------------------------------
+// Power loss & mount-time recovery
+// ---------------------------------------------------------------------------
+
+void BlockFtl::power_fail_and_recover(DeviceRecovery& out, sim::Task done) {
+  if (!cfg_.crash_tracking)
+    throw std::logic_error("power_fail_and_recover needs crash_tracking");
+  const TimeNs cut = eq_.now();
+
+  // Snapshot the pre-cut host-visible map so the lost-write window can be
+  // measured after the rebuild.
+  std::vector<std::pair<u64, u64>> pre;  // (lpn, fp)
+  for (u64 lpn = 0; lpn < map_.size(); ++lpn)
+    if (map_[lpn] != kUnmapped) pre.emplace_back(lpn, content_[map_[lpn]]);
+
+  // Cut power at the media: in-flight programs tear (their OOB vanishes),
+  // die/channel pipelines drain, and the serialized firmware CPU resets.
+  const std::vector<flash::PageId> torn = flash_.power_loss(cut);
+  out.torn_pages = torn.size();
+  ftl_core_.power_cycle(cut);
+
+  // Everything DRAM-resident is gone: write buffer, open write points,
+  // buffered pages, in-flight bookkeeping, read cache, GC state, stream
+  // detectors, and the whole mapping (it is rebuilt from OOB below).
+  for (auto& wp : wps_) wp = WritePoint{};
+  gc_wp_ = WritePoint{};
+  wp_rr_ = 0;
+  seq_wp_ = 0;
+  buffered_pages_.clear();
+  std::fill(buffered_count_.begin(), buffered_count_.end(), 0);
+  outstanding_programs_ = 0;
+  drain_waiters_.clear();
+  recovery_starved_.clear();
+  cache_lru_.clear();
+  cache_map_.clear();
+  gc_running_ = false;
+  gc_stuck_ = false;
+  gc_futile_streak_ = 0;
+  last_write_end_ = ~0ull;
+  write_streak_ = 0;
+  last_read_lpn_ = ~0ull - 1;
+  read_streak_ = 0;
+  buffer_.reset();
+  std::fill(map_.begin(), map_.end(), kUnmapped);
+  std::fill(rmap_.begin(), rmap_.end(), kUnmapped);
+  std::fill(content_.begin(), content_.end(), 0);
+  std::fill(valid_count_.begin(), valid_count_.end(), 0);
+  live_slots_ = 0;
+
+  // Rebuild the map from committed OOB. Pages are walked in epoch order
+  // (deterministic; the controller's map iterates in hash order), and the
+  // per-entry write sequence picks a slot's newest durable copy — program
+  // completions interleave across write points, so program order alone
+  // would resurrect stale data.
+  std::vector<std::pair<u64, flash::PageId>> pages;  // (epoch, page)
+  for (const auto& [p, oob] : flash_.committed_oob())
+    pages.emplace_back(oob.epoch, p);
+  std::sort(pages.begin(), pages.end());
+  std::unordered_map<u64, u64> best_seq;  // lpn -> winning write sequence
+  const u32 spp = slots_per_page();
+  for (const auto& [epoch, p] : pages) {
+    const auto& oob = flash_.committed_oob().at(p);
+    for (const auto& e : oob.entries) {
+      const u64 lpn = e.tag;
+      const u64 gsi = slot_index(p, (u32)e.a);
+      auto it = best_seq.find(lpn);
+      if (it != best_seq.end() && it->second > e.b) continue;
+      if (map_[lpn] != kUnmapped) {  // older copy loses; its slot is waste
+        const u64 old = map_[lpn];
+        rmap_[old] = kUnmapped;
+        --valid_count_[old / spp / geom_.pages_per_block];
+        --live_slots_;
+      }
+      best_seq[lpn] = e.b;
+      map_[lpn] = gsi;
+      rmap_[gsi] = lpn;
+      content_[gsi] = e.fp;
+      ++valid_count_[gsi / spp / geom_.pages_per_block];
+      ++live_slots_;
+    }
+  }
+  out.recovered_slots = live_slots_;
+  for (const auto& [lpn, fp] : pre)
+    if (map_[lpn] == kUnmapped || content_[map_[lpn]] != fp) ++out.lost_slots;
+
+  // Block states: grown-bad blocks persist (the bad-block table is modeled
+  // durable). Any block holding committed or torn pages is sealed — open
+  // write points are never resumed across a power cycle, and a torn page
+  // poisons the rest of its block until GC erases it. Everything else is
+  // free; erase counts are physical wear and survive.
+  std::vector<u8> has_data(geom_.total_blocks(), 0);
+  for (const auto& [epoch, p] : pages) has_data[geom_.block_of_page(p)] = 1;
+  for (flash::PageId p : torn) has_data[geom_.block_of_page(p)] = 1;
+  std::vector<flash::BlockId> free_list;
+  for (flash::BlockId b = 0; b < geom_.total_blocks(); ++b) {
+    if (block_state_[b] == kBad) continue;
+    if (has_data[b]) {
+      block_state_[b] = kSealed;
+    } else {
+      block_state_[b] = kFree;
+      free_list.push_back(b);
+    }
+  }
+  alloc_.reset_free(free_list);
+
+#if KVSIM_AUDIT
+  // The slot-map shadow is firmware DRAM state: it died with the power and
+  // is rebuilt from the recovered map. The flash shadow is physical truth
+  // and deliberately survives (torn pages *were* programmed).
+  map_audit_ = std::make_unique<ssd::SlotMapAudit>(
+      geom_.total_blocks(), geom_.pages_per_block * slots_per_page());
+  for (u64 lpn = 0; lpn < map_.size(); ++lpn)
+    if (map_[lpn] != kUnmapped) map_audit_->on_map(lpn, map_[lpn]);
+#endif
+
+  // Charge the mount: one small OOB read per page that holds (or tore)
+  // data, batched per die like the normal read path, plus firmware time to
+  // replay the map. `done` runs when both complete.
+  std::vector<flash::PageRead> scan;
+  scan.reserve(pages.size() + torn.size());
+  for (const auto& [epoch, p] : pages)
+    scan.push_back(flash::PageRead{p, cfg_.oob_read_bytes});
+  for (flash::PageId p : torn)
+    scan.push_back(flash::PageRead{p, cfg_.oob_read_bytes});
+  std::sort(scan.begin(), scan.end(),
+            [](const flash::PageRead& a, const flash::PageRead& b) {
+              return a.page < b.page;
+            });
+  out.rebuild_pages_read = scan.size();
+  const TimeNs cpu_done = ftl_core_.reserve(
+      eq_.now(), dispatch_ns_ + out.recovered_slots * cfg_.map_update_seq_ns);
+  auto join = make_join((scan.empty() ? 0 : 1) + 1, std::move(done));
+  eq_.schedule_at(cpu_done, [join] { join->arrive(); });
+  if (!scan.empty())
+    flash_.read_multi(scan.data(), (u32)scan.size(), [join] { join->arrive(); });
+}
+
+u64 BlockFtl::probe_total_slots(Lba lba, u32 bytes) const {
+  if (bytes == 0) return 0;
+  const u64 lp = cfg_.logical_page_bytes;
+  const u64 start = lba * 512, end = start + bytes;
+  return (end - 1) / lp - start / lp + 1;
+}
+
+u64 BlockFtl::probe_durable_slots(Lba lba, u32 bytes, u64 fp_base) const {
+  if (bytes == 0) return 0;
+  const u64 lp = cfg_.logical_page_bytes;
+  const u64 start = lba * 512, end = start + bytes;
+  const u64 first = start / lp, last = (end - 1) / lp;
+  if (last >= map_.size()) return 0;
+  u64 ok = 0;
+  for (u64 i = 0; i <= last - first; ++i) {
+    const u64 gsi = map_[first + i];
+    if (gsi != kUnmapped && content_[gsi] == mix64(fp_base + i)) ++ok;
+  }
+  return ok;
+}
+
+// ---------------------------------------------------------------------------
 // Fault recovery
 // ---------------------------------------------------------------------------
 
@@ -669,6 +834,7 @@ void BlockFtl::close_write_point(WritePoint& wp, flash::BlockId b) {
   }
   wp.pending.clear();
   wp.all_seq = true;
+  wp.staged.clear();  // the open page will never program
   ++wp.last_flush_arm;  // cancel any pending flush timer
   wp.block.reset();
   for (const Starved& s : pend)

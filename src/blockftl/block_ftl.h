@@ -58,6 +58,14 @@ struct BlockFtlConfig {
   u32 write_points = 32;        ///< concurrently open flash pages (one per die)
   u32 seq_run_threshold = 8;    ///< slots in a row before a stream is "seq"
   TimeNs partial_flush_ns = 10 * kMs;  ///< idle timeout to flush partial pages
+  /// Maintain per-page OOB metadata for the power-loss crash/recovery
+  /// model (see power_fail_and_recover). Off by default: the write path
+  /// then skips OOB staging entirely and runs byte-identically to the
+  /// pre-crash-model code.
+  bool crash_tracking = false;
+  /// OOB bytes transferred per page during the mount-time rebuild scan
+  /// (the array read still pays full tR; only the transfer is small).
+  u32 oob_read_bytes = 64;
 };
 
 class BlockFtl {
@@ -112,6 +120,34 @@ class BlockFtl {
   /// automatically on flush() and when garbage collection stops.
   void audit_verify() const;
 
+  // --- crash / power-loss model ----------------------------------------
+  /// Device-side counters of one power-loss + mount cycle.
+  struct DeviceRecovery {
+    u64 rebuild_pages_read = 0;  ///< pages whose OOB the mount scan read
+    u64 torn_pages = 0;          ///< programs in flight at the cut
+    u64 recovered_slots = 0;     ///< slots re-mapped from OOB
+    u64 lost_slots = 0;          ///< pre-cut mapped slots missing after mount
+  };
+
+  /// Power-loss cut at the current simulation time (requires
+  /// crash_tracking; the caller discards the event queue first). All
+  /// volatile state — write buffer, open write points, buffered pages,
+  /// in-flight programs, DRAM cache, GC state — is dropped; the map is
+  /// rebuilt from per-page OOB metadata in epoch order with torn-write
+  /// detection, charging one OOB read per scanned page. `done` runs once
+  /// mount I/O and firmware rebuild time complete. Counters are filled
+  /// synchronously.
+  void power_fail_and_recover(DeviceRecovery& out, sim::Task done);
+
+  /// Crash-recovery probe (no timing, no state change): how many of the
+  /// write's logical slots currently map to flash holding exactly the
+  /// content that write stored. Mirrors write()'s per-slot fingerprint
+  /// rule, so host recovery code can validate a past write without
+  /// duplicating it.
+  [[nodiscard]] u64 probe_durable_slots(Lba lba, u32 bytes, u64 fp_base) const;
+  /// Slots covered by such a write (denominator for the probe).
+  [[nodiscard]] u64 probe_total_slots(Lba lba, u32 bytes) const;
+
   /// Arm (plan.enabled) or disarm fault injection. Disarmed, no injector
   /// exists and the flash hot path is exactly the pre-fault one. Arming
   /// mid-run is allowed; the injector's wear clock starts at zero.
@@ -143,6 +179,10 @@ class BlockFtl {
     u64 last_flush_arm = 0;     // generation counter for the flush timer
     TimeNs last_issue_at = 0;   // latest program issue time of this block
     std::deque<Starved> starved;  // slots waiting for a free block
+    // Crash tracking: OOB records of the open page, captured at append
+    // time so they match the page's physical contents even if a slot is
+    // invalidated while buffered. Handed to the controller at seal.
+    std::vector<flash::OobEntry> staged;
   };
 
   [[nodiscard]] u32 slots_per_page() const {
@@ -246,6 +286,11 @@ class BlockFtl {
   // flush/drain bookkeeping
   u64 outstanding_programs_ = 0;
   std::vector<sim::Task> drain_waiters_;
+
+  // Crash tracking: monotonic host-order stamp carried in each OOB entry.
+  // Programs complete out of host order across write points, so the mount
+  // rebuild needs this, not program order, to pick a slot's newest copy.
+  u64 write_seq_ = 0;
 
   // Fault injection (null unless a plan is armed) and slots whose
   // recovery re-placement is waiting for a free block.

@@ -53,7 +53,7 @@ TimeNs LatencyHistogram::percentile(double q) const {
   for (int i = 0; i < kBuckets; ++i) {
     seen += buckets_[(size_t)i];
     if (seen >= target)
-      return std::clamp(bucket_upper(i), count_ ? min_ : 0, max_);
+      return std::clamp(bucket_upper(i), min_, max_);
   }
   return max_;
 }

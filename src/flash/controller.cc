@@ -104,6 +104,22 @@ FlashController::OpCharge FlashController::charge_program(PageId first,
   program_stages_.total.record(prog.done - eq_.now());
   stats_.page_programs += count;
   stats_.bytes_programmed += (u64)bytes_per_page * count;
+  if (oob_on_) {
+    // Commit staged OOB at issue time (synchronously — no extra events,
+    // so crash-free event streams are identical with tracking on). The
+    // epoch is per page even within a multi-plane program; durability is
+    // the shared tPROG completion. Failed programs leave no readable OOB
+    // (the FTL re-drives the data elsewhere), and pages with nothing
+    // staged (the KV FTL's abstract index-charge traffic) commit nothing.
+    for (u32 i = 0; i < count; ++i) {
+      auto it = staged_oob_.find(first + i);
+      if (it == staged_oob_.end()) continue;
+      if (st != OpStatus::kProgramFail)
+        oob_[first + i] =
+            PageOob{oob_epoch_++, prog.done, std::move(it->second)};
+      staged_oob_.erase(it);
+    }
+  }
   return {prog.done, apply_deadline(st, prog.done)};
 }
 
@@ -125,7 +141,40 @@ FlashController::OpCharge FlashController::charge_erase(BlockId b) {
   erase_stages_.transfer.record(0);
   erase_stages_.total.record(erase.done - eq_.now());
   ++stats_.block_erases;
+  if (oob_on_) {
+    const PageId base = geom_.page_id(b, 0);
+    for (u32 p = 0; p < geom_.pages_per_block; ++p) {
+      oob_.erase(base + p);
+      staged_oob_.erase(base + p);
+    }
+  }
   return {erase.done, apply_deadline(st, erase.done)};
+}
+
+void FlashController::stage_oob(PageId page, std::vector<OobEntry> entries) {
+  if (!oob_on_) return;
+  staged_oob_[page] = std::move(entries);
+}
+
+void FlashController::drop_staged_oob(PageId page) {
+  if (!oob_on_) return;
+  staged_oob_.erase(page);
+}
+
+std::vector<PageId> FlashController::power_loss(TimeNs now) {
+  std::vector<PageId> torn;
+  for (auto it = oob_.begin(); it != oob_.end();) {
+    if (it->second.durable_at > now) {
+      torn.push_back(it->first);
+      it = oob_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  staged_oob_.clear();
+  for (auto& d : dies_) d.power_cycle(now);
+  for (auto& c : channels_) c.power_cycle(now);
+  return torn;
 }
 
 TimeNs FlashController::total_die_busy_ns() const {

@@ -28,6 +28,7 @@
 #pragma once
 
 #include <type_traits>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -44,6 +45,28 @@ namespace kvsim::flash {
 struct PageRead {
   PageId page = 0;
   u32 bytes = 0;  ///< payload bytes to transfer (<= page size)
+};
+
+/// One per-slot OOB (out-of-band / spare-area) record an FTL writes
+/// alongside a page's payload. The controller treats the fields as
+/// opaque; each FTL packs its own reverse-map metadata (the block FTL
+/// stores the slot's LPN, the KV FTL its blob hash and chunk geometry).
+struct OobEntry {
+  u64 tag = 0;  ///< FTL meaning: LPN (block FTL) or key hash (KV FTL)
+  u64 fp = 0;   ///< content fingerprint of the slot / blob value
+  u64 a = 0;    ///< FTL-packed metadata word
+  u64 b = 0;    ///< FTL-packed metadata word
+};
+
+/// The OOB contents of one page program, committed at program issue time.
+/// `epoch` is a device-global monotonic program counter — the total order
+/// mount-time rebuild replays — and `durable_at` is the program's die
+/// completion time: a power cut before `durable_at` makes the page *torn*
+/// (physically part-programmed, OOB unreadable → incomplete epoch).
+struct PageOob {
+  u64 epoch = 0;
+  TimeNs durable_at = 0;
+  std::vector<OobEntry> entries;
 };
 
 struct FlashStats {
@@ -220,6 +243,35 @@ class FlashController {
   void set_faults(FaultModel* model) { faults_ = model; }
   [[nodiscard]] FaultModel* faults() const { return faults_; }
 
+  // --- crash tracking (per-page OOB metadata) ------------------------------
+  /// Enable OOB capture for the crash/recovery model. Off by default:
+  /// stage_oob() is then a no-op and the command paths charge pre-crash
+  /// timing byte-identically (OOB bookkeeping runs synchronously at
+  /// charge time and schedules no events either way).
+  void set_crash_tracking(bool on) { oob_on_ = on; }
+  [[nodiscard]] bool crash_tracking() const { return oob_on_; }
+
+  /// Stage the OOB records of `page`'s upcoming program. They commit
+  /// (gain an epoch and a durable_at) when the program is charged, and
+  /// are dropped if the page never programs or its block is erased.
+  void stage_oob(PageId page, std::vector<OobEntry> entries);
+  /// Drop staged-but-unprogrammed OOB for `page` (write point abandoned).
+  void drop_staged_oob(PageId page);
+
+  /// Power-loss cut at `now`: programs completing after the cut are torn
+  /// — their OOB is removed and their pages returned — all staged OOB is
+  /// dropped, and die/channel reservations die with the power. Erases
+  /// in flight at the cut are modeled as completed (mount re-drives
+  /// interrupted erasures before handing the block out).
+  std::vector<PageId> power_loss(TimeNs now);
+
+  /// Committed OOB of every durable page program since the last erase of
+  /// its block (rebuild input; iterate and order by epoch).
+  [[nodiscard]] const std::unordered_map<PageId, PageOob>& committed_oob()
+      const {
+    return oob_;
+  }
+
  private:
   /// One charged (reserved, counted, sampled) but not yet scheduled op.
   struct OpCharge {
@@ -298,6 +350,12 @@ class FlashController {
   StageBreakdown erase_stages_;
   FlashAuditSink* audit_ = nullptr;
   FaultModel* faults_ = nullptr;
+
+  // Crash tracking (empty and untouched unless oob_on_).
+  bool oob_on_ = false;
+  u64 oob_epoch_ = 0;
+  std::unordered_map<PageId, PageOob> oob_;
+  std::unordered_map<PageId, std::vector<OobEntry>> staged_oob_;
 };
 
 }  // namespace kvsim::flash

@@ -136,6 +136,16 @@ void FileSystem::append(Handle h, u64 bytes, u64 fp_base, Done done) {
     remaining -= e.block_count;
   }
   cpu_ns_ += blocks * cfg_.map_cpu_ns;
+  if (cfg_.crash_tracking) {
+    u64 fb = 0;  // file block index where this append starts
+    for (const Extent& e : ino.extents) fb += e.block_count;
+    u64 fp = fp_base;
+    for (const Extent& e : fresh) {
+      ino.pieces.push_back(PieceRec{fb, e.start_block, e.block_count, fp});
+      fb += e.block_count;
+      fp += e.block_count;
+    }
+  }
   ino.size_bytes += bytes;
   for (const Extent& e : fresh) {
     if (!ino.extents.empty() &&
@@ -166,15 +176,26 @@ void FileSystem::read(Handle h, u64 offset, u64 bytes, ReadDone done) {
     done(Status::kInvalidArgument, 0);
     return;
   }
+  const u64 first_block = offset / cfg_.block_bytes;
+  read_blocks(h, first_block,
+              (offset + bytes - 1) / cfg_.block_bytes - first_block + 1,
+              std::move(done));
+}
+
+void FileSystem::read_blocks(Handle h, u64 first_block, u64 blocks,
+                             ReadDone done) {
+  if (h >= inodes_.size() || !inodes_[h].alive || blocks == 0) {
+    done(Status::kInvalidArgument, 0);
+    return;
+  }
   const Inode& ino = inodes_[h];
-  // Translate [offset, offset+bytes) to device reads through the extents.
+  // Translate the block range to device reads through the extents.
   struct Piece {
     Lba lba;
     u32 bytes;
   };
   std::vector<Piece> pieces;
-  u64 first_block = offset / cfg_.block_bytes;
-  u64 last_block = (offset + bytes - 1) / cfg_.block_bytes;
+  const u64 last_block = first_block + blocks - 1;
   u64 cursor = 0;  // file block index at the start of current extent
   for (const Extent& e : ino.extents) {
     const u64 ext_first = cursor, ext_last = cursor + e.block_count - 1;
@@ -205,6 +226,26 @@ void FileSystem::read(Handle h, u64 offset, u64 bytes, ReadDone done) {
     });
 }
 
+bool FileSystem::probe_durable(Handle h, u64 offset, u64 bytes) const {
+  if (h >= inodes_.size() || !inodes_[h].alive || bytes == 0) return false;
+  const Inode& ino = inodes_[h];
+  const u64 first = offset / cfg_.block_bytes;
+  const u64 last = (offset + bytes - 1) / cfg_.block_bytes;
+  for (u64 fb = first; fb <= last; ++fb) {
+    bool durable = false;
+    for (const PieceRec& p : ino.pieces) {
+      if (fb < p.file_block || fb >= p.file_block + p.block_count) continue;
+      const u64 d = fb - p.file_block;
+      durable = dev_.ftl().probe_durable_slots(
+                    lba_of_block(p.start_block + d), cfg_.block_bytes,
+                    p.fp + d) == 1;
+      break;
+    }
+    if (!durable) return false;
+  }
+  return true;
+}
+
 void FileSystem::remove(Handle h, Done done) {
   if (h >= inodes_.size() || !inodes_[h].alive) {
     done(Status::kInvalidArgument);
@@ -216,6 +257,7 @@ void FileSystem::remove(Handle h, Done done) {
   std::vector<Extent> extents = std::move(ino.extents);
   ino.extents.clear();
   ino.size_bytes = 0;
+  ino.pieces.clear();
 
   auto join = make_join(
       (int)extents.size() + 1,

@@ -29,6 +29,9 @@ struct FsConfig {
   u32 journal_every_ops = 8;
   /// Largest contiguous extent handed out per allocation.
   u32 max_extent_blocks = 256;
+  /// Keep a per-append piece ledger so crash recovery can ask which file
+  /// ranges actually reached flash (see probe_durable). Off by default.
+  bool crash_tracking = false;
 };
 
 class FileSystem {
@@ -52,10 +55,26 @@ class FileSystem {
   /// Read `bytes` at `offset` within the file.
   void read(Handle h, u64 offset, u64 bytes, ReadDone done);
 
+  /// Read whole fs blocks [first_block, first_block + blocks) addressed by
+  /// file block index. Crash recovery replays WAL chunks with this: each
+  /// group-committed append rounds up to whole blocks, so byte offsets
+  /// under-count the file's real block positions.
+  void read_blocks(Handle h, u64 first_block, u64 blocks, ReadDone done);
+
   /// Delete the file: free extents and TRIM them on the device.
   void remove(Handle h, Done done);
 
+  /// Crash-recovery probe (no timing, no state change; requires
+  /// crash_tracking): true when every fs block covering [offset,
+  /// offset + bytes) of the file is durable on the device with exactly
+  /// the content its append wrote. The inode table and extent maps
+  /// themselves are modeled as metadata-journal-durable, so after a
+  /// power cut recovery re-reads file structure for free and uses this
+  /// probe to find the torn tail.
+  [[nodiscard]] bool probe_durable(Handle h, u64 offset, u64 bytes) const;
+
   [[nodiscard]] u64 file_bytes(Handle h) const;
+  [[nodiscard]] u32 block_bytes() const { return cfg_.block_bytes; }
   [[nodiscard]] u64 used_bytes() const {
     return used_blocks_ * cfg_.block_bytes;
   }
@@ -68,11 +87,22 @@ class FileSystem {
     u64 start_block;
     u64 block_count;
   };
+  /// Crash tracking: one record per device write an append issued. Extent
+  /// coalescing destroys write boundaries in `extents`, but the device
+  /// fingerprints are seeded per write — recovery needs these to re-derive
+  /// what each block should hold.
+  struct PieceRec {
+    u64 file_block;   // first file-relative fs block this write covered
+    u64 start_block;  // first device fs block
+    u64 block_count;
+    u64 fp;           // fp_base the device write was issued with
+  };
   struct Inode {
     std::string name;
     u64 size_bytes = 0;
     std::vector<Extent> extents;
     bool alive = false;
+    std::vector<PieceRec> pieces;  // crash tracking only
   };
 
   /// Allocate up to `blocks` contiguous fs blocks; returns an extent that

@@ -105,6 +105,22 @@ void run_result_json(JsonWriter& w, const RunResult& r) {
     w.end_object();
   }
   if (r.host_retries != 0) w.kv("host_retries", r.host_retries);
+  // Crash-run extras: the recovery block appears only when a power-loss
+  // cut actually fired, so crash-free report JSON stays byte-identical.
+  if (r.crashed || r.recovery.any()) {
+    w.key("recovery").begin_object();
+    w.kv("crash_time_ns", (u64)r.recovery.crash_time);
+    w.kv("recovery_ns", (u64)r.recovery.recovery_ns);
+    w.kv("discarded_events", r.recovery.discarded_events);
+    w.kv("rebuild_pages_read", r.recovery.rebuild_pages_read);
+    w.kv("torn_pages", r.recovery.torn_pages);
+    w.kv("recovered_units", r.recovery.recovered_units);
+    w.kv("lost_units", r.recovery.lost_units);
+    w.kv("wal_records_replayed", r.recovery.wal_records_replayed);
+    w.kv("wal_records_lost", r.recovery.wal_records_lost);
+    w.kv("log_blocks_scanned", r.recovery.log_blocks_scanned);
+    w.end_object();
+  }
   w.kv("host_cpu_ns", r.host_cpu_ns);
   w.kv("throughput_ops_per_sec", r.throughput_ops_per_sec());
   w.kv("bandwidth_bytes_per_sec", r.bandwidth_bytes_per_sec());

@@ -130,7 +130,21 @@ RunResult run_workload(KvStack& stack, const wl::WorkloadSpec& spec,
   }
   drv.issue_more();
   sim::EventQueue& eq = stack.eq();
+  const bool want_crash =
+      opts.crash_after_events > 0 && stack.crash_supported();
+  u64 steps = 0;
   while (!drv.done() && eq.step()) {
+    if (want_crash && !drv.result.crashed &&
+        ++steps >= opts.crash_after_events) {
+      // Power cut: ops in flight die with the event queue, so the issue
+      // loop must forget them or it would wait forever for completions
+      // that were never going to run.
+      drv.result.recovery = stack.simulate_crash();
+      drv.result.crashed = true;
+      drv.inflight = 0;
+      if (!opts.resume_after_crash) break;
+      drv.issue_more();
+    }
   }
   drv.result.elapsed = eq.now() - drv.t0;
   drv.result.ops = drv.completed;

@@ -35,6 +35,16 @@ struct RunOptions {
   /// a default-constructed (disabled) plan leaves the stack untouched,
   /// so fault-free runs execute the exact pre-fault path.
   ssd::FaultPlan faults;
+  /// Crash injection: when nonzero (and the stack was built with crash
+  /// tracking), a power-loss cut fires after this many simulation events
+  /// have been processed. Ops in flight at the cut are discarded — their
+  /// completions die with the event queue — then mount-time recovery runs
+  /// on the stack's clock (KvStack::simulate_crash) and its counters land
+  /// in RunResult::recovery. At most one cut per run.
+  u64 crash_after_events = 0;
+  /// Issue the rest of the workload against the recovered stack after the
+  /// cut (off = stop the run at the crash point).
+  bool resume_after_crash = true;
 };
 
 /// Non-OK, non-NotFound completions, broken out by failure category.
@@ -76,6 +86,8 @@ struct RunResult {
   u64 not_found = 0;
   u64 host_cpu_ns = 0;      ///< CPU burned by the stack during the run
   u64 host_retries = 0;     ///< command re-drives by the stack's RetryPolicy
+  bool crashed = false;     ///< a power-loss cut fired during this run
+  CrashOutcome recovery;    ///< all-zero unless `crashed`
 
   [[nodiscard]] double throughput_ops_per_sec() const {
     return elapsed ? (double)ops * (double)kSec / (double)elapsed : 0.0;

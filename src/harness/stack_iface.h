@@ -5,9 +5,11 @@
 // the stack copies the key iff it must outlive the call.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <string_view>
+#include <vector>
 
 #include "common/types.h"
 #include "sim/event_queue.h"
@@ -32,6 +34,10 @@ struct RetryPolicy {
   TimeNs backoff_ns = 500 * kUs;
   /// Multiplier applied per subsequent re-drive (exponential backoff).
   double backoff_mult = 2.0;
+  /// Ceiling on any single backoff delay. The exponential is clamped to
+  /// this *before* the integer conversion: an unbounded double-to-TimeNs
+  /// cast is undefined behavior once the product leaves TimeNs range.
+  TimeNs max_backoff_ns = 30 * kSec;
   bool retry_media_error = true;
   bool retry_busy = true;
   bool retry_timeout = true;
@@ -50,11 +56,35 @@ struct RetryPolicy {
     }
   }
 
-  /// Backoff delay before re-drive number `attempt` (1-based).
+  /// Backoff delay before re-drive number `attempt` (1-based), saturating
+  /// at `max_backoff_ns`.
   [[nodiscard]] TimeNs backoff_for(u32 attempt) const {
-    double d = (double)backoff_ns;
-    for (u32 i = 1; i < attempt; ++i) d *= backoff_mult;
+    const double cap = (double)max_backoff_ns;
+    double d = std::min((double)backoff_ns, cap);
+    for (u32 i = 1; i < attempt && d < cap; ++i) d = std::min(d * backoff_mult, cap);
     return (TimeNs)d;
+  }
+};
+
+/// Outcome counters for one power-loss cut + mount-time recovery cycle.
+/// All zero when no crash was injected (drives conditional report
+/// emission, like FtlStats::any_fault_activity()).
+struct CrashOutcome {
+  TimeNs crash_time = 0;         ///< simulation time of the power cut
+  TimeNs recovery_ns = 0;        ///< mount duration (device + host recovery)
+  u64 discarded_events = 0;      ///< pending events dropped at the cut
+  u64 rebuild_pages_read = 0;    ///< OOB scan reads during the map rebuild
+  u64 torn_pages = 0;            ///< programs in flight at the cut
+  u64 recovered_units = 0;       ///< slots / blobs / records restored
+  u64 lost_units = 0;            ///< device-acked units lost with the buffers
+  u64 wal_records_replayed = 0;  ///< LSM: WAL records re-applied at mount
+  u64 wal_records_lost = 0;      ///< LSM: acked records beyond the durable prefix
+  u64 log_blocks_scanned = 0;    ///< hashkv: write blocks scanned at cold start
+
+  [[nodiscard]] bool any() const {
+    return (recovery_ns | discarded_events | rebuild_pages_read | torn_pages |
+            recovered_units | lost_units | wal_records_replayed |
+            wal_records_lost | log_blocks_scanned | (u64)crash_time) != 0;
   }
 };
 
@@ -106,9 +136,70 @@ class KvStack {
   }
   /// Commands this stack re-drove after a retryable device error.
   virtual u64 host_retries() const { return 0; }
+
+  // --- Crash / power-loss model -----------------------------------------
+  /// True when the bed was built with crash tracking enabled (per-page
+  /// OOB metadata and host durability ledgers maintained) and can take a
+  /// power cut.
+  virtual bool crash_supported() const { return false; }
+  /// Power-loss cut at the current simulation time: discard every pending
+  /// event and all volatile state per the power-loss atomicity rules,
+  /// then run mount-time recovery to completion on the stack's own
+  /// clock. Returns the recovery counters.
+  virtual CrashOutcome simulate_crash() { return {}; }
+  /// Host ops currently in flight (issued, final completion not yet run;
+  /// includes ops parked in a retry backoff window).
+  virtual u64 inflight_host_ops() const { return 0; }
 };
 
 namespace detail {
+
+/// Per-bed ledger of host ops in flight: an op counts from issue until
+/// its *final* completion (a backoff window between retry attempts still
+/// counts), and drain waiters park until the count returns to zero. This
+/// closes the drain-vs-retry race where a device-level flush reported
+/// quiescence while a host backoff timer still held an un-resubmitted op.
+class InflightOps {
+ public:
+  /// Wrap a completion callback; the op is in flight until it runs.
+  template <typename Done>
+  auto track(Done done) {
+    ++inflight_;
+    return [this, done = std::move(done)](auto... args) mutable {
+      done(std::move(args)...);
+      finish();
+    };
+  }
+
+  /// Run `idle` once no tracked op is in flight (immediately if idle).
+  void when_idle(sim::Task idle) {
+    if (inflight_ == 0) {
+      idle();
+      return;
+    }
+    waiters_.push_back(std::move(idle));
+  }
+
+  [[nodiscard]] u64 count() const { return inflight_; }
+
+  /// Power-loss cut: forget in-flight ops (their completions were
+  /// discarded with the event queue) and drop parked drain waiters.
+  void reset() {
+    inflight_ = 0;
+    waiters_.clear();
+  }
+
+ private:
+  void finish() {
+    if (--inflight_ != 0) return;
+    auto ws = std::move(waiters_);
+    waiters_.clear();
+    for (auto& w : ws) w();
+  }
+
+  u64 inflight_ = 0;
+  std::vector<sim::Task> waiters_;
+};
 
 /// Issues `issue(attempt, done)` and re-drives it per `policy` when the
 /// completion status is retryable. `retries` is bumped once per re-drive.

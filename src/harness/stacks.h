@@ -36,6 +36,9 @@ struct KvssdBedConfig {
   nvme::NvmeConfig nvme;
   kvapi::KvsApiConfig api;
   RetryPolicy retry;
+  /// Convenience master switch: turns on crash tracking in every layer of
+  /// the bed so simulate_crash() is available.
+  bool crash_tracking = false;
 };
 
 class KvssdBed final : public KvStack {
@@ -43,8 +46,9 @@ class KvssdBed final : public KvStack {
   explicit KvssdBed(const KvssdBedConfig& cfg = {});
 
   void store(std::string_view key, ValueDesc v, StoreDone done) override {
+    auto tracked = inflight_.track(std::move(done));
     if (!faults_on_) {
-      dev_->store(key, v, std::move(done));
+      dev_->store(key, v, std::move(tracked));
       return;
     }
     detail::run_with_retry(
@@ -54,11 +58,12 @@ class KvssdBed final : public KvStack {
           // FTL may steer the retry to a different write point.
           dev_->store(key, v, std::move(cb), /*stream=*/(u8)attempt);
         },
-        std::move(done));
+        std::move(tracked));
   }
   void retrieve(std::string_view key, RetrieveDone done) override {
+    auto tracked = inflight_.track(std::move(done));
     if (!faults_on_) {
-      dev_->retrieve(key, std::move(done));
+      dev_->retrieve(key, std::move(tracked));
       return;
     }
     detail::run_with_retry(
@@ -66,11 +71,12 @@ class KvssdBed final : public KvStack {
         [this, key = std::string(key)](u32, auto cb) {
           dev_->retrieve(key, std::move(cb));
         },
-        std::move(done));
+        std::move(tracked));
   }
   void remove(std::string_view key, RemoveDone done) override {
+    auto tracked = inflight_.track(std::move(done));
     if (!faults_on_) {
-      dev_->remove(key, std::move(done));
+      dev_->remove(key, std::move(tracked));
       return;
     }
     detail::run_with_retry(
@@ -78,9 +84,15 @@ class KvssdBed final : public KvStack {
         [this, key = std::string(key)](u32, auto cb) {
           dev_->remove(key, std::move(cb));
         },
-        std::move(done));
+        std::move(tracked));
   }
-  void drain(sim::Task done) override { dev_->flush(std::move(done)); }
+  void drain(sim::Task done) override {
+    // An op parked in a retry-backoff window is invisible to the device
+    // flush; wait out the host side before asking the device to quiesce.
+    inflight_.when_idle([this, done = std::move(done)]() mutable {
+      dev_->flush(std::move(done));
+    });
+  }
   [[nodiscard]] u64 host_cpu_ns() const override { return dev_->host_cpu_ns(); }
   [[nodiscard]] u64 device_bytes_used() const override {
     return ftl_->device_bytes_used();
@@ -111,6 +123,11 @@ class KvssdBed final : public KvStack {
     return ftl_->fault_injector();
   }
   [[nodiscard]] u64 host_retries() const override { return host_retries_; }
+  [[nodiscard]] bool crash_supported() const override { return crash_on_; }
+  CrashOutcome simulate_crash() override;
+  [[nodiscard]] u64 inflight_host_ops() const override {
+    return inflight_.count();
+  }
 
  private:
   sim::EventQueue eq_;
@@ -120,7 +137,9 @@ class KvssdBed final : public KvStack {
   std::unique_ptr<kvapi::KvsDevice> dev_;
   RetryPolicy retry_;
   bool faults_on_ = false;
+  bool crash_on_ = false;
   u64 host_retries_ = 0;
+  detail::InflightOps inflight_;
 };
 
 struct BlockBedConfig {
@@ -156,6 +175,9 @@ struct LsmBedConfig {
   fs::FsConfig fs;
   lsm::LsmConfig lsm;
   RetryPolicy retry;
+  /// Convenience master switch: turns on crash tracking in every layer of
+  /// the bed so simulate_crash() is available.
+  bool crash_tracking = false;
 };
 
 class LsmBed final : public KvStack {
@@ -163,8 +185,9 @@ class LsmBed final : public KvStack {
   explicit LsmBed(const LsmBedConfig& cfg = {});
 
   void store(std::string_view key, ValueDesc v, StoreDone done) override {
+    auto tracked = inflight_.track(std::move(done));
     if (!faults_on_) {
-      store_->put(key, v, std::move(done));
+      store_->put(key, v, std::move(tracked));
       return;
     }
     detail::run_with_retry(
@@ -172,11 +195,12 @@ class LsmBed final : public KvStack {
         [this, key = std::string(key), v](u32, auto cb) {
           store_->put(key, v, std::move(cb));
         },
-        std::move(done));
+        std::move(tracked));
   }
   void retrieve(std::string_view key, RetrieveDone done) override {
+    auto tracked = inflight_.track(std::move(done));
     if (!faults_on_) {
-      store_->get(key, std::move(done));
+      store_->get(key, std::move(tracked));
       return;
     }
     detail::run_with_retry(
@@ -184,11 +208,12 @@ class LsmBed final : public KvStack {
         [this, key = std::string(key)](u32, auto cb) {
           store_->get(key, std::move(cb));
         },
-        std::move(done));
+        std::move(tracked));
   }
   void remove(std::string_view key, RemoveDone done) override {
+    auto tracked = inflight_.track(std::move(done));
     if (!faults_on_) {
-      store_->del(key, std::move(done));
+      store_->del(key, std::move(tracked));
       return;
     }
     detail::run_with_retry(
@@ -196,7 +221,7 @@ class LsmBed final : public KvStack {
         [this, key = std::string(key)](u32, auto cb) {
           store_->del(key, std::move(cb));
         },
-        std::move(done));
+        std::move(tracked));
   }
   void drain(sim::Task done) override;
   [[nodiscard]] u64 host_cpu_ns() const override {
@@ -234,6 +259,11 @@ class LsmBed final : public KvStack {
     return ftl_->fault_injector();
   }
   [[nodiscard]] u64 host_retries() const override { return host_retries_; }
+  [[nodiscard]] bool crash_supported() const override { return crash_on_; }
+  CrashOutcome simulate_crash() override;
+  [[nodiscard]] u64 inflight_host_ops() const override {
+    return inflight_.count();
+  }
 
  private:
   sim::EventQueue eq_;
@@ -246,7 +276,9 @@ class LsmBed final : public KvStack {
   u64 app_bytes_ = 0;
   RetryPolicy retry_;
   bool faults_on_ = false;
+  bool crash_on_ = false;
   u64 host_retries_ = 0;
+  detail::InflightOps inflight_;
 };
 
 struct HashKvBedConfig {
@@ -256,6 +288,9 @@ struct HashKvBedConfig {
   blockapi::BlockApiConfig api;
   hashkv::HashKvConfig store;
   RetryPolicy retry;
+  /// Convenience master switch: turns on crash tracking in every layer of
+  /// the bed so simulate_crash() is available.
+  bool crash_tracking = false;
 };
 
 class HashKvBed final : public KvStack {
@@ -263,8 +298,9 @@ class HashKvBed final : public KvStack {
   explicit HashKvBed(const HashKvBedConfig& cfg = {});
 
   void store(std::string_view key, ValueDesc v, StoreDone done) override {
+    auto tracked = inflight_.track(std::move(done));
     if (!faults_on_) {
-      store_->put(key, v, std::move(done));
+      store_->put(key, v, std::move(tracked));
       return;
     }
     detail::run_with_retry(
@@ -272,11 +308,12 @@ class HashKvBed final : public KvStack {
         [this, key = std::string(key), v](u32, auto cb) {
           store_->put(key, v, std::move(cb));
         },
-        std::move(done));
+        std::move(tracked));
   }
   void retrieve(std::string_view key, RetrieveDone done) override {
+    auto tracked = inflight_.track(std::move(done));
     if (!faults_on_) {
-      store_->get(key, std::move(done));
+      store_->get(key, std::move(tracked));
       return;
     }
     detail::run_with_retry(
@@ -284,11 +321,12 @@ class HashKvBed final : public KvStack {
         [this, key = std::string(key)](u32, auto cb) {
           store_->get(key, std::move(cb));
         },
-        std::move(done));
+        std::move(tracked));
   }
   void remove(std::string_view key, RemoveDone done) override {
+    auto tracked = inflight_.track(std::move(done));
     if (!faults_on_) {
-      store_->del(key, std::move(done));
+      store_->del(key, std::move(tracked));
       return;
     }
     detail::run_with_retry(
@@ -296,9 +334,15 @@ class HashKvBed final : public KvStack {
         [this, key = std::string(key)](u32, auto cb) {
           store_->del(key, std::move(cb));
         },
-        std::move(done));
+        std::move(tracked));
   }
-  void drain(sim::Task done) override { store_->drain(std::move(done)); }
+  void drain(sim::Task done) override {
+    // Same drain-vs-retry gate as the other beds: a backoff timer can
+    // hold an op the store has never seen (or will see again).
+    inflight_.when_idle([this, done = std::move(done)]() mutable {
+      store_->drain(std::move(done));
+    });
+  }
   [[nodiscard]] u64 host_cpu_ns() const override {
     return store_->host_cpu_ns() + dev_->host_cpu_ns();
   }
@@ -332,6 +376,11 @@ class HashKvBed final : public KvStack {
     return ftl_->fault_injector();
   }
   [[nodiscard]] u64 host_retries() const override { return host_retries_; }
+  [[nodiscard]] bool crash_supported() const override { return crash_on_; }
+  CrashOutcome simulate_crash() override;
+  [[nodiscard]] u64 inflight_host_ops() const override {
+    return inflight_.count();
+  }
 
  private:
   sim::EventQueue eq_;
@@ -342,7 +391,9 @@ class HashKvBed final : public KvStack {
   std::unique_ptr<hashkv::HashKvStore> store_;
   RetryPolicy retry_;
   bool faults_on_ = false;
+  bool crash_on_ = false;
   u64 host_retries_ = 0;
+  detail::InflightOps inflight_;
 };
 
 }  // namespace kvsim::harness

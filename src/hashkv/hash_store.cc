@@ -99,6 +99,10 @@ void HashKvStore::append_record(const std::string& key, ValueDesc value,
     flush_buffer([](Status) {});
   index_[key] = Rec{kBufferBlock, buf_gen_, buf_used_, rec_size, value.size,
                     value.fingerprint};
+  if (cfg_.crash_tracking)
+    buf_recs_.push_back(
+        DurableLogRec{key, buf_used_, rec_size, value.size,
+                      value.fingerprint});
   buf_keys_.push_back(key);
   buf_used_ += rec_size;
   if (is_defrag) cpu_ns_ += cfg_.buffer_copy_ns;
@@ -117,6 +121,13 @@ void HashKvStore::flush_buffer(std::function<void(Status)> done) {
   auto keys = std::make_shared<std::vector<std::string>>(
       std::move(buf_keys_));
   // Fresh buffer for subsequent appends.
+  if (cfg_.crash_tracking) {
+    // Ledger the block at write issue: from here on its fate belongs to
+    // the device, and a cold restart decides durability by probing it.
+    durable_log_[b] =
+        DurableLogBlock{flush_seq_++, gen, used, std::move(buf_recs_)};
+    buf_recs_.clear();
+  }
   ++buf_gen_;
   buf_used_ = 0;
   buf_keys_.clear();
@@ -207,6 +218,9 @@ void HashKvStore::run_defrag() {
       wb.live = 0;
       wb.keys.clear();
       free_blocks_.push_back(b);
+      // The erase takes the block's records with it; live ones were just
+      // re-appended and will be ledgered again by the next flush.
+      if (cfg_.crash_tracking) durable_log_.erase(b);
       dev_.trim(wb_lba(b, 0), cfg_.write_block_bytes,
                 [this](Status) { run_defrag(); });
     });
@@ -266,6 +280,120 @@ void HashKvStore::del(std::string_view key, PutDone done) {
   index_.erase(it);
   eq_.schedule_at(t_cpu,
                   [done = std::move(done)]() mutable { done(Status::kOk); });
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery
+// ---------------------------------------------------------------------------
+
+void HashKvStore::power_fail_and_recover(HostRecovery& out, sim::Task done) {
+  const TimeNs now = eq_.now();
+
+  // Acked state before the cut, for the lost-write count.
+  std::vector<std::pair<std::string, u64>> pre;
+  pre.reserve(index_.size());
+  for (const auto& [k, r] : index_) pre.emplace_back(k, r.vfp);
+
+  // ---- power loss: the RAM index and write buffer are gone ---------------
+  index_.clear();
+  buf_used_ = 0;
+  buf_keys_.clear();
+  buf_recs_.clear();
+  waiting_puts_.clear();  // held by backpressure, never acked
+  defrag_queue_.clear();
+  defrag_running_ = false;
+  outstanding_flushes_ = 0;
+  drain_waiters_.clear();
+  app_bytes_live_ = 0;
+  fg_cpu_.power_cycle(now);
+  defrag_cpu_.power_cycle(now);
+  for (auto& wb : blocks_) wb = WriteBlock{};
+  free_blocks_.clear();
+
+  struct Gate {
+    int pending = 1;
+    sim::Task done;
+    void open() {
+      if (--pending == 0) done();
+    }
+  };
+  auto gate = std::make_shared<Gate>();
+  gate->done = std::move(done);
+
+  // ---- cold restart: scan flushed write blocks in flush order ------------
+  // Later flushes carry newer record versions, so applying headers in
+  // flush order leaves the index pointing at the newest durable copy.
+  std::vector<std::pair<u32, const DurableLogBlock*>> scan;
+  scan.reserve(durable_log_.size());
+  for (const auto& [b, led] : durable_log_) scan.emplace_back(b, &led);
+  std::sort(scan.begin(), scan.end(), [](const auto& a, const auto& b) {
+    return a.second->flush_seq < b.second->flush_seq;
+  });
+
+  u64 applied = 0;
+  std::vector<u32> torn;
+  for (const auto& [b, led] : scan) {
+    ++out.log_blocks_scanned;
+    ++gate->pending;
+    dev_.read(wb_lba(b, 0), (u32)cfg_.write_block_bytes,
+              [gate](Status, u64) { gate->open(); });
+    const Lba lba = wb_lba(b, 0);
+    const u64 fp = ((u64)b << 32) | led->gen;
+    const bool durable =
+        dev_.ftl().probe_durable_slots(lba, (u32)cfg_.write_block_bytes,
+                                       fp) ==
+        dev_.ftl().probe_total_slots(lba, (u32)cfg_.write_block_bytes);
+    if (!durable) {
+      // The 128 KiB block write was still (partly) in the device's
+      // volatile write path: every record in it is gone.
+      ++out.torn_blocks;
+      torn.push_back(b);
+      continue;
+    }
+    blocks_[b].free = false;
+    blocks_[b].used = led->used;
+    for (const DurableLogRec& r : led->recs) {
+      index_[r.key] = Rec{b, 0, r.offset, r.size, r.vsize, r.vfp};
+      ++applied;
+    }
+  }
+  for (u32 b : torn) durable_log_.erase(b);
+
+  // Rebuild per-block live bytes and key lists from the final index, in
+  // sorted key order so recovery (and any defrag it kicks off) is
+  // deterministic.
+  std::vector<std::pair<std::string, Rec>> final_recs(index_.begin(),
+                                                      index_.end());
+  std::sort(final_recs.begin(), final_recs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [k, r] : final_recs) {
+    blocks_[r.wb].live += r.size;
+    blocks_[r.wb].keys.push_back(k);
+    app_bytes_live_ += k.size() + r.vsize;
+  }
+  out.recovered_records = index_.size();
+
+  // Free list in the same descending order the constructor uses.
+  for (u32 b = (u32)blocks_.size(); b-- > 0;)
+    if (blocks_[b].free) free_blocks_.push_back(b);
+
+  for (const auto& [k, vfp] : pre) {
+    auto it = index_.find(k);
+    if (it == index_.end() || it->second.vfp != vfp) ++out.lost_records;
+  }
+
+  // Index-rebuild CPU: one primary-index insert per applied header.
+  const TimeNs cpu = (TimeNs)applied * cfg_.index_cpu_ns;
+  cpu_ns_ += cpu;
+  ++gate->pending;
+  eq_.schedule_at(fg_cpu_.reserve(now, cpu), [gate] { gate->open(); });
+
+  // Low-occupancy survivors go back on the defrag queue (background;
+  // not part of the mount itself).
+  for (u32 b = 0; b < (u32)blocks_.size(); ++b)
+    if (!blocks_[b].free) maybe_queue_defrag(b);
+
+  gate->open();  // release the initial hold
 }
 
 // ---------------------------------------------------------------------------

@@ -46,6 +46,12 @@ struct HashKvConfig {
   TimeNs index_cpu_ns = 1200;     ///< RAM primary-index operation
   TimeNs buffer_copy_ns = 1500;   ///< staging a record into the buffer
   TimeNs defrag_cpu_per_record_ns = 800;
+
+  /// Crash mode: keep a host-side ledger of the records each flushed
+  /// write block carried, standing in for the parseable record headers a
+  /// cold-restart device scan would read. Off by default (no behavior
+  /// change).
+  bool crash_tracking = false;
 };
 
 class HashKvStore {
@@ -62,6 +68,24 @@ class HashKvStore {
 
   /// Flush the active write buffer and wait for defrag to go idle.
   void drain(sim::Task done);
+
+  /// Cold-restart recovery counters (see power_fail_and_recover).
+  struct HostRecovery {
+    u64 log_blocks_scanned = 0;  // write blocks read during the scan
+    u64 torn_blocks = 0;         // flushed blocks that never fully landed
+    u64 recovered_records = 0;   // index entries after the rebuild
+    u64 lost_records = 0;        // acked writes absent (or stale) after it
+  };
+
+  /// Power cut at eq_.now(): the RAM primary index, the active write
+  /// buffer, and waiting/unflushed work vanish. Cold restart then scans
+  /// every flushed write block, drops blocks whose 128 KiB write never
+  /// fully reached flash, and rebuilds the index by replaying record
+  /// headers in flush order. RAM-only deletes resurrect (Aerospike
+  /// semantics without durable deletes). Requires crash_tracking on this
+  /// store and on the block FTL beneath it; `done` fires when the scan
+  /// I/O and index-rebuild CPU settle.
+  void power_fail_and_recover(HostRecovery& out, sim::Task done);
 
   // --- telemetry -----------------------------------------------------------
   [[nodiscard]] u64 host_cpu_ns() const { return cpu_ns_; }
@@ -113,6 +137,27 @@ class HashKvStore {
   std::unordered_map<std::string, Rec> index_;
   std::vector<WriteBlock> blocks_;
   std::vector<u32> free_blocks_;
+
+  // Crash tracking: what a cold-restart scan could parse back out of each
+  // flushed write block. Recorded at append time so records whose key was
+  // deleted or re-written before the flush still resurrect, exactly like
+  // the on-flash record headers they model.
+  struct DurableLogRec {
+    std::string key;
+    u32 offset;
+    u32 size;
+    u32 vsize;
+    u64 vfp;
+  };
+  struct DurableLogBlock {
+    u64 flush_seq;
+    u32 gen;
+    u32 used;
+    std::vector<DurableLogRec> recs;
+  };
+  std::unordered_map<u32, DurableLogBlock> durable_log_;  // by write block
+  std::vector<DurableLogRec> buf_recs_;  // staged with the active buffer
+  u64 flush_seq_ = 0;
 
   // active write buffer
   u32 buf_gen_ = 0;

@@ -1,8 +1,10 @@
 #include "kvftl/kv_ftl.h"
 
 #include <algorithm>
+#include <map>
 #include <memory>
 #include <stdexcept>
+#include <tuple>
 
 namespace kvsim::kvftl {
 
@@ -81,6 +83,7 @@ KvFtl::KvFtl(sim::EventQueue& eq, flash::FlashController& flash,
   stream_rr_.assign(std::max<u32>(1, cfg_.write_streams), 0);
   gc_lanes_.resize(std::max<u32>(1, cfg_.gc_lanes));
   buffered_count_.assign(geom_.total_blocks(), 0);
+  if (cfg_.crash_tracking) flash_.set_crash_tracking(true);
 #if KVSIM_AUDIT
   flash_audit_ = std::make_unique<ssd::FlashAudit>(geom_);
   flash_.set_audit(flash_audit_.get());
@@ -264,6 +267,7 @@ void KvFtl::store(std::string_view key, ValueDesc value, StoreDone done,
         blob.key_bytes = (u16)key_copy.size();
         blob.vfp = value.fingerprint;
         ++blob.gen;
+        if (cfg_.crash_tracking) key_dir_[khash] = KeyDirEntry{key_copy, nsid};
         blob.chunks.assign(nchunks, ChunkRef{kPendingBlock, 0});
         place_blob(khash, blob.gen, slots, stream);
         done(Status::kOk);
@@ -346,6 +350,17 @@ bool KvFtl::place_chunk(u64 khash, u8 chunk_idx, u16 slot_count, bool is_gc,
   auto blob = blob_table_.find(khash);
   if (blob != blob_table_.end() && chunk_idx < blob->second.chunks.size())
     blob->second.chunks[chunk_idx] = ChunkRef{(u32)b, rec_idx};
+  if (cfg_.crash_tracking && blob != blob_table_.end()) {
+    // OOB blob descriptor, mirroring what the firmware writes into the
+    // page meta area: a=gen|chunk|slot_start, b=value|slots|key bytes.
+    const BlobRec& br = blob->second;
+    const ChunkRec& rec = blocks_[b].recs[rec_idx];
+    lane.staged.push_back(flash::OobEntry{
+        khash, br.vfp,
+        ((u64)br.gen << 32) | ((u64)rec.chunk_idx << 16) | rec.slot_start,
+        ((u64)br.value_bytes << 32) | ((u64)rec.slot_count << 16) |
+            br.key_bytes});
+  }
 
   if (lane.used_slots == cfg_.page_data_slots) {
     seal_page(lane, is_gc);
@@ -374,6 +389,10 @@ bool KvFtl::ensure_block(Lane& lane, bool is_gc) {
 void KvFtl::seal_page(Lane& lane, bool is_gc) {
   const flash::PageId page = geom_.page_id(*lane.block, lane.next_page);
   const u64 host_bytes = lane.buffered_bytes;
+  if (cfg_.crash_tracking) {
+    flash_.stage_oob(page, std::move(lane.staged));
+    lane.staged.clear();
+  }
   lane.used_slots = 0;
   lane.buffered_bytes = 0;
   ++lane.flush_arm;
@@ -930,6 +949,242 @@ void KvFtl::on_block_freed() {
 }
 
 // ---------------------------------------------------------------------------
+// Power loss & mount-time recovery
+// ---------------------------------------------------------------------------
+
+void KvFtl::power_fail_and_recover(DeviceRecovery& out, sim::Task done) {
+  if (!cfg_.crash_tracking)
+    throw std::logic_error("power_fail_and_recover needs crash_tracking");
+  const TimeNs cut = eq_.now();
+
+  // Snapshot the pre-cut blob table for the lost-write window.
+  std::vector<std::pair<u64, u64>> pre;  // (khash, vfp)
+  pre.reserve(blob_table_.size());
+  for (const auto& [khash, blob] : blob_table_)
+    pre.emplace_back(khash, blob.vfp);
+
+  // Cut power at the media and the firmware engines.
+  const std::vector<flash::PageId> torn = flash_.power_loss(cut);
+  out.torn_pages = torn.size();
+  kv_core_.power_cycle(cut);
+  for (auto& m : managers_) m.power_cycle(cut);
+  packer_.power_cycle(cut);
+
+  // Everything DRAM-resident is gone: write buffer, open lanes, pending
+  // placements, blob table, Bloom filter, iterator buckets, read cache,
+  // the index DRAM cache (the whole IndexModel is rebuilt below), and the
+  // per-block record lists (rebuilt from OOB).
+  for (auto& lane : lanes_) lane = Lane{};
+  for (auto& lane : gc_lanes_) lane = Lane{};
+  std::fill(stream_rr_.begin(), stream_rr_.end(), 0u);
+  gc_lane_rr_ = 0;
+  buffered_pages_.clear();
+  std::fill(buffered_count_.begin(), buffered_count_.end(), 0u);
+  pending_chunks_.clear();
+  recovery_pending_.clear();
+  outstanding_programs_ = 0;
+  drain_waiters_.clear();
+  index_write_accum_ = 0;
+  index_page_rr_ = 0;
+  gc_running_ = false;
+  gc_stuck_ = false;
+  gc_futile_streak_ = 0;
+  rcache_lru_.clear();
+  rcache_map_.clear();
+  rcache_bytes_ = 0;
+  buffer_.reset();
+  blob_table_.clear();
+  for (auto& b : blocks_) {
+    b.recs.clear();
+    b.valid_slots = 0;
+  }
+  live_slots_ = 0;
+  app_bytes_live_ = 0;
+  waste_slots_ = 0;
+  ns_kvp_counts_.fill(0);
+  bloom_ = CountingBloom(cfg_.expected_keys_hint);
+  iters_ = IteratorBuckets(cfg_.track_iterator_keys);
+  index_ = IndexModel(cfg_.index);
+#if KVSIM_AUDIT
+  log_audit_ = std::make_unique<ssd::KvLogAudit>(geom_.total_blocks());
+#endif
+
+  // Walk committed OOB in epoch order and collect every surviving copy of
+  // every (khash, generation): GC can leave two identical copies of a
+  // chunk (migrated copy programmed, victim not yet erased), where the
+  // later epoch wins; distinct generations are the overwrite history.
+  struct ChunkLoc {
+    flash::BlockId block = 0;
+    u16 page = 0;
+    u16 slot_start = 0;
+    u16 slot_count = 0;
+    bool present = false;
+  };
+  struct GenCand {
+    u32 value_bytes = 0;
+    u16 key_bytes = 0;
+    u64 vfp = 0;
+    std::vector<ChunkLoc> chunks;
+  };
+  std::vector<std::pair<u64, flash::PageId>> pages;  // (epoch, page)
+  for (const auto& [p, oob] : flash_.committed_oob())
+    pages.emplace_back(oob.epoch, p);
+  std::sort(pages.begin(), pages.end());
+  std::unordered_map<u64, std::map<u32, GenCand>> cands;
+  for (const auto& [epoch, p] : pages) {
+    const auto& oob = flash_.committed_oob().at(p);
+    u64 page_slots = 0;
+    for (const auto& e : oob.entries) {
+      const u32 gen = (u32)(e.a >> 32);
+      const u32 chunk_idx = (u32)((e.a >> 16) & 0xffff);
+      const u16 slot_start = (u16)(e.a & 0xffff);
+      const u32 value_bytes = (u32)(e.b >> 32);
+      const u16 slot_count = (u16)((e.b >> 16) & 0xffff);
+      const u16 key_bytes = (u16)(e.b & 0xffff);
+      page_slots += slot_count;
+      GenCand& gc = cands[e.tag][gen];
+      if (gc.chunks.empty()) {
+        gc.value_bytes = value_bytes;
+        gc.key_bytes = key_bytes;
+        gc.vfp = e.fp;
+        const u32 slots = slots_for_value(value_bytes, cfg_.slot_bytes);
+        gc.chunks.resize(chunks_for_blob(slots, cfg_.page_data_slots));
+      }
+      if (chunk_idx >= gc.chunks.size()) continue;  // corrupt descriptor
+      gc.chunks[chunk_idx] =
+          ChunkLoc{geom_.block_of_page(p), (u16)geom_.page_in_block(p),
+                   slot_start, slot_count, true};
+    }
+    // Slots the seal left unfilled are the page's structural padding.
+    if (page_slots < cfg_.page_data_slots)
+      waste_slots_ += cfg_.page_data_slots - page_slots;
+  }
+
+  // Per key: mount the highest generation whose chunks are all durable (a
+  // torn newest write falls back to the previous complete overwrite still
+  // on unerased flash — its ack predates the lost one).
+  struct Placement {
+    flash::BlockId block;
+    u16 page;
+    u16 slot_start;
+    u16 slot_count;
+    u64 khash;
+    u32 gen;
+    u8 chunk_idx;
+  };
+  std::vector<Placement> placements;
+  std::vector<u64> winners;
+  for (const auto& [khash, gens] : cands) {
+    for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
+      const GenCand& gc = it->second;
+      const bool complete =
+          std::all_of(gc.chunks.begin(), gc.chunks.end(),
+                      [](const ChunkLoc& c) { return c.present; });
+      if (!complete) continue;
+      BlobRec& blob = blob_table_[khash];
+      blob.value_bytes = gc.value_bytes;
+      blob.key_bytes = gc.key_bytes;
+      blob.gen = it->first;
+      blob.vfp = gc.vfp;
+      blob.chunks.assign(gc.chunks.size(), ChunkRef{kPendingBlock, 0});
+      for (u32 ci = 0; ci < gc.chunks.size(); ++ci)
+        placements.push_back(Placement{gc.chunks[ci].block, gc.chunks[ci].page,
+                                       gc.chunks[ci].slot_start,
+                                       gc.chunks[ci].slot_count, khash,
+                                       it->first, (u8)ci});
+      winners.push_back(khash);
+      break;
+    }
+  }
+  // Physical order (block, page, slot) makes the rebuilt record lists —
+  // and everything downstream of them — independent of hash-map iteration
+  // order.
+  std::sort(placements.begin(), placements.end(),
+            [](const Placement& a, const Placement& b) {
+              return std::tie(a.block, a.page, a.slot_start, a.khash) <
+                     std::tie(b.block, b.page, b.slot_start, b.khash);
+            });
+  for (const Placement& pl : placements) {
+    BlockInfo& info = blocks_[pl.block];
+    const u32 rec_idx = (u32)info.recs.size();
+    info.recs.push_back(ChunkRec{pl.khash, pl.page, pl.slot_start,
+                                 pl.slot_count, pl.chunk_idx, true});
+    info.valid_slots += pl.slot_count;
+    live_slots_ += pl.slot_count;
+    blob_table_[pl.khash].chunks[pl.chunk_idx] =
+        ChunkRef{(u32)pl.block, rec_idx};
+    if (log_audit_)
+      log_audit_->on_place(pl.khash, pl.chunk_idx, (u32)pl.block, rec_idx,
+                           pl.slot_count);
+  }
+  // RAM structures keyed by the recovered set: Bloom filter, iterator
+  // buckets, namespace counters, and the global index (rebuilt in DRAM
+  // from the scan — charged as mount CPU below, not as index flash I/O).
+  std::sort(winners.begin(), winners.end());
+  for (u64 khash : winners) {
+    bloom_.insert(khash);
+    index_.on_insert(khash);
+    auto kd = key_dir_.find(khash);
+    if (kd != key_dir_.end()) {
+      iters_.add(kd->second.key, kd->second.nsid);
+      ++ns_kvp_counts_[kd->second.nsid];
+    }
+    app_bytes_live_ += (u64)blob_table_[khash].value_bytes +
+                       blob_table_[khash].key_bytes;
+  }
+  out.recovered_units = blob_table_.size();
+  for (const auto& [khash, vfp] : pre) {
+    auto it = blob_table_.find(khash);
+    if (it == blob_table_.end() || it->second.vfp != vfp) ++out.lost_units;
+  }
+
+  // Block states: grown-bad and index blocks persist; anything holding
+  // committed or torn pages is sealed (lanes never resume across a power
+  // cycle); the rest is free. Erase counts are wear and survive.
+  std::vector<u8> has_data(geom_.total_blocks(), 0);
+  for (const auto& [epoch, p] : pages) has_data[geom_.block_of_page(p)] = 1;
+  for (flash::PageId p : torn) has_data[geom_.block_of_page(p)] = 1;
+  std::vector<flash::BlockId> free_list;
+  for (flash::BlockId b = 0; b < geom_.total_blocks(); ++b) {
+    if (block_state_[b] == kBad || block_state_[b] == kIndexBlock) continue;
+    if (has_data[b]) {
+      block_state_[b] = kSealed;
+    } else {
+      block_state_[b] = kFree;
+      free_list.push_back(b);
+    }
+  }
+  alloc_.reset_free(free_list);
+
+  // Charge the mount: one meta-area read per data page that holds (or
+  // tore), batched per die, plus key-handling time per recovered KVP to
+  // rehash keys and rebuild the index in DRAM.
+  std::vector<flash::PageRead> scan;
+  scan.reserve(pages.size() + torn.size());
+  for (const auto& [epoch, p] : pages)
+    scan.push_back(flash::PageRead{p, cfg_.mount_read_bytes});
+  for (flash::PageId p : torn)
+    scan.push_back(flash::PageRead{p, cfg_.mount_read_bytes});
+  std::sort(scan.begin(), scan.end(),
+            [](const flash::PageRead& a, const flash::PageRead& b) {
+              return a.page < b.page;
+            });
+  out.rebuild_pages_read = scan.size();
+  const TimeNs cpu_done = kv_core_.reserve(
+      eq_.now(),
+      cfg_.dispatch_ns + (TimeNs)winners.size() * cfg_.key_handling_ns);
+  auto join = make_join((scan.empty() ? 0 : 1) + 1, std::move(done));
+  eq_.schedule_at(cpu_done, [join] { join->arrive(); });
+  if (!scan.empty())
+    flash_.read_multi(scan.data(), (u32)scan.size(), [join] { join->arrive(); });
+}
+
+bool KvFtl::probe_durable(std::string_view key, u64 vfp, u8 nsid) const {
+  auto it = blob_table_.find(hash64(key, nsid));
+  return it != blob_table_.end() && it->second.vfp == vfp;
+}
+
+// ---------------------------------------------------------------------------
 // Fault recovery
 // ---------------------------------------------------------------------------
 
@@ -1000,6 +1255,7 @@ void KvFtl::close_lane(Lane& lane, flash::BlockId b, bool is_gc) {
   }
   lane.used_slots = 0;
   lane.buffered_bytes = 0;
+  lane.staged.clear();  // the open page will never program
   ++lane.flush_arm;  // cancel any pending partial-flush timer
   lane.block.reset();
   // The open page will never program; re-drive its chunks after the lane

@@ -27,6 +27,7 @@
 #include <list>
 #include <memory>
 #include <optional>
+#include <string>
 #include <string_view>
 #include <unordered_map>
 #include <unordered_set>
@@ -82,6 +83,15 @@ struct KvFtlConfig {
   bool track_iterator_keys = true;
   double capacity_guard = 0.98;  ///< reject stores past this slot fraction
   TimeNs partial_flush_ns = 0;  // 0 = hold partial pages until full/flush
+
+  /// Maintain per-page OOB metadata for the power-loss crash/recovery
+  /// model (see power_fail_and_recover). Off by default: the store path
+  /// then skips OOB staging entirely and runs byte-identically to the
+  /// pre-crash-model code.
+  bool crash_tracking = false;
+  /// Bytes read per data page during the mount rebuild scan — the page
+  /// meta area (blob descriptors, keys, offset pointers), not the values.
+  u32 mount_read_bytes = 4 * KiB;
 };
 
 class KvFtl {
@@ -159,6 +169,31 @@ class KvFtl {
   /// when garbage collection stops.
   void audit_verify() const;
 
+  // --- crash / power-loss model ----------------------------------------
+  /// Device-side counters of one power-loss + mount cycle.
+  struct DeviceRecovery {
+    u64 rebuild_pages_read = 0;  ///< pages the mount scan read
+    u64 torn_pages = 0;          ///< programs in flight at the cut
+    u64 recovered_units = 0;     ///< KVPs whose newest complete copy mounted
+    u64 lost_units = 0;          ///< pre-cut KVPs missing or stale after mount
+  };
+
+  /// Power-loss cut at the current simulation time (requires
+  /// crash_tracking; the caller discards the event queue first). All
+  /// volatile state — write buffer, open lanes, in-flight programs, the
+  /// RAM blob table, Bloom filter, iterator buckets, and the DRAM index —
+  /// is dropped; the store is rebuilt from per-page OOB blob descriptors:
+  /// a KVP recovers at its highest generation whose chunks are all
+  /// durable (a torn multi-chunk blob falls back to the previous complete
+  /// generation, or is lost). `done` runs when mount I/O and firmware
+  /// rebuild time complete. Counters are filled synchronously.
+  void power_fail_and_recover(DeviceRecovery& out, sim::Task done);
+
+  /// Crash-recovery probe (no timing, no state change): true when `key`
+  /// currently resolves to a blob with this value fingerprint.
+  [[nodiscard]] bool probe_durable(std::string_view key, u64 vfp,
+                                   u8 nsid = 0) const;
+
   /// Arm (plan.enabled) or disarm fault injection. Disarmed, no injector
   /// exists and the flash hot path is exactly the pre-fault one. Arming
   /// mid-run is allowed; the injector's wear clock starts at zero.
@@ -209,6 +244,9 @@ class KvFtl {
     u32 used_slots = 0;       // slots appended to the open page
     u64 buffered_bytes = 0;   // host bytes awaiting this page's program
     u64 flush_arm = 0;
+    // Crash tracking: OOB blob descriptors of the open page, captured at
+    // placement time. Handed to the controller at seal.
+    std::vector<flash::OobEntry> staged;
   };
 
   struct PendingChunk {  // waiting for free blocks (foreground GC)
@@ -345,6 +383,15 @@ class KvFtl {
   // original page failed or its lane closed).
   std::unique_ptr<ssd::FaultInjector> faults_;
   std::deque<PendingChunk> recovery_pending_;
+
+  // Crash tracking: models the key bytes stored in each page's meta area.
+  // Entries are never removed (flash holds the key until its block is
+  // erased); the mount scan consults it only for khashes that win.
+  struct KeyDirEntry {
+    std::string key;
+    u8 nsid;
+  };
+  std::unordered_map<u64, KeyDirEntry> key_dir_;
 
   // KVSIM_AUDIT shadow models (null when auditing is compiled out)
   std::unique_ptr<ssd::FlashAudit> flash_audit_;

@@ -38,6 +38,7 @@ LsmStore::LsmStore(sim::EventQueue& eq, fs::FileSystem& fs,
       compact_rr_(cfg.num_levels, 0),
       cache_capacity_blocks_(cfg.block_cache_bytes / cfg.data_block_bytes) {
   wal_file_ = fs_.create("wal-0");
+  if (cfg_.crash_tracking) wal_ledger_.file = wal_file_;
 }
 
 // ---------------------------------------------------------------------------
@@ -83,6 +84,9 @@ void LsmStore::do_write(std::string_view key, ValueDesc value, bool tombstone,
   bool wal_io = false;
   u64 wal_chunk = 0;
   if (cfg_.wal_enabled) {
+    if (cfg_.crash_tracking)
+      wal_ledger_.buffered.push_back(
+          WalRecord{std::string(key), value, tombstone, seq_});
     wal_buffer_bytes_ += key.size() + value.size + 12;
     if (wal_buffer_bytes_ >= 4 * KiB) {
       wal_chunk = wal_buffer_bytes_;
@@ -90,6 +94,14 @@ void LsmStore::do_write(std::string_view key, ValueDesc value, bool tombstone,
       wal_total_bytes_ += wal_chunk;
       wal_seg_bytes_ += wal_chunk;
       wal_io = true;
+      if (cfg_.crash_tracking) {
+        const u64 bb = fs_.block_bytes();
+        const u64 blocks = (wal_chunk + bb - 1) / bb;
+        wal_ledger_.chunks.push_back(WalChunk{
+            wal_ledger_.next_block, blocks, std::move(wal_ledger_.buffered)});
+        wal_ledger_.buffered.clear();
+        wal_ledger_.next_block += blocks;
+      }
     }
   }
 
@@ -127,6 +139,14 @@ void LsmStore::rotate_memtable() {
                   (unsigned long long)++wal_gen_);
     wal_file_ = fs_.create(name);
     wal_buffer_bytes_ = 0;
+    if (cfg_.crash_tracking) {
+      // Records still in the group-commit buffer stay with the archived
+      // segment as its unflushed tail: acked, never WAL'd, durable only
+      // if the flush's SST makes it to flash.
+      archived_wals_.push_back(std::move(wal_ledger_));
+      wal_ledger_ = WalLedger{};
+      wal_ledger_.file = wal_file_;
+    }
   }
   schedule_flush();
 }
@@ -198,7 +218,12 @@ void LsmStore::finish_flush(std::shared_ptr<Sst> sst) {
   levels_[0].push_back(std::move(sst));
   immutable_.reset();
   flush_running_ = false;
-  if (cfg_.wal_enabled && rotated_wal_ != fs::FileSystem::kInvalidHandle) {
+  // Crash mode archives rotated WAL segments instead of deleting them:
+  // the flush's appends are acked but possibly still in the device write
+  // buffer, so dropping the WAL here is exactly the no-fsync data-loss
+  // window the crash model exists to expose.
+  if (cfg_.wal_enabled && !cfg_.crash_tracking &&
+      rotated_wal_ != fs::FileSystem::kInvalidHandle) {
     const auto dead = rotated_wal_;
     rotated_wal_ = fs::FileSystem::kInvalidHandle;
     wal_seg_bytes_ -= std::min(wal_seg_bytes_, fs_.file_bytes(dead));
@@ -576,6 +601,174 @@ void LsmStore::cache_insert(u64 block_key) {
     cache_map_.erase(cache_lru_.back());
     cache_lru_.pop_back();
   }
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery
+// ---------------------------------------------------------------------------
+
+void LsmStore::power_fail_and_recover(HostRecovery& out, sim::Task done) {
+  const TimeNs now = eq_.now();
+
+  // ---- power loss: host DRAM is gone -------------------------------------
+  memtable_.clear();
+  mt_bytes_ = 0;
+  immutable_.reset();
+  stalled_writes_.clear();  // never acked; their callbacks died with the cut
+  flush_running_ = false;
+  compactions_inflight_ = 0;
+  draining_ = false;
+  quiesce_waiters_.clear();
+  wal_buffer_bytes_ = 0;
+  cache_lru_.clear();
+  cache_map_.clear();
+  rotated_wal_ = fs::FileSystem::kInvalidHandle;
+  fg_cpu_.power_cycle(now);
+  bg_cpu_.power_cycle(now);
+  for (auto& level : levels_)
+    for (auto& s : level) s->compacting = false;
+
+  struct Gate {
+    int pending = 1;
+    sim::Task done;
+    void open() {
+      if (--pending == 0) done();
+    }
+  };
+  auto gate = std::make_shared<Gate>();
+  gate->done = std::move(done);
+
+  // ---- mount 1/3: keep only SSTs whose every block reached flash ---------
+  // The manifest (levels structure) and fs metadata are modeled as
+  // journal-durable; a torn SST is caught by its footer/block checksums
+  // during the mount-time footer read charged here. Torn files are
+  // deleted and their records re-surface through WAL replay, since crash
+  // mode archives WAL segments instead of deleting them at flush install.
+  u64 footer_reads = 0;
+  std::vector<fs::FileSystem::Handle> survivors;
+  for (auto& level : levels_) {
+    std::vector<std::shared_ptr<Sst>> kept;
+    kept.reserve(level.size());
+    for (auto& s : level) {
+      ++footer_reads;
+      ++gate->pending;
+      fs_.read(s->file, 0, std::min<u64>(s->file_bytes, 4 * KiB),
+               [gate](Status, u64) { gate->open(); });
+      if (fs_.probe_durable(s->file, 0, s->file_bytes)) {
+        survivors.push_back(s->file);
+        kept.push_back(s);
+        ++out.ssts_kept;
+      } else {
+        ++out.ssts_discarded;
+      }
+    }
+    level = std::move(kept);
+  }
+  // Delete every non-surviving SST file: torn installed files plus
+  // orphans from flushes/compactions that never installed.
+  for (u64 id = 1; id < next_sst_id_; ++id) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "sst-%llu", (unsigned long long)id);
+    const auto h = fs_.lookup(name);
+    if (h == fs::FileSystem::kInvalidHandle) continue;
+    if (std::find(survivors.begin(), survivors.end(), h) != survivors.end())
+      continue;
+    ++gate->pending;
+    fs_.remove(h, [gate](Status) { gate->open(); });
+  }
+
+  // ---- mount 2/3: replay the durable prefix of every WAL segment ---------
+  // Crash mode archives WAL segments from genesis, so replay sees records
+  // whose newer versions already live in a surviving SST (the usual case:
+  // the version was flushed, possibly after arriving as a sub-group-commit
+  // WAL tail that never hit the log). Replaying such a record into the
+  // memtable would shadow the newer SST version on reads, so a record is
+  // applied only when nothing durable holds a seq at least as new.
+  auto sst_covers = [&](const std::string& key, u64 seq) {
+    for (const auto& level : levels_)
+      for (const auto& s : level) {
+        const i64 i = s->find(key);
+        if (i >= 0 && s->entries[(size_t)i].seq >= seq) return true;
+      }
+    return false;
+  };
+  std::vector<WalRecord> lost_candidates;
+  auto replay_ledger = [&](WalLedger& led) {
+    bool torn = false;
+    const u64 bb = fs_.block_bytes();
+    std::vector<WalChunk> durable_chunks;
+    durable_chunks.reserve(led.chunks.size());
+    for (WalChunk& c : led.chunks) {
+      ++out.wal_chunks_scanned;
+      if (!torn &&
+          fs_.probe_durable(led.file, c.file_block * bb, c.blocks * bb)) {
+        ++gate->pending;
+        fs_.read_blocks(led.file, c.file_block, c.blocks,
+                        [gate](Status, u64) { gate->open(); });
+        for (const WalRecord& r : c.records) {
+          ++out.wal_records_replayed;
+          if (sst_covers(r.key, r.seq)) continue;
+          auto it = memtable_.find(r.key);
+          if (it != memtable_.end()) {
+            if (it->second.seq >= r.seq) continue;
+            mt_bytes_ -= std::min(
+                mt_bytes_, mem_entry_bytes(it->first, it->second.value));
+            it->second = MemEntry{r.value, r.seq, r.tombstone};
+          } else {
+            memtable_.emplace(r.key, MemEntry{r.value, r.seq, r.tombstone});
+          }
+          mt_bytes_ += mem_entry_bytes(r.key, r.value);
+        }
+        durable_chunks.push_back(std::move(c));
+      } else {
+        // A torn chunk ends the segment's valid prefix: later chunks are
+        // untrusted even if their blocks happened to land.
+        torn = true;
+        for (WalRecord& r : c.records) lost_candidates.push_back(std::move(r));
+      }
+    }
+    // The ledger keeps only what recovery accepted: a future crash must
+    // not replay (or re-count) records that no longer exist anywhere.
+    led.chunks = std::move(durable_chunks);
+    for (WalRecord& r : led.buffered) lost_candidates.push_back(std::move(r));
+    led.buffered.clear();
+  };
+  for (WalLedger& led : archived_wals_) replay_ledger(led);
+  replay_ledger(wal_ledger_);
+
+  // ---- mount 3/3: recompute the write sequence from durable state --------
+  u64 max_seq = 0;
+  for (const auto& [k, e] : memtable_) max_seq = std::max(max_seq, e.seq);
+  for (const auto& level : levels_)
+    for (const auto& s : level)
+      for (const auto& e : s->entries) max_seq = std::max(max_seq, e.seq);
+  seq_ = max_seq;
+
+  // An acked record is lost only if no durable copy — WAL replay or a
+  // surviving SST — holds a version at least as new.
+  auto covered = [&](const WalRecord& r) {
+    if (auto it = memtable_.find(r.key);
+        it != memtable_.end() && it->second.seq >= r.seq)
+      return true;
+    for (const auto& level : levels_)
+      for (const auto& s : level) {
+        const i64 i = s->find(r.key);
+        if (i >= 0 && s->entries[(size_t)i].seq >= r.seq) return true;
+      }
+    return false;
+  };
+  for (const WalRecord& r : lost_candidates)
+    if (!covered(r)) ++out.wal_records_lost;
+
+  // Recovery CPU: a footer parse per SST plus a memtable insert per
+  // replayed record, serialized on the foreground (mount) thread.
+  const TimeNs cpu = footer_reads * cfg_.block_parse_ns +
+                     out.wal_records_replayed * cfg_.memtable_insert_ns;
+  cpu_ns_ += cpu;
+  ++gate->pending;
+  eq_.schedule_at(fg_cpu_.reserve(now, cpu), [gate] { gate->open(); });
+
+  gate->open();  // release the initial hold
 }
 
 // ---------------------------------------------------------------------------

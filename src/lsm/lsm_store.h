@@ -20,6 +20,7 @@
 #include <list>
 #include <map>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -41,6 +42,11 @@ struct LsmConfig {
   u32 max_background_compactions = 2;  // parallel compaction jobs
   bool wal_enabled = true;
   u32 io_chunk_bytes = 1 * MiB;      // compaction/flush I/O granularity
+  /// Crash mode: keep a host-side ledger of what each group-committed WAL
+  /// chunk contained and archive rotated WAL segments instead of deleting
+  /// them at flush install, so power_fail_and_recover can replay the
+  /// durable prefix. Off by default (no behavior change).
+  bool crash_tracking = false;
 
   // Host CPU cost model (charged to a serialized writer/reader path or to
   // the background-compaction thread).
@@ -66,6 +72,24 @@ class LsmStore {
 
   /// Flush the memtable and wait for all background work to quiesce.
   void drain(sim::Task done);
+
+  /// Mount-time crash recovery counters (see power_fail_and_recover).
+  struct HostRecovery {
+    u64 ssts_kept = 0;
+    u64 ssts_discarded = 0;  // installed but torn on flash; WAL re-covers
+    u64 wal_chunks_scanned = 0;
+    u64 wal_records_replayed = 0;
+    u64 wal_records_lost = 0;  // acked writes with no durable copy anywhere
+  };
+
+  /// Power cut at eq_.now(): drop all DRAM state (memtable, immutable
+  /// memtable, stalled and group-commit-buffered writes, block cache),
+  /// then mount. Mount keeps only SSTs whose every block reached flash
+  /// (torn or never-installed files are deleted), replays the durable
+  /// prefix of every archived + live WAL segment into a fresh memtable,
+  /// and recomputes the write sequence from durable state. Requires
+  /// crash_tracking; `done` fires when recovery I/O and CPU settle.
+  void power_fail_and_recover(HostRecovery& out, sim::Task done);
 
   // --- telemetry -----------------------------------------------------------
   /// Host CPU burned by this store (foreground + compaction), excluding
@@ -158,6 +182,31 @@ class LsmStore {
   u64 wal_seg_bytes_ = 0;    // bytes in the live WAL segment(s)
   u64 wal_total_bytes_ = 0;  // lifetime WAL traffic (stats only)
   bool draining_ = false;
+
+  // Crash tracking: host-side ledger of what each group-committed WAL
+  // chunk contained, so recovery can replay exactly the records whose
+  // chunk reached flash. `buffered` holds acked records still in the
+  // sub-4 KiB group-commit tail — gone on a power cut unless a durable
+  // SST also covers them.
+  struct WalRecord {
+    std::string key;
+    ValueDesc value;
+    bool tombstone;
+    u64 seq;
+  };
+  struct WalChunk {
+    u64 file_block;  // first file-relative fs block of the chunk
+    u64 blocks;
+    std::vector<WalRecord> records;
+  };
+  struct WalLedger {
+    fs::FileSystem::Handle file = fs::FileSystem::kInvalidHandle;
+    u64 next_block = 0;  // file block index the next chunk will start at
+    std::vector<WalChunk> chunks;
+    std::vector<WalRecord> buffered;
+  };
+  WalLedger wal_ledger_;                  // live WAL segment
+  std::vector<WalLedger> archived_wals_;  // rotated segments (crash mode)
 
   std::vector<std::vector<std::shared_ptr<Sst>>> levels_;
   std::vector<u32> compact_rr_;  // round-robin pick per level

@@ -73,6 +73,13 @@ class NvmeLink {
     eq_.schedule_at(t, std::move(at_host));
   }
 
+  /// Power cut: queued commands and in-flight transfers vanish with the
+  /// submission queues; the link itself is stateless across the cycle.
+  void power_cycle(TimeNs now) {
+    cmd_proc_.power_cycle(now);
+    bus_.power_cycle(now);
+  }
+
   [[nodiscard]] const NvmeConfig& config() const { return cfg_; }
   [[nodiscard]] u64 host_cpu_ns() const { return host_cpu_ns_; }
   [[nodiscard]] u64 commands_issued() const { return commands_issued_; }

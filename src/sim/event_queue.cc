@@ -22,6 +22,17 @@ void EventQueue::grow_pool() {
     free_slots_.push_back(base + i - 1);
 }
 
+u64 EventQueue::discard_pending() {
+  u64 discarded = 0;
+  while (!heap_.empty()) {
+    const Entry e = heap_.pop_top();
+    slot_ptr(e.slot)->~Task();
+    free_slots_.push_back(e.slot);
+    ++discarded;
+  }
+  return discarded;
+}
+
 void EventQueue::run() {
   while (step()) {
   }

@@ -74,6 +74,12 @@ class EventQueue {
   /// queue drained earlier.
   void run_until(TimeNs t);
 
+  /// Power-loss cut: destroy every pending event without running it and
+  /// recycle its pool slot. now() is unchanged and the queue remains
+  /// usable (mount-time recovery schedules fresh events afterwards).
+  /// Returns the number of events discarded.
+  u64 discard_pending();
+
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] u64 events_processed() const { return processed_; }
   /// Schedules whose target time was in the past (clamped to now).
@@ -157,6 +163,13 @@ class Resource {
   [[nodiscard]] TimeNs free_at() const { return free_at_; }
   [[nodiscard]] TimeNs busy_time() const { return busy_; }
   [[nodiscard]] u64 reservations() const { return reservations_; }
+
+  /// Power-loss cut at time `now`: outstanding reservations die with the
+  /// power, so the resource is free again immediately. Accumulated busy
+  /// time and reservation counts are kept (telemetry, not device state).
+  void power_cycle(TimeNs now) {
+    if (free_at_ > now) free_at_ = now;
+  }
 
  private:
   TimeNs free_at_ = 0;

@@ -51,6 +51,13 @@ void BlockAllocator::release(flash::BlockId b) {
   ++free_count_;
 }
 
+void BlockAllocator::reset_free(const std::vector<flash::BlockId>& free) {
+  for (auto& pool : per_plane_free_) pool.clear();
+  for (flash::BlockId b : free)
+    per_plane_free_[geom_.plane_of_block(b)].push_back(b);
+  free_count_ = free.size();
+}
+
 u32 BlockAllocator::max_erase_count() const {
   u32 mx = 0;
   for (u32 c : erase_counts_) mx = std::max(mx, c);

@@ -28,6 +28,11 @@ class BlockAllocator {
   /// Return an erased block to the pool.
   void release(flash::BlockId b);
 
+  /// Crash-recovery rebuild: replace the free pool with exactly `free`
+  /// (mount decided which blocks hold no data). Erase counts are the
+  /// physical wear of the blocks and persist across the power cycle.
+  void reset_free(const std::vector<flash::BlockId>& free);
+
   [[nodiscard]] u64 free_blocks() const { return free_count_; }
   [[nodiscard]] u64 total_blocks() const { return geom_.total_blocks(); }
 

@@ -28,6 +28,13 @@ class WriteBuffer {
   /// Return `bytes` of space (programs completed); admits queued writers.
   void release(u64 bytes);
 
+  /// Power-loss cut: buffered payloads are gone with the DRAM and queued
+  /// admissions were discarded with the event queue.
+  void reset() {
+    occupied_ = 0;
+    waiters_.clear();
+  }
+
   [[nodiscard]] u64 occupied() const { return occupied_; }
   [[nodiscard]] u64 capacity() const { return capacity_; }
   [[nodiscard]] size_t waiters() const { return waiters_.size(); }

@@ -157,6 +157,32 @@ TEST(Histogram, PercentileEdgeQuantiles) {
   EXPECT_EQ(empty.percentile(1.0), 0u);
 }
 
+TEST(Histogram, PercentileMidBucketClampsToObservedRange) {
+  // A value off the bucket grid: the quantile walk lands on its bucket's
+  // upper edge, which sits above the sample and must clamp down to the
+  // observed max (the histogram is never asked here with count_ == 0, so
+  // the clamp floor is simply min_).
+  LatencyHistogram h;
+  h.record(1003);
+  h.record(1003);
+  ASSERT_GT(LatencyHistogram::bucket_upper(LatencyHistogram::bucket_for(1003)),
+            1003u);
+  EXPECT_EQ(h.percentile(0.25), 1003u);
+  EXPECT_EQ(h.percentile(0.5), 1003u);
+  EXPECT_EQ(h.percentile(1.0), 1003u);
+  // Two samples in distinct buckets: every quantile stays inside
+  // [min, max] and below the first bucket's decade for low q.
+  LatencyHistogram g;
+  g.record(100);
+  g.record(100'000);
+  const TimeNs lo = g.percentile(0.25);
+  EXPECT_GE(lo, 100u);
+  EXPECT_LT(lo, 1000u);  // first bucket's edge, not the second sample
+  const TimeNs hi = g.percentile(0.75);
+  EXPECT_GE(hi, lo);
+  EXPECT_LE(hi, 100'000u);
+}
+
 TEST(Histogram, SumAndNonzeroBuckets) {
   LatencyHistogram h;
   u64 expect_sum = 0;

@@ -1,0 +1,518 @@
+// Power-loss crash cut + mount-time recovery tests.
+//
+// The core instrument is a differential sweep: a seeded workload with a
+// per-key oracle of every fingerprint ever issued runs against each of the
+// three beds, a cut fires after N simulation events, and the recovered
+// stack is audited against the oracle. The model makes no pretense of
+// fsync-grade durability (ack != durable is the point — the lost-write
+// window is a reported metric), so the invariants are:
+//
+//   * no corruption: a recovered value's fingerprint is always one this
+//     key was actually written with (possibly an older acked version, or
+//     a deleted key resurrecting — both allowed by the recovery models);
+//   * drained data survives exactly: after a drain, every layer's state
+//     is on flash, so a cut at quiescence must lose nothing;
+//   * determinism: same seed + same cut => identical recovery counters
+//     and identical post-recovery readback;
+//   * the stack stays usable after the mount: fresh writes land and read
+//     back exactly.
+//
+// Run under a KVSIM_AUDIT build these double as shadow-model checks: the
+// rebuilt mapping tables must agree with the audit mirrors.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "harness/report.h"
+#include "harness/runner.h"
+#include "harness/stacks.h"
+
+namespace kvsim::harness {
+namespace {
+
+constexpr u32 kKeyBytes = 16;
+constexpr u32 kValueBytes = 2048;
+constexpr u32 kQd = 8;
+
+ssd::SsdConfig tiny_dev() {
+  ssd::SsdConfig d;
+  d.geometry.channels = 2;
+  d.geometry.dies_per_channel = 2;
+  d.geometry.planes_per_die = 2;
+  d.geometry.blocks_per_plane = 16;
+  d.geometry.pages_per_block = 16;  // 64 MiB raw
+  return d;
+}
+
+enum BedKind { kKvssd = 0, kLsm = 1, kHashKv = 2 };
+const char* const kBedNames[] = {"kvssd", "lsm", "hashkv"};
+
+std::unique_ptr<KvStack> make_bed(BedKind kind, bool crash_tracking = true) {
+  switch (kind) {
+    case kKvssd: {
+      KvssdBedConfig c;
+      c.dev = tiny_dev();
+      c.crash_tracking = crash_tracking;
+      return std::make_unique<KvssdBed>(c);
+    }
+    case kLsm: {
+      LsmBedConfig c;
+      c.dev = tiny_dev();
+      c.lsm.memtable_bytes = 256 * KiB;  // force flush/compaction churn
+      c.crash_tracking = crash_tracking;
+      return std::make_unique<LsmBed>(c);
+    }
+    default: {
+      HashKvBedConfig c;
+      c.dev = tiny_dev();
+      c.crash_tracking = crash_tracking;
+      return std::make_unique<HashKvBed>(c);
+    }
+  }
+}
+
+/// Deterministic per-(key, version) fingerprint, disjoint across keys.
+u64 oracle_fp(u64 key_id, u32 version) {
+  return key_id * 1'000'003ull + version;
+}
+
+/// Seeded mixed workload with a full per-key write history, driven through
+/// the KvStack interface so a cut can fire mid-flight.
+class OracleDriver {
+ public:
+  OracleDriver(KvStack& stack, u64 key_space, u64 seed)
+      : stack_(stack), key_space_(key_space), rng_(seed) {}
+
+  /// Issue `num_ops` mixed ops at fixed queue depth. When `crash_after`
+  /// is nonzero, a power cut fires after that many event steps and the
+  /// run stops at the cut (in-flight completions died with the queue).
+  /// Returns true when the cut fired.
+  bool run(u64 num_ops, u64 crash_after) {
+    u64 issued = 0;
+    u64 steps = 0;
+    bool crashed = false;
+    auto issue = [&] {
+      while (inflight_ < kQd && issued < num_ops) {
+        ++issued;
+        dispatch();
+      }
+    };
+    issue();
+    while ((inflight_ > 0 || issued < num_ops) && stack_.eq().step()) {
+      if (crash_after > 0 && !crashed && ++steps >= crash_after) {
+        outcome_ = stack_.simulate_crash();
+        crashed = true;
+        inflight_ = 0;
+        break;
+      }
+      issue();
+    }
+    if (!crashed) stack_.eq().run();
+    return crashed;
+  }
+
+  /// One put per key in [first_key, first_key + count), run to completion.
+  /// Unique keys per wave, so the final value is never ambiguous.
+  void put_wave(u64 first_key, u64 count, u32 stride = 1) {
+    for (u64 k = first_key; k < first_key + count; k += stride) {
+      const u64 fp = oracle_fp(k, ++versions_[k]);
+      issued_[k].insert(fp);
+      ++inflight_;
+      stack_.store(wl::make_key(k, kKeyBytes), ValueDesc{kValueBytes, fp},
+                   [this, k, fp](Status s) {
+                     --inflight_;
+                     ASSERT_EQ(s, Status::kOk);
+                     last_acked_[k] = fp;
+                   });
+    }
+    stack_.eq().run();
+    ASSERT_EQ(inflight_, 0u);
+  }
+
+  void delete_wave(u64 first_key, u64 count, u32 stride) {
+    for (u64 k = first_key; k < first_key + count; k += stride) {
+      ++inflight_;
+      stack_.remove(wl::make_key(k, kKeyBytes), [this, k](Status) {
+        --inflight_;
+        deleted_.insert(k);
+      });
+    }
+    stack_.eq().run();
+    ASSERT_EQ(inflight_, 0u);
+  }
+
+  /// Read back every key ever written and count violations of the
+  /// no-corruption invariant (fingerprint outside the key's history, or
+  /// an error status).
+  void verify_no_corruption() {
+    u64 checked = 0;
+    u64 bad = 0;
+    for (const auto& kv : issued_) {
+      const u64 k = kv.first;
+      stack_.retrieve(wl::make_key(k, kKeyBytes),
+                      [this, k, &checked, &bad](Status s, ValueDesc v) {
+                        ++checked;
+                        if (s == Status::kOk) {
+                          if (issued_[k].count(v.fingerprint) == 0) ++bad;
+                        } else if (s != Status::kNotFound) {
+                          ++bad;
+                        }
+                      });
+    }
+    stack_.eq().run();
+    EXPECT_EQ(checked, issued_.size());
+    EXPECT_EQ(bad, 0u);
+  }
+
+  /// Strict post-drain check: every never-deleted key reads back exactly
+  /// its last acked fingerprint; deleted keys may be gone or resurrect an
+  /// older version (KV-FTL/hashkv deletes are not durable records).
+  void verify_drained_survival() {
+    u64 lost = 0;
+    u64 wrong = 0;
+    for (const auto& kv : last_acked_) {
+      const u64 k = kv.first;
+      const u64 want = kv.second;
+      const bool was_deleted = deleted_.count(k) > 0;
+      stack_.retrieve(wl::make_key(k, kKeyBytes),
+                      [this, k, want, was_deleted, &lost, &wrong](
+                          Status s, ValueDesc v) {
+                        if (was_deleted) {
+                          if (s == Status::kOk) {
+                            EXPECT_TRUE(issued_[k].count(v.fingerprint))
+                                << "key " << k << " resurrected foreign fp";
+                          }
+                          return;
+                        }
+                        if (s != Status::kOk) {
+                          ++lost;
+                        } else if (v.fingerprint != want) {
+                          ++wrong;
+                        }
+                      });
+    }
+    stack_.eq().run();
+    EXPECT_EQ(lost, 0u) << "drained data lost by the cut";
+    EXPECT_EQ(wrong, 0u) << "drained data rolled back by the cut";
+  }
+
+  /// Deterministic digest of the recovered state for A/B comparison.
+  std::map<u64, std::pair<int, u64>> state_digest() {
+    std::map<u64, std::pair<int, u64>> out;
+    for (const auto& kv : issued_) {
+      const u64 k = kv.first;
+      stack_.retrieve(wl::make_key(k, kKeyBytes),
+                      [&out, k](Status s, ValueDesc v) {
+                        out[k] = {(int)s, s == Status::kOk ? v.fingerprint : 0};
+                      });
+    }
+    stack_.eq().run();
+    return out;
+  }
+
+  [[nodiscard]] const CrashOutcome& outcome() const { return outcome_; }
+  [[nodiscard]] u64 keys_touched() const { return issued_.size(); }
+
+ private:
+  void dispatch() {
+    const u64 k = rng_.below(key_space_);
+    const u64 roll = rng_.below(100);
+    const std::string key = wl::make_key(k, kKeyBytes);
+    ++inflight_;
+    if (roll < 75) {
+      const u64 fp = oracle_fp(k, ++versions_[k]);
+      issued_[k].insert(fp);
+      stack_.store(key, ValueDesc{kValueBytes, fp}, [this, k, fp](Status s) {
+        --inflight_;
+        if (s == Status::kOk) last_acked_[k] = fp;
+      });
+    } else if (roll < 88) {
+      stack_.retrieve(key, [this](Status, ValueDesc) { --inflight_; });
+    } else {
+      stack_.remove(key, [this, k](Status s) {
+        --inflight_;
+        if (s == Status::kOk) deleted_.insert(k);
+      });
+    }
+  }
+
+  KvStack& stack_;
+  u64 key_space_;
+  Rng rng_;
+  u64 inflight_ = 0;
+  CrashOutcome outcome_;
+  std::unordered_map<u64, u32> versions_;
+  std::unordered_map<u64, std::unordered_set<u64>> issued_;
+  std::unordered_map<u64, u64> last_acked_;
+  std::unordered_set<u64> deleted_;
+};
+
+// --- crash primitives ------------------------------------------------------
+
+TEST(EventQueueCrash, DiscardPendingDropsTasksAndKeepsQueueUsable) {
+  sim::EventQueue eq;
+  int ran = 0;
+  eq.schedule_after(10, [&] { ++ran; });
+  eq.schedule_after(20, [&] { ++ran; });
+  eq.schedule_after(30, [&] { ++ran; });
+  eq.step();  // run the first event only
+  const TimeNs t = eq.now();
+  EXPECT_EQ(eq.discard_pending(), 2u);
+  EXPECT_TRUE(eq.empty());
+  EXPECT_EQ(eq.now(), t);  // a cut does not advance time
+  EXPECT_EQ(ran, 1);
+  // The queue (and its slot pool) stays usable for mount-time recovery.
+  eq.schedule_after(5, [&] { ++ran; });
+  eq.run();
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(eq.discard_pending(), 0u);
+}
+
+TEST(EventQueueCrash, ResourcePowerCycleFreesButKeepsTelemetry) {
+  sim::Resource r;
+  const auto g1 = r.reserve(0, 100);
+  EXPECT_EQ(g1.start, 0u);
+  // Busy until t=100; a second reserve at t=10 would queue behind it...
+  const TimeNs busy_before = r.busy_time();
+  r.power_cycle(10);
+  // ...but after a cut at t=10 the reservation is gone.
+  const auto g2 = r.reserve(10, 50);
+  EXPECT_EQ(g2.start, 10u);
+  EXPECT_EQ(g2.wait, 0u);
+  EXPECT_GE(r.busy_time(), busy_before);  // telemetry survives the cycle
+  EXPECT_EQ(r.reservations(), 2u);
+}
+
+TEST(RetryPolicy, BackoffSaturatesAtCap) {
+  RetryPolicy p;
+  p.backoff_ns = 100 * kUs;
+  p.backoff_mult = 10.0;
+  p.max_backoff_ns = 50 * kMs;
+  EXPECT_EQ(p.backoff_for(1), 100 * kUs);
+  EXPECT_EQ(p.backoff_for(3), 10 * kMs);
+  EXPECT_EQ(p.backoff_for(4), 50 * kMs);  // 100 ms clamped to the cap
+  // Without the clamp this is 100 us * 10^99 — far outside TimeNs range,
+  // and the double->integer cast would be UB. Saturate instead.
+  EXPECT_EQ(p.backoff_for(100), 50 * kMs);
+  EXPECT_EQ(p.backoff_for(0xFFFF'FFFFu), 50 * kMs);
+  // A base already above the cap is clamped too.
+  p.backoff_ns = 2 * kSec;
+  p.max_backoff_ns = 1 * kSec;
+  EXPECT_EQ(p.backoff_for(1), 1 * kSec);
+}
+
+// --- drain-vs-retry race (the escape this PR closes) -----------------------
+
+// A transient-stall plan parks ops in host retry-backoff windows. A drain
+// issued while those timers are pending used to see an idle device and
+// report quiescence with host ops still in flight; the InflightOps gate
+// must hold the drain until the host side is actually empty.
+TEST(CrashRecovery, DrainWaitsOutRetryBackoffWindows) {
+  KvssdBedConfig c;
+  c.dev = tiny_dev();
+  c.retry.max_retries = 2;
+  c.retry.backoff_ns = 2 * kMs;
+  KvssdBed bed(c);
+  ssd::FaultPlan plan;
+  plan.enabled = true;
+  plan.stall_prob = 1.0;  // every command opens a busy window
+  plan.busy_window_ns = 100 * kUs;
+  bed.apply_fault_plan(plan);
+
+  u64 completed = 0;
+  for (u64 k = 0; k < 20; ++k) {
+    bed.store(wl::make_key(k, kKeyBytes),
+              ValueDesc{kValueBytes, oracle_fp(k, 1)},
+              [&completed](Status) { ++completed; });
+  }
+  bool drained = false;
+  u64 inflight_at_drain = ~0ull;
+  u64 completed_at_drain = 0;
+  // Drain races the 20 stores (all of which will bounce busy and park in
+  // backoff at least once).
+  bed.drain([&] {
+    drained = true;
+    inflight_at_drain = bed.inflight_host_ops();
+    completed_at_drain = completed;
+  });
+  bed.eq().run();
+
+  EXPECT_TRUE(drained);
+  EXPECT_EQ(completed, 20u);
+  EXPECT_GT(bed.host_retries(), 0u) << "plan failed to force retries";
+  // The escape: quiescence reported while ops sat in backoff windows.
+  EXPECT_EQ(inflight_at_drain, 0u);
+  EXPECT_EQ(completed_at_drain, 20u);
+}
+
+// --- differential crash sweep ----------------------------------------------
+
+class CrashSweep : public ::testing::TestWithParam<int> {};
+
+// Cut the power mid-flight at several depths x seeds; recovery must never
+// invent data, and the mounted stack must accept and serve fresh writes.
+TEST_P(CrashSweep, RecoversWithoutCorruptionAtEveryCut) {
+  const auto kind = (BedKind)GetParam();
+  for (u64 seed : {1ull, 2ull, 3ull}) {
+    for (u64 cut : {400ull, 1500ull, 6000ull}) {
+      SCOPED_TRACE(std::string(kBedNames[kind]) + " seed=" +
+                   std::to_string(seed) + " cut=" + std::to_string(cut));
+      auto bed = make_bed(kind);
+      ASSERT_TRUE(bed->crash_supported());
+      OracleDriver d(*bed, /*key_space=*/300, seed);
+      const bool crashed = d.run(/*num_ops=*/3000, cut);
+      ASSERT_TRUE(crashed) << "workload drained before the cut fired";
+      EXPECT_GT(d.outcome().recovery_ns, 0u);
+      d.verify_no_corruption();
+      // The mounted stack stays writable: a fresh disjoint key range
+      // lands and reads back exactly.
+      d.put_wave(/*first_key=*/100'000, /*count=*/64);
+      d.verify_no_corruption();
+      // Quiesce cleanly post-recovery (drain still works after a mount).
+      bool drained = false;
+      bed->drain([&drained] { drained = true; });
+      bed->eq().run();
+      EXPECT_TRUE(drained);
+    }
+  }
+}
+
+// After a drain every layer's state is on flash, so a cut at quiescence
+// must preserve every never-deleted key bit-exactly.
+TEST_P(CrashSweep, DrainedStateSurvivesCutExactly) {
+  const auto kind = (BedKind)GetParam();
+  auto bed = make_bed(kind);
+  OracleDriver d(*bed, 400, /*seed=*/7);
+  d.put_wave(0, 400);              // v1 for every key
+  d.put_wave(0, 400, /*stride=*/3);  // v2 for every 3rd key
+  d.delete_wave(0, 400, /*stride=*/7);
+  bool drained = false;
+  bed->drain([&drained] { drained = true; });
+  bed->eq().run();
+  ASSERT_TRUE(drained);
+
+  const CrashOutcome out = bed->simulate_crash();
+  EXPECT_GT(out.recovery_ns, 0u);
+  EXPECT_GT(out.rebuild_pages_read + out.log_blocks_scanned, 0u)
+      << "mount did no rebuild I/O";
+  d.verify_drained_survival();
+}
+
+// Same seed + same cut => identical recovery counters and identical
+// post-mount readback (crash handling preserves simulator determinism).
+TEST_P(CrashSweep, RecoveryIsDeterministic) {
+  const auto kind = (BedKind)GetParam();
+  CrashOutcome out[2];
+  std::map<u64, std::pair<int, u64>> digest[2];
+  for (int i = 0; i < 2; ++i) {
+    auto bed = make_bed(kind);
+    OracleDriver d(*bed, 300, /*seed=*/11);
+    ASSERT_TRUE(d.run(1000, /*crash_after=*/2000));
+    out[i] = d.outcome();
+    digest[i] = d.state_digest();
+  }
+  EXPECT_EQ(out[0].crash_time, out[1].crash_time);
+  EXPECT_EQ(out[0].recovery_ns, out[1].recovery_ns);
+  EXPECT_EQ(out[0].discarded_events, out[1].discarded_events);
+  EXPECT_EQ(out[0].rebuild_pages_read, out[1].rebuild_pages_read);
+  EXPECT_EQ(out[0].torn_pages, out[1].torn_pages);
+  EXPECT_EQ(out[0].recovered_units, out[1].recovered_units);
+  EXPECT_EQ(out[0].lost_units, out[1].lost_units);
+  EXPECT_EQ(out[0].wal_records_replayed, out[1].wal_records_replayed);
+  EXPECT_EQ(out[0].wal_records_lost, out[1].wal_records_lost);
+  EXPECT_EQ(out[0].log_blocks_scanned, out[1].log_blocks_scanned);
+  EXPECT_EQ(digest[0], digest[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBeds, CrashSweep,
+                         ::testing::Values((int)kKvssd, (int)kLsm,
+                                           (int)kHashKv),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return kBedNames[info.param];
+                         });
+
+// --- runner + report integration -------------------------------------------
+
+wl::WorkloadSpec churn_spec(u64 ops, u64 seed) {
+  wl::WorkloadSpec spec;
+  spec.num_ops = ops;
+  spec.key_space = 400;
+  spec.key_bytes = kKeyBytes;
+  spec.value_bytes = kValueBytes;
+  spec.mix = {0.2, 0.4, 0.35, 0};  // rest deletes
+  spec.queue_depth = 16;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(CrashRecovery, RunnerInjectsCutAndReportsRecovery) {
+  LsmBedConfig c;
+  c.dev = tiny_dev();
+  c.lsm.memtable_bytes = 256 * KiB;
+  c.crash_tracking = true;
+  LsmBed bed(c);
+  RunOptions opts;
+  opts.drain_after = true;
+  opts.crash_after_events = 5000;
+  const RunResult r = run_workload(bed, churn_spec(3000, 21), opts);
+  EXPECT_TRUE(r.crashed);
+  EXPECT_GT(r.recovery.crash_time, 0u);
+  EXPECT_GT(r.recovery.recovery_ns, 0u);
+  EXPECT_GT(r.recovery.discarded_events, 0u);
+  // resume_after_crash issued the remainder against the mounted stack.
+  EXPECT_GT(r.ops, 0u);
+  BenchReport rep("crash_smoke");
+  rep.add_run("churn", r);
+  EXPECT_NE(rep.to_json().find("\"recovery\""), std::string::npos);
+}
+
+TEST(CrashRecovery, CutRequestIsIgnoredWithoutCrashTracking) {
+  // Default beds carry no ledgers; the runner must not cut them, and the
+  // report must not grow a recovery section.
+  KvssdBedConfig c;
+  c.dev = tiny_dev();
+  KvssdBed bed(c);
+  EXPECT_FALSE(bed.crash_supported());
+  RunOptions opts;
+  opts.drain_after = true;
+  opts.crash_after_events = 500;
+  const RunResult r = run_workload(bed, churn_spec(1500, 5), opts);
+  EXPECT_FALSE(r.crashed);
+  EXPECT_FALSE(r.recovery.any());
+  BenchReport rep("no_crash");
+  rep.add_run("churn", r);
+  EXPECT_EQ(rep.to_json().find("\"recovery\""), std::string::npos);
+}
+
+// Crash *tracking* must not perturb crash-free execution: for beds whose
+// ledgers are memory-only (KV-SSD, hashkv) the report JSON is
+// byte-identical with tracking on and off. (The LSM bed is exempt by
+// design: tracking retains rotated WAL files, which changes filesystem
+// allocation.)
+TEST(CrashRecovery, TrackingAloneLeavesCrashFreeRunsByteIdentical) {
+  for (BedKind kind : {kKvssd, kHashKv}) {
+    SCOPED_TRACE(kBedNames[kind]);
+    std::string json[2];
+    for (int tracked = 0; tracked < 2; ++tracked) {
+      auto bed = make_bed(kind, /*crash_tracking=*/tracked == 1);
+      RunOptions opts;
+      opts.drain_after = true;
+      opts.telemetry_interval = 10 * kMs;
+      const RunResult r = run_workload(*bed, churn_spec(2000, 13), opts);
+      BenchReport rep("ab");
+      rep.add_run("churn", r);
+      json[tracked] = rep.to_json();
+    }
+    EXPECT_EQ(json[0], json[1]);
+  }
+}
+
+}  // namespace
+}  // namespace kvsim::harness
