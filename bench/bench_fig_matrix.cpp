@@ -1,0 +1,176 @@
+// Figure-matrix driver on the parallel sweep engine: runs the paper's
+// three stacks (KV-SSD, LSM-on-block, HashKV-on-block) across a value-size
+// axis as independent (config, seed) sweep cells, first at --threads=1 and
+// then at --threads=N, and verifies the tentpole determinism claim: the
+// merged BenchReport JSON is byte-identical regardless of thread count.
+// Wall-clock for both passes is recorded so scripts/bench.sh can gate the
+// sweep scaling factor alongside the single-thread perf baseline.
+//
+// Flags:
+//   --threads=N       pool width for the parallel pass (default: hardware)
+//   --smoke           small cells for CI (same matrix, fewer ops)
+//   --kvsim_json=PATH write {threads, hw_threads, wall_ms_1t, wall_ms_nt,
+//                     speedup, cells} for the bench.sh scaling gate
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <thread>
+
+#include "bench_util.h"
+#include "harness/sweep.h"
+
+namespace kvbench {
+namespace {
+
+constexpr u64 kBaseSeed = 42;
+
+struct MatrixSpec {
+  u64 fill_keys;
+  u64 ops;
+};
+
+wl::WorkloadSpec mixed_spec(const MatrixSpec& m, u32 value_bytes, u64 seed) {
+  wl::WorkloadSpec spec;
+  spec.num_ops = m.ops;
+  spec.key_space = m.fill_keys;
+  spec.key_bytes = 16;
+  spec.value_bytes = value_bytes;
+  spec.mix = {0.2, 0.3, 0.5, 0};
+  spec.queue_depth = 32;
+  spec.seed = seed;
+  return spec;
+}
+
+// Each cell constructs its bed inside the callable (the confinement
+// contract: nothing simulator-shaped crosses the pool boundary) and
+// derives every random stream from its (base_seed, index) cell seed.
+std::vector<harness::SweepCell> build_cells(const MatrixSpec& m) {
+  std::vector<harness::SweepCell> cells;
+  u64 index = 0;
+  for (u32 value_bytes : {512u, 4096u, 16384u}) {
+    const u64 seed = harness::SweepRunner::cell_seed(kBaseSeed, index++);
+    cells.push_back(harness::sweep_cell(
+        "kvssd/v" + std::to_string(value_bytes), [m, value_bytes, seed] {
+          harness::KvssdBed bed(kvssd_cfg(device_gib(4), m.fill_keys * 2));
+          (void)harness::fill_stack(bed, m.fill_keys, 16, value_bytes, 32);
+          return run_workload(bed, mixed_spec(m, value_bytes, seed),
+                              {.drain_after = true});
+        }));
+    const u64 lseed = harness::SweepRunner::cell_seed(kBaseSeed, index++);
+    cells.push_back(harness::sweep_cell(
+        "lsm/v" + std::to_string(value_bytes), [m, value_bytes, lseed] {
+          harness::LsmBed bed(lsm_cfg(device_gib(4)));
+          (void)harness::fill_stack(bed, m.fill_keys, 16, value_bytes, 32);
+          return run_workload(bed, mixed_spec(m, value_bytes, lseed),
+                              {.drain_after = true});
+        }));
+    const u64 hseed = harness::SweepRunner::cell_seed(kBaseSeed, index++);
+    cells.push_back(harness::sweep_cell(
+        "hashkv/v" + std::to_string(value_bytes), [m, value_bytes, hseed] {
+          harness::HashKvBed bed(hashkv_cfg(device_gib(4)));
+          (void)harness::fill_stack(bed, m.fill_keys, 16, value_bytes, 32);
+          return run_workload(bed, mixed_spec(m, value_bytes, hseed),
+                              {.drain_after = true});
+        }));
+  }
+  return cells;
+}
+
+struct SweepPass {
+  std::string json;
+  double wall_ms;
+  std::vector<harness::SweepCellResult> results;
+};
+
+SweepPass run_pass(const MatrixSpec& m, u32 threads) {
+  harness::SweepRunner runner(harness::SweepRunner::Options{.threads = threads});
+  const auto t0 = std::chrono::steady_clock::now();
+  auto results = runner.run(build_cells(m));
+  const auto t1 = std::chrono::steady_clock::now();
+  harness::BenchReport report("fig_matrix");
+  harness::add_sweep_results(report, results);
+  SweepPass pass;
+  pass.json = report.to_json();
+  pass.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  pass.results = std::move(results);
+  return pass;
+}
+
+}  // namespace
+}  // namespace kvbench
+
+int main(int argc, char** argv) {
+  using namespace kvbench;
+  bool smoke = false;
+  u32 threads = std::max(1u, std::thread::hardware_concurrency());
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--smoke")) {
+      smoke = true;
+    } else if (!std::strncmp(argv[i], "--threads=", 10)) {
+      threads = (u32)std::max(1, std::atoi(argv[i] + 10));
+    } else if (!std::strncmp(argv[i], "--kvsim_json=", 13)) {
+      json_path = argv[i] + 13;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  const MatrixSpec m = smoke ? MatrixSpec{600, 1200} : MatrixSpec{4000, 8000};
+
+  print_header("Fig matrix", "3 stacks x 3 value sizes via SweepRunner");
+  report_init("fig_matrix_sweep");
+  std::printf("%llu mixed ops per cell, 9 cells, parallel pass at %u "
+              "thread(s), hardware_concurrency=%u\n",
+              (unsigned long long)m.ops, threads,
+              std::thread::hardware_concurrency());
+
+  const SweepPass serial = run_pass(m, 1);
+  const SweepPass wide = run_pass(m, threads);
+
+  Table t({"cell", "ops", "p50 us", "p99 us"});
+  for (const auto& r : wide.results) {
+    t.add_row({r.label, Table::num((double)r.result.ops, 0),
+               us(r.result.all.percentile(0.5)),
+               us(r.result.all.percentile(0.99))});
+    report().add_run(r.label, r.result);
+  }
+  std::printf("%s", t.render().c_str());
+  save_csv("fig_matrix_sweep", t);
+
+  const double speedup =
+      wide.wall_ms > 0 ? serial.wall_ms / wide.wall_ms : 0.0;
+  std::printf("\nwall-clock: 1 thread %.1f ms, %u threads %.1f ms "
+              "(speedup %.2fx)\n",
+              serial.wall_ms, threads, wide.wall_ms, speedup);
+
+  // The determinism tentpole: scheduling must be invisible in the data.
+  check_shape(serial.json == wide.json,
+              "merged JSON byte-identical at --threads=1 vs --threads=N");
+  bool all_ran = !wide.results.empty();
+  for (const auto& r : wide.results) all_ran = all_ran && r.result.ops == m.ops;
+  check_shape(all_ran, "every cell completed its full op count");
+  // Scaling is gated against the committed baseline by scripts/bench.sh;
+  // the absolute >=3x floor only applies on >=8-core hardware.
+  if (std::thread::hardware_concurrency() >= 8 && threads >= 8)
+    check_shape(speedup >= 3.0, "sweep speedup >= 3x at 8 threads");
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n"
+        << "  \"benchmark\": \"fig_matrix_sweep\",\n"
+        << "  \"threads\": " << threads << ",\n"
+        << "  \"hw_threads\": " << std::thread::hardware_concurrency()
+        << ",\n"
+        << "  \"cells\": " << wide.results.size() << ",\n"
+        << "  \"wall_ms_1t\": " << serial.wall_ms << ",\n"
+        << "  \"wall_ms_nt\": " << wide.wall_ms << ",\n"
+        << "  \"speedup\": " << speedup << "\n"
+        << "}\n";
+    std::printf("[json] %s\n", json_path.c_str());
+  }
+
+  save_report();
+  return shape_exit();
+}

@@ -24,7 +24,11 @@ the only strong reference:
 
 This checker flags every `*X = [...]` assignment whose capture list
 takes a strong copy of X, where X was declared as a
-std::make_shared<std::function<...>> chain head.
+std::make_shared<std::function<...>> chain head. The same leak class
+exists for heap-shared harness::SweepCell task thunks
+(`auto cell = std::make_shared<harness::SweepCell>(); cell->run = [cell]
+{...};`), so make_shared<SweepCell> declarations are chain heads too and
+the `X->run = [...]` / `(*X).run = [...]` spellings are checked.
 
 Engines:
   * libclang (used automatically when the python bindings and a matching
@@ -154,15 +158,25 @@ def strong_capture_of(capture_list: str, var: str) -> str | None:
 # ---------------------------------------------------------------------------
 
 # Chain heads: shared std::function (the original idiom), shared
-# sim::Task (the event queue's native callback type schedules sink), or
-# shared sim::Fn<Sig> (the move-only callback the stack API uses).
+# sim::Task (the event queue's native callback type schedules sink),
+# shared sim::Fn<Sig> (the move-only callback the stack API uses), or a
+# shared harness::SweepCell whose `run` thunk can self-capture the same
+# way any other shared callable can.
 DECL_RE = re.compile(
     r"\bauto\s+(\w+)\s*=\s*(?:::)?std\s*::\s*make_shared\s*<\s*"
     r"(?:(?:::)?std\s*::\s*function\b"
     r"|(?:(?:::)?kvsim\s*::\s*)?(?:sim\s*::\s*)?Task\s*>"
-    r"|(?:(?:::)?kvsim\s*::\s*)?(?:sim\s*::\s*)?Fn\s*<)")
+    r"|(?:(?:::)?kvsim\s*::\s*)?(?:sim\s*::\s*)?Fn\s*<"
+    r"|(?:(?:::)?kvsim\s*::\s*)?(?:harness\s*::\s*)?SweepCell\s*>)")
 
-ASSIGN_RE_TMPL = r"\*\s*{var}\s*=\s*\["
+# Assignment shapes that store a lambda into the shared callable slot:
+# the classic `*step = [...]`, plus the SweepCell task-thunk member in
+# both arrow and deref-dot spelling.
+ASSIGN_RE_TMPLS = (
+    r"\*\s*{var}\s*=\s*\[",
+    r"\b{var}\s*->\s*run\s*=\s*\[",
+    r"\(\s*\*\s*{var}\s*\)\s*\.\s*run\s*=\s*\[",
+)
 
 
 def find_capture_list(text: str, open_bracket: int) -> tuple[str, int] | None:
@@ -186,16 +200,16 @@ def check_text(path: str, raw: str) -> list[Finding]:
     for m in DECL_RE.finditer(text):
         chain_vars[m.group(1)] = text.count("\n", 0, m.start()) + 1
     for var in chain_vars:
-        for am in re.finditer(ASSIGN_RE_TMPL.format(var=re.escape(var)),
-                              text):
-            open_bracket = text.index("[", am.start())
-            cap = find_capture_list(text, open_bracket)
-            if cap is None:
-                continue
-            detail = strong_capture_of(cap[0], var)
-            if detail:
-                line = text.count("\n", 0, am.start()) + 1
-                findings.append(Finding(path, line, var, detail))
+        for tmpl in ASSIGN_RE_TMPLS:
+            for am in re.finditer(tmpl.format(var=re.escape(var)), text):
+                open_bracket = text.index("[", am.start())
+                cap = find_capture_list(text, open_bracket)
+                if cap is None:
+                    continue
+                detail = strong_capture_of(cap[0], var)
+                if detail:
+                    line = text.count("\n", 0, am.start()) + 1
+                    findings.append(Finding(path, line, var, detail))
     return findings
 
 
@@ -229,7 +243,8 @@ def verify_with_libclang(path: str, findings: list[Finding]) -> list[Finding]:
             if cur.kind == ci.CursorKind.VAR_DECL and \
                     "shared_ptr" in cur.type.spelling and \
                     ("function" in cur.type.spelling or
-                     "Task" in cur.type.spelling):
+                     "Task" in cur.type.spelling or
+                     "SweepCell" in cur.type.spelling):
                 shared_ptr_vars.add(cur.spelling)
         return [f for f in findings if f.var in shared_ptr_vars]
     except Exception:

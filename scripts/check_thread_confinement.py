@@ -1,0 +1,422 @@
+#!/usr/bin/env python3
+"""Enforce the KVSIM_THREAD_CONFINED confinement rules (PR 7 gate).
+
+The simulator object graph (EventQueue, FlashController, the FTLs, the
+beds, ...) is deterministic single-threaded machinery: no locks, no
+atomics, shared mutable state everywhere. The only legal way to use it
+from the parallel sweep engine (harness::SweepRunner) is one fully
+private instance per cell, constructed and destroyed inside the cell's
+callable. Classes declare this contract with the KVSIM_THREAD_CONFINED
+marker (src/common/thread_annotations.h); this checker rejects the three
+ways the contract breaks:
+
+  confined-global      a confined type with static storage duration — a
+                       namespace-scope variable or a (function-local or
+                       member) `static` instance. Static storage is
+                       implicitly shared by every thread in the process.
+  confined-shared-ptr  shared ownership (shared_ptr/make_shared) of a
+                       confined type. Confined instances must be uniquely
+                       owned so the owner is unambiguous; handing a
+                       unique_ptr (or the object by move) across the pool
+                       boundary stays legal.
+  confined-capture     a thread-boundary lambda (std::thread/std::jthread
+                       /std::async entry, or a SweepRunner cell built via
+                       sweep_cell(...) / SweepCell{...}) that captures a
+                       confined object by reference, captures `this`, or
+                       uses a default [&]/[=] capture list. Cells must
+                       capture plain config data by value and build the
+                       simulator inside the callable.
+
+The confined-type registry is built by scanning src/ for the marker;
+files under test additionally contribute their own in-file markers, so
+lint fixtures are self-contained.
+
+Engine: comment/string-stripped regex scan, same style and limitations
+as check_async_captures.py — syntactically narrow rules that are exact
+on this codebase's idiom.
+
+Usage:
+  check_thread_confinement.py [paths...]   # default: src/
+  check_thread_confinement.py --self-test  # run against
+                                           # tests/lint_fixtures/confinement
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from dataclasses import dataclass
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_DIRS = ("src",)
+REGISTRY_DIRS = ("src",)
+FIXTURE_DIR = os.path.join("tests", "lint_fixtures", "confinement")
+CXX_EXTS = (".cc", ".cpp", ".cxx", ".h", ".hpp")
+
+MARKER = "KVSIM_THREAD_CONFINED"
+
+# Thread-boundary call sites: a lambda in argument position here escapes
+# onto another thread.
+BOUNDARY_RE = re.compile(
+    r"\b(?:"
+    r"std\s*::\s*(?:thread|jthread)\b\s*(?:\w+\s*)?[({]"
+    r"|std\s*::\s*async\s*\("
+    r"|sweep_cell\s*\("
+    r"|SweepCell\s*\{"
+    r")")
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int
+    rule: str
+    detail: str
+
+    def __str__(self) -> str:
+        return (f"{self.path}:{self.line}: error: [{self.rule}] "
+                f"{self.detail}")
+
+
+# ---------------------------------------------------------------------------
+# Source preprocessing (same contract as check_async_captures.py: blank
+# out comments and literals, preserve line structure).
+# ---------------------------------------------------------------------------
+
+def strip_comments_and_strings(text: str) -> str:
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append("".join(ch if ch == "\n" else " "
+                               for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote:
+                    j += 1
+                    break
+                j += 1
+            out.append(quote + " " * (j - i - 2) + quote if j - i >= 2
+                       else text[i:j])
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, pos: int) -> int:
+    return text.count("\n", 0, pos) + 1
+
+
+# ---------------------------------------------------------------------------
+# Registry: which class names are confined?
+# ---------------------------------------------------------------------------
+
+CLASS_DECL_RE = re.compile(r"\b(?:class|struct)\s+(\w+)\b[^;{]*\{")
+
+
+def confined_types_in(text: str) -> set[str]:
+    """Names of classes whose body contains the confinement marker.
+
+    Associates each marker with the closest preceding class/struct
+    declaration — exact for this codebase's style, where the marker is
+    the first declaration in the class body.
+    """
+    decls = [(m.start(), m.group(1)) for m in CLASS_DECL_RE.finditer(text)]
+    names = set()
+    for m in re.finditer(r"\b%s\s*;" % MARKER, text):
+        owner = None
+        for pos, name in decls:
+            if pos < m.start():
+                owner = name
+            else:
+                break
+        if owner:
+            names.add(owner)
+    return names
+
+
+def build_registry(extra_paths: list[str]) -> set[str]:
+    names: set[str] = set()
+    roots = [os.path.join(REPO_ROOT, d) for d in REGISTRY_DIRS]
+    for path in iter_sources(roots) + extra_paths:
+        try:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                raw = f.read()
+        except OSError:
+            continue
+        if MARKER in raw:
+            names |= confined_types_in(strip_comments_and_strings(raw))
+    return names
+
+
+# ---------------------------------------------------------------------------
+# Rule 1: static storage duration
+# ---------------------------------------------------------------------------
+
+def names_group(names: set[str]) -> str:
+    return "(?:" + "|".join(sorted(re.escape(n) for n in names)) + ")"
+
+
+def check_static_storage(path, text, names) -> list[Finding]:
+    findings = []
+    grp = names_group(names)
+    # `static Type  name ...` where the declarator is a variable (no `(`
+    # after the identifier, so static member *functions* returning a
+    # confined type stay legal). constexpr would not compile for these
+    # types, but exclude it anyway for symmetry with the style rules.
+    static_re = re.compile(
+        r"\bstatic\s+(?!constexpr\b|const\b)"
+        r"(?:[\w:]+\s+)*"                    # cv/attr words before the type
+        + r"(?:[\w:]*::)?(%s)\b\s*" % grp    # the confined type
+        + r"[&*]*\s*(\w+)\s*[;={[]")
+    for m in static_re.finditer(text):
+        findings.append(Finding(
+            path, line_of(text, m.start()), "confined-global",
+            f"'{m.group(2)}' gives thread-confined type '{m.group(1)}' "
+            f"static storage duration; every thread in the process shares "
+            f"a static — make it instance-owned"))
+    # Namespace-scope globals: a declaration starting at column 0
+    # (optionally `inline`/`extern`). Class members and locals are
+    # indented in this codebase (clang-format, 2 spaces).
+    global_re = re.compile(
+        r"^(?:inline\s+|extern\s+)*"
+        + r"(?:[\w:]*::)?(%s)\b\s*" % grp
+        + r"[&*]*\s*(\w+)\s*[;={[]", re.M)
+    for m in global_re.finditer(text):
+        if text[:m.start()].endswith(("static ", "const ")):
+            continue  # handled above / immutable
+        findings.append(Finding(
+            path, line_of(text, m.start()), "confined-global",
+            f"global '{m.group(2)}' of thread-confined type "
+            f"'{m.group(1)}'; confined instances must be owned by one "
+            f"thread, not by the process"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule 2: shared ownership
+# ---------------------------------------------------------------------------
+
+def check_shared_ownership(path, text, names) -> list[Finding]:
+    findings = []
+    grp = names_group(names)
+    shared_re = re.compile(
+        r"\b(shared_ptr|make_shared)\s*<\s*(?:[\w:]*::)?(%s)\b" % grp)
+    for m in shared_re.finditer(text):
+        findings.append(Finding(
+            path, line_of(text, m.start()), "confined-shared-ptr",
+            f"{m.group(1)}<{m.group(2)}>: shared ownership of a "
+            f"thread-confined type; use unique_ptr (or pass by move) so "
+            f"the owning thread stays unambiguous"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule 3: thread-boundary captures
+# ---------------------------------------------------------------------------
+
+def split_top_level(s: str) -> list[str]:
+    parts, depth, start = [], 0, 0
+    for i, c in enumerate(s):
+        if c in "<({[":
+            depth += 1
+        elif c in ">)}]":
+            depth = max(0, depth - 1)
+        elif c == "," and depth == 0:
+            parts.append(s[start:i])
+            start = i + 1
+    parts.append(s[start:])
+    return [p.strip() for p in parts if p.strip()]
+
+
+def find_capture_list(text: str, open_bracket: int):
+    depth, i = 0, open_bracket
+    while i < len(text):
+        if text[i] == "[":
+            depth += 1
+        elif text[i] == "]":
+            depth -= 1
+            if depth == 0:
+                return text[open_bracket + 1:i], i
+        i += 1
+    return None
+
+
+def declared_confined(text: str, before: int, var: str, grp: str) -> str | None:
+    """Type name if `var` is declared with a confined type before `before`."""
+    decl_re = re.compile(
+        r"\b(?:[\w:]*::)?(%s)\b\s*(?:<[^;\n]*>)?\s*[&*]*\s+%s\b"
+        % (grp, re.escape(var)))
+    best = None
+    for m in decl_re.finditer(text, 0, before):
+        best = m.group(1)
+    return best
+
+
+def check_thread_captures(path, text, names) -> list[Finding]:
+    findings = []
+    grp = names_group(names)
+    for bm in BOUNDARY_RE.finditer(text):
+        # The first lambda at this call site (scan a bounded window; the
+        # idiom puts the callable within the call's argument list).
+        window_end = min(len(text), bm.end() + 400)
+        lb = text.find("[", bm.end(), window_end)
+        if lb < 0:
+            continue
+        cap = find_capture_list(text, lb)
+        if cap is None:
+            continue
+        site = bm.group(0).split("(")[0].split("{")[0].strip()
+        lineno = line_of(text, lb)
+        for entry in split_top_level(cap[0]):
+            if entry in ("&", "="):
+                findings.append(Finding(
+                    path, lineno, "confined-capture",
+                    f"default capture [{entry}] in a lambda passed to "
+                    f"'{site}'; thread-boundary callables must capture "
+                    f"explicitly so confinement transfers are visible"))
+            elif entry == "this":
+                findings.append(Finding(
+                    path, lineno, "confined-capture",
+                    f"'this' captured into a lambda passed to '{site}'; "
+                    f"pass the shared state explicitly instead of leaking "
+                    f"the enclosing object across the thread boundary"))
+            elif entry.startswith("&"):
+                var = entry[1:].strip()
+                tname = declared_confined(text, lb, var, grp)
+                if tname:
+                    findings.append(Finding(
+                        path, lineno, "confined-capture",
+                        f"'&{var}' captures thread-confined type "
+                        f"'{tname}' by reference into a lambda passed to "
+                        f"'{site}'; construct the instance inside the "
+                        f"callable instead"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def iter_sources(paths: list[str]) -> list[str]:
+    out = []
+    for p in paths:
+        if os.path.isfile(p):
+            out.append(p)
+            continue
+        for dirpath, dirnames, filenames in os.walk(p):
+            dirnames[:] = [d for d in dirnames if d != "lint_fixtures"]
+            for fn in sorted(filenames):
+                if fn.endswith(CXX_EXTS):
+                    out.append(os.path.join(dirpath, fn))
+    return out
+
+
+def check_file(path: str, registry: set[str]) -> list[Finding]:
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            raw = f.read()
+    except OSError as e:
+        print(f"check_thread_confinement: cannot read {path}: {e}",
+              file=sys.stderr)
+        return []
+    text = strip_comments_and_strings(raw)
+    names = registry | confined_types_in(text)
+    if not names:
+        return []
+    findings = []
+    findings += check_static_storage(path, text, names)
+    findings += check_shared_ownership(path, text, names)
+    findings += check_thread_captures(path, text, names)
+    return findings
+
+
+def run(paths: list[str]) -> list[Finding]:
+    registry = build_registry([p for p in paths if os.path.isfile(p)])
+    if not registry:
+        print("check_thread_confinement: no KVSIM_THREAD_CONFINED markers "
+              "found under src/ — the gate would be vacuous", file=sys.stderr)
+        sys.exit(2)
+    findings = []
+    for path in iter_sources(paths):
+        findings.extend(check_file(path, registry))
+    return findings
+
+
+def self_test() -> int:
+    fixtures = os.path.join(REPO_ROOT, FIXTURE_DIR)
+    bad_dir = os.path.join(fixtures, "bad")
+    good_dir = os.path.join(fixtures, "good")
+    if not (os.path.isdir(bad_dir) and os.path.isdir(good_dir)):
+        print(f"check_thread_confinement: missing fixtures under {fixtures}",
+              file=sys.stderr)
+        return 2
+    failures = 0
+    for fn in sorted(os.listdir(bad_dir)):
+        if not fn.endswith(CXX_EXTS):
+            continue
+        path = os.path.join(bad_dir, fn)
+        if not run([path]):
+            print(f"SELF-TEST FAIL: expected a finding in {path}")
+            failures += 1
+        else:
+            print(f"self-test ok (flagged): {fn}")
+    for fn in sorted(os.listdir(good_dir)):
+        if not fn.endswith(CXX_EXTS):
+            continue
+        path = os.path.join(good_dir, fn)
+        got = run([path])
+        if got:
+            for f in got:
+                print(f"SELF-TEST FAIL (false positive): {f}")
+            failures += 1
+        else:
+            print(f"self-test ok (clean):   {fn}")
+    if failures:
+        print(f"check_thread_confinement self-test: {failures} failure(s)")
+        return 1
+    print("check_thread_confinement self-test: all fixtures behaved")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    flags = {a for a in argv[1:] if a.startswith("--")}
+    unknown = flags - {"--self-test", "--help"}
+    if unknown or "--help" in flags:
+        print(__doc__)
+        return 0 if "--help" in flags else 2
+    if "--self-test" in flags:
+        return self_test()
+    paths = args or [os.path.join(REPO_ROOT, d) for d in DEFAULT_DIRS]
+    findings = run(paths)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"check_thread_confinement: {len(findings)} confinement "
+              f"violation(s) found", file=sys.stderr)
+        return 1
+    print("check_thread_confinement: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

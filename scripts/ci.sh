@@ -12,12 +12,17 @@
 #      zero invariant violations);
 #   5. the crash-sweep smoke: power-loss cuts + mount-time recovery on
 #      all three beds, differential-checked on the audit build;
-#   6. the simulation-core perf smoke (scripts/bench.sh --smoke), failing
-#      on >20% events/sec regression vs the committed BENCH_sim.json;
-#   7. the suite under ASan/UBSan via scripts/sanitize.sh.
+#   6. the sweep smoke: the fig-matrix driver fanned across an
+#      8-thread SweepRunner pool, shape-checking that the merged JSON is
+#      byte-identical to the single-thread pass;
+#   7. the simulation-core perf smoke (scripts/bench.sh --smoke), failing
+#      on >20% events/sec regression vs the committed BENCH_sim.json (and
+#      on sweep-scaling regression vs its committed baseline);
+#   8. the suite under ASan/UBSan via scripts/sanitize.sh;
+#   9. the sweep tests + driver under TSan via scripts/sanitize.sh --tsan.
 #
 # Usage: scripts/ci.sh [--fast]
-#   --fast  skip the sanitizer pass (slowest stage) for quick local runs.
+#   --fast  skip the sanitizer passes (slowest stages) for quick local runs.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -33,10 +38,15 @@ done
 
 stage() { printf '\n=== ci: %s ===\n' "$*"; }
 
+# Tests are independent processes; run them wider than the core count
+# (floor 4) so the many tiny binaries don't serialize on small runners.
+JOBS=$(nproc)
+[ "$JOBS" -lt 4 ] && JOBS=4
+
 stage "build + tier-1 tests"
 cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 cmake --build build -j "$(nproc)"
-ctest --test-dir build -j "$(nproc)" --output-on-failure
+ctest --test-dir build -j "$JOBS" --output-on-failure
 
 stage "lint"
 scripts/lint.sh --format build
@@ -44,7 +54,7 @@ scripts/lint.sh --format build
 stage "KVSIM_AUDIT=ON tests"
 cmake -B build-audit -S . -DKVSIM_AUDIT=ON
 cmake --build build-audit -j "$(nproc)"
-ctest --test-dir build-audit -j "$(nproc)" --output-on-failure
+ctest --test-dir build-audit -j "$JOBS" --output-on-failure
 
 stage "seeded fault smoke (audit build)"
 # End-to-end fault drill under the shadow auditors: a fixed seeded plan
@@ -62,12 +72,21 @@ stage "crash-sweep smoke (audit build)"
 # survives exactly, deterministic recovery counters).
 ./build-audit/tests/crash_recovery_test --gtest_filter='CrashSweep*:*/CrashSweep.*:CrashRecovery.*'
 
+stage "sweep smoke"
+# The parallel sweep engine's determinism gate: the fig-matrix driver
+# runs its cells at 1 thread and at 8 and fails unless the merged
+# BenchReport JSON is byte-identical (scheduling must be invisible).
+cmake --build build -j "$(nproc)" --target bench_fig_matrix
+./build/bench/bench_fig_matrix --smoke --threads=8
+
 stage "bench smoke"
 scripts/bench.sh --smoke
 
 if [ "$FAST" = 0 ]; then
-  stage "sanitizers"
+  stage "sanitizers (ASan/UBSan)"
   scripts/sanitize.sh
+  stage "sanitizers (TSan sweep suite)"
+  scripts/sanitize.sh --tsan
 else
   stage "sanitizers skipped (--fast)"
 fi

@@ -7,7 +7,11 @@
 #   2. scripts/check_async_captures.py, the repo-specific detector for
 #      self-keeping async closure chains (pure Python, always runs),
 #      including its fixture self-test;
-#   3. with --format: clang-format --dry-run over the tree (skipped with
+#   3. scripts/check_thread_confinement.py, the KVSIM_THREAD_CONFINED
+#      gate (confined types must not gain static storage, shared
+#      ownership, or cross a thread boundary by reference), including
+#      its fixture self-test;
+#   4. with --format: clang-format --dry-run over the tree (skipped with
 #      a notice when clang-format is missing).
 #
 # Usage: scripts/lint.sh [--format] [--tidy-only] [build-dir]
@@ -62,7 +66,16 @@ if ! python3 scripts/check_async_captures.py; then
   FAILED=1
 fi
 
-# --- 3. formatting (opt-in) --------------------------------------------------
+# --- 3. thread-confinement checker -------------------------------------------
+note "check_thread_confinement"
+if ! python3 scripts/check_thread_confinement.py --self-test; then
+  FAILED=1
+fi
+if ! python3 scripts/check_thread_confinement.py src bench tests; then
+  FAILED=1
+fi
+
+# --- 4. formatting (opt-in) --------------------------------------------------
 if [ "$CHECK_FORMAT" = 1 ]; then
   note "clang-format"
   if command -v clang-format >/dev/null 2>&1; then

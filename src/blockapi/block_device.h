@@ -7,6 +7,8 @@
 #include "blockftl/block_ftl.h"
 #include "nvme/nvme_link.h"
 
+#include "common/thread_annotations.h"
+
 namespace kvsim::blockapi {
 
 struct BlockApiConfig {
@@ -16,6 +18,7 @@ struct BlockApiConfig {
 
 class BlockDevice {
  public:
+  KVSIM_THREAD_CONFINED;
   using Done = blockftl::BlockFtl::Done;
   using ReadDone = blockftl::BlockFtl::ReadDone;
 

@@ -37,6 +37,8 @@
 #include "ssd/stats.h"
 #include "ssd/write_buffer.h"
 
+#include "common/thread_annotations.h"
+
 namespace kvsim::blockftl {
 
 struct BlockFtlConfig {
@@ -70,6 +72,7 @@ struct BlockFtlConfig {
 
 class BlockFtl {
  public:
+  KVSIM_THREAD_CONFINED;
   using Done = sim::Fn<void(Status)>;
   /// Read completion: status + XOR of the per-slot content fingerprints
   /// covered by the request (integrity checking for tests).

@@ -1,0 +1,41 @@
+// Annotated mutex wrapper. std::mutex carries no thread-safety
+// attributes, so Clang's -Wthread-safety cannot see std::lock_guard
+// acquisitions; kvsim::Mutex + kvsim::MutexLock are the same primitives
+// with the KVSIM_CAPABILITY / KVSIM_SCOPED_CAPABILITY annotations the
+// analysis needs. Use these (not raw std::mutex) for any state shared
+// across threads, and guard that state with KVSIM_GUARDED_BY.
+#pragma once
+
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace kvsim {
+
+/// An annotated std::mutex: a capability the analysis can track.
+class KVSIM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() KVSIM_ACQUIRE() { mu_.lock(); }
+  void unlock() KVSIM_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for kvsim::Mutex (std::lock_guard with scope annotations).
+class KVSIM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) KVSIM_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() KVSIM_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace kvsim

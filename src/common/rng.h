@@ -7,6 +7,7 @@
 
 #include <cmath>
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace kvsim {
@@ -22,6 +23,7 @@ constexpr u64 splitmix64(u64& state) {
 /// xoshiro256** PRNG. Fast, high quality, deterministic across platforms.
 class Rng {
  public:
+  KVSIM_THREAD_CONFINED;
   explicit Rng(u64 seed = 0x5eed'c0de'1234'5678ull) { reseed(seed); }
 
   void reseed(u64 seed) {
@@ -67,6 +69,7 @@ class Rng {
 /// harmonic-number approximation (exact for small n is unnecessary here).
 class ZipfGenerator {
  public:
+  KVSIM_THREAD_CONFINED;
   ZipfGenerator(u64 n, double theta = 0.99);
 
   /// Sample a rank in [0, n); rank 0 is the most popular item.
@@ -95,6 +98,7 @@ u64 scatter_rank(u64 rank, u64 n);
 /// id exactly once in shuffled order (load phases with random key order).
 class Permutation {
  public:
+  KVSIM_THREAD_CONFINED;
   explicit Permutation(u64 n, u64 seed = 0x9e3779b97f4a7c15ull);
 
   /// The image of `i` (i must be < n).

@@ -1,0 +1,80 @@
+// Clang thread-safety annotations plus the repo's thread-confinement
+// marker, behind portable KVSIM_* macros.
+//
+// Two complementary mechanisms (see docs/API.md "Concurrency model"):
+//
+//  * Capability annotations (KVSIM_GUARDED_BY, KVSIM_REQUIRES, ...) wrap
+//    Clang's -Wthread-safety attributes for the few types that ARE shared
+//    across threads (the sweep engine's work queue and error sink). Under
+//    Clang the analysis runs as an error (see the top-level CMakeLists);
+//    under GCC the macros expand to nothing and cost nothing.
+//
+//  * KVSIM_THREAD_CONFINED marks a class as single-thread-only: the whole
+//    simulator object graph (EventQueue, FlashController, the FTLs, the
+//    beds) is deterministic single-threaded machinery, and the only legal
+//    way to parallelize it is one fully private instance per thread.
+//    The marker expands to an introspectable constexpr member; the
+//    scripts/check_thread_confinement.py lint rejects confined types held
+//    in globals/statics, owned through shared_ptr, or captured by
+//    reference at a thread boundary.
+#pragma once
+
+#if defined(__clang__)
+#define KVSIM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define KVSIM_THREAD_ANNOTATION(x)  // GCC: thread-safety analysis unavailable
+#endif
+
+/// A type that acts as a lock/capability (e.g. a mutex wrapper).
+#define KVSIM_CAPABILITY(x) KVSIM_THREAD_ANNOTATION(capability(x))
+
+/// An RAII type that acquires a capability for its lifetime.
+#define KVSIM_SCOPED_CAPABILITY KVSIM_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define KVSIM_GUARDED_BY(x) KVSIM_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose pointee is guarded by `x` (the pointer itself is
+/// not).
+#define KVSIM_PT_GUARDED_BY(x) KVSIM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that must be called with the given capabilities held.
+#define KVSIM_REQUIRES(...) \
+  KVSIM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that must NOT be called with the given capabilities held
+/// (it acquires them itself; calling with them held would deadlock).
+#define KVSIM_EXCLUDES(...) \
+  KVSIM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function that acquires / releases the given capabilities.
+#define KVSIM_ACQUIRE(...) \
+  KVSIM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define KVSIM_RELEASE(...) \
+  KVSIM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function returning a reference to a capability-guarded object.
+#define KVSIM_RETURN_CAPABILITY(x) KVSIM_THREAD_ANNOTATION(lock_returned(x))
+
+/// Opt a function out of the analysis (initialization/teardown paths that
+/// are provably single-threaded but not expressible to the checker).
+#define KVSIM_NO_THREAD_SAFETY_ANALYSIS \
+  KVSIM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+/// Marks the enclosing class as thread-confined: instances must be used
+/// by one thread at a time (handing ownership across threads is fine;
+/// concurrent access, shared ownership, and static storage are not).
+/// Place it in the class body:
+///
+///   class EventQueue {
+///    public:
+///     KVSIM_THREAD_CONFINED;
+///     ...
+///   };
+///
+/// scripts/check_thread_confinement.py builds its confined-type registry
+/// from this marker and fails the lint on any global/static instance,
+/// shared_ptr ownership, or by-reference capture into a thread entry
+/// point (std::thread, SweepRunner cells).
+#define KVSIM_THREAD_CONFINED \
+  static constexpr bool kvsim_thread_confined_marker = true

@@ -20,7 +20,10 @@ const char* to_string(Status s) {
 }
 
 std::string format_bytes(double bytes) {
-  static const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  // constexpr + pointer-const: function-local statics must be immutable
+  // all the way down now that formatting helpers run on sweep threads.
+  static constexpr const char* const units[] = {"B", "KiB", "MiB", "GiB",
+                                                "TiB"};
   int u = 0;
   while (bytes >= 1024.0 && u < 4) {
     bytes /= 1024.0;
@@ -33,7 +36,7 @@ std::string format_bytes(double bytes) {
 }
 
 std::string format_time_ns(double ns) {
-  static const char* units[] = {"ns", "us", "ms", "s"};
+  static constexpr const char* const units[] = {"ns", "us", "ms", "s"};
   int u = 0;
   while (ns >= 1000.0 && u < 3) {
     ns /= 1000.0;

@@ -34,6 +34,7 @@
 
 #include "common/histogram.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "flash/fault.h"
 #include "flash/geometry.h"
 #include "sim/event_queue.h"
@@ -115,6 +116,7 @@ class FlashAuditSink {
 
 class FlashController {
  public:
+  KVSIM_THREAD_CONFINED;
   using Done = sim::Task;
 
   /// Retry rounds per read are bounded so a misconfigured retry

@@ -17,6 +17,8 @@
 #include "blockapi/block_device.h"
 #include "sim/task.h"
 
+#include "common/thread_annotations.h"
+
 namespace kvsim::fs {
 
 struct FsConfig {
@@ -36,6 +38,7 @@ struct FsConfig {
 
 class FileSystem {
  public:
+  KVSIM_THREAD_CONFINED;
   using Handle = u32;
   using Done = sim::Fn<void(Status)>;
   using ReadDone = sim::Fn<void(Status, u64)>;

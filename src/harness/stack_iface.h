@@ -11,6 +11,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "sim/event_queue.h"
 #include "sim/task.h"
@@ -90,6 +91,7 @@ struct CrashOutcome {
 
 class KvStack {
  public:
+  KVSIM_THREAD_CONFINED;
   using StoreDone = sim::Fn<void(Status)>;
   using RetrieveDone = sim::Fn<void(Status, ValueDesc)>;
   using RemoveDone = sim::Fn<void(Status)>;
@@ -161,6 +163,7 @@ namespace detail {
 /// quiescence while a host backoff timer still held an un-resubmitted op.
 class InflightOps {
  public:
+  KVSIM_THREAD_CONFINED;
   /// Wrap a completion callback; the op is in flight until it runs.
   template <typename Done>
   auto track(Done done) {

@@ -28,6 +28,8 @@
 #include "kvapi/kvs_device.h"
 #include "lsm/lsm_store.h"
 
+#include "common/thread_annotations.h"
+
 namespace kvsim::harness {
 
 struct KvssdBedConfig {
@@ -43,6 +45,7 @@ struct KvssdBedConfig {
 
 class KvssdBed final : public KvStack {
  public:
+  KVSIM_THREAD_CONFINED;
   explicit KvssdBed(const KvssdBedConfig& cfg = {});
 
   void store(std::string_view key, ValueDesc v, StoreDone done) override {
@@ -152,6 +155,7 @@ struct BlockBedConfig {
 /// Raw block device bed (direct I/O experiments).
 class BlockDirectBed {
  public:
+  KVSIM_THREAD_CONFINED;
   explicit BlockDirectBed(const BlockBedConfig& cfg = {});
 
   sim::EventQueue& eq() { return eq_; }
@@ -182,6 +186,7 @@ struct LsmBedConfig {
 
 class LsmBed final : public KvStack {
  public:
+  KVSIM_THREAD_CONFINED;
   explicit LsmBed(const LsmBedConfig& cfg = {});
 
   void store(std::string_view key, ValueDesc v, StoreDone done) override {
@@ -295,6 +300,7 @@ struct HashKvBedConfig {
 
 class HashKvBed final : public KvStack {
  public:
+  KVSIM_THREAD_CONFINED;
   explicit HashKvBed(const HashKvBedConfig& cfg = {});
 
   void store(std::string_view key, ValueDesc v, StoreDone done) override {

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "workload/workload.h"
 
@@ -26,6 +27,7 @@ struct TraceRecord {
 
 class TraceRecorder {
  public:
+  KVSIM_THREAD_CONFINED;
   /// Pre-reserve for `expected_ops` records (0 = grow on demand).
   explicit TraceRecorder(u64 expected_ops = 0) {
     if (expected_ops) records_.reserve(expected_ops);

@@ -28,6 +28,8 @@
 #include "blockapi/block_device.h"
 #include "sim/task.h"
 
+#include "common/thread_annotations.h"
+
 namespace kvsim::hashkv {
 
 struct HashKvConfig {
@@ -56,6 +58,7 @@ struct HashKvConfig {
 
 class HashKvStore {
  public:
+  KVSIM_THREAD_CONFINED;
   using PutDone = sim::Fn<void(Status)>;
   using GetDone = sim::Fn<void(Status, ValueDesc)>;
 

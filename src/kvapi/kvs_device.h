@@ -13,6 +13,8 @@
 #include "kvftl/kv_ftl.h"
 #include "nvme/nvme_link.h"
 
+#include "common/thread_annotations.h"
+
 namespace kvsim::kvapi {
 
 struct KvsApiConfig {
@@ -22,6 +24,7 @@ struct KvsApiConfig {
 
 class KvsDevice {
  public:
+  KVSIM_THREAD_CONFINED;
   using StoreDone = kvftl::KvFtl::StoreDone;
   using RetrieveDone = kvftl::KvFtl::RetrieveDone;
   using ExistDone = kvftl::KvFtl::ExistDone;

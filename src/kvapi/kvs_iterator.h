@@ -16,10 +16,13 @@
 
 #include "kvapi/kvs_device.h"
 
+#include "common/thread_annotations.h"
+
 namespace kvsim::kvapi {
 
 class KvsIterator {
  public:
+  KVSIM_THREAD_CONFINED;
   /// kvs_iterator_open on one bucket group.
   KvsIterator(KvsDevice& dev, u32 bucket)
       : dev_(dev), keys_(dev.ftl().snapshot_bucket(bucket)) {}

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace kvsim::kvftl {
@@ -50,6 +51,7 @@ struct IndexModelConfig {
 
 class IndexModel {
  public:
+  KVSIM_THREAD_CONFINED;
   explicit IndexModel(const IndexModelConfig& cfg);
 
   /// Record an entry insert for `khash`; returns the flash work implied.

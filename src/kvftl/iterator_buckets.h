@@ -13,12 +13,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace kvsim::kvftl {
 
 class IteratorBuckets {
  public:
+  KVSIM_THREAD_CONFINED;
   /// `track_keys` = false disables key storage (memory-light mode for huge
   /// benchmark fills; iteration then reports counts only).
   explicit IteratorBuckets(bool track_keys) : track_keys_(track_keys) {}

@@ -47,6 +47,8 @@
 #include "ssd/stats.h"
 #include "ssd/write_buffer.h"
 
+#include "common/thread_annotations.h"
+
 namespace kvsim::kvftl {
 
 struct KvFtlConfig {
@@ -96,6 +98,7 @@ struct KvFtlConfig {
 
 class KvFtl {
  public:
+  KVSIM_THREAD_CONFINED;
   using StoreDone = sim::Fn<void(Status)>;
   using RetrieveDone = sim::Fn<void(Status, ValueDesc)>;
   using ExistDone = sim::Fn<void(Status, bool)>;

@@ -27,6 +27,8 @@
 #include "lsm/sst.h"
 #include "sim/task.h"
 
+#include "common/thread_annotations.h"
+
 namespace kvsim::lsm {
 
 struct LsmConfig {
@@ -61,6 +63,7 @@ struct LsmConfig {
 
 class LsmStore {
  public:
+  KVSIM_THREAD_CONFINED;
   using PutDone = sim::Fn<void(Status)>;
   using GetDone = sim::Fn<void(Status, ValueDesc)>;
 

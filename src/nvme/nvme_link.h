@@ -11,6 +11,7 @@
 // multi-command operations back to one.
 #pragma once
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "sim/event_queue.h"
 #include "sim/task.h"
@@ -42,6 +43,7 @@ constexpr u32 kv_commands_for_key(const NvmeConfig& cfg, u32 key_bytes) {
 
 class NvmeLink {
  public:
+  KVSIM_THREAD_CONFINED;
   NvmeLink(sim::EventQueue& eq, const NvmeConfig& cfg)
       : eq_(eq), cfg_(cfg) {}
 

@@ -12,6 +12,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace kvsim::sim {
 
 template <typename T, unsigned Arity, typename Earlier>
@@ -19,6 +21,7 @@ class DHeap {
   static_assert(Arity >= 2, "a heap needs at least two children per node");
 
  public:
+  KVSIM_THREAD_CONFINED;
   [[nodiscard]] bool empty() const { return v_.empty(); }
   [[nodiscard]] std::size_t size() const { return v_.size(); }
   [[nodiscard]] const T& top() const { return v_.front(); }

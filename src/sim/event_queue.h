@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "sim/dheap.h"
 #include "sim/task.h"
@@ -25,6 +26,7 @@ namespace kvsim::sim {
 
 class EventQueue {
  public:
+  KVSIM_THREAD_CONFINED;
   using Callback = Task;
 
   EventQueue() = default;
@@ -136,6 +138,7 @@ class EventQueue {
 /// use completes; contention appears as queueing delay.
 class Resource {
  public:
+  KVSIM_THREAD_CONFINED;
   /// The outcome of one reservation, split into the queueing delay spent
   /// waiting for the resource and the service time actually holding it.
   /// Converts implicitly to the completion time, so callers that only

@@ -18,6 +18,8 @@
 #include <type_traits>
 #include <utility>
 
+#include "common/thread_annotations.h"
+
 namespace kvsim::sim {
 
 template <typename Sig>
@@ -26,6 +28,8 @@ class Fn;  // only the function-signature specialization below exists
 template <typename R, typename... Args>
 class Fn<R(Args...)> {
  public:
+  KVSIM_THREAD_CONFINED;  // callbacks run on their queue's owning thread
+
   /// Inline small-buffer capacity in bytes. Callables at most this big
   /// (with fundamental alignment and a noexcept move) are stored inline.
   static constexpr std::size_t kInlineBytes = 48;

@@ -12,10 +12,13 @@
 
 #include "flash/geometry.h"
 
+#include "common/thread_annotations.h"
+
 namespace kvsim::ssd {
 
 class BlockAllocator {
  public:
+  KVSIM_THREAD_CONFINED;
   explicit BlockAllocator(const flash::FlashGeometry& geom);
 
   /// Take a free block, preferring the next plane in round-robin order

@@ -33,6 +33,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "flash/controller.h"
 #include "flash/geometry.h"
@@ -63,6 +64,8 @@ void audit_check_clamps(u64 clamped_schedules);
 /// next page index a program may legally target; erase resets it.
 class FlashAudit final : public flash::FlashAuditSink {
  public:
+  KVSIM_THREAD_CONFINED;
+
   explicit FlashAudit(const flash::FlashGeometry& geom);
 
   /// Exempt `b` from legality checking (index-charge blocks whose reads/
@@ -86,6 +89,8 @@ class FlashAudit final : public flash::FlashAuditSink {
 /// Shadow of the block FTL's logical-to-physical slot map.
 class SlotMapAudit {
  public:
+  KVSIM_THREAD_CONFINED;
+
   SlotMapAudit(u64 total_blocks, u32 slots_per_block);
 
   /// Hook: `lpn` was mapped to global slot `gsi`.
@@ -111,6 +116,8 @@ class SlotMapAudit {
 /// Shadow of the KV FTL's blob-chunk log placement.
 class KvLogAudit {
  public:
+  KVSIM_THREAD_CONFINED;
+
   explicit KvLogAudit(u64 total_blocks);
 
   /// Hook: chunk `chunk_idx` of blob `khash` was placed at (block, rec)

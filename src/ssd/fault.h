@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "flash/fault.h"
 #include "flash/geometry.h"
@@ -82,6 +83,7 @@ struct FaultStats {
 /// window). One injector serves exactly one flash substrate.
 class FaultInjector final : public flash::FaultModel {
  public:
+  KVSIM_THREAD_CONFINED;
   FaultInjector(const FaultPlan& plan, const flash::FlashGeometry& geom,
                 const sim::EventQueue& eq);
 

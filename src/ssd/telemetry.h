@@ -18,6 +18,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "flash/controller.h"
 #include "sim/event_queue.h"
@@ -97,6 +98,7 @@ struct TelemetrySlice {
 /// attached sources must outlive any further poll()/finalize() calls.
 class TelemetryCollector {
  public:
+  KVSIM_THREAD_CONFINED;
   explicit TelemetryCollector(TimeNs interval = 100 * kMs)
       : interval_(interval ? interval : 100 * kMs) {}
 

@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <deque>
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "sim/event_queue.h"
 #include "sim/task.h"
@@ -17,6 +18,7 @@ namespace kvsim::ssd {
 
 class WriteBuffer {
  public:
+  KVSIM_THREAD_CONFINED;
   WriteBuffer(sim::EventQueue& eq, u64 capacity_bytes)
       : eq_(eq), capacity_(capacity_bytes) {}
 

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace kvsim::wl {
@@ -40,6 +41,7 @@ u64 value_fingerprint(u64 id, u64 version);
 /// Chooses key ids in [0, key_space) according to a Pattern.
 class KeyChooser {
  public:
+  KVSIM_THREAD_CONFINED;
   KeyChooser(Pattern p, u64 key_space, u64 seed, double zipf_theta = 0.99,
              u64 window = 0);
 
@@ -121,6 +123,7 @@ struct Op {
 /// Streams `spec.num_ops` operations.
 class OpStream {
  public:
+  KVSIM_THREAD_CONFINED;
   explicit OpStream(const WorkloadSpec& spec);
   bool next(Op& out);
   [[nodiscard]] u64 generated() const { return generated_; }

@@ -10,6 +10,8 @@
 
 #include "workload/workload.h"
 
+#include "common/thread_annotations.h"
+
 namespace kvsim::wl {
 
 enum class YcsbWorkload {
@@ -43,6 +45,7 @@ WorkloadSpec ycsb_spec(YcsbWorkload w, u64 record_count, u64 num_ops,
 /// happen (the caller reports them).
 class LatestChooser {
  public:
+  KVSIM_THREAD_CONFINED;
   LatestChooser(u64 initial_records, double theta = 0.99);
 
   /// Sample a key id in [0, frontier).

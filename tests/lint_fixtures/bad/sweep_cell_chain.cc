@@ -1,0 +1,23 @@
+// Seeded violation for the SweepCell chain-head rule: a heap-shared
+// sweep cell whose `run` thunk strongly captures its own shared_ptr.
+// The stored callable owns a reference to the cell that owns the
+// callable — the refcount can never reach zero, so the cell (and the
+// config captured alongside it) leaks. Same leak class as the PR 1
+// std::function chains, new spelling.
+#include <memory>
+
+#include "harness/sweep.h"
+
+namespace kvsim::fixture {
+
+inline harness::SweepCell* leak_cell(int value_bytes) {
+  auto cell = std::make_shared<harness::SweepCell>();
+  cell->label = "cell/" + std::to_string(value_bytes);
+  cell->run = [cell, value_bytes] {  // BAD: strong self-capture
+    (void)value_bytes;
+    return harness::RunResult{};
+  };
+  return cell.get();
+}
+
+}  // namespace kvsim::fixture

@@ -1,0 +1,24 @@
+// [confined-capture] seeded violation: default capture lists on sweep
+// cells. [&]/[=] hide what crosses the pool boundary, so the checker
+// requires explicit captures at every thread-boundary lambda.
+#include "harness/sweep.h"
+
+namespace kvsim::fixture {
+
+inline void bad_cells(harness::SweepRunner& runner) {
+  int value_bytes = 4096;
+  std::vector<harness::SweepCell> cells;
+  cells.push_back(harness::sweep_cell(
+      "cell/a", [&] {  // BAD: default by-reference capture
+        (void)value_bytes;
+        return harness::RunResult{};
+      }));
+  cells.push_back(harness::SweepCell{
+      "cell/b", [=] {  // BAD: default by-copy capture
+        (void)value_bytes;
+        return harness::RunResult{};
+      }});
+  (void)runner.run(std::move(cells));
+}
+
+}  // namespace kvsim::fixture

@@ -1,0 +1,20 @@
+// [confined-global] seeded violation: a namespace-scope instance of a
+// thread-confined type. Static storage is shared by every thread in the
+// process, so a global simulator object is a race the moment the sweep
+// pool starts. Fixtures are scanned by check_thread_confinement.py, not
+// compiled.
+#include "common/thread_annotations.h"
+
+namespace kvsim::fixture {
+
+class MiniQueue {
+ public:
+  KVSIM_THREAD_CONFINED;
+  void step() {}
+};
+
+}  // namespace kvsim::fixture
+
+kvsim::fixture::MiniQueue g_shared_queue;  // BAD: process-wide instance
+
+void tick() { g_shared_queue.step(); }

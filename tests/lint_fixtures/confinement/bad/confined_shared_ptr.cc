@@ -1,0 +1,25 @@
+// [confined-shared-ptr] seeded violation: shared ownership of a
+// thread-confined type. With shared_ptr the owning thread is ambiguous —
+// the last reference may die on any thread, and two holders may use the
+// instance concurrently. Confined objects must be uniquely owned.
+#include <memory>
+
+#include "common/thread_annotations.h"
+
+namespace kvsim::fixture {
+
+class MiniFtl {
+ public:
+  KVSIM_THREAD_CONFINED;
+  void flush() {}
+};
+
+struct Owner {
+  std::shared_ptr<MiniFtl> ftl;  // BAD: shared ownership
+};
+
+inline Owner make_owner() {
+  return Owner{std::make_shared<MiniFtl>()};  // BAD: shared construction
+}
+
+}  // namespace kvsim::fixture

@@ -1,0 +1,22 @@
+// [confined-global] seeded violation: a function-local `static` of a
+// thread-confined type (the cached-scratch-RNG anti-pattern). The first
+// call from each sweep thread would race the shared instance.
+#include "common/thread_annotations.h"
+
+namespace kvsim::fixture {
+
+class MiniRng {
+ public:
+  KVSIM_THREAD_CONFINED;
+  unsigned long next() { return state_++; }
+
+ private:
+  unsigned long state_ = 0;
+};
+
+unsigned long draw() {
+  static MiniRng scratch_rng;  // BAD: shared across every caller thread
+  return scratch_rng.next();
+}
+
+}  // namespace kvsim::fixture

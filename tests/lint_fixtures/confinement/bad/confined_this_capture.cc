@@ -1,0 +1,21 @@
+// [confined-capture] seeded violation: `this` captured into a thread
+// entry point. Whatever the enclosing class is, leaking it wholesale
+// across the thread boundary defeats the confinement audit — shared
+// state must be passed explicitly so the checker (and the reader) can
+// see exactly what is shared.
+#include <thread>
+
+namespace kvsim::fixture {
+
+class Engine {
+ public:
+  void spawn() {
+    std::thread worker([this] { tick(); });  // BAD: this capture
+    worker.join();
+  }
+
+ private:
+  void tick() {}
+};
+
+}  // namespace kvsim::fixture

@@ -1,0 +1,23 @@
+// [confined-capture] seeded violation: a std::thread entry point
+// capturing a thread-confined object by reference. The bed stays owned
+// by the spawning thread while the worker mutates it — the exact race
+// class the confinement model forbids.
+#include <thread>
+
+#include "common/thread_annotations.h"
+
+namespace kvsim::fixture {
+
+class MiniBed {
+ public:
+  KVSIM_THREAD_CONFINED;
+  void run_workload() {}
+};
+
+void bad_fanout() {
+  MiniBed bed;
+  std::thread worker([&bed] { bed.run_workload(); });  // BAD: &bed
+  worker.join();
+}
+
+}  // namespace kvsim::fixture

@@ -1,0 +1,34 @@
+// Clean fixture: the sanctioned sweep-cell shape. Plain config data is
+// captured by value; the confined simulator object is constructed,
+// driven, and destroyed entirely inside the cell callable, so it never
+// crosses the pool boundary. Also proves the static-member-function
+// exemption: a `static` declaration whose identifier is followed by `(`
+// is a function, not a shared instance.
+#include "harness/sweep.h"
+
+namespace kvsim::fixture {
+
+class MiniBed2 {
+ public:
+  KVSIM_THREAD_CONFINED;
+  explicit MiniBed2(int value_bytes) : value_bytes_(value_bytes) {}
+  harness::RunResult run() { return harness::RunResult{}; }
+  static MiniBed2 scratch();  // OK: static member *function*
+
+ private:
+  int value_bytes_;
+};
+
+inline void good_cells(harness::SweepRunner& runner) {
+  std::vector<harness::SweepCell> cells;
+  for (int value_bytes : {256, 4096}) {
+    cells.push_back(harness::sweep_cell(
+        "cell/" + std::to_string(value_bytes), [value_bytes] {
+          MiniBed2 bed(value_bytes);  // OK: private per-cell instance
+          return bed.run();
+        }));
+  }
+  (void)runner.run(std::move(cells));
+}
+
+}  // namespace kvsim::fixture

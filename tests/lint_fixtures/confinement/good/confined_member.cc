@@ -1,0 +1,43 @@
+// Clean fixture: ordinary single-threaded ownership of confined types.
+// Plain data members and unique_ptr members are fine — the instance is
+// owned by whichever thread owns the enclosing object. A thread lambda
+// may capture non-confined state by reference (the callers' problem to
+// synchronize, not this checker's).
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace kvsim::fixture {
+
+class MiniCtrl {
+ public:
+  KVSIM_THREAD_CONFINED;
+  void poll() {}
+};
+
+class Host {
+ public:
+  void step() {
+    direct_.poll();
+    if (owned_) owned_->poll();
+  }
+
+ private:
+  MiniCtrl direct_;                   // OK: plain member
+  std::unique_ptr<MiniCtrl> owned_;   // OK: unique ownership
+};
+
+struct Counters {
+  std::vector<long> per_thread;
+};
+
+inline void spawn_counter(Counters& counters) {
+  std::thread worker([&counters] {  // OK: Counters is not confined
+    counters.per_thread.push_back(0);
+  });
+  worker.join();
+}
+
+}  // namespace kvsim::fixture

@@ -1,0 +1,33 @@
+// Clean counterpart for the SweepCell chain-head rule: the thunk
+// captures its cell weakly (the weak_ptr idiom from the std::function
+// chains) or, better, captures only plain config by value. Neither form
+// creates a strong self-reference, so the cell is freed normally.
+#include <memory>
+
+#include "harness/sweep.h"
+
+namespace kvsim::fixture {
+
+inline void weak_cell(int value_bytes) {
+  auto cell = std::make_shared<harness::SweepCell>();
+  cell->label = "cell/weak";
+  cell->run = [wcell = std::weak_ptr<harness::SweepCell>(cell),
+               value_bytes] {  // OK: weak self-capture
+    if (auto self = wcell.lock()) {
+      (void)self->label;
+    }
+    (void)value_bytes;
+    return harness::RunResult{};
+  };
+}
+
+inline void value_cell(int value_bytes) {
+  auto cell = std::make_shared<harness::SweepCell>();
+  cell->label = "cell/value";
+  cell->run = [value_bytes] {  // OK: plain config only
+    (void)value_bytes;
+    return harness::RunResult{};
+  };
+}
+
+}  // namespace kvsim::fixture

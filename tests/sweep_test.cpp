@@ -1,0 +1,205 @@
+// Tests for the parallel sweep engine (harness::SweepRunner): merged
+// reports must be byte-identical across thread counts, per-cell seeds
+// must isolate cells from their neighbors, and errors must propagate
+// deterministically while shutting the pool down cleanly. These are the
+// invariants docs/API.md "Concurrency model" promises; scripts/
+// sanitize.sh --tsan re-runs this binary under ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "harness/runner.h"
+#include "harness/stacks.h"
+#include "harness/sweep.h"
+
+namespace kvsim::harness {
+namespace {
+
+ssd::SsdConfig tiny_dev() {
+  ssd::SsdConfig d;
+  d.geometry.channels = 2;
+  d.geometry.dies_per_channel = 2;
+  d.geometry.planes_per_die = 2;
+  d.geometry.blocks_per_plane = 16;
+  d.geometry.pages_per_block = 16;
+  return d;
+}
+
+// A real simulator cell: builds a private KvssdBed inside the callable
+// (the confinement contract), runs a small mixed workload, and returns
+// only the plain-data result.
+RunResult run_kvssd_cell(u32 value_bytes, u64 seed) {
+  KvssdBedConfig c;
+  c.dev = tiny_dev();
+  KvssdBed bed(c);
+  (void)fill_stack(bed, 1000, 16, value_bytes, 32);
+  wl::WorkloadSpec spec;
+  spec.num_ops = 1500;
+  spec.key_space = 1000;
+  spec.key_bytes = 16;
+  spec.value_bytes = value_bytes;
+  spec.mix = {0.2, 0.3, 0.5, 0};
+  spec.queue_depth = 16;
+  spec.seed = seed;
+  return run_workload(bed, spec, {.drain_after = true});
+}
+
+std::vector<SweepCell> matrix_cells(u64 base_seed) {
+  std::vector<SweepCell> cells;
+  u64 index = 0;
+  for (u32 value_bytes : {512u, 2048u, 4096u}) {
+    const u64 seed = SweepRunner::cell_seed(base_seed, index++);
+    cells.push_back(sweep_cell("kvssd/v" + std::to_string(value_bytes),
+                               [value_bytes, seed] {
+                                 return run_kvssd_cell(value_bytes, seed);
+                               }));
+  }
+  return cells;
+}
+
+std::string merged_json(u32 threads) {
+  SweepRunner runner(SweepRunner::Options{.threads = threads});
+  auto results = runner.run(matrix_cells(/*base_seed=*/42));
+  BenchReport report("sweep_test");
+  add_sweep_results(report, results);
+  return report.to_json();
+}
+
+TEST(SweepRunner, MergedJsonThreadCountInvariance) {
+  // The tentpole determinism claim: the merged document is byte-equal
+  // no matter how the cells were scheduled across threads.
+  const std::string j1 = merged_json(1);
+  const std::string j4 = merged_json(4);
+  EXPECT_EQ(j1, j4);
+}
+
+TEST(SweepRunner, PerCellSeedIsolation) {
+  // A cell's result depends only on (base_seed, its index) — running it
+  // alone must reproduce its in-matrix result exactly.
+  SweepRunner runner(SweepRunner::Options{.threads = 4});
+  auto in_matrix = runner.run(matrix_cells(42));
+  ASSERT_EQ(in_matrix.size(), 3u);
+
+  const u64 seed = SweepRunner::cell_seed(42, 1);
+  const RunResult alone = run_kvssd_cell(2048, seed);
+  const RunResult& matrixed = in_matrix[1].result;
+  EXPECT_EQ(in_matrix[1].label, "kvssd/v2048");
+  EXPECT_EQ(alone.elapsed, matrixed.elapsed);
+  EXPECT_EQ(alone.ops, matrixed.ops);
+  EXPECT_EQ(alone.all.count(), matrixed.all.count());
+  EXPECT_EQ(alone.all.max(), matrixed.all.max());
+  EXPECT_EQ(alone.all.percentile(0.5), matrixed.all.percentile(0.5));
+}
+
+TEST(SweepRunner, CellSeedDeterministic) {
+  EXPECT_EQ(SweepRunner::cell_seed(7, 3), SweepRunner::cell_seed(7, 3));
+  EXPECT_NE(SweepRunner::cell_seed(7, 3), SweepRunner::cell_seed(7, 4));
+  EXPECT_NE(SweepRunner::cell_seed(7, 0), SweepRunner::cell_seed(8, 0));
+  // Index 0 must not collapse onto the base seed itself.
+  EXPECT_NE(SweepRunner::cell_seed(7, 0), 7u);
+}
+
+TEST(SweepRunner, ResultsInCellOrder) {
+  // Later cells finish first (descending sleeps); merged order must
+  // still be cell-index order, never completion order.
+  std::vector<SweepCell> cells;
+  for (int i = 0; i < 6; ++i) {
+    cells.push_back(sweep_cell("cell/" + std::to_string(i), [i] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2 * (6 - i)));
+      RunResult r;
+      r.ops = (u64)i;
+      return r;
+    }));
+  }
+  SweepRunner runner(SweepRunner::Options{.threads = 3});
+  auto results = runner.run(std::move(cells));
+  ASSERT_EQ(results.size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(results[i].label, "cell/" + std::to_string(i));
+    EXPECT_EQ(results[i].result.ops, (u64)i);
+  }
+}
+
+TEST(SweepRunner, ExceptionInCellPropagates) {
+  std::vector<SweepCell> cells;
+  cells.push_back(sweep_cell("ok", [] { return RunResult(); }));
+  cells.push_back(sweep_cell("boom", []() -> RunResult {
+    throw std::runtime_error("cell boom");
+  }));
+  SweepRunner runner(SweepRunner::Options{.threads = 2});
+  try {
+    (void)runner.run(std::move(cells));
+    FAIL() << "expected the cell's exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "cell boom");
+  }
+}
+
+TEST(SweepRunner, LowestIndexedErrorWins) {
+  // Two failing cells: the rethrown exception must come from the
+  // lower-indexed one regardless of completion order (cell 0 sleeps so
+  // cell 2 fails first).
+  std::vector<SweepCell> cells;
+  cells.push_back(sweep_cell("slow-fail", []() -> RunResult {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    throw std::runtime_error("first");
+  }));
+  cells.push_back(sweep_cell("ok", [] { return RunResult(); }));
+  cells.push_back(sweep_cell("fast-fail", []() -> RunResult {
+    throw std::runtime_error("second");
+  }));
+  SweepRunner runner(SweepRunner::Options{.threads = 3});
+  try {
+    (void)runner.run(std::move(cells));
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+}
+
+TEST(SweepRunner, EarlyErrorStopsPool) {
+  // Cell 0 fails immediately; the pool must stop claiming new cells and
+  // run() must return (no hang) well before all 16 cells execute.
+  std::atomic<int> executed{0};
+  std::vector<SweepCell> cells;
+  cells.push_back(sweep_cell("fail", []() -> RunResult {
+    throw std::runtime_error("early");
+  }));
+  for (int i = 1; i < 16; ++i) {
+    cells.push_back(sweep_cell("sleep/" + std::to_string(i), [&executed] {
+      ++executed;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      return RunResult();
+    }));
+  }
+  SweepRunner runner(SweepRunner::Options{.threads = 2});
+  EXPECT_THROW((void)runner.run(std::move(cells)), std::runtime_error);
+  // With 2 workers and an instant failure, only the cells claimed
+  // before `stop` was observed can have run — nowhere near all 15.
+  EXPECT_LT(executed.load(), 8);
+  EXPECT_LT(runner.cells_started(), 16u);
+  EXPECT_GE(runner.cells_started(), 1u);
+}
+
+TEST(SweepRunner, ThreadsOptionResolution) {
+  SweepRunner dflt;
+  EXPECT_GE(dflt.threads(), 1u);
+  SweepRunner four(SweepRunner::Options{.threads = 4});
+  EXPECT_EQ(four.threads(), 4u);
+}
+
+TEST(SweepRunner, EmptySweepAndReuse) {
+  SweepRunner runner(SweepRunner::Options{.threads = 2});
+  EXPECT_TRUE(runner.run({}).empty());
+  // The runner is reusable; cells_started accumulates across runs.
+  std::vector<SweepCell> cells;
+  cells.push_back(sweep_cell("a", [] { return RunResult(); }));
+  (void)runner.run(std::move(cells));
+  EXPECT_EQ(runner.cells_started(), 1u);
+}
+
+}  // namespace
+}  // namespace kvsim::harness
