@@ -8,10 +8,14 @@
 #                                  plus the fig-matrix sweep; fails when
 #                                  events/sec regresses >20% against the
 #                                  committed BENCH_sim.json, when the steady
-#                                  state allocates, or when sweep-pool
+#                                  state allocates, when sweep-pool
 #                                  scaling regresses >20% vs the committed
 #                                  "sweep" baseline (absolute >=3x floor is
-#                                  only enforced on >=8-core hardware)
+#                                  only enforced on >=8-core hardware), or
+#                                  when the multi-tenant driver's fairness
+#                                  or throughput regresses (fairness dev
+#                                  <= 5%, sim ops/s within 20% of the
+#                                  committed "multitenant" baseline)
 #   scripts/bench.sh --update      re-measure and rewrite BENCH_sim.json
 #
 # An optional trailing argument overrides the build directory (default:
@@ -34,6 +38,7 @@ done
 BASELINE=BENCH_sim.json
 CURRENT="$BUILD_DIR/BENCH_sim.json"
 SWEEP_CURRENT="$BUILD_DIR/BENCH_sweep.json"
+MT_CURRENT="$BUILD_DIR/BENCH_multitenant.json"
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" --target bench_sim_micro -j "$(nproc)"
@@ -42,19 +47,38 @@ if [ "$MODE" = full ]; then
   exec "$BUILD_DIR/bench/bench_sim_micro"
 fi
 
-cmake --build "$BUILD_DIR" --target bench_fig_matrix -j "$(nproc)"
+cmake --build "$BUILD_DIR" --target bench_fig_matrix bench_multitenant \
+  -j "$(nproc)"
 "$BUILD_DIR/bench/bench_sim_micro" --kvsim_json="$CURRENT"
 "$BUILD_DIR/bench/bench_fig_matrix" --smoke --threads=8 \
   --kvsim_json="$SWEEP_CURRENT"
+# Wall-clock best-of-3 (same idea as bench_sim_micro's internal
+# best-of-3): the driver runs ~150 ms, so a single sample is scheduler
+# noise on shared runners. Sim results are identical across runs; only
+# the wall-derived sim_ops_per_sec varies.
+for i in 1 2 3; do
+  "$BUILD_DIR/bench/bench_multitenant" --smoke \
+    --kvsim_json="$MT_CURRENT.$i" > "$BUILD_DIR/multitenant_run.log"
+done
+cat "$BUILD_DIR/multitenant_run.log"
+python3 - "$MT_CURRENT" <<'EOF2'
+import json, sys
+runs = [json.load(open(f"{sys.argv[1]}.{i}")) for i in (1, 2, 3)]
+best = max(runs, key=lambda d: d["sim_ops_per_sec"])
+with open(sys.argv[1], "w") as f:
+    json.dump(best, f, indent=2)
+    f.write("\n")
+EOF2
 
 if [ "$MODE" = update ]; then
   # The baseline document keeps the original flat event-cycle fields and
   # carries the sweep-scaling measurement as a nested "sweep" object.
-  python3 - "$CURRENT" "$SWEEP_CURRENT" "$BASELINE" <<'EOF'
+  python3 - "$CURRENT" "$SWEEP_CURRENT" "$MT_CURRENT" "$BASELINE" <<'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
 doc["sweep"] = json.load(open(sys.argv[2]))
-with open(sys.argv[3], "w") as f:
+doc["multitenant"] = json.load(open(sys.argv[3]))
+with open(sys.argv[4], "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
 EOF
@@ -68,12 +92,13 @@ if [ ! -f "$BASELINE" ]; then
   exit 1
 fi
 
-python3 - "$BASELINE" "$CURRENT" "$SWEEP_CURRENT" <<'EOF'
+python3 - "$BASELINE" "$CURRENT" "$SWEEP_CURRENT" "$MT_CURRENT" <<'EOF'
 import json, sys
 
 base = json.load(open(sys.argv[1]))
 cur = json.load(open(sys.argv[2]))
 sweep = json.load(open(sys.argv[3]))
+mt = json.load(open(sys.argv[4]))
 floor = 0.8 * base["events_per_sec"]  # 20% regression budget
 print(f"bench smoke: {cur['events_per_sec'] / 1e6:.2f}M events/s "
       f"(baseline {base['events_per_sec'] / 1e6:.2f}M, "
@@ -108,5 +133,23 @@ else:
 if sweep["hw_threads"] >= 8 and sweep["speedup"] < 3.0:
     sys.exit(f"bench smoke FAILED: sweep speedup {sweep['speedup']:.2f}x "
              "< 3x on >=8-core hardware")
+
+# Multi-tenant gate: the WRR fairness bound is absolute (the acceptance
+# criterion, not hardware-dependent); the driver's simulated-ops/sec
+# carries the same 20% regression budget as the other perf numbers.
+base_mt = base.get("multitenant")
+print(f"bench smoke: multitenant fairness dev {100 * mt['fairness_max_dev']:.2f}%, "
+      f"{mt['sim_ops_per_sec'] / 1e3:.0f}k sim ops/s")
+if mt["fairness_max_dev"] > 0.05:
+    sys.exit(f"bench smoke FAILED: WRR fairness deviation "
+             f"{100 * mt['fairness_max_dev']:.2f}% > 5%")
+if base_mt is None:
+    print("bench smoke: no committed multitenant baseline; perf gate "
+          "skipped -- run scripts/bench.sh --update")
+elif mt["sim_ops_per_sec"] < 0.8 * base_mt["sim_ops_per_sec"]:
+    sys.exit(f"bench smoke FAILED: multitenant {mt['sim_ops_per_sec']:.0f} "
+             f"sim ops/s regressed >20% vs baseline "
+             f"{base_mt['sim_ops_per_sec']:.0f} -- "
+             "if intentional, rerun scripts/bench.sh --update")
 print("bench smoke passed")
 EOF

@@ -64,6 +64,7 @@ BOUNDARY_RE = re.compile(
     r"std\s*::\s*(?:thread|jthread)\b\s*(?:\w+\s*)?[({]"
     r"|std\s*::\s*async\s*\("
     r"|sweep_cell\s*\("
+    r"|sweep_mix_cell\s*\("
     r"|SweepCell\s*\{"
     r")")
 

@@ -12,6 +12,9 @@
 #      zero invariant violations);
 #   5. the crash-sweep smoke: power-loss cuts + mount-time recovery on
 #      all three beds, differential-checked on the audit build;
+#   5b. the multi-tenant smoke: WRR fairness and noisy-neighbor
+#      isolation scenarios (bench_multitenant --smoke) on the audit
+#      build, shape-checked against the acceptance bounds;
 #   6. the sweep smoke: the fig-matrix driver fanned across an
 #      8-thread SweepRunner pool, shape-checking that the merged JSON is
 #      byte-identical to the single-thread pass;
@@ -71,6 +74,14 @@ stage "crash-sweep smoke (audit build)"
 # state against the per-key write oracle (no corruption, drained data
 # survives exactly, deterministic recovery counters).
 ./build-audit/tests/crash_recovery_test --gtest_filter='CrashSweep*:*/CrashSweep.*:CrashRecovery.*'
+
+stage "multi-tenant smoke (audit build)"
+# The multi-queue front-end's acceptance gates under the shadow
+# auditors: 16-tenant WRR throughput proportional to weights within 5%,
+# and the noisy-neighbor victim's p99 bounded on an isolated weighted
+# queue vs inflated on a shared one, on all three beds.
+cmake --build build-audit -j "$(nproc)" --target bench_multitenant
+./build-audit/bench/bench_multitenant --smoke
 
 stage "sweep smoke"
 # The parallel sweep engine's determinism gate: the fig-matrix driver

@@ -26,24 +26,34 @@ class BlockDevice {
               blockftl::BlockFtl& ftl, const BlockApiConfig& cfg = {})
       : eq_(eq), link_(link), ftl_(ftl), cfg_(cfg) {}
 
+  /// Sticky submission-queue hint: subsequent I/Os post to NVMe queue
+  /// `qid` until changed (how a multi-tenant block bed pins each tenant's
+  /// syscalls to its own SQ; default 0 is the legacy single-queue path).
+  void set_queue(u32 qid) { qid_ = qid; }
+  [[nodiscard]] u32 queue() const { return qid_; }
+
   void write(Lba lba, u32 bytes, u64 fp_base, Done done) {
     api_cpu_ns_ += cfg_.syscall_ns;
-    link_.submit(1, bytes, [this, lba, bytes, fp_base,
-                            done = std::move(done)]() mutable {
-      ftl_.write(lba, bytes, fp_base, [this, done = std::move(done)](
+    const u32 qid = qid_;
+    link_.submit_on(qid, 1, bytes, [this, lba, bytes, fp_base, qid,
+                                    done = std::move(done)]() mutable {
+      ftl_.write(lba, bytes, fp_base, [this, qid, done = std::move(done)](
                                           Status s) mutable {
-        link_.complete(0,
-                       [s, done = std::move(done)]() mutable { done(s); });
+        link_.complete_on(qid, 0,
+                          [s, done = std::move(done)]() mutable { done(s); });
       });
     });
   }
 
   void read(Lba lba, u32 bytes, ReadDone done) {
     api_cpu_ns_ += cfg_.syscall_ns;
-    link_.submit(1, 0, [this, lba, bytes, done = std::move(done)]() mutable {
-      ftl_.read(lba, bytes, [this, bytes, done = std::move(done)](
+    const u32 qid = qid_;
+    link_.submit_on(qid, 1, 0,
+                    [this, lba, bytes, qid, done = std::move(done)]() mutable {
+      ftl_.read(lba, bytes, [this, bytes, qid, done = std::move(done)](
                                 Status s, u64 fp) mutable {
-        link_.complete(bytes, [s, fp, done = std::move(done)]() mutable {
+        link_.complete_on(qid, bytes,
+                          [s, fp, done = std::move(done)]() mutable {
           done(s, fp);
         });
       });
@@ -52,10 +62,13 @@ class BlockDevice {
 
   void trim(Lba lba, u64 bytes, Done done) {
     api_cpu_ns_ += cfg_.syscall_ns;
-    link_.submit(1, 0, [this, lba, bytes, done = std::move(done)]() mutable {
-      ftl_.trim(lba, bytes, [this, done = std::move(done)](Status s) mutable {
-        link_.complete(0,
-                       [s, done = std::move(done)]() mutable { done(s); });
+    const u32 qid = qid_;
+    link_.submit_on(qid, 1, 0,
+                    [this, lba, bytes, qid, done = std::move(done)]() mutable {
+      ftl_.trim(lba, bytes, [this, qid, done = std::move(done)](
+                                Status s) mutable {
+        link_.complete_on(qid, 0,
+                          [s, done = std::move(done)]() mutable { done(s); });
       });
     });
   }
@@ -74,6 +87,7 @@ class BlockDevice {
   nvme::NvmeLink& link_;
   blockftl::BlockFtl& ftl_;
   BlockApiConfig cfg_;
+  u32 qid_ = 0;
   u64 api_cpu_ns_ = 0;
 };
 

@@ -58,6 +58,12 @@ class FileSystem {
   /// Read `bytes` at `offset` within the file.
   void read(Handle h, u64 offset, u64 bytes, ReadDone done);
 
+  /// Route subsequent device commands to NVMe submission queue `qid`
+  /// (sticky passthrough to BlockDevice::set_queue). Engines that defer
+  /// I/O across events re-assert this at each issue site so foreground
+  /// reads land on the calling tenant's queue and background work on 0.
+  void set_queue(u32 qid) { dev_.set_queue(qid); }
+
   /// Read whole fs blocks [first_block, first_block + blocks) addressed by
   /// file block index. Crash recovery replays WAL chunks with this: each
   /// group-committed append rounds up to whole blocks, so byte offsets

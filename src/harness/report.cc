@@ -152,6 +152,45 @@ void run_result_json(JsonWriter& w, const RunResult& r) {
   w.end_object();
 }
 
+void mix_result_json(JsonWriter& w, const MixResult& m) {
+  w.begin_object();
+  w.key("combined");
+  run_result_json(w, m.combined);
+  w.key("tenants").begin_array();
+  for (const TenantResult& t : m.tenants) {
+    w.begin_object();
+    w.kv("name", std::string_view(t.name));
+    w.kv("weight", (u64)t.weight);
+    w.kv("queue", (u64)t.queue);
+    w.kv("nsid", (u64)t.nsid);
+    w.kv("digest", t.digest);
+    w.kv("last_completion_ns", (u64)t.last_completion_ns);
+    w.key("result");
+    run_result_json(w, t.result);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("queues").begin_array();
+  for (const QueueUsage& q : m.queues) {
+    w.begin_object();
+    w.kv("qid", (u64)q.qid);
+    w.kv("submissions", q.stats.submissions);
+    w.kv("commands", q.stats.commands);
+    w.kv("payload_bytes", q.stats.payload_bytes);
+    w.kv("completions", q.stats.completions);
+    w.kv("completion_bytes", q.stats.completion_bytes);
+    w.kv("queue_wait_ns", q.stats.queue_wait_ns);
+    w.kv("service_ns", q.stats.service_ns);
+    w.kv("sq_full_stalls", q.stats.sq_full_stalls);
+    w.kv("arbitration_stalls", q.stats.arbitration_stalls);
+    w.kv("max_occupancy", q.stats.max_occupancy);
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("arbitration_rounds", m.arbitration_rounds);
+  w.end_object();
+}
+
 void device_json(JsonWriter& w, const char* name, const ssd::FtlStats* ftl,
                  const flash::FlashController* flash,
                  const ssd::FaultInjector* faults) {
@@ -228,6 +267,10 @@ void BenchReport::add_run(const std::string& label, const RunResult& r) {
   runs_.emplace_back(label, r);
 }
 
+void BenchReport::add_mix(const std::string& label, const MixResult& m) {
+  mixes_.emplace_back(label, m);
+}
+
 void BenchReport::add_device(const KvStack& stack) {
   add_device(stack.name(), stack.ftl_stats(), stack.flash_ctrl(),
              stack.fault_injector());
@@ -273,6 +316,19 @@ std::string BenchReport::to_json() const {
     w.end_object();
   }
   w.end_array();
+  // Multi-tenant runs; the section only exists when a mix was recorded,
+  // keeping single-tenant documents byte-identical to earlier versions.
+  if (!mixes_.empty()) {
+    w.key("mix_runs").begin_array();
+    for (const auto& [label, mix] : mixes_) {
+      w.begin_object();
+      w.kv("label", std::string_view(label));
+      w.key("result");
+      mix_result_json(w, mix);
+      w.end_object();
+    }
+    w.end_array();
+  }
   w.key("devices").begin_array();
   for (const auto& d : devices_) {
     // Re-serialize from the stored snapshot via the shared helpers by

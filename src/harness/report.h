@@ -32,6 +32,11 @@ void timeslices_json(JsonWriter& w, const ssd::TelemetryCollector& c);
 /// windows, time slices, throughput summary).
 void run_result_json(JsonWriter& w, const RunResult& r);
 
+/// Serialize a MixResult: the combined RunResult plus per-tenant results
+/// (weight/queue/namespace, digest, observables) and per-queue NVMe
+/// counter deltas (queue wait vs device service, arbitration stalls).
+void mix_result_json(JsonWriter& w, const MixResult& m);
+
 /// Serialize a device snapshot: cumulative FtlStats, FlashStats, stage
 /// breakdowns, and per-die/per-channel busy time. Any pointer may be null.
 /// `faults` adds the injector's own draw counters (fault runs only).
@@ -47,6 +52,11 @@ class BenchReport {
 
   /// Record a finished run under `label`.
   void add_run(const std::string& label, const RunResult& r);
+
+  /// Record a finished multi-tenant run under `label`. Mix runs land in a
+  /// separate "mix_runs" section emitted only when at least one exists,
+  /// so single-tenant report documents stay byte-identical.
+  void add_mix(const std::string& label, const MixResult& m);
 
   /// Snapshot a stack's device telemetry (cumulative at call time).
   void add_device(const KvStack& stack);
@@ -77,6 +87,7 @@ class BenchReport {
 
   std::string name_;
   std::vector<std::pair<std::string, RunResult>> runs_;
+  std::vector<std::pair<std::string, MixResult>> mixes_;
   std::vector<DeviceSnap> devices_;
 };
 

@@ -6,40 +6,107 @@ namespace kvsim::harness {
 
 namespace {
 
-/// Shared issue-loop state for a KvStack run.
-struct Driver {
-  KvStack& stack;
+/// Per-op contribution to a tenant's result-stream digest: FNV-1a over
+/// the functional outcome, summed commutatively by the caller so
+/// timing-induced completion reordering cannot change the digest.
+u64 op_digest(wl::OpType type, u64 key_id, Status s, u64 bytes, u64 fp) {
+  u64 h = 14695981039346656037ULL;
+  auto fold = [&h](u64 x) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (8 * i)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  fold((u64)type);
+  fold(key_id);
+  fold((u64)s);
+  fold(bytes);
+  fold(fp);
+  return h;
+}
+
+/// Issue-loop state for one tenant of a mix: its own op stream, closed
+/// loop window, logical op counter (the value-fingerprint version — a
+/// per-tenant sequence number, so stored values are independent of
+/// co-runner timing), observables, and result-stream digest.
+struct TenantState {
+  wl::TenantSpec tspec;
   wl::OpStream stream;
-  wl::WorkloadSpec spec;
+  TenantCtx ctx;
   RunResult result;
+  u64 inflight = 0;
+  u64 completed = 0;
+  u64 op_seq = 0;
+  u64 digest = 0;
+  TimeNs last_completion = 0;
+  bool exhausted = false;
+
+  explicit TenantState(const wl::TenantSpec& ts)
+      : tspec(ts), stream(ts.spec), ctx{ts.nsid, ts.queue} {}
+};
+
+/// Shared issue-loop state for a KvStack mix run. With one tenant this
+/// reduces exactly to the original single-stream driver: the round-robin
+/// initial fill degenerates to a straight window fill and every
+/// completion refills the sole window.
+struct MixDriver {
+  KvStack& stack;
+  std::vector<TenantState> tenants;
+  RunResult result;  // combined across tenants
   TraceRecorder* trace;
   TimeNs t0;
   u64 cpu0;
   u64 inflight = 0;
   u64 completed = 0;
-  bool exhausted = false;
 
-  Driver(KvStack& s, const wl::WorkloadSpec& sp, TraceRecorder* tr)
-      : stack(s), stream(sp), spec(sp), trace(tr) {
+  MixDriver(KvStack& s, const wl::TenantMix& mix, TraceRecorder* tr)
+      : stack(s), trace(tr) {
+    tenants.reserve(mix.tenants.size());
+    for (const wl::TenantSpec& ts : mix.tenants) tenants.emplace_back(ts);
     t0 = stack.eq().now();
     cpu0 = stack.host_cpu_ns();
   }
 
-  void issue_more() {
+  /// One op from tenant `ti` if its window has room; false when full or
+  /// the stream ran dry.
+  bool issue_one(u32 ti) {
+    TenantState& st = tenants[ti];
+    if (st.exhausted || st.inflight >= st.tspec.spec.queue_depth)
+      return false;
     wl::Op op;
-    while (inflight < spec.queue_depth && !exhausted) {
-      if (!stream.next(op)) {
-        exhausted = true;
-        break;
-      }
-      dispatch(op);
+    if (!st.stream.next(op)) {
+      st.exhausted = true;
+      return false;
+    }
+    dispatch(ti, op);
+    return true;
+  }
+
+  /// Refill tenant `ti`'s window (per-completion path).
+  void issue_more(u32 ti) {
+    while (issue_one(ti)) {
     }
   }
 
-  void dispatch(const wl::Op& op) {
+  /// Initial fill: round-robin one op per tenant per pass, declaration
+  /// order, until every window is full or exhausted — the deterministic
+  /// interleave the mix API promises.
+  void issue_all() {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (u32 ti = 0; ti < (u32)tenants.size(); ++ti)
+        progress = issue_one(ti) || progress;
+    }
+  }
+
+  void dispatch(u32 ti, const wl::Op& op) {
+    TenantState& st = tenants[ti];
+    ++st.inflight;
     ++inflight;
+    const u64 version = ++st.op_seq;
     const TimeNs start = stack.eq().now();
-    const std::string key = wl::make_key(op.key_id, spec.key_bytes);
+    const std::string key = wl::make_key(op.key_id, st.tspec.spec.key_bytes);
     const u64 op_bytes = key.size() + op.value_bytes;
     const wl::OpType type = op.type;
     const u64 key_id = op.key_id;
@@ -47,88 +114,139 @@ struct Driver {
       case wl::OpType::kInsert:
       case wl::OpType::kUpdate: {
         const bool insert = op.type == wl::OpType::kInsert;
-        stack.store(
-            key, ValueDesc{op.value_bytes,
-                           wl::value_fingerprint(op.key_id, start)},
-            [this, start, insert, op_bytes, type, key_id](Status s) {
-              finish(s, start, insert ? result.insert : result.update,
-                     op_bytes, type, key_id);
+        stack.store_as(
+            st.ctx, key,
+            ValueDesc{op.value_bytes,
+                      wl::value_fingerprint(op.key_id, version)},
+            [this, ti, start, insert, op_bytes, type, key_id](Status s) {
+              finish(ti, s, start,
+                     insert ? &RunResult::insert : &RunResult::update,
+                     op_bytes, type, key_id, /*fp=*/0);
             });
         break;
       }
       case wl::OpType::kRead:
       case wl::OpType::kExist:
-        stack.retrieve(key, [this, start, type, key_id](Status s,
-                                                        ValueDesc v) {
-          finish(s, start, result.read, v.size, type, key_id);
-        });
+        stack.retrieve_as(
+            st.ctx, key,
+            [this, ti, start, type, key_id](Status s, ValueDesc v) {
+              finish(ti, s, start, &RunResult::read, v.size, type, key_id,
+                     v.fingerprint);
+            });
         break;
       case wl::OpType::kScan:
-        scan_step(op.key_id, std::max<u32>(1, op.scan_length), start, 0);
+        scan_step(ti, op.key_id, std::max<u32>(1, op.scan_length), start, 0);
         break;
       case wl::OpType::kDelete:
-        stack.remove(key, [this, start, type, key_id](Status s) {
-          finish(s, start, result.del, 0, type, key_id);
-        });
+        stack.remove_as(st.ctx, key,
+                        [this, ti, start, type, key_id](Status s) {
+                          finish(ti, s, start, &RunResult::del, 0, type,
+                                 key_id, /*fp=*/0);
+                        });
         break;
     }
   }
 
   /// A scan is `remaining` consecutive point retrieves; one latency sample
   /// covers the whole range (YCSB-E semantics over a KV iterator).
-  void scan_step(u64 key_id, u32 remaining, TimeNs start, u64 bytes) {
+  void scan_step(u32 ti, u64 key_id, u32 remaining, TimeNs start,
+                 u64 bytes) {
+    TenantState& st = tenants[ti];
     const std::string key =
-        wl::make_key(key_id % std::max<u64>(1, spec.key_space),
-                     spec.key_bytes);
-    stack.retrieve(key, [this, key_id, remaining, start,
-                         bytes](Status s, ValueDesc v) {
-      const u64 total = bytes + v.size;
-      if (remaining <= 1 || (s != Status::kOk && s != Status::kNotFound)) {
-        finish(s == Status::kNotFound ? Status::kOk : s, start, result.scan,
-               total, wl::OpType::kScan, key_id);
-        return;
-      }
-      scan_step(key_id + 1, remaining - 1, start, total);
-    });
+        wl::make_key(key_id % std::max<u64>(1, st.tspec.spec.key_space),
+                     st.tspec.spec.key_bytes);
+    stack.retrieve_as(
+        st.ctx, key,
+        [this, ti, key_id, remaining, start, bytes](Status s, ValueDesc v) {
+          const u64 total = bytes + v.size;
+          if (remaining <= 1 ||
+              (s != Status::kOk && s != Status::kNotFound)) {
+            finish(ti, s == Status::kNotFound ? Status::kOk : s, start,
+                   &RunResult::scan, total, wl::OpType::kScan, key_id,
+                   /*fp=*/0);
+            return;
+          }
+          scan_step(ti, key_id + 1, remaining - 1, start, total);
+        });
   }
 
-  void finish(Status s, TimeNs start, LatencyHistogram& hist, u64 bytes,
-              wl::OpType type, u64 key_id) {
+  void finish(u32 ti, Status s, TimeNs start, LatencyHistogram RunResult::*h,
+              u64 bytes, wl::OpType type, u64 key_id, u64 fp) {
+    TenantState& st = tenants[ti];
     const TimeNs now = stack.eq().now();
-    hist.record(now - start);
+    (result.*h).record(now - start);
     result.all.record(now - start);
     result.bw.add(now - t0, bytes);
     result.telemetry.poll(now);
+    (st.result.*h).record(now - start);
+    st.result.all.record(now - start);
+    st.result.bw.add(now - t0, bytes);
+    st.digest += op_digest(type, key_id, s, bytes, fp);
+    st.last_completion = now - t0;
     if (trace)
       trace->add(TraceRecord{start - t0, now - start, type, key_id,
                              (u32)bytes, s});
     if (s == Status::kNotFound) {
       ++result.not_found;
+      ++st.result.not_found;
     } else if (s != Status::kOk) {
       result.errors.count(s);
+      st.result.errors.count(s);
     }
+    --st.inflight;
     --inflight;
     ++completed;
-    issue_more();
+    ++st.completed;
+    issue_more(ti);
   }
 
-  bool done() const { return exhausted && inflight == 0; }
+  bool done() const {
+    if (inflight != 0) return false;
+    for (const TenantState& st : tenants)
+      if (!st.exhausted) return false;
+    return true;
+  }
 };
+
+/// Counter delta b - a; max_occupancy keeps the end-of-run high water.
+nvme::NvmeQueueStats queue_stats_delta(const nvme::NvmeQueueStats& a,
+                                       const nvme::NvmeQueueStats& b) {
+  nvme::NvmeQueueStats d;
+  d.submissions = b.submissions - a.submissions;
+  d.commands = b.commands - a.commands;
+  d.payload_bytes = b.payload_bytes - a.payload_bytes;
+  d.completions = b.completions - a.completions;
+  d.completion_bytes = b.completion_bytes - a.completion_bytes;
+  d.queue_wait_ns = b.queue_wait_ns - a.queue_wait_ns;
+  d.service_ns = b.service_ns - a.service_ns;
+  d.sq_full_stalls = b.sq_full_stalls - a.sq_full_stalls;
+  d.arbitration_stalls = b.arbitration_stalls - a.arbitration_stalls;
+  d.max_occupancy = b.max_occupancy;
+  return d;
+}
 
 }  // namespace
 
-RunResult run_workload(KvStack& stack, const wl::WorkloadSpec& spec,
-                       const RunOptions& opts) {
+MixResult run_mix(KvStack& stack, const wl::TenantMix& mix,
+                  const RunOptions& opts) {
   if (opts.faults.enabled) stack.apply_fault_plan(opts.faults);
   const u64 retries0 = stack.host_retries();
-  Driver drv(stack, spec, opts.trace);
+  const nvme::NvmeLink* link = stack.nvme_link();
+  std::vector<nvme::NvmeQueueStats> qstats0;
+  u64 rounds0 = 0;
+  if (link) {
+    for (u32 q = 0; q < link->num_queues(); ++q)
+      qstats0.push_back(link->queue_stats(q));
+    rounds0 = link->arbitration_rounds();
+  }
+  MixDriver drv(stack, mix, opts.trace);
   if (opts.telemetry) {
     drv.result.telemetry = ssd::TelemetryCollector(opts.telemetry_interval);
     drv.result.telemetry.attach(
         stack.eq().now(), stack.ftl_stats(), stack.flash_ctrl(),
         [&stack] { return stack.buffer_stall_events(); }, &stack.eq());
   }
-  drv.issue_more();
+  drv.issue_all();
   sim::EventQueue& eq = stack.eq();
   const bool want_crash =
       opts.crash_after_events > 0 && stack.crash_supported();
@@ -142,8 +260,9 @@ RunResult run_workload(KvStack& stack, const wl::WorkloadSpec& spec,
       drv.result.recovery = stack.simulate_crash();
       drv.result.crashed = true;
       drv.inflight = 0;
+      for (TenantState& st : drv.tenants) st.inflight = 0;
       if (!opts.resume_after_crash) break;
-      drv.issue_more();
+      drv.issue_all();
     }
   }
   drv.result.elapsed = eq.now() - drv.t0;
@@ -159,7 +278,37 @@ RunResult run_workload(KvStack& stack, const wl::WorkloadSpec& spec,
   drv.result.telemetry.finalize(eq.now());
   drv.result.host_cpu_ns = stack.host_cpu_ns() - drv.cpu0;
   drv.result.host_retries = stack.host_retries() - retries0;
-  return drv.result;
+
+  MixResult out;
+  for (u32 ti = 0; ti < (u32)drv.tenants.size(); ++ti) {
+    TenantState& st = drv.tenants[ti];
+    st.result.elapsed = drv.result.elapsed;
+    st.result.ops = st.completed;
+    st.result.crashed = drv.result.crashed;
+    TenantResult tr;
+    tr.name = st.tspec.name.empty() ? "t" + std::to_string(ti)
+                                    : st.tspec.name;
+    tr.weight = st.tspec.weight;
+    tr.queue = st.tspec.queue;
+    tr.nsid = st.tspec.nsid;
+    tr.digest = st.digest;
+    tr.last_completion_ns = st.last_completion;
+    tr.result = std::move(st.result);
+    out.tenants.push_back(std::move(tr));
+  }
+  if (link) {
+    for (u32 q = 0; q < link->num_queues(); ++q)
+      out.queues.push_back(
+          QueueUsage{q, queue_stats_delta(qstats0[q], link->queue_stats(q))});
+    out.arbitration_rounds = link->arbitration_rounds() - rounds0;
+  }
+  out.combined = std::move(drv.result);
+  return out;
+}
+
+RunResult run_workload(KvStack& stack, const wl::WorkloadSpec& spec,
+                       const RunOptions& opts) {
+  return run_mix(stack, wl::TenantMix::single(spec), opts).combined;
 }
 
 RunResult fill_stack(KvStack& stack, u64 keys, u32 key_bytes, u32 value_bytes,

@@ -6,11 +6,14 @@
 
 #include <string>
 
+#include <vector>
+
 #include "blockapi/block_device.h"
 #include "common/histogram.h"
 #include "common/timeseries.h"
 #include "harness/stack_iface.h"
 #include "harness/trace.h"
+#include "nvme/nvme_link.h"
 #include "ssd/telemetry.h"
 #include "workload/workload.h"
 
@@ -101,12 +104,58 @@ struct RunResult {
   }
 };
 
+/// One tenant's observables from a run_mix invocation.
+struct TenantResult {
+  std::string name;
+  u32 weight = 1;
+  u32 queue = 0;
+  u8 nsid = 0;
+  /// Order-independent digest of the tenant's result stream: a
+  /// commutative fold over (op type, key id, status, bytes, returned
+  /// fingerprint) of every completion. Two runs in which the tenant saw
+  /// the same functional results — same values, same statuses, possibly
+  /// reordered by timing — produce the same digest, which is what the
+  /// namespace-isolation tests compare across co-runner configurations.
+  u64 digest = 0;
+  /// Simulation time of this tenant's last completion, relative to run
+  /// start (the fairness benches compare finish times across tenants
+  /// whose op counts are proportional to their weights).
+  TimeNs last_completion_ns = 0;
+  RunResult result;
+};
+
+/// Per-queue NVMe counter deltas over one run_mix invocation
+/// (max_occupancy is the high-water mark at run end, not a delta).
+struct QueueUsage {
+  u32 qid = 0;
+  nvme::NvmeQueueStats stats;
+};
+
+/// What run_mix returns: the combined view every single-tenant caller
+/// already consumed, plus the per-tenant and per-queue splits.
+struct MixResult {
+  RunResult combined;
+  std::vector<TenantResult> tenants;
+  std::vector<QueueUsage> queues;  ///< empty when the stack has no NVMe link
+  u64 arbitration_rounds = 0;      ///< WRR credit replenishes during the run
+};
+
 /// Run `spec` against `stack`. Inserts/updates call store(), reads call
 /// retrieve(), deletes call remove(). The run finishes when every op has
 /// completed; see RunOptions for draining, tracing, telemetry, and fault
-/// injection.
+/// injection. Equivalent to run_mix(stack, TenantMix::single(spec),
+/// opts).combined — same issue order, byte-identical observables.
 RunResult run_workload(KvStack& stack, const wl::WorkloadSpec& spec,
                        const RunOptions& opts = {});
+
+/// Run a weighted tenant mix against `stack`. Each tenant runs a closed
+/// loop at its own spec.queue_depth on its own namespace/queue
+/// (KvStack::store_as et al.); initial issuance round-robins one op per
+/// tenant in declaration order, and every completion refills only its
+/// own tenant's window, so the interleaving is deterministic. Tenants
+/// with empty names are labeled "t<index>".
+MixResult run_mix(KvStack& stack, const wl::TenantMix& mix,
+                  const RunOptions& opts = {});
 
 /// Convenience: populate `keys` distinct keys (sequential ids) with fixed
 /// value size, then drain.

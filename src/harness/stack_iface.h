@@ -22,6 +22,10 @@ namespace kvsim::flash {
 class FlashController;
 }
 
+namespace kvsim::nvme {
+class NvmeLink;
+}
+
 namespace kvsim::harness {
 
 /// Host-side retry/backoff policy for transient device errors
@@ -89,6 +93,28 @@ struct CrashOutcome {
   }
 };
 
+/// Per-op tenant context: which isolated keyspace the op addresses and
+/// which NVMe submission queue carries it. The default-constructed ctx
+/// (namespace 0, queue 0) is the exact pre-tenancy path on every bed.
+struct TenantCtx {
+  u8 nsid = 0;    ///< namespace / keyspace (0 = default, no isolation tag)
+  u32 queue = 0;  ///< NVMe submission queue
+};
+
+/// Keyspace isolation for beds without device-level namespaces (LSM,
+/// HashKV): a 2-byte namespace tag prepended to the key. Workload keys
+/// start with 'k', tags with 'A'-'P', so tagged keyspaces are disjoint
+/// from each other and from the untagged default namespace.
+inline std::string tenant_key(u8 nsid, std::string_view key) {
+  if (nsid == 0) return std::string(key);
+  std::string k;
+  k.reserve(key.size() + 2);
+  k.push_back((char)('A' + (nsid >> 4)));
+  k.push_back((char)('A' + (nsid & 0xf)));
+  k.append(key);
+  return k;
+}
+
 class KvStack {
  public:
   KVSIM_THREAD_CONFINED;
@@ -101,6 +127,26 @@ class KvStack {
   virtual void store(std::string_view key, ValueDesc v, StoreDone done) = 0;
   virtual void retrieve(std::string_view key, RetrieveDone done) = 0;
   virtual void remove(std::string_view key, RemoveDone done) = 0;
+
+  // --- Tenant-aware entry points ---------------------------------------
+  /// Issue the op on behalf of tenant `t`: the op addresses namespace
+  /// t.nsid's keyspace and rides submission queue t.queue. Beds that
+  /// model neither fall back to the plain path (ctx ignored); the
+  /// default ctx always takes the exact legacy path.
+  virtual void store_as(const TenantCtx& /*t*/, std::string_view key,
+                        ValueDesc v, StoreDone done) {
+    store(key, v, std::move(done));
+  }
+  virtual void retrieve_as(const TenantCtx& /*t*/, std::string_view key,
+                           RetrieveDone done) {
+    retrieve(key, std::move(done));
+  }
+  virtual void remove_as(const TenantCtx& /*t*/, std::string_view key,
+                         RemoveDone done) {
+    remove(key, std::move(done));
+  }
+  /// The bed's NVMe link (per-queue stats for MixResult), when simulated.
+  virtual const nvme::NvmeLink* nvme_link() const { return nullptr; }
   /// Flush buffers and wait for background work (flushes, compactions,
   /// defrag, GC-visible programs) to quiesce.
   virtual void drain(sim::Task done) = 0;

@@ -49,45 +49,64 @@ class KvssdBed final : public KvStack {
   explicit KvssdBed(const KvssdBedConfig& cfg = {});
 
   void store(std::string_view key, ValueDesc v, StoreDone done) override {
-    auto tracked = inflight_.track(std::move(done));
-    if (!faults_on_) {
-      dev_->store(key, v, std::move(tracked));
-      return;
-    }
-    detail::run_with_retry(
-        eq_, retry_, host_retries_,
-        [this, key = std::string(key), v](u32 attempt, auto cb) {
-          // Re-drives carry the attempt number as the stream hint so the
-          // FTL may steer the retry to a different write point.
-          dev_->store(key, v, std::move(cb), /*stream=*/(u8)attempt);
-        },
-        std::move(tracked));
+    store_as(TenantCtx{}, key, v, std::move(done));
   }
   void retrieve(std::string_view key, RetrieveDone done) override {
+    retrieve_as(TenantCtx{}, key, std::move(done));
+  }
+  void remove(std::string_view key, RemoveDone done) override {
+    remove_as(TenantCtx{}, key, std::move(done));
+  }
+  // KV-SSD tenancy is native: the device command carries the namespace
+  // (isolated keyspace in the KV-FTL) and posts to the tenant's SQ. The
+  // default ctx is the exact pre-tenancy path.
+  void store_as(const TenantCtx& t, std::string_view key, ValueDesc v,
+                StoreDone done) override {
     auto tracked = inflight_.track(std::move(done));
     if (!faults_on_) {
-      dev_->retrieve(key, std::move(tracked));
+      dev_->store(key, v, std::move(tracked), /*stream=*/0, t.nsid, t.queue);
       return;
     }
     detail::run_with_retry(
         eq_, retry_, host_retries_,
-        [this, key = std::string(key)](u32, auto cb) {
-          dev_->retrieve(key, std::move(cb));
+        [this, key = std::string(key), v, t](u32 attempt, auto cb) {
+          // Re-drives carry the attempt number as the stream hint so the
+          // FTL may steer the retry to a different write point.
+          dev_->store(key, v, std::move(cb), /*stream=*/(u8)attempt, t.nsid,
+                      t.queue);
         },
         std::move(tracked));
   }
-  void remove(std::string_view key, RemoveDone done) override {
+  void retrieve_as(const TenantCtx& t, std::string_view key,
+                   RetrieveDone done) override {
     auto tracked = inflight_.track(std::move(done));
     if (!faults_on_) {
-      dev_->remove(key, std::move(tracked));
+      dev_->retrieve(key, std::move(tracked), t.nsid, t.queue);
       return;
     }
     detail::run_with_retry(
         eq_, retry_, host_retries_,
-        [this, key = std::string(key)](u32, auto cb) {
-          dev_->remove(key, std::move(cb));
+        [this, key = std::string(key), t](u32, auto cb) {
+          dev_->retrieve(key, std::move(cb), t.nsid, t.queue);
         },
         std::move(tracked));
+  }
+  void remove_as(const TenantCtx& t, std::string_view key,
+                 RemoveDone done) override {
+    auto tracked = inflight_.track(std::move(done));
+    if (!faults_on_) {
+      dev_->remove(key, std::move(tracked), t.nsid, t.queue);
+      return;
+    }
+    detail::run_with_retry(
+        eq_, retry_, host_retries_,
+        [this, key = std::string(key), t](u32, auto cb) {
+          dev_->remove(key, std::move(cb), t.nsid, t.queue);
+        },
+        std::move(tracked));
+  }
+  [[nodiscard]] const nvme::NvmeLink* nvme_link() const override {
+    return link_.get();
   }
   void drain(sim::Task done) override {
     // An op parked in a retry-backoff window is invisible to the device
@@ -190,43 +209,64 @@ class LsmBed final : public KvStack {
   explicit LsmBed(const LsmBedConfig& cfg = {});
 
   void store(std::string_view key, ValueDesc v, StoreDone done) override {
-    auto tracked = inflight_.track(std::move(done));
-    if (!faults_on_) {
-      store_->put(key, v, std::move(tracked));
-      return;
-    }
-    detail::run_with_retry(
-        eq_, retry_, host_retries_,
-        [this, key = std::string(key), v](u32, auto cb) {
-          store_->put(key, v, std::move(cb));
-        },
-        std::move(tracked));
+    store_as(TenantCtx{}, key, v, std::move(done));
   }
   void retrieve(std::string_view key, RetrieveDone done) override {
+    retrieve_as(TenantCtx{}, key, std::move(done));
+  }
+  void remove(std::string_view key, RemoveDone done) override {
+    remove_as(TenantCtx{}, key, std::move(done));
+  }
+  // No device namespaces on the block path: keyspace isolation is a
+  // host-side key prefix (tenant_key), and the tenant's queue is a sticky
+  // hint on the block device — I/O the store issues while serving this op
+  // (including flushes/compaction it triggers) rides the tenant's SQ.
+  void store_as(const TenantCtx& t, std::string_view key, ValueDesc v,
+                StoreDone done) override {
     auto tracked = inflight_.track(std::move(done));
+    dev_->set_queue(t.queue);
+    const std::string tk = tenant_key(t.nsid, key);
     if (!faults_on_) {
-      store_->get(key, std::move(tracked));
+      store_->put(tk, v, std::move(tracked));
       return;
     }
     detail::run_with_retry(
         eq_, retry_, host_retries_,
-        [this, key = std::string(key)](u32, auto cb) {
-          store_->get(key, std::move(cb));
+        [this, tk, v](u32, auto cb) { store_->put(tk, v, std::move(cb)); },
+        std::move(tracked));
+  }
+  void retrieve_as(const TenantCtx& t, std::string_view key,
+                   RetrieveDone done) override {
+    auto tracked = inflight_.track(std::move(done));
+    dev_->set_queue(t.queue);
+    const std::string tk = tenant_key(t.nsid, key);
+    if (!faults_on_) {
+      store_->get(tk, std::move(tracked), t.queue);
+      return;
+    }
+    detail::run_with_retry(
+        eq_, retry_, host_retries_,
+        [this, tk, q = t.queue](u32, auto cb) {
+          store_->get(tk, std::move(cb), q);
         },
         std::move(tracked));
   }
-  void remove(std::string_view key, RemoveDone done) override {
+  void remove_as(const TenantCtx& t, std::string_view key,
+                 RemoveDone done) override {
     auto tracked = inflight_.track(std::move(done));
+    dev_->set_queue(t.queue);
+    const std::string tk = tenant_key(t.nsid, key);
     if (!faults_on_) {
-      store_->del(key, std::move(tracked));
+      store_->del(tk, std::move(tracked));
       return;
     }
     detail::run_with_retry(
         eq_, retry_, host_retries_,
-        [this, key = std::string(key)](u32, auto cb) {
-          store_->del(key, std::move(cb));
-        },
+        [this, tk](u32, auto cb) { store_->del(tk, std::move(cb)); },
         std::move(tracked));
+  }
+  [[nodiscard]] const nvme::NvmeLink* nvme_link() const override {
+    return link_.get();
   }
   void drain(sim::Task done) override;
   [[nodiscard]] u64 host_cpu_ns() const override {
@@ -304,43 +344,60 @@ class HashKvBed final : public KvStack {
   explicit HashKvBed(const HashKvBedConfig& cfg = {});
 
   void store(std::string_view key, ValueDesc v, StoreDone done) override {
-    auto tracked = inflight_.track(std::move(done));
-    if (!faults_on_) {
-      store_->put(key, v, std::move(tracked));
-      return;
-    }
-    detail::run_with_retry(
-        eq_, retry_, host_retries_,
-        [this, key = std::string(key), v](u32, auto cb) {
-          store_->put(key, v, std::move(cb));
-        },
-        std::move(tracked));
+    store_as(TenantCtx{}, key, v, std::move(done));
   }
   void retrieve(std::string_view key, RetrieveDone done) override {
-    auto tracked = inflight_.track(std::move(done));
-    if (!faults_on_) {
-      store_->get(key, std::move(tracked));
-      return;
-    }
-    detail::run_with_retry(
-        eq_, retry_, host_retries_,
-        [this, key = std::string(key)](u32, auto cb) {
-          store_->get(key, std::move(cb));
-        },
-        std::move(tracked));
+    retrieve_as(TenantCtx{}, key, std::move(done));
   }
   void remove(std::string_view key, RemoveDone done) override {
+    remove_as(TenantCtx{}, key, std::move(done));
+  }
+  // Same host-side tenancy as LsmBed: key-prefix keyspaces plus a sticky
+  // queue hint on the direct-I/O block device.
+  void store_as(const TenantCtx& t, std::string_view key, ValueDesc v,
+                StoreDone done) override {
     auto tracked = inflight_.track(std::move(done));
+    dev_->set_queue(t.queue);
+    const std::string tk = tenant_key(t.nsid, key);
     if (!faults_on_) {
-      store_->del(key, std::move(tracked));
+      store_->put(tk, v, std::move(tracked));
       return;
     }
     detail::run_with_retry(
         eq_, retry_, host_retries_,
-        [this, key = std::string(key)](u32, auto cb) {
-          store_->del(key, std::move(cb));
-        },
+        [this, tk, v](u32, auto cb) { store_->put(tk, v, std::move(cb)); },
         std::move(tracked));
+  }
+  void retrieve_as(const TenantCtx& t, std::string_view key,
+                   RetrieveDone done) override {
+    auto tracked = inflight_.track(std::move(done));
+    dev_->set_queue(t.queue);
+    const std::string tk = tenant_key(t.nsid, key);
+    if (!faults_on_) {
+      store_->get(tk, std::move(tracked));
+      return;
+    }
+    detail::run_with_retry(
+        eq_, retry_, host_retries_,
+        [this, tk](u32, auto cb) { store_->get(tk, std::move(cb)); },
+        std::move(tracked));
+  }
+  void remove_as(const TenantCtx& t, std::string_view key,
+                 RemoveDone done) override {
+    auto tracked = inflight_.track(std::move(done));
+    dev_->set_queue(t.queue);
+    const std::string tk = tenant_key(t.nsid, key);
+    if (!faults_on_) {
+      store_->del(tk, std::move(tracked));
+      return;
+    }
+    detail::run_with_retry(
+        eq_, retry_, host_retries_,
+        [this, tk](u32, auto cb) { store_->del(tk, std::move(cb)); },
+        std::move(tracked));
+  }
+  [[nodiscard]] const nvme::NvmeLink* nvme_link() const override {
+    return link_.get();
   }
   void drain(sim::Task done) override {
     // Same drain-vs-retry gate as the other beds: a backoff timer can

@@ -31,7 +31,19 @@ void SweepRunner::worker(Shared& sh) {
     try {
       // The callable constructs, drives, and destroys its private
       // simulator; only the plain-data result crosses back.
-      (*sh.results)[index] = SweepCellResult{cell.label, cell.run()};
+      if (cell.run_mix) {
+        MixResult m = cell.run_mix();
+        SweepCellResult r;
+        r.label = cell.label;
+        r.result = std::move(m.combined);
+        r.is_mix = true;
+        r.tenants = std::move(m.tenants);
+        r.queues = std::move(m.queues);
+        r.arbitration_rounds = m.arbitration_rounds;
+        (*sh.results)[index] = std::move(r);
+      } else {
+        (*sh.results)[index] = SweepCellResult{cell.label, cell.run()};
+      }
     } catch (...) {
       MutexLock lk(sh.mu);
       // Keep the lowest-indexed failure so the rethrown exception does
@@ -76,7 +88,18 @@ std::vector<SweepCellResult> SweepRunner::run(std::vector<SweepCell> cells) {
 
 void add_sweep_results(BenchReport& report,
                        const std::vector<SweepCellResult>& results) {
-  for (const auto& r : results) report.add_run(r.label, r.result);
+  for (const auto& r : results) {
+    if (r.is_mix) {
+      MixResult m;
+      m.combined = r.result;
+      m.tenants = r.tenants;
+      m.queues = r.queues;
+      m.arbitration_rounds = r.arbitration_rounds;
+      report.add_mix(r.label, m);
+    } else {
+      report.add_run(r.label, r.result);
+    }
+  }
 }
 
 }  // namespace kvsim::harness

@@ -32,28 +32,42 @@
 
 namespace kvsim::harness {
 
-/// One independent unit of a sweep. `run` executes on a pool thread: it
-/// must own all simulator state privately (construct the bed inside the
-/// callable) and return the cell's observables by value.
+/// One independent unit of a sweep. Exactly one of `run` / `run_mix`
+/// executes on a pool thread: it must own all simulator state privately
+/// (construct the bed inside the callable) and return the cell's
+/// observables by value. `run_mix` cells return a full MixResult
+/// (per-tenant and per-queue splits) and merge via BenchReport::add_mix.
 struct SweepCell {
   std::string label;
   std::function<RunResult()> run;
+  std::function<MixResult()> run_mix;
 };
 
 /// Build a cell. Prefer this helper over aggregate-initializing SweepCell
 /// directly: the construction site is a thread boundary, and the
-/// confinement checker keys on `sweep_cell(` / `SweepCell{` to verify the
-/// callable's captures (no reference captures of confined types, no
-/// default capture lists).
+/// confinement checker keys on `sweep_cell(` / `sweep_mix_cell(` /
+/// `SweepCell{` to verify the callable's captures (no reference captures
+/// of confined types, no default capture lists).
 inline SweepCell sweep_cell(std::string label,
                             std::function<RunResult()> run) {
-  return SweepCell{std::move(label), std::move(run)};
+  return SweepCell{std::move(label), std::move(run), nullptr};
 }
 
-/// A finished cell, back on the caller's thread.
+/// Build a multi-tenant cell (same thread-boundary rules as sweep_cell).
+inline SweepCell sweep_mix_cell(std::string label,
+                                std::function<MixResult()> run_mix) {
+  return SweepCell{std::move(label), nullptr, std::move(run_mix)};
+}
+
+/// A finished cell, back on the caller's thread. Mix cells carry the
+/// combined view in `result` plus the splits; is_mix routes the merge.
 struct SweepCellResult {
   std::string label;
   RunResult result;
+  bool is_mix = false;
+  std::vector<TenantResult> tenants;
+  std::vector<QueueUsage> queues;
+  u64 arbitration_rounds = 0;
 };
 
 /// Runs sweeps of independent cells on a pool of std::threads.

@@ -6,53 +6,55 @@
 namespace kvsim::kvapi {
 
 void KvsDevice::store(std::string_view key, ValueDesc value, StoreDone done,
-                      u8 stream, u8 nsid) {
+                      u8 stream, u8 nsid, u32 qid) {
   api_cpu_ns_ += cfg_.api_call_ns;
   const std::string k(key);
-  link_.submit(key_cmds(key), key.size() + value.size,
-               [this, k, value, stream, nsid,
-                done = std::move(done)]() mutable {
-                 ftl_.store(
-                     k, value,
-                     [this, done = std::move(done)](Status s) mutable {
-                       link_.complete(0,
-                                      [s, done = std::move(done)]() mutable { done(s); });
-                     },
-                     stream, nsid);
-               });
+  link_.submit_on(qid, key_cmds(key), key.size() + value.size,
+                  [this, k, value, stream, nsid, qid,
+                   done = std::move(done)]() mutable {
+                    ftl_.store(
+                        k, value,
+                        [this, qid, done = std::move(done)](Status s) mutable {
+                          link_.complete_on(qid, 0,
+                                            [s, done = std::move(done)]() mutable { done(s); });
+                        },
+                        stream, nsid);
+                  });
 }
 
-void KvsDevice::retrieve(std::string_view key, RetrieveDone done, u8 nsid) {
+void KvsDevice::retrieve(std::string_view key, RetrieveDone done, u8 nsid,
+                         u32 qid) {
   api_cpu_ns_ += cfg_.api_call_ns;
   const std::string k(key);
-  link_.submit(key_cmds(key), key.size(),
-               [this, k, nsid, done = std::move(done)]() mutable {
-                 ftl_.retrieve(
-                     k,
-                     [this, done = std::move(done)](Status s,
-                                                    ValueDesc v) mutable {
-                       link_.complete(v.size,
-                                      [s, v, done = std::move(done)]() mutable {
-                                        done(s, v);
-                                      });
-                     },
-                     nsid);
-               });
+  link_.submit_on(qid, key_cmds(key), key.size(),
+                  [this, k, nsid, qid, done = std::move(done)]() mutable {
+                    ftl_.retrieve(
+                        k,
+                        [this, qid, done = std::move(done)](Status s,
+                                                            ValueDesc v) mutable {
+                          link_.complete_on(qid, v.size,
+                                            [s, v, done = std::move(done)]() mutable {
+                                              done(s, v);
+                                            });
+                        },
+                        nsid);
+                  });
 }
 
-void KvsDevice::remove(std::string_view key, StoreDone done, u8 nsid) {
+void KvsDevice::remove(std::string_view key, StoreDone done, u8 nsid,
+                       u32 qid) {
   api_cpu_ns_ += cfg_.api_call_ns;
   const std::string k(key);
-  link_.submit(key_cmds(key), key.size(),
-               [this, k, nsid, done = std::move(done)]() mutable {
-                 ftl_.remove(
-                     k,
-                     [this, done = std::move(done)](Status s) mutable {
-                       link_.complete(0,
-                                      [s, done = std::move(done)]() mutable { done(s); });
-                     },
-                     nsid);
-               });
+  link_.submit_on(qid, key_cmds(key), key.size(),
+                  [this, k, nsid, qid, done = std::move(done)]() mutable {
+                    ftl_.remove(
+                        k,
+                        [this, qid, done = std::move(done)](Status s) mutable {
+                          link_.complete_on(qid, 0,
+                                            [s, done = std::move(done)]() mutable { done(s); });
+                        },
+                        nsid);
+                  });
 }
 
 void KvsDevice::exist(std::string_view key, ExistDone done, u8 nsid) {

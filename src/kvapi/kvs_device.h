@@ -36,13 +36,16 @@ class KvsDevice {
   /// kvs_store_tuple: insert or overwrite. `stream` is an optional
   /// placement/hotness hint (extension; see KvFtlConfig::write_streams);
   /// `nsid` selects the key space (SNIA container semantics: key spaces
-  /// are fully isolated).
+  /// are fully isolated); `qid` selects the NVMe submission queue the
+  /// command posts to (multi-queue tenancy; see nvme/nvme_link.h).
   void store(std::string_view key, ValueDesc value, StoreDone done,
-             u8 stream = 0, u8 nsid = 0);
+             u8 stream = 0, u8 nsid = 0, u32 qid = 0);
   /// kvs_retrieve_tuple: point lookup.
-  void retrieve(std::string_view key, RetrieveDone done, u8 nsid = 0);
+  void retrieve(std::string_view key, RetrieveDone done, u8 nsid = 0,
+                u32 qid = 0);
   /// kvs_delete_tuple.
-  void remove(std::string_view key, StoreDone done, u8 nsid = 0);
+  void remove(std::string_view key, StoreDone done, u8 nsid = 0,
+              u32 qid = 0);
   /// kvs_exist_tuples (single key).
   void exist(std::string_view key, ExistDone done, u8 nsid = 0);
   /// KVPs stored in one key space.

@@ -204,6 +204,7 @@ void LsmStore::write_ssts_then(std::vector<std::shared_ptr<Sst>> ssts,
     }
     const u64 chunk =
         std::min<u64>(sst.file_bytes - st->written, cfg_.io_chunk_bytes);
+    fs_.set_queue(0);  // background writes stay off the tenant queues
     fs_.append(sst.file, chunk,
                sst.id * 1000 + st->written / cfg_.io_chunk_bytes,
                [st, step, chunk](Status) {
@@ -429,6 +430,7 @@ void LsmStore::run_compaction_victim(u32 level,
     }
     const u64 chunk =
         std::min<u64>(sst.file_bytes - rs->offset, cfg_.io_chunk_bytes);
+    fs_.set_queue(0);  // background reads stay off the tenant queues
     fs_.read(sst.file, rs->offset, chunk, [rs, step, chunk](Status, u64) {
       rs->offset += chunk;
       (*step)();
@@ -484,7 +486,7 @@ void LsmStore::install_compaction(
 // Read path
 // ---------------------------------------------------------------------------
 
-void LsmStore::get(std::string_view key, GetDone done) {
+void LsmStore::get(std::string_view key, GetDone done, u32 queue) {
   const TimeNs cost = cfg_.api_ns + cfg_.memtable_get_ns;
   cpu_ns_ += cost;
   const TimeNs t_cpu = fg_cpu_.reserve(eq_.now(), cost);
@@ -519,15 +521,15 @@ void LsmStore::get(std::string_view key, GetDone done) {
   const u64 khash = hash64(key);
   eq_.schedule_at(t_cpu, [this, k = std::string(key), khash,
                           candidates = std::move(candidates),
-                          done = std::move(done)]() mutable {
+                          done = std::move(done), queue]() mutable {
     get_from_ssts(std::move(k), khash, std::move(candidates), 0,
-                  std::move(done));
+                  std::move(done), queue);
   });
 }
 
 void LsmStore::get_from_ssts(std::string key, u64 khash,
                              std::vector<std::shared_ptr<Sst>> candidates,
-                             size_t idx, GetDone done) {
+                             size_t idx, GetDone done, u32 queue) {
   if (idx >= candidates.size()) {
     done(Status::kNotFound, ValueDesc{});
     return;
@@ -538,10 +540,10 @@ void LsmStore::get_from_ssts(std::string key, u64 khash,
     eq_.schedule_after(cfg_.bloom_check_ns,
                        [this, key = std::move(key), khash,
                         candidates = std::move(candidates), idx,
-                        done = std::move(done)]() mutable {
+                        done = std::move(done), queue]() mutable {
                          get_from_ssts(std::move(key), khash,
                                        std::move(candidates), idx + 1,
-                                       std::move(done));
+                                       std::move(done), queue);
                        });
     return;
   }
@@ -550,10 +552,10 @@ void LsmStore::get_from_ssts(std::string key, u64 khash,
     eq_.schedule_after(cfg_.block_parse_ns,
                        [this, key = std::move(key), khash,
                         candidates = std::move(candidates), idx,
-                        done = std::move(done)]() mutable {
+                        done = std::move(done), queue]() mutable {
                          get_from_ssts(std::move(key), khash,
                                        std::move(candidates), idx + 1,
-                                       std::move(done));
+                                       std::move(done), queue);
                        });
     return;
   }
@@ -572,6 +574,7 @@ void LsmStore::get_from_ssts(std::string key, u64 khash,
   const u64 nblocks =
       (e.value.size + cfg_.data_block_bytes - 1) / cfg_.data_block_bytes;
   const u64 read_bytes = std::max<u64>(1, nblocks) * cfg_.data_block_bytes;
+  fs_.set_queue(queue);  // this read runs events after the tenant's issue
   fs_.read(sst->file, block_no * cfg_.data_block_bytes, read_bytes,
            [this, block_key, s, v, done = std::move(done)](Status rs,
                                                            u64) mutable {

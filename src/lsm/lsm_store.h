@@ -71,7 +71,10 @@ class LsmStore {
 
   void put(std::string_view key, ValueDesc value, PutDone done);
   void del(std::string_view key, PutDone done);
-  void get(std::string_view key, GetDone done);
+  /// `queue` tags the data-block read with an NVMe submission queue (the
+  /// lookup defers across events, so the device's sticky hint from issue
+  /// time would otherwise be overwritten by interleaved tenants).
+  void get(std::string_view key, GetDone done, u32 queue = 0);
 
   /// Flush the memtable and wait for all background work to quiesce.
   void drain(sim::Task done);
@@ -153,7 +156,7 @@ class LsmStore {
   // read path
   void get_from_ssts(std::string key, u64 khash,
                      std::vector<std::shared_ptr<Sst>> candidates, size_t idx,
-                     GetDone done);
+                     GetDone done, u32 queue);
   bool cache_lookup(u64 block_key);
   void cache_insert(u64 block_key);
 

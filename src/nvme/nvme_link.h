@@ -9,10 +9,29 @@
 // link. The HotStorage'19 compound-command proposal the paper cites is
 // available as an ablation flag (`compound_commands`), which collapses
 // multi-command operations back to one.
+//
+// Multi-queue front-end (docs/API.md "Multi-queue & tenancy"): the link
+// exposes `num_queues` submission/completion queue pairs. In the default
+// single-queue configuration commands charge the command processor at
+// submission time, exactly the behavior (and byte-identical timing) of
+// the original single-SQ model. With more than one queue, submissions
+// park in bounded per-queue FIFOs and a weighted-round-robin arbiter
+// (wrr_arbiter.h) fetches one command at a time into the shared command
+// processor; completion DMA is not arbitrated (matching NVMe, where
+// arbitration governs submission-queue fetch only). Per-queue stats split
+// every command's life into queue wait vs device service via the
+// sim::Resource Grant accounting.
 #pragma once
+
+#include <cmath>
+#include <deque>
+#include <memory>
+#include <stdexcept>
+#include <vector>
 
 #include "common/thread_annotations.h"
 #include "common/types.h"
+#include "nvme/wrr_arbiter.h"
 #include "sim/event_queue.h"
 #include "sim/task.h"
 
@@ -33,6 +52,43 @@ struct NvmeConfig {
   double bus_bytes_per_ns = 3.2;
   /// Ablation: compound commands (one command regardless of key size).
   bool compound_commands = false;
+
+  // --- multi-queue front-end ---------------------------------------------
+  /// Submission/completion queue pairs. 1 = the original single-SQ model
+  /// (commands charge the processor at submission time; timing is
+  /// byte-identical to the pre-multi-queue link).
+  u32 num_queues = 1;
+  /// Bounded per-queue submission depth. Posting past this depth means
+  /// the host spun on a full doorbell; order is preserved, the overflow
+  /// is counted per queue (`sq_full_stalls`).
+  u32 sq_depth = 1024;
+  /// WRR credit multiplier: a round grants queue q
+  /// `queue_weights[q] * arbitration_burst` command fetches.
+  u32 arbitration_burst = 4;
+  /// Per-queue WRR weights. Empty = weight 1 everywhere; otherwise must
+  /// hold exactly `num_queues` entries, each >= 1.
+  std::vector<u32> queue_weights;
+
+  /// Throws std::invalid_argument on nonsense (zero rates, zero depths,
+  /// weight-vector shape mismatches). Called by NvmeLink's constructor.
+  void validate() const {
+    auto fail = [](const char* what) {
+      throw std::invalid_argument(std::string("NvmeConfig: ") + what);
+    };
+    if (command_bytes == 0) fail("command_bytes must be > 0");
+    if (!(bus_bytes_per_ns > 0.0) ||
+        !std::isfinite(bus_bytes_per_ns))
+      fail("bus_bytes_per_ns must be finite and > 0");
+    if (num_queues == 0) fail("num_queues must be >= 1");
+    if (sq_depth == 0) fail("sq_depth must be >= 1");
+    if (arbitration_burst == 0) fail("arbitration_burst must be >= 1");
+    if (!queue_weights.empty()) {
+      if (queue_weights.size() != num_queues)
+        fail("queue_weights must be empty or hold num_queues entries");
+      for (u32 w : queue_weights)
+        if (w == 0) fail("queue weights must be >= 1");
+    }
+  }
 };
 
 /// Commands needed to ship a KV operation's key.
@@ -41,56 +97,186 @@ constexpr u32 kv_commands_for_key(const NvmeConfig& cfg, u32 key_bytes) {
   return key_bytes <= cfg.inline_key_bytes ? 1u : 2u;
 }
 
+/// Per-queue counters, maintained by NvmeLink in both queue modes. The
+/// wait/service split comes from the command processor's Grant: wait is
+/// posted-to-fetch-start (queueing + arbitration), service is fetch work
+/// plus the payload's bus transfer.
+struct NvmeQueueStats {
+  u64 submissions = 0;        ///< host ops posted to this queue
+  u64 commands = 0;           ///< SQ entries (>= submissions; Fig. 8 keys)
+  u64 payload_bytes = 0;      ///< host-to-device payload over the bus
+  u64 completions = 0;        ///< CQ entries delivered
+  u64 completion_bytes = 0;   ///< device-to-host payload over the bus
+  u64 queue_wait_ns = 0;      ///< sum of posted -> fetch-start
+  u64 service_ns = 0;         ///< sum of fetch + payload transfer
+  u64 sq_full_stalls = 0;     ///< posts that found the SQ at sq_depth
+  u64 arbitration_stalls = 0; ///< passed over with work but no credits
+  u64 max_occupancy = 0;      ///< high-water SQ depth
+};
+
 class NvmeLink {
  public:
   KVSIM_THREAD_CONFINED;
   NvmeLink(sim::EventQueue& eq, const NvmeConfig& cfg)
-      : eq_(eq), cfg_(cfg) {}
+      : eq_(eq), cfg_(cfg) {
+    cfg_.validate();
+    queues_ = std::vector<Queue>(cfg_.num_queues);
+    if (cfg_.num_queues > 1) {
+      std::vector<u32> weights = cfg_.queue_weights;
+      if (weights.empty()) weights.assign(cfg_.num_queues, 1);
+      arb_ = std::make_unique<WrrArbiter>(std::move(weights),
+                                          cfg_.arbitration_burst);
+    }
+  }
 
-  /// Deliver an operation to the device: `ncmds` command fetches plus
+  /// Deliver an operation to the device on submission queue 0 (the only
+  /// queue in the default configuration). See submit_on.
+  void submit(u32 ncmds, u64 payload_bytes, sim::Task at_device) {
+    submit_on(0, ncmds, payload_bytes, std::move(at_device));
+  }
+
+  /// Deliver an operation to the device on queue `qid` (clamped to the
+  /// configured queue count): `ncmds` command fetches plus
   /// `payload_bytes` over the bus; `at_device` runs when the device may
   /// begin executing it. Host submission work is accounted to
   /// host_cpu_ns().
-  void submit(u32 ncmds, u64 payload_bytes, sim::Task at_device) {
+  void submit_on(u32 qid, u32 ncmds, u64 payload_bytes, sim::Task at_device) {
     host_cpu_ns_ += (u64)ncmds * cfg_.host_submit_ns;
     commands_issued_ += ncmds;
-    TimeNs t = eq_.now();
-    t = cmd_proc_.reserve(
-        t, (TimeNs)ncmds * (cfg_.device_fetch_ns +
-                            (TimeNs)((double)cfg_.command_bytes /
-                                     cfg_.bus_bytes_per_ns)));
-    if (payload_bytes > 0)
-      t = bus_.reserve(t, (TimeNs)((double)payload_bytes /
-                                   cfg_.bus_bytes_per_ns));
-    eq_.schedule_at(t, std::move(at_device));
+    Queue& q = queue(qid);
+    ++q.stats.submissions;
+    q.stats.commands += ncmds;
+    q.stats.payload_bytes += payload_bytes;
+    const TimeNs now = eq_.now();
+    if (!arb_) {
+      // Single-queue mode: the host pushes straight into the command
+      // processor's timeline at submission time (the original model).
+      const sim::Resource::Grant g =
+          cmd_proc_.reserve(now, (TimeNs)ncmds * command_cost_ns());
+      TimeNs t = g.done;
+      if (payload_bytes > 0) t = bus_.reserve(t, xfer_ns(payload_bytes));
+      q.stats.queue_wait_ns += g.wait;
+      q.stats.service_ns += t - g.start;
+      if (q.stats.max_occupancy == 0) q.stats.max_occupancy = 1;
+      eq_.schedule_at(t, std::move(at_device));
+      return;
+    }
+    if (q.sq.size() >= cfg_.sq_depth) ++q.stats.sq_full_stalls;
+    q.sq.push_back(SqEntry{ncmds, payload_bytes, now, std::move(at_device)});
+    if (q.sq.size() > q.stats.max_occupancy)
+      q.stats.max_occupancy = q.sq.size();
+    if (!fetch_inflight_) arbitrate();
   }
 
-  /// Deliver a completion (optionally with read payload) back to the host.
+  /// Deliver a completion (optionally with read payload) back to the host
+  /// on completion queue 0.
   void complete(u64 payload_bytes, sim::Task at_host) {
+    complete_on(0, payload_bytes, std::move(at_host));
+  }
+
+  /// Completion on queue `qid`. CQ delivery is device-initiated DMA and
+  /// is not arbitrated (NVMe arbitration governs SQ fetch only); the
+  /// payload still shares the PCIe link with submissions.
+  void complete_on(u32 qid, u64 payload_bytes, sim::Task at_host) {
     host_cpu_ns_ += cfg_.completion_ns;
+    Queue& q = queue(qid);
+    ++q.stats.completions;
+    q.stats.completion_bytes += payload_bytes;
     TimeNs t = eq_.now();
-    if (payload_bytes > 0)
-      t = bus_.reserve(t, (TimeNs)((double)payload_bytes /
-                                   cfg_.bus_bytes_per_ns));
+    if (payload_bytes > 0) t = bus_.reserve(t, xfer_ns(payload_bytes));
     eq_.schedule_at(t, std::move(at_host));
   }
 
   /// Power cut: queued commands and in-flight transfers vanish with the
   /// submission queues; the link itself is stateless across the cycle.
+  /// Counters survive (telemetry, not device state).
   void power_cycle(TimeNs now) {
     cmd_proc_.power_cycle(now);
     bus_.power_cycle(now);
+    for (Queue& q : queues_) q.sq.clear();
+    fetch_inflight_ = false;
   }
 
   [[nodiscard]] const NvmeConfig& config() const { return cfg_; }
   [[nodiscard]] u64 host_cpu_ns() const { return host_cpu_ns_; }
   [[nodiscard]] u64 commands_issued() const { return commands_issued_; }
+  [[nodiscard]] u32 num_queues() const { return (u32)queues_.size(); }
+  /// Commands currently parked in queue `qid` (multi-queue mode).
+  [[nodiscard]] u64 queue_backlog(u32 qid) const {
+    return queues_[qid].sq.size();
+  }
+  /// Per-queue counters; arbitration stalls merge in from the arbiter.
+  [[nodiscard]] NvmeQueueStats queue_stats(u32 qid) const {
+    NvmeQueueStats s = queues_[qid].stats;
+    if (arb_) s.arbitration_stalls = arb_->stalls(qid);
+    return s;
+  }
+  /// WRR credit-window replenishes since start (0 in single-queue mode).
+  [[nodiscard]] u64 arbitration_rounds() const {
+    return arb_ ? arb_->rounds() : 0;
+  }
+
+  /// Bus transfer time for `bytes`, rounded *up* to the next nanosecond.
+  /// Truncating toward zero undercharged every transfer by up to 1 ns,
+  /// compounding over millions of ops.
+  [[nodiscard]] TimeNs xfer_ns(u64 bytes) const {
+    return (TimeNs)std::ceil((double)bytes / cfg_.bus_bytes_per_ns);
+  }
 
  private:
+  /// One parked submission (multi-queue mode).
+  struct SqEntry {
+    u32 ncmds;
+    u64 payload_bytes;
+    TimeNs posted;
+    sim::Task at_device;
+  };
+  struct Queue {
+    std::deque<SqEntry> sq;
+    NvmeQueueStats stats;
+  };
+
+  Queue& queue(u32 qid) {
+    return queues_[qid < queues_.size() ? qid : (u32)queues_.size() - 1];
+  }
+
+  /// Fetch/parse plus the 64 B command header's own bus time.
+  [[nodiscard]] TimeNs command_cost_ns() const {
+    return cfg_.device_fetch_ns + xfer_ns(cfg_.command_bytes);
+  }
+
+  /// Fetch the next command chosen by the WRR arbiter into the command
+  /// processor, then re-arm at the processor's free time. At most one
+  /// fetch is in flight: the device pulls one SQ entry at a time, which
+  /// is what makes per-queue weights meaningful at saturation.
+  void arbitrate() {
+    const int pick =
+        arb_->pick([this](u32 q) { return queues_[q].sq.size(); });
+    if (pick < 0) {
+      fetch_inflight_ = false;
+      return;
+    }
+    fetch_inflight_ = true;
+    Queue& q = queues_[(u32)pick];
+    SqEntry e = std::move(q.sq.front());
+    q.sq.pop_front();
+    const sim::Resource::Grant g = cmd_proc_.reserve(
+        eq_.now(), (TimeNs)e.ncmds * command_cost_ns());
+    TimeNs t = g.done;
+    if (e.payload_bytes > 0) t = bus_.reserve(t, xfer_ns(e.payload_bytes));
+    q.stats.queue_wait_ns += g.start - e.posted;
+    q.stats.service_ns += t - g.start;
+    eq_.schedule_at(t, std::move(e.at_device));
+    eq_.schedule_at(g.done, sim::Task([this] { arbitrate(); }));
+  }
+
   sim::EventQueue& eq_;
   NvmeConfig cfg_;
   sim::Resource cmd_proc_;  // device command fetch/parse
   sim::Resource bus_;       // PCIe payload link
+  std::vector<Queue> queues_;
+  std::unique_ptr<WrrArbiter> arb_;  // multi-queue mode only
+  bool fetch_inflight_ = false;
   u64 host_cpu_ns_ = 0;
   u64 commands_issued_ = 0;
 };

@@ -1,0 +1,99 @@
+// Weighted-round-robin submission-queue arbiter (NVMe spec §4.13-style,
+// grounded in the queueing model of "Multi-Queue SSD I/O Modeling & Its
+// Implications for Data Structure Design", PAPERS.md).
+//
+// Each submission queue carries a weight; a round hands queue q a credit
+// budget of `weight(q) * burst` command fetches. The arbiter services
+// queues in ascending-id round-robin order, letting a queue run its burst
+// before moving on, and opens a new round (replenishing every budget) only
+// when all backlogged queues have exhausted their credits — so the arbiter
+// is work-conserving: a lone backlogged queue is never idled, no matter
+// its weight. Tie-breaks are deterministic: at a round boundary the
+// cursor resets and the lowest-id backlogged queue wins.
+//
+// The class is pure selection logic — no clock, no queues of its own —
+// so it unit-tests in isolation and NvmeLink drives it one command fetch
+// at a time.
+#pragma once
+
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "common/types.h"
+
+namespace kvsim::nvme {
+
+class WrrArbiter {
+ public:
+  KVSIM_THREAD_CONFINED;
+
+  /// `weights[q]` is queue q's share; every weight must be >= 1 (validated
+  /// by NvmeConfig). `burst` is the credit multiplier per round
+  /// (arbitration burst): a round grants queue q `weights[q] * burst`
+  /// command fetches.
+  WrrArbiter(std::vector<u32> weights, u32 burst) : burst_(burst) {
+    qs_.reserve(weights.size());
+    for (u32 w : weights) qs_.push_back(Q{w, w * burst, 0});
+  }
+
+  /// Pick the next queue to fetch a command from, consuming one credit.
+  /// `backlog(q)` must return the number of commands waiting in queue q.
+  /// Returns -1 when every queue is empty. A queue passed over because
+  /// its credits ran out while it still had work counts one arbitration
+  /// stall (the fairness price it paid that decision).
+  template <typename Backlog>
+  int pick(Backlog&& backlog) {
+    const u32 n = (u32)qs_.size();
+    bool any_backlog = false;
+    for (u32 k = 0; k < n; ++k) {
+      const u32 q = (cursor_ + k) % n;
+      if (backlog(q) == 0) continue;
+      any_backlog = true;
+      if (qs_[q].credits == 0) {
+        ++qs_[q].stalls;
+        continue;
+      }
+      return take(q);
+    }
+    if (!any_backlog) return -1;
+    // Every backlogged queue spent its budget: open a new round. The
+    // cursor resets so the tie-break order is always ascending queue id
+    // from a round boundary.
+    ++rounds_;
+    for (auto& q : qs_) q.credits = q.weight * burst_;
+    cursor_ = 0;
+    for (u32 q = 0; q < n; ++q)
+      if (backlog(q) != 0) return take(q);
+    return -1;  // unreachable: any_backlog held above
+  }
+
+  [[nodiscard]] u32 queues() const { return (u32)qs_.size(); }
+  [[nodiscard]] u32 weight(u32 q) const { return qs_[q].weight; }
+  [[nodiscard]] u32 credits(u32 q) const { return qs_[q].credits; }
+  /// Rounds opened after the initial budget (credit-window replenishes).
+  [[nodiscard]] u64 rounds() const { return rounds_; }
+  /// Times queue q was passed over with work pending but no credits.
+  [[nodiscard]] u64 stalls(u32 q) const { return qs_[q].stalls; }
+
+ private:
+  struct Q {
+    u32 weight;
+    u32 credits;
+    u64 stalls;
+  };
+
+  int take(u32 q) {
+    --qs_[q].credits;
+    // A queue keeps the cursor while its burst lasts; once spent, the
+    // cursor moves past it.
+    cursor_ = qs_[q].credits != 0 ? q : (q + 1) % (u32)qs_.size();
+    return (int)q;
+  }
+
+  std::vector<Q> qs_;
+  u32 burst_;
+  u32 cursor_ = 0;
+  u64 rounds_ = 0;
+};
+
+}  // namespace kvsim::nvme

@@ -9,6 +9,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/thread_annotations.h"
@@ -110,6 +111,44 @@ struct WorkloadSpec {
   /// order given by `pattern` (sequential, or a shuffled permutation for
   /// random/zipf orders) — KVBench-style population.
   bool distinct_inserts = false;
+};
+
+/// One tenant's slice of a multi-tenant workload mix: a full WorkloadSpec
+/// plus the serving-shape knobs the device front-end needs — the NVMe
+/// submission queue the tenant's commands post to, the WRR arbitration
+/// weight of that queue, and the namespace (isolated keyspace) the
+/// tenant's keys live in. The paper's single-stream experiments are the
+/// one-tenant special case (TenantMix::single).
+struct TenantSpec {
+  std::string name;  ///< telemetry label; defaulted to "t<index>" by run_mix
+  WorkloadSpec spec;
+  u32 weight = 1;  ///< WRR weight of this tenant's queue
+  u32 queue = 0;   ///< NVMe submission queue the tenant posts to
+  u8 nsid = 0;     ///< namespace: fully isolated keyspace (0 = default)
+};
+
+/// A weighted mix of tenant workloads, interleaved deterministically by
+/// the runner (harness::run_mix): each tenant runs a closed loop at its
+/// own spec.queue_depth, and initial issuance round-robins one op per
+/// tenant in declaration order.
+struct TenantMix {
+  std::vector<TenantSpec> tenants;
+
+  /// Back-compat wrapper: one tenant on queue 0, namespace 0, weight 1 —
+  /// the exact pre-multi-queue run shape.
+  static TenantMix single(const WorkloadSpec& spec) {
+    TenantMix m;
+    m.tenants.push_back(TenantSpec{.name = "", .spec = spec});
+    return m;
+  }
+
+  /// Largest queue id any tenant posts to (device config needs
+  /// num_queues > this).
+  [[nodiscard]] u32 max_queue() const {
+    u32 q = 0;
+    for (const TenantSpec& t : tenants) q = t.queue > q ? t.queue : q;
+    return q;
+  }
 };
 
 /// One generated operation.

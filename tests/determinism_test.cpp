@@ -73,6 +73,79 @@ TEST(Determinism, IdenticalReportsAcrossRepeatedRuns) {
   SUCCEED();
 }
 
+// A two-tenant mix on a two-queue link, serialized through add_mix —
+// covers the per-tenant histograms, digests, and per-queue counters.
+std::string mix_report_json() {
+  KvssdBedConfig c;
+  c.dev = tiny_dev();
+  c.nvme.num_queues = 2;
+  c.nvme.queue_weights = {4, 1};
+  KvssdBed bed(c);
+  (void)fill_stack(bed, 1500, 16, 2048, 32);
+  wl::TenantMix mix;
+  for (u32 i = 0; i < 2; ++i) {
+    wl::TenantSpec t;
+    t.name = i == 0 ? "fg" : "bg";
+    t.nsid = (u8)(i + 1);
+    t.queue = i;
+    t.weight = i == 0 ? 4 : 1;
+    t.spec = churn_spec();
+    t.spec.num_ops = 2000;
+    t.spec.seed = 42 + i;
+    mix.tenants.push_back(std::move(t));
+  }
+  RunOptions opts;
+  opts.drain_after = true;
+  opts.telemetry = true;
+  opts.telemetry_interval = 10 * kMs;
+  const MixResult r = run_mix(bed, mix, opts);
+  BenchReport rep("determinism_check");
+  rep.add_mix("mix", r);
+  rep.add_device(bed);
+  return rep.to_json();
+}
+
+TEST(Determinism, MixReportsByteIdenticalAcrossReruns) {
+  const std::string a = mix_report_json();
+  const std::string b = mix_report_json();
+  ASSERT_FALSE(a.empty());
+  EXPECT_TRUE(a.find("mix_runs") != std::string::npos);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Determinism, SingleTenantMixReproducesLegacyRun) {
+  // The back-compat contract in runner.h: run_workload(spec) and
+  // run_mix(TenantMix::single(spec)).combined are the same run — same
+  // issue order, byte-identical observables all the way down to the
+  // serialized histograms and telemetry slices.
+  auto build = [] {
+    KvssdBedConfig c;
+    c.dev = tiny_dev();
+    return c;
+  };
+  RunOptions opts;
+  opts.drain_after = true;
+  opts.telemetry = true;
+  opts.telemetry_interval = 10 * kMs;
+
+  KvssdBed legacy(build());
+  (void)fill_stack(legacy, 1500, 16, 2048, 32);
+  const RunResult lr = run_workload(legacy, churn_spec(), opts);
+  BenchReport lrep("determinism_check");
+  lrep.add_run("run", lr);
+  lrep.add_device(legacy);
+
+  KvssdBed mixed(build());
+  (void)fill_stack(mixed, 1500, 16, 2048, 32);
+  const MixResult mr =
+      run_mix(mixed, wl::TenantMix::single(churn_spec()), opts);
+  BenchReport mrep("determinism_check");
+  mrep.add_run("run", mr.combined);
+  mrep.add_device(mixed);
+
+  EXPECT_EQ(lrep.to_json(), mrep.to_json());
+}
+
 TEST(Determinism, DifferentSeedsProduceDifferentReports) {
   // Sanity check that the comparison above has teeth: a different seed
   // must change the document (otherwise we are comparing constants).

@@ -1,0 +1,23 @@
+// [confined-capture] seeded violation: a multi-tenant sweep cell
+// (sweep_mix_cell) capturing a thread-confined bed by reference. Mix
+// cells cross the same pool boundary as plain cells — the bed must be
+// constructed inside the callable, never borrowed from the caller.
+#include "harness/sweep.h"
+
+namespace kvsim::fixture {
+
+class MiniMixBed {
+ public:
+  KVSIM_THREAD_CONFINED;
+  harness::MixResult run_mix() { return harness::MixResult{}; }
+};
+
+inline void bad_mix_cells(harness::SweepRunner& runner) {
+  MiniMixBed bed;
+  std::vector<harness::SweepCell> cells;
+  cells.push_back(harness::sweep_mix_cell(
+      "mix/0", [&bed] { return bed.run_mix(); }));  // BAD: &bed
+  (void)runner.run(std::move(cells));
+}
+
+}  // namespace kvsim::fixture

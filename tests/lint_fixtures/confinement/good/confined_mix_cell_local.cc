@@ -1,0 +1,34 @@
+// Clean fixture: the sanctioned multi-tenant sweep-cell shape. Only
+// plain data (the tenant count and seed) crosses into the callable; the
+// confined bed lives and dies inside the cell.
+#include "harness/sweep.h"
+
+namespace kvsim::fixture {
+
+class MiniMixBed2 {
+ public:
+  KVSIM_THREAD_CONFINED;
+  explicit MiniMixBed2(int tenants) : tenants_(tenants) {}
+  harness::MixResult run_mix(unsigned long long seed) {
+    (void)seed;
+    return harness::MixResult{};
+  }
+
+ private:
+  int tenants_;
+};
+
+inline void good_mix_cells(harness::SweepRunner& runner) {
+  std::vector<harness::SweepCell> cells;
+  for (int tenants : {2, 4}) {
+    const unsigned long long seed = 42 + (unsigned long long)tenants;
+    cells.push_back(harness::sweep_mix_cell(
+        "mix/" + std::to_string(tenants), [tenants, seed] {
+          MiniMixBed2 bed(tenants);  // OK: private per-cell instance
+          return bed.run_mix(seed);
+        }));
+  }
+  (void)runner.run(std::move(cells));
+}
+
+}  // namespace kvsim::fixture

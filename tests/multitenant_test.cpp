@@ -1,0 +1,218 @@
+// Multi-tenant isolation tests (docs/API.md "Multi-queue & tenancy").
+//
+// The differential test is the namespace-isolation contract: when the
+// device is nowhere near saturation, tenant A's *functional* result
+// stream — op counts, statuses, returned value fingerprints — must be
+// identical whether or not tenant B is running beside it. Timing may
+// shift (they share a command processor), so the comparison uses the
+// order-independent per-tenant digest run_mix computes, which is
+// invariant under completion reordering but sensitive to any value or
+// status change. Runs cover all three beds times three seeds.
+//
+// The saturation test is the performance side of the same contract, at
+// unit-test scale (bench_multitenant measures it properly): a qd-1
+// victim behind a qd-64 aggressor keeps a bounded p99 on its own
+// weighted queue, and loses that bound when both share one queue.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "harness/runner.h"
+#include "harness/stacks.h"
+#include "workload/workload.h"
+
+namespace kvsim::harness {
+namespace {
+
+ssd::SsdConfig tiny_dev() {
+  ssd::SsdConfig d;
+  d.geometry.channels = 2;
+  d.geometry.dies_per_channel = 2;
+  d.geometry.planes_per_die = 2;
+  d.geometry.blocks_per_plane = 16;
+  d.geometry.pages_per_block = 16;  // 64 MiB raw
+  return d;
+}
+
+nvme::NvmeConfig two_queue_nvme() {
+  nvme::NvmeConfig n;
+  n.num_queues = 2;
+  n.queue_weights = {4, 1};
+  return n;
+}
+
+std::unique_ptr<KvStack> make_bed(const std::string& kind,
+                                  const nvme::NvmeConfig& n) {
+  if (kind == "kvssd") {
+    KvssdBedConfig c;
+    c.dev = tiny_dev();
+    c.nvme = n;
+    return std::make_unique<KvssdBed>(c);
+  }
+  if (kind == "lsm") {
+    LsmBedConfig c;
+    c.dev = tiny_dev();
+    c.nvme = n;
+    return std::make_unique<LsmBed>(c);
+  }
+  HashKvBedConfig c;
+  c.dev = tiny_dev();
+  c.nvme = n;
+  return std::make_unique<HashKvBed>(c);
+}
+
+constexpr u64 kKeys = 300;
+
+// Populate one tenant's keyspace through the tenant-aware path (the
+// plain fill_stack would write namespace 0, invisible to the tenant).
+void load_tenant(KvStack& bed, u8 nsid, u32 queue) {
+  wl::TenantSpec t;
+  t.nsid = nsid;
+  t.queue = queue;
+  t.spec.num_ops = kKeys;
+  t.spec.key_space = kKeys;
+  t.spec.key_bytes = 16;
+  t.spec.value_bytes = 512;
+  t.spec.mix = wl::OpMix::insert_only();
+  t.spec.distinct_inserts = true;  // every key id exactly once
+  t.spec.queue_depth = 16;
+  t.spec.seed = 5;
+  wl::TenantMix mix;
+  mix.tenants.push_back(std::move(t));
+  (void)run_mix(bed, mix, {.drain_after = true});
+}
+
+// Read-mostly churn at qd 1: A's issue order is then a pure function of
+// its own seed, so its digest is comparable across co-runner setups.
+wl::TenantSpec tenant_a(u64 seed) {
+  wl::TenantSpec t;
+  t.name = "A";
+  t.nsid = 1;
+  t.queue = 0;
+  t.weight = 4;
+  t.spec.num_ops = 600;
+  t.spec.key_space = kKeys;
+  t.spec.key_bytes = 16;
+  t.spec.value_bytes = 512;
+  t.spec.mix = {0, 0.3, 0.7, 0};
+  t.spec.queue_depth = 1;
+  t.spec.seed = seed;
+  return t;
+}
+
+wl::TenantSpec tenant_b(u64 seed) {
+  wl::TenantSpec t;
+  t.name = "B";
+  t.nsid = 2;
+  t.queue = 1;
+  t.weight = 1;
+  t.spec.num_ops = 600;
+  t.spec.key_space = kKeys;
+  t.spec.key_bytes = 16;
+  t.spec.value_bytes = 512;
+  t.spec.mix = {0, 0.5, 0.5, 0};
+  t.spec.queue_depth = 16;
+  t.spec.seed = seed + 1000;
+  return t;
+}
+
+struct TenantView {
+  u64 digest, ops, not_found, errors;
+};
+
+TenantView run_a(const std::string& kind, u64 seed, bool with_b) {
+  auto bed = make_bed(kind, two_queue_nvme());
+  load_tenant(*bed, /*nsid=*/1, /*queue=*/0);
+  if (with_b) load_tenant(*bed, /*nsid=*/2, /*queue=*/1);
+  wl::TenantMix mix;
+  mix.tenants.push_back(tenant_a(seed));
+  if (with_b) mix.tenants.push_back(tenant_b(seed));
+  const MixResult r = run_mix(*bed, mix, {.drain_after = true});
+  const TenantResult& a = r.tenants[0];
+  EXPECT_EQ(a.name, "A");
+  if (with_b) {
+    EXPECT_EQ(r.tenants[1].result.ops, 600u);  // B actually ran
+  }
+  return TenantView{a.digest, a.result.ops, a.result.not_found,
+                    a.result.errors.total()};
+}
+
+class TenantIsolation : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TenantIsolation, CoRunnerDoesNotChangeVictimResults) {
+  const std::string kind = GetParam();
+  for (u64 seed : {11u, 12u, 13u}) {
+    const TenantView solo = run_a(kind, seed, /*with_b=*/false);
+    const TenantView shared = run_a(kind, seed, /*with_b=*/true);
+    EXPECT_EQ(solo.ops, 600u) << kind << " seed " << seed;
+    EXPECT_EQ(solo.digest, shared.digest) << kind << " seed " << seed;
+    EXPECT_EQ(solo.ops, shared.ops) << kind << " seed " << seed;
+    EXPECT_EQ(solo.not_found, shared.not_found) << kind << " seed " << seed;
+    EXPECT_EQ(solo.errors, shared.errors) << kind << " seed " << seed;
+    EXPECT_EQ(solo.errors, 0u) << kind << " seed " << seed;
+  }
+}
+
+TEST_P(TenantIsolation, DigestHasTeeth) {
+  // The digest must actually depend on what the tenant observed —
+  // otherwise the equality above is vacuous.
+  const std::string kind = GetParam();
+  EXPECT_NE(run_a(kind, 11, false).digest, run_a(kind, 12, false).digest);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBeds, TenantIsolation,
+                         ::testing::Values("kvssd", "lsm", "hashkv"));
+
+TEST(TenantIsolation, WeightedQueueBoundsVictimTailUnderSaturation) {
+  // Small-scale version of bench_multitenant's noisy-neighbor scenario,
+  // on the KV-SSD bed: same victim, same aggressor, isolated 16:1 queues
+  // vs one shared queue. The command processor must be decisively slower
+  // than the tiny 4-die flash array (~44k reads/s), or die queueing
+  // contaminates both configurations equally.
+  auto p99 = [](bool isolated) {
+    nvme::NvmeConfig n;
+    n.device_fetch_ns = 50000;
+    if (isolated) {
+      n.num_queues = 2;
+      n.queue_weights = {16, 1};
+    }
+    auto bed = make_bed("kvssd", n);
+    load_tenant(*bed, 1, 0);
+    load_tenant(*bed, 2, isolated ? 1 : 0);
+    wl::TenantSpec victim;
+    victim.name = "victim";
+    victim.nsid = 1;
+    victim.queue = 0;
+    victim.weight = 16;
+    victim.spec.num_ops = 300;
+    victim.spec.key_space = kKeys;
+    victim.spec.key_bytes = 16;
+    victim.spec.value_bytes = 512;
+    victim.spec.mix = wl::OpMix::read_only();
+    victim.spec.queue_depth = 1;
+    victim.spec.seed = 21;
+    wl::TenantSpec aggr;
+    aggr.name = "aggressor";
+    aggr.nsid = 2;
+    aggr.queue = isolated ? 1 : 0;
+    aggr.weight = 1;
+    aggr.spec.num_ops = 6000;
+    aggr.spec.key_space = kKeys;
+    aggr.spec.key_bytes = 16;
+    aggr.spec.value_bytes = 512;
+    aggr.spec.mix = wl::OpMix::read_only();
+    aggr.spec.queue_depth = 64;
+    aggr.spec.seed = 22;
+    wl::TenantMix mix;
+    mix.tenants.push_back(std::move(victim));
+    mix.tenants.push_back(std::move(aggr));
+    const MixResult r = run_mix(*bed, mix);
+    return r.tenants[0].result.all.percentile(0.99);
+  };
+  const double iso = p99(true), shared = p99(false);
+  EXPECT_GE(shared, 2.0 * iso) << "iso=" << iso << " shared=" << shared;
+}
+
+}  // namespace
+}  // namespace kvsim::harness

@@ -76,6 +76,62 @@ TEST(SweepRunner, MergedJsonThreadCountInvariance) {
   EXPECT_EQ(j1, j4);
 }
 
+// A multi-tenant cell: private bed, two tenants on a two-queue link.
+MixResult run_mix_cell(u32 value_bytes, u64 seed) {
+  KvssdBedConfig c;
+  c.dev = tiny_dev();
+  c.nvme.num_queues = 2;
+  c.nvme.queue_weights = {4, 1};
+  KvssdBed bed(c);
+  (void)fill_stack(bed, 1000, 16, value_bytes, 32);
+  wl::TenantMix mix;
+  for (u32 i = 0; i < 2; ++i) {
+    wl::TenantSpec t;
+    t.nsid = (u8)(i + 1);
+    t.queue = i;
+    t.weight = i == 0 ? 4 : 1;
+    t.spec.num_ops = 800;
+    t.spec.key_space = 1000;
+    t.spec.key_bytes = 16;
+    t.spec.value_bytes = value_bytes;
+    t.spec.mix = {0.2, 0.3, 0.5, 0};
+    t.spec.queue_depth = 16;
+    t.spec.seed = seed + i;
+    mix.tenants.push_back(std::move(t));
+  }
+  return run_mix(bed, mix, {.drain_after = true});
+}
+
+std::string merged_mix_json(u32 threads) {
+  // A heterogeneous sweep: plain cells and mix cells in one matrix, so
+  // the merge also proves the two result shapes keep their routing.
+  std::vector<SweepCell> cells = matrix_cells(42);
+  u64 index = cells.size();
+  for (u32 value_bytes : {512u, 2048u}) {
+    const u64 seed = SweepRunner::cell_seed(42, index++);
+    cells.push_back(
+        sweep_mix_cell("mix/v" + std::to_string(value_bytes),
+                       [value_bytes, seed] {
+                         return run_mix_cell(value_bytes, seed);
+                       }));
+  }
+  SweepRunner runner(SweepRunner::Options{.threads = threads});
+  auto results = runner.run(std::move(cells));
+  BenchReport report("sweep_test");
+  add_sweep_results(report, results);
+  return report.to_json();
+}
+
+TEST(SweepRunner, MixCellsThreadCountInvariance) {
+  // Multi-tenant cells obey the same determinism contract: the merged
+  // document (tenant splits, queue counters, digests and all) is
+  // byte-equal between --threads=1 and --threads=4.
+  const std::string j1 = merged_mix_json(1);
+  const std::string j4 = merged_mix_json(4);
+  ASSERT_TRUE(j1.find("mix_runs") != std::string::npos);
+  EXPECT_EQ(j1, j4);
+}
+
 TEST(SweepRunner, PerCellSeedIsolation) {
   // A cell's result depends only on (base_seed, its index) — running it
   // alone must reproduce its in-matrix result exactly.
