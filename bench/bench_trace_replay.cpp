@@ -1,0 +1,254 @@
+// Trace replay at scale: encode/decode throughput of the `.kvt` codec,
+// flat-memory replay, and record->replay fidelity through a live bed
+// (docs/API.md "Op sources & traces", EXPERIMENTS.md replay recipe).
+//
+// Scenario 1 — codec scale: synthesize a 10M-op trace (1M in smoke) to a
+// .kvt file through KvtWriter, then replay it with TraceOpSource.
+// Metrics: encode and replay ops/s (replay gated at >= 5M ops/s), file
+// bytes per op, and the reader's chunk-buffer high-water mark measured
+// at three replay lengths — flat memory means the high-water is bounded
+// by the chunk size and does not grow with replay length.
+//
+// Scenario 2 — fidelity: record a small KV-SSD bed run while it
+// executes, replay the capture through an identically built bed, and
+// require the two BenchReport JSON documents to be byte-identical (the
+// same invariant tests/trace_replay_test.cpp enforces per bed/seed).
+//
+// Scenario 3 — trace-fitted synthesis: fit the trace head
+// (TraceProfile) and generate a synthetic continuation, measuring
+// fit + generation throughput.
+//
+// Flags:
+//   --smoke           1M-op trace instead of 10M for CI
+//   --kvsim_json=PATH write {replay_ops_per_sec, encode_ops_per_sec,
+//                     file_bytes_per_op, max_chunk_bytes,
+//                     fidelity_identical, wall_ms} for the bench.sh gate
+#include <chrono>
+#include <cstring>
+#include <fstream>
+
+#include "bench_util.h"
+#include "workload/importers/trace_synth.h"
+#include "workload/trace.h"
+
+namespace kvbench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+wl::WorkloadSpec trace_spec(u64 ops) {
+  wl::WorkloadSpec spec;
+  spec.num_ops = ops;
+  spec.key_space = 1'000'000;
+  spec.key_bytes = 16;
+  spec.value_bytes = 512;
+  spec.value_dist = wl::ValueDist::kUniform;
+  spec.value_min_bytes = 64;
+  spec.pattern = wl::Pattern::kZipfian;
+  spec.mix = {0.05, 0.35, 0.55, 0.02};  // rest deletes
+  spec.scan_length = 16;
+  spec.seed = 42;
+  return spec;
+}
+
+struct CodecOutcome {
+  u64 trace_ops = 0;
+  u64 file_bytes = 0;
+  double encode_ops_per_sec = 0;
+  double replay_ops_per_sec = 0;
+  u64 max_chunk_bytes = 0;
+  bool memory_flat = false;
+};
+
+CodecOutcome run_codec_scale(const std::string& path, u64 ops) {
+  CodecOutcome out;
+  out.trace_ops = ops;
+
+  // Encode: synthetic generator -> .kvt file.
+  const auto te = Clock::now();
+  {
+    wl::KvtWriter w(path);
+    wl::SyntheticOpSource src(trace_spec(ops));
+    wl::Op op;
+    while (src.next(op))
+      w.add(wl::TraceOp{op.type, op.key_id, op.value_bytes, op.scan_length,
+                        0});
+    if (!w.finish()) {
+      check_shape(false, "trace encode completed without I/O errors");
+      return out;
+    }
+  }
+  const double encode_ms = ms_since(te);
+  out.encode_ops_per_sec = (double)ops / (encode_ms / 1000.0);
+  {
+    std::ifstream f(path, std::ios::binary | std::ios::ate);
+    out.file_bytes = f ? (u64)f.tellg() : 0;
+  }
+
+  // Replay: full-trace streaming decode.
+  const auto tr = Clock::now();
+  u64 sink = 0, replayed = 0;
+  {
+    wl::TraceOpSource src(path);
+    wl::Op op;
+    while (src.next(op)) {
+      sink ^= op.key_id + op.value_bytes;
+      ++replayed;
+    }
+    check_shape(!src.failed() && replayed == ops,
+                "full trace replays cleanly end to end");
+    out.max_chunk_bytes = src.reader().max_chunk_bytes();
+  }
+  const double replay_ms = ms_since(tr);
+  out.replay_ops_per_sec = (double)replayed / (replay_ms / 1000.0);
+  if (sink == 0xdeadbeef) std::printf(" ");  // keep the loop live
+
+  // Flat memory: the chunk-buffer high-water must be bounded by the
+  // chunk size at every replay length, not grow with it.
+  Table t({"replay ops", "ops/s (M)", "chunk high-water KiB"});
+  bool flat = true;
+  for (const u64 frac : {10ull, 3ull, 1ull}) {
+    const u64 limit = ops / frac;
+    wl::TraceOpSource src(path, wl::TraceOpSource::Options{.limit = limit});
+    wl::Op op;
+    const auto t0 = Clock::now();
+    u64 n = 0;
+    while (src.next(op)) ++n;
+    const double mops = (double)n / (ms_since(t0) * 1000.0);
+    const u64 hw = src.reader().max_chunk_bytes();
+    flat = flat && hw <= 2 * wl::KvtWriter::kDefaultChunkBytes;
+    t.add_row({Table::num((double)n, 0), Table::num(mops, 2),
+               Table::num((double)hw / (double)KiB, 1)});
+  }
+  out.memory_flat = flat;
+  std::printf("%s", t.render().c_str());
+  save_csv("trace_replay_scale", t);
+  return out;
+}
+
+// Record a small KV-SSD run, replay it through an identical bed, and
+// compare the full serialized reports.
+bool run_fidelity() {
+  auto bed_json = [](wl::KvtWriter* rec, const std::string* replay) {
+    harness::KvssdBedConfig c = kvssd_cfg(device_gib(2), 8000);
+    harness::KvssdBed bed(c);
+    (void)harness::fill_stack(bed, 2000, 16, 512, 32);
+    wl::WorkloadSpec spec = trace_spec(4000);
+    spec.key_space = 2000;
+    harness::RunOptions opts;
+    opts.drain_after = true;
+    opts.record_ops = rec;
+    const harness::RunResult r =
+        replay ? harness::run_workload(
+                     bed, spec,
+                     [replay] { return wl::TraceOpSource::from_buffer(replay); },
+                     opts)
+               : harness::run_workload(bed, spec, opts);
+    harness::BenchReport rep("trace_replay_fidelity");
+    rep.add_run("run", r);
+    rep.add_device(bed);
+    return rep.to_json();
+  };
+  std::string trace;
+  wl::KvtWriter w = wl::KvtWriter::to_buffer(&trace);
+  const std::string live = bed_json(&w, nullptr);
+  if (!w.finish()) return false;
+  const std::string replayed = bed_json(nullptr, &trace);
+  return !live.empty() && live == replayed;
+}
+
+double run_synth(const std::string& path, u64 ops) {
+  const auto t0 = Clock::now();
+  wl::KvtReader reader(path);
+  const wl::TraceProfile profile =
+      wl::TraceProfile::fit(reader, /*head_ops=*/100'000);
+  check_shape(profile.ok(), "trace head fits a usable profile");
+  check_shape(profile.zipf_theta > 0.2,
+              "fitted skew reflects the zipfian source");
+  u64 n = 0;
+  if (profile.ok()) {
+    wl::SynthFromTraceOpSource src(profile, ops, /*seed=*/7);
+    wl::Op op;
+    while (src.next(op)) ++n;
+  }
+  const double ms = ms_since(t0);
+  std::printf("synth-from-trace: fitted %llu-op head (theta %.2f, %llu "
+              "keys), generated %llu ops in %.1f ms\n",
+              (unsigned long long)profile.ops_fitted, profile.zipf_theta,
+              (unsigned long long)profile.key_space, (unsigned long long)n,
+              ms);
+  return ms > 0 ? (double)n / (ms / 1000.0) : 0.0;
+}
+
+}  // namespace
+}  // namespace kvbench
+
+int main(int argc, char** argv) {
+  using namespace kvbench;
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--smoke")) {
+      smoke = true;
+    } else if (!std::strncmp(argv[i], "--kvsim_json=", 13)) {
+      json_path = argv[i] + 13;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  report_init("trace_replay");
+  const auto t0 = Clock::now();
+  const u64 ops = smoke ? 1'000'000 : 10'000'000;
+  const std::string path = "/tmp/kvsim_bench_trace_replay.kvt";
+
+  print_header("Trace replay 1", "codec throughput and flat-memory replay");
+  const CodecOutcome c = run_codec_scale(path, ops);
+  std::printf("encode %.1f M ops/s, replay %.1f M ops/s, %.1f B/op on disk\n",
+              c.encode_ops_per_sec / 1e6, c.replay_ops_per_sec / 1e6,
+              c.trace_ops ? (double)c.file_bytes / (double)c.trace_ops : 0.0);
+  check_shape(c.replay_ops_per_sec >= 5e6,
+              "trace replay sustains >= 5M ops/s");
+  check_shape(c.memory_flat,
+              "replay memory is chunk-bounded at every trace length");
+  check_shape(c.trace_ops &&
+                  c.file_bytes / c.trace_ops < 16,
+              "varint/delta encoding stays under 16 B/op");
+
+  print_header("Trace replay 2", "record->replay fidelity through a bed");
+  const bool fidelity = run_fidelity();
+  check_shape(fidelity, "recorded run replays byte-identically");
+
+  print_header("Trace replay 3", "distribution-fitted synthesis");
+  const double synth_ops_per_sec = run_synth(path, smoke ? 500'000 : 2'000'000);
+
+  std::remove(path.c_str());
+  const double wall_ms = ms_since(t0);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n"
+        << "  \"benchmark\": \"trace_replay\",\n"
+        << "  \"trace_ops\": " << c.trace_ops << ",\n"
+        << "  \"encode_ops_per_sec\": " << c.encode_ops_per_sec << ",\n"
+        << "  \"replay_ops_per_sec\": " << c.replay_ops_per_sec << ",\n"
+        << "  \"file_bytes_per_op\": "
+        << (c.trace_ops ? (double)c.file_bytes / (double)c.trace_ops : 0.0)
+        << ",\n"
+        << "  \"max_chunk_bytes\": " << c.max_chunk_bytes << ",\n"
+        << "  \"synth_ops_per_sec\": " << synth_ops_per_sec << ",\n"
+        << "  \"fidelity_identical\": " << (fidelity ? 1 : 0) << ",\n"
+        << "  \"wall_ms\": " << wall_ms << "\n"
+        << "}\n";
+    std::printf("[json] %s\n", json_path.c_str());
+  }
+
+  save_report();
+  return shape_exit();
+}

@@ -15,7 +15,11 @@
 #                                  when the multi-tenant driver's fairness
 #                                  or throughput regresses (fairness dev
 #                                  <= 5%, sim ops/s within 20% of the
-#                                  committed "multitenant" baseline)
+#                                  committed "multitenant" baseline), or
+#                                  when trace replay loses record->replay
+#                                  fidelity, drops below the 5M ops/s
+#                                  floor, or regresses >20% vs the
+#                                  committed "trace_replay" baseline
 #   scripts/bench.sh --update      re-measure and rewrite BENCH_sim.json
 #
 # An optional trailing argument overrides the build directory (default:
@@ -39,6 +43,7 @@ BASELINE=BENCH_sim.json
 CURRENT="$BUILD_DIR/BENCH_sim.json"
 SWEEP_CURRENT="$BUILD_DIR/BENCH_sweep.json"
 MT_CURRENT="$BUILD_DIR/BENCH_multitenant.json"
+TR_CURRENT="$BUILD_DIR/BENCH_trace_replay.json"
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" --target bench_sim_micro -j "$(nproc)"
@@ -48,7 +53,7 @@ if [ "$MODE" = full ]; then
 fi
 
 cmake --build "$BUILD_DIR" --target bench_fig_matrix bench_multitenant \
-  -j "$(nproc)"
+  bench_trace_replay -j "$(nproc)"
 "$BUILD_DIR/bench/bench_sim_micro" --kvsim_json="$CURRENT"
 "$BUILD_DIR/bench/bench_fig_matrix" --smoke --threads=8 \
   --kvsim_json="$SWEEP_CURRENT"
@@ -61,6 +66,7 @@ for i in 1 2 3; do
     --kvsim_json="$MT_CURRENT.$i" > "$BUILD_DIR/multitenant_run.log"
 done
 cat "$BUILD_DIR/multitenant_run.log"
+"$BUILD_DIR/bench/bench_trace_replay" --smoke --kvsim_json="$TR_CURRENT"
 python3 - "$MT_CURRENT" <<'EOF2'
 import json, sys
 runs = [json.load(open(f"{sys.argv[1]}.{i}")) for i in (1, 2, 3)]
@@ -73,12 +79,13 @@ EOF2
 if [ "$MODE" = update ]; then
   # The baseline document keeps the original flat event-cycle fields and
   # carries the sweep-scaling measurement as a nested "sweep" object.
-  python3 - "$CURRENT" "$SWEEP_CURRENT" "$MT_CURRENT" "$BASELINE" <<'EOF'
+  python3 - "$CURRENT" "$SWEEP_CURRENT" "$MT_CURRENT" "$TR_CURRENT" "$BASELINE" <<'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
 doc["sweep"] = json.load(open(sys.argv[2]))
 doc["multitenant"] = json.load(open(sys.argv[3]))
-with open(sys.argv[4], "w") as f:
+doc["trace_replay"] = json.load(open(sys.argv[4]))
+with open(sys.argv[5], "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
 EOF
@@ -92,13 +99,14 @@ if [ ! -f "$BASELINE" ]; then
   exit 1
 fi
 
-python3 - "$BASELINE" "$CURRENT" "$SWEEP_CURRENT" "$MT_CURRENT" <<'EOF'
+python3 - "$BASELINE" "$CURRENT" "$SWEEP_CURRENT" "$MT_CURRENT" "$TR_CURRENT" <<'EOF'
 import json, sys
 
 base = json.load(open(sys.argv[1]))
 cur = json.load(open(sys.argv[2]))
 sweep = json.load(open(sys.argv[3]))
 mt = json.load(open(sys.argv[4]))
+tr = json.load(open(sys.argv[5]))
 floor = 0.8 * base["events_per_sec"]  # 20% regression budget
 print(f"bench smoke: {cur['events_per_sec'] / 1e6:.2f}M events/s "
       f"(baseline {base['events_per_sec'] / 1e6:.2f}M, "
@@ -150,6 +158,27 @@ elif mt["sim_ops_per_sec"] < 0.8 * base_mt["sim_ops_per_sec"]:
     sys.exit(f"bench smoke FAILED: multitenant {mt['sim_ops_per_sec']:.0f} "
              f"sim ops/s regressed >20% vs baseline "
              f"{base_mt['sim_ops_per_sec']:.0f} -- "
+             "if intentional, rerun scripts/bench.sh --update")
+# Trace-replay gate: the >=5M replayed ops/s floor is the subsystem's
+# absolute acceptance criterion; regression vs the committed baseline
+# carries the same 20% budget, and record->replay fidelity is a hard
+# pass/fail (byte-identical reports).
+base_tr = base.get("trace_replay")
+print(f"bench smoke: trace replay {tr['replay_ops_per_sec'] / 1e6:.1f}M ops/s, "
+      f"{tr['file_bytes_per_op']:.1f} B/op, "
+      f"fidelity {'ok' if tr['fidelity_identical'] else 'BROKEN'}")
+if not tr["fidelity_identical"]:
+    sys.exit("bench smoke FAILED: record->replay is not byte-identical")
+if tr["replay_ops_per_sec"] < 5e6:
+    sys.exit(f"bench smoke FAILED: trace replay "
+             f"{tr['replay_ops_per_sec'] / 1e6:.1f}M ops/s < 5M floor")
+if base_tr is None:
+    print("bench smoke: no committed trace_replay baseline; regression "
+          "gate skipped -- run scripts/bench.sh --update")
+elif tr["replay_ops_per_sec"] < 0.8 * base_tr["replay_ops_per_sec"]:
+    sys.exit(f"bench smoke FAILED: trace replay "
+             f"{tr['replay_ops_per_sec'] / 1e6:.1f}M ops/s regressed >20% "
+             f"vs baseline {base_tr['replay_ops_per_sec'] / 1e6:.1f}M -- "
              "if intentional, rerun scripts/bench.sh --update")
 print("bench smoke passed")
 EOF

@@ -21,11 +21,13 @@ ways the contract breaks:
                        boundary stays legal.
   confined-capture     a thread-boundary lambda (std::thread/std::jthread
                        /std::async entry, or a SweepRunner cell built via
-                       sweep_cell(...) / SweepCell{...}) that captures a
-                       confined object by reference, captures `this`, or
-                       uses a default [&]/[=] capture list. Cells must
-                       capture plain config data by value and build the
-                       simulator inside the callable.
+                       sweep_cell(...) / sweep_mix_cell(...) /
+                       sweep_source_cell(...) / SweepCell{...}) that
+                       captures a confined object by reference — directly
+                       or through a unique_ptr<Confined> handle — captures
+                       `this`, or uses a default [&]/[=] capture list.
+                       Cells must capture plain config data by value and
+                       build the simulator inside the callable.
 
 The confined-type registry is built by scanning src/ for the marker;
 files under test additionally contribute their own in-file markers, so
@@ -65,6 +67,7 @@ BOUNDARY_RE = re.compile(
     r"|std\s*::\s*async\s*\("
     r"|sweep_cell\s*\("
     r"|sweep_mix_cell\s*\("
+    r"|sweep_source_cell\s*\("
     r"|SweepCell\s*\{"
     r")")
 
@@ -262,13 +265,24 @@ def find_capture_list(text: str, open_bracket: int):
 
 
 def declared_confined(text: str, before: int, var: str, grp: str) -> str | None:
-    """Type name if `var` is declared with a confined type before `before`."""
-    decl_re = re.compile(
-        r"\b(?:[\w:]*::)?(%s)\b\s*(?:<[^;\n]*>)?\s*[&*]*\s+%s\b"
-        % (grp, re.escape(var)))
+    """Type name if `var` is declared with a confined type before `before`.
+
+    Matches both direct declarations (`Bed bed`, `Bed& bed`) and unique
+    ownership handles (`std::unique_ptr<Bed> bed`): a by-reference capture
+    of the handle leaks the confined instance across the thread boundary
+    just as surely as a reference to the object itself.
+    """
+    v = re.escape(var)
+    decl_res = (
+        re.compile(r"\b(?:[\w:]*::)?(%s)\b\s*(?:<[^;\n]*>)?\s*[&*]*\s+%s\b"
+                   % (grp, v)),
+        re.compile(r"\bunique_ptr\s*<\s*(?:[\w:]*::)?(%s)\s*>\s*[&*]*\s*%s\b"
+                   % (grp, v)),
+    )
     best = None
-    for m in decl_re.finditer(text, 0, before):
-        best = m.group(1)
+    for decl_re in decl_res:
+        for m in decl_re.finditer(text, 0, before):
+            best = m.group(1)
     return best
 
 

@@ -12,7 +12,11 @@
 #      zero invariant violations);
 #   5. the crash-sweep smoke: power-loss cuts + mount-time recovery on
 #      all three beds, differential-checked on the audit build;
-#   5b. the multi-tenant smoke: WRR fairness and noisy-neighbor
+#   5b. the trace smoke: record->replay fidelity on the audit build
+#      (capturing a run to `.kvt` and replaying it must reproduce the
+#      BenchReport byte-identically on all three beds), plus the codec's
+#      corruption-rejection slice;
+#   5c. the multi-tenant smoke: WRR fairness and noisy-neighbor
 #      isolation scenarios (bench_multitenant --smoke) on the audit
 #      build, shape-checked against the acceptance bounds;
 #   6. the sweep smoke: the fig-matrix driver fanned across an
@@ -74,6 +78,14 @@ stage "crash-sweep smoke (audit build)"
 # state against the per-key write oracle (no corruption, drained data
 # survives exactly, deterministic recovery counters).
 ./build-audit/tests/crash_recovery_test --gtest_filter='CrashSweep*:*/CrashSweep.*:CrashRecovery.*'
+
+stage "trace smoke (audit build)"
+# The trace subsystem's fidelity gate under the shadow auditors: a run
+# captured at dispatch and replayed through TraceOpSource must produce
+# the exact same serialized report on every bed, and the `.kvt` codec
+# must reject truncated/corrupt streams rather than decode garbage.
+./build-audit/tests/trace_replay_test --gtest_filter='TraceFidelity.*'
+./build-audit/tests/trace_codec_test --gtest_filter='KvtCodec.*'
 
 stage "multi-tenant smoke (audit build)"
 # The multi-queue front-end's acceptance gates under the shadow

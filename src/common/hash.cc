@@ -2,6 +2,37 @@
 
 namespace kvsim {
 
+namespace {
+
+constexpr u32 kCrcPoly = 0xedb88320u;  // reflected IEEE 802.3
+
+constexpr u32 crc_entry(u32 i) {
+  u32 c = i;
+  for (int k = 0; k < 8; ++k) c = (c & 1) ? kCrcPoly ^ (c >> 1) : c >> 1;
+  return c;
+}
+
+}  // namespace
+
+u32 crc32(const void* data, size_t len, u32 seed) {
+  static constexpr u32 kTable[256] = {
+#define KVSIM_CRC4(i) \
+  crc_entry(i), crc_entry(i + 1), crc_entry(i + 2), crc_entry(i + 3)
+#define KVSIM_CRC16(i) \
+  KVSIM_CRC4(i), KVSIM_CRC4(i + 4), KVSIM_CRC4(i + 8), KVSIM_CRC4(i + 12)
+      KVSIM_CRC16(0),   KVSIM_CRC16(16),  KVSIM_CRC16(32),  KVSIM_CRC16(48),
+      KVSIM_CRC16(64),  KVSIM_CRC16(80),  KVSIM_CRC16(96),  KVSIM_CRC16(112),
+      KVSIM_CRC16(128), KVSIM_CRC16(144), KVSIM_CRC16(160), KVSIM_CRC16(176),
+      KVSIM_CRC16(192), KVSIM_CRC16(208), KVSIM_CRC16(224), KVSIM_CRC16(240),
+#undef KVSIM_CRC16
+#undef KVSIM_CRC4
+  };
+  u32 c = seed ^ 0xffffffffu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) c = kTable[(c ^ p[i]) & 0xff] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
 u64 hash64(std::string_view bytes, u64 seed) {
   u64 h = 0xcbf29ce484222325ull ^ seed;
   for (unsigned char c : bytes) {

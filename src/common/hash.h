@@ -1,6 +1,7 @@
 // 64-bit hashing used for key digests, Bloom filters, and fingerprints.
 #pragma once
 
+#include <cstddef>
 #include <string_view>
 
 #include "common/types.h"
@@ -11,6 +12,13 @@ namespace kvsim {
 /// This is the digest the KV-FTL derives from a variable-length key; the
 /// real device similarly reduces 4 B - 255 B keys to a fixed-size hash.
 u64 hash64(std::string_view bytes, u64 seed = 0);
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over a byte range. Used as
+/// the per-chunk integrity check of the `.kvt` trace format: a truncated
+/// or bit-flipped chunk fails its CRC and the reader rejects it instead
+/// of replaying garbage. `seed` chains incremental computations (pass a
+/// previous return value to continue).
+u32 crc32(const void* data, size_t len, u32 seed = 0);
 
 /// Mix an integer (for deriving secondary hashes from a primary digest).
 constexpr u64 mix64(u64 x) {

@@ -56,6 +56,10 @@ Permutation::Permutation(u64 n, u64 seed) : n_(n ? n : 1) {
   while ((1ull << bits) < n_ || (bits & 1)) ++bits;
   half_bits_ = bits / 2;
   half_mask_ = (1ull << half_bits_) - 1;
+  reseed(seed);
+}
+
+void Permutation::reseed(u64 seed) {
   u64 sm = seed;
   for (auto& k : keys_) k = splitmix64(sm);
 }

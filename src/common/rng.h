@@ -101,6 +101,11 @@ class Permutation {
   KVSIM_THREAD_CONFINED;
   explicit Permutation(u64 n, u64 seed = 0x9e3779b97f4a7c15ull);
 
+  /// Re-key the bijection in place (same domain, new shuffle). Lets an
+  /// op source restart exactly via reset(seed) instead of being
+  /// reconstructed.
+  void reseed(u64 seed);
+
   /// The image of `i` (i must be < n).
   u64 operator()(u64 i) const;
   [[nodiscard]] u64 n() const { return n_; }

@@ -1,10 +1,24 @@
 #include "harness/runner.h"
 
 #include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "workload/trace.h"
 
 namespace kvsim::harness {
 
 namespace {
+
+/// Build a tenant's op source: the factory when one is set, else the
+/// synthetic generator over its spec (the exact pre-OpSource behavior).
+std::unique_ptr<wl::OpSource> make_source(const wl::TenantSpec& ts) {
+  if (!ts.source) return std::make_unique<wl::SyntheticOpSource>(ts.spec);
+  auto src = ts.source();
+  if (!src)
+    throw std::runtime_error("TenantSpec::source factory returned null");
+  return src;
+}
 
 /// Per-op contribution to a tenant's result-stream digest: FNV-1a over
 /// the functional outcome, summed commutatively by the caller so
@@ -31,7 +45,7 @@ u64 op_digest(wl::OpType type, u64 key_id, Status s, u64 bytes, u64 fp) {
 /// co-runner timing), observables, and result-stream digest.
 struct TenantState {
   wl::TenantSpec tspec;
-  wl::OpStream stream;
+  std::unique_ptr<wl::OpSource> source;
   TenantCtx ctx;
   RunResult result;
   u64 inflight = 0;
@@ -42,7 +56,7 @@ struct TenantState {
   bool exhausted = false;
 
   explicit TenantState(const wl::TenantSpec& ts)
-      : tspec(ts), stream(ts.spec), ctx{ts.nsid, ts.queue} {}
+      : tspec(ts), source(make_source(ts)), ctx{ts.nsid, ts.queue} {}
 };
 
 /// Shared issue-loop state for a KvStack mix run. With one tenant this
@@ -54,13 +68,15 @@ struct MixDriver {
   std::vector<TenantState> tenants;
   RunResult result;  // combined across tenants
   TraceRecorder* trace;
+  wl::KvtWriter* record;  // op-stream capture (RunOptions::record_ops)
   TimeNs t0;
   u64 cpu0;
   u64 inflight = 0;
   u64 completed = 0;
 
-  MixDriver(KvStack& s, const wl::TenantMix& mix, TraceRecorder* tr)
-      : stack(s), trace(tr) {
+  MixDriver(KvStack& s, const wl::TenantMix& mix, TraceRecorder* tr,
+            wl::KvtWriter* rec)
+      : stack(s), trace(tr), record(rec) {
     tenants.reserve(mix.tenants.size());
     for (const wl::TenantSpec& ts : mix.tenants) tenants.emplace_back(ts);
     t0 = stack.eq().now();
@@ -74,7 +90,7 @@ struct MixDriver {
     if (st.exhausted || st.inflight >= st.tspec.spec.queue_depth)
       return false;
     wl::Op op;
-    if (!st.stream.next(op)) {
+    if (!st.source->next(op)) {
       st.exhausted = true;
       return false;
     }
@@ -102,6 +118,9 @@ struct MixDriver {
 
   void dispatch(u32 ti, const wl::Op& op) {
     TenantState& st = tenants[ti];
+    if (record)
+      record->add(wl::TraceOp{op.type, op.key_id, op.value_bytes,
+                              op.scan_length, ti});
     ++st.inflight;
     ++inflight;
     const u64 version = ++st.op_seq;
@@ -239,7 +258,7 @@ MixResult run_mix(KvStack& stack, const wl::TenantMix& mix,
       qstats0.push_back(link->queue_stats(q));
     rounds0 = link->arbitration_rounds();
   }
-  MixDriver drv(stack, mix, opts.trace);
+  MixDriver drv(stack, mix, opts.trace, opts.record_ops);
   if (opts.telemetry) {
     drv.result.telemetry = ssd::TelemetryCollector(opts.telemetry_interval);
     drv.result.telemetry.attach(
@@ -309,6 +328,13 @@ MixResult run_mix(KvStack& stack, const wl::TenantMix& mix,
 RunResult run_workload(KvStack& stack, const wl::WorkloadSpec& spec,
                        const RunOptions& opts) {
   return run_mix(stack, wl::TenantMix::single(spec), opts).combined;
+}
+
+RunResult run_workload(KvStack& stack, const wl::WorkloadSpec& shape,
+                       wl::OpSourceFactory source, const RunOptions& opts) {
+  wl::TenantMix mix = wl::TenantMix::single(shape);
+  mix.tenants[0].source = std::move(source);
+  return run_mix(stack, mix, opts).combined;
 }
 
 RunResult fill_stack(KvStack& stack, u64 keys, u32 key_bytes, u32 value_bytes,

@@ -17,6 +17,10 @@
 #include "ssd/telemetry.h"
 #include "workload/workload.h"
 
+namespace kvsim::wl {
+class KvtWriter;  // workload/trace.h — op-stream capture sink
+}
+
 namespace kvsim::harness {
 
 /// Everything configurable about one run_workload() invocation.
@@ -48,6 +52,12 @@ struct RunOptions {
   /// Issue the rest of the workload against the recovered stack after the
   /// cut (off = stop the run at the crash point).
   bool resume_after_crash = true;
+  /// Capture the op stream: every op is appended to this `.kvt` writer at
+  /// dispatch (issue order, with its tenant index), before any completion
+  /// can reorder — so replaying the capture through TraceOpSource
+  /// reproduces the run byte-identically. The recorder has no simulation
+  /// side effects. The caller finishes the writer.
+  wl::KvtWriter* record_ops = nullptr;
 };
 
 /// Non-OK, non-NotFound completions, broken out by failure category.
@@ -146,6 +156,15 @@ struct MixResult {
 /// injection. Equivalent to run_mix(stack, TenantMix::single(spec),
 /// opts).combined — same issue order, byte-identical observables.
 RunResult run_workload(KvStack& stack, const wl::WorkloadSpec& spec,
+                       const RunOptions& opts = {});
+
+/// Run ops drawn from `source` (trace replay, trace-fitted synthesis, or
+/// any custom OpSource) against `stack`. `shape` supplies only the
+/// serving shape — key_bytes, key_space, queue_depth; shape.num_ops is
+/// ignored, the source decides when the stream ends. Equivalent to the
+/// spec overload when `source` is synthetic_source(spec).
+RunResult run_workload(KvStack& stack, const wl::WorkloadSpec& shape,
+                       wl::OpSourceFactory source,
                        const RunOptions& opts = {});
 
 /// Run a weighted tenant mix against `stack`. Each tenant runs a closed

@@ -21,7 +21,9 @@
 
 #include <exception>
 #include <functional>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/mutex.h"
@@ -57,6 +59,27 @@ inline SweepCell sweep_cell(std::string label,
 inline SweepCell sweep_mix_cell(std::string label,
                                 std::function<MixResult()> run_mix) {
   return SweepCell{std::move(label), nullptr, std::move(run_mix)};
+}
+
+/// Build a cell that drives an OpSource (trace replay, trace-fitted
+/// synthesis, ...) through a privately constructed stack. This is the
+/// op-source-shaped thread boundary: `make_stack` runs on the pool
+/// thread and must build the entire simulator inside the call;
+/// `source` and `shape` are copyable plain data, so they are safe to
+/// carry across — the confined OpSource itself is only minted inside
+/// the cell, by run_workload. `shape` supplies the serving shape
+/// (key_bytes, key_space, queue_depth); the source decides the length.
+inline SweepCell sweep_source_cell(
+    std::string label, std::function<std::unique_ptr<KvStack>()> make_stack,
+    wl::WorkloadSpec shape, wl::OpSourceFactory source,
+    RunOptions opts = {}) {
+  return sweep_cell(
+      std::move(label),
+      [make_stack = std::move(make_stack), shape, source = std::move(source),
+       opts]() -> RunResult {
+        std::unique_ptr<KvStack> stack = make_stack();
+        return run_workload(*stack, shape, source, opts);
+      });
 }
 
 /// A finished cell, back on the caller's thread. Mix cells carry the

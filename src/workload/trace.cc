@@ -1,0 +1,375 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace kvsim::wl {
+
+namespace {
+
+constexpr char kMagic[4] = {'K', 'V', 'T', '1'};
+constexpr u8 kVersion = 1;
+constexpr u32 kMaxChunkPayload = 16 * MiB;  // reject absurd chunk headers
+constexpr u32 kMaxRecordBytes = 1 + 10 + 10 + 5 + 5;  // worst-case encoding
+
+void put_u32(std::string& out, u32 v) {
+  for (int i = 0; i < 4; ++i) out.push_back((char)((v >> (8 * i)) & 0xff));
+}
+
+u32 get_u32(const unsigned char* p) {
+  return (u32)p[0] | (u32)p[1] << 8 | (u32)p[2] << 16 | (u32)p[3] << 24;
+}
+
+u64 get_u64(const unsigned char* p) {
+  return (u64)get_u32(p) | (u64)get_u32(p + 4) << 32;
+}
+
+void put_uvarint(std::string& out, u64 v) {
+  while (v >= 0x80) {
+    out.push_back((char)(v | 0x80));
+    v >>= 7;
+  }
+  out.push_back((char)v);
+}
+
+u64 zigzag(i64 v) { return ((u64)v << 1) ^ (u64)(v >> 63); }
+i64 unzigzag(u64 v) { return (i64)(v >> 1) ^ -(i64)(v & 1); }
+
+void put_svarint(std::string& out, i64 v) { put_uvarint(out, zigzag(v)); }
+
+/// Decode a LEB128 varint from [p, end). Returns bytes consumed, 0 on
+/// malformed input (overlong/truncated).
+size_t get_uvarint(const unsigned char* p, const unsigned char* end,
+                   u64& out) {
+  u64 v = 0;
+  for (size_t i = 0; i < 10 && p + i < end; ++i) {
+    v |= (u64)(p[i] & 0x7f) << (7 * i);
+    if (!(p[i] & 0x80)) {
+      // Reject non-canonical 10th bytes that would shift past 64 bits.
+      if (i == 9 && p[i] > 1) return 0;
+      out = v;
+      return i + 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+// --- KvtWriter -------------------------------------------------------------
+
+KvtWriter::KvtWriter(const std::string& path, u32 chunk_bytes)
+    : file_(std::fopen(path.c_str(), "wb")),
+      chunk_cap_(chunk_bytes ? chunk_bytes : kDefaultChunkBytes) {
+  if (!file_) {
+    ok_ = false;
+    finished_ = true;
+    return;
+  }
+  write_header();
+}
+
+KvtWriter::KvtWriter(std::string* out, u32 chunk_bytes)
+    : buffer_(out), chunk_cap_(chunk_bytes ? chunk_bytes : kDefaultChunkBytes) {
+  buffer_->clear();
+  write_header();
+}
+
+KvtWriter KvtWriter::to_buffer(std::string* out, u32 chunk_bytes) {
+  return KvtWriter(out, chunk_bytes);
+}
+
+KvtWriter::~KvtWriter() { (void)finish(); }
+
+void KvtWriter::write_header() {
+  std::string h(kMagic, sizeof(kMagic));
+  h.push_back((char)kVersion);
+  h.push_back(0);  // flags
+  h.push_back(0);  // reserved
+  h.push_back(0);
+  sink(h.data(), h.size());
+}
+
+void KvtWriter::sink(const void* data, size_t len) {
+  if (!ok_) return;
+  if (buffer_) {
+    buffer_->append((const char*)data, len);
+  } else if (std::fwrite(data, 1, len, file_) != len) {
+    ok_ = false;
+  }
+}
+
+void KvtWriter::add(const TraceOp& op) {
+  if (finished_) return;
+  chunk_.push_back((char)op.type);
+  // Wrapping unsigned subtraction, then reinterpreted as signed: the
+  // bits (and thus the stream) match a plain signed delta, but a jump
+  // wider than i64 is defined behavior instead of signed overflow.
+  put_svarint(chunk_, (i64)(op.key_id - prev_key_));
+  put_svarint(chunk_, (i64)op.value_bytes - (i64)prev_value_);
+  put_uvarint(chunk_, op.scan_length);
+  put_uvarint(chunk_, op.tenant);
+  prev_key_ = op.key_id;
+  prev_value_ = op.value_bytes;
+  ++chunk_records_;
+  ++written_;
+  if (chunk_.size() >= chunk_cap_) flush_chunk();
+}
+
+void KvtWriter::flush_chunk() {
+  if (chunk_.empty()) return;
+  std::string hdr;
+  put_u32(hdr, (u32)chunk_.size());
+  put_u32(hdr, chunk_records_);
+  put_u32(hdr, crc32(chunk_.data(), chunk_.size()));
+  sink(hdr.data(), hdr.size());
+  sink(chunk_.data(), chunk_.size());
+  chunk_.clear();
+  chunk_records_ = 0;
+  prev_key_ = 0;  // chunks are independently decodable
+  prev_value_ = 0;
+}
+
+bool KvtWriter::finish() {
+  if (finished_) return ok_;
+  flush_chunk();
+  std::string t;
+  put_u32(t, 0);
+  put_u32(t, 0);
+  unsigned char total[8];
+  for (int i = 0; i < 8; ++i) total[i] = (written_ >> (8 * i)) & 0xff;
+  put_u32(t, crc32(total, sizeof(total)));
+  t.append((const char*)total, sizeof(total));
+  sink(t.data(), t.size());
+  if (file_) {
+    if (std::fclose(file_) != 0) ok_ = false;
+    file_ = nullptr;
+  }
+  finished_ = true;
+  return ok_;
+}
+
+// --- KvtReader -------------------------------------------------------------
+
+const char* KvtReader::to_string(Error e) {
+  switch (e) {
+    case Error::kNone: return "ok";
+    case Error::kIo: return "io-error";
+    case Error::kBadMagic: return "bad-magic";
+    case Error::kBadVersion: return "bad-version";
+    case Error::kCorruptChunk: return "corrupt-chunk";
+    case Error::kTruncated: return "truncated";
+  }
+  return "?";
+}
+
+KvtReader::KvtReader(const std::string& path)
+    : file_(std::fopen(path.c_str(), "rb")), path_(path) {
+  if (!file_) fail(Error::kIo);
+}
+
+KvtReader::KvtReader(const std::string* buf) : buffer_(buf) {}
+
+KvtReader KvtReader::from_buffer(const std::string* buf) {
+  return KvtReader(buf);
+}
+
+KvtReader::~KvtReader() {
+  if (file_) std::fclose(file_);
+}
+
+void KvtReader::fail(Error e) {
+  error_ = e;
+  chunk_.clear();
+  chunk_left_ = 0;
+}
+
+bool KvtReader::read_exact(void* dst, size_t len) {
+  if (buffer_) {
+    if (buf_pos_ + len > buffer_->size()) return false;
+    std::memcpy(dst, buffer_->data() + buf_pos_, len);
+    buf_pos_ += len;
+    return true;
+  }
+  return file_ && std::fread(dst, 1, len, file_) == len;
+}
+
+bool KvtReader::load_header() {
+  unsigned char h[8];
+  if (!read_exact(h, sizeof(h))) {
+    fail(Error::kTruncated);
+    return false;
+  }
+  if (std::memcmp(h, kMagic, sizeof(kMagic)) != 0) {
+    fail(Error::kBadMagic);
+    return false;
+  }
+  if (h[4] != kVersion) {
+    fail(Error::kBadVersion);
+    return false;
+  }
+  header_done_ = true;
+  return true;
+}
+
+bool KvtReader::load_chunk() {
+  unsigned char hdr[12];
+  if (!read_exact(hdr, sizeof(hdr))) {
+    fail(Error::kTruncated);
+    return false;
+  }
+  const u32 payload = get_u32(hdr);
+  const u32 count = get_u32(hdr + 4);
+  const u32 crc = get_u32(hdr + 8);
+  if (payload == 0) {  // trailer
+    unsigned char total[8];
+    if (!read_exact(total, sizeof(total)) || count != 0 ||
+        crc32(total, sizeof(total)) != crc) {
+      fail(Error::kTruncated);
+      return false;
+    }
+    total_ = get_u64(total);
+    finished_ = true;
+    return false;
+  }
+  // A record encodes to at least 5 bytes (type + four 1-byte varints),
+  // so a (payload, count) pair outside these bounds is structurally bogus.
+  if (payload > kMaxChunkPayload || count == 0 || payload < (u64)count * 5 ||
+      payload > (u64)count * kMaxRecordBytes) {
+    fail(Error::kCorruptChunk);
+    return false;
+  }
+  chunk_.resize(payload);
+  if (!read_exact(chunk_.data(), payload)) {
+    fail(Error::kTruncated);
+    return false;
+  }
+  if (crc32(chunk_.data(), payload) != crc) {
+    fail(Error::kCorruptChunk);
+    return false;
+  }
+  max_chunk_ = std::max<u64>(max_chunk_, chunk_.capacity());
+  chunk_pos_ = 0;
+  chunk_left_ = count;
+  prev_key_ = 0;
+  prev_value_ = 0;
+  return true;
+}
+
+bool KvtReader::next(TraceOp& out) {
+  if (error_ != Error::kNone || finished_) return false;
+  if (!header_done_ && !load_header()) return false;
+  if (chunk_left_ == 0 && !load_chunk()) return false;
+
+  const auto* p = (const unsigned char*)chunk_.data() + chunk_pos_;
+  const auto* end = (const unsigned char*)chunk_.data() + chunk_.size();
+  if (p >= end) {
+    fail(Error::kCorruptChunk);
+    return false;
+  }
+  const u8 type = *p++;
+  if (type > (u8)OpType::kExist) {
+    fail(Error::kCorruptChunk);
+    return false;
+  }
+  u64 raw[4];
+  for (auto& v : raw) {
+    const size_t n = get_uvarint(p, end, v);
+    if (n == 0) {
+      fail(Error::kCorruptChunk);
+      return false;
+    }
+    p += n;
+  }
+  // Wrapping unsigned addition mirrors the writer's wrapping delta; a
+  // negative value delta wraps right back, and any corrupt delta lands
+  // outside the u32 range below instead of overflowing signed math.
+  const u64 key = prev_key_ + (u64)unzigzag(raw[0]);
+  const u64 value = (u64)prev_value_ + (u64)unzigzag(raw[1]);
+  if (value > 0xffffffffull || raw[2] > 0xffffffffull ||
+      raw[3] > 0xffffffffull) {
+    fail(Error::kCorruptChunk);
+    return false;
+  }
+  out.type = (OpType)type;
+  out.key_id = key;
+  out.value_bytes = (u32)value;
+  out.scan_length = (u32)raw[2];
+  out.tenant = (u32)raw[3];
+  prev_key_ = key;
+  prev_value_ = (u32)value;
+  chunk_pos_ = (size_t)(p - (const unsigned char*)chunk_.data());
+  --chunk_left_;
+  if (chunk_left_ == 0 && chunk_pos_ != chunk_.size()) {
+    fail(Error::kCorruptChunk);  // trailing garbage inside the chunk
+    return false;
+  }
+  ++read_;
+  return true;
+}
+
+void KvtReader::rewind() {
+  if (file_) {
+    std::fclose(file_);
+    file_ = std::fopen(path_.c_str(), "rb");
+  }
+  buf_pos_ = 0;
+  chunk_pos_ = 0;
+  chunk_left_ = 0;
+  prev_key_ = 0;
+  prev_value_ = 0;
+  read_ = 0;
+  header_done_ = false;
+  finished_ = false;
+  error_ = file_ || buffer_ ? Error::kNone : Error::kIo;
+}
+
+// --- TraceOpSource ---------------------------------------------------------
+
+TraceOpSource::TraceOpSource(const std::string& path, Options opts)
+    : reader_(path), opts_(opts) {}
+
+TraceOpSource::TraceOpSource(const std::string* buf, Options opts)
+    : reader_(KvtReader::from_buffer(buf)), opts_(opts) {}
+
+std::unique_ptr<TraceOpSource> TraceOpSource::from_buffer(
+    const std::string* buf, Options opts) {
+  return std::unique_ptr<TraceOpSource>(new TraceOpSource(buf, opts));
+}
+
+bool TraceOpSource::next(Op& out) {
+  if (opts_.limit && generated_ >= opts_.limit) return false;
+  TraceOp rec;
+  bool rewound = false;
+  for (;;) {
+    if (!reader_.next(rec)) {
+      // Loop mode rewinds at a *clean* end-of-trace; errors stay fatal,
+      // and a full pass with no tenant match means the stream is dry.
+      if (opts_.loop && opts_.limit && reader_.finished() &&
+          reader_.read_records() > 0 && !rewound) {
+        reader_.rewind();
+        rewound = true;
+        continue;
+      }
+      return false;
+    }
+    if (opts_.tenant < 0 || (i64)rec.tenant == opts_.tenant) break;
+  }
+  out = Op{rec.type, rec.key_id, rec.value_bytes, rec.scan_length};
+  ++generated_;
+  return true;
+}
+
+void TraceOpSource::reset(u64 /*seed*/) {
+  reader_.rewind();
+  generated_ = 0;
+}
+
+OpSourceFactory trace_source(const std::string& path,
+                             TraceOpSource::Options opts) {
+  return [path, opts] { return std::make_unique<TraceOpSource>(path, opts); };
+}
+
+}  // namespace kvsim::wl

@@ -1,0 +1,219 @@
+// The `.kvt` binary trace format and its streaming codec.
+//
+// A trace is the op stream itself — {type, key_id, value_bytes,
+// scan_length, tenant} per record, no timing — so a captured run can be
+// replayed bit-exactly through any bed, and imported real-world traces
+// (workload/importers/) share one on-disk shape with recorded synthetic
+// runs. The format is built for scale: records are varint/delta encoded
+// (~4-8 B each for realistic streams), grouped into independently
+// decodable chunks with a CRC-32 each, and both writer and reader stream
+// through a single bounded chunk buffer — a billion-op replay holds one
+// chunk in memory, never the trace.
+//
+// Layout (all integers little-endian):
+//
+//   header   "KVT1" | u8 version (=1) | u8 flags (=0) | u16 reserved (=0)
+//   chunk*   u32 payload_bytes (>0) | u32 record_count | u32 crc32(payload)
+//            | payload
+//   trailer  u32 payload_bytes (=0) | u32 record_count (=0)
+//            | u32 crc32(total_records as 8 LE bytes) | u64 total_records
+//
+// Within a chunk's payload, each record is:
+//
+//   u8 type  | svarint delta(key_id)  | svarint delta(value_bytes)
+//            | uvarint scan_length    | uvarint tenant
+//
+// where uvarint is LEB128, svarint is zigzag LEB128, and both deltas are
+// against the previous record *in the same chunk* (first record deltas
+// against 0), so a chunk decodes without any cross-chunk state. A stream
+// that ends without the trailer is reported as truncated; a chunk whose
+// payload fails its CRC is rejected, never decoded.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "common/types.h"
+#include "workload/workload.h"
+
+namespace kvsim::wl {
+
+/// One trace record: an Op plus the tenant lane it was issued on.
+struct TraceOp {
+  OpType type = OpType::kInsert;
+  u64 key_id = 0;
+  u32 value_bytes = 0;
+  u32 scan_length = 0;
+  u32 tenant = 0;
+
+  bool operator==(const TraceOp& o) const {
+    return type == o.type && key_id == o.key_id &&
+           value_bytes == o.value_bytes && scan_length == o.scan_length &&
+           tenant == o.tenant;
+  }
+};
+
+/// Streaming `.kvt` writer with one bounded chunk buffer. Sinks to a file
+/// (path constructor) or to a caller-owned string (KvtWriter::to_buffer).
+/// I/O errors latch: ok() goes false and stays false; finish() seals the
+/// stream with the trailer and reports overall success.
+class KvtWriter {
+ public:
+  KVSIM_THREAD_CONFINED;
+  static constexpr u32 kDefaultChunkBytes = 64 * KiB;
+
+  /// Write to `path` (truncating). Check ok() before use.
+  explicit KvtWriter(const std::string& path,
+                     u32 chunk_bytes = kDefaultChunkBytes);
+  /// Write to `*out` (cleared first). The buffer must outlive the writer.
+  static KvtWriter to_buffer(std::string* out,
+                             u32 chunk_bytes = kDefaultChunkBytes);
+  KvtWriter(const KvtWriter&) = delete;
+  KvtWriter& operator=(const KvtWriter&) = delete;
+  ~KvtWriter();  // finishes the stream if finish() was not called
+
+  void add(const TraceOp& op);
+  /// Flush the open chunk, write the trailer, release the sink. Returns
+  /// false if any I/O failed (also reflected by ok()). Idempotent.
+  bool finish();
+
+  [[nodiscard]] u64 written() const { return written_; }
+  [[nodiscard]] bool ok() const { return ok_; }
+
+ private:
+  explicit KvtWriter(std::string* out, u32 chunk_bytes);
+  void write_header();
+  void flush_chunk();
+  void sink(const void* data, size_t len);
+
+  std::FILE* file_ = nullptr;    // exactly one of file_ / buffer_ is set
+  std::string* buffer_ = nullptr;
+  u32 chunk_cap_;
+  std::string chunk_;            // open chunk payload
+  u32 chunk_records_ = 0;
+  u64 prev_key_ = 0;             // per-chunk delta state
+  u32 prev_value_ = 0;
+  u64 written_ = 0;
+  bool ok_ = true;
+  bool finished_ = false;
+};
+
+/// Streaming `.kvt` reader: decodes one chunk at a time into a bounded
+/// buffer (memory is flat in the trace length). Malformed input never
+/// produces records — next() returns false and error() says why.
+class KvtReader {
+ public:
+  KVSIM_THREAD_CONFINED;
+  enum class Error {
+    kNone,        ///< healthy (possibly cleanly finished)
+    kIo,          ///< open/read failure
+    kBadMagic,    ///< not a .kvt stream
+    kBadVersion,  ///< future format version
+    kCorruptChunk,///< chunk CRC mismatch or malformed record encoding
+    kTruncated,   ///< stream ended without the trailer
+  };
+
+  /// Read from `path`. Check ok() (or the first next()) for open errors.
+  explicit KvtReader(const std::string& path);
+  /// Read from a caller-owned buffer, which must outlive the reader.
+  static KvtReader from_buffer(const std::string* buf);
+  KvtReader(const KvtReader&) = delete;
+  KvtReader& operator=(const KvtReader&) = delete;
+  ~KvtReader();
+
+  /// Decode the next record. False at clean end-of-trace or on error —
+  /// distinguish via error() / ok().
+  bool next(TraceOp& out);
+  /// Restart from the first record (reopens the file source's cursor).
+  void rewind();
+
+  [[nodiscard]] Error error() const { return error_; }
+  [[nodiscard]] bool ok() const { return error_ == Error::kNone; }
+  /// Records decoded since construction / rewind().
+  [[nodiscard]] u64 read_records() const { return read_; }
+  /// Total records per the trailer; known only once it has been reached
+  /// (0 before — see finished()).
+  [[nodiscard]] u64 total_records() const { return total_; }
+  [[nodiscard]] bool finished() const { return finished_; }
+  /// High-water mark of the chunk buffer: the flat-memory witness the
+  /// replay bench asserts on (bounded regardless of trace length).
+  [[nodiscard]] u64 max_chunk_bytes() const { return max_chunk_; }
+
+  static const char* to_string(Error e);
+
+ private:
+  explicit KvtReader(const std::string* buf);
+  bool read_exact(void* dst, size_t len);
+  bool load_header();
+  bool load_chunk();  // false at trailer or on error
+  void fail(Error e);
+
+  std::FILE* file_ = nullptr;
+  std::string path_;             // for rewind() of file sources
+  const std::string* buffer_ = nullptr;
+  size_t buf_pos_ = 0;
+  std::string chunk_;            // decoded-from chunk payload
+  size_t chunk_pos_ = 0;
+  u32 chunk_left_ = 0;           // records remaining in chunk_
+  u64 prev_key_ = 0;
+  u32 prev_value_ = 0;
+  u64 read_ = 0;
+  u64 total_ = 0;
+  u64 max_chunk_ = 0;
+  bool header_done_ = false;
+  bool finished_ = false;
+  Error error_ = Error::kNone;
+};
+
+/// Replays a `.kvt` trace as an OpSource — the runner drives it exactly
+/// like the synthetic generator. Streaming: holds one chunk, never the
+/// trace. reset() rewinds (the seed is ignored; a trace has no
+/// randomness). Options:
+///   tenant  -1 replays every record; >= 0 replays only that tenant's
+///           records (the per-tenant sub-stream of a recorded mix run)
+///   limit   stop after this many ops (0 = trace length)
+///   loop    rewind at end-of-trace and keep going until `limit` — the
+///           time-compressed scale mode (a 10M-op trace can drive a
+///           billion-op run); requires limit > 0
+class TraceOpSource final : public OpSource {
+ public:
+  KVSIM_THREAD_CONFINED;
+  struct Options {
+    i64 tenant = -1;
+    u64 limit = 0;
+    bool loop = false;
+  };
+
+  explicit TraceOpSource(const std::string& path) : TraceOpSource(path, Options{}) {}
+  TraceOpSource(const std::string& path, Options opts);
+  /// Replay from a caller-owned buffer (must outlive the source).
+  static std::unique_ptr<TraceOpSource> from_buffer(const std::string* buf) {
+    return from_buffer(buf, Options{});
+  }
+  static std::unique_ptr<TraceOpSource> from_buffer(const std::string* buf,
+                                                    Options opts);
+
+  bool next(Op& out) override;
+  [[nodiscard]] u64 generated() const override { return generated_; }
+  void reset(u64 seed) override;
+
+  [[nodiscard]] const KvtReader& reader() const { return reader_; }
+  /// True when replay stopped because the underlying stream was
+  /// malformed (CRC failure, truncation, ...), not at a clean end.
+  [[nodiscard]] bool failed() const { return !reader_.ok(); }
+
+ private:
+  TraceOpSource(const std::string* buf, Options opts);
+
+  KvtReader reader_;
+  Options opts_;
+  u64 generated_ = 0;
+};
+
+/// Factory for streaming replay of a `.kvt` file (see OpSourceFactory).
+OpSourceFactory trace_source(const std::string& path,
+                             TraceOpSource::Options opts = {});
+
+}  // namespace kvsim::wl

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 
 #include "common/hash.h"
 
@@ -70,8 +71,42 @@ u64 KeyChooser::next() {
   return 0;
 }
 
-OpStream::OpStream(const WorkloadSpec& spec)
-    : spec_(spec),
+void WorkloadSpec::validate() const {
+  if (num_ops == 0)
+    throw std::invalid_argument("WorkloadSpec: num_ops must be > 0");
+  if (key_bytes == 0)
+    throw std::invalid_argument("WorkloadSpec: key_bytes must be > 0");
+  if (zipf_theta <= 0)
+    throw std::invalid_argument("WorkloadSpec: zipf_theta must be > 0");
+  if (value_min_bytes > value_bytes)
+    throw std::invalid_argument(
+        "WorkloadSpec: value_min_bytes > value_bytes (empty value range)");
+  const double fracs[] = {mix.insert, mix.update, mix.read, mix.scan};
+  double sum = 0;
+  for (const double f : fracs) {
+    if (f < 0.0 || f > 1.0)
+      throw std::invalid_argument(
+          "WorkloadSpec: op-mix fractions must be in [0, 1]");
+    sum += f;
+  }
+  if (sum > 1.0 + 1e-9)
+    throw std::invalid_argument("WorkloadSpec: op-mix fractions sum > 1");
+  if (mix.scan > 0.0 && scan_length == 0)
+    throw std::invalid_argument(
+        "WorkloadSpec: scan mix requires scan_length > 0");
+}
+
+namespace {
+/// Validate before any member is built — a rejected spec must never
+/// reach the RNG machinery (e.g. ZipfGenerator with theta <= 0).
+const WorkloadSpec& validated(const WorkloadSpec& s) {
+  s.validate();
+  return s;
+}
+}  // namespace
+
+SyntheticOpSource::SyntheticOpSource(const WorkloadSpec& spec)
+    : spec_(validated(spec)),
       chooser_(spec.pattern, spec.key_space, spec.seed, spec.zipf_theta,
                spec.window),
       type_rng_(spec.seed ^ 0xabcdef0123456789ull),
@@ -81,7 +116,28 @@ OpStream::OpStream(const WorkloadSpec& spec)
   chooser_.set_total_ops(spec.num_ops);
 }
 
-u64 OpStream::choose_id(OpType type) {
+void SyntheticOpSource::reset(u64 seed) {
+  spec_.seed = seed;
+  // Re-derive every random stream from the new seed and rewind all
+  // cursors; reset(original seed) reproduces the original stream
+  // byte-for-byte (the fidelity tests depend on it).
+  chooser_ = KeyChooser(spec_.pattern, spec_.key_space, seed,
+                        spec_.zipf_theta, spec_.window);
+  chooser_.set_total_ops(spec_.num_ops);
+  type_rng_.reseed(seed ^ 0xabcdef0123456789ull);
+  size_rng_.reseed(seed ^ 0x5151515151515151ull);
+  insert_perm_.reseed(seed);
+  insert_cursor_ = 0;
+  generated_ = 0;
+  frontier_ = spec_.key_space;
+}
+
+OpSourceFactory synthetic_source(const WorkloadSpec& spec) {
+  spec.validate();  // fail at factory-build time, not first use
+  return [spec] { return std::make_unique<SyntheticOpSource>(spec); };
+}
+
+u64 SyntheticOpSource::choose_id(OpType type) {
   if (spec_.inserts_extend_space && type == OpType::kInsert) {
     const u64 id = frontier_++;
     chooser_.set_space(frontier_);  // recency distributions follow along
@@ -94,7 +150,7 @@ u64 OpStream::choose_id(OpType type) {
   return chooser_.next();
 }
 
-u32 OpStream::choose_value_bytes() {
+u32 SyntheticOpSource::choose_value_bytes() {
   switch (spec_.value_dist) {
     case ValueDist::kFixed:
       return spec_.value_bytes;
@@ -113,7 +169,7 @@ u32 OpStream::choose_value_bytes() {
   return spec_.value_bytes;
 }
 
-bool OpStream::next(Op& out) {
+bool SyntheticOpSource::next(Op& out) {
   if (generated_ >= spec_.num_ops) return false;
   ++generated_;
   const double r = type_rng_.uniform();

@@ -7,6 +7,7 @@
 // keys are drawn uniformly from inside it).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -111,7 +112,24 @@ struct WorkloadSpec {
   /// order given by `pattern` (sequential, or a shuffled permutation for
   /// random/zipf orders) — KVBench-style population.
   bool distinct_inserts = false;
+
+  /// Reject nonsense specs that would otherwise silently generate
+  /// degenerate streams (zero ops, zero-width keys, non-positive zipf
+  /// skew, an empty value range, a scan mix with scan_length == 0, or
+  /// mix fractions outside [0, 1]). Throws std::invalid_argument; called
+  /// by every synthetic OpSource construction.
+  void validate() const;
 };
+
+class OpSource;
+
+/// Builds a fresh OpSource. Factories are what cross API boundaries
+/// (TenantSpec, run_workload overloads, sweep cells): they are copyable
+/// plain data, while the source itself is thread-confined machinery that
+/// must be constructed where it is consumed. A factory must be callable
+/// any number of times and return an equivalent (same-stream) source on
+/// each call.
+using OpSourceFactory = std::function<std::unique_ptr<OpSource>()>;
 
 /// One tenant's slice of a multi-tenant workload mix: a full WorkloadSpec
 /// plus the serving-shape knobs the device front-end needs — the NVMe
@@ -125,6 +143,13 @@ struct TenantSpec {
   u32 weight = 1;  ///< WRR weight of this tenant's queue
   u32 queue = 0;   ///< NVMe submission queue the tenant posts to
   u8 nsid = 0;     ///< namespace: fully isolated keyspace (0 = default)
+  /// Where this tenant's ops come from. Empty (the default) means
+  /// "synthesize from `spec`" — the exact pre-OpSource behavior. When
+  /// set (e.g. trace replay), the runner draws ops from the factory's
+  /// source instead and `spec` provides only the serving shape:
+  /// key_bytes, key_space, and queue_depth. spec.num_ops is ignored —
+  /// the source decides when the stream ends.
+  OpSourceFactory source;
 };
 
 /// A weighted mix of tenant workloads, interleaved deterministically by
@@ -159,13 +184,42 @@ struct Op {
   u32 scan_length = 0;  ///< set for kScan
 };
 
-/// Streams `spec.num_ops` operations.
-class OpStream {
+/// A stream of operations, wherever they come from. The runner is the
+/// consumer: it calls next() until the source runs dry, so one interface
+/// drives synthetic generation (SyntheticOpSource), `.kvt` trace replay
+/// (TraceOpSource, workload/trace.h), and trace-fitted synthesis
+/// (SynthFromTraceOpSource, workload/importers/trace_synth.h).
+///
+/// Contract: next() fills `out` and returns true, or returns false at
+/// end-of-stream (and stays false). generated() counts ops handed out so
+/// far. reset(seed) restarts the stream from op 0 — a synthetic source
+/// re-derives every RNG from `seed` (reset(original seed) reproduces the
+/// original stream exactly), a replaying source rewinds and ignores the
+/// seed. Sources are thread-confined and move-only; pass an
+/// OpSourceFactory across API boundaries instead of a source.
+class OpSource {
  public:
   KVSIM_THREAD_CONFINED;
-  explicit OpStream(const WorkloadSpec& spec);
-  bool next(Op& out);
-  [[nodiscard]] u64 generated() const { return generated_; }
+  OpSource() = default;
+  OpSource(const OpSource&) = delete;
+  OpSource& operator=(const OpSource&) = delete;
+  virtual ~OpSource() = default;
+
+  virtual bool next(Op& out) = 0;
+  [[nodiscard]] virtual u64 generated() const = 0;
+  virtual void reset(u64 seed) = 0;
+};
+
+/// Streams `spec.num_ops` generated operations (the KVBench-equivalent
+/// generator). Construction validates the spec.
+class SyntheticOpSource final : public OpSource {
+ public:
+  KVSIM_THREAD_CONFINED;
+  explicit SyntheticOpSource(const WorkloadSpec& spec);
+  bool next(Op& out) override;
+  [[nodiscard]] u64 generated() const override { return generated_; }
+  void reset(u64 seed) override;
+  [[nodiscard]] const WorkloadSpec& spec() const { return spec_; }
 
  private:
   u64 choose_id(OpType type);
@@ -180,5 +234,11 @@ class OpStream {
   u64 generated_ = 0;
   u64 frontier_;  ///< next fresh key id (inserts_extend_space mode)
 };
+
+/// Back-compat alias: OpStream was the concrete pre-interface generator.
+using OpStream = SyntheticOpSource;
+
+/// Factory for the synthetic generator (the default op source).
+OpSourceFactory synthetic_source(const WorkloadSpec& spec);
 
 }  // namespace kvsim::wl

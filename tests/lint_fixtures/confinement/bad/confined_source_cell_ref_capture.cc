@@ -1,0 +1,28 @@
+// [confined-capture] seeded violation: sweep_source_cell's make_stack
+// callable capturing a thread-confined stack by reference. The
+// op-source cell crosses the same pool boundary as plain cells — the
+// factory must build the stack inside the call, never borrow one the
+// caller already owns.
+#include "harness/sweep.h"
+
+namespace kvsim::fixture {
+
+class MiniSourceBed {
+ public:
+  KVSIM_THREAD_CONFINED;
+};
+
+inline void bad_source_cells(harness::SweepRunner& runner) {
+  MiniSourceBed bed;
+  wl::WorkloadSpec shape;
+  std::vector<harness::SweepCell> cells;
+  cells.push_back(harness::sweep_source_cell(
+      "replay/0",
+      [&bed]() -> std::unique_ptr<harness::KvStack> {  // BAD: &bed
+        return nullptr;
+      },
+      shape, wl::synthetic_source(shape)));
+  (void)runner.run(std::move(cells));
+}
+
+}  // namespace kvsim::fixture

@@ -1,0 +1,26 @@
+// [confined-capture] seeded violation: the confined instance is held
+// behind a unique_ptr, and the *handle* is captured by reference into a
+// sweep cell. Unique ownership does not launder the boundary crossing —
+// the pool thread still dereferences an object owned by the caller's
+// thread. The checker must see through the unique_ptr<> declaration.
+#include <memory>
+
+#include "harness/sweep.h"
+
+namespace kvsim::fixture {
+
+class MiniPtrBed {
+ public:
+  KVSIM_THREAD_CONFINED;
+  harness::RunResult run() { return harness::RunResult{}; }
+};
+
+inline void bad_ptr_cells(harness::SweepRunner& runner) {
+  std::unique_ptr<MiniPtrBed> bed = std::make_unique<MiniPtrBed>();
+  std::vector<harness::SweepCell> cells;
+  cells.push_back(harness::sweep_cell(
+      "ptr/0", [&bed] { return bed->run(); }));  // BAD: &bed (handle ref)
+  (void)runner.run(std::move(cells));
+}
+
+}  // namespace kvsim::fixture

@@ -1,0 +1,36 @@
+// Clean fixture: the sanctioned sweep_source_cell shape. The make_stack
+// callable captures only plain config data by value and constructs the
+// thread-confined stack inside the call; the OpSourceFactory and
+// WorkloadSpec are copyable plain data, safe to carry across the pool
+// boundary. No confined instance exists outside a cell.
+#include <memory>
+
+#include "harness/sweep.h"
+
+namespace kvsim::fixture {
+
+class MiniSourceBed2 {
+ public:
+  KVSIM_THREAD_CONFINED;
+  explicit MiniSourceBed2(int channels) : channels_(channels) {}
+
+ private:
+  int channels_;
+};
+
+inline void good_source_cells(harness::SweepRunner& runner) {
+  wl::WorkloadSpec shape;
+  std::vector<harness::SweepCell> cells;
+  for (int channels : {1, 2, 4}) {
+    cells.push_back(harness::sweep_source_cell(
+        "replay/ch" + std::to_string(channels),
+        [channels]() -> std::unique_ptr<harness::KvStack> {
+          (void)MiniSourceBed2(channels);  // OK: built inside the cell
+          return nullptr;
+        },
+        shape, wl::synthetic_source(shape)));
+  }
+  (void)runner.run(std::move(cells));
+}
+
+}  // namespace kvsim::fixture

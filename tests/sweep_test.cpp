@@ -14,6 +14,7 @@
 #include "harness/runner.h"
 #include "harness/stacks.h"
 #include "harness/sweep.h"
+#include "workload/trace.h"
 
 namespace kvsim::harness {
 namespace {
@@ -129,6 +130,60 @@ TEST(SweepRunner, MixCellsThreadCountInvariance) {
   const std::string j1 = merged_mix_json(1);
   const std::string j4 = merged_mix_json(4);
   ASSERT_TRUE(j1.find("mix_runs") != std::string::npos);
+  EXPECT_EQ(j1, j4);
+}
+
+// Trace-replay cells: every cell replays the same captured op stream
+// (a shared read-only buffer) through a privately built bed, via the
+// sweep_source_cell thread boundary. The merged document must stay
+// byte-identical across thread counts, like every other cell kind.
+std::string replay_merged_json(u32 threads, const std::string* trace,
+                               const wl::WorkloadSpec& shape) {
+  std::vector<SweepCell> cells;
+  for (u32 channels : {1u, 2u, 4u}) {
+    cells.push_back(sweep_source_cell(
+        "replay/ch" + std::to_string(channels),
+        [channels]() -> std::unique_ptr<KvStack> {
+          KvssdBedConfig c;
+          c.dev = tiny_dev();
+          c.dev.geometry.channels = channels;
+          return std::make_unique<KvssdBed>(c);
+        },
+        shape, [trace] { return wl::TraceOpSource::from_buffer(trace); },
+        RunOptions{.drain_after = true}));
+  }
+  SweepRunner runner(SweepRunner::Options{.threads = threads});
+  auto results = runner.run(std::move(cells));
+  BenchReport report("sweep_test");
+  add_sweep_results(report, results);
+  return report.to_json();
+}
+
+TEST(SweepRunner, TraceReplayCellsThreadCountInvariance) {
+  // Capture a synthetic stream once; all cells share the buffer
+  // read-only and each mints its own confined TraceOpSource inside the
+  // cell.
+  wl::WorkloadSpec shape;
+  shape.num_ops = 1200;
+  shape.key_space = 600;
+  shape.key_bytes = 16;
+  shape.value_bytes = 1024;
+  shape.mix = {0.3, 0.2, 0.5, 0};
+  shape.queue_depth = 16;
+  shape.seed = 5;
+  std::string trace;
+  {
+    wl::KvtWriter w = wl::KvtWriter::to_buffer(&trace);
+    wl::SyntheticOpSource src(shape);
+    wl::Op op;
+    while (src.next(op))
+      w.add(wl::TraceOp{op.type, op.key_id, op.value_bytes, op.scan_length,
+                        0});
+    ASSERT_TRUE(w.finish());
+  }
+  const std::string j1 = replay_merged_json(1, &trace, shape);
+  const std::string j4 = replay_merged_json(4, &trace, shape);
+  ASSERT_FALSE(j1.empty());
   EXPECT_EQ(j1, j4);
 }
 

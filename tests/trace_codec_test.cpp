@@ -1,0 +1,266 @@
+// The `.kvt` codec contract: exact round-trips at any chunk size, hard
+// rejection of truncated or corrupted streams (a bad chunk never decodes
+// into records), varint edge values, and the TraceOpSource replay
+// options (limit / loop / tenant filter).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/trace.h"
+
+namespace kvsim::wl {
+namespace {
+
+std::vector<TraceOp> random_ops(u64 seed, size_t n) {
+  Rng rng(seed);
+  std::vector<TraceOp> ops;
+  ops.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    TraceOp op;
+    op.type = (OpType)rng.below(6);  // every enumerator incl. kExist
+    // Mostly local keys with occasional huge jumps: both small and
+    // near-64-bit signed deltas go through the zigzag path.
+    op.key_id = rng.chance(0.05) ? rng.next() : rng.below(100'000);
+    op.value_bytes = (u32)rng.below(64 * KiB);
+    op.scan_length = op.type == OpType::kScan ? (u32)rng.below(256) : 0;
+    op.tenant = (u32)rng.below(8);
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+std::string encode(const std::vector<TraceOp>& ops,
+                   u32 chunk_bytes = KvtWriter::kDefaultChunkBytes) {
+  std::string buf;
+  KvtWriter w = KvtWriter::to_buffer(&buf, chunk_bytes);
+  for (const TraceOp& op : ops) w.add(op);
+  EXPECT_TRUE(w.finish());
+  EXPECT_EQ(w.written(), ops.size());
+  return buf;
+}
+
+std::vector<TraceOp> decode(const std::string& buf, KvtReader::Error* err) {
+  KvtReader r = KvtReader::from_buffer(&buf);
+  std::vector<TraceOp> out;
+  TraceOp op;
+  while (r.next(op)) out.push_back(op);
+  *err = r.error();
+  return out;
+}
+
+TEST(KvtCodec, RoundTripFuzzAcrossSeedsAndChunkSizes) {
+  // Tiny chunks force many chunk boundaries (and per-chunk delta resets);
+  // the default size exercises the single-chunk path.
+  for (const u64 seed : {1ull, 2ull, 3ull}) {
+    const std::vector<TraceOp> ops = random_ops(seed, 5000);
+    for (const u32 chunk : {64u, 4096u, KvtWriter::kDefaultChunkBytes}) {
+      const std::string buf = encode(ops, chunk);
+      KvtReader::Error err;
+      const std::vector<TraceOp> back = decode(buf, &err);
+      ASSERT_EQ(err, KvtReader::Error::kNone) << KvtReader::to_string(err);
+      ASSERT_EQ(back.size(), ops.size());
+      for (size_t i = 0; i < ops.size(); ++i)
+        ASSERT_TRUE(back[i] == ops[i]) << "record " << i << " seed " << seed;
+    }
+  }
+}
+
+TEST(KvtCodec, VarintBoundaryValues) {
+  // Extreme deltas: 0 -> u64 max -> 0 swings the signed zigzag encoding
+  // through its widest 10-byte form; u32 fields pin both ends.
+  std::vector<TraceOp> ops;
+  ops.push_back({OpType::kInsert, 0, 0, 0, 0});
+  ops.push_back({OpType::kRead, ~0ull, 0xffffffffu, 0, 0xffffffffu});
+  ops.push_back({OpType::kScan, 0, 1, 0xffffffffu, 0});
+  ops.push_back({OpType::kUpdate, 0x8000000000000000ull, 127, 128, 1});
+  ops.push_back({OpType::kExist, 0x7fffffffffffffffull, 128, 127, 2});
+  const std::string buf = encode(ops, /*chunk_bytes=*/64);
+  KvtReader::Error err;
+  const std::vector<TraceOp> back = decode(buf, &err);
+  ASSERT_EQ(err, KvtReader::Error::kNone);
+  ASSERT_EQ(back.size(), ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) EXPECT_TRUE(back[i] == ops[i]);
+}
+
+TEST(KvtCodec, EmptyTraceAndSingleOp) {
+  std::string buf;
+  {
+    KvtWriter w = KvtWriter::to_buffer(&buf);
+    EXPECT_TRUE(w.finish());
+  }
+  KvtReader r = KvtReader::from_buffer(&buf);
+  TraceOp op;
+  EXPECT_FALSE(r.next(op));
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.finished());
+  EXPECT_EQ(r.total_records(), 0u);
+
+  const std::vector<TraceOp> one = {{OpType::kUpdate, 7, 42, 0, 3}};
+  const std::string buf1 = encode(one);
+  KvtReader::Error err;
+  const std::vector<TraceOp> back = decode(buf1, &err);
+  ASSERT_EQ(err, KvtReader::Error::kNone);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_TRUE(back[0] == one[0]);
+}
+
+TEST(KvtCodec, TruncationDetectedAtEveryCut) {
+  const std::vector<TraceOp> ops = random_ops(9, 300);
+  const std::string buf = encode(ops, /*chunk_bytes=*/128);
+  // Any proper prefix must fail with kTruncated (cut mid-header,
+  // mid-chunk-header, mid-payload, mid-trailer) — and never invent
+  // records past the cut.
+  for (size_t cut = 0; cut < buf.size(); cut += 37) {
+    const std::string pre = buf.substr(0, cut);
+    KvtReader::Error err;
+    const std::vector<TraceOp> back = decode(pre, &err);
+    EXPECT_EQ(err, KvtReader::Error::kTruncated) << "cut=" << cut;
+    EXPECT_LE(back.size(), ops.size());
+    for (size_t i = 0; i < back.size(); ++i)
+      EXPECT_TRUE(back[i] == ops[i]);  // decoded prefix is still exact
+  }
+}
+
+TEST(KvtCodec, CorruptChunkRejectedByCrc) {
+  const std::vector<TraceOp> ops = random_ops(11, 500);
+  const std::string good = encode(ops, /*chunk_bytes=*/256);
+  // Flip one byte inside the first chunk's payload (header is 8 bytes,
+  // chunk header 12 more): the CRC must catch it and no record from the
+  // damaged chunk may surface.
+  std::string bad = good;
+  bad[8 + 12 + 3] = (char)(bad[8 + 12 + 3] ^ 0x40);
+  KvtReader::Error err;
+  const std::vector<TraceOp> back = decode(bad, &err);
+  EXPECT_EQ(err, KvtReader::Error::kCorruptChunk);
+  EXPECT_TRUE(back.empty());
+}
+
+TEST(KvtCodec, BadMagicAndVersionRejected) {
+  const std::string good = encode(random_ops(5, 10));
+  std::string magic = good;
+  magic[0] = 'X';
+  KvtReader::Error err;
+  EXPECT_TRUE(decode(magic, &err).empty());
+  EXPECT_EQ(err, KvtReader::Error::kBadMagic);
+
+  std::string version = good;
+  version[4] = (char)9;
+  EXPECT_TRUE(decode(version, &err).empty());
+  EXPECT_EQ(err, KvtReader::Error::kBadVersion);
+}
+
+TEST(KvtCodec, FileRoundTripAndRewind) {
+  const std::string path = "/tmp/kvsim_trace_codec_test.kvt";
+  const std::vector<TraceOp> ops = random_ops(21, 2000);
+  {
+    KvtWriter w(path, /*chunk_bytes=*/512);
+    ASSERT_TRUE(w.ok());
+    for (const TraceOp& op : ops) w.add(op);
+    ASSERT_TRUE(w.finish());
+  }
+  KvtReader r(path);
+  TraceOp op;
+  u64 n = 0;
+  while (r.next(op)) ++n;
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(n, ops.size());
+  EXPECT_EQ(r.total_records(), ops.size());
+  // rewind() restarts the stream exactly.
+  r.rewind();
+  ASSERT_TRUE(r.next(op));
+  EXPECT_TRUE(op == ops[0]);
+  std::remove(path.c_str());
+}
+
+TEST(KvtCodec, MissingFileReportsIoError) {
+  KvtReader r("/tmp/kvsim_no_such_trace.kvt");
+  TraceOp op;
+  EXPECT_FALSE(r.next(op));
+  EXPECT_EQ(r.error(), KvtReader::Error::kIo);
+}
+
+TEST(KvtCodec, ReaderMemoryIsChunkBounded) {
+  // The flat-memory witness: a 50x longer trace must not grow the
+  // reader's chunk buffer high-water mark.
+  auto high_water = [](size_t n) {
+    const std::string buf = encode(random_ops(3, n), /*chunk_bytes=*/4096);
+    KvtReader r = KvtReader::from_buffer(&buf);
+    TraceOp op;
+    while (r.next(op)) {
+    }
+    EXPECT_TRUE(r.ok());
+    return r.max_chunk_bytes();
+  };
+  const u64 small = high_water(1000);
+  const u64 large = high_water(50'000);
+  EXPECT_GT(small, 0u);
+  // Bounded by the chunk size (plus one record of overshoot and
+  // allocator rounding), independent of trace length.
+  EXPECT_LE(small, 16 * KiB);
+  EXPECT_LE(large, 16 * KiB);
+}
+
+TEST(TraceOpSourceTest, LimitLoopAndTenantFilter) {
+  std::vector<TraceOp> ops;
+  for (u64 i = 0; i < 100; ++i)
+    ops.push_back({OpType::kUpdate, i, 64, 0, (u32)(i % 2)});
+  std::string buf;
+  {
+    KvtWriter w = KvtWriter::to_buffer(&buf);
+    for (const TraceOp& op : ops) w.add(op);
+    ASSERT_TRUE(w.finish());
+  }
+
+  // Tenant filter: only tenant 1's 50 records (odd key ids) replay.
+  {
+    auto src = TraceOpSource::from_buffer(&buf, {.tenant = 1});
+    Op op;
+    u64 n = 0;
+    while (src->next(op)) {
+      EXPECT_EQ(op.key_id % 2, 1u);
+      ++n;
+    }
+    EXPECT_EQ(n, 50u);
+    EXPECT_EQ(src->generated(), 50u);
+    EXPECT_FALSE(src->failed());
+  }
+
+  // Loop mode: a 100-record trace drives a 250-op stream, wrapping at
+  // each clean end-of-trace.
+  {
+    auto src = TraceOpSource::from_buffer(&buf, {.limit = 250, .loop = true});
+    Op op;
+    u64 n = 0;
+    while (src->next(op)) {
+      EXPECT_EQ(op.key_id, n % 100);
+      ++n;
+    }
+    EXPECT_EQ(n, 250u);
+  }
+
+  // A looping filter that never matches must terminate, not spin.
+  {
+    auto src =
+        TraceOpSource::from_buffer(&buf, {.tenant = 7, .limit = 10, .loop = true});
+    Op op;
+    EXPECT_FALSE(src->next(op));
+    EXPECT_FALSE(src->failed());  // dry, not malformed
+  }
+
+  // reset() replays from the top.
+  {
+    auto src = TraceOpSource::from_buffer(&buf, {});
+    Op a, b;
+    ASSERT_TRUE(src->next(a));
+    src->reset(/*seed=*/999);  // seed is ignored for replay
+    ASSERT_TRUE(src->next(b));
+    EXPECT_EQ(a.key_id, b.key_id);
+    EXPECT_EQ(src->generated(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace kvsim::wl

@@ -1,0 +1,346 @@
+// Record -> replay fidelity: capturing a run's op stream to `.kvt` and
+// replaying it through TraceOpSource must reproduce the original
+// BenchReport JSON byte-for-byte, across beds and seeds. Plus the
+// MSR-Cambridge importer and the trace-fitting synthesizer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/report.h"
+#include "harness/runner.h"
+#include "harness/stacks.h"
+#include "workload/importers/msr_cambridge.h"
+#include "workload/importers/trace_synth.h"
+#include "workload/trace.h"
+
+namespace kvsim::harness {
+namespace {
+
+ssd::SsdConfig tiny_dev() {
+  ssd::SsdConfig d;
+  d.geometry.channels = 2;
+  d.geometry.dies_per_channel = 2;
+  d.geometry.planes_per_die = 2;
+  d.geometry.blocks_per_plane = 16;
+  d.geometry.pages_per_block = 16;
+  return d;
+}
+
+wl::WorkloadSpec churn_spec(u64 seed) {
+  wl::WorkloadSpec spec;
+  spec.num_ops = 2000;
+  spec.key_space = 800;
+  spec.key_bytes = 16;
+  spec.value_bytes = 2048;
+  spec.value_dist = wl::ValueDist::kUniform;
+  spec.value_min_bytes = 64;
+  spec.mix = {0.1, 0.3, 0.4, 0.1};  // rest deletes; scans exercised too
+  spec.scan_length = 8;
+  spec.queue_depth = 16;
+  spec.seed = seed;
+  return spec;
+}
+
+/// Run `spec` on a fresh bed; when `record` is set, capture the op
+/// stream; when `replay` is set, drive the run from it instead of the
+/// synthetic generator. Returns the full serialized report.
+template <typename Bed, typename Cfg>
+std::string bed_report(u64 seed, wl::KvtWriter* record,
+                       const std::string* replay) {
+  Cfg c;
+  c.dev = tiny_dev();
+  Bed bed(c);
+  (void)fill_stack(bed, 800, 16, 2048, 32);
+  RunOptions opts;
+  opts.drain_after = true;
+  opts.telemetry = true;
+  opts.telemetry_interval = 10 * kMs;
+  opts.record_ops = record;
+  const wl::WorkloadSpec spec = churn_spec(seed);
+  const RunResult r =
+      replay ? run_workload(
+                   bed, spec,
+                   [replay] { return wl::TraceOpSource::from_buffer(replay); },
+                   opts)
+             : run_workload(bed, spec, opts);
+  BenchReport rep("trace_fidelity");
+  rep.add_run("run", r);
+  rep.add_device(bed);
+  return rep.to_json();
+}
+
+template <typename Bed, typename Cfg>
+void check_fidelity(u64 seed) {
+  std::string trace;
+  std::string live;
+  {
+    wl::KvtWriter w = wl::KvtWriter::to_buffer(&trace);
+    live = bed_report<Bed, Cfg>(seed, &w, nullptr);
+    ASSERT_TRUE(w.finish());
+    ASSERT_EQ(w.written(), churn_spec(seed).num_ops);
+  }
+  const std::string replayed =
+      bed_report<Bed, Cfg>(seed, nullptr, &trace);
+  ASSERT_FALSE(live.empty());
+  if (live != replayed) {
+    size_t i = 0;
+    while (i < live.size() && i < replayed.size() && live[i] == replayed[i])
+      ++i;
+    FAIL() << "live vs replay diverge at byte " << i << ": ..."
+           << live.substr(i > 40 ? i - 40 : 0, 80) << "... vs ..."
+           << replayed.substr(i > 40 ? i - 40 : 0, 80) << "...";
+  }
+}
+
+TEST(TraceFidelity, KvssdRecordReplayByteIdentical) {
+  check_fidelity<KvssdBed, KvssdBedConfig>(42);
+  check_fidelity<KvssdBed, KvssdBedConfig>(1337);
+}
+
+TEST(TraceFidelity, LsmRecordReplayByteIdentical) {
+  check_fidelity<LsmBed, LsmBedConfig>(42);
+  check_fidelity<LsmBed, LsmBedConfig>(1337);
+}
+
+TEST(TraceFidelity, HashKvRecordReplayByteIdentical) {
+  check_fidelity<HashKvBed, HashKvBedConfig>(42);
+  check_fidelity<HashKvBed, HashKvBedConfig>(1337);
+}
+
+TEST(TraceFidelity, MixRecordReplayByteIdenticalPerTenant) {
+  // Record a two-tenant mix, then replay each tenant from its own lane
+  // of the capture (tenant filter): per-tenant dispatch order equals
+  // stream order, so the whole MixResult document must match.
+  auto run = [](wl::KvtWriter* record, const std::string* replay) {
+    KvssdBedConfig c;
+    c.dev = tiny_dev();
+    c.nvme.num_queues = 2;
+    c.nvme.queue_weights = {4, 1};
+    KvssdBed bed(c);
+    (void)fill_stack(bed, 800, 16, 2048, 32);
+    wl::TenantMix mix;
+    for (u32 i = 0; i < 2; ++i) {
+      wl::TenantSpec t;
+      t.name = i == 0 ? "fg" : "bg";
+      t.nsid = (u8)(i + 1);
+      t.queue = i;
+      t.weight = i == 0 ? 4 : 1;
+      t.spec = churn_spec(42 + i);
+      t.spec.num_ops = 1000;
+      if (replay) {
+        t.source = [replay, i] {
+          return wl::TraceOpSource::from_buffer(
+              replay, wl::TraceOpSource::Options{.tenant = (i64)i});
+        };
+      }
+      mix.tenants.push_back(std::move(t));
+    }
+    RunOptions opts;
+    opts.drain_after = true;
+    opts.telemetry = true;
+    opts.telemetry_interval = 10 * kMs;
+    opts.record_ops = record;
+    const MixResult r = run_mix(bed, mix, opts);
+    BenchReport rep("trace_fidelity");
+    rep.add_mix("mix", r);
+    rep.add_device(bed);
+    return rep.to_json();
+  };
+
+  std::string trace;
+  std::string live;
+  {
+    wl::KvtWriter w = wl::KvtWriter::to_buffer(&trace);
+    live = run(&w, nullptr);
+    ASSERT_TRUE(w.finish());
+    ASSERT_EQ(w.written(), 2000u);
+  }
+  EXPECT_EQ(live, run(nullptr, &trace));
+}
+
+TEST(MsrImporter, ParsesSplitsAndSkipsMalformed) {
+  std::stringstream csv(
+      "128166372003061629,hm,0,Read,0,8192,559\n"
+      "128166372016862419,hm,1,Write,4096,4096,980\n"
+      "\n"
+      "128166372026862419,hm,0,Write,12288,12288,980\n"
+      "not,a,valid,row\n"
+      "128166372036862419,hm,2,Flush,0,4096,11\n"
+      "128166372046862419,hm,0,Read,junk,4096,11\n");
+  std::string buf;
+  wl::KvtWriter w = wl::KvtWriter::to_buffer(&buf);
+  const wl::MsrImportStats st = wl::import_msr_cambridge(csv, w);
+  ASSERT_TRUE(w.finish());
+  EXPECT_EQ(st.lines, 6u);
+  EXPECT_EQ(st.malformed, 3u);  // arity, bad Type, bad Offset
+  EXPECT_EQ(st.requests, 3u);
+  EXPECT_EQ(st.reads, 1u);
+  EXPECT_EQ(st.writes, 2u);
+  // 8 KiB read at 0 -> blocks 0,1; 4 KiB write at 4096 -> block 1;
+  // 12 KiB write at 12288 -> blocks 3,4,5.
+  EXPECT_EQ(st.records, 6u);
+  EXPECT_EQ(st.max_key, 5u);
+  EXPECT_EQ(st.max_tenant, 1u);
+
+  wl::KvtReader r = wl::KvtReader::from_buffer(&buf);
+  std::vector<wl::TraceOp> ops;
+  wl::TraceOp op;
+  while (r.next(op)) ops.push_back(op);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(ops.size(), 6u);
+  EXPECT_EQ(ops[0].type, wl::OpType::kRead);
+  EXPECT_EQ(ops[0].key_id, 0u);
+  EXPECT_EQ(ops[1].key_id, 1u);
+  EXPECT_EQ(ops[2].type, wl::OpType::kUpdate);
+  EXPECT_EQ(ops[2].key_id, 1u);
+  EXPECT_EQ(ops[2].tenant, 1u);
+  EXPECT_EQ(ops[5].key_id, 5u);
+}
+
+TEST(MsrImporter, MaxOpsCapAndFileEntryPoint) {
+  const std::string csv_path = "/tmp/kvsim_msr_import_test.csv";
+  const std::string kvt_path = "/tmp/kvsim_msr_import_test.kvt";
+  {
+    std::ofstream f(csv_path);
+    for (int i = 0; i < 100; ++i)
+      f << "1,host,0,Write," << i * 4096 << ",4096,5\n";
+  }
+  wl::MsrImportStats st;
+  wl::MsrImportOptions opts;
+  opts.max_ops = 10;
+  ASSERT_TRUE(wl::import_msr_cambridge_file(csv_path, kvt_path, &st, opts));
+  EXPECT_EQ(st.records, 10u);
+  wl::KvtReader r(kvt_path);
+  wl::TraceOp op;
+  u64 n = 0;
+  while (r.next(op)) ++n;
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(n, 10u);
+  std::remove(csv_path.c_str());
+  std::remove(kvt_path.c_str());
+}
+
+TEST(TraceSynth, FitRecoversMixSpaceAndSkew) {
+  // Synthesize a trace with known shape, fit it, and check the profile
+  // lands near the truth.
+  wl::WorkloadSpec spec = churn_spec(7);
+  spec.num_ops = 20'000;
+  spec.key_space = 2000;
+  spec.pattern = wl::Pattern::kZipfian;
+  spec.zipf_theta = 0.9;
+  std::string buf;
+  {
+    wl::KvtWriter w = wl::KvtWriter::to_buffer(&buf);
+    wl::SyntheticOpSource src(spec);
+    wl::Op op;
+    while (src.next(op))
+      w.add(wl::TraceOp{op.type, op.key_id, op.value_bytes, op.scan_length, 0});
+    ASSERT_TRUE(w.finish());
+  }
+  wl::KvtReader r = wl::KvtReader::from_buffer(&buf);
+  const wl::TraceProfile p = wl::TraceProfile::fit(r);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.ops_fitted, spec.num_ops);
+  EXPECT_NEAR(p.mix.insert, 0.1, 0.02);
+  EXPECT_NEAR(p.mix.update, 0.3, 0.02);
+  EXPECT_NEAR(p.mix.read, 0.4, 0.02);
+  EXPECT_NEAR(p.mix.scan, 0.1, 0.02);
+  EXPECT_LE(p.key_space, spec.key_space);
+  EXPECT_GE(p.key_space, spec.key_space / 2);
+  // Skewed input must fit visibly skewed (and clamp inside the
+  // generator's valid range).
+  EXPECT_GE(p.zipf_theta, 0.3);
+  EXPECT_LE(p.zipf_theta, 0.99);
+  EXPECT_EQ(p.scan_length, spec.scan_length);
+  EXPECT_FALSE(p.value_sample.empty());
+
+  // A uniform trace must fit much flatter than the zipfian one.
+  wl::WorkloadSpec uspec = spec;
+  uspec.pattern = wl::Pattern::kUniform;
+  std::string ubuf;
+  {
+    wl::KvtWriter w = wl::KvtWriter::to_buffer(&ubuf);
+    wl::SyntheticOpSource src(uspec);
+    wl::Op op;
+    while (src.next(op))
+      w.add(wl::TraceOp{op.type, op.key_id, op.value_bytes, op.scan_length, 0});
+    ASSERT_TRUE(w.finish());
+  }
+  wl::KvtReader ur = wl::KvtReader::from_buffer(&ubuf);
+  const wl::TraceProfile up = wl::TraceProfile::fit(ur);
+  ASSERT_TRUE(up.ok());
+  EXPECT_LT(up.zipf_theta, p.zipf_theta);
+}
+
+TEST(TraceSynth, SynthesisIsDeterministicAndUnbounded) {
+  std::string buf;
+  {
+    wl::KvtWriter w = wl::KvtWriter::to_buffer(&buf);
+    for (u64 i = 0; i < 500; ++i)
+      w.add(wl::TraceOp{i % 3 == 0 ? wl::OpType::kUpdate : wl::OpType::kRead,
+                        i % 40, 512, 0, 0});
+    ASSERT_TRUE(w.finish());
+  }
+  wl::KvtReader r = wl::KvtReader::from_buffer(&buf);
+  const wl::TraceProfile p = wl::TraceProfile::fit(r);
+  ASSERT_TRUE(p.ok());
+
+  // The synthetic continuation can be arbitrarily longer than the trace.
+  auto stream = [&p](u64 seed) {
+    wl::SynthFromTraceOpSource src(p, 5000, seed);
+    std::vector<wl::Op> ops;
+    wl::Op op;
+    while (src.next(op)) ops.push_back(op);
+    return ops;
+  };
+  const std::vector<wl::Op> a = stream(9);
+  const std::vector<wl::Op> b = stream(9);
+  const std::vector<wl::Op> c = stream(10);
+  ASSERT_EQ(a.size(), 5000u);
+  ASSERT_EQ(a.size(), b.size());
+  bool differs = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].key_id, b[i].key_id) << i;
+    ASSERT_EQ(a[i].type, b[i].type) << i;
+    ASSERT_EQ(a[i].value_bytes, b[i].value_bytes) << i;
+    if (i < c.size() &&
+        (a[i].key_id != c[i].key_id || a[i].type != c[i].type))
+      differs = true;
+    EXPECT_LT(a[i].key_id, p.key_space);
+    EXPECT_EQ(a[i].value_bytes, 512u);  // empirical sample is degenerate
+  }
+  EXPECT_TRUE(differs);  // different seeds give different streams
+
+  // reset(seed) restarts the stream exactly.
+  wl::SynthFromTraceOpSource src(p, 100, 9);
+  wl::Op op;
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(src.next(op));
+  src.reset(9);
+  EXPECT_EQ(src.generated(), 0u);
+  ASSERT_TRUE(src.next(op));
+  EXPECT_EQ(op.key_id, a[0].key_id);
+  EXPECT_EQ(op.type, a[0].type);
+}
+
+TEST(TraceSynth, RejectsEmptyProfileAndZeroOps) {
+  wl::TraceProfile empty;
+  EXPECT_THROW(wl::SynthFromTraceOpSource(empty, 100, 1),
+               std::invalid_argument);
+  std::string buf;
+  {
+    wl::KvtWriter w = wl::KvtWriter::to_buffer(&buf);
+    w.add(wl::TraceOp{wl::OpType::kRead, 1, 8, 0, 0});
+    ASSERT_TRUE(w.finish());
+  }
+  wl::KvtReader r = wl::KvtReader::from_buffer(&buf);
+  const wl::TraceProfile p = wl::TraceProfile::fit(r);
+  ASSERT_TRUE(p.ok());
+  EXPECT_THROW(wl::SynthFromTraceOpSource(p, 0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace kvsim::harness
