@@ -1,0 +1,268 @@
+// Overload-robustness driver: offered-load sweeps under open-loop
+// arrival, with and without per-tenant SLO admission control, across the
+// three beds (docs/API.md "Overload & SLOs", EXPERIMENTS.md recipe).
+//
+// Method, per bed:
+//   1. Calibrate: a closed-loop run at the serving window's depth
+//      measures the bed's saturation throughput T and its solo p99.
+//   2. Sweep offered load at {0.5, 1, 2, 3}x T ({0.5, 2}x in --smoke)
+//      with Poisson arrivals into a bounded dispatch window, twice per
+//      point: unprotected (no SLO — arrivals park in an unbounded
+//      backlog) and protected (reject-new admission at the target).
+//      The SLO target is set after the half-load unprotected point:
+//      max(4x closed-loop solo p99, 2x half-load open-loop p99) — the
+//      open-loop term absorbs beds whose service-time variance already
+//      fattens the tail below saturation (a target no achievable
+//      schedule could meet is not an SLO), the closed-loop term keeps
+//      the target tight when the half-load tail is thin.
+//   3. Report goodput, shed rate, and completed-op p99 per point.
+//
+// The graceful-degradation contract, gated at the 2x point on every bed:
+//   - protected: p99 of completed ops stays within the SLO target and
+//     the shed fraction is bounded (< 80% — the controller sheds the
+//     overflow, not the stream);
+//   - unprotected: p99 blows past 5x the target (the open loop makes
+//     saturation visible as unbounded client-perceived latency, which
+//     closed-loop measurement structurally cannot show).
+//
+// Flags:
+//   --smoke           small op counts / two sweep points for CI
+//   --kvsim_json=PATH write {slo_held, shed_rate_at_2x, protected_p99_..,
+//                     sim_ops_per_sec, ...} for the bench.sh gate
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace kvbench {
+namespace {
+
+constexpr u64 kKeys = 4000;
+constexpr u32 kWindow = 16;  // open-loop dispatch window / calibration qd
+
+u64 g_total_ops = 0;
+
+std::unique_ptr<harness::KvStack> make_bed(const std::string& kind) {
+  if (kind == "kvssd") {
+    harness::KvssdBedConfig c = kvssd_cfg(device_gib(2), kKeys * 2);
+    return std::make_unique<harness::KvssdBed>(c);
+  }
+  if (kind == "lsm") {
+    harness::LsmBedConfig c = lsm_cfg(device_gib(2));
+    // Keep reads hitting the device (a cache-resident working set would
+    // make "saturation" a host-CPU artifact).
+    c.lsm.block_cache_bytes = 64 * KiB;
+    return std::make_unique<harness::LsmBed>(c);
+  }
+  harness::HashKvBedConfig c = hashkv_cfg(device_gib(2));
+  return std::make_unique<harness::HashKvBed>(c);
+}
+
+wl::WorkloadSpec base_spec(u64 ops) {
+  wl::WorkloadSpec spec;
+  spec.num_ops = ops;
+  spec.key_space = kKeys;
+  spec.key_bytes = 16;
+  spec.value_bytes = 512;
+  // Read-only against a pre-filled set: stable service times, so the
+  // sweep measures queueing under offered load rather than GC pauses
+  // (the open loop would otherwise turn every flush stall into a
+  // backlog spike that dominates the tail even at half load).
+  spec.mix = wl::OpMix::read_only();
+  spec.queue_depth = kWindow;
+  spec.seed = 4242;
+  return spec;
+}
+
+struct Calibration {
+  double capacity_ops_per_sec = 0;
+  double solo_p99_ns = 0;
+  TimeNs target_ns = 0;
+};
+
+Calibration calibrate(const std::string& kind, u64 ops) {
+  auto bed = make_bed(kind);
+  (void)harness::fill_stack(*bed, kKeys, 16, 512, 32);
+  const harness::RunResult r = harness::run_workload(*bed, base_spec(ops));
+  g_total_ops += r.ops;
+  Calibration c;
+  c.capacity_ops_per_sec = r.throughput_ops_per_sec();
+  c.solo_p99_ns = r.all.percentile(0.99);
+  return c;
+}
+
+struct SweepPoint {
+  double multiple = 0;       // offered load as a multiple of capacity
+  double offered_rate = 0;   // ops/sec
+  double goodput = 0;        // SLO-goodput ops/sec (protected runs)
+  double shed_rate = 0;      // shed / offered
+  double p99_ns = 0;         // completed-op p99
+  u64 shed = 0, offered = 0, completed = 0;
+};
+
+SweepPoint run_point(const std::string& kind, const Calibration& cal,
+                     double multiple, u64 ops, bool protect) {
+  auto bed = make_bed(kind);
+  (void)harness::fill_stack(*bed, kKeys, 16, 512, 32);
+  wl::WorkloadSpec spec = base_spec(ops);
+  spec.arrival.kind = wl::ArrivalKind::kPoisson;
+  spec.arrival.rate_ops_per_sec = multiple * cal.capacity_ops_per_sec;
+  spec.arrival.max_inflight = kWindow;
+  harness::RunOptions opts;
+  if (protect) {
+    harness::SloSpec slo;
+    slo.p99_target_ns = cal.target_ns;
+    slo.max_inflight = 3 * kWindow;  // window + a bounded backlog
+    slo.window = 64;
+    slo.shed_policy = harness::ShedPolicy::kRejectNew;
+    opts.slos = {slo};
+  }
+  const harness::RunResult r = harness::run_workload(*bed, spec, opts);
+  g_total_ops += r.ops;
+  const std::string label = "overload/" + kind + "/" +
+                            (protect ? "slo" : "raw") + "/x" +
+                            Table::num(multiple, 1);
+  report().add_run(label, r);
+
+  SweepPoint p;
+  p.multiple = multiple;
+  p.offered_rate = spec.arrival.rate_ops_per_sec;
+  p.offered = r.offered_ops;
+  p.completed = r.ops;
+  p.shed = r.shed_ops + r.deadline_exceeded_ops;
+  p.shed_rate = r.offered_ops ? (double)p.shed / (double)r.offered_ops : 0.0;
+  p.goodput = r.elapsed
+                  ? (double)r.slo_goodput_ops * (double)kSec / (double)r.elapsed
+                  : 0.0;
+  p.p99_ns = r.all.percentile(0.99);
+  return p;
+}
+
+struct BedOutcome {
+  Calibration cal;
+  SweepPoint prot_2x, raw_2x;
+};
+
+BedOutcome run_bed(const std::string& kind, bool smoke) {
+  // The unprotected 2x point needs enough arrivals for the unbounded
+  // backlog to visibly blow out the tail (~half the ops are queued by
+  // the end of the run, waiting ~(ops/2)/T behind it).
+  const u64 cal_ops = smoke ? 3000 : 10000;
+  const u64 sweep_ops = smoke ? 6000 : 16000;
+  const std::vector<double> multiples =
+      smoke ? std::vector<double>{0.5, 2.0}
+            : std::vector<double>{0.5, 1.0, 2.0, 3.0};
+
+  BedOutcome out;
+  out.cal = calibrate(kind, cal_ops);
+  std::printf("%s: capacity %.0f ops/s, solo p99 %.0f us\n", kind.c_str(),
+              out.cal.capacity_ops_per_sec, out.cal.solo_p99_ns / 1e3);
+
+  Table t({"offered x", "config", "offered/s", "completed", "shed %",
+           "goodput/s", "p99 us"});
+  for (double m : multiples) {
+    const SweepPoint raw = run_point(kind, out.cal, m, sweep_ops, false);
+    if (m == multiples.front()) {
+      // First (half-load) raw point anchors the SLO target; every
+      // protected run and gate below uses it.
+      out.cal.target_ns = (TimeNs)std::max(4.0 * out.cal.solo_p99_ns,
+                                           2.0 * raw.p99_ns);
+      std::printf("%s: SLO target %.0f us\n", kind.c_str(),
+                  (double)out.cal.target_ns / 1e3);
+    }
+    const SweepPoint prot = run_point(kind, out.cal, m, sweep_ops, true);
+    for (const SweepPoint* p : {&raw, &prot}) {
+      t.add_row({Table::num(p->multiple, 1), p == &raw ? "raw" : "slo",
+                 Table::num(p->offered_rate, 0),
+                 Table::num((double)p->completed, 0),
+                 Table::num(100.0 * p->shed_rate, 1),
+                 p == &raw ? "-" : Table::num(p->goodput, 0), us(p->p99_ns)});
+    }
+    if (m == 2.0) {
+      out.raw_2x = raw;
+      out.prot_2x = prot;
+    }
+  }
+  std::printf("%s", t.render().c_str());
+  save_csv("overload_" + kind, t);
+
+  // The graceful-degradation gates at the 2x-saturating point.
+  const double target = (double)out.cal.target_ns;
+  check_shape(out.prot_2x.p99_ns <= target,
+              (kind + ": protected p99 within SLO target at 2x load").c_str());
+  check_shape(out.prot_2x.shed_rate > 0.0 && out.prot_2x.shed_rate < 0.8,
+              (kind + ": shed fraction bounded (excess only) at 2x").c_str());
+  check_shape(out.raw_2x.p99_ns >= 5.0 * target,
+              (kind + ": unprotected p99 blows past 5x target at 2x").c_str());
+  check_shape(out.prot_2x.goodput > 0.0,
+              (kind + ": protected run sustains SLO goodput at 2x").c_str());
+  return out;
+}
+
+}  // namespace
+}  // namespace kvbench
+
+int main(int argc, char** argv) {
+  using namespace kvbench;
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--smoke")) {
+      smoke = true;
+    } else if (!std::strncmp(argv[i], "--kvsim_json=", 13)) {
+      json_path = argv[i] + 13;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  report_init("overload");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  print_header("Overload", "open-loop offered-load sweep, SLO admission "
+                           "control vs unprotected");
+  BedOutcome kv_out;
+  for (const char* kind : {"kvssd", "lsm", "hashkv"}) {
+    const BedOutcome o = run_bed(kind, smoke);
+    if (!std::strcmp(kind, "kvssd")) kv_out = o;
+  }
+
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+  const double sim_ops_per_sec =
+      wall_ms > 0 ? (double)g_total_ops / (wall_ms / 1000.0) : 0.0;
+  std::printf("\n%llu simulated ops in %.1f ms (%.0f ops/s)\n",
+              (unsigned long long)g_total_ops, wall_ms, sim_ops_per_sec);
+
+  if (!json_path.empty()) {
+    const bool slo_held =
+        kv_out.prot_2x.p99_ns <= (double)kv_out.cal.target_ns;
+    std::ofstream out(json_path);
+    out << "{\n"
+        << "  \"benchmark\": \"overload\",\n"
+        << "  \"slo_held\": " << (slo_held ? 1 : 0) << ",\n"
+        << "  \"slo_target_ns\": " << kv_out.cal.target_ns << ",\n"
+        << "  \"protected_p99_at_2x_ns\": " << kv_out.prot_2x.p99_ns << ",\n"
+        << "  \"unprotected_p99_at_2x_ns\": " << kv_out.raw_2x.p99_ns << ",\n"
+        << "  \"shed_rate_at_2x\": " << kv_out.prot_2x.shed_rate << ",\n"
+        << "  \"goodput_at_2x_ops_per_sec\": " << kv_out.prot_2x.goodput
+        << ",\n"
+        << "  \"capacity_ops_per_sec\": " << kv_out.cal.capacity_ops_per_sec
+        << ",\n"
+        << "  \"sim_ops\": " << g_total_ops << ",\n"
+        << "  \"sim_ops_per_sec\": " << sim_ops_per_sec << ",\n"
+        << "  \"wall_ms\": " << wall_ms << "\n"
+        << "}\n";
+    std::printf("[json] %s\n", json_path.c_str());
+  }
+
+  save_report();
+  return shape_exit();
+}

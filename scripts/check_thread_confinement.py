@@ -33,6 +33,13 @@ The confined-type registry is built by scanning src/ for the marker;
 files under test additionally contribute their own in-file markers, so
 lint fixtures are self-contained.
 
+The overload subsystem follows the same split the registry encodes
+elsewhere: wl::ArrivalSchedule and harness::SloSpec are copyable config
+that legally crosses the pool boundary by value, while the machinery
+they configure — wl::ArrivalGen (seeded arrival clock) and
+harness::AdmissionController (windowed latency ring) — is marked
+confined and must be constructed inside each cell, exactly like a bed.
+
 Engine: comment/string-stripped regex scan, same style and limitations
 as check_async_captures.py — syntactically narrow rules that are exact
 on this codebase's idiom.

@@ -19,6 +19,11 @@
 #   5c. the multi-tenant smoke: WRR fairness and noisy-neighbor
 #      isolation scenarios (bench_multitenant --smoke) on the audit
 #      build, shape-checked against the acceptance bounds;
+#   5d. the overload smoke: open-loop offered-load sweeps with and
+#      without SLO admission control (bench_overload --smoke) on the
+#      audit build, shape-checked against the graceful-degradation
+#      contract (protected p99 holds the target at 2x saturating load,
+#      bounded shed, unprotected p99 blows past 5x);
 #   6. the sweep smoke: the fig-matrix driver fanned across an
 #      8-thread SweepRunner pool, shape-checking that the merged JSON is
 #      byte-identical to the single-thread pass;
@@ -94,6 +99,14 @@ stage "multi-tenant smoke (audit build)"
 # queue vs inflated on a shared one, on all three beds.
 cmake --build build-audit -j "$(nproc)" --target bench_multitenant
 ./build-audit/bench/bench_multitenant --smoke
+
+stage "overload smoke (audit build)"
+# The overload subsystem's acceptance gates under the shadow auditors:
+# on every bed, at 2x the calibrated saturation load, the SLO-protected
+# open-loop run must hold its p99 target with a bounded shed fraction
+# while the unprotected run's p99 blows past 5x the target.
+cmake --build build-audit -j "$(nproc)" --target bench_overload
+./build-audit/bench/bench_overload --smoke
 
 stage "sweep smoke"
 # The parallel sweep engine's determinism gate: the fig-matrix driver

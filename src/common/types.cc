@@ -15,6 +15,8 @@ const char* to_string(Status s) {
     case Status::kMediaError: return "media-error";
     case Status::kDeviceBusy: return "device-busy";
     case Status::kTimeout: return "timeout";
+    case Status::kShed: return "shed";
+    case Status::kDeadlineExceeded: return "deadline-exceeded";
   }
   return "unknown";
 }

@@ -39,6 +39,8 @@ enum class Status : u8 {
   kMediaError,   ///< uncorrectable flash error after device-side recovery
   kDeviceBusy,   ///< device rejected the command during a transient stall
   kTimeout,      ///< command completed past the configured deadline
+  kShed,         ///< admission control rejected the op before dispatch
+  kDeadlineExceeded,  ///< deferred op missed its admission deadline
 };
 
 /// Human-readable name for a Status (for logs and test failure messages).

@@ -102,9 +102,27 @@ void run_result_json(JsonWriter& w, const RunResult& r) {
     w.kv("timeout", r.errors.timeout);
     w.kv("capacity", r.errors.capacity);
     w.kv("other", r.errors.other);
+    // Admission-control outcomes: keys appear only when the run shed or
+    // expired something, so fault-only breakdowns keep their exact shape.
+    if (r.errors.shed != 0) w.kv("shed", r.errors.shed);
+    if (r.errors.deadline != 0) w.kv("deadline", r.errors.deadline);
     w.end_object();
   }
   if (r.host_retries != 0) w.kv("host_retries", r.host_retries);
+  // Open-loop extras: the overload block appears only when an arrival
+  // schedule actually generated ops, so closed-loop JSON stays
+  // byte-identical to pre-overload output.
+  if (r.overload_activity()) {
+    w.key("overload").begin_object();
+    w.kv("offered_ops", r.offered_ops);
+    w.kv("shed_ops", r.shed_ops);
+    w.kv("deferred_ops", r.deferred_ops);
+    w.kv("deadline_exceeded_ops", r.deadline_exceeded_ops);
+    w.kv("arrival_overflows", r.arrival_overflows);
+    w.kv("slo_goodput_ops", r.slo_goodput_ops);
+    w.kv("backlog_peak", r.backlog_peak);
+    w.end_object();
+  }
   // Crash-run extras: the recovery block appears only when a power-loss
   // cut actually fired, so crash-free report JSON stays byte-identical.
   if (r.crashed || r.recovery.any()) {
@@ -188,6 +206,9 @@ void mix_result_json(JsonWriter& w, const MixResult& m) {
   }
   w.end_array();
   w.kv("arbitration_rounds", m.arbitration_rounds);
+  // Urgent-class fast-path fetches: emitted only when the run used the
+  // strict-priority class, so plain-WRR reports stay byte-identical.
+  if (m.urgent_fetches != 0) w.kv("urgent_fetches", m.urgent_fetches);
   w.end_object();
 }
 

@@ -1,5 +1,7 @@
 #include "harness/runner.h"
 
+#include <algorithm>
+#include <deque>
 #include <memory>
 #include <stdexcept>
 #include <utility>
@@ -39,10 +41,21 @@ u64 op_digest(wl::OpType type, u64 key_id, Status s, u64 bytes, u64 fp) {
   return h;
 }
 
+/// An arrival waiting for dispatch-window room (open-loop mode): the op,
+/// its scheduled arrival time (latency counts from here), and an optional
+/// admission deadline (0 = none; plain window overflow).
+struct Parked {
+  wl::Op op;
+  TimeNs arrived;
+  TimeNs deadline;
+};
+
 /// Issue-loop state for one tenant of a mix: its own op stream, closed
 /// loop window, logical op counter (the value-fingerprint version — a
 /// per-tenant sequence number, so stored values are independent of
-/// co-runner timing), observables, and result-stream digest.
+/// co-runner timing), observables, and result-stream digest. Open-loop
+/// tenants additionally own an arrival-gap generator, the host backlog,
+/// and (when an SLO is enabled) an AdmissionController.
 struct TenantState {
   wl::TenantSpec tspec;
   std::unique_ptr<wl::OpSource> source;
@@ -55,8 +68,27 @@ struct TenantState {
   TimeNs last_completion = 0;
   bool exhausted = false;
 
-  explicit TenantState(const wl::TenantSpec& ts)
-      : tspec(ts), source(make_source(ts)), ctx{ts.nsid, ts.queue} {}
+  // --- open-loop arrival machinery (null / empty for closed loop) -------
+  bool open_loop = false;
+  u64 window = 0;  ///< concurrent dispatch cap (arrival.max_inflight)
+  std::unique_ptr<wl::ArrivalGen> arrivals;
+  std::unique_ptr<AdmissionController> admission;
+  std::deque<Parked> backlog;
+  TimeNs next_arrival = 0;      ///< arrival clock, relative to run start
+  bool arrival_pending = false; ///< an arrival event is on the queue
+
+  TenantState(const wl::TenantSpec& ts, const SloSpec* slo)
+      : tspec(ts), source(make_source(ts)), ctx{ts.nsid, ts.queue} {
+    const wl::ArrivalSchedule& sched = ts.spec.arrival;
+    if (!sched.open_loop()) return;
+    open_loop = true;
+    window = sched.max_inflight;
+    // ArrivalGen validates the schedule — a custom OpSource factory
+    // bypasses WorkloadSpec::validate(), this does not.
+    arrivals = std::make_unique<wl::ArrivalGen>(sched, ts.spec.seed);
+    if (slo != nullptr && slo->enabled())
+      admission = std::make_unique<AdmissionController>(*slo);
+  }
 };
 
 /// Shared issue-loop state for a KvStack mix run. With one tenant this
@@ -73,18 +105,20 @@ struct MixDriver {
   u64 cpu0;
   u64 inflight = 0;
   u64 completed = 0;
+  u64 backlog_total = 0;  ///< parked arrivals across all tenants
 
-  MixDriver(KvStack& s, const wl::TenantMix& mix, TraceRecorder* tr,
-            wl::KvtWriter* rec)
-      : stack(s), trace(tr), record(rec) {
+  MixDriver(KvStack& s, const wl::TenantMix& mix, const RunOptions& opts)
+      : stack(s), trace(opts.trace), record(opts.record_ops) {
     tenants.reserve(mix.tenants.size());
-    for (const wl::TenantSpec& ts : mix.tenants) tenants.emplace_back(ts);
+    for (u32 ti = 0; ti < (u32)mix.tenants.size(); ++ti)
+      tenants.emplace_back(mix.tenants[ti],
+                           ti < opts.slos.size() ? &opts.slos[ti] : nullptr);
     t0 = stack.eq().now();
     cpu0 = stack.host_cpu_ns();
   }
 
   /// One op from tenant `ti` if its window has room; false when full or
-  /// the stream ran dry.
+  /// the stream ran dry (closed-loop path only).
   bool issue_one(u32 ti) {
     TenantState& st = tenants[ti];
     if (st.exhausted || st.inflight >= st.tspec.spec.queue_depth)
@@ -94,29 +128,149 @@ struct MixDriver {
       st.exhausted = true;
       return false;
     }
-    dispatch(ti, op);
+    dispatch(ti, op, stack.eq().now());
     return true;
   }
 
-  /// Refill tenant `ti`'s window (per-completion path).
+  /// Refill tenant `ti`'s window (per-completion path): closed loop pulls
+  /// from the source, open loop drains the arrival backlog.
   void issue_more(u32 ti) {
+    if (tenants[ti].open_loop) {
+      drain_backlog(ti);
+      return;
+    }
     while (issue_one(ti)) {
     }
   }
 
   /// Initial fill: round-robin one op per tenant per pass, declaration
   /// order, until every window is full or exhausted — the deterministic
-  /// interleave the mix API promises.
+  /// interleave the mix API promises. Open-loop tenants do not
+  /// participate in the fill; their first arrival is armed instead.
   void issue_all() {
     bool progress = true;
     while (progress) {
       progress = false;
-      for (u32 ti = 0; ti < (u32)tenants.size(); ++ti)
+      for (u32 ti = 0; ti < (u32)tenants.size(); ++ti) {
+        if (tenants[ti].open_loop) continue;
         progress = issue_one(ti) || progress;
+      }
+    }
+    for (u32 ti = 0; ti < (u32)tenants.size(); ++ti) arm_arrival(ti);
+  }
+
+  /// Schedule tenant `ti`'s next open-loop arrival, advancing its arrival
+  /// clock by one generator gap. After a crash cut the clock may trail
+  /// the simulation clock (the recovery ran on it); arrivals resume from
+  /// "now", not from the missed past.
+  void arm_arrival(u32 ti) {
+    TenantState& st = tenants[ti];
+    if (!st.open_loop || st.exhausted || st.arrival_pending) return;
+    const TimeNs now_rel = stack.eq().now() - t0;
+    if (st.next_arrival < now_rel) st.next_arrival = now_rel;
+    st.next_arrival += st.arrivals->next_gap();
+    st.arrival_pending = true;
+    stack.eq().schedule_at(t0 + st.next_arrival,
+                           sim::Task([this, ti] { on_arrival(ti); }));
+  }
+
+  /// One scheduled arrival: pull the next op, keep the arrival clock
+  /// ticking (open loop — regardless of completions), then offer the op
+  /// to admission control and dispatch, park, or shed it.
+  void on_arrival(u32 ti) {
+    TenantState& st = tenants[ti];
+    st.arrival_pending = false;
+    wl::Op op;
+    if (!st.source->next(op)) {
+      st.exhausted = true;
+      return;
+    }
+    arm_arrival(ti);
+    const TimeNs now = stack.eq().now();
+    ++result.offered_ops;
+    ++st.result.offered_ops;
+    const bool is_read = op.type == wl::OpType::kRead ||
+                         op.type == wl::OpType::kExist ||
+                         op.type == wl::OpType::kScan;
+    Admission verdict = Admission::kAdmit;
+    if (st.admission)
+      verdict = st.admission->decide(is_read, st.inflight,
+                                     st.backlog.size());
+    switch (verdict) {
+      case Admission::kShed:
+        shed(ti, op, Status::kShed);
+        return;
+      case Admission::kDefer:
+        ++result.deferred_ops;
+        ++st.result.deferred_ops;
+        park(ti, op, now, now + st.admission->slo().deadline());
+        // A deferred op still dispatches the moment the window has room
+        // (deferral only bites under backpressure); without this, a
+        // tenant with nothing in flight would never drain its backlog.
+        drain_backlog(ti);
+        return;
+      case Admission::kAdmit:
+        break;
+    }
+    if (st.inflight < st.window && st.backlog.empty()) {
+      dispatch(ti, op, now);
+      return;
+    }
+    ++result.arrival_overflows;
+    ++st.result.arrival_overflows;
+    park(ti, op, now, /*deadline=*/0);
+  }
+
+  /// Park an arrival in the tenant's FIFO backlog.
+  void park(u32 ti, const wl::Op& op, TimeNs arrived, TimeNs deadline) {
+    TenantState& st = tenants[ti];
+    st.backlog.push_back(Parked{op, arrived, deadline});
+    ++backlog_total;
+    if (st.backlog.size() > st.result.backlog_peak)
+      st.result.backlog_peak = st.backlog.size();
+    if (backlog_total > result.backlog_peak)
+      result.backlog_peak = backlog_total;
+  }
+
+  /// Fail an arrival without dispatching it. Shed ops never reach the
+  /// device: they cost no latency sample and no bandwidth, but they do
+  /// land in the error breakdown and the tenant digest (shed decisions
+  /// are part of the deterministic result stream).
+  void shed(u32 ti, const wl::Op& op, Status s) {
+    TenantState& st = tenants[ti];
+    if (s == Status::kShed) {
+      ++result.shed_ops;
+      ++st.result.shed_ops;
+    } else {
+      ++result.deadline_exceeded_ops;
+      ++st.result.deadline_exceeded_ops;
+    }
+    result.errors.count(s);
+    st.result.errors.count(s);
+    st.digest += op_digest(op.type, op.key_id, s, 0, 0);
+  }
+
+  /// Move backlogged arrivals into the freed dispatch window, expiring
+  /// deferred ops whose deadline has passed.
+  void drain_backlog(u32 ti) {
+    TenantState& st = tenants[ti];
+    const TimeNs now = stack.eq().now();
+    while (st.inflight < st.window && !st.backlog.empty()) {
+      Parked p = std::move(st.backlog.front());
+      st.backlog.pop_front();
+      --backlog_total;
+      if (p.deadline != 0 && now > p.deadline) {
+        shed(ti, p.op, Status::kDeadlineExceeded);
+        continue;
+      }
+      dispatch(ti, p.op, p.arrived);
     }
   }
 
-  void dispatch(u32 ti, const wl::Op& op) {
+  /// Issue one op. `start` is the latency anchor: "now" on the closed
+  /// loop, the scheduled arrival time on the open loop — so host backlog
+  /// wait under overload counts against the tail, as a client sees it.
+  void dispatch(u32 ti, const wl::Op& op, TimeNs start) {
     TenantState& st = tenants[ti];
     if (record)
       record->add(wl::TraceOp{op.type, op.key_id, op.value_bytes,
@@ -124,7 +278,6 @@ struct MixDriver {
     ++st.inflight;
     ++inflight;
     const u64 version = ++st.op_seq;
-    const TimeNs start = stack.eq().now();
     const std::string key = wl::make_key(op.key_id, st.tspec.spec.key_bytes);
     const u64 op_bytes = key.size() + op.value_bytes;
     const wl::OpType type = op.type;
@@ -212,6 +365,16 @@ struct MixDriver {
       result.errors.count(s);
       st.result.errors.count(s);
     }
+    if (st.admission) {
+      // Feed the windowed estimator, and count SLO goodput: successful
+      // completions that landed within the tenant's target.
+      st.admission->on_completion(now - start);
+      if ((s == Status::kOk || s == Status::kNotFound) &&
+          now - start <= st.admission->slo().p99_target_ns) {
+        ++result.slo_goodput_ops;
+        ++st.result.slo_goodput_ops;
+      }
+    }
     --st.inflight;
     --inflight;
     ++completed;
@@ -221,8 +384,10 @@ struct MixDriver {
 
   bool done() const {
     if (inflight != 0) return false;
-    for (const TenantState& st : tenants)
+    for (const TenantState& st : tenants) {
       if (!st.exhausted) return false;
+      if (!st.backlog.empty() || st.arrival_pending) return false;
+    }
     return true;
   }
 };
@@ -253,12 +418,14 @@ MixResult run_mix(KvStack& stack, const wl::TenantMix& mix,
   const nvme::NvmeLink* link = stack.nvme_link();
   std::vector<nvme::NvmeQueueStats> qstats0;
   u64 rounds0 = 0;
+  u64 urgent0 = 0;
   if (link) {
     for (u32 q = 0; q < link->num_queues(); ++q)
       qstats0.push_back(link->queue_stats(q));
     rounds0 = link->arbitration_rounds();
+    urgent0 = link->urgent_fetches();
   }
-  MixDriver drv(stack, mix, opts.trace, opts.record_ops);
+  MixDriver drv(stack, mix, opts);
   if (opts.telemetry) {
     drv.result.telemetry = ssd::TelemetryCollector(opts.telemetry_interval);
     drv.result.telemetry.attach(
@@ -279,7 +446,14 @@ MixResult run_mix(KvStack& stack, const wl::TenantMix& mix,
       drv.result.recovery = stack.simulate_crash();
       drv.result.crashed = true;
       drv.inflight = 0;
-      for (TenantState& st : drv.tenants) st.inflight = 0;
+      for (TenantState& st : drv.tenants) {
+        st.inflight = 0;
+        // Backlogged arrivals and the pending arrival event died with
+        // the event queue; issue_all() below re-arms the arrival clocks.
+        st.backlog.clear();
+        st.arrival_pending = false;
+      }
+      drv.backlog_total = 0;
       if (!opts.resume_after_crash) break;
       drv.issue_all();
     }
@@ -320,6 +494,7 @@ MixResult run_mix(KvStack& stack, const wl::TenantMix& mix,
       out.queues.push_back(
           QueueUsage{q, queue_stats_delta(qstats0[q], link->queue_stats(q))});
     out.arbitration_rounds = link->arbitration_rounds() - rounds0;
+    out.urgent_fetches = link->urgent_fetches() - urgent0;
   }
   out.combined = std::move(drv.result);
   return out;

@@ -11,6 +11,7 @@
 #include "blockapi/block_device.h"
 #include "common/histogram.h"
 #include "common/timeseries.h"
+#include "harness/admission.h"
 #include "harness/stack_iface.h"
 #include "harness/trace.h"
 #include "nvme/nvme_link.h"
@@ -58,6 +59,13 @@ struct RunOptions {
   /// reproduces the run byte-identically. The recorder has no simulation
   /// side effects. The caller finishes the writer.
   wl::KvtWriter* record_ops = nullptr;
+  /// Per-tenant SLOs for open-loop runs: tenant i uses slos[i] when it
+  /// exists and is enabled (p99_target_ns != 0). An enabled SLO puts an
+  /// AdmissionController in front of the tenant's dispatch path; missing
+  /// or disabled entries leave the tenant unprotected (arrivals past its
+  /// window park in an unbounded backlog). Ignored by closed-loop
+  /// tenants, whose window can never overflow.
+  std::vector<SloSpec> slos;
 };
 
 /// Non-OK, non-NotFound completions, broken out by failure category.
@@ -68,6 +76,8 @@ struct ErrorCounts {
   u64 timeout = 0;   ///< kTimeout: completed past the configured deadline
   u64 capacity = 0;  ///< kDeviceFull / kCapacityLimit
   u64 other = 0;     ///< any other non-OK status
+  u64 shed = 0;      ///< kShed: admission control rejected before dispatch
+  u64 deadline = 0;  ///< kDeadlineExceeded: deferred past its deadline
 
   void count(Status s) {
     switch (s) {
@@ -77,11 +87,13 @@ struct ErrorCounts {
       case Status::kTimeout: ++timeout; break;
       case Status::kDeviceFull:
       case Status::kCapacityLimit: ++capacity; break;
+      case Status::kShed: ++shed; break;
+      case Status::kDeadlineExceeded: ++deadline; break;
       default: ++other; break;
     }
   }
   [[nodiscard]] u64 total() const {
-    return io + media + busy + timeout + capacity + other;
+    return io + media + busy + timeout + capacity + other + shed + deadline;
   }
   /// True when any counter is from the fault taxonomy (media/busy/timeout).
   [[nodiscard]] bool any_fault() const { return media + busy + timeout > 0; }
@@ -101,6 +113,23 @@ struct RunResult {
   u64 host_retries = 0;     ///< command re-drives by the stack's RetryPolicy
   bool crashed = false;     ///< a power-loss cut fired during this run
   CrashOutcome recovery;    ///< all-zero unless `crashed`
+
+  // --- open-loop / overload observables (all zero for closed loop, which
+  // keeps legacy report JSON byte-identical) -----------------------------
+  u64 offered_ops = 0;      ///< scheduled arrivals generated (open loop)
+  u64 shed_ops = 0;         ///< arrivals failed with kShed
+  u64 deferred_ops = 0;     ///< arrivals parked with a deadline
+  u64 deadline_exceeded_ops = 0;  ///< deferred ops that missed it
+  u64 arrival_overflows = 0;  ///< admitted arrivals that found the window
+                              ///< full and parked (the overload signal)
+  u64 slo_goodput_ops = 0;  ///< ok completions within the SLO target
+  u64 backlog_peak = 0;     ///< high-water host backlog (parked arrivals)
+
+  /// True when any open-loop counter moved (conditional report emission).
+  [[nodiscard]] bool overload_activity() const {
+    return (offered_ops | shed_ops | deferred_ops | deadline_exceeded_ops |
+            arrival_overflows | slo_goodput_ops | backlog_peak) != 0;
+  }
 
   [[nodiscard]] double throughput_ops_per_sec() const {
     return elapsed ? (double)ops * (double)kSec / (double)elapsed : 0.0;
@@ -148,6 +177,7 @@ struct MixResult {
   std::vector<TenantResult> tenants;
   std::vector<QueueUsage> queues;  ///< empty when the stack has no NVMe link
   u64 arbitration_rounds = 0;      ///< WRR credit replenishes during the run
+  u64 urgent_fetches = 0;  ///< SQ fetches via the urgent-class fast path
 };
 
 /// Run `spec` against `stack`. Inserts/updates call store(), reads call
@@ -173,6 +203,15 @@ RunResult run_workload(KvStack& stack, const wl::WorkloadSpec& shape,
 /// tenant in declaration order, and every completion refills only its
 /// own tenant's window, so the interleaving is deterministic. Tenants
 /// with empty names are labeled "t<index>".
+///
+/// Tenants whose spec.arrival is open-loop instead inject ops at the
+/// schedule's timestamps regardless of completions: at most
+/// arrival.max_inflight dispatch concurrently, later arrivals park in a
+/// host backlog (latency counts from the scheduled arrival), and an
+/// enabled RunOptions::slos entry puts an AdmissionController in front of
+/// the tenant's dispatch path (kShed / kDeadlineExceeded surface through
+/// ErrorCounts and the RunResult overload counters). Closed-loop tenants
+/// take the exact legacy path — reports stay byte-identical.
 MixResult run_mix(KvStack& stack, const wl::TenantMix& mix,
                   const RunOptions& opts = {});
 

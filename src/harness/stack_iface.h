@@ -6,11 +6,13 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
 #include <memory>
 #include <string_view>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/thread_annotations.h"
 #include "common/types.h"
 #include "sim/event_queue.h"
@@ -46,6 +48,17 @@ struct RetryPolicy {
   bool retry_media_error = true;
   bool retry_busy = true;
   bool retry_timeout = true;
+  /// Retry-storm guard: a per-run token bucket shared by every retry the
+  /// bed issues. Capacity in tokens (one re-drive each); when the bucket
+  /// runs dry the failing status is delivered instead of re-driven, so
+  /// retries cannot amplify an overload. 0 = unlimited (the legacy path).
+  u32 retry_budget = 0;
+  /// Tokens regained per simulated second (0 = no refill: a hard cap).
+  double retry_refill_per_sec = 0.0;
+  /// Desynchronize retries: each backoff delay is stretched by up to this
+  /// fraction of itself, drawn deterministically from the bed's seeded
+  /// jitter stream (detail::RetryBudget). 0 = no jitter (legacy-exact).
+  double jitter_frac = 0.0;
 
   [[nodiscard]] bool should_retry(Status s, u32 attempt) const {
     if (attempt >= max_retries) return false;
@@ -62,11 +75,15 @@ struct RetryPolicy {
   }
 
   /// Backoff delay before re-drive number `attempt` (1-based), saturating
-  /// at `max_backoff_ns`.
+  /// at `max_backoff_ns`. O(1): the exponential is evaluated in closed
+  /// form (one pow) with the clamp applied before the integer conversion,
+  /// matching the former multiply loop including its no-growth edge cases
+  /// (mult == 1, base already at the cap).
   [[nodiscard]] TimeNs backoff_for(u32 attempt) const {
     const double cap = (double)max_backoff_ns;
     double d = std::min((double)backoff_ns, cap);
-    for (u32 i = 1; i < attempt && d < cap; ++i) d = std::min(d * backoff_mult, cap);
+    if (attempt > 1 && backoff_mult != 1.0 && d < cap)
+      d = std::min(d * std::pow(backoff_mult, (double)(attempt - 1)), cap);
     return (TimeNs)d;
   }
 };
@@ -250,25 +267,89 @@ class InflightOps {
   std::vector<sim::Task> waiters_;
 };
 
+/// Per-bed retry-budget runtime: the token bucket RetryPolicy configures
+/// plus the seeded jitter stream. One instance lives next to the bed's
+/// RetryPolicy and is shared by every run_with_retry chain the bed
+/// issues — which is the point: the bucket caps *aggregate* re-drives, so
+/// a retry storm under overload starves itself instead of the device.
+/// With the legacy policy (budget 0, jitter 0) every call degenerates to
+/// "always allow, no jitter" and the timing is byte-identical.
+class RetryBudget {
+ public:
+  KVSIM_THREAD_CONFINED;
+  /// Install `policy`'s budget knobs and re-derive the jitter stream
+  /// from `seed` (beds pass the fault plan's seed, i.e. the run seed).
+  void configure(const RetryPolicy& policy, u64 seed) {
+    capacity_ = policy.retry_budget;
+    refill_per_sec_ = policy.retry_refill_per_sec;
+    jitter_frac_ = policy.jitter_frac;
+    tokens_ = (double)capacity_;
+    last_refill_ = 0;
+    denied_ = 0;
+    rng_.reseed(seed ^ 0xbad5'70b1'4e57'a11eull);
+  }
+
+  /// Take one retry token (refilling for elapsed simulated time first).
+  /// False = bucket dry: the caller must deliver the failure instead.
+  bool try_consume(TimeNs now) {
+    if (capacity_ == 0) return true;  // unlimited: the legacy path
+    if (refill_per_sec_ > 0.0 && now > last_refill_)
+      tokens_ = std::min((double)capacity_,
+                         tokens_ + (double)(now - last_refill_) *
+                                       refill_per_sec_ / (double)kSec);
+    last_refill_ = now;
+    if (tokens_ < 1.0) {
+      ++denied_;
+      return false;
+    }
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  /// Stretch a backoff delay by up to jitter_frac of itself (seeded,
+  /// deterministic). Identity when jitter is off — no RNG draw, so
+  /// jitter-free runs keep their exact event stream.
+  TimeNs jittered(TimeNs delay) {
+    if (jitter_frac_ <= 0.0) return delay;
+    return delay + (TimeNs)(jitter_frac_ * (double)delay * rng_.uniform());
+  }
+
+  /// Re-drives refused because the bucket was dry.
+  [[nodiscard]] u64 denied() const { return denied_; }
+  [[nodiscard]] double tokens() const { return tokens_; }
+
+ private:
+  u32 capacity_ = 0;
+  double refill_per_sec_ = 0.0;
+  double jitter_frac_ = 0.0;
+  double tokens_ = 0.0;
+  TimeNs last_refill_ = 0;
+  u64 denied_ = 0;
+  Rng rng_;
+};
+
 /// Issues `issue(attempt, done)` and re-drives it per `policy` when the
 /// completion status is retryable. `retries` is bumped once per re-drive.
-/// The attempt closure self-references through a weak_ptr: the pending
-/// device callback holds the strong reference, so an abandoned chain
-/// frees itself.
+/// Every re-drive spends one token from `budget` (a dry bucket delivers
+/// the failure instead) and its backoff is jitter-stretched by the
+/// budget's seeded stream. The attempt closure self-references through a
+/// weak_ptr: the pending device callback holds the strong reference, so
+/// an abandoned chain frees itself.
 template <typename Issue, typename Done>
 void run_with_retry(sim::EventQueue& eq, const RetryPolicy& policy,
-                    u64& retries, Issue issue, Done done) {
+                    u64& retries, RetryBudget& budget, Issue issue,
+                    Done done) {
   auto attempt = std::make_shared<std::function<void(u32)>>();
   std::weak_ptr<std::function<void(u32)>> weak = attempt;
   auto state = std::make_shared<Done>(std::move(done));
-  *attempt = [&eq, &policy, &retries, weak, state,
+  *attempt = [&eq, &policy, &retries, &budget, weak, state,
               issue = std::move(issue)](u32 n) {
     auto self = weak.lock();
-    issue(n, [&eq, &policy, &retries, self, state, n](Status s,
-                                                      auto... rest) {
-      if (policy.should_retry(s, n)) {
+    issue(n, [&eq, &policy, &retries, &budget, self, state, n](
+                 Status s, auto... rest) {
+      if (policy.should_retry(s, n) && budget.try_consume(eq.now())) {
         ++retries;
-        eq.schedule_after(policy.backoff_for(n + 1),
+        eq.schedule_after(budget.jittered(policy.backoff_for(n + 1)),
                           [self, n] { (*self)(n + 1); });
         return;
       }

@@ -3,6 +3,7 @@
 namespace kvsim::harness {
 
 KvssdBed::KvssdBed(const KvssdBedConfig& cfg0) : retry_(cfg0.retry) {
+  retry_budget_.configure(retry_, ssd::FaultPlan{}.seed);
   KvssdBedConfig cfg = cfg0;
   if (cfg.crash_tracking) cfg.ftl.crash_tracking = true;
   crash_on_ = cfg.ftl.crash_tracking;
@@ -42,6 +43,7 @@ BlockDirectBed::BlockDirectBed(const BlockBedConfig& cfg) {
 }
 
 LsmBed::LsmBed(const LsmBedConfig& cfg0) : retry_(cfg0.retry) {
+  retry_budget_.configure(retry_, ssd::FaultPlan{}.seed);
   LsmBedConfig cfg = cfg0;
   if (cfg.crash_tracking) {
     cfg.ftl.crash_tracking = true;
@@ -98,6 +100,7 @@ CrashOutcome LsmBed::simulate_crash() {
 }
 
 HashKvBed::HashKvBed(const HashKvBedConfig& cfg0) : retry_(cfg0.retry) {
+  retry_budget_.configure(retry_, ssd::FaultPlan{}.seed);
   HashKvBedConfig cfg = cfg0;
   if (cfg.crash_tracking) {
     cfg.ftl.crash_tracking = true;

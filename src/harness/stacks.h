@@ -68,7 +68,7 @@ class KvssdBed final : public KvStack {
       return;
     }
     detail::run_with_retry(
-        eq_, retry_, host_retries_,
+        eq_, retry_, host_retries_, retry_budget_,
         [this, key = std::string(key), v, t](u32 attempt, auto cb) {
           // Re-drives carry the attempt number as the stream hint so the
           // FTL may steer the retry to a different write point.
@@ -85,7 +85,7 @@ class KvssdBed final : public KvStack {
       return;
     }
     detail::run_with_retry(
-        eq_, retry_, host_retries_,
+        eq_, retry_, host_retries_, retry_budget_,
         [this, key = std::string(key), t](u32, auto cb) {
           dev_->retrieve(key, std::move(cb), t.nsid, t.queue);
         },
@@ -99,7 +99,7 @@ class KvssdBed final : public KvStack {
       return;
     }
     detail::run_with_retry(
-        eq_, retry_, host_retries_,
+        eq_, retry_, host_retries_, retry_budget_,
         [this, key = std::string(key), t](u32, auto cb) {
           dev_->remove(key, std::move(cb), t.nsid, t.queue);
         },
@@ -140,6 +140,9 @@ class KvssdBed final : public KvStack {
   void apply_fault_plan(const ssd::FaultPlan& plan) override {
     ftl_->set_fault_plan(plan);
     faults_on_ = plan.enabled;
+    // Re-derive the retry budget's bucket and jitter stream from the
+    // plan's seed so fault runs are reproducible from one knob.
+    retry_budget_.configure(retry_, plan.seed);
   }
   [[nodiscard]] const ssd::FaultInjector* fault_injector() const override {
     return ftl_->fault_injector();
@@ -158,6 +161,7 @@ class KvssdBed final : public KvStack {
   std::unique_ptr<nvme::NvmeLink> link_;
   std::unique_ptr<kvapi::KvsDevice> dev_;
   RetryPolicy retry_;
+  detail::RetryBudget retry_budget_;
   bool faults_on_ = false;
   bool crash_on_ = false;
   u64 host_retries_ = 0;
@@ -231,7 +235,7 @@ class LsmBed final : public KvStack {
       return;
     }
     detail::run_with_retry(
-        eq_, retry_, host_retries_,
+        eq_, retry_, host_retries_, retry_budget_,
         [this, tk, v](u32, auto cb) { store_->put(tk, v, std::move(cb)); },
         std::move(tracked));
   }
@@ -245,7 +249,7 @@ class LsmBed final : public KvStack {
       return;
     }
     detail::run_with_retry(
-        eq_, retry_, host_retries_,
+        eq_, retry_, host_retries_, retry_budget_,
         [this, tk, q = t.queue](u32, auto cb) {
           store_->get(tk, std::move(cb), q);
         },
@@ -261,7 +265,7 @@ class LsmBed final : public KvStack {
       return;
     }
     detail::run_with_retry(
-        eq_, retry_, host_retries_,
+        eq_, retry_, host_retries_, retry_budget_,
         [this, tk](u32, auto cb) { store_->del(tk, std::move(cb)); },
         std::move(tracked));
   }
@@ -299,6 +303,9 @@ class LsmBed final : public KvStack {
   void apply_fault_plan(const ssd::FaultPlan& plan) override {
     ftl_->set_fault_plan(plan);
     faults_on_ = plan.enabled;
+    // Re-derive the retry budget's bucket and jitter stream from the
+    // plan's seed so fault runs are reproducible from one knob.
+    retry_budget_.configure(retry_, plan.seed);
   }
   [[nodiscard]] const ssd::FaultInjector* fault_injector() const override {
     return ftl_->fault_injector();
@@ -320,6 +327,7 @@ class LsmBed final : public KvStack {
   std::unique_ptr<lsm::LsmStore> store_;
   u64 app_bytes_ = 0;
   RetryPolicy retry_;
+  detail::RetryBudget retry_budget_;
   bool faults_on_ = false;
   bool crash_on_ = false;
   u64 host_retries_ = 0;
@@ -364,7 +372,7 @@ class HashKvBed final : public KvStack {
       return;
     }
     detail::run_with_retry(
-        eq_, retry_, host_retries_,
+        eq_, retry_, host_retries_, retry_budget_,
         [this, tk, v](u32, auto cb) { store_->put(tk, v, std::move(cb)); },
         std::move(tracked));
   }
@@ -378,7 +386,7 @@ class HashKvBed final : public KvStack {
       return;
     }
     detail::run_with_retry(
-        eq_, retry_, host_retries_,
+        eq_, retry_, host_retries_, retry_budget_,
         [this, tk](u32, auto cb) { store_->get(tk, std::move(cb)); },
         std::move(tracked));
   }
@@ -392,7 +400,7 @@ class HashKvBed final : public KvStack {
       return;
     }
     detail::run_with_retry(
-        eq_, retry_, host_retries_,
+        eq_, retry_, host_retries_, retry_budget_,
         [this, tk](u32, auto cb) { store_->del(tk, std::move(cb)); },
         std::move(tracked));
   }
@@ -434,6 +442,9 @@ class HashKvBed final : public KvStack {
   void apply_fault_plan(const ssd::FaultPlan& plan) override {
     ftl_->set_fault_plan(plan);
     faults_on_ = plan.enabled;
+    // Re-derive the retry budget's bucket and jitter stream from the
+    // plan's seed so fault runs are reproducible from one knob.
+    retry_budget_.configure(retry_, plan.seed);
   }
   [[nodiscard]] const ssd::FaultInjector* fault_injector() const override {
     return ftl_->fault_injector();
@@ -453,6 +464,7 @@ class HashKvBed final : public KvStack {
   std::unique_ptr<blockapi::BlockDevice> dev_;
   std::unique_ptr<hashkv::HashKvStore> store_;
   RetryPolicy retry_;
+  detail::RetryBudget retry_budget_;
   bool faults_on_ = false;
   bool crash_on_ = false;
   u64 host_retries_ = 0;

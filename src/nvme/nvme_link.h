@@ -68,6 +68,20 @@ struct NvmeConfig {
   /// Per-queue WRR weights. Empty = weight 1 everywhere; otherwise must
   /// hold exactly `num_queues` entries, each >= 1.
   std::vector<u32> queue_weights;
+  /// Queues in the strict-priority urgent class: fetched ahead of the WRR
+  /// rounds, bounded by `urgent_credit_cap` priority fetches per round
+  /// (see WrrArbiter). Empty = no urgent class (the plain WRR model).
+  /// Derivable from a tenant mix via TenantMix::urgent_queues().
+  std::vector<u32> urgent_queues;
+  /// Starvation bound for the urgent class: priority fetches per credit
+  /// round; past it urgent queues compete through WRR like everyone else.
+  u32 urgent_credit_cap = 8;
+  /// Doorbell re-poll delay charged to a post that finds its SQ full: the
+  /// entry joins the queue only after this many ns (per-queue FIFO order
+  /// preserved), so sq_full_stalls show up in queue-wait telemetry
+  /// instead of being a free counter. 0 = the pre-repoll model (the
+  /// overflow entry is parked immediately).
+  TimeNs sq_repoll_ns = 1000;
 
   /// Throws std::invalid_argument on nonsense (zero rates, zero depths,
   /// weight-vector shape mismatches). Called by NvmeLink's constructor.
@@ -87,6 +101,12 @@ struct NvmeConfig {
         fail("queue_weights must be empty or hold num_queues entries");
       for (u32 w : queue_weights)
         if (w == 0) fail("queue weights must be >= 1");
+    }
+    if (!urgent_queues.empty()) {
+      if (urgent_credit_cap == 0)
+        fail("urgent class requires urgent_credit_cap >= 1");
+      for (u32 q : urgent_queues)
+        if (q >= num_queues) fail("urgent queue id out of range");
     }
   }
 };
@@ -124,8 +144,15 @@ class NvmeLink {
     if (cfg_.num_queues > 1) {
       std::vector<u32> weights = cfg_.queue_weights;
       if (weights.empty()) weights.assign(cfg_.num_queues, 1);
+      std::vector<u8> urgent;
+      if (!cfg_.urgent_queues.empty()) {
+        urgent.assign(cfg_.num_queues, 0);
+        for (u32 q : cfg_.urgent_queues) urgent[q] = 1;
+      }
       arb_ = std::make_unique<WrrArbiter>(std::move(weights),
-                                          cfg_.arbitration_burst);
+                                          cfg_.arbitration_burst,
+                                          std::move(urgent),
+                                          cfg_.urgent_credit_cap);
     }
   }
 
@@ -161,11 +188,32 @@ class NvmeLink {
       eq_.schedule_at(t, std::move(at_device));
       return;
     }
-    if (q.sq.size() >= cfg_.sq_depth) ++q.stats.sq_full_stalls;
-    q.sq.push_back(SqEntry{ncmds, payload_bytes, now, std::move(at_device)});
-    if (q.sq.size() > q.stats.max_occupancy)
-      q.stats.max_occupancy = q.sq.size();
-    if (!fetch_inflight_) arbitrate();
+    if (q.sq.size() >= cfg_.sq_depth || q.deferred > 0) {
+      // Doorbell full (or earlier posts from this queue still spinning on
+      // it): the host re-polls after sq_repoll_ns and the entry joins the
+      // SQ only then, so the stall has a latency consequence that lands
+      // in queue-wait telemetry (`posted` keeps the original post time).
+      // The defer-tail chain preserves per-queue FIFO order, and the
+      // entry is parked even if the queue is still at depth when the
+      // re-poll fires — posts are never dropped, matching the old
+      // overflow-tolerated semantics.
+      ++q.stats.sq_full_stalls;
+      const TimeNs at = std::max(now + cfg_.sq_repoll_ns, q.defer_tail);
+      q.defer_tail = at;
+      ++q.deferred;
+      const u32 qi =
+          qid < (u32)queues_.size() ? qid : (u32)queues_.size() - 1;
+      eq_.schedule_at(
+          at, sim::Task([this, qi,
+                         e = SqEntry{ncmds, payload_bytes, now,
+                                     std::move(at_device)}]() mutable {
+            Queue& dq = queues_[qi];
+            --dq.deferred;
+            park(dq, std::move(e));
+          }));
+      return;
+    }
+    park(q, SqEntry{ncmds, payload_bytes, now, std::move(at_device)});
   }
 
   /// Deliver a completion (optionally with read payload) back to the host
@@ -193,7 +241,11 @@ class NvmeLink {
   void power_cycle(TimeNs now) {
     cmd_proc_.power_cycle(now);
     bus_.power_cycle(now);
-    for (Queue& q : queues_) q.sq.clear();
+    for (Queue& q : queues_) {
+      q.sq.clear();
+      q.deferred = 0;  // the landing events died with the event queue
+      q.defer_tail = 0;
+    }
     fetch_inflight_ = false;
   }
 
@@ -215,6 +267,11 @@ class NvmeLink {
   [[nodiscard]] u64 arbitration_rounds() const {
     return arb_ ? arb_->rounds() : 0;
   }
+  /// Command fetches granted through the urgent-class fast path (0 when
+  /// no queue is urgent or in single-queue mode).
+  [[nodiscard]] u64 urgent_fetches() const {
+    return arb_ ? arb_->urgent_fetches() : 0;
+  }
 
   /// Bus transfer time for `bytes`, rounded *up* to the next nanosecond.
   /// Truncating toward zero undercharged every transfer by up to 1 ns,
@@ -234,10 +291,20 @@ class NvmeLink {
   struct Queue {
     std::deque<SqEntry> sq;
     NvmeQueueStats stats;
+    u64 deferred = 0;       ///< posts waiting out a doorbell re-poll
+    TimeNs defer_tail = 0;  ///< landing time of the latest deferred post
   };
 
   Queue& queue(u32 qid) {
     return queues_[qid < queues_.size() ? qid : (u32)queues_.size() - 1];
+  }
+
+  /// Land an entry in the SQ and kick the arbiter if it is idle.
+  void park(Queue& q, SqEntry e) {
+    q.sq.push_back(std::move(e));
+    if (q.sq.size() > q.stats.max_occupancy)
+      q.stats.max_occupancy = q.sq.size();
+    if (!fetch_inflight_) arbitrate();
   }
 
   /// Fetch/parse plus the 64 B command header's own bus time.

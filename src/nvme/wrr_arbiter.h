@@ -31,9 +31,25 @@ class WrrArbiter {
   /// by NvmeConfig). `burst` is the credit multiplier per round
   /// (arbitration burst): a round grants queue q `weights[q] * burst`
   /// command fetches.
-  WrrArbiter(std::vector<u32> weights, u32 burst) : burst_(burst) {
+  ///
+  /// `urgent[q]` (when non-empty: one flag per queue) puts queue q in the
+  /// strict-priority urgent class (NVMe §4.13's urgent priority): urgent
+  /// backlog is fetched ahead of every WRR consideration, bounded by a
+  /// class-wide budget of `urgent_cap` priority fetches per credit round
+  /// so a flooding urgent queue cannot starve the WRR queues. Past the
+  /// budget, urgent queues compete through WRR like everyone else (they
+  /// keep their weights), which also keeps the arbiter work-conserving.
+  /// An empty `urgent` vector (or all-false flags) reproduces the plain
+  /// WRR pick sequence exactly.
+  WrrArbiter(std::vector<u32> weights, u32 burst,
+             std::vector<u8> urgent = {}, u32 urgent_cap = 0)
+      : burst_(burst), urgent_cap_(urgent_cap),
+        urgent_credits_(urgent_cap) {
     qs_.reserve(weights.size());
     for (u32 w : weights) qs_.push_back(Q{w, w * burst, 0});
+    if (!urgent.empty())
+      for (u32 q = 0; q < (u32)qs_.size(); ++q)
+        if (urgent[q]) urgent_ids_.push_back(q);
   }
 
   /// Pick the next queue to fetch a command from, consuming one credit.
@@ -44,6 +60,18 @@ class WrrArbiter {
   template <typename Backlog>
   int pick(Backlog&& backlog) {
     const u32 n = (u32)qs_.size();
+    // Strict-priority pass: lowest-id urgent queue with backlog wins,
+    // spending class credits (not the queue's WRR credits) while the
+    // round's priority budget lasts. The WRR cursor is untouched, so
+    // once the budget is spent the round resumes exactly where it was.
+    if (urgent_credits_ > 0) {
+      for (u32 q : urgent_ids_) {
+        if (backlog(q) == 0) continue;
+        --urgent_credits_;
+        ++urgent_fetches_;
+        return (int)q;
+      }
+    }
     bool any_backlog = false;
     for (u32 k = 0; k < n; ++k) {
       const u32 q = (cursor_ + k) % n;
@@ -61,6 +89,7 @@ class WrrArbiter {
     // from a round boundary.
     ++rounds_;
     for (auto& q : qs_) q.credits = q.weight * burst_;
+    urgent_credits_ = urgent_cap_;  // the priority budget is per round
     cursor_ = 0;
     for (u32 q = 0; q < n; ++q)
       if (backlog(q) != 0) return take(q);
@@ -74,6 +103,16 @@ class WrrArbiter {
   [[nodiscard]] u64 rounds() const { return rounds_; }
   /// Times queue q was passed over with work pending but no credits.
   [[nodiscard]] u64 stalls(u32 q) const { return qs_[q].stalls; }
+  /// True when queue q is in the strict-priority urgent class.
+  [[nodiscard]] bool is_urgent(u32 q) const {
+    for (u32 id : urgent_ids_)
+      if (id == q) return true;
+    return false;
+  }
+  /// Fetches granted through the urgent fast path (not via WRR credits).
+  [[nodiscard]] u64 urgent_fetches() const { return urgent_fetches_; }
+  /// Priority fetches left in the current round's class budget.
+  [[nodiscard]] u32 urgent_credits() const { return urgent_credits_; }
 
  private:
   struct Q {
@@ -94,6 +133,10 @@ class WrrArbiter {
   u32 burst_;
   u32 cursor_ = 0;
   u64 rounds_ = 0;
+  std::vector<u32> urgent_ids_;  ///< urgent-class queues, ascending
+  u32 urgent_cap_ = 0;           ///< priority fetches per round
+  u32 urgent_credits_ = 0;       ///< remaining this round
+  u64 urgent_fetches_ = 0;
 };
 
 }  // namespace kvsim::nvme

@@ -71,6 +71,91 @@ u64 KeyChooser::next() {
   return 0;
 }
 
+const char* to_string(ArrivalKind k) {
+  switch (k) {
+    case ArrivalKind::kClosedLoop: return "closed";
+    case ArrivalKind::kFixedRate: return "fixed";
+    case ArrivalKind::kPoisson: return "poisson";
+    case ArrivalKind::kBursty: return "bursty";
+  }
+  return "?";
+}
+
+void ArrivalSchedule::validate() const {
+  if (!open_loop()) return;  // closed loop ignores every rate knob
+  auto fail = [](const char* what) {
+    throw std::invalid_argument(std::string("ArrivalSchedule: ") + what);
+  };
+  if (max_inflight == 0) fail("open loop requires max_inflight >= 1");
+  if (kind == ArrivalKind::kBursty) {
+    if (!(burst_rate_ops_per_sec > 0.0) ||
+        !std::isfinite(burst_rate_ops_per_sec))
+      fail("burst_rate_ops_per_sec must be finite and > 0");
+    if (rate_ops_per_sec < 0.0 || !std::isfinite(rate_ops_per_sec))
+      fail("off-phase rate_ops_per_sec must be finite and >= 0");
+    if (on_ns == 0) fail("bursty schedule has an empty on phase");
+    if (off_ns == 0) fail("bursty schedule has an empty off phase");
+    return;
+  }
+  if (!(rate_ops_per_sec > 0.0) || !std::isfinite(rate_ops_per_sec))
+    fail("rate_ops_per_sec must be finite and > 0");
+}
+
+ArrivalGen::ArrivalGen(const ArrivalSchedule& sched, u64 seed)
+    : sched_(sched), rng_(seed ^ 0xa2217a1'be57a7edull) {
+  sched_.validate();
+}
+
+TimeNs ArrivalGen::exp_gap(double rate) {
+  // Inverse-CDF exponential draw; uniform() < 1 so the log argument
+  // stays positive, and the gap is floored at 1 ns (the sim tick).
+  const double u = 1.0 - rng_.uniform();
+  const double gap = -std::log(u) * ((double)kSec / rate);
+  return std::max<TimeNs>(1, (TimeNs)gap);
+}
+
+TimeNs ArrivalGen::next_gap() {
+  switch (sched_.kind) {
+    case ArrivalKind::kClosedLoop:
+      return 0;  // unused: the runner never builds a gen for closed loop
+    case ArrivalKind::kFixedRate:
+      return std::max<TimeNs>(
+          1, (TimeNs)((double)kSec / sched_.rate_ops_per_sec));
+    case ArrivalKind::kPoisson:
+      return exp_gap(sched_.rate_ops_per_sec);
+    case ArrivalKind::kBursty: {
+      // Walk the on/off phase timeline from the previous arrival. A draw
+      // that crosses the current phase's boundary is cut there and
+      // redrawn at the new phase's rate (exact for Poisson arrivals —
+      // the exponential is memoryless). Silent phases (rate 0) are
+      // skipped in one hop.
+      const TimeNs cycle = sched_.on_ns + sched_.off_ns;
+      const TimeNs start = phase_pos_;
+      for (;;) {
+        const TimeNs in_cycle = phase_pos_ % cycle;
+        const bool on = in_cycle < sched_.on_ns;
+        const TimeNs boundary =
+            phase_pos_ + (on ? sched_.on_ns - in_cycle
+                             : cycle - in_cycle);
+        const double rate =
+            on ? sched_.burst_rate_ops_per_sec : sched_.rate_ops_per_sec;
+        if (rate <= 0.0) {
+          phase_pos_ = boundary;
+          continue;
+        }
+        const TimeNs gap = exp_gap(rate);
+        if (phase_pos_ + gap >= boundary) {
+          phase_pos_ = boundary;
+          continue;
+        }
+        phase_pos_ += gap;
+        return std::max<TimeNs>(1, phase_pos_ - start);
+      }
+    }
+  }
+  return 1;
+}
+
 void WorkloadSpec::validate() const {
   if (num_ops == 0)
     throw std::invalid_argument("WorkloadSpec: num_ops must be > 0");
@@ -94,6 +179,7 @@ void WorkloadSpec::validate() const {
   if (mix.scan > 0.0 && scan_length == 0)
     throw std::invalid_argument(
         "WorkloadSpec: scan mix requires scan_length > 0");
+  arrival.validate();
 }
 
 namespace {

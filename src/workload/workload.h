@@ -7,6 +7,7 @@
 // keys are drawn uniformly from inside it).
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <string>
@@ -90,6 +91,52 @@ enum class ValueDist {
   kFacebook,  ///< heavy-tailed around ~100 B (Pareto-like, capped)
 };
 
+/// How a tenant's ops arrive at the host (docs/API.md "Overload & SLOs").
+///
+/// The default, kClosedLoop, is the legacy model: a fixed window of
+/// `queue_depth` ops where every completion immediately issues the next —
+/// offered load can never exceed service capacity. The open-loop kinds
+/// instead inject ops at scheduled timestamps regardless of completions,
+/// which is the only way to offer *more* load than the device absorbs:
+/// at most `max_inflight` ops are dispatched concurrently, and arrivals
+/// past that window park in an unbounded host backlog whose growth
+/// (RunResult::arrival_overflows / backlog_peak) is the overload signal.
+/// Latency is measured from the scheduled *arrival*, so host queueing
+/// under saturation shows up in the tail exactly as a client would see it.
+enum class ArrivalKind {
+  kClosedLoop,  ///< legacy fixed-QD closed loop (the exact pre-PR path)
+  kFixedRate,   ///< deterministic arrivals every 1e9/rate ns
+  kPoisson,     ///< exponential inter-arrival gaps at `rate_ops_per_sec`
+  kBursty,      ///< on/off phases: `burst_rate` during on, `rate` during off
+};
+
+const char* to_string(ArrivalKind k);
+
+struct ArrivalSchedule {
+  ArrivalKind kind = ArrivalKind::kClosedLoop;
+  /// Steady arrival rate (kFixedRate / kPoisson); off-phase rate for
+  /// kBursty (0 = silent between bursts).
+  double rate_ops_per_sec = 0.0;
+  /// On-phase arrival rate (kBursty only).
+  double burst_rate_ops_per_sec = 0.0;
+  /// Burst phase durations (kBursty only): arrivals alternate
+  /// `on_ns` of burst-rate traffic with `off_ns` of off-rate traffic.
+  TimeNs on_ns = 0;
+  TimeNs off_ns = 0;
+  /// Bounded dispatch window: ops in flight at the stack concurrently.
+  /// Arrivals beyond it park in the host backlog (the overload signal).
+  u32 max_inflight = 64;
+
+  [[nodiscard]] bool open_loop() const {
+    return kind != ArrivalKind::kClosedLoop;
+  }
+
+  /// Reject degenerate schedules (zero/negative/NaN rates, empty burst
+  /// phases, a zero dispatch window) with std::invalid_argument — before
+  /// any RNG machinery is built, like WorkloadSpec::validate().
+  void validate() const;
+};
+
 struct WorkloadSpec {
   u64 num_ops = 100'000;
   u64 key_space = 100'000;  ///< distinct key ids addressed
@@ -112,6 +159,9 @@ struct WorkloadSpec {
   /// order given by `pattern` (sequential, or a shuffled permutation for
   /// random/zipf orders) — KVBench-style population.
   bool distinct_inserts = false;
+  /// How ops arrive. Default (closed loop) is the exact legacy path;
+  /// open-loop kinds decouple arrivals from completions (see ArrivalKind).
+  ArrivalSchedule arrival;
 
   /// Reject nonsense specs that would otherwise silently generate
   /// degenerate streams (zero ops, zero-width keys, non-positive zipf
@@ -150,6 +200,10 @@ struct TenantSpec {
   /// key_bytes, key_space, and queue_depth. spec.num_ops is ignored —
   /// the source decides when the stream ends.
   OpSourceFactory source;
+  /// Post this tenant's queue to the NVMe urgent class: strict-priority
+  /// SQ fetch ahead of the WRR rounds, starvation-bounded by
+  /// NvmeConfig::urgent_credit_cap (see TenantMix::urgent_queues()).
+  bool urgent = false;
 };
 
 /// A weighted mix of tenant workloads, interleaved deterministically by
@@ -173,6 +227,20 @@ struct TenantMix {
     u32 q = 0;
     for (const TenantSpec& t : tenants) q = t.queue > q ? t.queue : q;
     return q;
+  }
+
+  /// Queue ids flagged urgent by any tenant (deduplicated, ascending) —
+  /// ready to assign to NvmeConfig::urgent_queues.
+  [[nodiscard]] std::vector<u32> urgent_queues() const {
+    std::vector<u32> qs;
+    for (const TenantSpec& t : tenants) {
+      if (!t.urgent) continue;
+      bool seen = false;
+      for (u32 q : qs) seen = seen || q == t.queue;
+      if (!seen) qs.push_back(t.queue);
+    }
+    std::sort(qs.begin(), qs.end());
+    return qs;
   }
 };
 
@@ -237,6 +305,35 @@ class SyntheticOpSource final : public OpSource {
 
 /// Back-compat alias: OpStream was the concrete pre-interface generator.
 using OpStream = SyntheticOpSource;
+
+/// Deterministic inter-arrival-gap generator for an open-loop schedule.
+/// Thread-confined machinery, like OpSource: the runner builds one per
+/// open-loop tenant inside the cell that consumes it; the copyable
+/// ArrivalSchedule is what crosses API boundaries. Construction
+/// validates the schedule. All randomness derives from `seed` via the
+/// shared kvsim::Rng, so a given (schedule, seed) pair replays the exact
+/// arrival timeline — the open-loop determinism tests depend on it.
+class ArrivalGen {
+ public:
+  KVSIM_THREAD_CONFINED;
+  ArrivalGen(const ArrivalSchedule& sched, u64 seed);
+
+  /// Nanoseconds between the previous arrival and the next one (>= 1).
+  /// For kBursty the generator tracks its absolute position on the on/off
+  /// phase timeline, so rate changes land at phase boundaries regardless
+  /// of where the previous arrival fell.
+  TimeNs next_gap();
+
+  [[nodiscard]] const ArrivalSchedule& schedule() const { return sched_; }
+
+ private:
+  /// Exponential gap at `rate` ops/s (memoryless; redrawn at phase cuts).
+  TimeNs exp_gap(double rate);
+
+  ArrivalSchedule sched_;
+  Rng rng_;
+  TimeNs phase_pos_ = 0;  ///< absolute position on the bursty phase clock
+};
 
 /// Factory for the synthetic generator (the default op source).
 OpSourceFactory synthetic_source(const WorkloadSpec& spec);

@@ -146,6 +146,56 @@ TEST(Determinism, SingleTenantMixReproducesLegacyRun) {
   EXPECT_EQ(lrep.to_json(), mrep.to_json());
 }
 
+// An open-loop mix under admission control: the arrival clocks, window
+// parking, shed decisions, and overload counters must all reproduce
+// byte-for-byte, including the conditional "overload" JSON block.
+std::string open_loop_mix_json() {
+  KvssdBedConfig c;
+  c.dev = tiny_dev();
+  c.nvme.num_queues = 2;
+  c.nvme.queue_weights = {2, 1};
+  KvssdBed bed(c);
+  (void)fill_stack(bed, 1500, 16, 2048, 32);
+  wl::TenantMix mix;
+  for (u32 i = 0; i < 2; ++i) {
+    wl::TenantSpec t;
+    t.name = i == 0 ? "open" : "closed";
+    t.nsid = (u8)(i + 1);
+    t.queue = i;
+    t.spec = churn_spec();
+    t.spec.num_ops = 1500;
+    t.spec.seed = 42 + i;
+    if (i == 0) {
+      t.spec.arrival.kind = wl::ArrivalKind::kPoisson;
+      t.spec.arrival.rate_ops_per_sec = 300'000.0;
+      t.spec.arrival.max_inflight = 16;
+    }
+    mix.tenants.push_back(std::move(t));
+  }
+  RunOptions opts;
+  SloSpec slo;
+  slo.p99_target_ns = 2 * kMs;
+  slo.max_inflight = 48;
+  slo.window = 32;
+  opts.slos = {slo};
+  opts.drain_after = true;
+  opts.telemetry = true;
+  opts.telemetry_interval = 10 * kMs;
+  const MixResult r = run_mix(bed, mix, opts);
+  BenchReport rep("determinism_check");
+  rep.add_mix("open_mix", r);
+  rep.add_device(bed);
+  return rep.to_json();
+}
+
+TEST(Determinism, OpenLoopMixByteIdenticalAcrossReruns) {
+  const std::string a = open_loop_mix_json();
+  const std::string b = open_loop_mix_json();
+  ASSERT_FALSE(a.empty());
+  EXPECT_NE(a.find("\"overload\""), std::string::npos);
+  EXPECT_EQ(a, b);
+}
+
 TEST(Determinism, DifferentSeedsProduceDifferentReports) {
   // Sanity check that the comparison above has teeth: a different seed
   // must change the document (otherwise we are comparing constants).

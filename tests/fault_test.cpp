@@ -101,6 +101,73 @@ TEST(RetryPolicy, BackoffGrowsExponentially) {
   EXPECT_EQ(p.backoff_for(3), 100 * kUs);
 }
 
+TEST(RetryPolicy, BackoffCapsAtMax) {
+  RetryPolicy p;
+  p.backoff_ns = 100 * kUs;
+  p.backoff_mult = 2.0;
+  p.max_backoff_ns = 350 * kUs;
+  EXPECT_EQ(p.backoff_for(2), 200 * kUs);
+  EXPECT_EQ(p.backoff_for(3), 350 * kUs);   // clamped, not 400
+  EXPECT_EQ(p.backoff_for(30), 350 * kUs);  // closed form: no overflow walk
+  p.backoff_ns = 500 * kUs;                 // base already above the cap
+  EXPECT_EQ(p.backoff_for(1), 350 * kUs);
+  EXPECT_EQ(p.backoff_for(5), 350 * kUs);
+}
+
+TEST(RetryBudget, TokenBucketDeniesWhenDryAndRefills) {
+  RetryPolicy p;
+  p.retry_budget = 2;
+  p.retry_refill_per_sec = 1.0;  // one token per simulated second
+  detail::RetryBudget b;
+  b.configure(p, 42);
+  EXPECT_TRUE(b.try_consume(0));
+  EXPECT_TRUE(b.try_consume(0));
+  EXPECT_FALSE(b.try_consume(0));  // dry
+  EXPECT_EQ(b.denied(), 1u);
+  // Half a second refills half a token: still dry.
+  EXPECT_FALSE(b.try_consume(kSec / 2));
+  // Another half second completes the token.
+  EXPECT_TRUE(b.try_consume(kSec));
+  EXPECT_EQ(b.denied(), 2u);
+  // Refill saturates at capacity.
+  EXPECT_TRUE(b.try_consume(100 * kSec));
+  EXPECT_TRUE(b.try_consume(100 * kSec));
+  EXPECT_FALSE(b.try_consume(100 * kSec));
+}
+
+TEST(RetryBudget, ZeroCapacityIsUnlimitedLegacyPath) {
+  detail::RetryBudget b;
+  b.configure(RetryPolicy{}, 7);  // retry_budget = 0
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(b.try_consume(0));
+  EXPECT_EQ(b.denied(), 0u);
+}
+
+TEST(RetryBudget, JitterIsSeededDeterministicAndBounded) {
+  RetryPolicy p;
+  p.jitter_frac = 0.5;
+  detail::RetryBudget a, b, c;
+  a.configure(p, 1234);
+  b.configure(p, 1234);
+  c.configure(p, 9999);
+  const TimeNs base = 100 * kUs;
+  bool differs = false;
+  for (int i = 0; i < 64; ++i) {
+    const TimeNs ja = a.jittered(base);
+    EXPECT_EQ(ja, b.jittered(base));  // same seed -> same stream
+    EXPECT_GE(ja, base);              // jitter only stretches
+    EXPECT_LE(ja, base + base / 2);   // by at most jitter_frac
+    if (ja != c.jittered(base)) differs = true;
+  }
+  EXPECT_TRUE(differs);  // different seed -> different stream
+}
+
+TEST(RetryBudget, NoJitterIsExactIdentity) {
+  detail::RetryBudget b;
+  b.configure(RetryPolicy{}, 5);  // jitter_frac = 0
+  EXPECT_EQ(b.jittered(123456), 123456);
+  EXPECT_EQ(b.jittered(0), 0);
+}
+
 TEST(FaultPlanValidate, RejectsOutOfRangeKnobs) {
   ssd::FaultPlan p;
   p.enabled = true;

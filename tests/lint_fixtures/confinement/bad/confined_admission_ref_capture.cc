@@ -1,0 +1,25 @@
+// [confined-capture] seeded violation: an overload sweep cell capturing
+// a thread-confined AdmissionController by reference. The controller's
+// latency window and shed counters are per-run mutable state — sharing
+// one instance across pool cells would interleave two tenants' feedback
+// loops. Like the bed itself, it must be built inside the callable
+// (run_workload does this from RunOptions::slos; never hand a live
+// controller across the boundary).
+#include "harness/admission.h"
+#include "harness/sweep.h"
+
+namespace kvsim::fixture {
+
+inline void bad_overload_cells(harness::SweepRunner& runner) {
+  harness::SloSpec slo;
+  slo.p99_target_ns = 2 * kMs;
+  harness::AdmissionController admission(slo);
+  std::vector<harness::SweepCell> cells;
+  cells.push_back(harness::sweep_cell("overload/0", [&admission] {
+    (void)admission.decide(true, 0, 0);  // BAD: &admission
+    return harness::RunResult{};
+  }));
+  (void)runner.run(std::move(cells));
+}
+
+}  // namespace kvsim::fixture

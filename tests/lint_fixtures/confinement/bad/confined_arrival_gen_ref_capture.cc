@@ -1,0 +1,25 @@
+// [confined-capture] seeded violation: an open-loop sweep cell
+// capturing a thread-confined ArrivalGen by reference. The generator
+// owns a seeded RNG and a monotonic arrival clock; two cells drawing
+// from one instance would race the clock and break seed determinism.
+// Capture the ArrivalSchedule (plain config data) by value and
+// construct the generator inside the callable.
+#include "harness/sweep.h"
+#include "workload/workload.h"
+
+namespace kvsim::fixture {
+
+inline void bad_arrival_cells(harness::SweepRunner& runner) {
+  wl::ArrivalSchedule arrival;
+  arrival.kind = wl::ArrivalKind::kPoisson;
+  arrival.rate_ops_per_sec = 100000.0;
+  wl::ArrivalGen gen(arrival, 42);
+  std::vector<harness::SweepCell> cells;
+  cells.push_back(harness::sweep_cell("arrival/0", [&gen] {
+    (void)gen.next_gap();  // BAD: &gen
+    return harness::RunResult{};
+  }));
+  (void)runner.run(std::move(cells));
+}
+
+}  // namespace kvsim::fixture

@@ -1,0 +1,33 @@
+// Clean fixture: the sanctioned open-loop overload cell shape. The
+// ArrivalSchedule and SloSpec are plain value-type config — capturing
+// them by value is legal and is how run_overload-style sweeps
+// parameterize cells. The thread-confined machinery they configure
+// (ArrivalGen, AdmissionController) is constructed inside the callable,
+// one private instance per cell.
+#include "harness/admission.h"
+#include "harness/sweep.h"
+#include "workload/workload.h"
+
+namespace kvsim::fixture {
+
+inline void good_overload_cells(harness::SweepRunner& runner) {
+  std::vector<harness::SweepCell> cells;
+  for (double rate : {50000.0, 200000.0}) {
+    wl::ArrivalSchedule arrival;
+    arrival.kind = wl::ArrivalKind::kPoisson;
+    arrival.rate_ops_per_sec = rate;
+    harness::SloSpec slo;
+    slo.p99_target_ns = 2 * kMs;
+    cells.push_back(harness::sweep_cell(
+        "overload/" + std::to_string((int)rate), [arrival, slo] {
+          wl::ArrivalGen gen(arrival, 42);        // OK: per-cell instance
+          harness::AdmissionController ctl(slo);  // OK: per-cell instance
+          (void)gen.next_gap();
+          (void)ctl.decide(true, 0, 0);
+          return harness::RunResult{};
+        }));
+  }
+  (void)runner.run(std::move(cells));
+}
+
+}  // namespace kvsim::fixture

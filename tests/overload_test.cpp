@@ -1,0 +1,482 @@
+// Overload-robustness tests (docs/API.md "Overload & SLOs"): open-loop
+// arrival generation, per-tenant admission control, and the runner's
+// graceful-degradation path under saturation.
+//
+// The closed loop measures a device at a fixed concurrency; the open
+// loop measures what clients actually experience when offered load
+// exceeds capacity — latency counted from the *scheduled* arrival, a
+// bounded dispatch window, and an admission controller that sheds or
+// defers work to hold a tenant's p99 target. These tests pin the
+// arrival generators and the controller in isolation, then the
+// end-to-end contract on a tiny device: an SLO-protected tenant under
+// 2x-saturating load keeps a bounded tail and sheds the excess, while
+// the same tenant unprotected watches its p99 blow out with the
+// unbounded backlog.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/admission.h"
+#include "harness/report.h"
+#include "harness/runner.h"
+#include "harness/stacks.h"
+#include "workload/workload.h"
+
+namespace kvsim::harness {
+namespace {
+
+// --- arrival generators -----------------------------------------------------
+
+TEST(ArrivalSchedule, ValidateRejectsBadRates) {
+  wl::ArrivalSchedule s;
+  EXPECT_NO_THROW(s.validate());  // closed loop: nothing to check
+  s.kind = wl::ArrivalKind::kFixedRate;
+  s.rate_ops_per_sec = 0.0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s.rate_ops_per_sec = -100.0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s.rate_ops_per_sec = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s.rate_ops_per_sec = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s.rate_ops_per_sec = 1e6;
+  EXPECT_NO_THROW(s.validate());
+  s.max_inflight = 0;  // a zero window could never dispatch
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(ArrivalSchedule, ValidateRejectsEmptyBurstPhases) {
+  wl::ArrivalSchedule s;
+  s.kind = wl::ArrivalKind::kBursty;
+  s.burst_rate_ops_per_sec = 1e6;
+  s.rate_ops_per_sec = 0.0;  // idle off-phase is legal
+  s.on_ns = 0;               // ...but an empty on-phase is not
+  s.off_ns = kMs;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s.on_ns = kMs;
+  s.off_ns = 0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s.off_ns = kMs;
+  EXPECT_NO_THROW(s.validate());
+  s.burst_rate_ops_per_sec = 0.0;  // a burst phase must offer load
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(ArrivalGen, FixedRateGapsAreExact) {
+  wl::ArrivalSchedule s;
+  s.kind = wl::ArrivalKind::kFixedRate;
+  s.rate_ops_per_sec = 1e6;  // one op per microsecond
+  wl::ArrivalGen gen(s, 42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(gen.next_gap(), (TimeNs)kUs);
+}
+
+TEST(ArrivalGen, PoissonIsSeededAndMatchesMeanRate) {
+  wl::ArrivalSchedule s;
+  s.kind = wl::ArrivalKind::kPoisson;
+  s.rate_ops_per_sec = 1e5;  // mean gap 10 us
+  wl::ArrivalGen a(s, 7), b(s, 7), c(s, 8);
+  u64 sum = 0;
+  bool differs = false;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const TimeNs g = a.next_gap();
+    EXPECT_EQ(g, b.next_gap());  // same seed -> same arrival process
+    EXPECT_GE(g, 1);             // gaps never collapse to zero
+    if (g != c.next_gap()) differs = true;
+    sum += g;
+  }
+  EXPECT_TRUE(differs);  // different seed -> different process
+  const double mean = (double)sum / n;
+  EXPECT_NEAR(mean, 10.0 * kUs, 0.5 * kUs);  // 5% of the true mean
+}
+
+TEST(ArrivalGen, BurstyAlternatesOnOffPhases) {
+  wl::ArrivalSchedule s;
+  s.kind = wl::ArrivalKind::kBursty;
+  s.burst_rate_ops_per_sec = 1e6;  // 1 op/us during the burst
+  s.rate_ops_per_sec = 0.0;        // silent between bursts
+  s.on_ns = 100 * kUs;
+  s.off_ns = 900 * kUs;
+  wl::ArrivalGen gen(s, 11);
+  // Walk a few cycles: arrivals only ever land inside an on-phase.
+  TimeNs t = 0;
+  u64 in_first_ms = 0, total = 0;
+  for (int i = 0; i < 500; ++i) {
+    t += gen.next_gap();
+    const TimeNs phase = t % (s.on_ns + s.off_ns);
+    EXPECT_LE(phase, s.on_ns) << "arrival landed in the off phase";
+    if (t < kMs) ++in_first_ms;
+    ++total;
+  }
+  // ~100 arrivals fit in each 100 us burst at 1 op/us.
+  EXPECT_GT(in_first_ms, 50u);
+  EXPECT_LT(in_first_ms, 150u);
+}
+
+TEST(ArrivalGen, BurstyOffPhaseRateTricklesBetweenBursts) {
+  wl::ArrivalSchedule s;
+  s.kind = wl::ArrivalKind::kBursty;
+  s.burst_rate_ops_per_sec = 1e6;
+  s.rate_ops_per_sec = 1e4;  // trickle during the off phase
+  s.on_ns = 50 * kUs;
+  s.off_ns = 950 * kUs;
+  wl::ArrivalGen gen(s, 3);
+  TimeNs t = 0;
+  u64 off_phase = 0;
+  for (int i = 0; i < 2000; ++i) {
+    t += gen.next_gap();
+    if (t % (s.on_ns + s.off_ns) > s.on_ns) ++off_phase;
+  }
+  EXPECT_GT(off_phase, 0u);  // the trickle produces off-phase arrivals
+}
+
+TEST(ArrivalKind, ToStringNames) {
+  EXPECT_STREQ(wl::to_string(wl::ArrivalKind::kClosedLoop), "closed");
+  EXPECT_STREQ(wl::to_string(wl::ArrivalKind::kFixedRate), "fixed");
+  EXPECT_STREQ(wl::to_string(wl::ArrivalKind::kPoisson), "poisson");
+  EXPECT_STREQ(wl::to_string(wl::ArrivalKind::kBursty), "bursty");
+}
+
+TEST(WorkloadSpec, ValidateCoversArrivalSchedule) {
+  // WorkloadSpec::validate() must reject a bad open-loop schedule before
+  // any RNG or source is built.
+  wl::WorkloadSpec spec;
+  spec.num_ops = 10;
+  spec.arrival.kind = wl::ArrivalKind::kFixedRate;
+  spec.arrival.rate_ops_per_sec = -1.0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.arrival.rate_ops_per_sec = 1e5;
+  EXPECT_NO_THROW(spec.validate());
+}
+
+// --- admission controller ---------------------------------------------------
+
+SloSpec tight_slo() {
+  SloSpec s;
+  s.p99_target_ns = 1 * kMs;
+  s.max_inflight = 8;
+  s.window = 4;
+  return s;
+}
+
+TEST(AdmissionController, DisabledSpecAdmitsEverything) {
+  AdmissionController ac{SloSpec{}};
+  for (u64 i = 0; i < 100; ++i)
+    EXPECT_EQ(ac.decide(true, i, i), Admission::kAdmit);
+}
+
+TEST(AdmissionController, HardCapShedsRegardlessOfPolicy) {
+  for (const ShedPolicy p : {ShedPolicy::kRejectNew,
+                             ShedPolicy::kDeferWithDeadline,
+                             ShedPolicy::kDegradeReads}) {
+    SloSpec s = tight_slo();
+    s.shed_policy = p;
+    AdmissionController ac{s};
+    // inflight + backlog at the cap: always shed, even with a healthy
+    // latency window.
+    EXPECT_EQ(ac.decide(false, 8, 0), Admission::kShed);
+    EXPECT_EQ(ac.decide(true, 4, 4), Admission::kShed);
+    EXPECT_EQ(ac.decide(false, 7, 0), Admission::kAdmit);
+  }
+}
+
+TEST(AdmissionController, TripsOnlyOnFullWindowOverTarget) {
+  AdmissionController ac{tight_slo()};
+  // Window not yet full: never at risk, even with every sample over.
+  ac.on_completion(5 * kMs);
+  ac.on_completion(5 * kMs);
+  ac.on_completion(5 * kMs);
+  EXPECT_FALSE(ac.at_risk());
+  EXPECT_EQ(ac.decide(true, 1, 0), Admission::kAdmit);
+  ac.on_completion(5 * kMs);  // fourth sample fills the window
+  EXPECT_TRUE(ac.at_risk());
+  EXPECT_EQ(ac.decide(true, 1, 0), Admission::kShed);  // kRejectNew
+  // Healthy completions evict the over-target samples and re-admit.
+  for (int i = 0; i < 4; ++i) ac.on_completion(10 * kUs);
+  EXPECT_FALSE(ac.at_risk());
+  EXPECT_EQ(ac.decide(true, 1, 0), Admission::kAdmit);
+}
+
+TEST(AdmissionController, IdleTenantAlwaysProbes) {
+  // The recovery path: the windowed estimator refreshes only through
+  // completions, so an at-risk tenant with nothing in flight must admit
+  // a probe — otherwise kRejectNew would wedge in permanent shed.
+  AdmissionController ac{tight_slo()};
+  for (int i = 0; i < 4; ++i) ac.on_completion(5 * kMs);
+  ASSERT_TRUE(ac.at_risk());
+  EXPECT_EQ(ac.decide(true, 0, 0), Admission::kAdmit);   // idle: probe
+  EXPECT_EQ(ac.decide(true, 0, 3), Admission::kAdmit);   // backlog alone
+  EXPECT_EQ(ac.decide(true, 1, 0), Admission::kShed);    // probe in flight
+  // The hard cap still wins over the probe rule.
+  EXPECT_EQ(ac.decide(true, 0, 8), Admission::kShed);
+}
+
+TEST(AdmissionController, PoliciesDifferOnlyWhenAtRisk) {
+  SloSpec defer = tight_slo();
+  defer.shed_policy = ShedPolicy::kDeferWithDeadline;
+  SloSpec degrade = tight_slo();
+  degrade.shed_policy = ShedPolicy::kDegradeReads;
+  AdmissionController d{defer}, g{degrade};
+  for (int i = 0; i < 4; ++i) {
+    d.on_completion(5 * kMs);
+    g.on_completion(5 * kMs);
+  }
+  ASSERT_TRUE(d.at_risk());
+  EXPECT_EQ(d.decide(true, 1, 0), Admission::kDefer);
+  EXPECT_EQ(d.decide(false, 1, 0), Admission::kDefer);
+  // Degrade-reads: reads shed first, writes merely defer.
+  EXPECT_EQ(g.decide(true, 1, 0), Admission::kShed);
+  EXPECT_EQ(g.decide(false, 1, 0), Admission::kDefer);
+}
+
+TEST(SloSpec, DeadlineDefaultsToHalfTarget) {
+  SloSpec s = tight_slo();
+  EXPECT_EQ(s.deadline(), s.p99_target_ns / 2);
+  s.defer_deadline_ns = 3 * kMs;
+  EXPECT_EQ(s.deadline(), 3 * kMs);
+}
+
+// --- end-to-end open loop ---------------------------------------------------
+
+ssd::SsdConfig tiny_dev() {
+  ssd::SsdConfig d;
+  d.geometry.channels = 2;
+  d.geometry.dies_per_channel = 2;
+  d.geometry.planes_per_die = 2;
+  d.geometry.blocks_per_plane = 16;
+  d.geometry.pages_per_block = 16;  // 64 MiB raw
+  return d;
+}
+
+wl::WorkloadSpec open_spec(double rate, u64 ops = 1500) {
+  wl::WorkloadSpec spec;
+  spec.num_ops = ops;
+  spec.key_space = 600;
+  spec.key_bytes = 16;
+  spec.value_bytes = 1024;
+  spec.mix = {0.1, 0.4, 0.5, 0};
+  spec.queue_depth = 16;  // ignored on the open loop
+  spec.seed = 42;
+  spec.arrival.kind = wl::ArrivalKind::kFixedRate;
+  spec.arrival.rate_ops_per_sec = rate;
+  spec.arrival.max_inflight = 16;
+  return spec;
+}
+
+std::unique_ptr<KvssdBed> make_bed() {
+  KvssdBedConfig c;
+  c.dev = tiny_dev();
+  auto bed = std::make_unique<KvssdBed>(c);
+  (void)fill_stack(*bed, 600, 16, 1024, 32);
+  return bed;
+}
+
+TEST(OpenLoop, ModerateLoadCompletesEveryArrival) {
+  auto bed = make_bed();
+  const RunResult r = run_workload(*bed, open_spec(20'000.0, 800));
+  EXPECT_EQ(r.offered_ops, 800u);
+  EXPECT_EQ(r.ops, 800u);
+  EXPECT_EQ(r.errors.total(), 0u);
+  EXPECT_TRUE(r.overload_activity());
+  // Open loop paces the run: 800 ops at 20k/s take ~40 ms of simulated
+  // time no matter how fast the device is.
+  EXPECT_GE(r.elapsed, 35 * kMs);
+}
+
+TEST(OpenLoop, LatencyAnchoredAtScheduledArrival) {
+  // At a saturating rate the host backlog grows and open-loop latency
+  // must count the wait from the scheduled arrival — so the overloaded
+  // run's p99 dwarfs the underloaded run's even though per-op device
+  // service is identical.
+  auto calm_bed = make_bed();
+  const RunResult calm = run_workload(*calm_bed, open_spec(10'000.0, 600));
+  auto hot_bed = make_bed();
+  const RunResult hot = run_workload(*hot_bed, open_spec(2'000'000.0, 600));
+  EXPECT_EQ(hot.ops, 600u);
+  EXPECT_GT(hot.arrival_overflows, 0u);
+  EXPECT_GT(hot.backlog_peak, 0u);
+  EXPECT_EQ(calm.arrival_overflows, 0u);
+  EXPECT_GT(hot.all.percentile(0.99), 10 * calm.all.percentile(0.99));
+}
+
+TEST(OpenLoop, ClosedLoopReportUnchanged) {
+  // A closed-loop run must not emit any overload key — its JSON document
+  // is byte-identical to the pre-overload format.
+  auto bed = make_bed();
+  wl::WorkloadSpec spec = open_spec(10'000.0, 400);
+  spec.arrival = wl::ArrivalSchedule{};  // back to closed loop
+  const RunResult r = run_workload(*bed, spec);
+  EXPECT_FALSE(r.overload_activity());
+  BenchReport rep("closed");
+  rep.add_run("run", r);
+  EXPECT_EQ(rep.to_json().find("overload"), std::string::npos);
+}
+
+TEST(OpenLoop, RejectNewShedsBoundedAndHoldsTail) {
+  // The acceptance contract at unit scale: at a saturating offered rate,
+  // the SLO-protected run sheds the excess and keeps its p99 near the
+  // target, while the unprotected run's tail blows out with the backlog.
+  const double hot_rate = 500'000.0;
+  const TimeNs target = 5 * kMs;
+
+  auto unprot_bed = make_bed();
+  const RunResult unprot =
+      run_workload(*unprot_bed, open_spec(hot_rate, 1200));
+
+  auto prot_bed = make_bed();
+  RunOptions opts;
+  SloSpec slo;
+  slo.p99_target_ns = target;
+  slo.max_inflight = 32;
+  slo.window = 64;
+  opts.slos = {slo};
+  const RunResult prot =
+      run_workload(*prot_bed, open_spec(hot_rate, 1200), opts);
+
+  // Unprotected: every arrival completes, but the tail is unbounded.
+  EXPECT_EQ(unprot.ops, 1200u);
+  EXPECT_GT(unprot.all.percentile(0.99), (double)target);
+  // Protected: work was shed, and what completed stayed near the target.
+  EXPECT_GT(prot.shed_ops, 0u);
+  EXPECT_EQ(prot.errors.shed, prot.shed_ops);
+  EXPECT_EQ(prot.offered_ops, prot.ops + prot.errors.total());
+  EXPECT_GT(prot.slo_goodput_ops, 0u);
+  EXPECT_LT(prot.all.percentile(0.99), unprot.all.percentile(0.99) / 2);
+  // The shed fraction is the price, and it is bounded: the controller
+  // sheds the overflow, not the whole stream.
+  EXPECT_GT(prot.ops, 0u);
+}
+
+TEST(OpenLoop, DeferPolicyExpiresLateOps) {
+  auto bed = make_bed();
+  RunOptions opts;
+  SloSpec slo;
+  slo.p99_target_ns = 2 * kMs;
+  slo.max_inflight = 64;
+  slo.window = 32;
+  slo.shed_policy = ShedPolicy::kDeferWithDeadline;
+  slo.defer_deadline_ns = 100 * kUs;  // tight: backlogged defers expire
+  opts.slos = {slo};
+  const RunResult r = run_workload(*bed, open_spec(500'000.0, 1200), opts);
+  EXPECT_GT(r.deferred_ops, 0u);
+  EXPECT_GT(r.deadline_exceeded_ops, 0u);
+  EXPECT_EQ(r.errors.deadline, r.deadline_exceeded_ops);
+  EXPECT_EQ(r.offered_ops, r.ops + r.errors.total());
+}
+
+TEST(OpenLoop, DegradeReadsShedsReadsKeepsWrites) {
+  auto bed = make_bed();
+  RunOptions opts;
+  SloSpec slo;
+  slo.p99_target_ns = 2 * kMs;
+  slo.max_inflight = 512;  // hard cap out of the way: policy decides
+  slo.window = 32;
+  slo.shed_policy = ShedPolicy::kDegradeReads;
+  opts.slos = {slo};
+  const RunResult r = run_workload(*bed, open_spec(500'000.0, 1200), opts);
+  // Reads shed, writes deferred: both paths must have fired.
+  EXPECT_GT(r.shed_ops, 0u);
+  EXPECT_GT(r.deferred_ops, 0u);
+  EXPECT_EQ(r.offered_ops, r.ops + r.errors.total());
+}
+
+TEST(OpenLoop, MixesOpenAndClosedTenants) {
+  // An open-loop tenant rides beside a legacy closed-loop tenant; both
+  // finish, and only the open-loop tenant reports overload activity.
+  KvssdBedConfig c;
+  c.dev = tiny_dev();
+  c.nvme.num_queues = 2;
+  c.nvme.queue_weights = {1, 1};
+  KvssdBed bed(c);
+  (void)fill_stack(bed, 600, 16, 1024, 32);
+  wl::TenantMix mix;
+  wl::TenantSpec open_t;
+  open_t.name = "open";
+  open_t.spec = open_spec(50'000.0, 500);
+  open_t.queue = 0;
+  open_t.nsid = 1;
+  wl::TenantSpec closed_t;
+  closed_t.name = "closed";
+  closed_t.spec = open_spec(0.0, 500);
+  closed_t.spec.arrival = wl::ArrivalSchedule{};
+  closed_t.queue = 1;
+  closed_t.nsid = 2;
+  mix.tenants = {open_t, closed_t};
+  const MixResult m = run_mix(bed, mix);
+  ASSERT_EQ(m.tenants.size(), 2u);
+  EXPECT_EQ(m.tenants[0].result.ops, 500u);
+  EXPECT_EQ(m.tenants[1].result.ops, 500u);
+  EXPECT_TRUE(m.tenants[0].result.overload_activity());
+  EXPECT_FALSE(m.tenants[1].result.overload_activity());
+  EXPECT_EQ(m.combined.ops, 1000u);
+}
+
+TEST(OpenLoop, UrgentTenantRidesTheFastPath) {
+  // A tenant flagged urgent gets its queue into the NVMe urgent class
+  // via TenantMix::urgent_queues(), and the run reports the fast-path
+  // fetch count.
+  KvssdBedConfig c;
+  c.dev = tiny_dev();
+  c.nvme.num_queues = 2;
+  c.nvme.queue_weights = {1, 1};
+  wl::TenantMix mix;
+  wl::TenantSpec heavy;
+  heavy.name = "heavy";
+  heavy.spec = open_spec(0.0, 800);
+  heavy.spec.arrival = wl::ArrivalSchedule{};
+  heavy.spec.queue_depth = 32;
+  heavy.queue = 0;
+  heavy.nsid = 1;
+  wl::TenantSpec vip;
+  vip.name = "vip";
+  vip.spec = open_spec(0.0, 200);
+  vip.spec.arrival = wl::ArrivalSchedule{};
+  vip.spec.queue_depth = 4;
+  vip.queue = 1;
+  vip.nsid = 2;
+  vip.urgent = true;
+  mix.tenants = {heavy, vip};
+  c.nvme.urgent_queues = mix.urgent_queues();
+  ASSERT_EQ(c.nvme.urgent_queues, (std::vector<u32>{1}));
+  KvssdBed bed(c);
+  (void)fill_stack(bed, 600, 16, 1024, 32);
+  const MixResult m = run_mix(bed, mix);
+  EXPECT_EQ(m.combined.ops, 1000u);
+  EXPECT_GT(m.urgent_fetches, 0u);
+}
+
+// --- determinism of the open loop -------------------------------------------
+
+std::string overload_report_json() {
+  auto bed = make_bed();
+  RunOptions opts;
+  SloSpec slo;
+  slo.p99_target_ns = 2 * kMs;
+  slo.max_inflight = 48;
+  slo.window = 32;
+  slo.shed_policy = ShedPolicy::kDegradeReads;
+  opts.slos = {slo};
+  opts.drain_after = true;
+  const RunResult r = run_workload(*bed, open_spec(300'000.0, 1000), opts);
+  BenchReport rep("overload_determinism");
+  rep.add_run("open", r);
+  rep.add_device(*bed);
+  return rep.to_json();
+}
+
+TEST(OpenLoop, ReportsByteIdenticalAcrossReruns) {
+  const std::string a = overload_report_json();
+  const std::string b = overload_report_json();
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a, b) << "open-loop overload run is not deterministic";
+  // And the overload block actually made it into the document.
+  EXPECT_NE(a.find("\"overload\""), std::string::npos);
+  EXPECT_NE(a.find("\"offered_ops\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kvsim::harness

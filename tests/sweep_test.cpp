@@ -187,6 +187,60 @@ TEST(SweepRunner, TraceReplayCellsThreadCountInvariance) {
   EXPECT_EQ(j1, j4);
 }
 
+// An open-loop overload cell: private bed, saturating fixed-rate
+// arrivals, SLO admission control — the bench_overload shape at unit
+// scale.
+RunResult run_overload_cell(double rate, u64 seed) {
+  KvssdBedConfig c;
+  c.dev = tiny_dev();
+  KvssdBed bed(c);
+  (void)fill_stack(bed, 600, 16, 1024, 32);
+  wl::WorkloadSpec spec;
+  spec.num_ops = 1000;
+  spec.key_space = 600;
+  spec.key_bytes = 16;
+  spec.value_bytes = 1024;
+  spec.mix = {0.1, 0.4, 0.5, 0};
+  spec.seed = seed;
+  spec.arrival.kind = wl::ArrivalKind::kPoisson;
+  spec.arrival.rate_ops_per_sec = rate;
+  spec.arrival.max_inflight = 16;
+  RunOptions opts;
+  SloSpec slo;
+  slo.p99_target_ns = 2 * kMs;
+  slo.max_inflight = 48;
+  slo.window = 32;
+  opts.slos = {slo};
+  opts.drain_after = true;
+  return run_workload(bed, spec, opts);
+}
+
+std::string merged_overload_json(u32 threads) {
+  std::vector<SweepCell> cells;
+  u64 index = 0;
+  for (double rate : {20'000.0, 400'000.0}) {
+    const u64 seed = SweepRunner::cell_seed(99, index++);
+    cells.push_back(sweep_cell("overload/r" + std::to_string((u64)rate),
+                               [rate, seed] {
+                                 return run_overload_cell(rate, seed);
+                               }));
+  }
+  SweepRunner runner(SweepRunner::Options{.threads = threads});
+  auto results = runner.run(std::move(cells));
+  BenchReport report("sweep_test");
+  add_sweep_results(report, results);
+  return report.to_json();
+}
+
+TEST(SweepRunner, OpenLoopCellsThreadCountInvariance) {
+  // Open-loop cells (arrival clocks, admission decisions, shed counters)
+  // obey the same byte-identity contract across thread counts.
+  const std::string j1 = merged_overload_json(1);
+  const std::string j4 = merged_overload_json(4);
+  EXPECT_EQ(j1, j4);
+  EXPECT_NE(j1.find("\"overload\""), std::string::npos);
+}
+
 TEST(SweepRunner, PerCellSeedIsolation) {
   // A cell's result depends only on (base_seed, its index) — running it
   // alone must reproduce its in-matrix result exactly.
